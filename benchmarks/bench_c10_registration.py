@@ -1,0 +1,111 @@
+"""C10 — Section 4.3's persistent registration, ablated.
+
+The paper's claimed-new feature: the queue manager keeps a stable
+record of each registrant's last tagged operation, which is what makes
+the Figure 2 resynchronization possible.  This benchmark ablates the
+``stable_flag``:
+
+* **stable registration** — after a crash-after-Send, the reconnecting
+  client learns its Send happened and does NOT resend: zero duplicates.
+* **no stable registration** (stable_flag=False) — the reconnecting
+  client learns nothing; its only safe-looking choice, resending,
+  creates a duplicate execution the checker catches.
+
+Predicted shape: duplicates 0 vs >0; the cost of maintaining the
+registration is a small constant per tagged operation (also measured).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.request import Request
+from repro.core.system import TPSystem
+from repro.sim.trace import TraceRecorder
+
+_ids = itertools.count()
+
+
+def crash_after_send(stable: bool) -> tuple[int, int]:
+    """Returns (executions of the request, duplicate executions)."""
+    system = TPSystem(trace=TraceRecorder())
+    table = system.table("effects")
+
+    def handler(txn, request):
+        table.update(txn, f"count/{request.rid}", lambda v: (v or 0) + 1, default=0)
+        return "done"
+
+    server = system.server("s", handler)
+    # --- incarnation 1: register, send, crash ---
+    qm = system.request_qm
+    handle, tag, _eid = qm.register(system.request_queue, "c1", stable=stable)
+    request = Request(
+        rid="c1#1", body="pay", client_id="c1",
+        reply_to=system.ensure_reply_queue("c1"),
+    )
+    qm.enqueue(handle, request.to_body(), tag="c1#1",
+               headers={"rid": "c1#1", "reply_to": request.reply_to})
+    # client crashes here; the server processes meanwhile
+    server.process_one()
+    # --- incarnation 2: reconnect ---
+    handle2, last_tag, _ = qm.register(system.request_queue, "c1", stable=stable)
+    if last_tag is None:
+        # No memory of the Send: the client resends (the unsafe path the
+        # paper's design exists to avoid).
+        qm.enqueue(handle2, request.to_body(), tag="c1#1",
+                   headers={"rid": "c1#1", "reply_to": request.reply_to})
+        server.process_one()
+    executions = table.peek("count/c1#1", 0)
+    return executions, max(0, executions - 1)
+
+
+def test_c10_with_persistent_registration(benchmark):
+    executions, duplicates = benchmark.pedantic(
+        lambda: crash_after_send(stable=True), rounds=3, iterations=1
+    )
+    assert executions == 1 and duplicates == 0
+    benchmark.extra_info["stable_flag"] = True
+    benchmark.extra_info["duplicate_executions"] = duplicates
+
+
+def test_c10_without_persistent_registration(benchmark):
+    executions, duplicates = benchmark.pedantic(
+        lambda: crash_after_send(stable=False), rounds=3, iterations=1
+    )
+    assert duplicates > 0  # the ablation breaks exactly-once
+    benchmark.extra_info["stable_flag"] = False
+    benchmark.extra_info["duplicate_executions"] = duplicates
+
+
+def test_c10_tag_maintenance_cost(benchmark):
+    """Marginal cost of the stable registration copy per Enqueue."""
+    system_stable = TPSystem()
+    system_plain = TPSystem()
+    h_stable, _, _ = system_stable.request_qm.register(
+        system_stable.request_queue, "c", stable=True
+    )
+    h_plain, _, _ = system_plain.request_qm.register(
+        system_plain.request_queue, "c", stable=False
+    )
+
+    import time
+
+    def compare():
+        rounds = 200
+        start = time.monotonic()
+        for i in range(rounds):
+            system_stable.request_qm.enqueue(h_stable, i, tag=f"t{i}")
+        stable_time = time.monotonic() - start
+        start = time.monotonic()
+        for i in range(rounds):
+            system_plain.request_qm.enqueue(h_plain, i, tag=f"t{i}")
+        plain_time = time.monotonic() - start
+        return stable_time, plain_time
+
+    stable_time, plain_time = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["stable_s_per_200"] = round(stable_time, 4)
+    benchmark.extra_info["unstable_s_per_200"] = round(plain_time, 4)
+    benchmark.extra_info["overhead_pct"] = round(
+        100 * (stable_time - plain_time) / max(plain_time, 1e-9), 1
+    )

@@ -1,0 +1,109 @@
+"""C1 — Section 2's client-design comparison.
+
+The paper: executing {send request, receive the reply, process the
+reply} in ONE transaction means "processing the reply may be slow,
+which creates contention for resources (e.g., locks) that the server
+must hold until the transaction commits."  The queued three-transaction
+design releases the server's locks before reply processing starts.
+
+Setup: two workers repeatedly touch the SAME account.  In the
+one-transaction design the account's X lock is held across a simulated
+reply-processing delay; in the queued design the lock is released at
+server commit and the delay happens outside.  The paper's predicted
+shape: the queued design's throughput is far less sensitive to reply
+latency; lock wait time exposes why.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.system import TPSystem
+
+REPLY_PROCESSING_DELAY = 0.005  # 5 ms "user looks at the screen"
+REQUESTS_PER_WORKER = 10
+WORKERS = 2
+
+
+def one_transaction_design():
+    """Client work inside one transaction: the hot lock is held across
+    reply processing."""
+    system = TPSystem()
+    table = system.table("hot")
+    with system.request_repo.tm.transaction() as txn:
+        table.put(txn, "account", 0)
+
+    def worker():
+        for _ in range(REQUESTS_PER_WORKER):
+            with system.request_repo.tm.transaction() as txn:
+                table.update(txn, "account", lambda v: v + 1)
+                time.sleep(REPLY_PROCESSING_DELAY)  # reply processed in-txn
+
+    threads = [threading.Thread(target=worker) for _ in range(WORKERS)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+    return elapsed, system.request_repo.locks.stats.snapshot()
+
+
+def three_transaction_design():
+    """The paper's queued design: the server transaction holds the lock
+    only while updating; reply processing happens after commit."""
+    system = TPSystem()
+    table = system.table("hot")
+    with system.request_repo.tm.transaction() as txn:
+        table.put(txn, "account", 0)
+
+    def worker():
+        for _ in range(REQUESTS_PER_WORKER):
+            with system.request_repo.tm.transaction() as txn:
+                table.update(txn, "account", lambda v: v + 1)
+            time.sleep(REPLY_PROCESSING_DELAY)  # reply processed outside
+
+    threads = [threading.Thread(target=worker) for _ in range(WORKERS)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+    return elapsed, system.request_repo.locks.stats.snapshot()
+
+
+def test_c1_one_transaction_design(benchmark):
+    elapsed, stats = benchmark.pedantic(one_transaction_design, rounds=3, iterations=1)
+    benchmark.extra_info["design"] = "1-txn: lock held across reply processing"
+    benchmark.extra_info["lock_wait_time_s"] = round(stats["wait_time"], 4)
+    benchmark.extra_info["lock_waits"] = stats["waits"]
+
+
+def test_c1_three_transaction_design(benchmark):
+    elapsed, stats = benchmark.pedantic(three_transaction_design, rounds=3, iterations=1)
+    benchmark.extra_info["design"] = "3-txn via queues: lock released at commit"
+    benchmark.extra_info["lock_wait_time_s"] = round(stats["wait_time"], 4)
+    benchmark.extra_info["lock_waits"] = stats["waits"]
+
+
+def test_c1_shape_queued_design_wins(benchmark):
+    """The headline comparison in one run: the queued design finishes
+    faster and waits far less on locks."""
+
+    def compare():
+        slow, slow_stats = one_transaction_design()
+        fast, fast_stats = three_transaction_design()
+        return slow, fast, slow_stats, fast_stats
+
+    slow, fast, slow_stats, fast_stats = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert fast < slow, (
+        f"queued design ({fast:.3f}s) must beat one-txn design ({slow:.3f}s)"
+    )
+    assert fast_stats["wait_time"] < slow_stats["wait_time"]
+    benchmark.extra_info["one_txn_elapsed_s"] = round(slow, 4)
+    benchmark.extra_info["queued_elapsed_s"] = round(fast, 4)
+    benchmark.extra_info["speedup"] = round(slow / fast, 2)

@@ -1,0 +1,89 @@
+"""C2 — Section 1's load-sharing claim.
+
+"Since many processes can dequeue requests from a single queue, this
+automatically shares the workload among these processes."
+
+Setup: 40 requests, each costing ~3 ms of simulated work, served by 1,
+2, or 4 server processes dequeuing the same queue.  Predicted shape:
+completion time drops roughly linearly with the server count until the
+queue (not the workers) is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.system import TPSystem
+
+from conftest import send_request
+
+REQUESTS = 40
+WORK_MS = 0.003
+
+
+def run_with_servers(server_count: int) -> tuple[float, list[int]]:
+    system = TPSystem()
+    for seq in range(1, REQUESTS + 1):
+        send_request(system, "load", seq, seq)
+
+    def handler(txn, request):
+        time.sleep(WORK_MS)
+        return request.body
+
+    servers = [system.server(f"s{i}", handler) for i in range(server_count)]
+    queue = system.request_repo.get_queue(system.request_queue)
+    stop = threading.Event()
+    threads = [
+        threading.Thread(target=s.serve_until, args=(stop.is_set, 0.002), daemon=True)
+        for s in servers
+    ]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    while queue.depth() + queue.pending() > 0:
+        time.sleep(0.002)
+    elapsed = time.monotonic() - start
+    stop.set()
+    for t in threads:
+        t.join(timeout=5)
+    return elapsed, [s.stats.processed for s in servers]
+
+
+def _bench(benchmark, count):
+    elapsed, per_server = benchmark.pedantic(
+        lambda: run_with_servers(count), rounds=3, iterations=1
+    )
+    benchmark.extra_info["servers"] = count
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+    benchmark.extra_info["per_server_processed"] = per_server
+    return elapsed, per_server
+
+
+def test_c2_one_server(benchmark):
+    _bench(benchmark, 1)
+
+
+def test_c2_two_servers(benchmark):
+    _bench(benchmark, 2)
+
+
+def test_c2_four_servers(benchmark):
+    _bench(benchmark, 4)
+
+
+def test_c2_shape_scales_and_shares(benchmark):
+    def compare():
+        t1, _ = run_with_servers(1)
+        t4, shares = run_with_servers(4)
+        return t1, t4, shares
+
+    t1, t4, shares = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert t4 < t1, f"4 servers ({t4:.3f}s) must beat 1 server ({t1:.3f}s)"
+    # Work is genuinely shared: no single server did everything.
+    assert sum(shares) == REQUESTS
+    assert max(shares) < REQUESTS
+    benchmark.extra_info["t_1_server_s"] = round(t1, 4)
+    benchmark.extra_info["t_4_servers_s"] = round(t4, 4)
+    benchmark.extra_info["speedup"] = round(t1 / t4, 2)
+    benchmark.extra_info["per_server_share"] = shares

@@ -1,0 +1,112 @@
+"""C3 — Section 1's burst-buffering and batch-input claims.
+
+"Queues facilitate batch input of requests.  Requests can be captured
+reliably in a queue, and processed later in a batch.  ...  Moreover,
+queues provide a buffer that mitigates the effects of bursts."
+
+Two measurements:
+
+* **capture vs completion** — with a queue, a burst of B requests is
+  durably captured almost immediately (the submitter is free to go);
+  synchronous service makes the submitter wait for the whole batch.
+* **burst absorption** — queue depth peaks at the burst size and drains
+  at the server's service rate; nothing is refused or lost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.inventory import InventoryApp
+from repro.core.system import TPSystem
+
+from conftest import send_request
+
+BURST = 60
+WORK_MS = 0.002
+
+
+def queued_capture_then_batch() -> tuple[float, float, int, list[int]]:
+    """Returns (capture time, total completion time, peak depth, and a
+    depth-over-time series sampled after every 10th request — the
+    burst-absorption curve)."""
+    system = TPSystem()
+    inventory = InventoryApp(system)
+    inventory.stock({"sku": 0})
+    work = InventoryApp.batch_file(BURST, ["sku"], seed=4)
+    start = time.monotonic()
+    for seq, item in enumerate(work, start=1):
+        send_request(system, "burst", seq, item)
+    captured = time.monotonic() - start
+    queue = system.request_repo.get_queue(system.request_queue)
+    peak_depth = queue.depth()
+    depth_series = [peak_depth]
+
+    def handler(txn, request):
+        time.sleep(WORK_MS)
+        return inventory.update_handler(txn, request)
+
+    server = system.server("night", handler)
+    processed = 0
+    while server.process_one():
+        processed += 1
+        if processed % 10 == 0:
+            depth_series.append(queue.depth())
+    completed = time.monotonic() - start
+    assert inventory.quantity("sku") == sum(i["delta"] for i in work)
+    return captured, completed, peak_depth, depth_series
+
+
+def synchronous_service() -> float:
+    """No queue: the submitter performs each operation inline."""
+    system = TPSystem()
+    inventory = InventoryApp(system)
+    inventory.stock({"sku": 0})
+    work = InventoryApp.batch_file(BURST, ["sku"], seed=4)
+    start = time.monotonic()
+    for item in work:
+        with system.request_repo.tm.transaction() as txn:
+            time.sleep(WORK_MS)
+            inventory.store.update(
+                txn, f"sku/{item['sku']}", lambda v: (v or 0) + item["delta"], default=0
+            )
+    return time.monotonic() - start
+
+
+def test_c3_queued_burst(benchmark):
+    captured, completed, peak, depth_series = benchmark.pedantic(
+        queued_capture_then_batch, rounds=3, iterations=1
+    )
+    benchmark.extra_info["capture_s"] = round(captured, 4)
+    benchmark.extra_info["completion_s"] = round(completed, 4)
+    benchmark.extra_info["peak_queue_depth"] = peak
+    benchmark.extra_info["depth_over_time"] = depth_series
+    assert peak == BURST  # the whole burst was absorbed
+    # The buffer drains monotonically at the service rate.
+    assert depth_series == sorted(depth_series, reverse=True)
+    assert depth_series[-1] == 0
+
+
+def test_c3_synchronous_baseline(benchmark):
+    elapsed = benchmark.pedantic(synchronous_service, rounds=3, iterations=1)
+    benchmark.extra_info["submitter_busy_s"] = round(elapsed, 4)
+
+
+def test_c3_shape_capture_is_cheap(benchmark):
+    def compare():
+        captured, completed, _, _ = queued_capture_then_batch()
+        synchronous = synchronous_service()
+        return captured, completed, synchronous
+
+    captured, completed, synchronous = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    # The submitter's wait with a queue (capture) is a small fraction of
+    # the synchronous submitter's wait (full service time).
+    assert captured < synchronous / 2, (
+        f"capture {captured:.3f}s should be far below synchronous "
+        f"{synchronous:.3f}s"
+    )
+    benchmark.extra_info["capture_s"] = round(captured, 4)
+    benchmark.extra_info["synchronous_wait_s"] = round(synchronous, 4)
+    benchmark.extra_info["submitter_speedup"] = round(synchronous / captured, 1)

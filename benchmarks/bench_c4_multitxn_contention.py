@@ -1,0 +1,129 @@
+"""C4 — Section 6's motivation and its cost.
+
+Motivation: "This approach may be chosen to avoid executing one long
+transaction, which can lead to lock contention."  Cost: "One
+disadvantage of multi-transaction requests is that the execution of
+requests is not serializable."
+
+Setup: transfers against a hot account where each stage includes a
+simulated delay.  Compared designs:
+
+* one LONG transaction per request (locks held across all three steps),
+* three SHORT transactions per request (locks released between steps).
+
+Measured: total time and lock wait time for a contending pair of
+requests (the paper's predicted winner: short transactions), plus the
+interleaving-anomaly count for the short design (the paper's predicted
+price: > 0).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.system import TPSystem
+
+STEP_MS = 0.004
+STEPS = 3
+REQUESTS_PER_WORKER = 4
+WORKERS = 2
+
+
+def _setup():
+    system = TPSystem()
+    table = system.table("hot")
+    with system.request_repo.tm.transaction() as txn:
+        table.put(txn, "account", 1000)
+    return system, table
+
+
+def long_transactions() -> tuple[float, float]:
+    system, table = _setup()
+
+    def worker():
+        for _ in range(REQUESTS_PER_WORKER):
+            with system.request_repo.tm.transaction() as txn:
+                for _step in range(STEPS):
+                    table.update(txn, "account", lambda v: v - 1)
+                    time.sleep(STEP_MS)
+
+    threads = [threading.Thread(target=worker) for _ in range(WORKERS)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.monotonic() - start, system.request_repo.locks.stats.wait_time
+
+
+def short_transactions() -> tuple[float, float, int]:
+    """Three transactions per request; counts interleaving anomalies:
+    another request's step observed the account mid-request."""
+    system, table = _setup()
+    anomalies = [0]
+    lock = threading.Lock()
+    in_progress: set[int] = set()
+
+    def worker(worker_id: int):
+        for _ in range(REQUESTS_PER_WORKER):
+            for step in range(STEPS):
+                with system.request_repo.tm.transaction() as txn:
+                    table.update(txn, "account", lambda v: v - 1)
+                    time.sleep(STEP_MS)
+                with lock:
+                    if step == 0:
+                        in_progress.add(worker_id)
+                    if step == STEPS - 1:
+                        in_progress.discard(worker_id)
+                    elif in_progress - {worker_id}:
+                        # another request is mid-flight while this one
+                        # runs a step: executions interleave.
+                        anomalies[0] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(WORKERS)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return (
+        time.monotonic() - start,
+        system.request_repo.locks.stats.wait_time,
+        anomalies[0],
+    )
+
+
+def test_c4_long_transactions(benchmark):
+    elapsed, wait = benchmark.pedantic(long_transactions, rounds=3, iterations=1)
+    benchmark.extra_info["design"] = "1 long transaction per request"
+    benchmark.extra_info["lock_wait_s"] = round(wait, 4)
+
+
+def test_c4_short_transactions(benchmark):
+    elapsed, wait, anomalies = benchmark.pedantic(
+        short_transactions, rounds=3, iterations=1
+    )
+    benchmark.extra_info["design"] = "3 short transactions per request"
+    benchmark.extra_info["lock_wait_s"] = round(wait, 4)
+    benchmark.extra_info["interleaving_anomalies"] = anomalies
+
+
+def test_c4_shape_contention_vs_serializability(benchmark):
+    def compare():
+        long_time, long_wait = long_transactions()
+        short_time, short_wait, anomalies = short_transactions()
+        return long_time, long_wait, short_time, short_wait, anomalies
+
+    long_time, long_wait, short_time, short_wait, anomalies = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    # Contention: short transactions wait (much) less on the hot lock.
+    assert short_wait < long_wait
+    # Price: request executions interleave (not serializable).
+    assert anomalies > 0
+    benchmark.extra_info["long_txn_elapsed_s"] = round(long_time, 4)
+    benchmark.extra_info["short_txn_elapsed_s"] = round(short_time, 4)
+    benchmark.extra_info["long_lock_wait_s"] = round(long_wait, 4)
+    benchmark.extra_info["short_lock_wait_s"] = round(short_wait, 4)
+    benchmark.extra_info["interleaving_anomalies"] = anomalies

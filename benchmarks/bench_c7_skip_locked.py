@@ -1,0 +1,101 @@
+"""C7 — Section 10's ordering/concurrency trade-off.
+
+"it should be possible for one transaction to dequeue the top element
+of a queue, and for a second transaction to do the same before the
+first transaction commits or aborts.  ...  this anomalous ordering is
+tolerable, when compared to the performance degradation that strict
+ordering would imply."
+
+Setup: multiple worker threads dequeue from one pre-filled queue; each
+holds its transaction open for a moment (simulated processing) before
+committing.  In STRICT mode a pending head stalls everyone; in
+SKIP_LOCKED mode workers pass over it.  Predicted shape: skip-locked
+drains the queue several times faster; strict mode's completion order
+is exactly FIFO while skip-locked occasionally reorders.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ElementLockedError, QueueEmpty
+from repro.queueing.queue import DequeueMode
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+ELEMENTS = 30
+WORKERS = 4
+HOLD_MS = 0.002
+
+
+def drain(mode: DequeueMode) -> tuple[float, list[int]]:
+    repo = QueueRepository("c7", MemDisk())
+    queue = repo.create_queue("q", mode=mode)
+    with repo.tm.transaction() as txn:
+        for i in range(ELEMENTS):
+            queue.enqueue(txn, i)
+    completed: list[int] = []
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            txn = repo.tm.begin()
+            try:
+                element = queue.dequeue(txn)
+            except QueueEmpty:
+                repo.tm.abort(txn)
+                return
+            except ElementLockedError:
+                repo.tm.abort(txn)
+                time.sleep(0.0005)  # strict mode: wait for the head
+                continue
+            time.sleep(HOLD_MS)  # hold the element uncommitted
+            repo.tm.commit(txn)
+            with lock:
+                completed.append(element.body)
+
+    threads = [threading.Thread(target=worker) for _ in range(WORKERS)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.monotonic() - start, completed
+
+
+def test_c7_skip_locked(benchmark):
+    elapsed, completed = benchmark.pedantic(
+        lambda: drain(DequeueMode.SKIP_LOCKED), rounds=3, iterations=1
+    )
+    assert sorted(completed) == list(range(ELEMENTS))
+    benchmark.extra_info["mode"] = "skip-locked"
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_c7_strict_fifo(benchmark):
+    elapsed, completed = benchmark.pedantic(
+        lambda: drain(DequeueMode.STRICT), rounds=3, iterations=1
+    )
+    assert completed == list(range(ELEMENTS))  # exact FIFO, always
+    benchmark.extra_info["mode"] = "strict FIFO"
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_c7_shape_strict_ordering_costs_concurrency(benchmark):
+    def compare():
+        fast, fast_order = drain(DequeueMode.SKIP_LOCKED)
+        slow, slow_order = drain(DequeueMode.STRICT)
+        return fast, slow, fast_order, slow_order
+
+    fast, slow, fast_order, slow_order = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert fast < slow, (
+        f"skip-locked ({fast:.3f}s) must beat strict ({slow:.3f}s)"
+    )
+    assert slow_order == list(range(ELEMENTS))
+    benchmark.extra_info["skip_locked_s"] = round(fast, 4)
+    benchmark.extra_info["strict_s"] = round(slow, 4)
+    benchmark.extra_info["degradation_factor"] = round(slow / fast, 2)
+    benchmark.extra_info["skip_locked_reordered"] = fast_order != sorted(fast_order)

@@ -1,0 +1,113 @@
+"""C9 — Section 10's volatile queues.
+
+"A volatile queue is one whose contents is lost by a node failure.
+Volatile queues have a useful role in some systems. ... The reliability
+of the two volatile queues may be as high as that of a single stable
+queue."
+
+Measured: (a) raw enqueue+dequeue throughput, volatile vs stable — the
+reason volatile queues exist; (b) the relayed volatile pair's exposure
+window: elements lost to a crash are exactly the not-yet-relayed tail,
+so frequent pumping approaches stable-queue reliability.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.queueing.repository import QueueRepository
+from repro.queueing.volatile import VolatileQueue, VolatileRelay
+from repro.storage.disk import MemDisk
+
+_n = itertools.count()
+
+
+def test_c9_stable_queue_throughput(benchmark):
+    repo = QueueRepository("c9", MemDisk())
+    queue = repo.create_queue("q")
+
+    def op():
+        with repo.tm.transaction() as txn:
+            queue.enqueue(txn, next(_n))
+        with repo.tm.transaction() as txn:
+            queue.dequeue(txn)
+
+    benchmark(op)
+    benchmark.extra_info["variant"] = "stable (logged, transactional)"
+
+
+def test_c9_volatile_queue_throughput(benchmark):
+    queue = VolatileQueue("v")
+
+    def op():
+        queue.enqueue(None, next(_n))
+        queue.dequeue()
+
+    benchmark(op)
+    benchmark.extra_info["variant"] = "volatile (no logging)"
+
+
+def test_c9_shape_volatile_faster_but_lossy(benchmark):
+    import time
+
+    def compare():
+        rounds = 300
+        repo = QueueRepository("c9b", MemDisk())
+        stable = repo.create_queue("q")
+        start = time.monotonic()
+        for i in range(rounds):
+            with repo.tm.transaction() as txn:
+                stable.enqueue(txn, i)
+            with repo.tm.transaction() as txn:
+                stable.dequeue(txn)
+        stable_time = time.monotonic() - start
+        volatile = VolatileQueue("v")
+        start = time.monotonic()
+        for i in range(rounds):
+            volatile.enqueue(None, i)
+            volatile.dequeue()
+        volatile_time = time.monotonic() - start
+        # Loss semantics: a crash empties the volatile queue entirely.
+        for i in range(5):
+            volatile.enqueue(None, i)
+        lost = volatile.crash()
+        return stable_time, volatile_time, lost
+
+    stable_time, volatile_time, lost = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert volatile_time < stable_time
+    assert lost == 5
+    benchmark.extra_info["stable_s_per_300"] = round(stable_time, 4)
+    benchmark.extra_info["volatile_s_per_300"] = round(volatile_time, 4)
+    benchmark.extra_info["speedup"] = round(stable_time / volatile_time, 1)
+    benchmark.extra_info["lost_at_crash"] = lost
+
+
+def test_c9_relay_exposure_window(benchmark):
+    """The volatile pair: loss is bounded by the relay interval."""
+
+    def run(pump_every: int) -> tuple[int, int]:
+        src, dst = VolatileQueue("s"), VolatileQueue("d")
+        relay = VolatileRelay(src, dst)
+        # 129 leaves a distinct exposed tail for each pump interval
+        # (129 mod 10 = 9, 129 mod 50 = 29) when the producer crashes.
+        produced = 129
+        for i in range(produced):
+            src.enqueue(None, i)
+            if (i + 1) % pump_every == 0:
+                relay.pump()
+        lost = src.crash()  # producer node dies
+        survived = dst.depth()
+        assert survived + lost == produced
+        return survived, lost
+
+    def sweep():
+        return {pump: run(pump) for pump in (1, 10, 50)}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Pumping every element -> nothing lost; rarely -> big exposure.
+    assert outcomes[1][1] == 0
+    assert outcomes[50][1] > outcomes[10][1] >= outcomes[1][1]
+    for pump, (survived, lost) in outcomes.items():
+        benchmark.extra_info[f"pump_every_{pump}"] = f"survived={survived} lost={lost}"

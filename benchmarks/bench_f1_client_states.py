@@ -1,0 +1,69 @@
+"""F1 — Figure 1/7: the client state machines, executable.
+
+Reproduces the figures behaviorally: drives every legal path, verifies
+every undeclared edge is rejected, and times a full protocol cycle
+through the machine (the machine is on the client's hot path, so its
+cost matters)."""
+
+from __future__ import annotations
+
+from repro.core.states import ClientOp, ClientState, ClientStateMachine
+from repro.errors import ProtocolViolation
+
+
+def full_cycle(interactive: bool) -> int:
+    machine = ClientStateMachine(interactive=interactive)
+    machine.apply(ClientOp.CONNECT)
+    machine.apply(ClientOp.SEND)
+    if interactive:
+        for _ in range(3):
+            machine.apply(ClientOp.RECV_INTERMEDIATE)
+            machine.apply(ClientOp.SEND_INTERMEDIATE)
+    machine.apply(ClientOp.RECEIVE)
+    machine.apply(ClientOp.DISCONNECT)
+    return len(machine.history)
+
+
+def exhaustive_edge_audit() -> tuple[int, int]:
+    """Try every (state, op) edge of both machines; count legal and
+    rejected edges.  Figure 1 has 9 legal edges, Figure 7 adds 2."""
+    legal = rejected = 0
+    for interactive in (False, True):
+        machine = ClientStateMachine(interactive=interactive)
+        table = machine.transitions
+        for state in ClientState:
+            for op in ClientOp:
+                machine.state = state
+                if (state, op) in table:
+                    machine.apply(op)
+                    legal += 1
+                else:
+                    try:
+                        machine.apply(op)
+                    except ProtocolViolation:
+                        rejected += 1
+    return legal, rejected
+
+
+def test_f1_non_interactive_cycle(benchmark):
+    transitions = benchmark(full_cycle, False)
+    assert transitions == 4
+    benchmark.extra_info["figure"] = "1"
+    benchmark.extra_info["transitions_per_cycle"] = transitions
+
+
+def test_f1_interactive_cycle(benchmark):
+    transitions = benchmark(full_cycle, True)
+    assert transitions == 10
+    benchmark.extra_info["figure"] = "7 (machine)"
+    benchmark.extra_info["transitions_per_cycle"] = transitions
+
+
+def test_f1_exhaustive_edges(benchmark):
+    legal, rejected = benchmark(exhaustive_edge_audit)
+    # fig 1: 9 legal edges; fig 7 table: those 9 + 2 intermediate edges.
+    assert legal == 9 + 11
+    total_pairs = 2 * len(ClientState) * len(ClientOp)
+    assert rejected == total_pairs - legal
+    benchmark.extra_info["legal_edges"] = legal
+    benchmark.extra_info["rejected_edges"] = rejected

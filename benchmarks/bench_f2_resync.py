@@ -1,0 +1,84 @@
+"""F2 — Figure 2: the client program's connect-time resynchronization.
+
+Times each resynchronization branch (fresh connect, reply-in-flight
+Receive, received-but-unprocessed Rereceive, fully-processed continue)
+and asserts each lands where Figure 2 says it must."""
+
+from __future__ import annotations
+
+from repro.core.devices import TicketPrinter
+from repro.core.system import TPSystem
+from repro.sim.trace import TraceRecorder
+
+
+def _base(work=("w1", "w2")):
+    system = TPSystem(trace=TraceRecorder())
+    device = TicketPrinter(trace=system.trace)
+    server = system.server("s", lambda txn, r: {"echo": r.body})
+    return system, device, server, list(work)
+
+
+def branch_a_fresh():
+    system, device, _, work = _base()
+    client = system.client("c1", work, device)
+    return client.resynchronize(), device
+
+
+def branch_b_reply_in_flight():
+    system, device, server, work = _base()
+    first = system.client("c1", work, device)
+    first.resynchronize()
+    first.send_only(1)
+    server.process_one()
+    client = system.client("c1", work, device, receive_timeout=2)
+    return client.resynchronize(), device
+
+
+def branch_c_received_not_processed():
+    system, device, server, work = _base()
+    first = system.client("c1", work, device)
+    first.resynchronize()
+    first.send_only(1)
+    server.process_one()
+    first.clerk.receive(ckpt=device.state(), timeout=2)  # crash before process
+    client = system.client("c1", work, device)
+    return client.resynchronize(), device
+
+
+def branch_d_fully_processed():
+    system, device, server, work = _base()
+    first = system.client("c1", work, device)
+    first.resynchronize()
+    first.send_only(1)
+    server.process_one()
+    reply = first.clerk.receive(ckpt=device.state(), timeout=2)
+    device.process(reply.rid, reply.body)
+    client = system.client("c1", work, device)
+    return client.resynchronize(), device
+
+
+def test_f2_branch_a_fresh_client(benchmark):
+    next_seq, device = benchmark(branch_a_fresh)
+    assert next_seq == 1 and device.printed == []
+    benchmark.extra_info["branch"] = "A: s_rid NIL -> start fresh"
+
+
+def test_f2_branch_b_receive_in_flight(benchmark):
+    next_seq, device = benchmark(branch_b_reply_in_flight)
+    assert next_seq == 2
+    assert len(device.printed) == 1  # processed exactly once in this run
+    benchmark.extra_info["branch"] = "B: s_rid != r_rid -> Receive"
+
+
+def test_f2_branch_c_rereceive(benchmark):
+    next_seq, device = benchmark(branch_c_received_not_processed)
+    assert next_seq == 2
+    assert len(device.printed) == 1
+    benchmark.extra_info["branch"] = "C: s_rid == r_rid, unprocessed -> Rereceive"
+
+
+def test_f2_branch_d_continue(benchmark):
+    next_seq, device = benchmark(branch_d_fully_processed)
+    assert next_seq == 2
+    assert len(device.printed) == 1  # NOT re-printed by the resync
+    benchmark.extra_info["branch"] = "D: processed -> continue with new work"

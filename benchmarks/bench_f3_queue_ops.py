@@ -1,0 +1,123 @@
+"""F3 — Figure 3: the queue operations.
+
+Times every data-manipulation operation (Enqueue, Dequeue, Read,
+Kill_element, Register) in both its transactional and auto-commit
+forms, plus the abort path with the error-queue bound of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.queueing.manager import QueueManager
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+_counter = itertools.count()
+
+
+def make_qm():
+    repo = QueueRepository("bench", MemDisk())
+    qm = QueueManager(repo)
+    qm.create_queue("err")
+    qm.create_queue("q", error_queue="err", max_aborts=3)
+    return repo, qm
+
+
+def test_f3_enqueue_autocommit(benchmark):
+    repo, qm = make_qm()
+    handle, _, _ = qm.register("q", "bench-client")
+
+    def op():
+        qm.enqueue(handle, {"n": next(_counter)}, tag="t")
+
+    benchmark(op)
+    benchmark.extra_info["op"] = "Enqueue (auto-commit, tagged)"
+
+
+def test_f3_enqueue_dequeue_txn_pair(benchmark):
+    repo, qm = make_qm()
+    h_in, _, _ = qm.register("q", "producer")
+    h_out, _, _ = qm.register("q", "consumer", stable=False)
+
+    def op():
+        with repo.tm.transaction() as txn:
+            qm.enqueue(h_in, {"n": next(_counter)}, txn=txn)
+        with repo.tm.transaction() as txn:
+            qm.dequeue(h_out, txn=txn)
+
+    benchmark(op)
+    benchmark.extra_info["op"] = "Enqueue+Dequeue (transactional)"
+
+
+def test_f3_read(benchmark):
+    repo, qm = make_qm()
+    handle, _, _ = qm.register("q", "reader")
+    eid = qm.enqueue(handle, {"static": True})
+    benchmark(lambda: qm.read(handle, eid))
+    benchmark.extra_info["op"] = "Read"
+
+
+def test_f3_kill_element(benchmark):
+    repo, qm = make_qm()
+    handle, _, _ = qm.register("q", "killer")
+
+    def op():
+        eid = qm.enqueue(handle, "victim")
+        assert qm.kill_element(handle, eid)
+
+    benchmark(op)
+    benchmark.extra_info["op"] = "Enqueue+Kill_element"
+
+
+def test_f3_register_reregister(benchmark):
+    repo, qm = make_qm()
+    names = itertools.count()
+
+    def op():
+        name = f"r{next(names)}"
+        qm.register("q", name)
+        qm.register("q", name)  # recovery-style re-register
+
+    benchmark(op)
+    benchmark.extra_info["op"] = "Register + re-Register"
+
+
+def test_f3_abort_path_error_queue(benchmark):
+    """The Section 4.2 termination path: max_aborts dequeue-aborts send
+    the element to the error queue."""
+    repo, qm = make_qm()
+    h, _, _ = qm.register("q", "aborter", stable=False)
+
+    def op():
+        qm.enqueue(h, "poison")
+        for _ in range(3):  # max_aborts=3
+            txn = repo.tm.begin()
+            qm.dequeue(h, txn=txn)
+            repo.tm.abort(txn)
+
+    benchmark(op)
+    err_depth = repo.get_queue("err").depth()
+    assert err_depth >= 1
+    benchmark.extra_info["op"] = "3x dequeue-abort -> error queue"
+    benchmark.extra_info["error_queue_depth"] = err_depth
+
+
+def test_f3_recovery_replay(benchmark):
+    """Restart recovery cost for a queue with 500 surviving elements."""
+    disk = MemDisk()
+    repo = QueueRepository("bench", disk)
+    queue = repo.create_queue("q")
+    with repo.tm.transaction() as txn:
+        for i in range(500):
+            queue.enqueue(txn, i)
+    disk.crash()
+    disk.recover()
+
+    def op():
+        repo2 = QueueRepository("bench", disk)
+        assert repo2.get_queue("q").depth() == 500
+        return repo2
+
+    benchmark(op)
+    benchmark.extra_info["op"] = "restart recovery, 500 elements"

@@ -1,0 +1,67 @@
+"""F4 — Figure 4: the System Model end to end.
+
+Times a full request round trip (client Send -> server transaction ->
+client Receive + process) and the system's request throughput with a
+single server."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.devices import DisplayWithUserIds
+from repro.core.request import Request
+from repro.core.system import TPSystem
+
+_seq = itertools.count(1)
+
+
+def make_round_trip():
+    system = TPSystem()
+    display = DisplayWithUserIds(trace=system.trace)
+    server = system.server("s", lambda txn, r: {"echo": r.body})
+    clerk = system.clerk("c1")
+    clerk.connect()
+
+    def round_trip():
+        seq = next(_seq)
+        rid = f"c1#{seq}"
+        clerk.send(
+            Request(rid=rid, body=seq, client_id="c1",
+                    reply_to=system.reply_queue_name("c1")),
+            rid,
+        )
+        server.process_one()
+        reply = clerk.receive(ckpt=display.state(), timeout=2)
+        display.process(reply.rid, reply.body)
+        return reply
+
+    return round_trip
+
+
+def test_f4_request_round_trip(benchmark):
+    round_trip = make_round_trip()
+    reply = benchmark(round_trip)
+    assert reply.ok
+    benchmark.extra_info["measure"] = "Send -> execute -> Receive -> process"
+
+
+def test_f4_throughput_100_requests(benchmark):
+    def run():
+        system = TPSystem()
+        display = DisplayWithUserIds(trace=system.trace)
+        server = system.server("s", lambda txn, r: r.body)
+        client = system.client("c1", list(range(100)), display, receive_timeout=10)
+        client.resynchronize()
+        seq = 1
+        while seq <= 100:
+            client.send_only(seq)
+            server.process_one()
+            reply = client.clerk.receive(ckpt=None, timeout=2)
+            display.process(reply.rid, reply.body)
+            seq += 1
+        client.clerk.disconnect()
+        system.checker().assert_ok(require_completion=False)
+        return 100
+
+    requests = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["requests_per_round"] = requests

@@ -1,0 +1,135 @@
+"""F7 — Figure 7 / Section 8: interactive requests.
+
+Times the two implementations of a 3-phase order-entry conversation:
+
+* pseudo-conversational (three transactions, Section 8.2), and
+* single transaction with logged replay (Section 8.3), including the
+  abort-and-replay path whose whole point is *not* re-asking the user.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.apps.orders import OrderApp
+from repro.core.interactive import (
+    IntermediateIOLog,
+    LoggedConversation,
+    PseudoConversationalClient,
+    conversational_handler,
+    interactive_handler,
+)
+from repro.core.request import Request
+from repro.core.system import TPSystem
+
+_ids = itertools.count(1)
+
+
+def _orders_system(stock=10_000_000):
+    system = TPSystem()
+    orders = OrderApp(system)
+    orders.stock_items({"widget": (5, stock)})
+    return system, orders
+
+
+def test_f7_pseudo_conversational(benchmark):
+    system, orders = _orders_system()
+    server = system.server("conv", conversational_handler(orders.conversational_step))
+
+    def conversation():
+        client_id = f"pc{next(_ids)}"
+        pc = PseudoConversationalClient(
+            client_id,
+            system.clerk(client_id),
+            ["carol", {"item": "widget", "qty": 1}, {"confirm": True}],
+            trace=system.trace,
+        )
+        phase = pc._resynchronize()
+        while pc.final_reply is None:
+            pc._send_phase(phase)
+            server.process_one()
+            reply = pc._receive_phase()
+            phase = reply.body["phase"] + 1
+        return pc.final_reply
+
+    final = benchmark(conversation)
+    assert final.body["kind"] == "final"
+    benchmark.extra_info["style"] = "pseudo-conversational (3 transactions)"
+
+
+def test_f7_single_transaction_clean(benchmark):
+    system, orders = _orders_system()
+    conversations: dict[str, LoggedConversation] = {}
+
+    def body(txn, request, conversation):
+        return orders.interactive_body(txn, request, conversation)
+
+    server = system.server("one", interactive_handler(conversations, body))
+    clerk = system.clerk("it")
+    clerk.connect()
+
+    def conversation():
+        rid = f"it#{next(_ids)}"
+        conversations[rid] = LoggedConversation(
+            IntermediateIOLog(rid),
+            lambda output: {"item": "widget", "qty": 1, "confirm": True},
+        )
+        clerk.send(
+            Request(rid=rid, body={"customer": "dave"}, client_id="it",
+                    reply_to=system.reply_queue_name("it")),
+            rid,
+        )
+        server.process_one()
+        return clerk.receive(timeout=2)
+
+    reply = benchmark(conversation)
+    assert reply.ok
+    benchmark.extra_info["style"] = "single transaction (no failure)"
+
+
+def test_f7_single_transaction_with_abort_replay(benchmark):
+    """The Section 8.3 selling point: after an abort, the retry replays
+    the logged inputs — the user is never re-asked."""
+    system, orders = _orders_system()
+    conversations: dict[str, LoggedConversation] = {}
+    fail_next = {"flag": True}
+    solicitations = {"n": 0}
+
+    def body(txn, request, conversation):
+        result = orders.interactive_body(txn, request, conversation)
+        if fail_next["flag"]:
+            fail_next["flag"] = False
+            raise RuntimeError("first attempt aborts")
+        return result
+
+    server = system.server("one", interactive_handler(conversations, body))
+    clerk = system.clerk("it2")
+    clerk.connect()
+
+    def source(output):
+        solicitations["n"] += 1
+        return {"item": "widget", "qty": 1, "confirm": True}
+
+    def conversation():
+        rid = f"it2#{next(_ids)}"
+        fail_next["flag"] = True
+        log = IntermediateIOLog(rid)
+        conversations[rid] = LoggedConversation(log, source)
+        clerk.send(
+            Request(rid=rid, body={"customer": "eve"}, client_id="it2",
+                    reply_to=system.reply_queue_name("it2")),
+            rid,
+        )
+        try:
+            server.process_one()
+        except RuntimeError:
+            pass
+        server.process_one()  # retry, replayed from the I/O log
+        reply = clerk.receive(timeout=2)
+        return reply, log
+
+    reply, log = benchmark(conversation)
+    assert reply.ok
+    assert log.replays == 2  # both answers replayed on the retry
+    benchmark.extra_info["style"] = "single transaction, abort + replay"
+    benchmark.extra_info["replayed_inputs_last_round"] = log.replays

@@ -1,0 +1,131 @@
+"""X1 — extension: request scheduling (Section 10's "ignored issue").
+
+Measures the effect of the scheduling policies the paper names:
+
+* "highest dollar amount first" — mean completion position of the
+  high-value requests under FIFO vs value-priority scheduling;
+* elastic server pools — backlog drain time with a fixed single server
+  vs an auto-scaling pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.request import Request
+from repro.core.scheduler import (
+    RequestScheduler,
+    ServerPool,
+    fifo_policy,
+    highest_amount_policy,
+)
+from repro.core.system import TPSystem
+
+AMOUNTS = [10, 5000, 20, 8000, 15, 30, 9000, 25, 40, 7000]
+HIGH = {a for a in AMOUNTS if a >= 5000}
+
+
+def mean_position_of_high_value(policy) -> float:
+    system = TPSystem()
+    scheduler = RequestScheduler(policy)
+    clerk = system.clerk("sched")
+    clerk.connect()
+    for seq, amount in enumerate(AMOUNTS, start=1):
+        request = Request(
+            rid=f"sched#{seq}", body={"amount": amount}, client_id="sched",
+            reply_to=system.reply_queue_name("sched"),
+        )
+        scheduler.send(clerk, request, request.rid)
+    server = system.server("s", lambda txn, r: r.body["amount"])
+    order = []
+    while server.process_one():
+        pass
+    order = [
+        e.detail.get("status") and e.rid for e in system.trace.events("request.executed")
+    ]
+    positions = []
+    for position, rid in enumerate(order):
+        seq = int(rid.split("#")[1])
+        if AMOUNTS[seq - 1] in HIGH:
+            positions.append(position)
+    return sum(positions) / len(positions)
+
+
+def test_x1_fifo_scheduling(benchmark):
+    mean_pos = benchmark.pedantic(
+        lambda: mean_position_of_high_value(fifo_policy()), rounds=3, iterations=1
+    )
+    benchmark.extra_info["policy"] = "FIFO (submission time)"
+    benchmark.extra_info["mean_position_of_high_value"] = round(mean_pos, 2)
+
+
+def test_x1_highest_amount_first(benchmark):
+    mean_pos = benchmark.pedantic(
+        lambda: mean_position_of_high_value(highest_amount_policy()),
+        rounds=3,
+        iterations=1,
+    )
+    # The 4 high-value requests occupy the first 4 positions: mean 1.5.
+    assert mean_pos == 1.5
+    benchmark.extra_info["policy"] = "highest dollar amount first"
+    benchmark.extra_info["mean_position_of_high_value"] = round(mean_pos, 2)
+
+
+def drain_backlog(elastic: bool) -> tuple[float, int]:
+    system = TPSystem()
+    clerk = system.clerk("load")
+    clerk.connect()
+    for seq in range(1, 41):
+        clerk.send(
+            Request(rid=f"load#{seq}", body=seq, client_id="load",
+                    reply_to=system.reply_queue_name("load")),
+            f"load#{seq}",
+        )
+
+    def handler(txn, request):
+        time.sleep(0.003)
+        return request.body
+
+    pool = ServerPool(
+        system, handler,
+        min_servers=1,
+        max_servers=4 if elastic else 1,
+        scale_up_depth=4,
+        poll_timeout=0.004,
+    )
+    queue = system.request_repo.get_queue(system.request_queue)
+    start = time.monotonic()
+    pool.start()
+    try:
+        while queue.depth() + queue.pending() > 0:
+            time.sleep(0.003)
+        elapsed = time.monotonic() - start
+        return elapsed, pool.size()
+    finally:
+        pool.stop()
+
+
+def test_x1_fixed_single_server(benchmark):
+    elapsed, _ = benchmark.pedantic(lambda: drain_backlog(False), rounds=3, iterations=1)
+    benchmark.extra_info["pool"] = "fixed (1 server)"
+    benchmark.extra_info["drain_s"] = round(elapsed, 4)
+
+
+def test_x1_elastic_pool(benchmark):
+    elapsed, peak = benchmark.pedantic(lambda: drain_backlog(True), rounds=3, iterations=1)
+    benchmark.extra_info["pool"] = "elastic (1..4 servers)"
+    benchmark.extra_info["drain_s"] = round(elapsed, 4)
+    benchmark.extra_info["peak_servers"] = peak
+
+
+def test_x1_shape_elastic_drains_faster(benchmark):
+    def compare():
+        fixed, _ = drain_backlog(False)
+        elastic, peak = drain_backlog(True)
+        return fixed, elastic, peak
+
+    fixed, elastic, peak = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert elastic < fixed
+    benchmark.extra_info["fixed_s"] = round(fixed, 4)
+    benchmark.extra_info["elastic_s"] = round(elastic, 4)
+    benchmark.extra_info["speedup"] = round(fixed / elastic, 2)

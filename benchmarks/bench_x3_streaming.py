@@ -1,0 +1,82 @@
+"""X3 — extension: streaming requests and replies (Section 11).
+
+"One could extend the Client Model to support streaming of requests
+and replies, as in the Mercury system."
+
+Measured: total completion time of a 24-request work list against a
+server farm with per-request latency, for stream windows 1 (the base
+one-at-a-time model), 2, and 4.  Predicted shape: completion time drops
+as the window grows (requests overlap service latency) while
+exactly-once and per-slot ordering hold throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.streaming import StreamingClient
+from repro.core.system import TPSystem
+
+WORK = list(range(24))
+SERVICE_MS = 0.002
+SERVERS = 4
+
+
+def run_stream(window: int) -> float:
+    system = TPSystem()
+
+    def handler(txn, request):
+        time.sleep(SERVICE_MS)
+        return {"echo": request.body}
+
+    servers = [system.server(f"s{i}", handler) for i in range(SERVERS)]
+    stop = threading.Event()
+    threads = [
+        threading.Thread(target=s.serve_until, args=(stop.is_set, 0.002), daemon=True)
+        for s in servers
+    ]
+    for t in threads:
+        t.start()
+    stream = StreamingClient(system, "st", WORK, window=window, receive_timeout=10)
+    start = time.monotonic()
+    try:
+        replies = stream.run()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+    elapsed = time.monotonic() - start
+    assert [r.body["echo"] for r in replies] == WORK
+    GuaranteeChecker(system.trace).assert_ok()
+    return elapsed
+
+
+def test_x3_window_1_base_model(benchmark):
+    elapsed = benchmark.pedantic(lambda: run_stream(1), rounds=3, iterations=1)
+    benchmark.extra_info["window"] = 1
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_x3_window_2(benchmark):
+    elapsed = benchmark.pedantic(lambda: run_stream(2), rounds=3, iterations=1)
+    benchmark.extra_info["window"] = 2
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_x3_window_4(benchmark):
+    elapsed = benchmark.pedantic(lambda: run_stream(4), rounds=3, iterations=1)
+    benchmark.extra_info["window"] = 4
+    benchmark.extra_info["elapsed_s"] = round(elapsed, 4)
+
+
+def test_x3_shape_wider_window_finishes_sooner(benchmark):
+    def compare():
+        return run_stream(1), run_stream(4)
+
+    t1, t4 = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert t4 < t1, f"window 4 ({t4:.3f}s) must beat window 1 ({t1:.3f}s)"
+    benchmark.extra_info["window_1_s"] = round(t1, 4)
+    benchmark.extra_info["window_4_s"] = round(t4, 4)
+    benchmark.extra_info["speedup"] = round(t1 / t4, 2)

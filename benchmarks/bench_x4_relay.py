@@ -1,0 +1,104 @@
+"""X4 — extension: store-and-forward relay under partitions (Section 1).
+
+"the server appears to provide a reliable service to the client even if
+the client and server nodes are frequently partitioned by communication
+failures."
+
+Measured: client-side availability (fraction of submissions accepted
+immediately) and end-to-end delivery across a duty cycle where the link
+is down half the time — direct remote enqueue vs local capture + relay.
+Predicted shape: direct submission fails whenever the link is down
+(~50 % availability); the relayed design accepts 100 % and delivers
+everything after healing, at the cost of extra delivery latency.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionedError
+from repro.queueing.relay import StableRelay
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+SUBMISSIONS = 40
+
+
+def _link_schedule(i: int) -> bool:
+    """Deterministic duty cycle: link up for 5 submissions, down for 5."""
+    return (i // 5) % 2 == 0
+
+
+def direct_submission() -> tuple[int, int]:
+    """No local queue: submissions fail while partitioned."""
+    remote = QueueRepository("hq", MemDisk())
+    remote.create_queue("inbox")
+    accepted = rejected = 0
+    inbox = remote.get_queue("inbox")
+    for i in range(SUBMISSIONS):
+        if not _link_schedule(i):
+            rejected += 1  # PartitionedError at submission time
+            continue
+        with remote.tm.transaction() as txn:
+            inbox.enqueue(txn, i)
+        accepted += 1
+    return accepted, rejected
+
+
+def relayed_submission() -> tuple[int, int, int]:
+    """Local capture always succeeds; the relay drains when it can."""
+    local = QueueRepository("branch", MemDisk())
+    remote = QueueRepository("hq", MemDisk())
+    local.create_queue("outbox")
+    remote.create_queue("inbox")
+    state = {"i": 0}
+    relay = StableRelay(
+        local, "outbox", remote, "inbox",
+        link_up=lambda: _link_schedule(state["i"]),
+    )
+    outbox = local.get_queue("outbox")
+    accepted = 0
+    for i in range(SUBMISSIONS):
+        state["i"] = i
+        with local.tm.transaction() as txn:
+            outbox.enqueue(txn, i)
+        accepted += 1
+        relay.pump()  # moves whatever it can while the link is up
+    state["i"] = 0  # link heals for good
+    relay.pump()
+    delivered = remote.get_queue("inbox").depth()
+    return accepted, delivered, relay.duplicates_suppressed
+
+
+def test_x4_direct_submission(benchmark):
+    accepted, rejected = benchmark.pedantic(direct_submission, rounds=3, iterations=1)
+    benchmark.extra_info["design"] = "direct remote enqueue"
+    benchmark.extra_info["availability_pct"] = round(100 * accepted / SUBMISSIONS, 1)
+    benchmark.extra_info["rejected"] = rejected
+
+
+def test_x4_relayed_submission(benchmark):
+    accepted, delivered, dups = benchmark.pedantic(
+        relayed_submission, rounds=3, iterations=1
+    )
+    assert accepted == delivered == SUBMISSIONS
+    benchmark.extra_info["design"] = "local queue + store-and-forward relay"
+    benchmark.extra_info["availability_pct"] = 100.0
+    benchmark.extra_info["delivered"] = delivered
+    benchmark.extra_info["duplicates_suppressed"] = dups
+
+
+def test_x4_shape_relay_masks_partitions(benchmark):
+    def compare():
+        direct_accepted, _ = direct_submission()
+        relay_accepted, delivered, _ = relayed_submission()
+        return direct_accepted, relay_accepted, delivered
+
+    direct_accepted, relay_accepted, delivered = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert direct_accepted == SUBMISSIONS // 2  # 50% duty cycle
+    assert relay_accepted == delivered == SUBMISSIONS
+    benchmark.extra_info["direct_availability_pct"] = round(
+        100 * direct_accepted / SUBMISSIONS, 1
+    )
+    benchmark.extra_info["relayed_availability_pct"] = 100.0
+    benchmark.extra_info["relayed_delivery"] = f"{delivered}/{SUBMISSIONS}"

@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark corresponds to one experiment of DESIGN.md §4 (ids
+F1–F7 for the paper's figures, C1–C10 for its quantitative prose
+claims) and records its headline numbers in ``benchmark.extra_info`` so
+the ``--benchmark-only`` run prints the same series EXPERIMENTS.md
+reports.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.devices import DisplayWithUserIds
+from repro.core.request import Request
+from repro.core.system import TPSystem
+
+
+def send_request(system: TPSystem, client_id: str, seq: int, body) -> None:
+    """Enqueue one request via a connected clerk (helper for workloads
+    that bypass the full Client loop)."""
+    clerk = system.clerk(client_id)
+    if not clerk.connected:
+        clerk.connect()
+    request = Request(
+        rid=f"{client_id}#{seq}",
+        body=body,
+        client_id=client_id,
+        reply_to=system.reply_queue_name(client_id),
+    )
+    clerk.send(request, request.rid)
+
+
+def run_client_with_servers(system, client, servers, poll=0.005):
+    stop = threading.Event()
+    threads = [
+        threading.Thread(target=s.serve_until, args=(stop.is_set, poll), daemon=True)
+        for s in servers
+    ]
+    for t in threads:
+        t.start()
+    try:
+        return client.run()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+
+
+def display_client(system, client_id, work, receive_timeout=30.0):
+    display = DisplayWithUserIds(trace=system.trace)
+    return system.client(client_id, work, display, receive_timeout=receive_timeout)
+
+
+@pytest.fixture
+def fresh_system():
+    return TPSystem()

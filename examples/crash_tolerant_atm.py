@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A crash-tolerant ATM: exactly-once cash dispensing at EVERY possible
+crash point.
+
+This is the paper's motivating scenario for exactly-once reply
+processing (Section 3): "Exactly-once is important if reply processing
+is not idempotent, e.g., if it involves printing a ticket or dispensing
+cash."  The script enumerates every crash point of a withdraw cycle
+(client send, queue-manager commit, server processing, device
+dispensing) and, for each, crashes there, recovers, resynchronizes, and
+verifies the customer got their money exactly once and the bank's books
+balance.
+
+Run:  python examples/crash_tolerant_atm.py
+"""
+
+import threading
+
+from repro.apps.banking import BankApp
+from repro.core.client import UserCheckpoint
+from repro.core.devices import CashDispenser
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.system import TPSystem
+from repro.sim.harness import crash_every_step
+from repro.sim.trace import TraceRecorder
+
+WITHDRAWALS = [("alice", 60), ("alice", 25)]
+
+
+def withdraw_handler(bank: BankApp):
+    def handler(txn, request):
+        account, amount = request.body["account"], request.body["amount"]
+        bank._adjust(txn, account, -amount)
+        bank._log(txn, request.rid, {"kind": "withdraw", **request.body})
+        return {"amount": amount}
+
+    return handler
+
+
+def scenario(injector):
+    trace = TraceRecorder()
+    system = TPSystem(injector=injector, trace=trace)
+    bank = BankApp(system)
+    bank.open_accounts({"alice": 500})
+    atm = CashDispenser(trace=trace, injector=injector)
+    user_log = UserCheckpoint()
+    scenario.state = {"system": system, "atm": atm, "log": user_log}
+    work = [{"account": a, "amount": m} for a, m in WITHDRAWALS]
+    client = system.client("atm-07", work, atm, receive_timeout=None, user_log=user_log)
+    server = system.server("bank", withdraw_handler(bank))
+    seq = client.resynchronize()
+    while seq <= len(work):
+        client.send_only(seq)
+        server.process_one()
+        reply = client.clerk.receive(ckpt=atm.state(), timeout=1)
+        atm.process(reply.rid, reply.body)
+        seq += 1
+    user_log.mark_done()
+    client.clerk.disconnect()
+    return scenario.state
+
+
+def recover(state):
+    system2 = state["system"].reopen()
+    bank2 = BankApp(system2)
+    work = [{"account": a, "amount": m} for a, m in WITHDRAWALS]
+    client = system2.client(
+        "atm-07", work, state["atm"], receive_timeout=5, user_log=state["log"]
+    )
+    server = system2.server("bank-recovery", withdraw_handler(bank2))
+    done = threading.Event()
+    thread = threading.Thread(
+        target=lambda: server.serve_until(done.is_set, 0.02), daemon=True
+    )
+    thread.start()
+    try:
+        client.run()
+    finally:
+        done.set()
+        thread.join(timeout=10)
+    return system2, bank2
+
+
+def check(state, recovered, plan):
+    system2, bank2 = recovered
+    atm = state["atm"]
+    total = sum(m for _a, m in WITHDRAWALS)
+    assert atm.state() == total, (
+        f"crash at {plan.point}: ATM dispensed {atm.state()}, expected {total}"
+    )
+    assert bank2.balance("alice") == 500 - total
+    GuaranteeChecker(system2.trace).assert_ok()
+    return True
+
+
+def main() -> None:
+    results = crash_every_step(scenario, recover, check)
+    crashed = sum(1 for r in results if r.crashed)
+    print(f"crash points exercised : {crashed}")
+    print(f"runs (incl. crash-free): {len(results)}")
+    print(f"cash dispensed per run : {sum(m for _a, m in WITHDRAWALS)} (exactly once, every time)")
+    print("books balanced and all Section 3 guarantees held on every run")
+
+
+if __name__ == "__main__":
+    main()

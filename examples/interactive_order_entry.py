@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Interactive order entry (Section 8) in both of the paper's styles.
+
+1. Pseudo-conversational (Section 8.2): each intermediate output is a
+   reply, each intermediate input a new request; state rides the
+   IMS-style scratch pad.
+2. Single transaction with logged replay (Section 8.3): the whole
+   conversation is ONE transaction; the first attempt aborts halfway,
+   and the retry replays the customer's answers from the client-side
+   I/O log without asking again.
+
+Run:  python examples/interactive_order_entry.py
+"""
+
+import threading
+
+from repro.apps.orders import OrderApp
+from repro.core.interactive import (
+    IntermediateIOLog,
+    LoggedConversation,
+    PseudoConversationalClient,
+    conversational_handler,
+    interactive_handler,
+)
+from repro.core.request import Request
+from repro.core.system import TPSystem
+
+
+def pseudo_conversational() -> None:
+    print("=== pseudo-conversational (Section 8.2) ===")
+    system = TPSystem()
+    orders = OrderApp(system)
+    orders.stock_items({"widget": (5, 10), "gizmo": (9, 3)})
+
+    server = system.server("conv", conversational_handler(orders.conversational_step))
+    server.start()
+
+    inputs = ["carol", {"item": "widget", "qty": 2}, {"confirm": True}]
+    conversation = PseudoConversationalClient(
+        "carol-terminal", system.clerk("carol-terminal"), inputs, trace=system.trace
+    )
+    final = conversation.run()
+    server.stop()
+
+    for phase, output in enumerate(conversation.outputs):
+        print(f"  phase {phase} output: {output}")
+    print(f"  order placed: {final.body['output']}")
+    print(f"  widget stock now: {orders.stock_of('widget')}")
+
+
+def single_transaction_with_replay() -> None:
+    print("=== single transaction + logged replay (Section 8.3) ===")
+    system = TPSystem()
+    orders = OrderApp(system)
+    orders.stock_items({"gizmo": (9, 5)})
+
+    rid = "dave-terminal#1"
+    io_log = IntermediateIOLog(rid)
+    answers = {"ask-count": 0}
+
+    def customer(output):
+        answers["ask-count"] += 1
+        print(f"  [customer asked] {list(output)[0]}...")
+        if "catalog" in output:
+            return {"item": "gizmo", "qty": 2}
+        return {"confirm": True}
+
+    conversation = LoggedConversation(io_log, customer)
+    attempts = {"n": 0}
+
+    def body(txn, request, conv):
+        attempts["n"] += 1
+        result = orders.interactive_body(txn, request, conv)
+        if attempts["n"] == 1:
+            raise RuntimeError("deadlock! transaction aborts after the dialogue")
+        return result
+
+    server = system.server("one-txn", interactive_handler({rid: conversation}, body))
+    clerk = system.clerk("dave-terminal")
+    clerk.connect()
+    clerk.send(
+        Request(
+            rid=rid,
+            body={"customer": "dave"},
+            client_id="dave-terminal",
+            reply_to=system.reply_queue_name("dave-terminal"),
+        ),
+        rid,
+    )
+
+    try:
+        server.process_one()
+    except RuntimeError as exc:
+        print(f"  first attempt aborted: {exc}")
+    print(f"  stock after abort (untouched): {orders.stock_of('gizmo')}")
+
+    server.process_one()  # retry: inputs replayed from the I/O log
+    reply = clerk.receive(timeout=5)
+    print(f"  retry reply: {reply.body}")
+    print(
+        f"  customer was asked {answers['ask-count']} times "
+        f"(replays: {io_log.replays}, truncations: {io_log.truncations})"
+    )
+    print(f"  stock after commit: {orders.stock_of('gizmo')}")
+
+
+if __name__ == "__main__":
+    pseudo_conversational()
+    print()
+    single_transaction_with_replay()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's request/reply protocol in ~40 lines.
+
+A client submits three requests through a recoverable queue; a server
+processes each one in a transaction; a ticket printer consumes the
+replies exactly once; the Section 3 guarantees are checked at the end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TicketPrinter, TPSystem
+
+
+def main() -> None:
+    # A TP system: one queue repository holding the request queue, its
+    # error queue, and per-client reply queues (Figure 4).
+    system = TPSystem()
+
+    # The server processes each request inside one transaction:
+    # Dequeue -> handler -> Enqueue reply -> commit (Figure 5).
+    def handler(txn, request):
+        return {"shouted": str(request.body).upper()}
+
+    server = system.server("upcase-server", handler)
+    server.start()
+
+    # The client is a fault-tolerant sequential program (Figure 2);
+    # the ticket printer is its testable output device (Section 3).
+    printer = TicketPrinter(trace=system.trace)
+    client = system.client("demo-client", ["hello", "recoverable", "queues"], printer)
+
+    replies = client.run()
+    server.stop()
+
+    for ticket, rid in printer.printed:
+        print(f"ticket #{ticket}  {rid}")
+    for reply in replies:
+        print(f"  {reply.rid}: {reply.body}")
+
+    # The three guarantees of Section 3, checked over the trace:
+    # Request-Reply Matching, Exactly-Once Request-Processing,
+    # At-Least-Once Reply-Processing.
+    system.checker().assert_ok()
+    print("guarantees: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — Recoverable Requests Using Queues.
+
+A full reproduction of Bernstein, Hsu & Mann, *Implementing Recoverable
+Requests Using Queues* (SIGMOD 1990): fault-tolerant request/reply
+protocols built on recoverable queueing, with every substrate (stable
+storage, write-ahead logging, transactions, locking, two-phase commit,
+the queue manager itself) implemented from scratch.
+
+Quickstart::
+
+    from repro import TPSystem, TicketPrinter
+
+    system = TPSystem()
+    device = TicketPrinter(trace=system.trace)
+    server = system.server("s1", lambda txn, req: {"echo": req.body})
+    server.start()
+    client = system.client("c1", ["hello"], device)
+    replies = client.run()
+    server.stop()
+    system.checker().assert_ok()   # the Section 3 guarantees
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-reproduction experiment index.
+"""
+
+from repro.errors import ReproError
+from repro.sim.crash import FaultInjector, CrashPlan
+from repro.sim.harness import crash_every_step
+from repro.sim.trace import TraceRecorder
+from repro.storage.disk import MemDisk, FileDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.manager import TransactionManager, Transaction
+from repro.queueing.manager import QueueManager
+from repro.queueing.repository import QueueRepository
+from repro.core.client import Client, UserCheckpoint
+from repro.core.clerk import Clerk
+from repro.core.devices import TicketPrinter, CashDispenser, DisplayWithUserIds
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.request import Request, Reply, make_rid
+from repro.core.server import Server
+from repro.core.system import TPSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "FaultInjector",
+    "CrashPlan",
+    "crash_every_step",
+    "TraceRecorder",
+    "MemDisk",
+    "FileDisk",
+    "KVStore",
+    "TransactionManager",
+    "Transaction",
+    "QueueManager",
+    "QueueRepository",
+    "Client",
+    "UserCheckpoint",
+    "Clerk",
+    "TicketPrinter",
+    "CashDispenser",
+    "DisplayWithUserIds",
+    "GuaranteeChecker",
+    "Request",
+    "Reply",
+    "make_rid",
+    "Server",
+    "TPSystem",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Realistic application workloads for the examples, tests, and
+benchmarks.
+
+* :mod:`repro.apps.banking` — accounts and funds transfers, including
+  the paper's own Section 6 example: "a funds transfer request may be
+  processed as three separate transactions: debit source bank account,
+  credit target bank account, and log the transfer with a
+  clearinghouse", plus the compensations that cancel it (Section 7).
+* :mod:`repro.apps.orders` — an interactive order-entry conversation
+  (Section 8) in both pseudo-conversational and single-transaction
+  styles.
+* :mod:`repro.apps.inventory` — batch/burst stock updates (Section 1's
+  batch input and burst buffering).
+"""
+
+from repro.apps.banking import BankApp
+from repro.apps.orders import OrderApp
+from repro.apps.inventory import InventoryApp
+
+__all__ = ["BankApp", "OrderApp", "InventoryApp"]

@@ -1,0 +1,194 @@
+"""Banking workload: accounts, transfers, and the Section 6 / Section 7
+funds-transfer multi-transaction request with compensations.
+
+Money invariant: the sum of all account balances plus the clearinghouse
+float is constant across any mix of transfers, aborts, crashes, and
+compensations — tests assert it after every failure scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.applocks import AppLockTable
+from repro.core.multitxn import MultiTransactionPipeline, Stage, StageContext
+from repro.core.request import REPLY_FAILED, Reply, Request
+from repro.core.saga import Saga
+from repro.core.system import TPSystem
+from repro.storage.kvstore import KVStore
+from repro.transaction.manager import Transaction
+
+
+class InsufficientFunds(Exception):
+    """Business failure: the transfer cannot proceed."""
+
+
+class BankApp:
+    """Accounts on the request node's KV store."""
+
+    def __init__(self, system: TPSystem, table_name: str = "accounts"):
+        self.system = system
+        self.accounts: KVStore = system.table(table_name)
+        self.audit: KVStore = system.table(f"{table_name}.audit")
+
+    # ------------------------------------------------------------------
+    # Setup / invariants
+    # ------------------------------------------------------------------
+
+    def open_accounts(self, balances: dict[str, int]) -> None:
+        with self.system.request_repo.tm.transaction() as txn:
+            for account, balance in balances.items():
+                self.accounts.put(txn, f"acct/{account}", balance)
+
+    def balance(self, account: str) -> int:
+        with self.system.request_repo.tm.transaction() as txn:
+            value = self.accounts.get(txn, f"acct/{account}")
+        if value is None:
+            raise KeyError(f"no account {account!r}")
+        return value
+
+    def total_money(self) -> int:
+        """Sum over all accounts + clearinghouse float (conserved)."""
+        with self.system.request_repo.tm.transaction() as txn:
+            total = sum(v for k, v in self.accounts.scan(txn, prefix="acct/"))
+            total += self.accounts.get(txn, "clearinghouse/float", default=0)
+        return total
+
+    def audit_entries(self, rid: str | None = None) -> list[dict[str, Any]]:
+        with self.system.request_repo.tm.transaction() as txn:
+            entries = [v for _k, v in self.audit.scan(txn, prefix="log/")]
+        if rid is not None:
+            entries = [e for e in entries if e.get("rid") == rid]
+        return entries
+
+    # ------------------------------------------------------------------
+    # Primitive moves
+    # ------------------------------------------------------------------
+
+    def _adjust(self, txn: Transaction, account: str, delta: int) -> int:
+        key = f"acct/{account}"
+        balance = self.accounts.get(txn, key)
+        if balance is None:
+            raise KeyError(f"no account {account!r}")
+        new_balance = balance + delta
+        if new_balance < 0:
+            raise InsufficientFunds(
+                f"account {account!r} has {balance}, cannot apply {delta}"
+            )
+        self.accounts.put(txn, key, new_balance)
+        return new_balance
+
+    def _log(self, txn: Transaction, rid: str, record: dict[str, Any]) -> None:
+        self.audit.put(txn, f"log/{rid}", {"rid": rid, **record})
+
+    # ------------------------------------------------------------------
+    # Single-transaction transfer (the Figure 5 baseline)
+    # ------------------------------------------------------------------
+
+    def transfer_handler(self, txn: Transaction, request: Request) -> Any:
+        """One transaction: debit, credit, audit — or a failed reply."""
+        body = request.body
+        try:
+            self._adjust(txn, body["from"], -body["amount"])
+            self._adjust(txn, body["to"], +body["amount"])
+        except InsufficientFunds as exc:
+            # Exactly-once unsuccessful attempt: commit a failure reply.
+            return Reply(rid=request.rid, body={"error": str(exc)}, status=REPLY_FAILED)
+        self._log(txn, request.rid, {"kind": "transfer", **body})
+        return {"transferred": body["amount"], "from": body["from"], "to": body["to"]}
+
+    # ------------------------------------------------------------------
+    # Multi-transaction transfer (Section 6's three transactions)
+    # ------------------------------------------------------------------
+
+    def transfer_pipeline(
+        self,
+        name: str = "xfer",
+        *,
+        inherit_locks: bool = False,
+        lock_table: AppLockTable | None = None,
+    ) -> MultiTransactionPipeline:
+        """debit source → credit target → log with clearinghouse."""
+        app = self
+
+        def debit(txn: Transaction, request: Request, ctx: StageContext) -> Any:
+            body = request.body
+            if lock_table is not None:
+                ctx.app_lock(txn, f"acct/{body['from']}")
+                ctx.app_lock(txn, f"acct/{body['to']}")
+            app._adjust(txn, body["from"], -body["amount"])
+            ctx.scratch["debited"] = body["amount"]
+            return body
+
+        def credit(txn: Transaction, request: Request, ctx: StageContext) -> Any:
+            body = request.body
+            app._adjust(txn, body["to"], +body["amount"])
+            ctx.scratch["credited"] = body["amount"]
+            return body
+
+        def clearinghouse(txn: Transaction, request: Request, ctx: StageContext) -> Any:
+            body = request.body
+            app._log(
+                txn,
+                request.rid,
+                {"kind": "transfer", "scratch": dict(ctx.scratch), **body},
+            )
+            return {
+                "transferred": body["amount"],
+                "from": body["from"],
+                "to": body["to"],
+                "via": "multi-transaction",
+            }
+
+        return MultiTransactionPipeline(
+            self.system,
+            name,
+            [Stage("debit", debit), Stage("credit", credit), Stage("log", clearinghouse)],
+            inherit_locks=inherit_locks,
+            lock_table=lock_table,
+        )
+
+    def transfer_saga(self, pipeline: MultiTransactionPipeline) -> Saga:
+        """Compensations for the three stages (Section 7): credit the
+        source back, debit the target back, mark the audit entry void."""
+        app = self
+
+        def lookup_body(txn: Transaction, rid: str) -> dict[str, Any] | None:
+            return app.audit.get(txn, f"req/{rid}")
+
+        # Stage handlers must remember the request body so compensations
+        # can find it; wrap stage 0 to record it.
+        original_debit = pipeline.stages[0].handler
+
+        def remembering_debit(txn: Transaction, request: Request, ctx: StageContext):
+            app.audit.put(txn, f"req/{request.rid}", dict(request.body))
+            return original_debit(txn, request, ctx)
+
+        pipeline.stages[0] = Stage("debit", remembering_debit)
+
+        def comp_debit(txn: Transaction, rid: str) -> None:
+            body = lookup_body(txn, rid)
+            if body is not None:
+                app._adjust(txn, body["from"], +body["amount"])
+
+        def comp_credit(txn: Transaction, rid: str) -> None:
+            body = lookup_body(txn, rid)
+            if body is not None:
+                app._adjust(txn, body["to"], -body["amount"])
+
+        def comp_log(txn: Transaction, rid: str) -> None:
+            entry = app.audit.get(txn, f"log/{rid}")
+            if entry is not None:
+                app.audit.put(txn, f"log/{rid}", {**entry, "void": True})
+
+        return Saga(pipeline, [comp_debit, comp_credit, comp_log])
+
+    # ------------------------------------------------------------------
+    # Workload generators
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def transfer_work(
+        pairs: list[tuple[str, str, int]]
+    ) -> list[dict[str, Any]]:
+        return [{"from": s, "to": t, "amount": a} for (s, t, a) in pairs]

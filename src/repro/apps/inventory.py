@@ -1,0 +1,91 @@
+"""Inventory workload: batch input and burst buffering (Section 1).
+
+"Queues facilitate *batch input* of requests.  Requests can be captured
+reliably in a queue, and processed later in a batch.  ...  Moreover,
+queues provide a buffer that mitigates the effects of bursts of
+requests."
+
+:class:`InventoryApp` provides a stock-update handler plus workload
+generators: a steady trickle, a burst, and a batch file; benchmark C3
+measures queue depth over time and capture-vs-completion latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.request import Request
+from repro.core.system import TPSystem
+from repro.storage.kvstore import KVStore
+from repro.transaction.manager import Transaction
+
+
+class InventoryApp:
+    """SKU quantities on the request node."""
+
+    def __init__(self, system: TPSystem, table_name: str = "inventory"):
+        self.system = system
+        self.store: KVStore = system.table(table_name)
+
+    def stock(self, quantities: dict[str, int]) -> None:
+        with self.system.request_repo.tm.transaction() as txn:
+            for sku, quantity in quantities.items():
+                self.store.put(txn, f"sku/{sku}", quantity)
+
+    def quantity(self, sku: str) -> int:
+        with self.system.request_repo.tm.transaction() as txn:
+            return self.store.get(txn, f"sku/{sku}", default=0)
+
+    def total_units(self) -> int:
+        with self.system.request_repo.tm.transaction() as txn:
+            return sum(v for _k, v in self.store.scan(txn, prefix="sku/"))
+
+    # ------------------------------------------------------------------
+    # Handler
+    # ------------------------------------------------------------------
+
+    def update_handler(self, txn: Transaction, request: Request) -> Any:
+        """Apply one stock delta; negative stock floors at zero with the
+        shortfall reported (receipts and shipments)."""
+        body = request.body
+        key = f"sku/{body['sku']}"
+        current = self.store.get(txn, key, default=0)
+        new_quantity = current + body["delta"]
+        shortfall = 0
+        if new_quantity < 0:
+            shortfall = -new_quantity
+            new_quantity = 0
+        self.store.put(txn, key, new_quantity)
+        return {"sku": body["sku"], "qty": new_quantity, "shortfall": shortfall}
+
+    # ------------------------------------------------------------------
+    # Workload generators
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def steady_work(n: int, skus: list[str], seed: int = 1) -> list[dict[str, Any]]:
+        rng = random.Random(seed)
+        return [
+            {"sku": rng.choice(skus), "delta": rng.randint(-3, 5)} for _ in range(n)
+        ]
+
+    @staticmethod
+    def burst_work(
+        bursts: int, burst_size: int, skus: list[str], seed: int = 2
+    ) -> list[list[dict[str, Any]]]:
+        """A list of bursts, each a list of updates arriving 'at once'."""
+        rng = random.Random(seed)
+        return [
+            [
+                {"sku": rng.choice(skus), "delta": rng.randint(-3, 5)}
+                for _ in range(burst_size)
+            ]
+            for _ in range(bursts)
+        ]
+
+    @staticmethod
+    def batch_file(n: int, skus: list[str], seed: int = 3) -> list[dict[str, Any]]:
+        """An end-of-day batch: receipts only (a warehouse intake file)."""
+        rng = random.Random(seed)
+        return [{"sku": rng.choice(skus), "delta": rng.randint(1, 10)} for _ in range(n)]

@@ -1,0 +1,136 @@
+"""Interactive order entry (Section 8 workload).
+
+The conversation, in three phases:
+
+0. customer identifies themselves → output: greeting + catalog;
+1. customer picks item and quantity → output: a price quote
+   (reserving stock);
+2. customer confirms → final output: order placed, stock decremented.
+
+Provided in both of Section 8's styles: a pseudo-conversational step
+function (each phase a transaction) and a single-transaction body that
+solicits the same inputs through a
+:class:`~repro.core.interactive.LoggedConversation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.interactive import LoggedConversation
+from repro.core.request import Request
+from repro.core.system import TPSystem
+from repro.storage.kvstore import KVStore
+from repro.transaction.manager import Transaction
+
+
+class OrderApp:
+    """Catalog + stock + orders on the request node."""
+
+    def __init__(self, system: TPSystem, table_name: str = "orders"):
+        self.system = system
+        self.store: KVStore = system.table(table_name)
+
+    def stock_items(self, stock: dict[str, tuple[int, int]]) -> None:
+        """``stock[item] = (price, quantity)``."""
+        with self.system.request_repo.tm.transaction() as txn:
+            for item, (price, quantity) in stock.items():
+                self.store.put(txn, f"item/{item}", {"price": price, "qty": quantity})
+
+    def stock_of(self, item: str) -> int:
+        with self.system.request_repo.tm.transaction() as txn:
+            record = self.store.get(txn, f"item/{item}")
+        return 0 if record is None else record["qty"]
+
+    def orders_for(self, customer: str) -> list[dict[str, Any]]:
+        with self.system.request_repo.tm.transaction() as txn:
+            return [
+                v
+                for k, v in self.store.scan(txn, prefix="order/")
+                if v.get("customer") == customer
+            ]
+
+    # ------------------------------------------------------------------
+    # Shared per-phase logic
+    # ------------------------------------------------------------------
+
+    def _catalog(self, txn: Transaction) -> dict[str, int]:
+        return {
+            key.split("/", 1)[1]: value["price"]
+            for key, value in self.store.scan(txn, prefix="item/")
+        }
+
+    def _quote(self, txn: Transaction, item: str, quantity: int) -> dict[str, Any]:
+        record = self.store.get(txn, f"item/{item}")
+        if record is None:
+            return {"error": f"unknown item {item!r}"}
+        if record["qty"] < quantity:
+            return {"error": f"only {record['qty']} of {item!r} in stock"}
+        return {"item": item, "qty": quantity, "total": record["price"] * quantity}
+
+    def _place(
+        self, txn: Transaction, rid: str, customer: str, item: str, quantity: int
+    ) -> dict[str, Any]:
+        record = self.store.get(txn, f"item/{item}")
+        if record is None or record["qty"] < quantity:
+            return {"error": "out of stock at confirmation time"}
+        self.store.put(
+            txn, f"item/{item}", {**record, "qty": record["qty"] - quantity}
+        )
+        order = {
+            "rid": rid,
+            "customer": customer,
+            "item": item,
+            "qty": quantity,
+            "total": record["price"] * quantity,
+        }
+        self.store.put(txn, f"order/{rid}", order)
+        return order
+
+    # ------------------------------------------------------------------
+    # Pseudo-conversational step function (Section 8.2)
+    # ------------------------------------------------------------------
+
+    def conversational_step(
+        self, txn: Transaction, phase: int, input_value: Any, scratch: dict[str, Any]
+    ) -> tuple[Any, bool]:
+        """For :func:`repro.core.interactive.conversational_handler`.
+        The scratch pad carries customer and selection between the
+        transactions (each phase is its own transaction)."""
+        if phase == 0:
+            scratch["customer"] = input_value
+            return {"greeting": f"hello {input_value}", "catalog": self._catalog(txn)}, False
+        if phase == 1:
+            scratch["item"] = input_value["item"]
+            scratch["qty"] = input_value["qty"]
+            return self._quote(txn, input_value["item"], input_value["qty"]), False
+        if phase == 2:
+            if not input_value.get("confirm"):
+                return {"cancelled": True}, True
+            rid = scratch.get("rid", f"order-{scratch['customer']}")
+            return (
+                self._place(txn, rid, scratch["customer"], scratch["item"], scratch["qty"]),
+                True,
+            )
+        raise ValueError(f"conversation has no phase {phase}")
+
+    # ------------------------------------------------------------------
+    # Single-transaction interactive body (Section 8.3)
+    # ------------------------------------------------------------------
+
+    def interactive_body(
+        self, txn: Transaction, request: Request, conversation: LoggedConversation
+    ) -> dict[str, Any]:
+        """The whole order as ONE transaction soliciting inputs via the
+        logged conversation."""
+        customer = request.body["customer"]
+        selection = conversation.ask(
+            {"greeting": f"hello {customer}", "catalog": self._catalog(txn)}
+        )
+        quote = self._quote(txn, selection["item"], selection["qty"])
+        confirmation = conversation.ask(quote)
+        if "error" in quote or not confirmation.get("confirm"):
+            return {"cancelled": True}
+        return self._place(
+            txn, request.rid, customer, selection["item"], selection["qty"]
+        )

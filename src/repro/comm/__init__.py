@@ -1,0 +1,20 @@
+"""Communication substrate: a lossy, partitionable message network and
+an RPC layer over it.
+
+The paper's protocols assume only that the clerk can invoke queue
+operations remotely ("we assume that the clerk invokes QM operations
+using remote procedure call [Birrell and Nelson 84]") and that
+messages may be lost — indeed losing a request or reply in transit is
+the opening failure scenario of Section 2.  This package provides:
+
+* :class:`~repro.comm.network.SimNetwork` — named endpoints, seeded
+  random message loss, duplication, and partitions, with message
+  counters used by benchmark C8 (RPC vs one-way Send vs Transceive).
+* :class:`~repro.comm.rpc.RpcChannel` — request/response calls (two
+  messages) and one-way posts (one message) over the network.
+"""
+
+from repro.comm.network import SimNetwork, NetworkStats
+from repro.comm.rpc import RpcChannel, OneWayTransport
+
+__all__ = ["SimNetwork", "NetworkStats", "RpcChannel", "OneWayTransport"]

@@ -1,0 +1,149 @@
+"""A deterministic lossy network.
+
+Endpoints are named; a message is a Python callable delivered to an
+endpoint's handler (this is a simulation substrate, not a wire
+protocol).  Failures are seeded-random and therefore reproducible:
+
+* **loss** — each message is dropped with probability ``loss_rate``;
+* **duplication** — delivered twice with probability ``dup_rate``
+  (exercises the idempotence side of the protocols);
+* **partitions** — endpoints in different partition groups cannot
+  exchange messages at all (Section 1's "client and server nodes are
+  frequently partitioned by communication failures").
+
+Delivery is synchronous by default (the caller's thread runs the
+handler), which keeps single-threaded tests deterministic; a
+``mailbox`` mode queues messages for explicit pumping, letting tests
+interleave delivery with crashes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import MessageLost, PartitionedError
+
+
+@dataclass
+class NetworkStats:
+    """Counters for benchmark C8."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    blocked_by_partition: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "duplicated": self.duplicated,
+            "blocked_by_partition": self.blocked_by_partition,
+        }
+
+
+@dataclass
+class _Endpoint:
+    name: str
+    handler: Callable[[Any], Any]
+    mailbox: deque = field(default_factory=deque)
+    buffered: bool = False
+
+
+class SimNetwork:
+    """Named endpoints with seeded failures."""
+
+    def __init__(self, seed: int = 0, loss_rate: float = 0.0, dup_rate: float = 0.0):
+        self._rng = random.Random(seed)
+        self.loss_rate = loss_rate
+        self.dup_rate = dup_rate
+        self._endpoints: dict[str, _Endpoint] = {}
+        #: endpoint -> partition group id; endpoints can talk iff equal
+        self._partition: dict[str, int] = {}
+        self._mutex = threading.Lock()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def register(
+        self, name: str, handler: Callable[[Any], Any], buffered: bool = False
+    ) -> None:
+        """Attach an endpoint.  ``buffered`` endpoints queue messages
+        for :meth:`pump` instead of handling them inline."""
+        with self._mutex:
+            self._endpoints[name] = _Endpoint(name, handler, buffered=buffered)
+            self._partition.setdefault(name, 0)
+
+    def partition(self, groups: list[list[str]]) -> None:
+        """Split the network: endpoints in different groups cannot
+        communicate.  Unlisted endpoints join group 0."""
+        with self._mutex:
+            for name in self._partition:
+                self._partition[name] = 0
+            for group_id, members in enumerate(groups):
+                for name in members:
+                    self._partition[name] = group_id
+
+    def heal(self) -> None:
+        """End all partitions."""
+        with self._mutex:
+            for name in self._partition:
+                self._partition[name] = 0
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, *, reliable: bool = False) -> None:
+        """Send one message.  Raises :class:`PartitionedError` when the
+        endpoints cannot reach each other; silently drops on simulated
+        loss unless ``reliable`` (loss then raises
+        :class:`MessageLost` so RPC layers can retry)."""
+        with self._mutex:
+            endpoint = self._endpoints.get(dst)
+            if endpoint is None:
+                raise PartitionedError(f"no endpoint {dst!r}")
+            if self._partition.get(src, 0) != self._partition.get(dst, 0):
+                self.stats.blocked_by_partition += 1
+                raise PartitionedError(f"{src!r} and {dst!r} are partitioned")
+            self.stats.sent += 1
+            drop = self._rng.random() < self.loss_rate
+            dup = self._rng.random() < self.dup_rate
+        if drop:
+            self.stats.lost += 1
+            if reliable:
+                raise MessageLost(f"message {src!r} -> {dst!r} lost")
+            return
+        self._deliver(endpoint, payload)
+        if dup:
+            self.stats.duplicated += 1
+            self._deliver(endpoint, payload)
+
+    def _deliver(self, endpoint: _Endpoint, payload: Any) -> None:
+        self.stats.delivered += 1
+        if endpoint.buffered:
+            endpoint.mailbox.append(payload)
+        else:
+            endpoint.handler(payload)
+
+    def pump(self, name: str, limit: int | None = None) -> int:
+        """Deliver queued messages of a buffered endpoint; returns how
+        many were handled."""
+        endpoint = self._endpoints[name]
+        handled = 0
+        while endpoint.mailbox and (limit is None or handled < limit):
+            payload = endpoint.mailbox.popleft()
+            endpoint.handler(payload)
+            handled += 1
+        return handled
+
+    def pending(self, name: str) -> int:
+        return len(self._endpoints[name].mailbox)

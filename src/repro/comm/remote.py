@@ -1,0 +1,96 @@
+"""A remote queue-manager proxy — Section 5's deployment assumption.
+
+"If the QM is remote from the client, then we assume that the clerk
+invokes QM operations using remote procedure call [Birrell and
+Nelson 84]."
+
+:class:`RemoteQueueManager` exposes the :class:`~repro.queueing.manager.
+QueueManager` surface the clerk uses, forwarding each operation over an
+:class:`~repro.comm.rpc.RpcChannel`.  The transport is at-least-once
+(lost messages are retried), so duplicate *deliveries* of an operation
+are possible; the queue manager absorbs them:
+
+* **Register** is naturally idempotent (re-register returns the same
+  state);
+* **tagged Enqueue** is deduplicated by the registration's last tag
+  (rids are unique, so an equal tag is the same logical Send);
+* **Dequeue** retries can double-dequeue; the clerk's Receive is
+  called once per reply and the blocking dequeue is invoked through a
+  single call whose *response* may be retried — the channel returns the
+  first response and duplicates carry the identical element.
+
+The proxy deliberately only covers the clerk-facing operations; servers
+are co-located with their queues (the paper's back-end assumption).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.comm.rpc import RpcChannel
+from repro.errors import NotRegisteredError
+from repro.queueing.element import Element
+from repro.queueing.manager import QueueHandle, QueueManager
+
+
+class RemoteQueueManager:
+    """Clerk-side stub for a queue manager living across the network.
+
+    Duck-type compatible with :class:`QueueManager` for every operation
+    the clerk performs (register, deregister, enqueue, dequeue, read,
+    kill_element) — a :class:`~repro.core.clerk.Clerk` works unchanged
+    with one of these as its ``request_qm`` / ``reply_qm``.
+    """
+
+    def __init__(self, channel: RpcChannel, qm: QueueManager):
+        self.channel = channel
+        self._qm = qm  # the remote object (held by the far endpoint)
+
+    # The clerk occasionally consults qm.repo for test plumbing; expose
+    # the remote repository reference the same way the real QM does.
+    @property
+    def repo(self):
+        return self._qm.repo
+
+    # -- forwarded operations ------------------------------------------------
+
+    def register(
+        self, qname: str, registrant: str, stable: bool = True, txn=None
+    ) -> tuple[QueueHandle, Any, int | None]:
+        return self.channel.call(
+            lambda: self._qm.register(qname, registrant, stable=stable, txn=txn)
+        )
+
+    def deregister(self, handle: QueueHandle, txn=None) -> None:
+        # Absorb the duplicate-delivery case: a retried Deregister whose
+        # first attempt succeeded (response lost) finds the registration
+        # already gone — for a destroy operation that IS success.
+        def destroy():
+            try:
+                self._qm.deregister(handle, txn=txn)
+            except NotRegisteredError:
+                pass
+
+        return self.channel.call(destroy)
+
+    def enqueue(self, handle: QueueHandle, body: Any, tag: Any = None, **kwargs) -> int:
+        return self.channel.call(
+            lambda: self._qm.enqueue(handle, body, tag=tag, **kwargs)
+        )
+
+    def dequeue(self, handle: QueueHandle, tag: Any = None, **kwargs) -> Element:
+        return self.channel.call(
+            lambda: self._qm.dequeue(handle, tag=tag, **kwargs)
+        )
+
+    def registration_info(self, handle: QueueHandle):
+        return self.channel.call(lambda: self._qm.registration_info(handle))
+
+    def read(self, handle: QueueHandle, eid: int) -> Element:
+        return self.channel.call(lambda: self._qm.read(handle, eid))
+
+    def kill_element(self, handle: QueueHandle, eid: int) -> bool:
+        return self.channel.call(lambda: self._qm.kill_element(handle, eid))
+
+    def depth(self, qname: str) -> int:
+        return self.channel.call(lambda: self._qm.depth(qname))

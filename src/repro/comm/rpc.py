@@ -1,0 +1,123 @@
+"""Remote procedure call and one-way messaging over the simulated
+network.
+
+Benchmark C8 compares Section 5's Send variants by *message count*:
+
+* RPC Send — request message + acknowledgement = 2 messages;
+* one-way Send — 1 message, may be lost ("If the Enqueue fails, the
+  client will time out waiting for its Receive to dequeue the reply and
+  can determine what happened when it reconnects");
+* Transceive — the Send's acknowledgement is the reply itself, saving
+  the explicit ack.
+
+An :class:`RpcChannel` wraps a server-side dispatch function; the
+remote side is addressed by endpoint name.  Calls retry on lost
+messages up to ``max_retries`` (RPC semantics need at-least-once
+transport; the *queue operations* being invoked are what make the end
+result exactly-once — that is the paper's whole point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.comm.network import SimNetwork
+from repro.errors import MessageLost, RpcTimeout
+
+
+class RpcChannel:
+    """Request/response calls between two endpoints."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        local: str,
+        remote: str,
+        max_retries: int = 10,
+    ):
+        self.network = network
+        self.local = local
+        self.remote = remote
+        self.max_retries = max_retries
+        self._response: list[Any] = []
+        network.register(local, self._on_response)
+        self.calls = 0
+        self.retries = 0
+
+    def _on_response(self, payload: Any) -> None:
+        self._response.append(payload)
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Invoke ``fn`` at the remote endpoint and return its result.
+
+        Two messages per successful call (request + response); lost
+        messages are retried — note the retries make the *transport*
+        at-least-once, so ``fn`` itself must be idempotent or, as in
+        the paper, a tagged queue operation whose duplicate is
+        harmless."""
+        self.calls += 1
+        for attempt in range(self.max_retries + 1):
+            self._response.clear()
+            try:
+                self.network.send(
+                    self.local,
+                    self.remote,
+                    ("call", fn, self.local),
+                    reliable=True,
+                )
+            except MessageLost:
+                self.retries += 1
+                continue
+            if self._response:
+                # Duplicated delivery may stack two identical responses;
+                # RPC returns the first.
+                return self._response[0]
+            self.retries += 1
+        raise RpcTimeout(
+            f"no response from {self.remote!r} after {self.max_retries} retries"
+        )
+
+    def post(self, fn: Callable[[], Any]) -> None:
+        """One-way message: fire and forget (1 message, possibly lost)."""
+        try:
+            self.network.send(self.local, self.remote, ("post", fn, self.local))
+        except MessageLost:  # pragma: no cover - send() drops silently
+            pass
+
+
+class RpcServer:
+    """Server-side dispatcher: executes received closures and responds
+    to calls."""
+
+    def __init__(self, network: SimNetwork, name: str):
+        self.network = network
+        self.name = name
+        network.register(name, self._on_message)
+        self.handled = 0
+
+    def _on_message(self, payload: Any) -> None:
+        kind, fn, reply_to = payload
+        self.handled += 1
+        result = fn()
+        if kind == "call":
+            try:
+                self.network.send(self.name, reply_to, result, reliable=True)
+            except MessageLost:
+                # The response is lost; the caller retries the whole call.
+                pass
+
+
+class OneWayTransport:
+    """Adapter giving the clerk a ``post(deliver)`` transport for
+    :meth:`~repro.core.clerk.Clerk.send_oneway` (Section 5)."""
+
+    def __init__(self, network: SimNetwork, local: str, remote: str):
+        self.network = network
+        self.local = local
+        self.remote = remote
+
+    def post(self, deliver: Callable[[], None]) -> None:
+        try:
+            self.network.send(self.local, self.remote, ("post", deliver, self.local))
+        except MessageLost:  # pragma: no cover - send() drops silently
+            pass

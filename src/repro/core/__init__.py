@@ -1,0 +1,47 @@
+"""The paper's contribution: fault-tolerant request/reply processing.
+
+* :mod:`repro.core.request` — requests, replies, rids.
+* :mod:`repro.core.states` — the client state machines of Figure 1
+  (non-interactive) and Figure 7 (interactive).
+* :mod:`repro.core.clerk` — the clerk runtime library of Figure 5:
+  Connect / Disconnect / Send / Receive / Rereceive translated to
+  queue operations, plus Transceive and one-way Send (Section 5).
+* :mod:`repro.core.client` — the client program of Figure 2, including
+  connect-time resynchronization, run as a restartable fault-tolerant
+  sequential program.
+* :mod:`repro.core.server` — the transactional server loop of Figure 5,
+  optionally spanning two repositories via two-phase commit.
+* :mod:`repro.core.system` — the System Model wiring of Figure 4.
+* :mod:`repro.core.guarantees` — trace checkers for the three
+  guarantees of Section 3.
+* :mod:`repro.core.devices` — testable output devices (Section 3).
+* :mod:`repro.core.multitxn` — Section 6 multi-transaction requests.
+* :mod:`repro.core.workflow` — Section 6 fork/join concurrency.
+* :mod:`repro.core.applocks` — Section 6 application-level locks.
+* :mod:`repro.core.cancel` / :mod:`repro.core.saga` — Section 7.
+* :mod:`repro.core.interactive` — Section 8 interactive requests.
+"""
+
+from repro.core.request import Request, Reply, make_rid, rid_sequence
+from repro.core.states import ClientState, ClientStateMachine
+from repro.core.clerk import Clerk
+from repro.core.client import Client, ReplyProcessor
+from repro.core.server import Server
+from repro.core.system import TPSystem
+from repro.core.guarantees import GuaranteeChecker, Violation
+
+__all__ = [
+    "Request",
+    "Reply",
+    "make_rid",
+    "rid_sequence",
+    "ClientState",
+    "ClientStateMachine",
+    "Clerk",
+    "Client",
+    "ReplyProcessor",
+    "Server",
+    "TPSystem",
+    "GuaranteeChecker",
+    "Violation",
+]

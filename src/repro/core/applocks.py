@@ -1,0 +1,93 @@
+"""Application-level locks (Section 6).
+
+"...the application can mimic database system locking by creating a
+persistent database of locks, setting the appropriate locks for each
+database object it accesses, and releasing all of these 'application
+locks' just before the final transaction of the multi-transaction
+request commits.  Unfortunately, the performance of this approach will
+be limited, due to the high overhead of setting locks and the
+coarseness of lock granularity."
+
+:class:`AppLockTable` is that persistent database of locks: a KV table
+mapping resource name → owning rid, plus a per-rid index so release is
+one lookup.  Acquire conflicts abort the acquiring transaction
+(retry-level policy is the caller's); benchmark C5 measures the
+overhead the paper predicts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionAborted
+from repro.storage.kvstore import KVStore
+from repro.transaction.manager import Transaction
+
+
+class AppLockConflict(TransactionAborted):
+    """The resource is application-locked by another request."""
+
+    def __init__(self, resource: str, holder: str, requester: str):
+        Exception.__init__(
+            self,
+            f"application lock on {resource!r} held by request {holder!r}, "
+            f"wanted by {requester!r}",
+        )
+        self.txn_id = None
+        self.reason = "application lock conflict"
+        self.resource = resource
+        self.holder = holder
+        self.requester = requester
+
+
+class AppLockTable:
+    """A persistent database of request-level locks."""
+
+    def __init__(self, table: KVStore):
+        self.table = table
+        #: benchmark counters
+        self.acquires = 0
+        self.conflicts = 0
+        self.releases = 0
+
+    @staticmethod
+    def _lock_key(resource: str) -> str:
+        return f"lock/{resource}"
+
+    @staticmethod
+    def _index_key(rid: str) -> str:
+        return f"held/{rid}"
+
+    def acquire(self, txn: Transaction, rid: str, resource: str) -> None:
+        """Lock ``resource`` for request ``rid`` within ``txn``.
+
+        Idempotent for the same rid.  Raises :class:`AppLockConflict`
+        when another request holds it (the caller's transaction should
+        then abort and the stage retry later)."""
+        self.acquires += 1
+        holder = self.table.get(txn, self._lock_key(resource))
+        if holder == rid:
+            return
+        if holder is not None:
+            self.conflicts += 1
+            raise AppLockConflict(resource, holder, rid)
+        self.table.put(txn, self._lock_key(resource), rid)
+        held = self.table.get(txn, self._index_key(rid), default=[])
+        if resource not in held:
+            self.table.put(txn, self._index_key(rid), list(held) + [resource])
+
+    def holder(self, txn: Transaction, resource: str) -> str | None:
+        return self.table.get(txn, self._lock_key(resource))
+
+    def release_all(self, txn: Transaction, rid: str) -> int:
+        """Release every application lock of ``rid`` — called "just
+        before the final transaction of the multi-transaction request
+        commits".  Returns how many were released."""
+        held = self.table.get(txn, self._index_key(rid), default=[])
+        for resource in held:
+            if self.table.get(txn, self._lock_key(resource)) == rid:
+                self.table.delete(txn, self._lock_key(resource))
+                self.releases += 1
+        self.table.delete(txn, self._index_key(rid))
+        return len(held)
+
+    def held_by(self, txn: Transaction, rid: str) -> list[str]:
+        return list(self.table.get(txn, self._index_key(rid), default=[]))

@@ -1,0 +1,66 @@
+"""Request cancellation — Section 7.
+
+Three levels, all built on the queue operation ``Kill_element``:
+
+1. :meth:`~repro.core.clerk.Clerk.cancel_last_request` — the client
+   operation "Cancel-last-request": the clerk invokes Kill_element on
+   the eid of the last request (which it keeps, and which Register
+   returns at recovery).
+2. :class:`RequestCanceller` — cancellation by rid: locate the element
+   in the request queue (or a pipeline's continuation queues) and kill
+   it.  Works only while no transaction has committed for the request.
+3. :class:`~repro.core.saga.Saga` — compensation once a
+   multi-transaction prefix has committed.
+
+:func:`cancel_last_request_after_recovery` reconstructs the
+cancellable eid from the persistent registration, demonstrating
+Section 7's "the clerk should maintain this eid, which is returned by
+each Enqueue operation *and by Register when the client recovers from
+a failure*."
+"""
+
+from __future__ import annotations
+
+from repro.core.clerk import Clerk
+from repro.core.system import TPSystem
+from repro.errors import CancelFailed
+
+
+class RequestCanceller:
+    """Cancel single-transaction requests by rid."""
+
+    def __init__(self, system: TPSystem, queue_names: list[str] | None = None):
+        self.system = system
+        self.queue_names = queue_names or [system.request_queue]
+
+    def cancel(self, rid: str) -> bool:
+        """Kill the request element carrying ``rid``.
+
+        Returns True if cancelled; False if the request is no longer in
+        any queue (a server consumed it — committed — or it never
+        existed).  A request currently held by an *uncommitted*
+        transaction is cancelled by aborting that transaction, per the
+        Kill_element semantics."""
+        repo = self.system.request_repo
+        for qname in self.queue_names:
+            queue = repo.get_queue(qname)
+            # O(1) when the queue indexes "rid" (TPSystem's queues do).
+            for eid in queue.find_by_header("rid", rid):
+                if queue.kill_element(eid):
+                    if self.system.trace is not None:
+                        self.system.trace.record("request.cancelled", rid)
+                    return True
+        return False
+
+
+def cancel_last_request_after_recovery(clerk: Clerk) -> bool:
+    """Recover the last request's eid from the registration and cancel
+    it (the client crashed after Send and wants the request gone).
+
+    The clerk must be freshly connected (Connect repopulates the eid
+    from the stable registration record)."""
+    if clerk.last_request_eid is None:
+        raise CancelFailed(
+            f"client {clerk.client_id!r} has no recorded request to cancel"
+        )
+    return clerk.cancel_last_request()

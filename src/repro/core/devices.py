@@ -1,0 +1,107 @@
+"""Testable output devices (Section 3, after [Pausch 88]).
+
+"Exactly-once is important if reply processing is not idempotent, e.g.,
+if it involves printing a ticket or dispensing cash.  This is easy if
+the output device is *testable*, meaning that the client can read the
+state of the device, such as the next ticket to be printed."
+
+A testable device exposes :meth:`state`, read by the client *before*
+each Receive and passed as the ``ckpt`` parameter; after a failure the
+client compares the device's current state with the ckpt returned by
+Connect — if they differ, the reply was already processed.
+
+:class:`TicketPrinter` and :class:`CashDispenser` are the paper's two
+examples; :class:`DisplayWithUserIds` models the idempotent
+alternative ("the user supplies a unique id for each request ... and
+the user can detect and ignore duplicate replies").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.sim.trace import TraceRecorder
+
+
+class TicketPrinter:
+    """Prints numbered tickets; ``state`` is the next ticket number."""
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        self.next_ticket = 1
+        self.printed: list[tuple[int, str]] = []  # (ticket number, rid)
+        self.trace = trace
+        self.injector = injector if injector is not None else NULL_INJECTOR
+
+    def state(self) -> int:
+        """Testable-device read: the next ticket to be printed."""
+        return self.next_ticket
+
+    def process(self, rid: str, reply_body: Any) -> None:
+        """Print one ticket — atomic and non-idempotent."""
+        self.injector.reach("device.ticket.before_print")
+        ticket = self.next_ticket
+        self.printed.append((ticket, rid))
+        self.next_ticket += 1
+        if self.trace is not None:
+            self.trace.record("reply.processed", rid, ticket=ticket)
+        self.injector.reach("device.ticket.after_print")
+
+    def tickets_for(self, rid: str) -> list[int]:
+        return [t for (t, r) in self.printed if r == rid]
+
+
+class CashDispenser:
+    """Dispenses cash; ``state`` is the cumulative amount dispensed."""
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        self.dispensed_total = 0
+        self.dispensed: list[tuple[str, int]] = []
+        self.trace = trace
+        self.injector = injector if injector is not None else NULL_INJECTOR
+
+    def state(self) -> int:
+        return self.dispensed_total
+
+    def process(self, rid: str, reply_body: Any) -> None:
+        amount = 0
+        if isinstance(reply_body, dict):
+            amount = int(reply_body.get("amount", 0))
+        self.injector.reach("device.cash.before_dispense")
+        self.dispensed.append((rid, amount))
+        self.dispensed_total += amount
+        if self.trace is not None:
+            self.trace.record("reply.processed", rid, amount=amount)
+        self.injector.reach("device.cash.after_dispense")
+
+
+class DisplayWithUserIds:
+    """An idempotent display: shows (rid, reply) pairs; duplicates are
+    detected by the user via the rid and ignored — the paper's
+    at-least-once-is-fine device.  ``state`` is constant, so the client
+    can never prove a reply was processed and will re-process; that is
+    the intended behaviour."""
+
+    def __init__(self, trace: TraceRecorder | None = None):
+        self.shown: list[tuple[str, Any]] = []
+        self.trace = trace
+
+    def state(self) -> int:
+        return 0
+
+    def process(self, rid: str, reply_body: Any) -> None:
+        self.shown.append((rid, reply_body))
+        if self.trace is not None:
+            duplicate = any(r == rid for r, _ in self.shown[:-1])
+            self.trace.record("reply.processed", rid, duplicate=duplicate)
+
+    def distinct_rids(self) -> int:
+        return len({rid for rid, _ in self.shown})

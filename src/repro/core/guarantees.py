@@ -1,0 +1,204 @@
+"""Trace checkers for the three guarantees of Section 3.
+
+Every test and benchmark that injects failures closes with these
+checks over the recorded :class:`~repro.sim.trace.TraceRecorder`:
+
+* **Request-Reply Matching** — each reply the client processed carries
+  the rid of a request that client actually sent, and per client the
+  replies were received in send order (the one-at-a-time protocol).
+* **Exactly-Once Request-Processing** — every sent request has exactly
+  one committed ``request.executed`` event (zero if it was cancelled);
+  aborted attempts (``request.attempt_aborted``) are unbounded in
+  number but never count as processing.
+* **At-Least-Once Reply-Processing** — every executed request's reply
+  was processed (``reply.processed``) one or more times.
+
+The checkers are *completion* checks: run them when the system has
+quiesced (clients finished their work lists, queues drained).  Use
+``require_completion=False`` for mid-flight snapshots, which then only
+reports violations that can never heal (duplicates, mismatches).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class Violation:
+    guarantee: str
+    rid: object
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.guarantee}] rid={self.rid}: {self.message}"
+
+
+class GuaranteeChecker:
+    """Evaluates the Section 3 guarantees over a trace."""
+
+    def __init__(self, trace: TraceRecorder):
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # Exactly-Once Request-Processing
+    # ------------------------------------------------------------------
+
+    def exactly_once(self, require_completion: bool = True) -> list[Violation]:
+        violations: list[Violation] = []
+        sent = set(self.trace.rids("request.sent"))
+        cancelled = set(self.trace.rids("request.cancelled"))
+        executed_counts: dict[object, int] = defaultdict(int)
+        for rid in self.trace.rids("request.executed"):
+            executed_counts[rid] += 1
+        # A durable reply is witness of execution even when the crash hit
+        # between the server's commit and its trace hook: the reply is
+        # enqueued atomically with the execution, so its existence (or
+        # its receipt by the client) proves the request was processed.
+        executed_evidence = (
+            set(executed_counts)
+            | set(self.trace.rids("reply.enqueued"))
+            | set(self.trace.rids("reply.received"))
+        )
+        for rid, count in executed_counts.items():
+            if count > 1:
+                violations.append(
+                    Violation(
+                        "exactly-once",
+                        rid,
+                        f"request executed {count} times (must be exactly 1)",
+                    )
+                )
+            if rid in cancelled:
+                violations.append(
+                    Violation(
+                        "exactly-once",
+                        rid,
+                        "request was both cancelled and executed",
+                    )
+                )
+        if require_completion:
+            for rid in sorted(sent - executed_evidence - cancelled, key=str):
+                violations.append(
+                    Violation(
+                        "exactly-once",
+                        rid,
+                        "request was sent but never executed nor cancelled",
+                    )
+                )
+        return violations
+
+    def exactly_once_stages(self) -> list[Violation]:
+        """Section 6: for a multi-transaction request, every *stage*
+        transaction must also commit exactly once per request."""
+        violations: list[Violation] = []
+        counts: dict[tuple[object, object], int] = defaultdict(int)
+        for event in self.trace.events("request.stage_executed"):
+            counts[(event.rid, event.detail.get("server"))] += 1
+        for (rid, server), count in sorted(counts.items(), key=str):
+            if count > 1:
+                violations.append(
+                    Violation(
+                        "exactly-once-stage",
+                        rid,
+                        f"stage {server!r} executed {count} times for this request",
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------
+    # At-Least-Once Reply-Processing
+    # ------------------------------------------------------------------
+
+    def at_least_once_reply(self, require_completion: bool = True) -> list[Violation]:
+        if not require_completion:
+            return []  # "at least once" can always still heal mid-flight
+        violations: list[Violation] = []
+        executed = (
+            set(self.trace.rids("request.executed"))
+            | set(self.trace.rids("reply.enqueued"))
+            | set(self.trace.rids("reply.received"))
+        )
+        processed = set(self.trace.rids("reply.processed"))
+        for rid in sorted(executed - processed, key=str):
+            violations.append(
+                Violation(
+                    "at-least-once-reply",
+                    rid,
+                    "request executed but its reply was never processed",
+                )
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Request-Reply Matching
+    # ------------------------------------------------------------------
+
+    def request_reply_matching(self) -> list[Violation]:
+        violations: list[Violation] = []
+        sent_by_client: dict[object, list[object]] = defaultdict(list)
+        for event in self.trace.events("request.sent"):
+            client = event.detail.get("client")
+            if event.rid not in sent_by_client[client]:
+                sent_by_client[client].append(event.rid)
+        received_by_client: dict[object, list[object]] = defaultdict(list)
+        for event in self.trace.events("reply.received"):
+            received_by_client[event.detail.get("client")].append(event.rid)
+
+        all_sent = {rid for rids in sent_by_client.values() for rid in rids}
+        for client, received in received_by_client.items():
+            for rid in received:
+                if rid not in all_sent:
+                    violations.append(
+                        Violation(
+                            "request-reply-matching",
+                            rid,
+                            f"client {client!r} received a reply for a request "
+                            "it never sent",
+                        )
+                    )
+            # One-at-a-time ordering: the sequence of *distinct* replies a
+            # client received must be a prefix-respecting subsequence of
+            # its send order (duplicate receives of the same rid are
+            # legal — that is the at-least-once side).
+            distinct: list[object] = []
+            for rid in received:
+                if not distinct or distinct[-1] != rid:
+                    distinct.append(rid)
+            sends = sent_by_client.get(client, [])
+            positions = [sends.index(rid) for rid in distinct if rid in sends]
+            deduped = [p for i, p in enumerate(positions) if i == 0 or p != positions[i - 1]]
+            if deduped != sorted(deduped):
+                violations.append(
+                    Violation(
+                        "request-reply-matching",
+                        None,
+                        f"client {client!r} received replies out of send order: "
+                        f"{distinct}",
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Aggregate
+    # ------------------------------------------------------------------
+
+    def check_all(self, require_completion: bool = True) -> list[Violation]:
+        return (
+            self.exactly_once(require_completion)
+            + self.exactly_once_stages()
+            + self.at_least_once_reply(require_completion)
+            + self.request_reply_matching()
+        )
+
+    def assert_ok(self, require_completion: bool = True) -> None:
+        """Raise AssertionError listing every violation."""
+        violations = self.check_all(require_completion)
+        if violations:
+            summary = "\n".join(str(v) for v in violations)
+            raise AssertionError(
+                f"{len(violations)} guarantee violation(s):\n{summary}"
+            )

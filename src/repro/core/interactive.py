@@ -1,0 +1,286 @@
+"""Interactive requests — Section 8.
+
+Two implementations, as the paper describes:
+
+**Pseudo-conversational transactions** (Section 8.2, after IMS/DC):
+the interactive request maps onto a *serial multi-transaction request*.
+"Each intermediate output is a reply, and each intermediate input is a
+request for the next transaction in the sequence."  Client and server
+use the unchanged Figure 5 machinery; conversation state rides the
+scratch pad, echoed back by the client with each intermediate input
+(IMS's Get-Unique returns "both the element and the scratch pad").
+Every intermediate hop inherits Request-Reply Matching, Exactly-Once,
+and At-Least-Once from the base protocol — but cancellation after the
+first output and request-level serializability are lost (the Section
+8.2 weaknesses; benchmark F7 demonstrates both).
+
+**Single-transaction with logged replay** (Section 8.3): the request
+executes as ONE transaction that solicits intermediate inputs over
+ordinary (non-transactional) messages.  The client logs all
+intermediate I/O labelled with the request; when the transaction aborts
+and the server re-runs it, "as long as the client receives intermediate
+output that is identical to the request's previous incarnation, it can
+re-use the intermediate input that it logged"; on divergence the log is
+truncated and input is solicited afresh.  This variant keeps request
+serializability and allows cancellation until the last input is sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.clerk import Clerk
+from repro.core.request import Reply, Request, make_rid
+from repro.core.states import ClientOp, ClientStateMachine
+from repro.errors import ProtocolViolation
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.sim.trace import TraceRecorder
+from repro.transaction.manager import Transaction
+
+KIND_INTERMEDIATE = "intermediate"
+KIND_FINAL = "final"
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-conversational (Section 8.2)
+# ---------------------------------------------------------------------------
+
+#: step(txn, phase, input_value, scratch) -> (output, done)
+#: ``scratch`` is mutable: updates are carried to the next phase.
+StepFn = Callable[[Transaction, int, Any, dict[str, Any]], tuple[Any, bool]]
+
+
+def conversational_handler(step: StepFn) -> Callable[[Transaction, Request], Any]:
+    """Wrap a per-phase step function as a Figure 5 server handler.
+
+    The request body is ``{"phase": k, "input": v, "scratch": {...}}``;
+    the reply body carries the output, the phase, and the scratch pad
+    for the client to echo back (IMS/DC scratch-pad convention)."""
+
+    def handler(txn: Transaction, request: Request) -> Any:
+        body = request.body
+        phase = body["phase"]
+        scratch = dict(body.get("scratch", {}))
+        output, done = step(txn, phase, body["input"], scratch)
+        return {
+            "kind": KIND_FINAL if done else KIND_INTERMEDIATE,
+            "phase": phase,
+            "output": output,
+            "scratch": scratch,
+        }
+
+    return handler
+
+
+class PseudoConversationalClient:
+    """Client-side driver for a pseudo-conversational request.
+
+    ``inputs[0]`` is the initial input (phase 0); ``inputs[k]`` answers
+    the k-th intermediate output.  Each phase is one Send/Receive pair
+    with its own rid, so the Figure 2 resynchronization applies hop by
+    hop; the phase number in the last reply tells a recovered client
+    where the conversation stands ("each time the client receives an
+    intermediate output, it knows that its previous input ... was
+    reliably captured, and will not need to be re-sent").
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        clerk: Clerk,
+        inputs: list[Any],
+        trace: TraceRecorder | None = None,
+        injector: FaultInjector | None = None,
+        receive_timeout: float | None = 30.0,
+    ):
+        if not inputs:
+            raise ValueError("need at least the initial input")
+        self.client_id = client_id
+        self.clerk = clerk
+        self.inputs = list(inputs)
+        self.trace = trace
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.receive_timeout = receive_timeout
+        self.machine = ClientStateMachine(interactive=True)
+        self.outputs: list[Any] = []
+        self.final_reply: Reply | None = None
+        self._last_reply_body: dict[str, Any] = {}
+
+    def run(self) -> Reply:
+        """Drive the conversation to its final reply, resynchronizing
+        first if this incarnation follows a crash."""
+        phase = self._resynchronize()
+        while self.final_reply is None:
+            if phase >= len(self.inputs):
+                raise ProtocolViolation(
+                    f"conversation still open after {len(self.inputs)} inputs"
+                )
+            self._send_phase(phase)
+            reply = self._receive_phase()
+            phase = reply.body["phase"] + 1
+        return self.final_reply
+
+    # -- protocol steps ---------------------------------------------------
+
+    def _rid(self, phase: int) -> str:
+        return make_rid(self.client_id, phase + 1)
+
+    def _send_phase(self, phase: int, scratch: dict[str, Any] | None = None) -> None:
+        op = ClientOp.SEND if phase == 0 else ClientOp.SEND_INTERMEDIATE
+        if self.machine.state.value in ("connected", "reply_recvd") and phase > 0:
+            # A recovered client re-entering mid-conversation sends its
+            # next intermediate input from the resumed state.
+            op = ClientOp.SEND
+        self.machine.apply(op)
+        body = {
+            "phase": phase,
+            "input": self.inputs[phase],
+            "scratch": scratch if scratch is not None else self._last_scratch(),
+        }
+        request = Request(
+            rid=self._rid(phase),
+            body=body,
+            client_id=self.client_id,
+            reply_to=self.clerk.reply_queue,
+        )
+        self.clerk.send(request, request.rid)
+        self.injector.reach("pseudo.after_send")
+
+    def _receive_phase(self) -> Reply:
+        reply = self.clerk.receive(ckpt=None, timeout=self.receive_timeout)
+        self._note_reply(reply)
+        self.injector.reach("pseudo.after_receive")
+        return reply
+
+    def _note_reply(self, reply: Reply) -> None:
+        if reply.body["kind"] == KIND_FINAL:
+            self.machine.apply(ClientOp.RECEIVE)
+            self.final_reply = reply
+        else:
+            self.machine.apply(ClientOp.RECV_INTERMEDIATE)
+        self._last_reply_body = dict(reply.body)
+        self.outputs.append(reply.body["output"])
+
+    def _last_scratch(self) -> dict[str, Any]:
+        if not self.outputs:
+            return {}
+        return dict(self._last_reply_body.get("scratch", {}))
+
+    def _resynchronize(self) -> int:
+        """Connect and work out the next phase to send."""
+        self.machine.apply(ClientOp.CONNECT)
+        s_rid, r_rid, _ckpt = self.clerk.connect()
+        self.injector.reach("pseudo.after_connect")
+        if s_rid is None:
+            self._last_reply_body = {}
+            return 0
+        if self.trace is not None:
+            # The registration proves this phase's input was durably
+            # sent even if the crash hit before the trace record.
+            self.trace.record("request.sent", s_rid, client=self.client_id, resync=True)
+        if s_rid != r_rid:
+            # An input is in flight; receive its output (possibly again).
+            self.machine.apply(ClientOp.RECEIVE)
+            reply = self.clerk.receive(ckpt=None, timeout=self.receive_timeout)
+            self._last_reply_body = dict(reply.body)
+            if reply.body["kind"] == KIND_FINAL:
+                self.final_reply = reply
+            self.outputs.append(reply.body["output"])
+            return reply.body["phase"] + 1
+        # Reply already received before the crash: re-read it to find the
+        # conversation position (displays are idempotent, Section 3).
+        reply = self.clerk.rereceive()
+        self.machine.apply(ClientOp.RERECEIVE)
+        self._last_reply_body = dict(reply.body)
+        if reply.body["kind"] == KIND_FINAL:
+            self.final_reply = reply
+        self.outputs.append(reply.body["output"])
+        return reply.body["phase"] + 1
+
+
+# ---------------------------------------------------------------------------
+# Single-transaction with logged replay (Section 8.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntermediateIOLog:
+    """Client-side durable log of intermediate I/O for one request.
+
+    "The client logs all intermediate I/O, labeling each log entry with
+    the eid of the request."  The object survives client and server
+    crashes (it models front-end stable storage).
+    """
+
+    rid: str
+    entries: list[tuple[Any, Any]] = field(default_factory=list)  # (output, input)
+    truncations: int = 0
+    fresh_solicitations: int = 0
+    replays: int = 0
+
+
+class LoggedConversation:
+    """Server↔client channel for one single-transaction interactive
+    request, with replay from the client's I/O log.
+
+    The server-side handler calls :meth:`ask` for each intermediate
+    output; on a re-run after an abort, matching outputs are answered
+    from the log without bothering the user."""
+
+    def __init__(
+        self,
+        log: IntermediateIOLog,
+        input_source: Callable[[Any], Any],
+        injector: FaultInjector | None = None,
+    ):
+        self.log = log
+        self.input_source = input_source
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._cursor = 0
+
+    def begin_incarnation(self) -> None:
+        """The server (re)starts the transaction: replay from the top."""
+        self._cursor = 0
+
+    def ask(self, output: Any) -> Any:
+        """Deliver intermediate ``output``; obtain intermediate input.
+
+        Replays logged input while outputs match the previous
+        incarnation; on the first divergence, discards the remaining
+        log and solicits fresh input ("it must discard the remaining
+        logged intermediate input and must calculate or solicit
+        intermediate input from scratch")."""
+        self.injector.reach("interactive.ask")
+        if self._cursor < len(self.log.entries):
+            logged_output, logged_input = self.log.entries[self._cursor]
+            if logged_output == output:
+                self._cursor += 1
+                self.log.replays += 1
+                return logged_input
+            # Divergent incarnation: everything after this point is void.
+            del self.log.entries[self._cursor :]
+            self.log.truncations += 1
+        value = self.input_source(output)
+        self.log.fresh_solicitations += 1
+        self.log.entries.append((output, value))
+        self._cursor = len(self.log.entries)
+        self.injector.reach("interactive.answered")
+        return value
+
+
+def interactive_handler(
+    conversations: dict[str, LoggedConversation],
+    body_fn: Callable[[Transaction, Request, LoggedConversation], Any],
+) -> Callable[[Transaction, Request], Any]:
+    """Build a Figure 5 handler for single-transaction interactive
+    requests: looks up the rid's conversation, resets its replay
+    cursor (each attempt is a fresh incarnation), and runs ``body_fn``
+    which may call ``conversation.ask`` any number of times."""
+
+    def handler(txn: Transaction, request: Request) -> Any:
+        conversation = conversations[request.rid]
+        conversation.begin_incarnation()
+        return body_fn(txn, request, conversation)
+
+    return handler

@@ -1,0 +1,105 @@
+"""Requests, replies, and request ids.
+
+A request (Section 2) is "a data structure (e.g., a record) that
+describes some work that the system should perform".  The client
+attaches a *request id* (rid) to each request (Section 3); rids are the
+spine of the whole protocol: registration tags carry them, replies
+quote them, and the guarantee checkers key on them.
+
+Rid convention: ``"<client_id>#<sequence>"``.  The sequence number lets
+a recovering client *reconstruct its internal state* — it parses the
+last sent rid (returned by Connect) to learn how far through its work
+list it got, which is exactly the paper's "at recovery time it
+determines the last non-idempotent operation it executed ... and
+reconstructs its internal state".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+REPLY_OK = "ok"
+REPLY_FAILED = "failed"
+
+
+def make_rid(client_id: str, sequence: int) -> str:
+    """Build the rid for the ``sequence``-th request of ``client_id``."""
+    if "#" in client_id:
+        raise ValueError(f"client id must not contain '#': {client_id!r}")
+    return f"{client_id}#{sequence}"
+
+
+def rid_sequence(rid: str) -> int:
+    """Recover the sequence number from a rid (client recovery)."""
+    client, sep, seq = rid.rpartition("#")
+    if not sep or not client:
+        raise ValueError(f"malformed rid {rid!r}")
+    return int(seq)
+
+
+def rid_client(rid: str) -> str:
+    client, sep, _seq = rid.rpartition("#")
+    if not sep or not client:
+        raise ValueError(f"malformed rid {rid!r}")
+    return client
+
+
+@dataclass
+class Request:
+    """A request as carried in a queue element body."""
+
+    rid: str
+    body: Any
+    client_id: str
+    #: name of the client's private reply queue (Section 5's
+    #: multiple-clients extension: "passing that queue's name with the
+    #: request, so the server knows where to Enqueue the reply")
+    reply_to: str
+    #: scratch pad (Section 9, IMS/DC): state carried between the
+    #: transactions of a multi-transaction request (Section 6)
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    def to_body(self) -> dict[str, Any]:
+        return {
+            "rid": self.rid,
+            "body": self.body,
+            "client": self.client_id,
+            "reply_to": self.reply_to,
+            "scratch": dict(self.scratch),
+        }
+
+    @classmethod
+    def from_body(cls, body: dict[str, Any]) -> "Request":
+        return cls(
+            rid=body["rid"],
+            body=body["body"],
+            client_id=body["client"],
+            reply_to=body["reply_to"],
+            scratch=dict(body.get("scratch", {})),
+        )
+
+
+@dataclass
+class Reply:
+    """A reply as carried in a queue element body.
+
+    ``status == REPLY_FAILED`` is the paper's "reply that indicates
+    that fact [an unsuccessful attempt]; the reply is a promise that it
+    will not attempt to execute the request any more" — still
+    exactly-once, just unsuccessfully."""
+
+    rid: str
+    body: Any
+    status: str = REPLY_OK
+
+    def to_body(self) -> dict[str, Any]:
+        return {"rid": self.rid, "body": self.body, "status": self.status}
+
+    @classmethod
+    def from_body(cls, body: dict[str, Any]) -> "Reply":
+        return cls(rid=body["rid"], body=body["body"], status=body["status"])
+
+    @property
+    def ok(self) -> bool:
+        return self.status == REPLY_OK

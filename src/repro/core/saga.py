@@ -1,0 +1,139 @@
+"""Compensation for committed multi-transaction prefixes — Section 7.
+
+"With multi-transaction requests, the cancellation request fails once
+the first transaction in the sequence has committed.  Later
+cancellation can still be arranged by supporting compensating
+transactions and sagas [Garcia and Salem 87] ...  one cancels the
+request by compensating for the committed transactions that executed
+on behalf of the request.  This can be done by executing the
+compensations as a serial multi-transaction request."
+
+A :class:`Saga` pairs each pipeline stage with a compensating handler.
+Cancellation reads the pipeline's progress table (which stage
+transactions committed for the rid), kills any still-queued
+continuation element, and runs the compensations in reverse order —
+each compensation is itself a transaction, and each records its own
+completion so a crash mid-compensation resumes instead of
+double-compensating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.multitxn import MultiTransactionPipeline
+from repro.errors import CancelFailed
+from repro.transaction.manager import Transaction
+
+#: compensation handler: (txn, rid) -> None; undoes one stage's effects.
+Compensation = Callable[[Transaction, str], None]
+
+
+@dataclass
+class CancellationOutcome:
+    """What cancelling a request required."""
+
+    rid: str
+    #: the request never started: its queue element was killed
+    killed_in_queue: bool
+    #: stage indexes whose committed effects were compensated (reverse order)
+    compensated_stages: list[int]
+
+    @property
+    def was_noop(self) -> bool:
+        return not self.killed_in_queue and not self.compensated_stages
+
+
+class Saga:
+    """Compensation plan for one pipeline."""
+
+    def __init__(
+        self,
+        pipeline: MultiTransactionPipeline,
+        compensations: list[Compensation],
+    ):
+        if len(compensations) != len(pipeline.stages):
+            raise ValueError(
+                f"need one compensation per stage: "
+                f"{len(pipeline.stages)} stages, {len(compensations)} compensations"
+            )
+        self.pipeline = pipeline
+        self.compensations = list(compensations)
+        #: durable record of which stages have been compensated per rid
+        self.compensation_log = pipeline.system.table(
+            f"{pipeline.name}.compensations"
+        )
+
+    # ------------------------------------------------------------------
+    # Cancellation entry point
+    # ------------------------------------------------------------------
+
+    def cancel(self, rid: str) -> CancellationOutcome:
+        """Cancel request ``rid`` wherever it currently is.
+
+        1. Try Kill_element on the request/continuation element in each
+           pipeline queue (cheapest: nothing committed yet for that
+           hop).
+        2. Compensate, in reverse order, every stage the progress table
+           shows as committed and not yet compensated.
+
+        Raises :class:`CancelFailed` if the request already produced
+        its final reply (stage N committed): the paper's model has no
+        way to claw back a delivered reply — the *user* must initiate a
+        new, explicitly compensating request at that point.
+        """
+        system = self.pipeline.system
+        with system.request_repo.tm.transaction() as txn:
+            done = self.pipeline.completed_stages(txn, rid)
+        if len(done) == len(self.pipeline.stages):
+            raise CancelFailed(
+                f"request {rid!r} already completed all "
+                f"{len(self.pipeline.stages)} stages; its reply is out"
+            )
+
+        killed = self._kill_queued_element(rid)
+        compensated = self._compensate_committed(rid, done)
+        if system.trace is not None:
+            system.trace.record(
+                "request.cancelled",
+                rid,
+                killed=killed,
+                compensated=list(compensated),
+            )
+        return CancellationOutcome(rid, killed, compensated)
+
+    def _kill_queued_element(self, rid: str) -> bool:
+        """Find and kill the rid's element in whichever pipeline queue
+        holds it (request queue or a continuation queue)."""
+        repo = self.pipeline.system.request_repo
+        queue_names = [self.pipeline.system.request_queue] + self.pipeline.queue_names
+        for qname in queue_names:
+            queue = repo.get_queue(qname)
+            for eid in queue.find_by_header("rid", rid):
+                if queue.kill_element(eid):
+                    return True
+        return False
+
+    def _compensate_committed(self, rid: str, done: list[int]) -> list[int]:
+        """Run compensations for committed stages, newest first, each in
+        its own transaction, skipping stages already compensated."""
+        system = self.pipeline.system
+        compensated: list[int] = []
+        for stage_index in sorted(done, reverse=True):
+            key = f"comp/{rid}/{stage_index}"
+            with system.request_repo.tm.transaction() as txn:
+                if self.compensation_log.get(txn, key):
+                    continue  # crash-resume: already compensated
+                self.compensations[stage_index](txn, rid)
+                self.compensation_log.put(txn, key, True)
+            compensated.append(stage_index)
+        return compensated
+
+    def compensated_stages(self, rid: str) -> list[int]:
+        with self.pipeline.system.request_repo.tm.transaction() as txn:
+            out = []
+            for stage_index in range(len(self.pipeline.stages)):
+                if self.compensation_log.get(txn, f"comp/{rid}/{stage_index}"):
+                    out.append(stage_index)
+            return out

@@ -1,0 +1,217 @@
+"""Request scheduling — Section 10.
+
+"In this paper, we ignored the important issue of scheduling requests.
+Requests may be scheduled for the server by priority, request contents
+(highest dollar amount first), submission time, etc.  The server itself
+is subject to scheduling policy, which determines when it should run
+and how many instances (threads) it should run.  The request scheduler
+is a major component of most TP monitors, and usually requires a QM
+with content-based retrieval capability."
+
+Two components:
+
+* :class:`RequestScheduler` — admission-side scheduling: assigns each
+  outgoing request a priority and/or a server class, using the
+  policies the paper names (priority, content — "highest dollar amount
+  first" — and submission time, which is the queue's intrinsic FIFO).
+* :class:`ServerPool` — execution-side scheduling: keeps between
+  ``min_servers`` and ``max_servers`` server threads on a queue,
+  growing when the committed depth crosses ``scale_up_depth`` (wired to
+  the Section 9 alert-threshold feature) and shrinking when drained.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.server import Handler, Server
+from repro.core.system import TPSystem
+from repro.queueing.element import Element
+from repro.queueing.selectors import priority_from
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """How to place one request.
+
+    ``priority_fn`` maps the request body to an integer priority
+    (higher = served first).  ``class_fn`` maps the body to a server
+    class name; requests of different classes can be served by
+    different, class-filtered servers on the same queue (content-based
+    retrieval, Section 10).
+    """
+
+    name: str
+    priority_fn: Callable[[Any], int] | None = None
+    class_fn: Callable[[Any], str] | None = None
+
+
+def fifo_policy() -> SchedulingPolicy:
+    """Submission-time order (the queue's intrinsic order)."""
+    return SchedulingPolicy(name="fifo")
+
+
+def priority_policy(fn: Callable[[Any], int]) -> SchedulingPolicy:
+    return SchedulingPolicy(name="priority", priority_fn=fn)
+
+
+def highest_amount_policy(field: str = "amount") -> SchedulingPolicy:
+    """The paper's example: "highest dollar amount first"."""
+    return SchedulingPolicy(
+        name=f"highest-{field}",
+        priority_fn=lambda body: priority_from(body, field)
+        if isinstance(body, dict)
+        else 0,
+    )
+
+
+def class_policy(fn: Callable[[Any], str]) -> SchedulingPolicy:
+    return SchedulingPolicy(name="class", class_fn=fn)
+
+
+class RequestScheduler:
+    """Admission-side scheduler: wraps a clerk's Send so every request
+    is enqueued with the policy's priority and class header."""
+
+    def __init__(self, policy: SchedulingPolicy):
+        self.policy = policy
+        self.scheduled = 0
+
+    def priority_for(self, body: Any) -> int:
+        if self.policy.priority_fn is None:
+            return 0
+        return int(self.policy.priority_fn(body))
+
+    def class_for(self, body: Any) -> str | None:
+        if self.policy.class_fn is None:
+            return None
+        return self.policy.class_fn(body)
+
+    def send(self, clerk, request, rid: str) -> int:
+        """Send ``request`` through ``clerk`` with scheduling applied."""
+        self.scheduled += 1
+        server_class = self.class_for(request.body)
+        if server_class is not None:
+            request.scratch["server_class"] = server_class
+        return clerk.send(request, rid, priority=self.priority_for(request.body))
+
+    @staticmethod
+    def class_selector(server_class: str) -> Callable[[Element], bool]:
+        """Selector for a server that serves only one class."""
+
+        def select(element: Element) -> bool:
+            body = element.body
+            scratch = body.get("scratch", {}) if isinstance(body, dict) else {}
+            return scratch.get("server_class") == server_class
+
+        return select
+
+
+class ServerPool:
+    """Execution-side scheduler: an elastic pool of identical servers.
+
+    Grows one server (up to ``max_servers``) whenever the queue's
+    committed depth reaches ``scale_up_depth``; shrinks back to
+    ``min_servers`` when the queue has been empty for
+    ``idle_polls`` consecutive polls.  The whole pool dequeues the same
+    queue, so scaling *is* the load sharing of Section 1.
+    """
+
+    def __init__(
+        self,
+        system: TPSystem,
+        handler: Handler,
+        *,
+        name: str = "pool",
+        min_servers: int = 1,
+        max_servers: int = 4,
+        scale_up_depth: int = 8,
+        idle_polls: int = 20,
+        poll_timeout: float = 0.02,
+    ):
+        if not 1 <= min_servers <= max_servers:
+            raise ValueError("need 1 <= min_servers <= max_servers")
+        self.system = system
+        self.handler = handler
+        self.name = name
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.scale_up_depth = scale_up_depth
+        self.idle_polls = idle_polls
+        self.poll_timeout = poll_timeout
+        self._servers: list[Server] = []
+        self._mutex = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._retired_processed = 0
+
+    # -- sizing -----------------------------------------------------------
+
+    def size(self) -> int:
+        with self._mutex:
+            return len(self._servers)
+
+    def _spawn(self) -> None:
+        with self._mutex:
+            index = len(self._servers)
+            if index >= self.max_servers:
+                return
+            server = self.system.server(f"{self.name}-{index}", self.handler)
+            server.start(poll_timeout=self.poll_timeout)
+            self._servers.append(server)
+
+    def _shrink_to_min(self) -> None:
+        with self._mutex:
+            extras = self._servers[self.min_servers :]
+            del self._servers[self.min_servers :]
+        for server in extras:
+            server.stop()
+            self._retired_processed += server.stats.processed
+        if extras:
+            self.scale_downs += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for _ in range(self.min_servers):
+            self._spawn()
+        self._stop.clear()
+        self._monitor = threading.Thread(target=self._watch, daemon=True)
+        self._monitor.start()
+
+    def _watch(self) -> None:
+        queue = self.system.request_repo.get_queue(self.system.request_queue)
+        idle = 0
+        while not self._stop.wait(self.poll_timeout):
+            depth = queue.depth()
+            if depth >= self.scale_up_depth and self.size() < self.max_servers:
+                self._spawn()
+                self.scale_ups += 1
+                idle = 0
+            elif depth == 0:
+                idle += 1
+                if idle >= self.idle_polls and self.size() > self.min_servers:
+                    self._shrink_to_min()
+                    idle = 0
+            else:
+                idle = 0
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        with self._mutex:
+            servers, self._servers = self._servers, []
+        for server in servers:
+            server.stop()
+            self._retired_processed += server.stats.processed
+
+    def total_processed(self) -> int:
+        with self._mutex:
+            servers = list(self._servers)
+        return self._retired_processed + sum(s.stats.processed for s in servers)

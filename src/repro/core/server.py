@@ -1,0 +1,249 @@
+"""The transactional server loop — Figure 5, bottom.
+
+"For each request, the server dequeues the request, processes it, and
+enqueues the reply, all within a transaction."
+
+* An abort (application error, deadlock, crash) returns the request to
+  the queue; the error-queue bound of Section 4.2 guarantees
+  termination for poisoned requests.
+* A handler may also *succeed with a failure reply*
+  (``Reply(status="failed")``): the paper's "unsuccessfully attempting
+  to execute the request, and then returning a reply that indicates
+  that fact" — that is still exactly-once processing.
+* When requests and replies live in different repositories
+  (distributed deployment), the server runs one transaction branch per
+  repository and commits them with two-phase commit — or, per
+  Section 6, the application is restructured as a multi-transaction
+  request to avoid 2PC entirely (benchmark F6 compares both).
+
+Trace events: ``request.executed`` is recorded via a commit hook, so it
+appears iff the processing transaction durably committed —
+exactly what Exactly-Once Request-Processing quantifies over.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.request import REPLY_FAILED, REPLY_OK, Reply, Request
+from repro.errors import DeadlockError, QueueEmpty, TransactionAborted
+from repro.queueing.manager import QueueHandle, QueueManager
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.sim.trace import TraceRecorder
+from repro.transaction.manager import Transaction
+from repro.transaction.twophase import TwoPhaseCoordinator
+
+#: handler(txn, request) -> reply body; raise to abort the attempt.
+Handler = Callable[[Transaction, Request], Any]
+
+
+class ServerStats:
+    """Counters for benchmarks."""
+
+    def __init__(self) -> None:
+        self.processed = 0
+        self.failed_replies = 0
+        self.aborts = 0
+        self.empty_polls = 0
+
+
+class Server:
+    """One server process on a request queue."""
+
+    def __init__(
+        self,
+        name: str,
+        request_qm: QueueManager,
+        request_queue: str,
+        handler: Handler,
+        reply_qm: QueueManager | None = None,
+        coordinator: TwoPhaseCoordinator | None = None,
+        trace: TraceRecorder | None = None,
+        injector: FaultInjector | None = None,
+        selector: Callable[..., bool] | None = None,
+    ):
+        self.name = name
+        self.request_qm = request_qm
+        self.request_queue = request_queue
+        self.handler = handler
+        #: where reply queues live; defaults to the request repository
+        self.reply_qm = reply_qm if reply_qm is not None else request_qm
+        self.coordinator = coordinator
+        self.trace = trace
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.selector = selector
+        self.stats = ServerStats()
+        self._distributed = self.reply_qm.repo is not self.request_qm.repo
+        if self._distributed and coordinator is None:
+            raise ValueError(
+                "request and reply queues live in different repositories; "
+                "a TwoPhaseCoordinator is required"
+            )
+        # Figure 5: Register(req_q, ap_id, FALSE) — servers don't need tags.
+        self._h_in, _, _ = request_qm.register(request_queue, name, stable=False)
+        self._reply_handles: dict[str, QueueHandle] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+
+    def process_one(self, block: bool = False, timeout: float | None = None) -> bool:
+        """Process the next request.  Returns False when the queue had
+        no eligible element.  Aborts propagate the causing exception
+        after the transaction has rolled back (the request is back in
+        the queue or moved to the error queue)."""
+        if self._distributed:
+            return self._process_one_2pc(block, timeout)
+        try:
+            with self.request_qm.repo.tm.transaction() as txn:
+                done = self._attempt(txn, txn, block, timeout)
+        except QueueEmpty:
+            self.stats.empty_polls += 1
+            return False
+        return done
+
+    def _attempt(
+        self,
+        request_txn: Transaction,
+        reply_txn: Transaction,
+        block: bool,
+        timeout: float | None,
+    ) -> bool:
+        element = self.request_qm.dequeue(
+            self._h_in, txn=request_txn, block=block, timeout=timeout,
+            selector=self.selector,
+        )
+        request = Request.from_body(element.body)
+        rid = request.rid
+        self.injector.reach("server.after_dequeue")
+        if self.trace is not None:
+            self.trace.record("request.attempt", rid, server=self.name)
+
+        def record_abort() -> None:
+            self.stats.aborts += 1
+            if self.trace is not None:
+                self.trace.record("request.attempt_aborted", rid, server=self.name)
+
+        request_txn.on_abort(record_abort)
+        # The handler's database work belongs to the REQUEST node's
+        # transaction (application tables live beside the request
+        # queue); only the reply enqueue uses the reply node's branch.
+        reply_body = self.handler(request_txn, request)
+        self.injector.reach("server.after_process")
+        reply = self._as_reply(rid, reply_body)
+        self._enqueue_reply(reply_txn, request, reply)
+        self.injector.reach("server.before_commit")
+
+        def record_commit() -> None:
+            self.stats.processed += 1
+            if reply.status == REPLY_FAILED:
+                self.stats.failed_replies += 1
+            self._trace_commit(rid, reply)
+
+        request_txn.on_commit(record_commit)
+        return True
+
+    def _trace_commit(self, rid: str, reply: Reply) -> None:
+        """Trace hook run when a processing transaction commits.
+        Overridden by pipeline stage servers, whose intermediate
+        commits are stage executions, not request executions."""
+        if self.trace is not None:
+            self.trace.record(
+                "request.executed", rid, server=self.name, status=reply.status
+            )
+            self.trace.record("reply.enqueued", rid, server=self.name)
+
+    @staticmethod
+    def _as_reply(rid: str, reply_body: Any) -> Reply:
+        if isinstance(reply_body, Reply):
+            return Reply(rid=rid, body=reply_body.body, status=reply_body.status)
+        return Reply(rid=rid, body=reply_body, status=REPLY_OK)
+
+    def _enqueue_reply(self, txn: Transaction, request: Request, reply: Reply) -> None:
+        handle = self._reply_handles.get(request.reply_to)
+        if handle is None:
+            handle, _, _ = self.reply_qm.register(
+                request.reply_to, self.name, stable=False
+            )
+            self._reply_handles[request.reply_to] = handle
+        self.reply_qm.enqueue(
+            handle,
+            reply.to_body(),
+            txn=txn,
+            headers={"rid": reply.rid, "corr": request.rid},
+        )
+
+    # ------------------------------------------------------------------
+    # Distributed variant: request repo + reply repo under 2PC
+    # ------------------------------------------------------------------
+
+    def _process_one_2pc(self, block: bool, timeout: float | None) -> bool:
+        request_tm = self.request_qm.repo.tm
+        reply_tm = self.reply_qm.repo.tm
+        request_txn = request_tm.begin()
+        reply_txn = reply_tm.begin()
+        try:
+            self._attempt(request_txn, reply_txn, block, timeout)
+        except QueueEmpty:
+            request_tm.abort(request_txn, "empty")
+            reply_tm.abort(reply_txn, "empty")
+            self.stats.empty_polls += 1
+            return False
+        except BaseException as exc:
+            from repro.errors import SimulatedCrash
+
+            if not isinstance(exc, SimulatedCrash):
+                for tm, txn in ((request_tm, request_txn), (reply_tm, reply_txn)):
+                    if not txn.status.terminal:
+                        tm.abort(txn, "server failure")
+            raise
+        assert self.coordinator is not None
+        decision = self.coordinator.commit(
+            [(request_tm, request_txn), (reply_tm, reply_txn)]
+        )
+        return decision == "commit"
+
+    # ------------------------------------------------------------------
+    # Threaded operation (Figure 5's "While (true)" loop)
+    # ------------------------------------------------------------------
+
+    def serve_until(
+        self,
+        should_stop: Callable[[], bool],
+        poll_timeout: float = 0.05,
+        retry_on: tuple[type[BaseException], ...] = (DeadlockError, TransactionAborted),
+    ) -> int:
+        """Loop: process requests until ``should_stop()``.  Returns how
+        many requests were processed.  ``retry_on`` exceptions abort
+        the attempt and continue (the request went back to the queue)."""
+        processed = 0
+        while not should_stop():
+            try:
+                if self.process_one(block=True, timeout=poll_timeout):
+                    processed += 1
+            except retry_on:
+                continue
+        return processed
+
+    def start(self, poll_timeout: float = 0.05) -> None:
+        """Run the serve loop in a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError(f"server {self.name!r} is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.serve_until,
+            args=(self._stop.is_set, poll_timeout),
+            daemon=True,
+            name=f"server-{self.name}",
+        )
+        self._thread.start()
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=join_timeout)
+        self._thread = None

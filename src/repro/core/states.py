@@ -1,0 +1,114 @@
+"""Client state machines — Figure 1 and Figure 7 made executable.
+
+Figure 1 (non-interactive): Connect branches to ``REQ_SENT`` or
+``REPLY_RECVD`` depending on the rids it returns; Send moves to
+``REQ_SENT``; Receive moves to ``REPLY_RECVD``; Disconnect ends.
+
+Figure 7 (interactive) adds ``INTERMEDIATE_IO``: from ``REQ_SENT`` the
+client may receive an intermediate output (→ ``INTERMEDIATE_IO``),
+send intermediate input (→ ``REQ_SENT``), cycling until the final
+reply arrives (→ ``REPLY_RECVD``).
+
+The machine *enforces* the protocol of Section 3 ("the client offers
+requests one-at-a-time"; each Send implicitly acknowledges the previous
+reply): illegal transitions raise
+:class:`~repro.errors.ProtocolViolation`.  Benchmark F1 drives every
+legal path and asserts every illegal edge is rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProtocolViolation
+
+
+class ClientState(enum.Enum):
+    DISCONNECTED = "disconnected"
+    CONNECTED = "connected"
+    REQ_SENT = "req_sent"
+    INTERMEDIATE_IO = "intermediate_io"
+    REPLY_RECVD = "reply_recvd"
+
+
+class ClientOp(enum.Enum):
+    CONNECT = "connect"
+    DISCONNECT = "disconnect"
+    SEND = "send"
+    RECEIVE = "receive"
+    RERECEIVE = "rereceive"
+    RECV_INTERMEDIATE = "recv_intermediate"
+    SEND_INTERMEDIATE = "send_intermediate"
+
+
+#: (state, op) -> next state.  RECEIVE from REQ_SENT covers both the
+#: normal path and the resynchronization Receive of Figure 2 line 5.
+_NON_INTERACTIVE: dict[tuple[ClientState, ClientOp], ClientState] = {
+    (ClientState.DISCONNECTED, ClientOp.CONNECT): ClientState.CONNECTED,
+    # Figure 1: Connect "branches to Req-Sent or Reply-Recvd depending
+    # on the rids returned" — modelled as explicit resume transitions.
+    (ClientState.CONNECTED, ClientOp.SEND): ClientState.REQ_SENT,
+    (ClientState.CONNECTED, ClientOp.RECEIVE): ClientState.REPLY_RECVD,
+    (ClientState.CONNECTED, ClientOp.RERECEIVE): ClientState.REPLY_RECVD,
+    (ClientState.CONNECTED, ClientOp.DISCONNECT): ClientState.DISCONNECTED,
+    (ClientState.REQ_SENT, ClientOp.RECEIVE): ClientState.REPLY_RECVD,
+    (ClientState.REPLY_RECVD, ClientOp.SEND): ClientState.REQ_SENT,
+    (ClientState.REPLY_RECVD, ClientOp.RERECEIVE): ClientState.REPLY_RECVD,
+    (ClientState.REPLY_RECVD, ClientOp.DISCONNECT): ClientState.DISCONNECTED,
+}
+
+_INTERACTIVE_EXTRA: dict[tuple[ClientState, ClientOp], ClientState] = {
+    (ClientState.REQ_SENT, ClientOp.RECV_INTERMEDIATE): ClientState.INTERMEDIATE_IO,
+    (ClientState.INTERMEDIATE_IO, ClientOp.SEND_INTERMEDIATE): ClientState.REQ_SENT,
+}
+
+
+class ClientStateMachine:
+    """Executable transition system for Figures 1 and 7."""
+
+    def __init__(self, interactive: bool = False):
+        self.interactive = interactive
+        self.state = ClientState.DISCONNECTED
+        self.history: list[tuple[ClientState, ClientOp, ClientState]] = []
+
+    @property
+    def transitions(self) -> dict[tuple[ClientState, ClientOp], ClientState]:
+        table = dict(_NON_INTERACTIVE)
+        if self.interactive:
+            table.update(_INTERACTIVE_EXTRA)
+        return table
+
+    def can(self, op: ClientOp) -> bool:
+        return (self.state, op) in self.transitions
+
+    def apply(self, op: ClientOp) -> ClientState:
+        """Take the transition for ``op``; raise on an illegal edge."""
+        target = self.transitions.get((self.state, op))
+        if target is None:
+            raise ProtocolViolation(
+                f"operation {op.value!r} is illegal in state {self.state.value!r}"
+            )
+        self.history.append((self.state, op, target))
+        self.state = target
+        return target
+
+    def crash(self) -> None:
+        """A client failure: volatile state (including this machine)
+        is lost; the *recovered* machine starts DISCONNECTED and must
+        Connect to resynchronize."""
+        self.state = ClientState.DISCONNECTED
+
+    def legal_ops(self) -> list[ClientOp]:
+        return [op for (state, op) in self.transitions if state is self.state]
+
+    @staticmethod
+    def all_states(interactive: bool = False) -> list[ClientState]:
+        states = [
+            ClientState.DISCONNECTED,
+            ClientState.CONNECTED,
+            ClientState.REQ_SENT,
+            ClientState.REPLY_RECVD,
+        ]
+        if interactive:
+            states.insert(3, ClientState.INTERMEDIATE_IO)
+        return states

@@ -1,0 +1,260 @@
+"""The System Model — Figure 4's wiring.
+
+A :class:`TPSystem` assembles the pieces: a queue repository (or two,
+for the distributed variant), the request queue with its error queue,
+per-client private reply queues (Section 5's multiple-clients
+extension), a shared trace recorder, and factories for clerks, clients,
+and servers.
+
+Crash/restart protocol for tests and benchmarks::
+
+    system = TPSystem(injector=inj)
+    ...                      # SimulatedCrash flies out of protocol code
+    system = system.reopen() # same disks -> restart recovery
+    client = system.client("c1", work, device)
+    client.run()             # Figure 2 resynchronizes automatically
+
+``reopen`` rebuilds every repository from its (crashed, then recovered)
+disk, preserving the trace so guarantee checks span the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.clerk import Clerk
+from repro.core.client import Client, ReplyProcessor, UserCheckpoint
+from repro.core.request import REPLY_FAILED, Reply, Request
+from repro.core.server import Handler, Server
+from repro.core.guarantees import GuaranteeChecker
+from repro.queueing.manager import QueueManager
+from repro.queueing.queue import DequeueMode
+from repro.queueing.repository import QueueRepository
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.sim.trace import TraceRecorder
+from repro.storage.disk import Disk, MemDisk
+from repro.transaction.twophase import TwoPhaseCoordinator
+
+REQUEST_QUEUE = "req.q"
+ERROR_QUEUE = "req.err"
+
+
+class TPSystem:
+    """One assembled TP system (Figure 4)."""
+
+    def __init__(
+        self,
+        request_disk: Disk | None = None,
+        reply_disk: Disk | None = None,
+        injector: FaultInjector | None = None,
+        trace: TraceRecorder | None = None,
+        *,
+        request_queue: str = REQUEST_QUEUE,
+        error_queue: str = ERROR_QUEUE,
+        max_aborts: int = 3,
+        queue_mode: DequeueMode = DequeueMode.SKIP_LOCKED,
+        count_crash_attempts: bool = False,
+        separate_reply_node: bool = False,
+    ):
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.request_queue = request_queue
+        self.error_queue = error_queue
+        self._config = {
+            "max_aborts": max_aborts,
+            "queue_mode": queue_mode,
+            "count_crash_attempts": count_crash_attempts,
+            "separate_reply_node": separate_reply_node,
+        }
+
+        self.request_disk = request_disk if request_disk is not None else MemDisk()
+        self.request_repo = QueueRepository("reqnode", self.request_disk, self.injector)
+        self.request_qm = QueueManager(self.request_repo)
+
+        if separate_reply_node:
+            self.reply_disk: Disk = reply_disk if reply_disk is not None else MemDisk()
+            self.reply_repo = QueueRepository("repnode", self.reply_disk, self.injector)
+            self.reply_qm = QueueManager(self.reply_repo)
+            self.coordinator: TwoPhaseCoordinator | None = TwoPhaseCoordinator(
+                self.request_repo.log, name="server-2pc", injector=self.injector
+            )
+        else:
+            self.reply_disk = self.request_disk
+            self.reply_repo = self.request_repo
+            self.reply_qm = self.request_qm
+            self.coordinator = None
+
+        if request_queue not in self.request_repo.queues:
+            self.request_repo.create_queue(
+                request_queue,
+                error_queue=error_queue,
+                max_aborts=max_aborts,
+                mode=queue_mode,
+                count_crash_attempts=count_crash_attempts,
+                # rid index: cancellation finds a request in O(1)
+                index_headers=("rid",),
+            )
+        if error_queue not in self.request_repo.queues:
+            self.request_repo.create_queue(error_queue)
+
+    # ------------------------------------------------------------------
+    # Reply queues (private per client, Section 5)
+    # ------------------------------------------------------------------
+
+    def reply_queue_name(self, client_id: str) -> str:
+        return f"reply.{client_id}"
+
+    def ensure_reply_queue(self, client_id: str) -> str:
+        name = self.reply_queue_name(client_id)
+        if name not in self.reply_repo.queues:
+            self.reply_repo.create_queue(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def clerk(self, client_id: str) -> Clerk:
+        reply_queue = self.ensure_reply_queue(client_id)
+        return Clerk(
+            client_id,
+            self.request_qm,
+            self.request_queue,
+            self.reply_qm,
+            reply_queue,
+            trace=self.trace,
+            injector=self.injector,
+        )
+
+    def client(
+        self,
+        client_id: str,
+        work: Sequence[Any],
+        processor: ReplyProcessor,
+        receive_timeout: float | None = 30.0,
+        user_log: "UserCheckpoint | None" = None,
+    ) -> Client:
+        return Client(
+            client_id,
+            self.clerk(client_id),
+            processor,
+            work,
+            trace=self.trace,
+            injector=self.injector,
+            receive_timeout=receive_timeout,
+            user_log=user_log,
+        )
+
+    def server(
+        self,
+        name: str,
+        handler: Handler,
+        request_queue: str | None = None,
+        selector: Callable[..., bool] | None = None,
+    ) -> Server:
+        return Server(
+            name,
+            self.request_qm,
+            request_queue or self.request_queue,
+            handler,
+            reply_qm=self.reply_qm,
+            coordinator=self.coordinator,
+            trace=self.trace,
+            injector=self.injector,
+            selector=selector,
+        )
+
+    def error_reply_server(self, name: str = "error-replier") -> Server:
+        """A server on the error queue that turns each dead request into
+        a failure reply — completing the paper's "the reply is a promise
+        that it will not attempt to execute the request any more"."""
+
+        def handler(_txn, request: Request):
+            return Reply(
+                rid=request.rid,
+                body={"error": "request moved to error queue", "request": request.body},
+                status=REPLY_FAILED,
+            )
+
+        return Server(
+            name,
+            self.request_qm,
+            self.error_queue,
+            handler,
+            reply_qm=self.reply_qm,
+            coordinator=self.coordinator,
+            trace=self.trace,
+            injector=self.injector,
+        )
+
+    # ------------------------------------------------------------------
+    # Tables (application state on the request node)
+    # ------------------------------------------------------------------
+
+    def table(self, name: str):
+        return self.request_repo.create_table(name)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def reopen(self, injector: FaultInjector | None = None) -> "TPSystem":
+        """Restart the system on the same disks after a crash.
+
+        Disks left in the crashed state are brought back online first;
+        the trace recorder carries over so guarantee checks span the
+        failure.
+        """
+        for disk in {id(self.request_disk): self.request_disk,
+                     id(self.reply_disk): self.reply_disk}.values():
+            if isinstance(disk, MemDisk) and disk.crashed:
+                disk.recover()
+        return TPSystem(
+            request_disk=self.request_disk,
+            reply_disk=self.reply_disk if self._config["separate_reply_node"] else None,
+            injector=injector,
+            trace=self.trace,
+            request_queue=self.request_queue,
+            error_queue=self.error_queue,
+            max_aborts=self._config["max_aborts"],
+            queue_mode=self._config["queue_mode"],
+            count_crash_attempts=self._config["count_crash_attempts"],
+            separate_reply_node=self._config["separate_reply_node"],
+        )
+
+    def crash(self) -> None:
+        """Crash every node now (used by scenarios that crash between
+        protocol steps rather than via an injector point)."""
+        for disk in (self.request_disk, self.reply_disk):
+            if isinstance(disk, MemDisk) and not disk.crashed:
+                disk.crash()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def checker(self) -> GuaranteeChecker:
+        return GuaranteeChecker(self.trace)
+
+    def drain(
+        self, server: Server, max_requests: int = 10_000
+    ) -> int:
+        """Have ``server`` process until its queue is empty; returns the
+        number processed (test convenience)."""
+        processed = 0
+        while processed < max_requests and server.process_one():
+            processed += 1
+        return processed
+
+    def queue_depths(self) -> dict[str, int]:
+        depths = {
+            name: queue.depth() for name, queue in self.request_repo.queues.items()
+        }
+        if self.reply_repo is not self.request_repo:
+            depths.update(
+                {
+                    f"reply:{name}": queue.depth()
+                    for name, queue in self.reply_repo.queues.items()
+                }
+            )
+        return depths

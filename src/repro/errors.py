@@ -1,0 +1,205 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch the whole family with one handler.  The hierarchy
+mirrors the subsystem layering described in DESIGN.md:
+
+* storage errors (stable storage, write-ahead log, KV store),
+* transaction errors (aborts, deadlocks, commit-protocol failures),
+* queueing errors (Figure 3's operations and their failure modes),
+* simulation errors (injected crashes — these deliberately do *not*
+  derive from :class:`ReproError` so that protocol code cannot
+  accidentally swallow them with a broad ``except ReproError``),
+* client/protocol errors (the Client Model of Section 3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for stable-storage and log errors."""
+
+
+class DiskCrashedError(StorageError):
+    """An operation was attempted on a disk whose node has crashed."""
+
+
+class CorruptRecordError(StorageError):
+    """A log record failed its CRC or framing check.
+
+    During recovery a corrupt record at the *tail* of the log is expected
+    (a torn write at crash time) and is silently treated as end-of-log;
+    a corrupt record in the *middle* of the log raises this error.
+    """
+
+
+class CheckpointError(StorageError):
+    """A checkpoint could not be written or loaded."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-manager errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted; all of its effects have been undone.
+
+    Carries a ``reason`` string so the caller (and the error-queue
+    machinery of Section 4.2) can distinguish deadlock aborts from
+    application aborts from injected-failure aborts.
+    """
+
+    def __init__(self, txn_id: object, reason: str = "aborted"):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionError):
+    """A lock request would create a cycle in the waits-for graph.
+
+    The requesting transaction is chosen as the victim and must abort.
+    """
+
+
+class LockTimeoutError(TransactionError):
+    """A lock request timed out before being granted."""
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was invoked on a transaction in the wrong state,
+    e.g. writing through a committed transaction."""
+
+
+class TwoPhaseCommitError(TransactionError):
+    """The two-phase commit protocol could not reach a decision."""
+
+
+# ---------------------------------------------------------------------------
+# Queueing (Figure 3 operations)
+# ---------------------------------------------------------------------------
+
+
+class QueueError(ReproError):
+    """Base class for queue-manager errors."""
+
+
+class NoSuchQueueError(QueueError):
+    """The named queue does not exist in the repository."""
+
+
+class NoSuchRepositoryError(QueueError):
+    """The named repository is not known to the queue manager."""
+
+
+class QueueExistsError(QueueError):
+    """A queue with this name already exists in the repository."""
+
+
+class QueueStoppedError(QueueError):
+    """The queue exists but has been stopped by data-definition ops."""
+
+
+class QueueEmpty(QueueError):
+    """Dequeue found no eligible element (and was not asked to block)."""
+
+
+class NoSuchElementError(QueueError):
+    """No element with the given eid exists (Read / Kill_element)."""
+
+
+class ElementLockedError(QueueError):
+    """Strict-order dequeue hit an element held by an uncommitted
+    transaction (Section 10's FIFO-vs-concurrency discussion)."""
+
+
+class NotRegisteredError(QueueError):
+    """A tagged operation or handle was used without a registration."""
+
+
+class RegistrationExistsError(QueueError):
+    """Attempt to register a registrant name that is already active
+    with ``fail_if_registered=True``."""
+
+
+class KillFailedError(QueueError):
+    """Kill_element could not delete the element (already consumed by a
+    committed transaction — Section 7)."""
+
+
+# ---------------------------------------------------------------------------
+# Client model (Section 3)
+# ---------------------------------------------------------------------------
+
+
+class ClientError(ReproError):
+    """Base class for Client Model protocol violations."""
+
+
+class NotConnectedError(ClientError):
+    """A client operation other than Connect was invoked while
+    disconnected."""
+
+
+class ProtocolViolation(ClientError):
+    """The client violated the one-request-at-a-time protocol of
+    Section 3 (e.g. Send while a reply is outstanding)."""
+
+
+class CancelFailed(ClientError):
+    """Cancel-last-request could not cancel (Section 7): the request was
+    already consumed by a committed transaction."""
+
+
+# ---------------------------------------------------------------------------
+# Communication
+# ---------------------------------------------------------------------------
+
+
+class CommError(ReproError):
+    """Base class for communication-substrate errors."""
+
+
+class MessageLost(CommError):
+    """The simulated network dropped the message."""
+
+
+class PartitionedError(CommError):
+    """Source and destination are in different partitions."""
+
+
+class RpcTimeout(CommError):
+    """A remote procedure call did not receive a response in time."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation (crash injection)
+# ---------------------------------------------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """An injected crash.
+
+    Deliberately derives from :class:`BaseException` so that protocol
+    code which catches :class:`ReproError` (or even ``Exception``) does
+    not accidentally absorb an injected crash — exactly as a real power
+    failure cannot be caught.  Only the simulation harness catches it.
+    """
+
+    def __init__(self, point: str = ""):
+        super().__init__(f"simulated crash at {point!r}" if point else "simulated crash")
+        self.point = point

@@ -1,0 +1,48 @@
+"""The recoverable queue manager (Sections 4, 9, 10 of the paper).
+
+This package implements the queue abstraction of Figure 3 plus the
+features the paper attributes to commercial products:
+
+* :mod:`repro.queueing.element` — elements with repository-unique eids,
+  priorities, and headers (the scratch pad of Section 9's IMS/DC).
+* :mod:`repro.queueing.queue` — one recoverable queue: a transactional
+  element state machine with skip-locked or strict ordering
+  (Section 10), blocking dequeue, error-queue bounds (Section 4.2),
+  and Kill_element (Section 7).
+* :mod:`repro.queueing.registration` — persistent registration with
+  operation tags (Section 4.3, the paper's claimed-new feature).
+* :mod:`repro.queueing.repository` — a named repository of queues on
+  one node: shared log, lock manager, transaction manager, durable
+  data-definition operations, checkpointing, crash/recovery.
+* :mod:`repro.queueing.manager` — the :class:`QueueManager` facade
+  exposing exactly the operations of Figure 3.
+* :mod:`repro.queueing.selectors` — content-based retrieval and
+  scheduling policies (Section 10: "highest dollar amount first").
+* :mod:`repro.queueing.features` — queue sets, alert thresholds,
+  queue redirection (Section 9's DECintact features), and
+  start-on-arrival triggers (Section 9's CICS feature, used by the
+  fork/join workflow of Section 6).
+* :mod:`repro.queueing.volatile` — volatile queues and the
+  volatile-relay pattern (Section 10).
+"""
+
+from repro.queueing.element import Element, ElementState
+from repro.queueing.queue import RecoverableQueue, QueueConfig, DequeueMode
+from repro.queueing.registration import RegistrationTable, Registration
+from repro.queueing.repository import QueueRepository
+from repro.queueing.manager import QueueManager, QueueHandle
+from repro.queueing.volatile import VolatileQueue
+
+__all__ = [
+    "Element",
+    "ElementState",
+    "RecoverableQueue",
+    "QueueConfig",
+    "DequeueMode",
+    "RegistrationTable",
+    "Registration",
+    "QueueRepository",
+    "QueueManager",
+    "QueueHandle",
+    "VolatileQueue",
+]

@@ -1,0 +1,89 @@
+"""Queue elements.
+
+An element (Section 4.1) is a stable record with a repository-unique
+*element identifier* (eid).  Eids are integers allocated by the
+repository; an element keeps its eid as it moves between queues of the
+repository (the DECintact identity guarantee discussed in Section 10).
+
+``headers`` is an open string-keyed dict used by the higher layers:
+
+* ``"reply_to"`` — the client's private reply queue (Section 5's
+  multiple-clients extension),
+* ``"rid"`` — the request id the element carries,
+* ``"scratch"`` — the IMS/DC scratch pad (Section 9) carrying request
+  state between the transactions of a multi-transaction request
+  (Section 6),
+* ``"abort_code"`` — set when the error-queue machinery moves the
+  element (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ElementState(enum.Enum):
+    """Visibility state of an element slot inside a queue.
+
+    The transactional behaviour of Figure 3's operations is implemented
+    as a state machine per element rather than long read/write lock
+    queues — exactly the "readers scan the queue and ignore write-locked
+    elements" design of Section 10.
+    """
+
+    #: enqueued by a transaction that has not committed yet — invisible
+    ENQ_PENDING = "enq_pending"
+    #: committed and eligible for dequeue
+    AVAILABLE = "available"
+    #: dequeued by a transaction that has not committed yet
+    DEQ_PENDING = "deq_pending"
+
+
+@dataclass
+class Element:
+    """One queue element.
+
+    ``body`` may be any codec-encodable value.  ``priority`` orders
+    dequeues (higher first, FIFO within a priority — Section 9's
+    "priority-based Enqueue and Dequeue").  ``abort_count`` counts
+    dequeue-aborts for the error-queue bound of Section 4.2.
+    """
+
+    eid: int
+    body: Any
+    priority: int = 0
+    enqueue_seq: int = 0
+    abort_count: int = 0
+    headers: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        """Codec-encodable representation (log records, snapshots,
+        registration copies)."""
+        return {
+            "eid": self.eid,
+            "body": self.body,
+            "prio": self.priority,
+            "seq": self.enqueue_seq,
+            "aborts": self.abort_count,
+            "hdrs": dict(self.headers),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Element":
+        return cls(
+            eid=record["eid"],
+            body=record["body"],
+            priority=record["prio"],
+            enqueue_seq=record["seq"],
+            abort_count=record["aborts"],
+            headers=dict(record["hdrs"]),
+        )
+
+    def copy(self) -> "Element":
+        return Element.from_record(self.to_record())
+
+    def sort_key(self) -> tuple[int, int]:
+        """Dequeue order: highest priority first, then FIFO."""
+        return (-self.priority, self.enqueue_seq)

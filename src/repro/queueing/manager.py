@@ -1,0 +1,237 @@
+"""The queue-manager facade: Figure 3's operations.
+
+``Register``, ``Deregister``, ``Enqueue``, ``Dequeue``, ``Read``, and
+(Section 7) ``Kill_element``, with the semantics of Section 4:
+
+* every operation is all-or-nothing and serializable;
+* invoked *within* a transaction it obeys transaction semantics;
+  invoked *outside* one (the client side of the "gateway" between the
+  non-transactional front-end world and the transactional back-end
+  world, Section 2) it is wrapped in an internal auto-commit
+  transaction, so its effect is durable and visible before it returns
+  — "When Send returns, the client knows that the request was stably
+  stored";
+* a registrant-supplied *tag* rides every Enqueue/Dequeue atomically
+  into the persistent registration record (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import NoSuchElementError, NotRegisteredError
+from repro.queueing.element import Element
+from repro.queueing.registration import Registration
+from repro.queueing.repository import QueueRepository
+from repro.transaction.manager import Transaction
+
+
+@dataclass(frozen=True)
+class QueueHandle:
+    """Opaque handle returned by Register (Figure 3's ``h``)."""
+
+    repository: str
+    queue: str
+    registrant: str
+
+
+class QueueManager:
+    """Facade over one repository, exposing the paper's operations."""
+
+    def __init__(self, repo: QueueRepository):
+        self.repo = repo
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _txn_scope(self, txn: Transaction | None) -> Iterator[Transaction]:
+        """Use the caller's transaction, or an internal auto-commit one."""
+        if txn is not None:
+            txn.require_active()
+            yield txn
+        else:
+            with self.repo.tm.transaction() as inner:
+                yield inner
+
+    def _queue(self, handle: QueueHandle):
+        return self.repo.get_queue(handle.queue)
+
+    def _check_registered(self, handle: QueueHandle) -> None:
+        if not self.repo.registration.is_registered(handle.queue, handle.registrant):
+            raise NotRegisteredError(
+                f"{handle.registrant!r} is not registered with {handle.queue!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Register / Deregister (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        qname: str,
+        registrant: str,
+        stable: bool = True,
+        txn: Transaction | None = None,
+    ) -> tuple[QueueHandle, Any, int | None]:
+        """Figure 3: ``h, t, e = Register(qname, client, stable_flag)``.
+
+        Returns the handle plus the tag and eid of the registrant's
+        most recent tagged operation (both ``None`` for a first-time
+        registration) — the resynchronization data of Figure 2.
+        """
+        self.repo.get_queue(qname)  # must exist
+        with self._txn_scope(txn) as t:
+            reg = self.repo.registration.register(t, qname, registrant, stable)
+        handle = QueueHandle(self.repo.name, qname, registrant)
+        return handle, reg.last_tag, reg.last_eid
+
+    def registration_info(self, handle: QueueHandle) -> Registration | None:
+        """Full last-operation record, including the operation *type*
+        (the generalization the end of Section 4.3 recommends) and the
+        stable element copy."""
+        return self.repo.registration.lookup(handle.queue, handle.registrant)
+
+    def deregister(self, handle: QueueHandle, txn: Transaction | None = None) -> None:
+        """Figure 3: ``Deregister(h, client)``."""
+        with self._txn_scope(txn) as t:
+            self.repo.registration.deregister(t, handle.queue, handle.registrant)
+
+    # ------------------------------------------------------------------
+    # Enqueue / Dequeue / Read / Kill_element
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        handle: QueueHandle,
+        body: Any,
+        tag: Any = None,
+        *,
+        txn: Transaction | None = None,
+        priority: int = 0,
+        headers: dict[str, Any] | None = None,
+    ) -> int:
+        """Figure 3: ``e = Enqueue(h, element, t)``.
+
+        The tag (and a stable copy of the element) is recorded in the
+        registration atomically with the enqueue, when the registration
+        is stable.
+
+        Tagged enqueues are **idempotent** for stable registrants: if
+        the registrant's last recorded operation is an enqueue with the
+        same tag, this call is a duplicate (e.g. an at-least-once RPC
+        retry whose first attempt's acknowledgement was lost) and the
+        original eid is returned without enqueuing again.  Rids are
+        unique per request (Section 3), so equal tags always mean the
+        same logical Send."""
+        self._check_registered(handle)
+        if tag is not None:
+            previous = self.repo.registration.lookup(handle.queue, handle.registrant)
+            if (
+                previous is not None
+                and previous.stable
+                and previous.last_op == "enq"
+                and previous.last_tag == tag
+                and previous.last_eid is not None
+            ):
+                return previous.last_eid
+        queue = self._queue(handle)
+        with self._txn_scope(txn) as t:
+            eid = queue.enqueue(t, body, priority=priority, headers=headers)
+            element = queue_element_record(body, eid, priority, headers)
+            self.repo.registration.record_op(
+                t, handle.queue, handle.registrant, "enq", tag, eid, element
+            )
+        return eid
+
+    def dequeue(
+        self,
+        handle: QueueHandle,
+        tag: Any = None,
+        error_queue: str | None = None,
+        *,
+        txn: Transaction | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+        selector: Callable[[Element], bool] | None = None,
+    ) -> Element:
+        """Figure 3: ``element = Dequeue(h, t, eh)``.
+
+        ``error_queue`` mirrors the ``eh`` parameter: where the element
+        goes after its ``max_aborts``-th dequeue-abort."""
+        self._check_registered(handle)
+        queue = self._queue(handle)
+        with self._txn_scope(txn) as t:
+            element = queue.dequeue(
+                t,
+                selector=selector,
+                block=block,
+                timeout=timeout,
+                error_queue=error_queue,
+            )
+            self.repo.registration.record_op(
+                t,
+                handle.queue,
+                handle.registrant,
+                "deq",
+                tag,
+                element.eid,
+                element.to_record(),
+            )
+        return element
+
+    def read(self, handle: QueueHandle, eid: int) -> Element:
+        """Figure 3: ``element = Read(h, e)``.
+
+        Falls back to the registrant's stable registration copy, so a
+        recovered registrant can re-read its last element "even if ...
+        the enqueued element was dequeued by another registrant"
+        (Section 4.3)."""
+        queue = self._queue(handle)
+        try:
+            return queue.read(eid)
+        except NoSuchElementError:
+            reg = self.repo.registration.lookup(handle.queue, handle.registrant)
+            if reg is not None and reg.last_eid == eid and reg.last_element:
+                return Element.from_record(reg.last_element)
+            raise
+
+    def kill_element(self, handle: QueueHandle, eid: int) -> bool:
+        """Section 7's Kill_element; True iff the element was deleted."""
+        return self._queue(handle).kill_element(eid)
+
+    # ------------------------------------------------------------------
+    # Data definition passthrough
+    # ------------------------------------------------------------------
+
+    def create_queue(self, qname: str, **config: Any):
+        return self.repo.create_queue(qname, **config)
+
+    def destroy_queue(self, qname: str) -> None:
+        self.repo.destroy_queue(qname)
+
+    def start_queue(self, qname: str) -> None:
+        self.repo.start_queue(qname)
+
+    def stop_queue(self, qname: str) -> None:
+        self.repo.stop_queue(qname)
+
+    def depth(self, qname: str) -> int:
+        return self.repo.get_queue(qname).depth()
+
+
+def queue_element_record(
+    body: Any, eid: int, priority: int, headers: dict[str, Any] | None
+) -> dict[str, Any]:
+    """Element record for registration copies of a just-enqueued element."""
+    return {
+        "eid": eid,
+        "body": body,
+        "prio": priority,
+        "seq": 0,
+        "aborts": 0,
+        "hdrs": dict(headers or {}),
+    }

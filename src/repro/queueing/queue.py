@@ -1,0 +1,620 @@
+"""One recoverable queue.
+
+Transactional behaviour is an element state machine (Section 10's
+"readers scan the queue and ignore write-locked elements"):
+
+* ``Enqueue`` inside transaction T creates a slot in ``ENQ_PENDING``;
+  T's commit makes it ``AVAILABLE`` (and wakes blocked dequeuers); T's
+  abort deletes it.
+* ``Dequeue`` inside T picks the first eligible slot and marks it
+  ``DEQ_PENDING``; T's commit removes it (into a bounded archive that
+  serves ``Read`` after removal — the "retain the reply until the
+  client says to delete it" idea of Section 2); T's abort returns it to
+  ``AVAILABLE`` and durably increments its abort count; the
+  ``max_aborts``-th abort moves it to the error queue instead
+  (Section 4.2's termination guarantee).
+* In ``SKIP_LOCKED`` mode a dequeue passes over ``DEQ_PENDING`` slots
+  (tolerating the non-FIFO anomaly Section 10 calls "tolerable"); in
+  ``STRICT`` mode it refuses (``ElementLockedError``) when the head is
+  uncommitted, which benchmark C7 shows is the performance price of
+  exact FIFO.
+* ``Kill_element`` (Section 7) deletes a named element, aborting the
+  uncommitted dequeuer if there is one.
+
+Durability: redo records through the repository's shared log (``enq`` /
+``deq`` keyed by eid — idempotent), abort counts as auto-committed
+records so they survive crashes independently of the aborting
+transaction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import threading
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import (
+    ElementLockedError,
+    KillFailedError,
+    NoSuchElementError,
+    QueueEmpty,
+    QueueStoppedError,
+)
+from repro.queueing.element import Element, ElementState
+from repro.transaction.manager import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queueing.repository import QueueRepository
+
+
+class DequeueMode(enum.Enum):
+    """Section 10's ordering/concurrency trade-off."""
+
+    #: pass over uncommitted (DEQ_PENDING) elements — high concurrency,
+    #: occasionally non-FIFO completion order
+    SKIP_LOCKED = "skip_locked"
+    #: refuse to pass an uncommitted head — exact FIFO, low concurrency
+    STRICT = "strict"
+
+
+@dataclass
+class QueueConfig:
+    """Per-queue attributes (set by data-definition operations)."""
+
+    name: str
+    #: the "n" of Section 4.2: the n-th dequeue-abort moves the element
+    #: to the error queue instead of back here
+    max_aborts: int = 3
+    #: name of the error queue in the same repository (None disables the
+    #: error-queue move; elements then retry forever)
+    error_queue: str | None = None
+    mode: DequeueMode = DequeueMode.SKIP_LOCKED
+    #: how many removed elements to retain for Read/Rereceive
+    archive_limit: int = 1024
+    #: count dequeue *attempts* durably so that even crash-aborts are
+    #: bounded (extension beyond the paper's explicit-abort counting)
+    count_crash_attempts: bool = False
+    #: header names to hash-index for O(1) content-based retrieval
+    #: (Section 10); e.g. ["rid"] lets cancellation find a request
+    #: without scanning the queue
+    index_headers: tuple[str, ...] = ()
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "max_aborts": self.max_aborts,
+            "error_queue": self.error_queue,
+            "mode": self.mode.value,
+            "archive_limit": self.archive_limit,
+            "count_crash_attempts": self.count_crash_attempts,
+            "index_headers": list(self.index_headers),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "QueueConfig":
+        return cls(
+            name=record["name"],
+            max_aborts=record["max_aborts"],
+            error_queue=record["error_queue"],
+            mode=DequeueMode(record["mode"]),
+            archive_limit=record["archive_limit"],
+            count_crash_attempts=record["count_crash_attempts"],
+            index_headers=tuple(record.get("index_headers", ())),
+        )
+
+
+@dataclass
+class _Slot:
+    element: Element
+    state: ElementState
+    pending_txn: int | None = None
+
+
+class RecoverableQueue:
+    """A recoverable queue; a resource manager of its repository."""
+
+    def __init__(self, config: QueueConfig, repo: "QueueRepository"):
+        self.config = config
+        self.repo = repo
+        self.rm_name = f"q:{config.name}"
+        self._slots: OrderedDict[int, _Slot] = OrderedDict()
+        #: removed elements retained for Read after dequeue (bounded)
+        self._archive: OrderedDict[int, Element] = OrderedDict()
+        #: (sort_key, eid) kept sorted; stale entries skipped lazily
+        self._order: list[tuple[tuple[int, int], int]] = []
+        self._mutex = threading.RLock()
+        self._cond = threading.Condition(self._mutex)
+        self._next_seq = 1
+        self.stopped = False
+        #: hash index: header name -> header value -> set of eids.
+        #: Section 10: content-based scheduling "usually requires a QM
+        #: with content-based retrieval capability" — this provides it
+        #: in O(1) for the headers named in ``config.index_headers``.
+        self._header_index: dict[str, dict[Any, set[int]]] = {
+            h: {} for h in config.index_headers
+        }
+        #: callbacks fired (outside the mutex) when an enqueue commits:
+        #: used by alert thresholds, redirection, and triggers
+        self._on_visible: list[Callable[["RecoverableQueue", Element], None]] = []
+        #: benchmark counters
+        self.enqueues = 0
+        self.dequeues = 0
+        self.dequeue_aborts = 0
+        self.skipped_locked = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def depth(self) -> int:
+        """Number of committed, eligible elements."""
+        with self._mutex:
+            return sum(
+                1 for s in self._slots.values() if s.state is ElementState.AVAILABLE
+            )
+
+    def pending(self) -> int:
+        with self._mutex:
+            return sum(
+                1 for s in self._slots.values() if s.state is not ElementState.AVAILABLE
+            )
+
+    def eids(self) -> list[int]:
+        with self._mutex:
+            return list(self._slots.keys())
+
+    def subscribe_visible(
+        self, callback: Callable[["RecoverableQueue", Element], None]
+    ) -> None:
+        """Register a callback fired whenever an element becomes visible
+        (enqueue committed).  Powers Section 9's alert thresholds /
+        redirection / start-on-arrival triggers."""
+        self._on_visible.append(callback)
+
+    # ------------------------------------------------------------------
+    # Data definition
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the queue: operations raise until started again."""
+        with self._mutex:
+            self.stopped = True
+
+    def start(self) -> None:
+        with self._cond:
+            self.stopped = False
+            self._cond.notify_all()
+
+    def _check_started(self) -> None:
+        if self.stopped:
+            raise QueueStoppedError(f"queue {self.name!r} is stopped")
+
+    # ------------------------------------------------------------------
+    # Header index (content-based retrieval, Section 10)
+    # ------------------------------------------------------------------
+
+    def _index_add(self, element: Element) -> None:
+        for header, buckets in self._header_index.items():
+            value = element.headers.get(header)
+            if value is not None:
+                try:
+                    buckets.setdefault(value, set()).add(element.eid)
+                except TypeError:  # unhashable header value: not indexed
+                    continue
+
+    def _index_remove(self, element: Element) -> None:
+        for header, buckets in self._header_index.items():
+            value = element.headers.get(header)
+            if value is None:
+                continue
+            try:
+                bucket = buckets.get(value)
+            except TypeError:
+                continue
+            if bucket is not None:
+                bucket.discard(element.eid)
+                if not bucket:
+                    buckets.pop(value, None)
+
+    def find_by_header(self, header: str, value: Any) -> list[int]:
+        """Eids of committed-or-pending elements whose ``header`` equals
+        ``value``.  O(1) when ``header`` is in ``config.index_headers``,
+        otherwise a scan."""
+        with self._mutex:
+            buckets = self._header_index.get(header)
+            if buckets is not None:
+                return sorted(buckets.get(value, ()))
+            return sorted(
+                eid
+                for eid, slot in self._slots.items()
+                if slot.element.headers.get(header) == value
+            )
+
+    def browse(self) -> list[Element]:
+        """Snapshot of committed elements in dequeue order without
+        consuming them (IMS-style browse / Get-Next)."""
+        with self._mutex:
+            ordered = sorted(
+                (s.element for s in self._slots.values()
+                 if s.state is ElementState.AVAILABLE),
+                key=Element.sort_key,
+            )
+            return [e.copy() for e in ordered]
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        txn: Transaction,
+        body: Any,
+        *,
+        priority: int = 0,
+        headers: dict[str, Any] | None = None,
+        eid: int | None = None,
+    ) -> int:
+        """Enqueue ``body``; visible when ``txn`` commits.
+
+        ``eid`` is normally allocated by the repository; passing one
+        explicitly preserves element identity across queue moves
+        (error-queue moves, redirection — Section 10)."""
+        self._check_started()
+        txn.require_active()
+        if eid is None:
+            eid = self.repo.alloc_eid()
+        self.repo.injector.reach(f"queue.{self.name}.enqueue.before_log")
+        with self._mutex:
+            element = Element(
+                eid=eid,
+                body=body,
+                priority=priority,
+                enqueue_seq=self._next_seq,
+                headers=dict(headers or {}),
+            )
+            self._next_seq += 1
+            txn.log_update(self.rm_name, {"op": "enq", "el": element.to_record()})
+            self._slots[eid] = _Slot(element, ElementState.ENQ_PENDING, txn.id)
+            self._index_add(element)
+            bisect.insort(self._order, (element.sort_key(), eid))
+        txn.add_undo(lambda: self._discard_slot(eid))
+        txn.on_commit(lambda: self._commit_enqueue(eid))
+        self.repo.injector.reach(f"queue.{self.name}.enqueue.after_log")
+        self.enqueues += 1
+        return eid
+
+    def _discard_slot(self, eid: int) -> None:
+        with self._mutex:
+            slot = self._slots.pop(eid, None)
+            if slot is not None:
+                self._index_remove(slot.element)
+
+    def _commit_enqueue(self, eid: int) -> None:
+        with self._cond:
+            slot = self._slots.get(eid)
+            if slot is None:  # killed before the hook ran
+                return
+            slot.state = ElementState.AVAILABLE
+            slot.pending_txn = None
+            element = slot.element.copy()
+            self._cond.notify_all()
+        for callback in self._on_visible:
+            callback(self, element)
+
+    # ------------------------------------------------------------------
+    # Dequeue
+    # ------------------------------------------------------------------
+
+    def dequeue(
+        self,
+        txn: Transaction,
+        *,
+        selector: Callable[[Element], bool] | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+        error_queue: str | None = None,
+    ) -> Element:
+        """Remove and return the next eligible element within ``txn``.
+
+        Eligibility order: priority desc, then FIFO; ``selector``
+        restricts by content (Section 10's content-based retrieval).
+        ``block=True`` waits for an element (the "notify lock" of
+        Section 10) up to ``timeout`` seconds.
+
+        On abort the element returns to the queue; its ``max_aborts``-th
+        abort moves it to ``error_queue`` (argument overrides the queue
+        config, mirroring the ``eh`` parameter of Figure 3's Dequeue).
+        """
+        self._check_started()
+        txn.require_active()
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self._cond:
+            while True:
+                slot = self._select_slot(txn, selector)
+                if slot is not None:
+                    break
+                if not block:
+                    raise QueueEmpty(f"queue {self.name!r} has no eligible element")
+                remaining = None if deadline is None else deadline - _time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise QueueEmpty(
+                        f"queue {self.name!r}: no element within {timeout}s"
+                    )
+                self._cond.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
+                self._check_started()
+            eid = slot.element.eid
+            self.repo.injector.reach(f"queue.{self.name}.dequeue.before_log")
+            txn.log_update(self.rm_name, {"op": "deq", "eid": eid})
+            slot.state = ElementState.DEQ_PENDING
+            slot.pending_txn = txn.id
+            element = slot.element.copy()
+        if self.config.count_crash_attempts:
+            self._bump_abort_count(eid, crash_attempt=True)
+        txn.add_undo(lambda: self._return_slot(eid))
+        txn.on_commit(lambda: self._commit_dequeue(eid))
+        txn.on_abort(lambda: self._after_dequeue_abort(eid, error_queue))
+        self.repo.injector.reach(f"queue.{self.name}.dequeue.after_log")
+        self.dequeues += 1
+        return element
+
+    def _select_slot(
+        self, txn: Transaction, selector: Callable[[Element], bool] | None
+    ) -> _Slot | None:
+        """First eligible slot in order; prunes stale order entries.
+
+        STRICT mode raises :class:`ElementLockedError` if the first
+        committed element is pending in another transaction and a later
+        one would otherwise be taken."""
+        stale: list[int] = []
+        chosen: _Slot | None = None
+        for index, (key, eid) in enumerate(self._order):
+            slot = self._slots.get(eid)
+            if slot is None or slot.element.sort_key() != key:
+                stale.append(index)
+                continue
+            if slot.state is ElementState.ENQ_PENDING:
+                continue  # uncommitted enqueue: invisible
+            if slot.state is ElementState.DEQ_PENDING:
+                if self.config.mode is DequeueMode.STRICT:
+                    raise ElementLockedError(
+                        f"queue {self.name!r}: head element {eid} is held by "
+                        f"uncommitted transaction {slot.pending_txn}"
+                    )
+                self.skipped_locked += 1
+                continue
+            if selector is not None and not selector(slot.element):
+                continue
+            chosen = slot
+            break
+        for index in reversed(stale):
+            del self._order[index]
+        return chosen
+
+    def _return_slot(self, eid: int) -> None:
+        """Undo of a dequeue: the element becomes available again."""
+        with self._cond:
+            slot = self._slots.get(eid)
+            if slot is not None and slot.state is ElementState.DEQ_PENDING:
+                slot.state = ElementState.AVAILABLE
+                slot.pending_txn = None
+                self._cond.notify_all()
+
+    def _commit_dequeue(self, eid: int) -> None:
+        with self._mutex:
+            slot = self._slots.pop(eid, None)
+            if slot is not None:
+                self._index_remove(slot.element)
+                self._archive_element(slot.element)
+
+    def _after_dequeue_abort(self, eid: int, error_queue: str | None) -> None:
+        """Abort hook: durably count the abort; on the n-th, move the
+        element to the error queue (Section 4.2)."""
+        self.dequeue_aborts += 1
+        if self.config.count_crash_attempts:
+            # The attempt was already counted durably at dequeue time.
+            with self._mutex:
+                slot = self._slots.get(eid)
+                count = slot.element.abort_count if slot is not None else None
+        else:
+            count = self._bump_abort_count(eid)
+        if count is None:
+            return
+        target_name = error_queue or self.config.error_queue
+        if target_name is not None and count >= self.config.max_aborts:
+            self._move_to_error(eid, target_name, count)
+
+    def _bump_abort_count(self, eid: int, crash_attempt: bool = False) -> int | None:
+        with self._mutex:
+            slot = self._slots.get(eid)
+            if slot is None:
+                return None
+            slot.element.abort_count += 1
+            count = slot.element.abort_count
+        # Durable independently of any transaction: a retry loop must not
+        # reset its own counter by aborting.
+        self.repo.log.log_auto(
+            self.rm_name,
+            {"op": "abortcount", "eid": eid, "n": count, "crash": crash_attempt},
+        )
+        return count
+
+    def _move_to_error(self, eid: int, target_name: str, count: int) -> None:
+        """Move the element (same eid — identity preserved) to the error
+        queue in a fresh internal transaction."""
+        target = self.repo.get_queue(target_name)
+        with self._mutex:
+            slot = self._slots.get(eid)
+            if slot is None or slot.state is not ElementState.AVAILABLE:
+                return
+            element = slot.element.copy()
+        with self.repo.tm.transaction() as txn:
+            txn.log_update(self.rm_name, {"op": "deq", "eid": eid})
+            headers = dict(element.headers)
+            headers["abort_code"] = f"aborted {count} times"
+            headers["origin_queue"] = self.name
+            target.enqueue(
+                txn,
+                element.body,
+                priority=element.priority,
+                headers=headers,
+                eid=eid,
+            )
+        with self._mutex:
+            slot = self._slots.pop(eid, None)
+            if slot is not None:
+                self._archive_element(slot.element)
+
+    def sweep_poisoned(self) -> int:
+        """Move every available element whose abort count already meets
+        ``max_aborts`` to the error queue.  Called by the repository
+        after recovery so that crash-attempt counting
+        (``count_crash_attempts``) bounds even always-crashing requests.
+        Returns the number of elements moved."""
+        if self.config.error_queue is None:
+            return 0
+        with self._mutex:
+            poisoned = [
+                (s.element.eid, s.element.abort_count)
+                for s in self._slots.values()
+                if s.state is ElementState.AVAILABLE
+                and s.element.abort_count >= self.config.max_aborts
+            ]
+        for eid, count in poisoned:
+            self._move_to_error(eid, self.config.error_queue, count)
+        return len(poisoned)
+
+    # ------------------------------------------------------------------
+    # Read / Kill_element
+    # ------------------------------------------------------------------
+
+    def read(self, eid: int) -> Element:
+        """Return the element with ``eid`` without modifying it
+        (Figure 3's Read).  Finds committed slots, uncommitted-dequeue
+        slots, and recently removed (archived) elements — Section 4.3
+        requires Read to work "even if the last operation was a Dequeue"."""
+        with self._mutex:
+            slot = self._slots.get(eid)
+            if slot is not None and slot.state is not ElementState.ENQ_PENDING:
+                return slot.element.copy()
+            archived = self._archive.get(eid)
+            if archived is not None:
+                return archived.copy()
+        raise NoSuchElementError(f"queue {self.name!r} has no element {eid}")
+
+    def kill_element(self, eid: int) -> bool:
+        """Section 7's Kill_element: delete the element if possible.
+
+        * not yet dequeued → durably deleted, returns True;
+        * dequeued by an uncommitted transaction → that transaction is
+          aborted and the element deleted, returns True;
+        * unknown / already consumed → returns False (the request can
+          no longer be cancelled this way; see :mod:`repro.core.saga`).
+        """
+        self._check_started()
+        with self._mutex:
+            slot = self._slots.get(eid)
+            if slot is None:
+                return False
+            if slot.state is ElementState.ENQ_PENDING:
+                raise KillFailedError(
+                    f"element {eid} is an uncommitted enqueue; abort its "
+                    "transaction instead"
+                )
+            holder = slot.pending_txn if slot.state is ElementState.DEQ_PENDING else None
+        if holder is not None:
+            self.repo.tm.abort_by_id(holder, reason=f"kill_element({eid})")
+        with self.repo.tm.transaction() as txn:
+            with self._mutex:
+                slot = self._slots.get(eid)
+                if slot is None or slot.state is not ElementState.AVAILABLE:
+                    return False
+                txn.log_update(self.rm_name, {"op": "deq", "eid": eid})
+                removed = self._slots.pop(eid)
+                self._index_remove(removed.element)
+                self._archive_element(removed.element)
+        return True
+
+    # ------------------------------------------------------------------
+    # Archive
+    # ------------------------------------------------------------------
+
+    def _archive_element(self, element: Element) -> None:
+        self._archive[element.eid] = element
+        self._archive.move_to_end(element.eid)
+        while len(self._archive) > self.config.archive_limit:
+            self._archive.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Resource-manager protocol
+    # ------------------------------------------------------------------
+
+    def redo(self, data: dict[str, Any]) -> None:
+        op = data["op"]
+        with self._mutex:
+            if op == "enq":
+                element = Element.from_record(data["el"])
+                already_present = element.eid in self._slots
+                self._slots[element.eid] = _Slot(element, ElementState.AVAILABLE)
+                self._index_add(element)
+                if not already_present:
+                    bisect.insort(self._order, (element.sort_key(), element.eid))
+                self._next_seq = max(self._next_seq, element.enqueue_seq + 1)
+            elif op == "deq":
+                slot = self._slots.pop(data["eid"], None)
+                if slot is not None:
+                    self._index_remove(slot.element)
+                    self._archive_element(slot.element)
+            elif op == "abortcount":
+                slot = self._slots.get(data["eid"])
+                if slot is not None:
+                    slot.element.abort_count = max(
+                        slot.element.abort_count, data["n"]
+                    )
+            else:  # pragma: no cover - log corruption guard
+                raise ValueError(f"unknown queue redo op {op!r}")
+
+    def snapshot(self) -> Any:
+        with self._mutex:
+            return {
+                "slots": [
+                    s.element.to_record()
+                    for s in self._slots.values()
+                    # Snapshots capture only committed state; pending
+                    # transactions are forced to be resolved (the
+                    # repository checkpoints at quiescence).
+                    if s.state is not ElementState.ENQ_PENDING
+                ],
+                "archive": [e.to_record() for e in self._archive.values()],
+                "next_seq": self._next_seq,
+            }
+
+    def restore(self, state: Any) -> None:
+        with self._mutex:
+            self._slots.clear()
+            self._order = []
+            self._archive.clear()
+            for buckets in self._header_index.values():
+                buckets.clear()
+            for record in state["slots"]:
+                element = Element.from_record(record)
+                self._slots[element.eid] = _Slot(element, ElementState.AVAILABLE)
+                self._index_add(element)
+                bisect.insort(self._order, (element.sort_key(), element.eid))
+            for record in state["archive"]:
+                element = Element.from_record(record)
+                self._archive[element.eid] = element
+            self._next_seq = state["next_seq"]
+
+    def max_eid(self) -> int:
+        """Largest eid this queue knows about (repository eid recovery)."""
+        with self._mutex:
+            eids = list(self._slots.keys()) + list(self._archive.keys())
+            return max(eids, default=0)

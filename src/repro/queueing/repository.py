@@ -1,0 +1,264 @@
+"""Queue repositories (Section 4.1).
+
+A repository is the unit of failure and recovery: one disk, one shared
+log, one lock manager, one transaction manager, a set of recoverable
+queues, a registration table, and any application KV tables attached to
+the same node (so a server transaction spanning ``Dequeue; update
+database; Enqueue`` — Figure 5 — commits atomically with a single log
+force).
+
+Data-definition operations (create/destroy/start/stop queue, create
+table) are durable: each writes an auto-committed ``_dd`` record, so a
+restarted repository rebuilds its catalog before replaying queue
+contents.  Constructing :class:`QueueRepository` over a non-empty disk
+*is* restart recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import NoSuchQueueError, QueueExistsError
+from repro.queueing.queue import QueueConfig, RecoverableQueue
+from repro.queueing.registration import RegistrationTable
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.storage.disk import Disk, MemDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.locks import LockManager
+from repro.transaction.log import LogManager
+from repro.transaction.manager import TransactionManager
+from repro.transaction.recovery import RecoveryReport, recover
+
+
+class _EidAllocator:
+    """Repository-wide element-id allocator.
+
+    Reserves ids in durable batches (one auto record per ``batch``
+    allocations) so a crash can skip at most one batch of ids and an
+    eid is never reused — element identity (Section 10) depends on it.
+    """
+
+    rm_name = "eid"
+
+    def __init__(self, log: LogManager, batch: int = 64):
+        self._log = log
+        self._batch = batch
+        self._next = 1
+        self._limit = 1
+        self._mutex = threading.Lock()
+
+    def alloc(self) -> int:
+        with self._mutex:
+            if self._next >= self._limit:
+                new_limit = self._next + self._batch
+                self._log.log_auto(self.rm_name, {"reserve": new_limit})
+                self._limit = new_limit
+            eid = self._next
+            self._next += 1
+            return eid
+
+    # -- resource-manager protocol ------------------------------------
+
+    def redo(self, data: dict[str, Any]) -> None:
+        with self._mutex:
+            self._limit = max(self._limit, data["reserve"])
+            self._next = max(self._next, self._limit)
+
+    def snapshot(self) -> Any:
+        with self._mutex:
+            return {"next": self._next, "limit": self._limit}
+
+    def restore(self, state: Any) -> None:
+        with self._mutex:
+            self._next = state["next"]
+            self._limit = state["limit"]
+
+
+class QueueRepository:
+    """One named repository of recoverable queues on one node.
+
+    Constructing the repository over a disk that already holds a log
+    (and possibly a checkpoint) performs restart recovery; over an
+    empty disk it starts fresh.
+    """
+
+    rm_name = "_dd"  # the repository is itself the data-definition RM
+
+    def __init__(
+        self,
+        name: str,
+        disk: Disk | None = None,
+        injector: FaultInjector | None = None,
+        lock_manager: LockManager | None = None,
+    ):
+        self.name = name
+        self.disk = disk if disk is not None else MemDisk()
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.log = LogManager(self.disk, area=f"{name}.log")
+        self.locks = lock_manager if lock_manager is not None else LockManager()
+        self.tm = TransactionManager(self.log, self.locks, self.injector)
+        self.registration = RegistrationTable()
+        self.eids = _EidAllocator(self.log)
+        self.queues: dict[str, RecoverableQueue] = {}
+        self.tables: dict[str, KVStore] = {}
+        #: name -> resource manager; mutated by _dd redo during replay
+        self.rms: dict[str, Any] = {
+            self.rm_name: self,
+            RegistrationTable.rm_name: self.registration,
+            _EidAllocator.rm_name: self.eids,
+        }
+        self._dd_mutex = threading.Lock()
+        if self.injector is not NULL_INJECTOR and hasattr(self.disk, "crash"):
+            # A simulated crash must freeze the disk at exactly the
+            # injection point, before any harness code runs.
+            self.injector.on_crash.append(lambda _point: self.disk.crash())
+        self.last_recovery: RecoveryReport = recover(
+            self.log, self.rms, self.tm, self.locks
+        )
+        for queue in self.queues.values():
+            queue.sweep_poisoned()
+
+    # ------------------------------------------------------------------
+    # Data definition (Section 4.1: create, destroy, start, stop)
+    # ------------------------------------------------------------------
+
+    def create_queue(self, qname: str, **config: Any) -> RecoverableQueue:
+        """Create a recoverable queue; durable immediately."""
+        with self._dd_mutex:
+            if qname in self.queues:
+                raise QueueExistsError(f"queue {qname!r} already exists in {self.name!r}")
+            cfg = QueueConfig(name=qname, **config)
+            self.log.log_auto(self.rm_name, {"op": "mkq", "cfg": cfg.to_record()})
+            queue = self._attach_queue(cfg)
+        return queue
+
+    def _attach_queue(self, cfg: QueueConfig) -> RecoverableQueue:
+        queue = RecoverableQueue(cfg, self)
+        self.queues[cfg.name] = queue
+        self.rms[queue.rm_name] = queue
+        return queue
+
+    def destroy_queue(self, qname: str) -> None:
+        """Destroy a queue and its contents; durable immediately."""
+        with self._dd_mutex:
+            if qname not in self.queues:
+                raise NoSuchQueueError(f"no queue {qname!r} in {self.name!r}")
+            self.log.log_auto(self.rm_name, {"op": "rmq", "q": qname})
+            queue = self.queues.pop(qname)
+            self.rms.pop(queue.rm_name, None)
+
+    def stop_queue(self, qname: str) -> None:
+        """Stop a queue, durably: a restarted repository keeps it
+        stopped (Section 4.1's start/stop are data-definition ops)."""
+        with self._dd_mutex:
+            queue = self.get_queue(qname)
+            self.log.log_auto(self.rm_name, {"op": "stopq", "q": qname})
+            queue.stop()
+
+    def start_queue(self, qname: str) -> None:
+        """Restart a stopped queue, durably."""
+        with self._dd_mutex:
+            queue = self.get_queue(qname)
+            self.log.log_auto(self.rm_name, {"op": "startq", "q": qname})
+            queue.start()
+
+    def create_table(self, tname: str) -> KVStore:
+        """Attach an application KV table to this node (shares the log
+        and the transaction manager, so server transactions spanning
+        queue + database commit atomically)."""
+        with self._dd_mutex:
+            if tname in self.tables:
+                return self.tables[tname]
+            self.log.log_auto(self.rm_name, {"op": "mktable", "t": tname})
+            return self._attach_table(tname)
+
+    def _attach_table(self, tname: str) -> KVStore:
+        table = KVStore(tname)
+        self.tables[tname] = table
+        self.rms[table.rm_name] = table
+        return table
+
+    def get_queue(self, qname: str) -> RecoverableQueue:
+        queue = self.queues.get(qname)
+        if queue is None:
+            raise NoSuchQueueError(f"no queue {qname!r} in {self.name!r}")
+        return queue
+
+    def get_table(self, tname: str) -> KVStore:
+        table = self.tables.get(tname)
+        if table is None:
+            raise NoSuchQueueError(f"no table {tname!r} in {self.name!r}")
+        return table
+
+    def queue_names(self) -> list[str]:
+        return sorted(self.queues)
+
+    # ------------------------------------------------------------------
+    # Allocation / checkpointing
+    # ------------------------------------------------------------------
+
+    def alloc_eid(self) -> int:
+        return self.eids.alloc()
+
+    def checkpoint(self) -> None:
+        """Snapshot every RM and truncate the log.
+
+        Must run at quiescence (no active transactions): queue
+        snapshots capture only committed state.  The ``_dd`` snapshot is
+        written first so restore can rebuild the catalog before queue
+        and table snapshots are applied.
+        """
+        snapshots: dict[str, Any] = {self.rm_name: self.snapshot()}
+        for rm_name, rm in self.rms.items():
+            if rm_name != self.rm_name:
+                snapshots[rm_name] = rm.snapshot()
+        self.log.write_checkpoint(snapshots)
+
+    # ------------------------------------------------------------------
+    # Resource-manager protocol for data definition
+    # ------------------------------------------------------------------
+
+    def redo(self, data: dict[str, Any]) -> None:
+        op = data["op"]
+        if op == "mkq":
+            cfg = QueueConfig.from_record(data["cfg"])
+            if cfg.name not in self.queues:
+                self._attach_queue(cfg)
+        elif op == "rmq":
+            queue = self.queues.pop(data["q"], None)
+            if queue is not None:
+                self.rms.pop(queue.rm_name, None)
+        elif op == "mktable":
+            if data["t"] not in self.tables:
+                self._attach_table(data["t"])
+        elif op == "stopq":
+            queue = self.queues.get(data["q"])
+            if queue is not None:
+                queue.stop()
+        elif op == "startq":
+            queue = self.queues.get(data["q"])
+            if queue is not None:
+                queue.start()
+        else:  # pragma: no cover - log corruption guard
+            raise ValueError(f"unknown data-definition redo op {op!r}")
+
+    def snapshot(self) -> Any:
+        return {
+            "queues": [q.config.to_record() for q in self.queues.values()],
+            "tables": sorted(self.tables),
+            "stopped": sorted(n for n, q in self.queues.items() if q.stopped),
+        }
+
+    def restore(self, state: Any) -> None:
+        for record in state["queues"]:
+            cfg = QueueConfig.from_record(record)
+            if cfg.name not in self.queues:
+                self._attach_queue(cfg)
+        for tname in state["tables"]:
+            if tname not in self.tables:
+                self._attach_table(tname)
+        for qname in state.get("stopped", []):
+            queue = self.queues.get(qname)
+            if queue is not None:
+                queue.stop()

@@ -1,0 +1,87 @@
+"""Content-based retrieval and scheduling selectors.
+
+Section 10: "Requests may be scheduled for the server by priority,
+request contents (highest dollar amount first), submission time, etc.
+... usually requires a QM with content-based retrieval capability."
+
+Selectors are predicates over :class:`~repro.queueing.element.Element`
+passed to ``Dequeue``; combinators below build the common policies.
+Priority and submission-time ordering are intrinsic (the queue's sort
+key), so a "highest dollar amount first" policy enqueues with
+``priority=amount`` — :func:`priority_from` helps — while predicate
+selectors restrict *which* elements are eligible at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.queueing.element import Element
+
+Selector = Callable[[Element], bool]
+
+
+def by_header(name: str, value: Any) -> Selector:
+    """Match elements whose header ``name`` equals ``value``
+    (e.g. route by request type)."""
+
+    def select(element: Element) -> bool:
+        return element.headers.get(name) == value
+
+    return select
+
+
+def by_body(predicate: Callable[[Any], bool]) -> Selector:
+    """Match elements whose body satisfies ``predicate``."""
+
+    def select(element: Element) -> bool:
+        return predicate(element.body)
+
+    return select
+
+
+def by_field(field: str, predicate: Callable[[Any], bool]) -> Selector:
+    """Match dict bodies where ``predicate(body[field])`` holds; bodies
+    without the field never match."""
+
+    def select(element: Element) -> bool:
+        body = element.body
+        return isinstance(body, dict) and field in body and predicate(body[field])
+
+    return select
+
+
+def min_amount(field: str, threshold: float) -> Selector:
+    """Match dict bodies whose numeric ``field`` is at least
+    ``threshold`` (a big-transfers-first scheduling policy)."""
+    return by_field(field, lambda v: isinstance(v, (int, float)) and v >= threshold)
+
+
+def all_of(*selectors: Selector) -> Selector:
+    def select(element: Element) -> bool:
+        return all(s(element) for s in selectors)
+
+    return select
+
+
+def any_of(*selectors: Selector) -> Selector:
+    def select(element: Element) -> bool:
+        return any(s(element) for s in selectors)
+
+    return select
+
+
+def negate(selector: Selector) -> Selector:
+    def select(element: Element) -> bool:
+        return not selector(element)
+
+    return select
+
+
+def priority_from(body: dict[str, Any], field: str, scale: float = 1.0) -> int:
+    """Derive an enqueue priority from a body field ("highest dollar
+    amount first"): ``priority_from(req, "amount")``."""
+    value = body.get(field, 0)
+    if not isinstance(value, (int, float)):
+        return 0
+    return int(value * scale)

@@ -1,0 +1,48 @@
+"""Virtual time.
+
+All timestamps inside the simulated system come from a
+:class:`VirtualClock` so that runs are deterministic and tests never
+sleep.  Components that need wall-clock time in production accept a
+``clock`` argument and default to a process-wide instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class VirtualClock:
+    """A discrete, monotonically non-decreasing virtual clock.
+
+    Time is a float number of virtual seconds.  ``tick()`` returns a
+    strictly increasing sequence even when ``advance`` is never called,
+    which gives unique, ordered timestamps for log records.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._seq = itertools.count(1)
+
+    def now(self) -> float:
+        """Return the current virtual time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (must be >= 0) and return it."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def tick(self) -> float:
+        """Return a unique timestamp strictly greater than any previous
+        ``tick()`` result, advancing time by an infinitesimal step."""
+        self._now += 1e-9
+        return self._now
+
+    def sequence(self) -> int:
+        """Return the next value of a process-wide event sequence number."""
+        return next(self._seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now!r})"

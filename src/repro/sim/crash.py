@@ -1,0 +1,117 @@
+"""Named crash points and deterministic fault injection.
+
+Protocol code is instrumented with calls such as::
+
+    self.injector.reach("server.after_dequeue")
+
+In production (no injector, or an idle one) this is a no-op.  Under
+test, a :class:`CrashPlan` arms a crash at a given (point, hit) pair;
+when the instrumented code reaches that point for the N-th time, a
+:class:`~repro.errors.SimulatedCrash` is raised.  ``SimulatedCrash``
+derives from ``BaseException`` so protocol code cannot catch it — just
+as a process cannot catch a power failure.
+
+The injector also *records* every point it reaches, in order.  The
+crash-at-every-step harness (:mod:`repro.sim.harness`) uses a recording
+run to enumerate the schedule of points, then replays the scenario once
+per point with a crash armed there.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import SimulatedCrash
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash the ``hit``-th time execution reaches ``point`` (1-based)."""
+
+    point: str
+    hit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hit < 1:
+            raise ValueError(f"hit must be >= 1, got {self.hit}")
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic crash-point registry.
+
+    An injector may be shared by all the components of one simulated
+    node, so a single plan can crash the node no matter which component
+    reaches the armed point.
+    """
+
+    plans: list[CrashPlan] = field(default_factory=list)
+    #: every point reached, in order (the "schedule" of a run)
+    history: list[str] = field(default_factory=list)
+    #: callbacks invoked just before raising, e.g. to mark a disk's
+    #: unflushed tail as lost
+    on_crash: list[Callable[[str], None]] = field(default_factory=list)
+    record: bool = True
+
+    def __post_init__(self) -> None:
+        self._hits: Counter[str] = Counter()
+
+    # -- configuration ---------------------------------------------------
+
+    def arm(self, point: str, hit: int = 1) -> None:
+        """Arm a crash at the ``hit``-th occurrence of ``point``."""
+        self.plans.append(CrashPlan(point, hit))
+
+    def arm_all(self, plans: Iterable[CrashPlan]) -> None:
+        self.plans.extend(plans)
+
+    def disarm(self) -> None:
+        """Remove all plans (reached-point history is preserved)."""
+        self.plans.clear()
+
+    def reset(self) -> None:
+        """Clear plans, history, and hit counters."""
+        self.plans.clear()
+        self.history.clear()
+        self._hits.clear()
+
+    # -- instrumentation entry point --------------------------------------
+
+    def reach(self, point: str) -> None:
+        """Declare that execution reached ``point``.
+
+        Raises :class:`SimulatedCrash` if a plan is armed for this
+        (point, hit) pair; otherwise a cheap no-op.
+        """
+        self._hits[point] += 1
+        if self.record:
+            self.history.append(point)
+        hit = self._hits[point]
+        for plan in self.plans:
+            if plan.point == point and plan.hit == hit:
+                for hook in self.on_crash:
+                    hook(point)
+                raise SimulatedCrash(f"{point}#{hit}")
+
+    # -- introspection -----------------------------------------------------
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been reached."""
+        return self._hits[point]
+
+    def schedule(self) -> list[tuple[str, int]]:
+        """The reached points as (point, hit-index) pairs, suitable for
+        building one :class:`CrashPlan` per step."""
+        seen: Counter[str] = Counter()
+        out: list[tuple[str, int]] = []
+        for point in self.history:
+            seen[point] += 1
+            out.append((point, seen[point]))
+        return out
+
+
+#: A module-level injector that never crashes; components default to it
+#: so production code paths need no ``if injector is not None`` checks.
+NULL_INJECTOR = FaultInjector(record=False)

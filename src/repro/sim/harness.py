@@ -1,0 +1,119 @@
+"""Crash-at-every-step harness.
+
+The idiom used throughout the test and benchmark suites::
+
+    def scenario(injector):
+        node = build_node(injector)     # fresh volatile state
+        run_protocol(node)              # instrumented with injector.reach()
+        return node
+
+    def recover(node):
+        return rebuild_and_resync(node) # restart recovery + client resync
+
+    results = crash_every_step(scenario, recover, check)
+
+``crash_every_step`` first runs ``scenario`` with a recording injector
+to enumerate the ordered list of crash points the run reaches.  It then
+re-runs the scenario once per (point, hit) pair with a crash armed
+there, catches the :class:`~repro.errors.SimulatedCrash`, invokes
+``recover``, and finally invokes ``check`` to assert the paper's
+guarantees.  Because the simulation is deterministic, this enumerates
+*every* crash location the protocol can experience, not a random
+sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SimulatedCrash
+from repro.sim.crash import CrashPlan, FaultInjector
+
+
+@dataclass
+class CrashStepResult:
+    """Outcome of one crash-injected run."""
+
+    plan: CrashPlan
+    crashed: bool
+    scenario_result: Any
+    recovery_result: Any
+    check_result: Any
+
+
+def enumerate_crash_points(
+    scenario: Callable[[FaultInjector], Any],
+) -> list[tuple[str, int]]:
+    """Run ``scenario`` once with no armed crashes and return the ordered
+    (point, hit) schedule it reached."""
+    injector = FaultInjector()
+    scenario(injector)
+    return injector.schedule()
+
+
+def crash_every_step(
+    scenario: Callable[[FaultInjector], Any],
+    recover: Callable[[Any], Any],
+    check: Callable[[Any, Any, CrashPlan], Any] | None = None,
+    *,
+    points: list[tuple[str, int]] | None = None,
+    point_filter: Callable[[str], bool] | None = None,
+) -> list[CrashStepResult]:
+    """Run ``scenario`` once per reachable crash point with a crash there.
+
+    Parameters
+    ----------
+    scenario:
+        Builds fresh system state and runs the protocol.  Receives the
+        :class:`FaultInjector` to wire into every component.  Its return
+        value (or, when it crashes, the partially-built state it exposed
+        via ``scenario.state`` — see below) is passed to ``recover``.
+    recover:
+        Invoked after each crash (and also after crash-free completion,
+        so the no-crash path is checked by the same code) with the
+        scenario result.  Should perform restart recovery and client
+        resynchronization, returning whatever ``check`` needs.
+    check:
+        Optional assertion hook ``check(scenario_result, recovery_result,
+        plan)``; its return value is stored on the step result.
+    points:
+        Pre-enumerated (point, hit) schedule; computed by a recording
+        run when omitted.
+    point_filter:
+        Restrict injection to points whose name satisfies the predicate.
+
+    Scenario state hand-off
+    -----------------------
+    When the scenario crashes mid-way it cannot *return* its state, so
+    the harness reads the attribute ``scenario.state`` (if the callable
+    has one) as the post-crash state.  Scenarios typically assign
+    ``scenario.state = node`` as soon as the node is built.
+    """
+    if points is None:
+        points = enumerate_crash_points(scenario)
+    if point_filter is not None:
+        points = [(p, h) for (p, h) in points if point_filter(p)]
+
+    results: list[CrashStepResult] = []
+    for point, hit in points:
+        plan = CrashPlan(point, hit)
+        injector = FaultInjector(plans=[plan], record=False)
+        crashed = False
+        state: Any = None
+        try:
+            state = scenario(injector)
+        except SimulatedCrash:
+            crashed = True
+            state = getattr(scenario, "state", None)
+        recovery = recover(state)
+        outcome = check(state, recovery, plan) if check is not None else None
+        results.append(CrashStepResult(plan, crashed, state, recovery, outcome))
+
+    # Also exercise the crash-free path through the same recover/check.
+    injector = FaultInjector(record=False)
+    state = scenario(injector)
+    recovery = recover(state)
+    outcome = check(state, recovery, CrashPlan("<none>", 1)) if check else None
+    results.append(CrashStepResult(CrashPlan("<none>", 1), False, state, recovery, outcome))
+    return results

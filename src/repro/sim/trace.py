@@ -1,0 +1,84 @@
+"""Execution trace recording.
+
+The guarantee checkers of :mod:`repro.core.guarantees` verify the
+paper's three properties (Request-Reply Matching, Exactly-Once
+Request-Processing, At-Least-Once Reply-Processing) over a recorded
+*trace* of protocol events.  This module defines the event record and
+the recorder.
+
+Events are recorded from an omniscient observer's viewpoint: e.g.
+``request.executed`` is recorded by the server when the transaction
+that processed the request *commits* — aborted attempts record
+``request.attempt_aborted`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed protocol event.
+
+    ``kind`` is a dotted name such as ``"request.sent"``;
+    ``rid`` is the request id the event concerns (may be ``None`` for
+    system-level events such as crashes); ``detail`` carries
+    event-specific data.
+    """
+
+    seq: int
+    kind: str
+    rid: object = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        rid = f" rid={self.rid}" if self.rid is not None else ""
+        return f"[{self.seq}] {self.kind}{rid} {self.detail or ''}".rstrip()
+
+
+class TraceRecorder:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._seq = 0
+
+    def record(self, kind: str, rid: object = None, **detail: Any) -> TraceEvent:
+        """Append an event and return it."""
+        self._seq += 1
+        event = TraceEvent(self._seq, kind, rid, dict(detail))
+        self._events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self, kind: str | None = None, rid: object = None) -> list[TraceEvent]:
+        """Events filtered by kind and/or rid (None matches anything)."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind) and (rid is None or e.rid == rid)
+        ]
+
+    def count(self, kind: str, rid: object = None) -> int:
+        return len(self.events(kind, rid))
+
+    def rids(self, kind: str) -> list[object]:
+        """The rids of all events of ``kind``, in order, duplicates kept."""
+        return [e.rid for e in self._events if e.kind == kind]
+
+    def last(self, kind: str, rid: object = None) -> TraceEvent | None:
+        matches = self.events(kind, rid)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

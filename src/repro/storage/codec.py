@@ -1,0 +1,182 @@
+"""Deterministic binary codec for log records and snapshots.
+
+Log records must be durable artifacts: inspectable, version-stable, and
+free of arbitrary code execution on load — so ``pickle`` is out.  The
+codec here is a compact type-length-value encoding covering exactly the
+types the library persists:
+
+``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+``list``/``tuple`` (decoded as ``list``), and ``dict`` with ``str``
+keys.
+
+Encoding is deterministic: dict items are written in insertion order
+(callers that need canonical bytes sort their dicts first), integers
+use a fixed zig-zag varint, floats use IEEE-754 big-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"
+_T_FLOAT = b"D"
+_T_STR = b"S"
+_T_BYTES = b"B"
+_T_LIST = b"L"
+_T_DICT = b"M"
+
+
+class CodecError(ValueError):
+    """Raised for unsupported types on encode or malformed bytes on decode."""
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise CodecError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        # No shift cap: integers are arbitrary-precision; the loop is
+        # bounded by the input length (pos advances every iteration).
+
+
+def _bigzag(value: int) -> int:
+    # Arbitrary-precision zig-zag: non-negative -> even, negative -> odd.
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+def _encode_into(out: bytearray, obj: Any) -> None:
+    if obj is None:
+        out += _T_NONE
+    elif obj is True:
+        out += _T_TRUE
+    elif obj is False:
+        out += _T_FALSE
+    elif isinstance(obj, int):
+        out += _T_INT
+        _write_varint(out, _bigzag(obj))
+    elif isinstance(obj, float):
+        out += _T_FLOAT
+        out += struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += _T_STR
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out += _T_BYTES
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(obj, (list, tuple)):
+        out += _T_LIST
+        _write_varint(out, len(obj))
+        for item in obj:
+            _encode_into(out, item)
+    elif isinstance(obj, dict):
+        out += _T_DICT
+        _write_varint(out, len(obj))
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            _write_varint(out, len(raw))
+            out += raw
+            _encode_into(out, value)
+    else:
+        raise CodecError(f"unsupported type: {type(obj).__name__}")
+
+
+def encode(obj: Any) -> bytes:
+    """Encode ``obj`` to bytes.  Raises :class:`CodecError` on unsupported
+    types (including dicts with non-string keys)."""
+    out = bytearray()
+    _encode_into(out, obj)
+    return bytes(out)
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise CodecError("truncated value")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        raw, pos = _read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise CodecError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _T_STR:
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated string")
+        return data[pos : pos + length].decode("utf-8"), pos + length
+    if tag == _T_BYTES:
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag == _T_LIST:
+        count, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        count, pos = _read_varint(data, pos)
+        result: dict[str, Any] = {}
+        for _ in range(count):
+            klen, pos = _read_varint(data, pos)
+            if pos + klen > len(data):
+                raise CodecError("truncated dict key")
+            key = data[pos : pos + klen].decode("utf-8")
+            pos += klen
+            value, pos = _decode_from(data, pos)
+            result[key] = value
+        return result, pos
+    raise CodecError(f"unknown type tag {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`.  Raises
+    :class:`CodecError` on malformed input or trailing garbage."""
+    obj, pos = _decode_from(data, 0)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after value")
+    return obj

@@ -1,0 +1,247 @@
+"""Simulated stable storage.
+
+A *disk* holds named byte areas (think: files).  The model captures the
+two facts the paper's protocols rely on:
+
+* data is durable only after an explicit :meth:`Disk.flush`
+  (``fsync``); and
+* a crash loses everything unflushed — possibly leaving a *torn tail*,
+  a partial prefix of the unflushed bytes, which the WAL's CRC framing
+  must detect and discard.
+
+:class:`MemDisk` is the in-memory implementation used by tests and
+benchmarks; its :meth:`MemDisk.crash` applies the crash semantics while
+the object itself survives, modelling a disk that outlives its node.
+:class:`FileDisk` backs the same interface with real files + ``fsync``
+for the runnable examples.
+
+Atomic replacement (:meth:`Disk.replace`) models the standard
+write-temp-file / ``fsync`` / ``rename`` idiom used for checkpoints: it
+is all-or-nothing even across a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+
+from repro.errors import DiskCrashedError
+
+
+class Disk(ABC):
+    """Abstract stable storage: named append-only areas with explicit
+    durability, plus atomically-replaceable areas for checkpoints."""
+
+    @abstractmethod
+    def append(self, area: str, data: bytes) -> int:
+        """Append ``data`` to ``area`` (buffered, not yet durable).
+        Returns the byte offset at which the data begins."""
+
+    @abstractmethod
+    def flush(self, area: str) -> None:
+        """Make all appended data in ``area`` durable."""
+
+    @abstractmethod
+    def read(self, area: str) -> bytes:
+        """Return the full current contents of ``area`` as a live process
+        sees it (durable + buffered).  Missing areas read as empty."""
+
+    @abstractmethod
+    def replace(self, area: str, data: bytes) -> None:
+        """Atomically and durably replace the contents of ``area``."""
+
+    @abstractmethod
+    def truncate(self, area: str) -> None:
+        """Durably discard the contents of ``area``."""
+
+    @abstractmethod
+    def areas(self) -> list[str]:
+        """Names of all existing areas."""
+
+    def size(self, area: str) -> int:
+        """Current length of ``area`` in bytes."""
+        return len(self.read(area))
+
+
+class MemDisk(Disk):
+    """In-memory disk with crash semantics.
+
+    Thread-safe: a single lock guards all state, matching the
+    atomic-sector assumption of real disks.
+
+    Parameters
+    ----------
+    torn_tail_bytes:
+        When the disk crashes, this many bytes of the *unflushed* buffer
+        (per area) survive as a torn tail.  The default of 0 models a
+        clean cut at the last flush; tests use positive values to
+        exercise CRC-based torn-write recovery.
+    """
+
+    def __init__(self, torn_tail_bytes: int = 0):
+        self._durable: dict[str, bytearray] = {}
+        self._buffer: dict[str, bytearray] = {}
+        self._lock = threading.Lock()
+        self._crashed = False
+        self.torn_tail_bytes = torn_tail_bytes
+        #: counters for benchmarks: how many flushes/appends happened
+        self.flush_count = 0
+        self.append_count = 0
+        self.bytes_written = 0
+
+    def _check(self) -> None:
+        if self._crashed:
+            raise DiskCrashedError("disk is in crashed state; call recover() first")
+
+    def append(self, area: str, data: bytes) -> int:
+        with self._lock:
+            self._check()
+            durable = self._durable.setdefault(area, bytearray())
+            buffer = self._buffer.setdefault(area, bytearray())
+            offset = len(durable) + len(buffer)
+            buffer += data
+            self.append_count += 1
+            self.bytes_written += len(data)
+            return offset
+
+    def flush(self, area: str) -> None:
+        with self._lock:
+            self._check()
+            buffer = self._buffer.get(area)
+            if buffer:
+                self._durable.setdefault(area, bytearray()).extend(buffer)
+                buffer.clear()
+            self.flush_count += 1
+
+    def read(self, area: str) -> bytes:
+        with self._lock:
+            self._check()
+            durable = self._durable.get(area, bytearray())
+            buffer = self._buffer.get(area, bytearray())
+            return bytes(durable) + bytes(buffer)
+
+    def replace(self, area: str, data: bytes) -> None:
+        with self._lock:
+            self._check()
+            self._durable[area] = bytearray(data)
+            self._buffer[area] = bytearray()
+            self.flush_count += 1
+
+    def truncate(self, area: str) -> None:
+        with self._lock:
+            self._check()
+            self._durable[area] = bytearray()
+            self._buffer[area] = bytearray()
+
+    def areas(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._durable) | set(self._buffer))
+
+    # -- crash semantics ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all unflushed data (keeping a torn tail of
+        ``torn_tail_bytes`` per area) and refuse I/O until
+        :meth:`recover` is called."""
+        with self._lock:
+            for area, buffer in self._buffer.items():
+                if buffer and self.torn_tail_bytes > 0:
+                    tail = bytes(buffer[: self.torn_tail_bytes])
+                    self._durable.setdefault(area, bytearray()).extend(tail)
+                buffer.clear()
+            self._crashed = True
+
+    def recover(self) -> None:
+        """Bring the disk back online after :meth:`crash`."""
+        with self._lock:
+            self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def durable_read(self, area: str) -> bytes:
+        """What would survive a crash right now (test/inspection hook)."""
+        with self._lock:
+            return bytes(self._durable.get(area, bytearray()))
+
+
+class FileDisk(Disk):
+    """Real-file-backed disk for the runnable examples.
+
+    Areas map to files under ``root``; :meth:`flush` calls ``fsync``;
+    :meth:`replace` uses the write-temp / fsync / rename idiom so it is
+    atomic on POSIX filesystems.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._handles: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _path(self, area: str) -> str:
+        safe = area.replace("/", "__")
+        return os.path.join(self.root, safe)
+
+    def _handle(self, area: str):
+        handle = self._handles.get(area)
+        if handle is None:
+            handle = open(self._path(area), "ab")
+            self._handles[area] = handle
+        return handle
+
+    def append(self, area: str, data: bytes) -> int:
+        with self._lock:
+            handle = self._handle(area)
+            offset = handle.tell()
+            handle.write(data)
+            return offset
+
+    def flush(self, area: str) -> None:
+        with self._lock:
+            handle = self._handles.get(area)
+            if handle is not None:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def read(self, area: str) -> bytes:
+        with self._lock:
+            handle = self._handles.get(area)
+            if handle is not None:
+                handle.flush()
+            path = self._path(area)
+            if not os.path.exists(path):
+                return b""
+            with open(path, "rb") as f:
+                return f.read()
+
+    def replace(self, area: str, data: bytes) -> None:
+        with self._lock:
+            handle = self._handles.pop(area, None)
+            if handle is not None:
+                handle.close()
+            path = self._path(area)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+
+    def truncate(self, area: str) -> None:
+        self.replace(area, b"")
+
+    def areas(self) -> list[str]:
+        with self._lock:
+            names = [
+                n for n in os.listdir(self.root) if not n.endswith(".tmp")
+            ]
+            return sorted(n.replace("__", "/") for n in names)
+
+    def close(self) -> None:
+        with self._lock:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()

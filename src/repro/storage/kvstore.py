@@ -1,0 +1,153 @@
+"""Recoverable key-value store.
+
+The application databases of the examples (bank accounts, orders,
+inventory — and Section 6's "persistent database of locks") are tables
+of this store.  It is a full resource manager:
+
+* reads take ``IS`` on the table + ``S`` on the key; writes take ``IX``
+  on the table + ``X`` on the key; scans take ``S`` on the table
+  (multi-granularity locking, no phantoms);
+* every write logs a redo record through the node's shared
+  :class:`~repro.transaction.log.LogManager` before applying, and
+  registers an in-memory undo with the transaction;
+* :meth:`redo` is idempotent (last-writer-wins by key), so recovery may
+  replay records already captured by a checkpoint;
+* :meth:`snapshot` / :meth:`restore` support checkpoints.
+
+Keys are strings; values are anything the codec supports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.transaction.locks import LockMode
+from repro.transaction.manager import Transaction
+
+
+class KVStore:
+    """One named, recoverable key-value table."""
+
+    def __init__(self, name: str):
+        self.rm_name = f"kv:{name}"
+        self.name = name
+        self._data: dict[str, Any] = {}
+        self._mutex = threading.Lock()
+
+    # -- lock naming ----------------------------------------------------------
+
+    def _table_resource(self) -> str:
+        return self.rm_name
+
+    def _key_resource(self, key: str) -> str:
+        return f"{self.rm_name}/{key}"
+
+    # -- transactional operations ----------------------------------------------
+
+    def get(self, txn: Transaction, key: str, default: Any = None) -> Any:
+        """Read ``key`` under ``S`` lock."""
+        txn.lock(self._table_resource(), LockMode.IS)
+        txn.lock(self._key_resource(key), LockMode.S)
+        with self._mutex:
+            return self._data.get(key, default)
+
+    def exists(self, txn: Transaction, key: str) -> bool:
+        txn.lock(self._table_resource(), LockMode.IS)
+        txn.lock(self._key_resource(key), LockMode.S)
+        with self._mutex:
+            return key in self._data
+
+    def put(self, txn: Transaction, key: str, value: Any) -> None:
+        """Write ``key`` under ``X`` lock, logged for redo, undoable."""
+        txn.lock(self._table_resource(), LockMode.IX)
+        txn.lock(self._key_resource(key), LockMode.X)
+        txn.log_update(self.rm_name, {"op": "put", "key": key, "val": value})
+        with self._mutex:
+            had_key = key in self._data
+            old = self._data.get(key)
+            self._data[key] = value
+        txn.add_undo(self._make_undo(key, had_key, old))
+
+    def delete(self, txn: Transaction, key: str) -> bool:
+        """Delete ``key``; returns whether it existed."""
+        txn.lock(self._table_resource(), LockMode.IX)
+        txn.lock(self._key_resource(key), LockMode.X)
+        with self._mutex:
+            had_key = key in self._data
+            old = self._data.get(key)
+        if not had_key:
+            return False
+        txn.log_update(self.rm_name, {"op": "del", "key": key})
+        with self._mutex:
+            self._data.pop(key, None)
+        txn.add_undo(self._make_undo(key, had_key, old))
+        return True
+
+    def update(
+        self, txn: Transaction, key: str, fn: Callable[[Any], Any], default: Any = None
+    ) -> Any:
+        """Read-modify-write under ``X`` from the start (no upgrade
+        deadlocks on hot keys)."""
+        txn.lock(self._table_resource(), LockMode.IX)
+        txn.lock(self._key_resource(key), LockMode.X)
+        with self._mutex:
+            current = self._data.get(key, default)
+        new_value = fn(current)
+        self.put(txn, key, new_value)
+        return new_value
+
+    def scan(self, txn: Transaction, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        """Iterate (key, value) pairs in key order under a table ``S``
+        lock (stable against concurrent writers)."""
+        txn.lock(self._table_resource(), LockMode.S)
+        with self._mutex:
+            items = sorted(
+                (k, v) for k, v in self._data.items() if k.startswith(prefix)
+            )
+        yield from items
+
+    def count(self, txn: Transaction) -> int:
+        txn.lock(self._table_resource(), LockMode.S)
+        with self._mutex:
+            return len(self._data)
+
+    def _make_undo(self, key: str, had_key: bool, old: Any) -> Callable[[], None]:
+        def undo() -> None:
+            with self._mutex:
+                if had_key:
+                    self._data[key] = old
+                else:
+                    self._data.pop(key, None)
+
+        return undo
+
+    # -- non-transactional inspection (monitoring/tests only) --------------------
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Dirty read without locks — for assertions and monitors."""
+        with self._mutex:
+            return self._data.get(key, default)
+
+    def size(self) -> int:
+        with self._mutex:
+            return len(self._data)
+
+    # -- resource-manager protocol -------------------------------------------------
+
+    def redo(self, data: dict[str, Any]) -> None:
+        with self._mutex:
+            if data["op"] == "put":
+                self._data[data["key"]] = data["val"]
+            elif data["op"] == "del":
+                self._data.pop(data["key"], None)
+            else:  # pragma: no cover - log corruption guard
+                raise ValueError(f"unknown kvstore redo op {data['op']!r}")
+
+    def snapshot(self) -> Any:
+        with self._mutex:
+            return dict(self._data)
+
+    def restore(self, state: Any) -> None:
+        with self._mutex:
+            self._data = dict(state)

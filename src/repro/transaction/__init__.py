@@ -1,0 +1,39 @@
+"""Transaction-processing substrate.
+
+The paper requires (Section 4) that queue operations are all-or-nothing,
+serializable with respect to each other, and — when invoked from within
+a transaction — obey full transaction semantics.  This package provides
+the machinery:
+
+* :mod:`repro.transaction.locks` — strict two-phase locking with a
+  waits-for-graph deadlock detector,
+* :mod:`repro.transaction.log` — a typed, shared, force-at-commit redo
+  log multiplexing every resource manager of a node over one WAL,
+* :mod:`repro.transaction.manager` — begin / commit / abort, in-memory
+  undo, commit and abort hooks,
+* :mod:`repro.transaction.recovery` — restart recovery (checkpoint +
+  redo of committed work, in-doubt transaction extraction),
+* :mod:`repro.transaction.twophase` — two-phase commit across nodes
+  (the "multiple transaction protocols" concern of Section 6).
+"""
+
+from repro.transaction.ids import TxnId, TxnStatus
+from repro.transaction.locks import LockManager, LockMode
+from repro.transaction.log import LogManager, LogRecord
+from repro.transaction.manager import Transaction, TransactionManager
+from repro.transaction.recovery import recover, RecoveryReport
+from repro.transaction.twophase import TwoPhaseCoordinator
+
+__all__ = [
+    "TxnId",
+    "TxnStatus",
+    "LockManager",
+    "LockMode",
+    "LogManager",
+    "LogRecord",
+    "Transaction",
+    "TransactionManager",
+    "recover",
+    "RecoveryReport",
+    "TwoPhaseCoordinator",
+]

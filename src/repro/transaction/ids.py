@@ -1,0 +1,27 @@
+"""Transaction identifiers and states."""
+
+from __future__ import annotations
+
+import enum
+
+#: Transaction ids are plain integers, unique per transaction manager.
+#: Cross-node (two-phase commit) transactions get a *global* id string
+#: of the form ``"<coordinator>:<local id>"``.
+TxnId = int
+
+
+class TxnStatus(enum.Enum):
+    """Life-cycle of a transaction.
+
+    ``PREPARED`` exists only for two-phase-commit branches: the branch
+    is durable and holds its locks, awaiting the coordinator's decision.
+    """
+
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TxnStatus.COMMITTED, TxnStatus.ABORTED)

@@ -1,0 +1,282 @@
+"""Strict two-phase locking with deadlock detection.
+
+The lock manager grants shared (``S``) and exclusive (``X``) locks on
+named resources to transaction owners.  Waiting is real (condition
+variables), so multi-threaded benchmarks measure genuine contention;
+deadlocks are detected by cycle search in the waits-for graph and
+resolved by aborting the *requester* (the classic "die" policy, which
+is deterministic and starvation-free for our workloads).
+
+Two features exist specifically for the paper's experiments:
+
+* **wait statistics** (:attr:`LockManager.stats`) feed benchmark C1
+  (one-transaction vs three-transaction client designs) and C4/C5
+  (multi-transaction contention); and
+* **instantaneous conflict probes** (:meth:`LockManager.would_block`)
+  let the skip-locked dequeue of Section 10 pass over write-locked
+  queue elements without blocking.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    """Multi-granularity lock modes.
+
+    ``IS``/``IX`` are intention locks taken on a *table* before locking
+    individual keys; ``S`` on a table is what a scan takes, so scans
+    conflict with any writer's table-level ``IX`` (no phantoms).
+    """
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return other in _COMPATIBLE[self]
+
+    def covers(self, other: "LockMode") -> bool:
+        """True if holding ``self`` makes a request for ``other`` a no-op."""
+        return other in _COVERS[self]
+
+    def join(self, other: "LockMode") -> "LockMode":
+        """Least mode at least as strong as both (upgrade target)."""
+        if self.covers(other):
+            return self
+        if other.covers(self):
+            return other
+        # The only incomparable pair without a SIX mode is {S, IX}.
+        return LockMode.X
+
+
+_COMPATIBLE: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.IS: frozenset({LockMode.IS, LockMode.IX, LockMode.S}),
+    LockMode.IX: frozenset({LockMode.IS, LockMode.IX}),
+    LockMode.S: frozenset({LockMode.IS, LockMode.S}),
+    LockMode.X: frozenset(),
+}
+
+_COVERS: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.IS: frozenset({LockMode.IS}),
+    LockMode.IX: frozenset({LockMode.IX, LockMode.IS}),
+    LockMode.S: frozenset({LockMode.S, LockMode.IS}),
+    LockMode.X: frozenset({LockMode.X, LockMode.S, LockMode.IX, LockMode.IS}),
+}
+
+
+@dataclass
+class LockStats:
+    """Aggregate contention statistics (benchmark instrumentation)."""
+
+    acquisitions: int = 0
+    waits: int = 0
+    wait_time: float = 0.0
+    deadlocks: int = 0
+    timeouts: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "acquisitions": self.acquisitions,
+            "waits": self.waits,
+            "wait_time": self.wait_time,
+            "deadlocks": self.deadlocks,
+            "timeouts": self.timeouts,
+        }
+
+
+@dataclass
+class _LockState:
+    """Per-resource state: current holders and their modes."""
+
+    holders: dict[object, LockMode] = field(default_factory=dict)
+
+    def conflicts_with(self, owner: object, mode: LockMode) -> set[object]:
+        """Owners (other than ``owner``) whose held mode conflicts with a
+        request for ``mode``."""
+        return {
+            holder
+            for holder, held in self.holders.items()
+            if holder != owner and not held.compatible(mode)
+        }
+
+
+class LockManager:
+    """Blocking lock manager with waits-for deadlock detection.
+
+    Owners are opaque hashable values (transaction ids).  All public
+    methods are thread-safe.
+    """
+
+    def __init__(self, default_timeout: float | None = 10.0):
+        self._mutex = threading.Lock()
+        self._granted: dict[str, _LockState] = defaultdict(_LockState)
+        self._waits_for: dict[object, set[object]] = {}
+        self._cond = threading.Condition(self._mutex)
+        self._held_by_owner: dict[object, set[str]] = defaultdict(set)
+        self.default_timeout = default_timeout
+        self.stats = LockStats()
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: object,
+        resource: str,
+        mode: LockMode,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``owner``.
+
+        Blocks until granted.  Raises :class:`DeadlockError` if waiting
+        would close a cycle in the waits-for graph, or
+        :class:`LockTimeoutError` on timeout.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            state = self._granted[resource]
+            held = state.holders.get(owner)
+            if held is not None and held.covers(mode):
+                return  # already sufficient
+            # An upgrade may land on a mode stronger than requested
+            # (e.g. S + IX -> X, absent a SIX mode): the conflict check
+            # must use that target, or the upgrade grants more than the
+            # other holders allow.
+            target = mode if held is None else held.join(mode)
+            waited = False
+            wait_start = 0.0
+            while True:
+                blockers = state.conflicts_with(owner, target)
+                if not blockers:
+                    break
+                self._waits_for[owner] = blockers
+                if self._detects_cycle(owner):
+                    del self._waits_for[owner]
+                    self.stats.deadlocks += 1
+                    raise DeadlockError(
+                        f"{owner} waiting for {sorted(map(str, blockers))} on "
+                        f"{resource!r} closes a waits-for cycle"
+                    )
+                if not waited:
+                    waited = True
+                    wait_start = time.monotonic()
+                    self.stats.waits += 1
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    del self._waits_for[owner]
+                    self.stats.timeouts += 1
+                    self.stats.wait_time += time.monotonic() - wait_start
+                    raise LockTimeoutError(
+                        f"{owner} timed out waiting for {mode.value} on {resource!r}"
+                    )
+                # Cap each wait so the waits-for graph is re-examined
+                # periodically even if no notify arrives (a cycle can
+                # form while this owner sleeps).
+                self._cond.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
+            self._waits_for.pop(owner, None)
+            if waited:
+                self.stats.wait_time += time.monotonic() - wait_start
+            state.holders[owner] = target
+            self._held_by_owner[owner].add(resource)
+            self.stats.acquisitions += 1
+
+    def would_block(self, owner: object, resource: str, mode: LockMode) -> bool:
+        """True if an ``acquire`` by ``owner`` would have to wait right now.
+        Used by skip-locked dequeue (Section 10)."""
+        with self._mutex:
+            state = self._granted.get(resource)
+            if state is None:
+                return False
+            held = state.holders.get(owner)
+            if held is not None and held.covers(mode):
+                return False
+            target = mode if held is None else held.join(mode)
+            return bool(state.conflicts_with(owner, target))
+
+    def try_acquire(self, owner: object, resource: str, mode: LockMode) -> bool:
+        """Non-blocking acquire; returns False instead of waiting."""
+        with self._cond:
+            state = self._granted[resource]
+            held = state.holders.get(owner)
+            if held is not None and held.covers(mode):
+                return True
+            target = mode if held is None else held.join(mode)
+            if state.conflicts_with(owner, target):
+                return False
+            state.holders[owner] = target
+            self._held_by_owner[owner].add(resource)
+            self.stats.acquisitions += 1
+            return True
+
+    # -- release -------------------------------------------------------------
+
+    def release_all(self, owner: object) -> None:
+        """Release every lock held by ``owner`` (end of transaction —
+        strict 2PL releases only here)."""
+        with self._cond:
+            for resource in self._held_by_owner.pop(owner, set()):
+                state = self._granted.get(resource)
+                if state is not None:
+                    state.holders.pop(owner, None)
+                    if not state.holders:
+                        del self._granted[resource]
+            self._cond.notify_all()
+
+    def transfer(self, from_owner: object, to_owner: object) -> list[str]:
+        """Re-own every lock of ``from_owner`` to ``to_owner``.
+
+        Implements Section 6's *lock inheritance*: "each transaction's
+        database locks are inherited by the next transaction in the
+        sequence".  Returns the transferred resource names.
+        """
+        with self._cond:
+            resources = self._held_by_owner.pop(from_owner, set())
+            for resource in resources:
+                state = self._granted.get(resource)
+                if state is not None and from_owner in state.holders:
+                    mode = state.holders.pop(from_owner)
+                    existing = state.holders.get(to_owner)
+                    state.holders[to_owner] = (
+                        mode if existing is None else existing.join(mode)
+                    )
+                    self._held_by_owner[to_owner].add(resource)
+            self._cond.notify_all()
+            return sorted(resources)
+
+    # -- introspection ---------------------------------------------------------
+
+    def holders(self, resource: str) -> dict[object, LockMode]:
+        with self._mutex:
+            state = self._granted.get(resource)
+            return dict(state.holders) if state else {}
+
+    def held_by(self, owner: object) -> set[str]:
+        with self._mutex:
+            return set(self._held_by_owner.get(owner, set()))
+
+    # -- deadlock detection -----------------------------------------------------
+
+    def _detects_cycle(self, start: object) -> bool:
+        """DFS through waits-for edges; blockers that are themselves
+        waiting contribute their own edges."""
+        seen: set[object] = set()
+        stack = list(self._waits_for.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False

@@ -1,0 +1,162 @@
+"""Typed, shared, force-at-commit redo log.
+
+One :class:`LogManager` serves *all* resource managers of a node over a
+single :class:`~repro.storage.wal.WriteAheadLog`.  Because the commit
+record is a single log append, a transaction that touches several RMs
+(the server's ``Dequeue; update database; Enqueue`` of Section 5) is
+atomic without any intra-node commit protocol.
+
+Record kinds
+------------
+
+``upd``
+    A redo record for one RM update, tagged with its transaction.
+    Replayed at recovery only if the transaction committed.
+``cmt`` / ``abt``
+    Transaction outcome.  ``cmt`` is force-flushed (force-at-commit);
+    ``abt`` is advisory (an uncommitted transaction is aborted by
+    omission).
+``auto``
+    An auto-committed update: durable and replayed unconditionally, in
+    log order.  Used for state that must survive even when the
+    enclosing transaction aborts — e.g. the dequeue-abort counters that
+    drive the error-queue bound of Section 4.2, and the persistent
+    registration records of Section 4.3 when updated outside any
+    transaction (the client side of the queue "gateway").
+``prep``
+    Two-phase-commit branch prepared (force-flushed; carries the global
+    transaction id and the locks to be re-acquired at recovery).
+``out``
+    Two-phase-commit outcome applied at a participant for a previously
+    prepared branch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import CheckpointError
+from repro.storage.codec import decode, encode
+from repro.storage.disk import Disk
+from repro.storage.wal import WriteAheadLog
+
+KIND_UPDATE = "upd"
+KIND_COMMIT = "cmt"
+KIND_ABORT = "abt"
+KIND_AUTO = "auto"
+KIND_PREPARE = "prep"
+KIND_OUTCOME = "out"
+
+_CHECKPOINT_AREA_SUFFIX = ".ckpt"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Decoded log record."""
+
+    lsn: int
+    kind: str
+    txn_id: int | None
+    rm: str | None
+    data: dict[str, Any]
+
+
+class LogManager:
+    """Shared typed log + checkpoint area for one node."""
+
+    def __init__(self, disk: Disk, area: str = "log"):
+        self.disk = disk
+        self.area = area
+        self.wal = WriteAheadLog(disk, area)
+        self._lock = threading.Lock()
+        #: counters for benchmarks
+        self.update_records = 0
+        self.commit_records = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def _append(self, kind: str, txn_id: int | None, rm: str | None, data: dict[str, Any], *, flush: bool) -> int:
+        payload = encode({"k": kind, "t": txn_id, "rm": rm, "d": data})
+        if flush:
+            return self.wal.append_flush(payload)
+        return self.wal.append(payload)
+
+    def log_update(self, txn_id: int, rm: str, data: dict[str, Any]) -> int:
+        """Buffered redo record; durability comes with the commit flush."""
+        self.update_records += 1
+        return self._append(KIND_UPDATE, txn_id, rm, data, flush=False)
+
+    def log_auto(self, rm: str, data: dict[str, Any]) -> int:
+        """Auto-committed update: immediately durable, replayed always."""
+        return self._append(KIND_AUTO, None, rm, data, flush=True)
+
+    def log_commit(self, txn_id: int) -> int:
+        """Force-at-commit: the commit record and everything before it
+        become durable together."""
+        self.commit_records += 1
+        return self._append(KIND_COMMIT, txn_id, None, {}, flush=True)
+
+    def log_abort(self, txn_id: int, reason: str = "") -> int:
+        return self._append(KIND_ABORT, txn_id, None, {"reason": reason}, flush=False)
+
+    def log_prepare(self, txn_id: int, global_id: str, locks: list[str]) -> int:
+        return self._append(
+            KIND_PREPARE, txn_id, None, {"gid": global_id, "locks": locks}, flush=True
+        )
+
+    def log_outcome(self, txn_id: int, decision: str) -> int:
+        return self._append(KIND_OUTCOME, txn_id, None, {"decision": decision}, flush=True)
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self) -> list[LogRecord]:
+        """All durable+buffered records, in order (live view)."""
+        out = []
+        for raw in self.wal.scan():
+            body = decode(raw.payload)
+            out.append(
+                LogRecord(raw.lsn, body["k"], body["t"], body["rm"], body["d"])
+            )
+        return out
+
+    # -- checkpointing ----------------------------------------------------------
+
+    @property
+    def checkpoint_area(self) -> str:
+        return self.area + _CHECKPOINT_AREA_SUFFIX
+
+    def write_checkpoint(self, snapshots: dict[str, Any]) -> None:
+        """Atomically persist RM snapshots, then truncate the log.
+
+        A crash between the two steps leaves the checkpoint *and* the old
+        log; recovery replays the log on top of the checkpoint, which is
+        safe because RM redo is idempotent.
+        """
+        self.disk.replace(self.checkpoint_area, encode({"rms": snapshots}))
+        self.wal.reset()
+
+    def read_checkpoint(self) -> dict[str, Any] | None:
+        raw = self.disk.read(self.checkpoint_area)
+        if not raw:
+            return None
+        try:
+            body = decode(raw)
+        except Exception as exc:  # codec error -> unusable checkpoint
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        return body["rms"]
+
+    # -- analysis helpers (used by recovery) ---------------------------------------
+
+    def committed_txns(self, records: Iterable[LogRecord] | None = None) -> set[int]:
+        recs = self.records() if records is None else records
+        return {r.txn_id for r in recs if r.kind == KIND_COMMIT and r.txn_id is not None}
+
+    def outcome_decisions(self, records: Iterable[LogRecord] | None = None) -> dict[int, str]:
+        recs = self.records() if records is None else records
+        return {
+            r.txn_id: r.data["decision"]
+            for r in recs
+            if r.kind == KIND_OUTCOME and r.txn_id is not None
+        }

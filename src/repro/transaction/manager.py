@@ -1,0 +1,263 @@
+"""Transaction manager: begin / commit / abort with strict 2PL.
+
+Design (see DESIGN.md §5):
+
+* **Redo-only WAL, in-memory undo.**  An RM applies each update to its
+  volatile state immediately after logging a redo record.  Commit
+  writes + flushes one ``cmt`` record (force-at-commit).  Abort runs
+  the transaction's in-memory undo stack in reverse.  A crash simply
+  discards volatile state; recovery replays only committed records, so
+  uncommitted work vanishes with no undo pass.
+* **Strict two-phase locking.**  Locks are acquired through the
+  transaction and released only at commit/abort (or transferred to a
+  successor — Section 6's lock inheritance).
+* **Hooks.**  ``on_commit`` / ``on_abort`` callbacks run after the
+  outcome is decided and logged; the queue manager uses them to make
+  elements visible, wake blocked dequeuers, return aborted dequeues to
+  their queue, and bump durable abort counters for the error-queue
+  bound of Section 4.2.
+
+Crash points (for the crash-at-every-step harness):
+
+* ``tm.commit.before_log`` — all work done, commit record not yet
+  durable: the transaction must roll back at recovery.
+* ``tm.commit.after_log`` — commit record durable, hooks/locks not yet
+  processed: the transaction must be durable at recovery.
+* ``tm.abort.before_undo`` / ``tm.abort.after_undo``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.transaction.ids import TxnStatus
+from repro.transaction.locks import LockManager, LockMode
+from repro.transaction.log import LogManager
+
+
+class Transaction:
+    """One transaction.  Not thread-safe: a transaction belongs to the
+    single thread (simulated process) executing it."""
+
+    def __init__(self, tm: "TransactionManager", txn_id: int):
+        self.tm = tm
+        self.id = txn_id
+        self.status = TxnStatus.ACTIVE
+        self._undo: list[Callable[[], None]] = []
+        self._on_commit: list[Callable[[], None]] = []
+        self._on_abort: list[Callable[[], None]] = []
+        #: global id when this is a two-phase-commit branch
+        self.global_id: str | None = None
+
+    # -- resource-manager interface -----------------------------------------
+
+    def require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"transaction {self.id} is {self.status.value}, not active"
+            )
+
+    def lock(self, resource: str, mode: LockMode) -> None:
+        """Acquire a lock on behalf of this transaction (strict 2PL:
+        released only at end of transaction)."""
+        self.require_active()
+        try:
+            self.tm.locks.acquire(self.id, resource, mode)
+        except Exception:
+            # Deadlock/timeout: caller decides whether to abort; the lock
+            # was not granted, so no cleanup is needed here.
+            raise
+
+    def log_update(self, rm: str, data: dict[str, Any]) -> int:
+        self.require_active()
+        return self.tm.log.log_update(self.id, rm, data)
+
+    def add_undo(self, fn: Callable[[], None]) -> None:
+        """Register a closure that reverses one volatile update."""
+        self.require_active()
+        self._undo.append(fn)
+
+    def on_commit(self, fn: Callable[[], None]) -> None:
+        self._on_commit.append(fn)
+
+    def on_abort(self, fn: Callable[[], None]) -> None:
+        self._on_abort.append(fn)
+
+    # -- outcomes -------------------------------------------------------------
+
+    def commit(self) -> None:
+        self.tm.commit(self)
+
+    def abort(self, reason: str = "application abort") -> None:
+        self.tm.abort(self, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Transaction(id={self.id}, status={self.status.value})"
+
+
+class TransactionManager:
+    """Per-node transaction manager."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        locks: LockManager | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        self.log = log
+        self.locks = locks if locks is not None else LockManager()
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._next_id = 1
+        self._mutex = threading.Lock()
+        self._active: dict[int, Transaction] = {}
+        #: counters for benchmarks
+        self.commits = 0
+        self.aborts = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._mutex:
+            txn_id = self._next_id
+            self._next_id += 1
+            txn = Transaction(self, txn_id)
+            self._active[txn_id] = txn
+            return txn
+
+    def set_next_id(self, next_id: int) -> None:
+        """Recovery hook: resume ids after the highest one in the log so
+        restarted nodes never reuse a transaction id."""
+        with self._mutex:
+            self._next_id = max(self._next_id, next_id)
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: force the log, then release locks and fire hooks."""
+        txn.require_active()
+        self.injector.reach("tm.commit.before_log")
+        self.log.log_commit(txn.id)
+        self.injector.reach("tm.commit.after_log")
+        txn.status = TxnStatus.COMMITTED
+        self._finish(txn, txn._on_commit)
+        self.commits += 1
+
+    def abort(self, txn: Transaction, reason: str = "application abort") -> None:
+        """Abort: reverse volatile effects, then release locks and fire
+        abort hooks (queue elements return to their queues here)."""
+        if txn.status is TxnStatus.ABORTED:
+            return
+        if txn.status is TxnStatus.COMMITTED:
+            raise InvalidTransactionState(f"transaction {txn.id} already committed")
+        self.injector.reach("tm.abort.before_undo")
+        for undo in reversed(txn._undo):
+            undo()
+        self.injector.reach("tm.abort.after_undo")
+        self.log.log_abort(txn.id, reason)
+        txn.status = TxnStatus.ABORTED
+        self._finish(txn, txn._on_abort)
+        self.aborts += 1
+
+    def abort_by_id(self, txn_id: int, reason: str = "external abort") -> bool:
+        """Abort an active transaction by id.
+
+        Used by Section 7's Kill_element: "If it was dequeued by a
+        transaction that has not yet committed, the transaction is
+        aborted".  Returns False if no such active transaction exists.
+        The owning process discovers the abort on its next operation
+        (``require_active`` raises).
+        """
+        with self._mutex:
+            txn = self._active.get(txn_id)
+        if txn is None:
+            return False
+        self.abort(txn, reason)
+        return True
+
+    def _finish(self, txn: Transaction, hooks: list[Callable[[], None]]) -> None:
+        with self._mutex:
+            self._active.pop(txn.id, None)
+        # Hooks run while locks are still held so that, e.g., a returned
+        # queue element becomes visible atomically with the lock release
+        # that follows.
+        for hook in hooks:
+            hook()
+        self.locks.release_all(txn.id)
+        txn._undo.clear()
+
+    # -- two-phase-commit branch support ------------------------------------------
+
+    def prepare(self, txn: Transaction, global_id: str) -> None:
+        """Make the branch durable while keeping its locks (2PC phase 1)."""
+        txn.require_active()
+        locks = sorted(self.locks.held_by(txn.id))
+        self.injector.reach("tm.prepare.before_log")
+        self.log.log_prepare(txn.id, global_id, locks)
+        self.injector.reach("tm.prepare.after_log")
+        txn.status = TxnStatus.PREPARED
+        txn.global_id = global_id
+
+    def commit_prepared(self, txn: Transaction) -> None:
+        if txn.status is not TxnStatus.PREPARED:
+            raise InvalidTransactionState(
+                f"transaction {txn.id} is {txn.status.value}, not prepared"
+            )
+        self.log.log_outcome(txn.id, "commit")
+        txn.status = TxnStatus.COMMITTED
+        self._finish(txn, txn._on_commit)
+        self.commits += 1
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        if txn.status is not TxnStatus.PREPARED:
+            raise InvalidTransactionState(
+                f"transaction {txn.id} is {txn.status.value}, not prepared"
+            )
+        self.log.log_outcome(txn.id, "abort")
+        for undo in reversed(txn._undo):
+            undo()
+        txn.status = TxnStatus.ABORTED
+        self._finish(txn, txn._on_abort)
+        self.aborts += 1
+
+    # -- conveniences ---------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with tm.transaction() as txn:`` — commit on success, abort on
+        any exception (the exception is re-raised)."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException as exc:
+            if txn.status is TxnStatus.ACTIVE:
+                # A SimulatedCrash must not trigger a graceful abort: the
+                # "process" is gone.  Volatile state is discarded wholesale
+                # by the harness, which is equivalent.
+                from repro.errors import SimulatedCrash
+
+                if not isinstance(exc, SimulatedCrash):
+                    self.abort(txn, reason=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            if txn.status is TxnStatus.ACTIVE:
+                self.commit(txn)
+            elif txn.status is TxnStatus.ABORTED:
+                # Externally aborted (e.g. Kill_element) while the body
+                # ran: the work is gone, the caller must know.
+                raise TransactionAborted(txn.id, "aborted externally")
+
+    def run(self, fn: Callable[[Transaction], Any], attempts: int = 3) -> Any:
+        """Run ``fn`` in a transaction, retrying on deadlock up to
+        ``attempts`` times."""
+        from repro.errors import DeadlockError
+
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                with self.transaction() as txn:
+                    return fn(txn)
+            except DeadlockError as exc:
+                last = exc
+        raise TransactionAborted(None, f"deadlock retries exhausted: {last}")

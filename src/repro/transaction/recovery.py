@@ -1,0 +1,172 @@
+"""Restart recovery.
+
+After a crash a node's volatile state is gone.  Recovery rebuilds it:
+
+1. load the latest checkpoint (if any) into each resource manager;
+2. scan the log once, classifying transactions into *committed*
+   (``cmt`` record, or ``prep`` followed by a commit ``out``-come),
+   *aborted/forgotten* (everything else), and *in doubt* (``prep``
+   without an outcome — a two-phase-commit branch awaiting its
+   coordinator);
+3. replay, in log order, the ``upd`` records of committed transactions
+   and every ``auto`` record (RM redo is idempotent, so records already
+   captured by the checkpoint are harmless);
+4. stash the updates of in-doubt branches and re-acquire their locks,
+   so conflicting work stays blocked until the coordinator's decision
+   arrives (resolved via :meth:`InDoubtBranch.resolve`).
+
+This is the standard redo-only counterpart of ARIES for a no-steal
+volatile cache: no undo pass is ever needed because uncommitted work
+never reaches stable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transaction.locks import LockManager, LockMode
+from repro.transaction.log import (
+    KIND_AUTO,
+    KIND_COMMIT,
+    KIND_OUTCOME,
+    KIND_PREPARE,
+    KIND_UPDATE,
+    LogManager,
+    LogRecord,
+)
+from repro.transaction.manager import TransactionManager
+from repro.transaction.resource import ResourceManager
+
+
+@dataclass
+class InDoubtBranch:
+    """A prepared two-phase-commit branch awaiting its coordinator.
+
+    Holds the branch's redo records and its re-acquired locks; call
+    :meth:`resolve` with the coordinator's decision.
+    """
+
+    txn_id: int
+    global_id: str
+    locks: list[str]
+    updates: list[LogRecord] = field(default_factory=list)
+    _log: LogManager | None = None
+    _rms: dict[str, ResourceManager] | None = None
+    _lock_manager: LockManager | None = None
+    resolved: str | None = None
+
+    def resolve(self, decision: str) -> None:
+        """Apply the coordinator's decision: ``"commit"`` replays the
+        branch's updates; either way the outcome is logged and the
+        branch's locks are released."""
+        if self.resolved is not None:
+            return
+        if decision not in ("commit", "abort"):
+            raise ValueError(f"decision must be 'commit' or 'abort', got {decision!r}")
+        assert self._log is not None and self._rms is not None
+        if decision == "commit":
+            for record in self.updates:
+                rm = self._rms.get(record.rm or "")
+                if rm is not None:
+                    rm.redo(record.data)
+        self._log.log_outcome(self.txn_id, decision)
+        if self._lock_manager is not None:
+            self._lock_manager.release_all(("indoubt", self.txn_id))
+        self.resolved = decision
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did."""
+
+    checkpoint_loaded: bool
+    committed: set[int]
+    replayed_updates: int
+    replayed_autos: int
+    in_doubt: list[InDoubtBranch]
+    max_txn_id: int
+
+
+def recover(
+    log: LogManager,
+    rms: dict[str, ResourceManager],
+    tm: TransactionManager | None = None,
+    lock_manager: LockManager | None = None,
+) -> RecoveryReport:
+    """Rebuild the volatile state of every RM in ``rms`` from the log.
+
+    ``tm`` (if given) has its transaction-id counter advanced past every
+    id seen in the log.  ``lock_manager`` (if given) re-acquires the
+    locks of in-doubt branches under the synthetic owner
+    ``("indoubt", txn_id)``.
+    """
+    snapshots = log.read_checkpoint()
+    checkpoint_loaded = snapshots is not None
+    if snapshots:
+        for name, state in snapshots.items():
+            rm = rms.get(name)
+            if rm is not None:
+                rm.restore(state)
+
+    records = log.records()
+    committed = {r.txn_id for r in records if r.kind == KIND_COMMIT and r.txn_id is not None}
+    outcomes = {
+        r.txn_id: r.data["decision"]
+        for r in records
+        if r.kind == KIND_OUTCOME and r.txn_id is not None
+    }
+    prepared: dict[int, LogRecord] = {
+        r.txn_id: r
+        for r in records
+        if r.kind == KIND_PREPARE and r.txn_id is not None
+    }
+    committed |= {tid for tid, decision in outcomes.items() if decision == "commit"}
+    in_doubt_ids = {tid for tid in prepared if tid not in outcomes}
+
+    branches = {
+        tid: InDoubtBranch(
+            txn_id=tid,
+            global_id=prepared[tid].data["gid"],
+            locks=list(prepared[tid].data["locks"]),
+            _log=log,
+            _rms=rms,
+            _lock_manager=lock_manager,
+        )
+        for tid in in_doubt_ids
+    }
+
+    replayed_updates = 0
+    replayed_autos = 0
+    max_txn_id = 0
+    for record in records:
+        if record.txn_id is not None:
+            max_txn_id = max(max_txn_id, record.txn_id)
+        if record.kind == KIND_UPDATE:
+            if record.txn_id in committed:
+                rm = rms.get(record.rm or "")
+                if rm is not None:
+                    rm.redo(record.data)
+                    replayed_updates += 1
+            elif record.txn_id in in_doubt_ids:
+                branches[record.txn_id].updates.append(record)
+        elif record.kind == KIND_AUTO:
+            rm = rms.get(record.rm or "")
+            if rm is not None:
+                rm.redo(record.data)
+                replayed_autos += 1
+
+    if tm is not None:
+        tm.set_next_id(max_txn_id + 1)
+    if lock_manager is not None:
+        for branch in branches.values():
+            for resource in branch.locks:
+                lock_manager.acquire(("indoubt", branch.txn_id), resource, LockMode.X)
+
+    return RecoveryReport(
+        checkpoint_loaded=checkpoint_loaded,
+        committed=committed,
+        replayed_updates=replayed_updates,
+        replayed_autos=replayed_autos,
+        in_doubt=sorted(branches.values(), key=lambda b: b.txn_id),
+        max_txn_id=max_txn_id,
+    )

@@ -1,0 +1,43 @@
+"""Resource-manager protocol.
+
+Every recoverable component of a node — the KV store, each recoverable
+queue, the registration table — is a *resource manager* (RM).  The
+paper's phrase for this is direct: "the reply processor (e.g., user) is
+just another 'resource manager' that participates in the transaction"
+(Section 2).
+
+An RM:
+
+* applies its updates to volatile state immediately (inside the
+  invoking transaction), after writing a **redo** record through the
+  node's shared :class:`~repro.transaction.log.LogManager`;
+* registers **undo** closures with the transaction so an abort can
+  reverse the volatile effects;
+* implements :meth:`ResourceManager.redo` so restart recovery can
+  rebuild volatile state by replaying committed records; redo must be
+  **idempotent** (recovery may replay records already captured in a
+  checkpoint);
+* implements :meth:`snapshot` / :meth:`restore` for checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ResourceManager(Protocol):
+    """Interface every recoverable component implements."""
+
+    #: Unique name within the node; log records are routed by this name.
+    rm_name: str
+
+    def redo(self, data: dict[str, Any]) -> None:
+        """Re-apply one committed update record to volatile state.
+        Must be idempotent."""
+
+    def snapshot(self) -> Any:
+        """Codec-encodable representation of the full volatile state."""
+
+    def restore(self, state: Any) -> None:
+        """Replace volatile state with a :meth:`snapshot` result."""

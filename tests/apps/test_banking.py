@@ -1,0 +1,120 @@
+"""Banking app tests: invariants under every execution style."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.banking import BankApp, InsufficientFunds
+from repro.core.devices import DisplayWithUserIds
+from repro.core.system import TPSystem
+
+from tests.conftest import run_with_server
+
+
+@pytest.fixture
+def bank_system():
+    system = TPSystem()
+    bank = BankApp(system)
+    bank.open_accounts({"alice": 100, "bob": 50, "carol": 25})
+    return system, bank
+
+
+class TestAccounts:
+    def test_balances(self, bank_system):
+        _, bank = bank_system
+        assert bank.balance("alice") == 100
+        assert bank.total_money() == 175
+
+    def test_unknown_account_raises(self, bank_system):
+        _, bank = bank_system
+        with pytest.raises(KeyError):
+            bank.balance("mallory")
+
+
+class TestSingleTxnTransfers:
+    def test_transfer_round_trip(self, bank_system):
+        system, bank = bank_system
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client(
+            "c1", bank.transfer_work([("alice", "bob", 10), ("bob", "carol", 5)]),
+            display,
+        )
+        server = system.server("s", bank.transfer_handler)
+        run_with_server(system, server, client)
+        assert bank.balance("alice") == 90
+        assert bank.balance("bob") == 55
+        assert bank.balance("carol") == 30
+        assert bank.total_money() == 175
+        system.checker().assert_ok()
+
+    def test_insufficient_funds_is_failed_reply_not_retry(self, bank_system):
+        system, bank = bank_system
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client(
+            "c1", bank.transfer_work([("carol", "alice", 1000)]), display
+        )
+        server = system.server("s", bank.transfer_handler)
+        replies = run_with_server(system, server, client)
+        assert len(replies) == 1
+        assert not replies[0].ok
+        assert bank.total_money() == 175
+        assert server.stats.failed_replies == 1
+        system.checker().assert_ok()
+
+    def test_audit_log_written(self, bank_system):
+        system, bank = bank_system
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client("c1", bank.transfer_work([("alice", "bob", 7)]), display)
+        server = system.server("s", bank.transfer_handler)
+        run_with_server(system, server, client)
+        entries = bank.audit_entries("c1#1")
+        assert len(entries) == 1
+        assert entries[0]["amount"] == 7
+
+    def test_money_conserved_across_concurrent_clients(self, bank_system):
+        import threading
+
+        system, bank = bank_system
+        pairs = [("alice", "bob", 3), ("bob", "carol", 2), ("carol", "alice", 1)]
+        clients = [
+            system.client(
+                f"c{i}", bank.transfer_work([pair]), DisplayWithUserIds(trace=system.trace)
+            )
+            for i, pair in enumerate(pairs)
+        ]
+        servers = [system.server(f"s{i}", bank.transfer_handler) for i in range(2)]
+        stop = threading.Event()
+        server_threads = [
+            threading.Thread(target=s.serve_until, args=(stop.is_set, 0.02), daemon=True)
+            for s in servers
+        ]
+        for t in server_threads:
+            t.start()
+        client_threads = [threading.Thread(target=c.run, daemon=True) for c in clients]
+        for t in client_threads:
+            t.start()
+        for t in client_threads:
+            t.join(timeout=30)
+        stop.set()
+        for t in server_threads:
+            t.join(timeout=5)
+        assert bank.total_money() == 175
+        system.checker().assert_ok()
+
+
+class TestTransferCrash:
+    def test_money_conserved_across_crash_mid_transfer(self, bank_system):
+        system, bank = bank_system
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client("c1", bank.transfer_work([("alice", "bob", 40)]), display)
+        client.resynchronize()
+        client.send_only(1)
+        # Crash with the request still queued.
+        system.crash()
+        system2 = system.reopen()
+        bank2 = BankApp(system2)
+        assert bank2.total_money() == 175
+        server = system2.server("s", bank2.transfer_handler)
+        server.process_one()
+        assert bank2.balance("alice") == 60
+        assert bank2.total_money() == 175

@@ -1,0 +1,76 @@
+"""Order app tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.orders import OrderApp
+from repro.core.system import TPSystem
+
+
+@pytest.fixture
+def orders_system():
+    system = TPSystem()
+    orders = OrderApp(system)
+    orders.stock_items({"widget": (5, 10), "gizmo": (9, 3)})
+    return system, orders
+
+
+class TestStock:
+    def test_stock_levels(self, orders_system):
+        _, orders = orders_system
+        assert orders.stock_of("widget") == 10
+        assert orders.stock_of("nothing") == 0
+
+
+class TestConversationalStep:
+    def test_phase_0_greets_with_catalog(self, orders_system):
+        system, orders = orders_system
+        with system.request_repo.tm.transaction() as txn:
+            scratch = {}
+            output, done = orders.conversational_step(txn, 0, "carol", scratch)
+        assert not done
+        assert output["catalog"] == {"widget": 5, "gizmo": 9}
+        assert scratch["customer"] == "carol"
+
+    def test_phase_1_quotes(self, orders_system):
+        system, orders = orders_system
+        with system.request_repo.tm.transaction() as txn:
+            scratch = {"customer": "carol"}
+            output, done = orders.conversational_step(
+                txn, 1, {"item": "gizmo", "qty": 2}, scratch
+            )
+        assert not done
+        assert output == {"item": "gizmo", "qty": 2, "total": 18}
+
+    def test_phase_1_out_of_stock(self, orders_system):
+        system, orders = orders_system
+        with system.request_repo.tm.transaction() as txn:
+            output, _ = orders.conversational_step(
+                txn, 1, {"item": "gizmo", "qty": 99}, {"customer": "c"}
+            )
+        assert "error" in output
+
+    def test_phase_2_places_order(self, orders_system):
+        system, orders = orders_system
+        scratch = {"customer": "carol", "item": "widget", "qty": 4, "rid": "o1"}
+        with system.request_repo.tm.transaction() as txn:
+            output, done = orders.conversational_step(txn, 2, {"confirm": True}, scratch)
+        assert done
+        assert output["total"] == 20
+        assert orders.stock_of("widget") == 6
+        assert orders.orders_for("carol")[0]["qty"] == 4
+
+    def test_phase_2_decline(self, orders_system):
+        system, orders = orders_system
+        scratch = {"customer": "carol", "item": "widget", "qty": 4}
+        with system.request_repo.tm.transaction() as txn:
+            output, done = orders.conversational_step(txn, 2, {"confirm": False}, scratch)
+        assert done and output == {"cancelled": True}
+        assert orders.stock_of("widget") == 10
+
+    def test_unknown_phase_raises(self, orders_system):
+        system, orders = orders_system
+        with system.request_repo.tm.transaction() as txn:
+            with pytest.raises(ValueError):
+                orders.conversational_step(txn, 9, None, {})

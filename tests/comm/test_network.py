@@ -1,0 +1,105 @@
+"""Simulated network tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.network import SimNetwork
+from repro.errors import MessageLost, PartitionedError
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        net = SimNetwork()
+        inbox = []
+        net.register("b", inbox.append)
+        net.send("a", "b", "hello")
+        assert inbox == ["hello"]
+        assert net.stats.delivered == 1
+
+    def test_unknown_endpoint_raises(self):
+        net = SimNetwork()
+        with pytest.raises(PartitionedError):
+            net.send("a", "ghost", "x")
+
+    def test_loss_is_seeded_and_counted(self):
+        net = SimNetwork(seed=7, loss_rate=0.5)
+        inbox = []
+        net.register("b", inbox.append)
+        for i in range(100):
+            net.send("a", "b", i)
+        assert 0 < len(inbox) < 100
+        assert net.stats.lost == 100 - len(inbox) - net.stats.duplicated
+        # Determinism: same seed, same outcome.
+        net2 = SimNetwork(seed=7, loss_rate=0.5)
+        inbox2 = []
+        net2.register("b", inbox2.append)
+        for i in range(100):
+            net2.send("a", "b", i)
+        assert inbox2 == inbox
+
+    def test_reliable_send_raises_on_loss(self):
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        net.register("b", lambda m: None)
+        with pytest.raises(MessageLost):
+            net.send("a", "b", "x", reliable=True)
+
+    def test_duplication(self):
+        net = SimNetwork(seed=3, dup_rate=1.0)
+        inbox = []
+        net.register("b", inbox.append)
+        net.send("a", "b", "twice")
+        assert inbox == ["twice", "twice"]
+        assert net.stats.duplicated == 1
+
+
+class TestPartitions:
+    def test_partitioned_endpoints_cannot_talk(self):
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.partition([["a"], ["b"]])
+        with pytest.raises(PartitionedError):
+            net.send("a", "b", "x")
+        assert net.stats.blocked_by_partition == 1
+
+    def test_same_group_can_talk(self):
+        net = SimNetwork()
+        inbox = []
+        net.register("a", lambda m: None)
+        net.register("b", inbox.append)
+        net.partition([["a", "b"], ["c"]])
+        net.send("a", "b", "ok")
+        assert inbox == ["ok"]
+
+    def test_heal_restores_connectivity(self):
+        net = SimNetwork()
+        inbox = []
+        net.register("a", lambda m: None)
+        net.register("b", inbox.append)
+        net.partition([["a"], ["b"]])
+        net.heal()
+        net.send("a", "b", "back")
+        assert inbox == ["back"]
+
+
+class TestMailboxes:
+    def test_buffered_endpoint_queues(self):
+        net = SimNetwork()
+        handled = []
+        net.register("b", handled.append, buffered=True)
+        net.send("a", "b", 1)
+        net.send("a", "b", 2)
+        assert handled == []
+        assert net.pending("b") == 2
+        assert net.pump("b") == 2
+        assert handled == [1, 2]
+
+    def test_pump_limit(self):
+        net = SimNetwork()
+        handled = []
+        net.register("b", handled.append, buffered=True)
+        for i in range(5):
+            net.send("a", "b", i)
+        assert net.pump("b", limit=2) == 2
+        assert handled == [0, 1]

@@ -1,0 +1,99 @@
+"""RPC / one-way transport tests (Section 5's Send variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.network import SimNetwork
+from repro.comm.rpc import OneWayTransport, RpcChannel, RpcServer
+from repro.errors import RpcTimeout
+
+
+class TestRpcChannel:
+    def test_call_round_trip(self):
+        net = SimNetwork()
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server")
+        assert channel.call(lambda: 40 + 2) == 42
+        # one request + one response
+        assert net.stats.sent == 2
+
+    def test_call_retries_on_loss(self):
+        net = SimNetwork(seed=11, loss_rate=0.4)
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server", max_retries=50)
+        results = [channel.call(lambda: "ok") for _ in range(20)]
+        assert results == ["ok"] * 20
+        assert channel.retries > 0  # some loss actually happened
+
+    def test_call_times_out_on_total_loss(self):
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server", max_retries=3)
+        with pytest.raises(RpcTimeout):
+            channel.call(lambda: "never")
+
+    def test_post_is_one_message(self):
+        net = SimNetwork()
+        server = RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server")
+        effects = []
+        channel.post(lambda: effects.append(1))
+        assert effects == [1]
+        assert net.stats.sent == 1
+        assert server.handled == 1
+
+    def test_post_loss_is_silent(self):
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server")
+        effects = []
+        channel.post(lambda: effects.append(1))  # dropped, no raise
+        assert effects == []
+
+
+class TestOneWayTransportWithClerk:
+    def test_oneway_send_through_transport(self):
+        from repro.core.request import Request
+        from repro.core.system import TPSystem
+
+        system = TPSystem()
+        net = SimNetwork()  # lossless
+        RpcServer(net, "qm-node")
+        transport = OneWayTransport(net, "client-node", "qm-node")
+        clerk = system.clerk("c1")
+        clerk.transport = transport
+        clerk.connect()
+        request = Request(
+            rid="c1#1", body="via one-way", client_id="c1",
+            reply_to=system.reply_queue_name("c1"),
+        )
+        clerk.send_oneway(request, "c1#1")
+        assert system.request_repo.get_queue(system.request_queue).depth() == 1
+
+    def test_oneway_send_lost_then_resynchronized(self):
+        # Section 5: "If the Enqueue fails, the client will time out
+        # waiting for its Receive ... and can determine what happened
+        # when it reconnects."
+        from repro.core.request import Request
+        from repro.core.system import TPSystem
+        from repro.errors import QueueEmpty
+
+        system = TPSystem()
+        net = SimNetwork(seed=1, loss_rate=1.0)  # everything lost
+        RpcServer(net, "qm-node")
+        transport = OneWayTransport(net, "client-node", "qm-node")
+        clerk = system.clerk("c1")
+        clerk.transport = transport
+        clerk.connect()
+        request = Request(
+            rid="c1#1", body="lost", client_id="c1",
+            reply_to=system.reply_queue_name("c1"),
+        )
+        clerk.send_oneway(request, "c1#1")
+        with pytest.raises(QueueEmpty):
+            clerk.receive(timeout=0.1)  # reply never comes
+        # Reconnect: the registration shows the Send never happened.
+        clerk2 = system.clerk("c1")
+        s_rid, r_rid, _ = clerk2.connect()
+        assert s_rid is None  # safe to resend

@@ -1,0 +1,80 @@
+"""Section 2's asynchrony claim, literally.
+
+"a process that enqueues a request can communicate with one that
+executes the request even if they are not both operational
+simultaneously."
+
+The test alternates strict availability phases — the client and server
+are NEVER up at the same time — and the protocol still completes with
+all guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.core.devices import TicketPrinter
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler
+
+
+class TestNeverSimultaneouslyUp:
+    def test_request_reply_across_alternating_availability(self, system):
+        device = TicketPrinter(trace=system.trace)
+
+        # Phase 1: ONLY the client is up. It sends and then "goes down"
+        # (we simply stop driving it; its state is all in the queues).
+        client = system.client("c1", ["solo-work"], device)
+        client.resynchronize()
+        client.send_only(1)
+        del client  # the client process is gone
+
+        # Phase 2: ONLY the server is up.
+        server = system.server("s", echo_handler)
+        assert server.process_one() is True
+        del server  # the server process is gone
+
+        # Phase 3: ONLY the client (a new incarnation) is up.
+        client2 = system.client("c1", ["solo-work"], device, receive_timeout=2)
+        next_seq = client2.resynchronize()  # receives + processes the reply
+        assert next_seq == 2
+        assert device.tickets_for("c1#1") == [1]
+        system.checker().assert_ok()
+
+    def test_multi_request_ping_pong(self, system):
+        """Three requests, six availability phases, zero overlap."""
+        device = TicketPrinter(trace=system.trace)
+        work = ["a", "b", "c"]
+        for round_index in range(3):
+            # client phase: resync (processes the previous reply) + send
+            client = system.client("c1", work, device, receive_timeout=2)
+            seq = client.resynchronize()
+            assert seq == round_index + 1
+            client.send_only(seq)
+            del client
+            # server phase
+            server = system.server(f"s{round_index}", echo_handler)
+            assert server.process_one() is True
+            del server
+        # Final client phase collects the last reply.
+        client = system.client("c1", work, device, receive_timeout=2)
+        assert client.resynchronize() == 4
+        assert [rid for _t, rid in device.printed] == ["c1#1", "c1#2", "c1#3"]
+        system.checker().assert_ok()
+
+    def test_server_down_crash_between_phases(self, system):
+        """Same alternation, but the whole node also crashes between
+        every phase — the queues carry everything."""
+        device = TicketPrinter(trace=system.trace)
+        client = system.client("c1", ["x"], device)
+        client.resynchronize()
+        client.send_only(1)
+        system.crash()
+        system2 = system.reopen()
+        server = system2.server("s", echo_handler)
+        server.process_one()
+        system2.crash()
+        system3 = system2.reopen()
+        client3 = system3.client("c1", ["x"], device, receive_timeout=2)
+        assert client3.resynchronize() == 2
+        assert device.tickets_for("c1#1") == [1]
+        system3.checker().assert_ok()

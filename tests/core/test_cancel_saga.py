@@ -1,0 +1,146 @@
+"""Cancellation and saga compensation tests (Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.banking import BankApp
+from repro.core.cancel import RequestCanceller
+from repro.core.devices import DisplayWithUserIds
+from repro.core.system import TPSystem
+from repro.errors import CancelFailed
+
+
+def setup_bank_pipeline(name="xfer"):
+    system = TPSystem()
+    bank = BankApp(system)
+    bank.open_accounts({"alice": 100, "bob": 50})
+    pipeline = bank.transfer_pipeline(name)
+    saga = bank.transfer_saga(pipeline)
+    return system, bank, pipeline, saga
+
+
+def send_transfer(system, bank, client_id="c1", amount=30):
+    display = DisplayWithUserIds(trace=system.trace)
+    client = system.client(
+        client_id, bank.transfer_work([("alice", "bob", amount)]), display
+    )
+    client.resynchronize()
+    client.send_only(1)
+    return client
+
+
+class TestRequestCanceller:
+    def test_cancel_queued_single_txn_request(self, system):
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client("c1", ["work"], display)
+        client.resynchronize()
+        client.send_only(1)
+        canceller = RequestCanceller(system)
+        assert canceller.cancel("c1#1") is True
+        assert system.request_repo.get_queue(system.request_queue).depth() == 0
+        system.checker().assert_ok()  # cancelled exempts exactly-once
+
+    def test_cancel_unknown_rid(self, system):
+        assert RequestCanceller(system).cancel("ghost#1") is False
+
+    def test_cancel_consumed_request_fails(self, system):
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client("c1", ["work"], display)
+        client.resynchronize()
+        client.send_only(1)
+        system.server("s", lambda txn, r: "done").process_one()
+        assert RequestCanceller(system).cancel("c1#1") is False
+
+    def test_cancel_aborts_in_flight_transaction(self, system):
+        display = DisplayWithUserIds(trace=system.trace)
+        client = system.client("c1", ["work"], display)
+        client.resynchronize()
+        client.send_only(1)
+        # A server holds the request in an uncommitted transaction.
+        txn = system.request_repo.tm.begin()
+        queue = system.request_repo.get_queue(system.request_queue)
+        queue.dequeue(txn)
+        assert RequestCanceller(system).cancel("c1#1") is True
+        from repro.transaction.ids import TxnStatus
+
+        assert txn.status is TxnStatus.ABORTED
+
+
+class TestSagaCancellation:
+    def test_cancel_before_any_stage(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        outcome = saga.cancel("c1#1")
+        assert outcome.killed_in_queue
+        assert outcome.compensated_stages == []
+        assert bank.balance("alice") == 100
+        assert bank.total_money() == 150
+
+    def test_cancel_after_first_stage_compensates_debit(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()  # debit committed
+        assert bank.balance("alice") == 70
+        outcome = saga.cancel("c1#1")
+        assert outcome.killed_in_queue          # continuation element killed
+        assert outcome.compensated_stages == [0]
+        assert bank.balance("alice") == 100
+        assert bank.total_money() == 150
+
+    def test_cancel_after_two_stages_compensates_both(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()
+        pipeline.stage_server(1).process_one()  # credit committed
+        outcome = saga.cancel("c1#1")
+        assert outcome.compensated_stages == [1, 0]  # reverse order
+        assert bank.balance("alice") == 100
+        assert bank.balance("bob") == 50
+        assert bank.total_money() == 150
+
+    def test_cancel_after_completion_raises(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        client = send_transfer(system, bank)
+        pipeline.drain()
+        with pytest.raises(CancelFailed):
+            saga.cancel("c1#1")
+        # The transfer stands.
+        assert bank.balance("alice") == 70
+
+    def test_compensation_is_idempotent_on_resume(self):
+        # A crash mid-compensation: re-running cancel must not
+        # double-compensate (the compensation log gates each stage).
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()
+        pipeline.stage_server(1).process_one()
+        saga.cancel("c1#1")
+        # "Crash" between cancel and the caller noticing: run it again.
+        outcome2 = saga.cancel("c1#1")
+        assert outcome2.compensated_stages == []
+        assert bank.balance("alice") == 100
+        assert bank.total_money() == 150
+
+    def test_compensated_stage_listing(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()
+        saga.cancel("c1#1")
+        assert saga.compensated_stages("c1#1") == [0]
+
+    def test_saga_requires_one_compensation_per_stage(self):
+        system, bank, pipeline, _ = setup_bank_pipeline()
+        from repro.core.saga import Saga
+
+        with pytest.raises(ValueError):
+            Saga(pipeline, [lambda t, r: None])  # 1 comp, 3 stages
+
+    def test_audit_entry_voided_when_log_stage_compensated(self):
+        system, bank, pipeline, saga = setup_bank_pipeline()
+        send_transfer(system, bank)
+        # run debit + credit + log, but cheat: don't let stage 2 reply
+        # reach the client; progress will show all 3 done -> CancelFailed
+        pipeline.drain()
+        with pytest.raises(CancelFailed):
+            saga.cancel("c1#1")

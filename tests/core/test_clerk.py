@@ -1,0 +1,181 @@
+"""Clerk tests (Figure 5 top): operation translation, tags, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.request import Request
+from repro.core.system import TPSystem
+from repro.errors import CancelFailed, NotConnectedError, QueueEmpty
+
+
+def make_request(system: TPSystem, client_id: str, seq: int, body="payload"):
+    return Request(
+        rid=f"{client_id}#{seq}",
+        body=body,
+        client_id=client_id,
+        reply_to=system.reply_queue_name(client_id),
+    )
+
+
+class TestConnect:
+    def test_fresh_connect_returns_nils(self, system):
+        clerk = system.clerk("c1")
+        assert clerk.connect() == (None, None, None)
+        assert clerk.connected
+
+    def test_operations_require_connection(self, system):
+        clerk = system.clerk("c1")
+        with pytest.raises(NotConnectedError):
+            clerk.send(make_request(system, "c1", 1), "c1#1")
+        with pytest.raises(NotConnectedError):
+            clerk.receive()
+        with pytest.raises(NotConnectedError):
+            clerk.rereceive()
+        with pytest.raises(NotConnectedError):
+            clerk.disconnect()
+
+    def test_reconnect_returns_send_state(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        # New incarnation (crash): fresh clerk object.
+        clerk2 = system.clerk("c1")
+        s_rid, r_rid, ckpt = clerk2.connect()
+        assert s_rid == "c1#1"
+        assert r_rid is None
+
+    def test_reconnect_returns_receive_state(self, system, display):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        server = system.server("s", lambda txn, r: "done")
+        server.process_one()
+        clerk.receive(ckpt="my-ckpt", timeout=2)
+        clerk2 = system.clerk("c1")
+        s_rid, r_rid, ckpt = clerk2.connect()
+        assert s_rid == "c1#1"
+        assert r_rid == "c1#1"
+        assert ckpt == "my-ckpt"
+
+    def test_disconnect_clears_registration(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        server = system.server("s", lambda txn, r: "ok")
+        server.process_one()
+        clerk.receive(timeout=2)
+        clerk.disconnect()
+        assert not clerk.connected
+        clerk2 = system.clerk("c1")
+        assert clerk2.connect() == (None, None, None)
+
+
+class TestSendReceive:
+    def test_send_is_durable_when_it_returns(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        system.crash()
+        system2 = system.reopen()
+        assert system2.request_repo.get_queue(system2.request_queue).depth() == 1
+
+    def test_receive_blocks_until_reply(self, system):
+        import threading
+
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        server = system.server("s", lambda txn, r: "answer")
+        timer = threading.Timer(0.1, server.process_one)
+        timer.start()
+        reply = clerk.receive(timeout=5)
+        assert reply.body == "answer"
+        timer.cancel()
+
+    def test_receive_timeout_raises_queue_empty(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        with pytest.raises(QueueEmpty):
+            clerk.receive(timeout=0.1)
+
+    def test_rereceive_returns_last_reply(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        system.server("s", lambda txn, r: "the reply").process_one()
+        first = clerk.receive(timeout=2)
+        again = clerk.rereceive()
+        assert again.body == first.body == "the reply"
+
+    def test_rereceive_after_reconnect(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        system.server("s", lambda txn, r: "kept").process_one()
+        clerk.receive(timeout=2)
+        clerk2 = system.clerk("c1")
+        clerk2.connect()
+        assert clerk2.rereceive().body == "kept"
+
+    def test_rereceive_without_any_receive_raises(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        with pytest.raises(NotConnectedError):
+            clerk.rereceive()
+
+    def test_transceive(self, system):
+        import threading
+
+        clerk = system.clerk("c1")
+        clerk.connect()
+        server = system.server("s", lambda txn, r: {"got": r.body})
+        timer = threading.Timer(0.1, server.process_one)
+        timer.start()
+        reply = clerk.transceive(make_request(system, "c1", 1, "hi"), "c1#1", timeout=5)
+        assert reply.body == {"got": "hi"}
+
+    def test_trace_events(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        system.server("s", lambda txn, r: "x").process_one()
+        clerk.receive(timeout=2)
+        assert system.trace.count("request.sent", rid="c1#1") == 1
+        assert system.trace.count("reply.received", rid="c1#1") == 1
+
+
+class TestCancel:
+    def test_cancel_before_consumption(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        assert clerk.cancel_last_request() is True
+        assert system.request_repo.get_queue(system.request_queue).depth() == 0
+        assert system.trace.count("request.cancelled", rid="c1#1") == 1
+
+    def test_cancel_after_consumption_fails(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        system.server("s", lambda txn, r: "done").process_one()
+        assert clerk.cancel_last_request() is False
+        assert system.trace.count("request.cancel_failed", rid="c1#1") == 1
+
+    def test_cancel_without_send_raises(self, system):
+        clerk = system.clerk("c1")
+        clerk.connect()
+        with pytest.raises(CancelFailed):
+            clerk.cancel_last_request()
+
+    def test_cancel_after_recovery_uses_registration_eid(self, system):
+        from repro.core.cancel import cancel_last_request_after_recovery
+
+        clerk = system.clerk("c1")
+        clerk.connect()
+        clerk.send(make_request(system, "c1", 1), "c1#1")
+        # client crashes; new incarnation reconnects and cancels
+        clerk2 = system.clerk("c1")
+        clerk2.connect()
+        assert cancel_last_request_after_recovery(clerk2) is True
+        assert system.request_repo.get_queue(system.request_queue).depth() == 0

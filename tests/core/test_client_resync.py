@@ -1,0 +1,140 @@
+"""Client resynchronization tests (Figure 2 lines 2-11) — every branch.
+
+The branches of Figure 2's connect-time logic:
+
+A. ``s_rid is NIL``                            → fresh client, start at 1.
+B. ``s_rid != r_rid``                          → Receive the in-flight
+   reply, process it, continue after it.
+C. ``s_rid == r_rid`` and reply NOT processed  → Rereceive, process.
+D. ``s_rid == r_rid`` and reply processed      → continue with new work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import Client, UserCheckpoint
+from repro.core.devices import TicketPrinter
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler, run_with_server
+
+
+def fresh_system():
+    system = TPSystem()
+    device = TicketPrinter(trace=system.trace)
+    return system, device
+
+
+class TestBranchA:
+    def test_fresh_client_starts_at_one(self):
+        system, device = fresh_system()
+        client = system.client("c1", ["w1"], device)
+        assert client.resynchronize() == 1
+
+
+class TestBranchB:
+    def test_reply_in_flight_is_received_and_processed(self):
+        system, device = fresh_system()
+        # Incarnation 1 sends and crashes before receiving.
+        client1 = system.client("c1", ["w1", "w2"], device)
+        client1.resynchronize()
+        client1.send_only(1)
+        # The server processes while the client is down.
+        system.server("s", echo_handler).process_one()
+        # Incarnation 2 resynchronizes: branch B.
+        client2 = system.client("c1", ["w1", "w2"], device, receive_timeout=2)
+        next_seq = client2.resynchronize()
+        assert next_seq == 2
+        assert device.tickets_for("c1#1") == [1]
+        assert system.trace.count("client.resync_receive") == 1
+
+    def test_reply_in_flight_not_yet_produced_blocks_then_arrives(self):
+        import threading
+
+        system, device = fresh_system()
+        client1 = system.client("c1", ["w1"], device)
+        client1.resynchronize()
+        client1.send_only(1)
+        server = system.server("s", echo_handler)
+        client2 = system.client("c1", ["w1"], device, receive_timeout=5)
+        timer = threading.Timer(0.1, server.process_one)
+        timer.start()
+        assert client2.resynchronize() == 2
+        timer.cancel()
+
+
+class TestBranchC:
+    def test_received_but_unprocessed_reply_is_rereceived(self):
+        system, device = fresh_system()
+        client1 = system.client("c1", ["w1", "w2"], device)
+        client1.resynchronize()
+        client1.send_only(1)
+        system.server("s", echo_handler).process_one()
+        # Receive with the device state as ckpt, then crash BEFORE
+        # processing (the device never printed).
+        ckpt = device.state()
+        client1.clerk.receive(ckpt=ckpt, timeout=2)
+        # Incarnation 2: s_rid == r_rid, device state still == ckpt.
+        client2 = system.client("c1", ["w1", "w2"], device)
+        next_seq = client2.resynchronize()
+        assert next_seq == 2
+        assert device.tickets_for("c1#1") == [1]  # printed exactly once
+        assert system.trace.count("client.resync_rereceive") == 1
+
+
+class TestBranchD:
+    def test_processed_reply_not_reprocessed(self):
+        system, device = fresh_system()
+        client1 = system.client("c1", ["w1", "w2"], device)
+        client1.resynchronize()
+        client1.send_only(1)
+        system.server("s", echo_handler).process_one()
+        ckpt = device.state()
+        reply = client1.clerk.receive(ckpt=ckpt, timeout=2)
+        device.process(reply.rid, reply.body)  # ticket printed
+        # Crash after processing, before next send.
+        client2 = system.client("c1", ["w1", "w2"], device)
+        next_seq = client2.resynchronize()
+        assert next_seq == 2
+        assert device.tickets_for("c1#1") == [1]  # not duplicated
+
+
+class TestFullRunAcrossCrash:
+    def test_run_resumes_mid_worklist(self):
+        system, device = fresh_system()
+        work = ["a", "b", "c"]
+        # First incarnation does item 1 fully, then "crashes".
+        client1 = system.client("c1", work, device, receive_timeout=2)
+        client1.resynchronize()
+        client1.send_only(1)
+        system.server("s", echo_handler).process_one()
+        reply = client1.clerk.receive(ckpt=device.state(), timeout=2)
+        device.process(reply.rid, reply.body)
+        # Second incarnation finishes everything via run().
+        user_log = UserCheckpoint()
+        client2 = system.client("c1", work, device, receive_timeout=5, user_log=user_log)
+        server = system.server("s2", echo_handler)
+        run_with_server(system, server, client2)
+        assert client2.finished
+        assert [rid for _t, rid in device.printed] == ["c1#1", "c1#2", "c1#3"]
+        system.checker().assert_ok()
+
+    def test_user_checkpoint_prevents_amnesiac_rerun(self):
+        system, device = fresh_system()
+        user_log = UserCheckpoint()
+        client1 = system.client("c1", ["only"], device, receive_timeout=5, user_log=user_log)
+        server = system.server("s", echo_handler)
+        run_with_server(system, server, client1)
+        assert user_log.is_done()
+        # A fresh incarnation after Disconnect: must not resubmit.
+        client2 = system.client("c1", ["only"], device, user_log=user_log)
+        assert client2.run() == []
+        assert device.tickets_for("c1#1") == [1]
+        system.checker().assert_ok()
+
+    def test_empty_worklist(self):
+        system, device = fresh_system()
+        client = system.client("c1", [], device)
+        assert client.run() == []
+        assert client.finished

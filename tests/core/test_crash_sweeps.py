@@ -1,0 +1,219 @@
+"""Crash-at-every-step sweeps — experiment F5.
+
+Every instrumented point of the clerk, queue manager, transaction
+manager, server, and device is crashed once, in turn; after each crash
+the system restarts, a fresh client incarnation resynchronizes
+(Figure 2), and the paper's three guarantees plus application-level
+effect counts are asserted.  Because the simulation is deterministic,
+this enumerates every crash location the protocol can experience in
+these scenarios, not a random sample.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apps.banking import BankApp
+from repro.core.client import UserCheckpoint
+from repro.core.devices import CashDispenser, TicketPrinter
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.system import TPSystem
+from repro.sim.harness import crash_every_step
+from repro.sim.trace import TraceRecorder
+
+
+def finish_with_threads(system, device, work, user_log, handler):
+    """Post-recovery driver: a fresh client incarnation finishes the
+    work list with a threaded server."""
+    client = system.client("c1", work, device, receive_timeout=5, user_log=user_log)
+    server = system.server("recovery-server", handler)
+    done = threading.Event()
+    thread = threading.Thread(
+        target=lambda: server.serve_until(done.is_set, 0.02), daemon=True
+    )
+    thread.start()
+    try:
+        client.run()
+    finally:
+        done.set()
+        thread.join(timeout=10)
+    return client
+
+
+class TestSingleTransactionSweep:
+    """The Figure 5 protocol, tickets printed exactly once per request."""
+
+    WORK = ["a", "b"]
+
+    def test_guarantees_hold_at_every_crash_point(self):
+        work = self.WORK
+
+        def handler(txn, request):
+            return {"echo": request.body}
+
+        def scenario(injector):
+            trace = TraceRecorder()
+            system = TPSystem(injector=injector, trace=trace)
+            device = TicketPrinter(trace=trace, injector=injector)
+            user_log = UserCheckpoint()
+            scenario.state = {"system": system, "device": device, "log": user_log}
+            client = system.client("c1", work, device, receive_timeout=None,
+                                   user_log=user_log)
+            server = system.server("s1", handler)
+            seq = client.resynchronize()
+            while seq <= len(work):
+                client.send_only(seq)
+                server.process_one()
+                reply = client.clerk.receive(ckpt=device.state(), timeout=1)
+                device.process(reply.rid, reply.body)
+                seq += 1
+            user_log.mark_done()
+            client.clerk.disconnect()
+            return scenario.state
+
+        def recover(state):
+            system2 = state["system"].reopen()
+            finish_with_threads(
+                system2, state["device"], work, state["log"], handler
+            )
+            return system2
+
+        def check(state, system2, plan):
+            try:
+                GuaranteeChecker(system2.trace).assert_ok()
+                device = state["device"]
+                for seq in range(1, len(work) + 1):
+                    rid = f"c1#{seq}"
+                    count = len(device.tickets_for(rid))
+                    assert count == 1, f"rid {rid} printed {count} tickets"
+            except AssertionError as exc:
+                raise AssertionError(f"crash at {plan}: {exc}") from exc
+            return True
+
+        results = crash_every_step(scenario, recover, check)
+        crashed = sum(1 for r in results if r.crashed)
+        assert crashed >= 40  # dozens of distinct crash points exercised
+        assert all(r.check_result for r in results)
+
+
+class TestCashDispenserSweep:
+    """Exactly-once cash dispensing: the sum dispensed equals the sum
+    requested, never more, at every crash point."""
+
+    WORK = [{"amount": 40}, {"amount": 25}]
+
+    def test_no_double_dispensing(self):
+        work = self.WORK
+
+        def handler(txn, request):
+            return {"amount": request.body["amount"]}
+
+        def scenario(injector):
+            trace = TraceRecorder()
+            system = TPSystem(injector=injector, trace=trace)
+            device = CashDispenser(trace=trace, injector=injector)
+            user_log = UserCheckpoint()
+            scenario.state = {"system": system, "device": device, "log": user_log}
+            client = system.client("c1", work, device, receive_timeout=None,
+                                   user_log=user_log)
+            server = system.server("s1", handler)
+            seq = client.resynchronize()
+            while seq <= len(work):
+                client.send_only(seq)
+                server.process_one()
+                reply = client.clerk.receive(ckpt=device.state(), timeout=1)
+                device.process(reply.rid, reply.body)
+                seq += 1
+            user_log.mark_done()
+            client.clerk.disconnect()
+            return scenario.state
+
+        def recover(state):
+            system2 = state["system"].reopen()
+            finish_with_threads(system2, state["device"], work, state["log"], handler)
+            return system2
+
+        def check(state, system2, plan):
+            device = state["device"]
+            expected = sum(w["amount"] for w in work)
+            assert device.state() == expected, (
+                f"crash at {plan}: dispensed {device.state()}, expected {expected}"
+            )
+            GuaranteeChecker(system2.trace).assert_ok()
+            return True
+
+        results = crash_every_step(scenario, recover, check)
+        assert all(r.check_result for r in results)
+
+
+class TestMultiTransactionSweep:
+    """Figure 6's three-transaction funds transfer: money conserved and
+    every stage exactly-once at every crash point."""
+
+    def test_transfer_survives_every_crash_point(self):
+        def scenario(injector):
+            trace = TraceRecorder()
+            system = TPSystem(injector=injector, trace=trace)
+            bank = BankApp(system)
+            bank.open_accounts({"alice": 100, "bob": 50})
+            pipeline = bank.transfer_pipeline()
+            device = CashDispenser(trace=trace)
+            user_log = UserCheckpoint()
+            scenario.state = {"system": system, "device": device, "log": user_log}
+            client = system.client(
+                "c1", bank.transfer_work([("alice", "bob", 30)]), device,
+                receive_timeout=None, user_log=user_log,
+            )
+            client.resynchronize()
+            client.send_only(1)
+            pipeline.drain()
+            reply = client.clerk.receive(ckpt=device.state(), timeout=1)
+            device.process(reply.rid, reply.body)
+            user_log.mark_done()
+            client.clerk.disconnect()
+            return scenario.state
+
+        def recover(state):
+            system2 = state["system"].reopen()
+            bank2 = BankApp(system2)
+            pipeline2 = bank2.transfer_pipeline()
+            pipeline2.drain()
+            # A fresh client incarnation resynchronizes and finishes.
+            client = system2.client(
+                "c1", bank2.transfer_work([("alice", "bob", 30)]),
+                state["device"], receive_timeout=5, user_log=state["log"],
+            )
+            server_done = threading.Event()
+            drain_thread = threading.Thread(
+                target=lambda: _drain_until(pipeline2, server_done), daemon=True
+            )
+            drain_thread.start()
+            try:
+                client.run()
+            finally:
+                server_done.set()
+                drain_thread.join(timeout=10)
+            return system2, bank2
+
+        def _drain_until(pipeline, done):
+            while not done.is_set():
+                if pipeline.drain() == 0:
+                    done.wait(0.02)
+
+        def check(state, recovered, plan):
+            system2, bank2 = recovered
+            try:
+                assert bank2.balance("alice") == 70
+                assert bank2.balance("bob") == 80
+                assert bank2.total_money() == 150
+                GuaranteeChecker(system2.trace).assert_ok()
+            except AssertionError as exc:
+                raise AssertionError(f"crash at {plan}: {exc}") from exc
+            return True
+
+        results = crash_every_step(scenario, recover, check)
+        crashed = sum(1 for r in results if r.crashed)
+        assert crashed >= 50
+        assert all(r.check_result for r in results)

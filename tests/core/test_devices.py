@@ -1,0 +1,72 @@
+"""Testable-device tests (Section 3)."""
+
+from __future__ import annotations
+
+from repro.core.devices import CashDispenser, DisplayWithUserIds, TicketPrinter
+from repro.sim.trace import TraceRecorder
+
+
+class TestTicketPrinter:
+    def test_state_is_next_ticket(self):
+        printer = TicketPrinter()
+        assert printer.state() == 1
+        printer.process("r1", {})
+        assert printer.state() == 2
+
+    def test_processing_is_observable(self):
+        printer = TicketPrinter()
+        printer.process("r1", {})
+        printer.process("r2", {})
+        assert printer.printed == [(1, "r1"), (2, "r2")]
+        assert printer.tickets_for("r1") == [1]
+
+    def test_trace_event_recorded(self):
+        trace = TraceRecorder()
+        printer = TicketPrinter(trace=trace)
+        printer.process("r1", {})
+        assert trace.count("reply.processed", rid="r1") == 1
+
+    def test_state_comparison_detects_processing(self):
+        # The exactly-once trick of Section 3: read state before
+        # Receive; if it moved, the reply was processed.
+        printer = TicketPrinter()
+        ckpt = printer.state()
+        assert printer.state() == ckpt  # not processed yet
+        printer.process("r1", {})
+        assert printer.state() != ckpt  # processed
+
+
+class TestCashDispenser:
+    def test_state_is_total_dispensed(self):
+        atm = CashDispenser()
+        assert atm.state() == 0
+        atm.process("r1", {"amount": 50})
+        assert atm.state() == 50
+        atm.process("r2", {"amount": 20})
+        assert atm.state() == 70
+
+    def test_non_dict_reply_dispenses_nothing(self):
+        atm = CashDispenser()
+        atm.process("r1", "just text")
+        assert atm.state() == 0
+
+    def test_records_per_rid(self):
+        atm = CashDispenser()
+        atm.process("r1", {"amount": 10})
+        assert atm.dispensed == [("r1", 10)]
+
+
+class TestDisplay:
+    def test_state_constant(self):
+        display = DisplayWithUserIds()
+        display.process("r1", "hello")
+        assert display.state() == 0  # can never prove processing
+
+    def test_duplicates_detected_by_rid(self):
+        trace = TraceRecorder()
+        display = DisplayWithUserIds(trace=trace)
+        display.process("r1", "a")
+        display.process("r1", "a")  # at-least-once duplicate
+        events = trace.events("reply.processed", rid="r1")
+        assert [e.detail["duplicate"] for e in events] == [False, True]
+        assert display.distinct_rids() == 1

@@ -1,0 +1,214 @@
+"""Guarantee checker tests: each checker flags exactly the traces it
+should."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guarantees import GuaranteeChecker
+from repro.sim.trace import TraceRecorder
+
+
+def checker_for(events):
+    trace = TraceRecorder()
+    for kind, rid, detail in events:
+        trace.record(kind, rid, **detail)
+    return GuaranteeChecker(trace)
+
+
+CLIENT = {"client": "c"}
+
+
+class TestExactlyOnce:
+    def test_clean_trace_passes(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.executed", "c#1", {}),
+                ("reply.enqueued", "c#1", {}),
+                ("reply.received", "c#1", CLIENT),
+                ("reply.processed", "c#1", {}),
+            ]
+        )
+        assert checker.check_all() == []
+
+    def test_duplicate_execution_flagged(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.executed", "c#1", {}),
+                ("request.executed", "c#1", {}),
+            ]
+        )
+        violations = checker.exactly_once(require_completion=False)
+        assert any("2 times" in v.message for v in violations)
+
+    def test_lost_request_flagged_at_completion(self):
+        checker = checker_for([("request.sent", "c#1", CLIENT)])
+        violations = checker.exactly_once(require_completion=True)
+        assert len(violations) == 1
+        assert "never executed" in violations[0].message
+
+    def test_lost_request_tolerated_mid_flight(self):
+        checker = checker_for([("request.sent", "c#1", CLIENT)])
+        assert checker.exactly_once(require_completion=False) == []
+
+    def test_cancelled_request_exempt(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.cancelled", "c#1", {}),
+            ]
+        )
+        assert checker.exactly_once() == []
+
+    def test_cancelled_and_executed_flagged(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.cancelled", "c#1", {}),
+                ("request.executed", "c#1", {}),
+            ]
+        )
+        violations = checker.exactly_once()
+        assert any("both cancelled and executed" in v.message for v in violations)
+
+    def test_reply_witness_counts_as_execution(self):
+        # Crash between server commit and its trace hook: the durable
+        # reply proves execution.
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("reply.received", "c#1", CLIENT),
+                ("reply.processed", "c#1", {}),
+            ]
+        )
+        assert checker.check_all() == []
+
+    def test_aborted_attempts_are_free(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.attempt_aborted", "c#1", {}),
+                ("request.attempt_aborted", "c#1", {}),
+                ("request.executed", "c#1", {}),
+                ("reply.received", "c#1", CLIENT),
+                ("reply.processed", "c#1", {}),
+            ]
+        )
+        assert checker.check_all() == []
+
+
+class TestStageExactlyOnce:
+    def test_duplicate_stage_flagged(self):
+        checker = checker_for(
+            [
+                ("request.stage_executed", "c#1", {"server": "p.s0"}),
+                ("request.stage_executed", "c#1", {"server": "p.s0"}),
+            ]
+        )
+        violations = checker.exactly_once_stages()
+        assert len(violations) == 1
+
+    def test_distinct_stages_fine(self):
+        checker = checker_for(
+            [
+                ("request.stage_executed", "c#1", {"server": "p.s0"}),
+                ("request.stage_executed", "c#1", {"server": "p.s1"}),
+            ]
+        )
+        assert checker.exactly_once_stages() == []
+
+
+class TestAtLeastOnceReply:
+    def test_unprocessed_reply_flagged(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.executed", "c#1", {}),
+            ]
+        )
+        violations = checker.at_least_once_reply()
+        assert len(violations) == 1
+
+    def test_duplicate_processing_allowed(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.executed", "c#1", {}),
+                ("reply.received", "c#1", CLIENT),
+                ("reply.processed", "c#1", {}),
+                ("reply.processed", "c#1", {}),
+            ]
+        )
+        assert checker.at_least_once_reply() == []
+
+    def test_mid_flight_always_passes(self):
+        checker = checker_for([("request.executed", "c#1", {})])
+        assert checker.at_least_once_reply(require_completion=False) == []
+
+
+class TestRequestReplyMatching:
+    def test_unsent_reply_flagged(self):
+        checker = checker_for([("reply.received", "ghost#1", CLIENT)])
+        violations = checker.request_reply_matching()
+        assert any("never sent" in v.message for v in violations)
+
+    def test_out_of_order_replies_flagged(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.sent", "c#2", CLIENT),
+                ("reply.received", "c#2", CLIENT),
+                ("reply.received", "c#1", CLIENT),
+            ]
+        )
+        violations = checker.request_reply_matching()
+        assert any("out of send order" in v.message for v in violations)
+
+    def test_duplicate_receives_of_same_rid_allowed(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("reply.received", "c#1", CLIENT),
+                ("reply.received", "c#1", CLIENT),
+                ("request.sent", "c#2", CLIENT),
+                ("reply.received", "c#2", CLIENT),
+            ]
+        )
+        assert checker.request_reply_matching() == []
+
+    def test_independent_clients_not_confused(self):
+        checker = checker_for(
+            [
+                ("request.sent", "a#1", {"client": "a"}),
+                ("request.sent", "b#1", {"client": "b"}),
+                ("reply.received", "b#1", {"client": "b"}),
+                ("reply.received", "a#1", {"client": "a"}),
+            ]
+        )
+        assert checker.request_reply_matching() == []
+
+
+class TestAssertOk:
+    def test_raises_with_summary(self):
+        checker = checker_for(
+            [
+                ("request.sent", "c#1", CLIENT),
+                ("request.executed", "c#1", {}),
+                ("request.executed", "c#1", {}),
+            ]
+        )
+        with pytest.raises(AssertionError) as excinfo:
+            checker.assert_ok()
+        assert "exactly-once" in str(excinfo.value)
+
+    def test_passes_silently_on_clean_trace(self):
+        checker = checker_for([])
+        checker.assert_ok()
+
+    def test_violation_str(self):
+        from repro.core.guarantees import Violation
+
+        v = Violation("exactly-once", "c#1", "boom")
+        assert "exactly-once" in str(v) and "c#1" in str(v)

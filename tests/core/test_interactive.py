@@ -1,0 +1,264 @@
+"""Interactive request tests (Section 8): pseudo-conversational and
+single-transaction-with-replay."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apps.orders import OrderApp
+from repro.core.interactive import (
+    IntermediateIOLog,
+    LoggedConversation,
+    PseudoConversationalClient,
+    conversational_handler,
+    interactive_handler,
+)
+from repro.core.states import ClientState
+from repro.core.system import TPSystem
+from repro.errors import CancelFailed
+
+
+def order_system():
+    system = TPSystem()
+    orders = OrderApp(system)
+    orders.stock_items({"widget": (5, 10), "gizmo": (9, 3)})
+    return system, orders
+
+
+INPUTS = ["carol", {"item": "widget", "qty": 2}, {"confirm": True}]
+
+
+def run_conversation(system, orders, inputs, client_id="c1"):
+    server = system.server("conv", conversational_handler(orders.conversational_step))
+    clerk = system.clerk(client_id)
+    pc = PseudoConversationalClient(client_id, clerk, inputs, trace=system.trace)
+    done = threading.Event()
+    thread = threading.Thread(
+        target=lambda: server.serve_until(done.is_set, 0.02), daemon=True
+    )
+    thread.start()
+    try:
+        final = pc.run()
+    finally:
+        done.set()
+        thread.join(timeout=10)
+    return pc, final
+
+
+class TestPseudoConversational:
+    def test_full_conversation_places_order(self):
+        system, orders = order_system()
+        pc, final = run_conversation(system, orders, INPUTS)
+        assert final.body["kind"] == "final"
+        assert final.body["output"]["item"] == "widget"
+        assert orders.stock_of("widget") == 8
+        assert len(pc.outputs) == 3
+        assert pc.machine.state is ClientState.REPLY_RECVD
+
+    def test_each_phase_is_its_own_request(self):
+        system, orders = order_system()
+        run_conversation(system, orders, INPUTS)
+        sent = system.trace.rids("request.sent")
+        assert sent == ["c1#1", "c1#2", "c1#3"]
+        system.checker().assert_ok(require_completion=False)
+
+    def test_decline_at_confirmation(self):
+        system, orders = order_system()
+        inputs = ["carol", {"item": "widget", "qty": 2}, {"confirm": False}]
+        pc, final = run_conversation(system, orders, inputs)
+        assert final.body["output"] == {"cancelled": True}
+        assert orders.stock_of("widget") == 10
+
+    def test_scratch_pad_carries_selection(self):
+        system, orders = order_system()
+        pc, final = run_conversation(system, orders, INPUTS)
+        assert final.body["scratch"]["customer"] == "carol"
+        assert final.body["scratch"]["item"] == "widget"
+
+    def test_crash_between_phases_resumes(self):
+        system, orders = order_system()
+        server = system.server(
+            "conv", conversational_handler(orders.conversational_step)
+        )
+        clerk = system.clerk("c1")
+        pc = PseudoConversationalClient("c1", clerk, INPUTS, trace=system.trace)
+        # Drive phase 0 by hand, then "crash" the client.
+        phase = pc._resynchronize()
+        pc._send_phase(phase)
+        server.process_one()
+        pc._receive_phase()
+        # New incarnation resumes at phase 1.
+        clerk2 = system.clerk("c1")
+        pc2 = PseudoConversationalClient("c1", clerk2, INPUTS, trace=system.trace)
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: server.serve_until(done.is_set, 0.02), daemon=True
+        )
+        thread.start()
+        try:
+            final = pc2.run()
+        finally:
+            done.set()
+            thread.join(timeout=10)
+        assert final.body["kind"] == "final"
+        assert orders.stock_of("widget") == 8
+        system.checker().assert_ok(require_completion=False)
+
+    def test_crash_with_reply_in_flight_resumes(self):
+        system, orders = order_system()
+        server = system.server(
+            "conv", conversational_handler(orders.conversational_step)
+        )
+        clerk = system.clerk("c1")
+        pc = PseudoConversationalClient("c1", clerk, INPUTS, trace=system.trace)
+        phase = pc._resynchronize()
+        pc._send_phase(phase)
+        server.process_one()  # reply produced, client crashed before receiving
+        clerk2 = system.clerk("c1")
+        pc2 = PseudoConversationalClient("c1", clerk2, INPUTS, trace=system.trace)
+        next_phase = pc2._resynchronize()
+        assert next_phase == 1  # resumed from the in-flight output
+
+    def test_empty_inputs_rejected(self):
+        system, _ = order_system()
+        with pytest.raises(ValueError):
+            PseudoConversationalClient("c1", system.clerk("c1"), [])
+
+
+class TestLoggedConversation:
+    def test_fresh_run_solicits_everything(self):
+        log = IntermediateIOLog("r#1")
+        conversation = LoggedConversation(log, lambda output: f"answer to {output}")
+        conversation.begin_incarnation()
+        assert conversation.ask("q1") == "answer to q1"
+        assert conversation.ask("q2") == "answer to q2"
+        assert log.fresh_solicitations == 2
+        assert log.replays == 0
+
+    def test_identical_rerun_replays_from_log(self):
+        # Section 8.3: "as long as the client receives intermediate
+        # output that is identical ... it can re-use the logged input".
+        log = IntermediateIOLog("r#1")
+        asked = []
+
+        def source(output):
+            asked.append(output)
+            return f"in-{output}"
+
+        conversation = LoggedConversation(log, source)
+        conversation.begin_incarnation()
+        conversation.ask("q1")
+        conversation.ask("q2")
+        # Transaction aborts; server re-runs with identical outputs.
+        conversation.begin_incarnation()
+        assert conversation.ask("q1") == "in-q1"
+        assert conversation.ask("q2") == "in-q2"
+        assert asked == ["q1", "q2"]  # user bothered only once
+        assert log.replays == 2
+
+    def test_divergent_rerun_truncates_and_resolicits(self):
+        log = IntermediateIOLog("r#1")
+        conversation = LoggedConversation(log, lambda output: f"in-{output}")
+        conversation.begin_incarnation()
+        conversation.ask("q1")
+        conversation.ask("q2")
+        conversation.begin_incarnation()
+        conversation.ask("q1")              # replayed
+        assert conversation.ask("DIFFERENT") == "in-DIFFERENT"
+        assert log.truncations == 1
+        assert [o for o, _ in log.entries] == ["q1", "DIFFERENT"]
+
+    def test_longer_rerun_extends_log(self):
+        log = IntermediateIOLog("r#1")
+        conversation = LoggedConversation(log, lambda output: f"in-{output}")
+        conversation.begin_incarnation()
+        conversation.ask("q1")
+        conversation.begin_incarnation()
+        conversation.ask("q1")
+        conversation.ask("q2")  # new question this run
+        assert len(log.entries) == 2
+
+
+class TestSingleTransactionInteractive:
+    def test_abort_and_retry_replays_inputs(self):
+        system, orders = order_system()
+        log = IntermediateIOLog("c1#1")
+        solicited = []
+
+        def input_source(output):
+            solicited.append(output)
+            if "catalog" in output:
+                return {"item": "widget", "qty": 2}
+            return {"confirm": True}
+
+        conversation = LoggedConversation(log, input_source)
+        conversations = {"c1#1": conversation}
+        attempts = []
+
+        def body(txn, request, conv):
+            attempts.append(1)
+            result = orders.interactive_body(txn, request, conv)
+            if len(attempts) == 1:
+                raise RuntimeError("abort after soliciting inputs")
+            return result
+
+        server = system.server("one", interactive_handler(conversations, body))
+        clerk = system.clerk("c1")
+        clerk.connect()
+        from repro.core.request import Request
+
+        clerk.send(
+            Request(
+                rid="c1#1",
+                body={"customer": "dave"},
+                client_id="c1",
+                reply_to=system.reply_queue_name("c1"),
+            ),
+            "c1#1",
+        )
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        # Stock untouched after abort; inputs were captured in the log.
+        assert orders.stock_of("widget") == 10
+        assert len(solicited) == 2
+        server.process_one()  # retry: replays inputs, commits
+        assert len(solicited) == 2  # user NOT re-asked
+        assert orders.stock_of("widget") == 8
+        reply = clerk.receive(timeout=2)
+        assert reply.body["item"] == "widget"
+
+    def test_single_txn_keeps_serializability_and_allows_cancel(self):
+        # Until the last input is sent, the request element can still be
+        # cancelled by aborting the server's transaction (Section 8.3).
+        system, orders = order_system()
+        log = IntermediateIOLog("c1#1")
+        conversation = LoggedConversation(log, lambda o: {"item": "widget", "qty": 1, "confirm": True})
+        server_txn = {}
+
+        def body(txn, request, conv):
+            server_txn["txn"] = txn
+            conv.ask({"catalog": True})
+            # Mid-conversation: the client cancels.
+            queue = system.request_repo.get_queue(system.request_queue)
+            raise RuntimeError("client walked away")
+
+        server = system.server(
+            "one", interactive_handler({"c1#1": conversation}, body)
+        )
+        clerk = system.clerk("c1")
+        clerk.connect()
+        from repro.core.request import Request
+
+        clerk.send(
+            Request(rid="c1#1", body={"customer": "eve"}, client_id="c1",
+                    reply_to=system.reply_queue_name("c1")),
+            "c1#1",
+        )
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        # The request is back in the queue; cancel it for good.
+        assert clerk.cancel_last_request() is True
+        assert orders.stock_of("widget") == 10
+        system.checker().assert_ok()

@@ -1,0 +1,97 @@
+"""F7's crash sweep: the pseudo-conversational order entry crashed at
+every step, resumed by a fresh client incarnation.
+
+The interactive guarantees reduce to the base ones hop-by-hop
+(Section 8.2), so the sweep asserts: the final order is placed exactly
+once, stock is decremented exactly once, and every phase request
+executed exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.apps.orders import OrderApp
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.interactive import PseudoConversationalClient, conversational_handler
+from repro.core.system import TPSystem
+from repro.sim.harness import crash_every_step
+from repro.sim.trace import TraceRecorder
+
+INPUTS = ["carol", {"item": "widget", "qty": 2}, {"confirm": True}]
+
+
+def _scenario(injector):
+    trace = TraceRecorder()
+    system = TPSystem(injector=injector, trace=trace)
+    orders = OrderApp(system)
+    orders.stock_items({"widget": (5, 10)})
+    _scenario.state = {"system": system}
+    server = system.server("conv", conversational_handler(orders.conversational_step))
+    client = PseudoConversationalClient(
+        "c1", system.clerk("c1"), INPUTS, trace=trace, injector=injector,
+        receive_timeout=None,
+    )
+    phase = client._resynchronize()
+    while client.final_reply is None:
+        client._send_phase(phase)
+        server.process_one()
+        reply = client._receive_phase()
+        phase = reply.body["phase"] + 1
+    return _scenario.state
+
+
+def _recover(state):
+    system2 = state["system"].reopen()
+    orders2 = OrderApp(system2)
+    server = system2.server(
+        "conv-r", conversational_handler(orders2.conversational_step)
+    )
+    client = PseudoConversationalClient(
+        "c1", system2.clerk("c1"), INPUTS, trace=system2.trace, receive_timeout=5
+    )
+    if client_needs_running(system2):
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: server.serve_until(done.is_set, 0.02), daemon=True
+        )
+        thread.start()
+        try:
+            client.run()
+        finally:
+            done.set()
+            thread.join(timeout=10)
+    return system2, orders2
+
+
+def client_needs_running(system) -> bool:
+    """The pre-crash incarnation may have finished the conversation
+    (crash after the final receive); re-running would start a brand-new
+    conversation.  The durable marker is the placed order."""
+    orders = OrderApp(system)
+    return not orders.orders_for("carol")
+
+
+def _check(state, recovered, plan):
+    system2, orders2 = recovered
+    placed = orders2.orders_for("carol")
+    try:
+        assert len(placed) == 1, f"{len(placed)} orders placed"
+        assert orders2.stock_of("widget") == 8, (
+            f"stock {orders2.stock_of('widget')} (decremented != once)"
+        )
+        checker = GuaranteeChecker(system2.trace)
+        violations = checker.exactly_once(require_completion=False)
+        violations += checker.request_reply_matching()
+        assert not violations, violations
+    except AssertionError as exc:
+        raise AssertionError(f"crash at {plan}: {exc}") from exc
+    return True
+
+
+class TestInteractiveCrashSweep:
+    def test_order_placed_exactly_once_at_every_crash_point(self):
+        results = crash_every_step(_scenario, _recover, _check)
+        crashed = sum(1 for r in results if r.crashed)
+        assert crashed >= 30
+        assert all(r.check_result for r in results)

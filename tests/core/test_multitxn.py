@@ -1,0 +1,213 @@
+"""Multi-transaction request tests (Section 6, Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.banking import BankApp
+from repro.core.applocks import AppLockTable
+from repro.core.devices import DisplayWithUserIds
+from repro.core.multitxn import MultiTransactionPipeline, Stage
+from repro.core.system import TPSystem
+from repro.errors import SimulatedCrash
+from repro.sim.crash import FaultInjector
+
+
+def send_transfer(system, bank, client_id="c1", amount=30):
+    display = DisplayWithUserIds(trace=system.trace)
+    client = system.client(
+        client_id, bank.transfer_work([("alice", "bob", amount)]), display
+    )
+    client.resynchronize()
+    client.send_only(1)
+    return client, display
+
+
+class TestPipelineTopology:
+    def test_queues_created(self, system):
+        pipeline = MultiTransactionPipeline(
+            system, "p", [Stage("a", lambda *a: None), Stage("b", lambda *a: None)]
+        )
+        assert pipeline.input_queue(0) == system.request_queue
+        assert pipeline.input_queue(1) == "p.q1"
+        assert pipeline.output_queue(0) == "p.q1"
+        assert pipeline.output_queue(1) is None
+        assert "p.q1" in system.request_repo.queues
+
+    def test_empty_pipeline_rejected(self, system):
+        with pytest.raises(ValueError):
+            MultiTransactionPipeline(system, "p", [])
+
+    def test_bad_stage_index(self, system):
+        pipeline = MultiTransactionPipeline(system, "p", [Stage("a", lambda *a: None)])
+        with pytest.raises(IndexError):
+            pipeline.stage_server(1)
+
+
+class TestFundsTransfer:
+    def test_three_transactions_complete_transfer(self):
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline()
+        client, display = send_transfer(system, bank)
+        executed = pipeline.drain()
+        assert executed == 3
+        reply = client.clerk.receive(ckpt=None, timeout=2)
+        display.process(reply.rid, reply.body)
+        client.clerk.disconnect()
+        assert bank.balance("alice") == 70
+        assert bank.balance("bob") == 80
+        assert bank.total_money() == 150
+        system.checker().assert_ok()
+
+    def test_scratch_pad_flows_through_stages(self):
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline()
+        client, display = send_transfer(system, bank)
+        pipeline.drain()
+        entry = bank.audit_entries("c1#1")[0]
+        assert entry["scratch"] == {"debited": 30, "credited": 30}
+
+    def test_progress_table_records_stages(self):
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline()
+        send_transfer(system, bank)
+        pipeline.drain()
+        with system.request_repo.tm.transaction() as txn:
+            assert pipeline.completed_stages(txn, "c1#1") == [0, 1, 2]
+
+    def test_intermediate_crash_resumes_mid_pipeline(self):
+        # Crash after stage 0 commits; recovery runs stages 1-2 only.
+        trace_injector = FaultInjector()
+        system = TPSystem(injector=trace_injector)
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline()
+        client, display = send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()
+        system.crash()
+        system2 = system.reopen()
+        bank2 = BankApp(system2)
+        pipeline2 = bank2.transfer_pipeline()
+        executed_after_recovery = pipeline2.drain()
+        assert executed_after_recovery == 2  # stages 1 and 2 only
+        assert bank2.balance("alice") == 70
+        assert bank2.balance("bob") == 80
+        assert bank2.total_money() == 150
+        # exactly-once per stage across the crash
+        system2.checker().exactly_once_stages() == []
+
+    def test_stage_abort_retries_without_duplication(self):
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline()
+        # Wrap stage 1 (credit) to fail on its first attempt.
+        original = pipeline.stages[1].handler
+        attempts = []
+
+        def flaky_credit(txn, request, ctx):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient stage failure")
+            return original(txn, request, ctx)
+
+        pipeline.stages[1] = Stage("credit", flaky_credit)
+        client, display = send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()
+        stage1 = pipeline.stage_server(1)
+        with pytest.raises(RuntimeError):
+            stage1.process_one()
+        stage1.process_one()  # retry succeeds
+        pipeline.stage_server(2).process_one()
+        assert bank.balance("bob") == 80
+        assert bank.total_money() == 150
+
+
+class TestRequestSerializability:
+    def test_plain_multitxn_allows_interleaving_anomaly(self):
+        """Section 6: without lock inheritance, a transaction of one
+        request can run between two transactions of another."""
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 0, "carol": 0})
+        pipeline = bank.transfer_pipeline()
+        # Two transfers from alice: interleave their stages.
+        d1 = DisplayWithUserIds(trace=system.trace)
+        c1 = system.client("c1", bank.transfer_work([("alice", "bob", 60)]), d1)
+        c1.resynchronize(); c1.send_only(1)
+        d2 = DisplayWithUserIds(trace=system.trace)
+        c2 = system.client("c2", bank.transfer_work([("alice", "carol", 60)]), d2)
+        c2.resynchronize(); c2.send_only(1)
+        from repro.apps.banking import InsufficientFunds
+
+        s0 = pipeline.stage_server(0)
+        observed = []
+        s0.process_one()                        # c1 debit commits
+        observed.append(bank.balance("alice"))  # c2 sees alice mid-request
+        # The second request's debit runs BETWEEN c1's transactions and
+        # observes (and is affected by) the intermediate state — request
+        # executions are not serializable.
+        with pytest.raises(InsufficientFunds):
+            s0.process_one()
+        assert observed == [40]
+
+    def test_inherit_locks_blocks_interleaving(self):
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        pipeline = bank.transfer_pipeline("locked", inherit_locks=True)
+        client, display = send_transfer(system, bank)
+        pipeline.stage_server(0).process_one()  # debit commits, locks parked
+        # Another transaction trying to touch alice must block.
+        from repro.errors import LockTimeoutError
+
+        txn = system.request_repo.tm.begin()
+        with pytest.raises(LockTimeoutError):
+            system.request_repo.locks.acquire(
+                txn.id, "kv:accounts/acct/alice", __import__("repro.transaction.locks", fromlist=["LockMode"]).LockMode.X, timeout=0.1
+            )
+        system.request_repo.tm.abort(txn)
+        # Finishing the pipeline releases the chain.
+        pipeline.stage_server(1).process_one()
+        pipeline.stage_server(2).process_one()
+        txn2 = system.request_repo.tm.begin()
+        system.request_repo.locks.acquire(
+            txn2.id, "kv:accounts/acct/alice",
+            __import__("repro.transaction.locks", fromlist=["LockMode"]).LockMode.X,
+            timeout=1.0,
+        )
+        system.request_repo.tm.abort(txn2)
+
+    def test_app_locks_block_second_request(self):
+        from repro.core.applocks import AppLockConflict
+
+        system = TPSystem()
+        bank = BankApp(system)
+        bank.open_accounts({"alice": 100, "bob": 50})
+        lock_table = AppLockTable(system.table("applocks"))
+        pipeline = bank.transfer_pipeline("al", lock_table=lock_table)
+        d1 = DisplayWithUserIds(trace=system.trace)
+        c1 = system.client("c1", bank.transfer_work([("alice", "bob", 10)]), d1)
+        c1.resynchronize(); c1.send_only(1)
+        d2 = DisplayWithUserIds(trace=system.trace)
+        c2 = system.client("c2", bank.transfer_work([("alice", "bob", 20)]), d2)
+        c2.resynchronize(); c2.send_only(1)
+        s0 = pipeline.stage_server(0)
+        s0.process_one()  # c1 acquires app locks on alice+bob
+        with pytest.raises(AppLockConflict):
+            s0.process_one()  # c2 conflicts
+        assert lock_table.conflicts == 1
+        # Finish c1; its final stage releases the app locks.
+        pipeline.stage_server(1).process_one()
+        pipeline.stage_server(2).process_one()
+        s0.process_one()  # c2 can now proceed
+        pipeline.stage_server(1).process_one()
+        pipeline.stage_server(2).process_one()
+        assert bank.balance("alice") == 70
+        assert bank.total_money() == 150

@@ -1,0 +1,68 @@
+"""Request / Reply / rid tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.request import (
+    REPLY_FAILED,
+    REPLY_OK,
+    Reply,
+    Request,
+    make_rid,
+    rid_client,
+    rid_sequence,
+)
+
+
+class TestRids:
+    def test_make_and_parse(self):
+        rid = make_rid("client-1", 42)
+        assert rid == "client-1#42"
+        assert rid_sequence(rid) == 42
+        assert rid_client(rid) == "client-1"
+
+    def test_client_id_with_hash_rejected(self):
+        with pytest.raises(ValueError):
+            make_rid("bad#id", 1)
+
+    def test_malformed_rid_rejected(self):
+        with pytest.raises(ValueError):
+            rid_sequence("no-separator")
+        with pytest.raises(ValueError):
+            rid_client("#5")
+
+    def test_round_trip_with_hyphenated_client(self):
+        rid = make_rid("multi-part-name", 7)
+        assert rid_client(rid) == "multi-part-name"
+        assert rid_sequence(rid) == 7
+
+
+class TestRequest:
+    def test_body_round_trip(self):
+        request = Request(
+            rid="c#1",
+            body={"op": "x"},
+            client_id="c",
+            reply_to="reply.c",
+            scratch={"stage": 2},
+        )
+        assert Request.from_body(request.to_body()) == request
+
+    def test_scratch_defaults_empty(self):
+        request = Request(rid="c#1", body=None, client_id="c", reply_to="r")
+        assert request.scratch == {}
+        assert Request.from_body(request.to_body()).scratch == {}
+
+
+class TestReply:
+    def test_body_round_trip(self):
+        reply = Reply(rid="c#1", body=[1, 2], status=REPLY_FAILED)
+        assert Reply.from_body(reply.to_body()) == reply
+
+    def test_ok_predicate(self):
+        assert Reply(rid="r", body=None).ok
+        assert not Reply(rid="r", body=None, status=REPLY_FAILED).ok
+
+    def test_default_status(self):
+        assert Reply(rid="r", body=None).status == REPLY_OK

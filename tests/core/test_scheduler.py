@@ -1,0 +1,159 @@
+"""Request scheduler and server pool tests (Section 10)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.devices import DisplayWithUserIds
+from repro.core.request import Request
+from repro.core.scheduler import (
+    RequestScheduler,
+    ServerPool,
+    class_policy,
+    fifo_policy,
+    highest_amount_policy,
+    priority_policy,
+)
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler
+
+
+def scheduled_send(system, scheduler, client_id, seq, body):
+    clerk = system.clerk(client_id)
+    if not clerk.connected:
+        clerk.connect()
+    request = Request(
+        rid=f"{client_id}#{seq}", body=body, client_id=client_id,
+        reply_to=system.reply_queue_name(client_id),
+    )
+    scheduler.send(clerk, request, request.rid)
+    return clerk
+
+
+class TestPolicies:
+    def test_fifo_policy_neutral(self):
+        scheduler = RequestScheduler(fifo_policy())
+        assert scheduler.priority_for({"amount": 999}) == 0
+        assert scheduler.class_for({"amount": 999}) is None
+
+    def test_priority_policy(self):
+        scheduler = RequestScheduler(priority_policy(lambda b: b["p"]))
+        assert scheduler.priority_for({"p": 7}) == 7
+
+    def test_highest_amount_policy(self):
+        scheduler = RequestScheduler(highest_amount_policy())
+        assert scheduler.priority_for({"amount": 250}) == 250
+        assert scheduler.priority_for("not-a-dict") == 0
+
+    def test_class_policy(self):
+        scheduler = RequestScheduler(class_policy(lambda b: b["kind"]))
+        assert scheduler.class_for({"kind": "vip"}) == "vip"
+
+
+class TestHighestAmountFirst:
+    def test_big_transfers_served_first(self, system):
+        scheduler = RequestScheduler(highest_amount_policy())
+        for seq, amount in enumerate([10, 500, 50], start=1):
+            scheduled_send(system, scheduler, "c1", seq, {"amount": amount})
+        server = system.server("s", lambda txn, r: r.body["amount"])
+        served = []
+        while server.process_one():
+            pass
+        served = [e.rid for e in system.trace.events("request.executed")]
+        # executed order follows amount: 500, 50, 10 -> seq 2, 3, 1
+        assert served == ["c1#2", "c1#3", "c1#1"]
+
+
+class TestClassRouting:
+    def test_servers_serve_only_their_class(self, system):
+        scheduler = RequestScheduler(class_policy(lambda b: b["kind"]))
+        scheduled_send(system, scheduler, "c1", 1, {"kind": "vip", "n": 1})
+        scheduled_send(system, scheduler, "c2", 1, {"kind": "bulk", "n": 2})
+        vip_server = system.server(
+            "vip", lambda txn, r: r.body,
+            selector=RequestScheduler.class_selector("vip"),
+        )
+        assert vip_server.process_one() is True
+        assert vip_server.process_one() is False  # bulk request untouched
+        assert system.request_repo.get_queue(system.request_queue).depth() == 1
+
+
+class TestServerPool:
+    def test_bad_sizing_rejected(self, system):
+        with pytest.raises(ValueError):
+            ServerPool(system, echo_handler, min_servers=0)
+        with pytest.raises(ValueError):
+            ServerPool(system, echo_handler, min_servers=3, max_servers=2)
+
+    def test_starts_with_min_servers(self, system):
+        pool = ServerPool(system, echo_handler, min_servers=2, max_servers=4)
+        pool.start()
+        try:
+            assert pool.size() == 2
+        finally:
+            pool.stop()
+        assert pool.size() == 0
+
+    def test_scales_up_under_backlog_and_drains(self, system):
+        def slowish(txn, request):
+            time.sleep(0.002)
+            return request.body
+
+        pool = ServerPool(
+            system, slowish, min_servers=1, max_servers=4,
+            scale_up_depth=5, poll_timeout=0.005,
+        )
+        clerk = system.clerk("load")
+        clerk.connect()
+        for seq in range(1, 41):
+            clerk.send(
+                Request(rid=f"load#{seq}", body=seq, client_id="load",
+                        reply_to=system.reply_queue_name("load")),
+                f"load#{seq}",
+            )
+        pool.start()
+        try:
+            queue = system.request_repo.get_queue(system.request_queue)
+            deadline = time.monotonic() + 10
+            while queue.depth() + queue.pending() > 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert queue.depth() == 0
+            assert pool.scale_ups >= 1
+            assert pool.total_processed() == 40
+        finally:
+            pool.stop()
+
+    def test_scales_back_down_when_idle(self, system):
+        def slowish(txn, request):
+            time.sleep(0.005)  # keep a visible backlog until scale-up
+            return request.body
+
+        pool = ServerPool(
+            system, slowish, min_servers=1, max_servers=3,
+            scale_up_depth=2, idle_polls=3, poll_timeout=0.005,
+        )
+        clerk = system.clerk("burst")
+        clerk.connect()
+        for seq in range(1, 9):
+            clerk.send(
+                Request(rid=f"burst#{seq}", body=seq, client_id="burst",
+                        reply_to=system.reply_queue_name("burst")),
+                f"burst#{seq}",
+            )
+        pool.start()
+        try:
+            deadline = time.monotonic() + 10
+            # scale_downs is the last thing _shrink_to_min updates, so
+            # polling it avoids racing the shrink in progress.
+            while time.monotonic() < deadline:
+                if pool.scale_ups >= 1 and pool.scale_downs >= 1:
+                    break
+                time.sleep(0.01)
+            assert pool.scale_ups >= 1
+            assert pool.scale_downs >= 1
+            assert pool.size() == 1  # shrank back to min
+        finally:
+            pool.stop()

@@ -1,0 +1,221 @@
+"""Server tests (Figure 5 bottom): transactional processing, failure
+replies, aborts, error-queue interplay, threading, 2PC variant."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.request import REPLY_FAILED, Reply, Request
+from repro.core.system import TPSystem
+from repro.errors import QueueEmpty
+
+
+def send(system: TPSystem, client_id: str, seq: int, body="work"):
+    clerk = system.clerk(client_id)
+    if not clerk.connected:
+        clerk.connect()
+    request = Request(
+        rid=f"{client_id}#{seq}",
+        body=body,
+        client_id=client_id,
+        reply_to=system.reply_queue_name(client_id),
+    )
+    clerk.send(request, request.rid)
+    return clerk
+
+
+class TestProcessOne:
+    def test_returns_false_on_empty_queue(self, system):
+        server = system.server("s", lambda txn, r: "x")
+        assert server.process_one() is False
+        assert server.stats.empty_polls == 1
+
+    def test_processes_and_replies(self, system):
+        clerk = send(system, "c1", 1, {"n": 5})
+        server = system.server("s", lambda txn, r: {"n2": r.body["n"] * 2})
+        assert server.process_one() is True
+        reply = clerk.receive(timeout=2)
+        assert reply.body == {"n2": 10}
+        assert reply.ok
+        assert server.stats.processed == 1
+
+    def test_handler_exception_aborts_and_requeues(self, system):
+        send(system, "c1", 1)
+
+        def failing(txn, request):
+            raise RuntimeError("transient")
+
+        server = system.server("s", failing)
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        assert system.request_repo.get_queue(system.request_queue).depth() == 1
+        assert server.stats.aborts == 1
+        assert system.trace.count("request.attempt_aborted", rid="c1#1") == 1
+
+    def test_failed_reply_still_commits(self, system):
+        # "unsuccessfully attempting to execute the request, and then
+        # returning a reply that indicates that fact"
+        clerk = send(system, "c1", 1)
+
+        def refuse(txn, request):
+            return Reply(rid=request.rid, body={"why": "no"}, status=REPLY_FAILED)
+
+        server = system.server("s", refuse)
+        server.process_one()
+        reply = clerk.receive(timeout=2)
+        assert not reply.ok
+        assert server.stats.failed_replies == 1
+        assert system.trace.count("request.executed", rid="c1#1") == 1
+
+    def test_database_and_queues_atomic(self, system):
+        table = system.table("data")
+        send(system, "c1", 1)
+
+        def write_then_die(txn, request):
+            table.put(txn, "k", "poisoned write")
+            raise RuntimeError("die after write")
+
+        server = system.server("s", write_then_die)
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        assert table.peek("k") is None  # undone with the dequeue
+
+    def test_poison_request_lands_in_error_queue_with_failure_reply(self):
+        system = TPSystem(max_aborts=2)
+        clerk = send(system, "c1", 1)
+
+        def always_fails(txn, request):
+            raise RuntimeError("poison")
+
+        server = system.server("s", always_fails)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                server.process_one()
+        assert system.request_repo.get_queue(system.error_queue).depth() == 1
+        # The error-reply server converts it into a failure reply.
+        system.error_reply_server().process_one()
+        reply = clerk.receive(timeout=2)
+        assert not reply.ok
+        assert "error" in reply.body
+        # Exactly-once bookkeeping still holds.
+        system.trace.record("reply.processed", reply.rid)  # simulate client
+        system.checker().assert_ok()
+
+
+class TestSelectorRouting:
+    def test_server_selector_restricts(self, system):
+        send(system, "c1", 1, {"kind": "a"})
+        send(system, "c2", 1, {"kind": "b"})
+        server_b = system.server(
+            "sb", lambda txn, r: "b done", selector=lambda e: e.body["body"]["kind"] == "b"
+        )
+        assert server_b.process_one() is True
+        assert server_b.process_one() is False  # only the "b" request
+        assert system.request_repo.get_queue(system.request_queue).depth() == 1
+
+
+class TestThreaded:
+    def test_start_stop(self, system):
+        clerk = send(system, "c1", 1)
+        server = system.server("s", lambda txn, r: "threaded")
+        server.start()
+        try:
+            reply = clerk.receive(timeout=5)
+            assert reply.body == "threaded"
+        finally:
+            server.stop()
+
+    def test_double_start_rejected(self, system):
+        server = system.server("s", lambda txn, r: "x")
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_load_sharing_multiple_servers_one_queue(self, system):
+        # Section 1: "many processes can dequeue requests from a single
+        # queue ... automatically shares the workload".
+        for seq in range(1, 11):
+            send(system, "c1", seq, seq)
+        processed = {"s1": 0, "s2": 0, "s3": 0}
+        servers = [
+            system.server(name, lambda txn, r: r.body) for name in processed
+        ]
+        stop = threading.Event()
+        threads = [
+            threading.Thread(target=s.serve_until, args=(stop.is_set, 0.02), daemon=True)
+            for s in servers
+        ]
+        for t in threads:
+            t.start()
+        clerk = system.clerk("c1")
+        clerk.connect()
+        got = []
+        for _ in range(10):
+            got.append(clerk.receive(timeout=10).body)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert sorted(got) == list(range(1, 11))
+        total = sum(s.stats.processed for s in servers)
+        assert total == 10
+
+
+class TestDistributed2PC:
+    def test_request_and_reply_on_different_nodes(self):
+        system = TPSystem(separate_reply_node=True)
+        clerk = send(system, "c1", 1, "cross-node")
+        server = system.server("s", lambda txn, r: {"did": r.body})
+        assert server.process_one() is True
+        reply = clerk.receive(timeout=2)
+        assert reply.body == {"did": "cross-node"}
+        # Both logs saw their side of the global transaction.
+        assert system.request_repo.log.records()
+        assert system.reply_repo.log.records()
+
+    def test_2pc_abort_on_handler_failure(self):
+        system = TPSystem(separate_reply_node=True)
+        send(system, "c1", 1)
+
+        def failing(txn, request):
+            raise RuntimeError("fail across nodes")
+
+        server = system.server("s", failing)
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        assert system.request_repo.get_queue(system.request_queue).depth() == 1
+
+    def test_2pc_database_writes_land_on_request_node(self):
+        # Regression: the handler's table writes must ride the REQUEST
+        # node's branch — logged there, replayed there after a crash.
+        system = TPSystem(separate_reply_node=True)
+        table = system.table("books")
+        clerk = send(system, "c1", 1, {"amount": 9})
+
+        def handler(txn, request):
+            table.put(txn, "total", request.body["amount"])
+            return "booked"
+
+        system.server("s", handler).process_one()
+        system.crash()
+        system2 = system.reopen()
+        assert system2.table("books").peek("total") == 9
+        clerk2 = system2.clerk("c1")
+        clerk2.connect()
+        assert clerk2.receive(timeout=2).body == "booked"
+
+    def test_2pc_survives_whole_system_crash(self):
+        system = TPSystem(separate_reply_node=True)
+        clerk = send(system, "c1", 1, "durable")
+        server = system.server("s", lambda txn, r: "saved")
+        server.process_one()
+        system.crash()
+        system2 = system.reopen()
+        clerk2 = system2.clerk("c1")
+        clerk2.connect()
+        reply = clerk2.receive(timeout=2)
+        assert reply.body == "saved"

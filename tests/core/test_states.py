@@ -1,0 +1,158 @@
+"""Client state machine tests (Figures 1 and 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import ClientOp, ClientState, ClientStateMachine
+from repro.errors import ProtocolViolation
+
+
+class TestNonInteractive:
+    def test_initial_state(self):
+        assert ClientStateMachine().state is ClientState.DISCONNECTED
+
+    def test_normal_cycle(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        m.apply(ClientOp.RECEIVE)
+        m.apply(ClientOp.SEND)
+        m.apply(ClientOp.RECEIVE)
+        m.apply(ClientOp.DISCONNECT)
+        assert m.state is ClientState.DISCONNECTED
+
+    def test_connect_branches_to_receive(self):
+        # Figure 1: after Connect the client may go straight to Receive
+        # (a request was in flight at crash time).
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.RECEIVE)
+        assert m.state is ClientState.REPLY_RECVD
+
+    def test_connect_branches_to_rereceive(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.RERECEIVE)
+        assert m.state is ClientState.REPLY_RECVD
+
+    def test_rereceive_after_receive(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        m.apply(ClientOp.RECEIVE)
+        m.apply(ClientOp.RERECEIVE)
+        assert m.state is ClientState.REPLY_RECVD
+
+    def test_one_request_at_a_time_enforced(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.SEND)
+
+    def test_receive_before_send_rejected_mid_session(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        m.apply(ClientOp.RECEIVE)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.RECEIVE)
+
+    def test_ops_while_disconnected_rejected(self):
+        m = ClientStateMachine()
+        for op in (ClientOp.SEND, ClientOp.RECEIVE, ClientOp.DISCONNECT):
+            with pytest.raises(ProtocolViolation):
+                m.apply(op)
+
+    def test_disconnect_while_request_pending_rejected(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.DISCONNECT)
+
+    def test_intermediate_ops_rejected_in_non_interactive(self):
+        m = ClientStateMachine(interactive=False)
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.RECV_INTERMEDIATE)
+
+    def test_history_recorded(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        assert m.history == [
+            (ClientState.DISCONNECTED, ClientOp.CONNECT, ClientState.CONNECTED),
+            (ClientState.CONNECTED, ClientOp.SEND, ClientState.REQ_SENT),
+        ]
+
+    def test_crash_resets_to_disconnected(self):
+        m = ClientStateMachine()
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        m.crash()
+        assert m.state is ClientState.DISCONNECTED
+        m.apply(ClientOp.CONNECT)  # recovery reconnects
+
+    def test_legal_ops_listing(self):
+        m = ClientStateMachine()
+        assert m.legal_ops() == [ClientOp.CONNECT]
+
+    def test_can_predicate(self):
+        m = ClientStateMachine()
+        assert m.can(ClientOp.CONNECT)
+        assert not m.can(ClientOp.SEND)
+
+
+class TestInteractive:
+    def test_intermediate_cycle(self):
+        # Figure 7: Req-Sent <-> Intermediate-I/O cycling.
+        m = ClientStateMachine(interactive=True)
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        for _ in range(3):
+            m.apply(ClientOp.RECV_INTERMEDIATE)
+            m.apply(ClientOp.SEND_INTERMEDIATE)
+        m.apply(ClientOp.RECEIVE)
+        m.apply(ClientOp.DISCONNECT)
+        assert m.state is ClientState.DISCONNECTED
+
+    def test_final_receive_from_req_sent_only(self):
+        m = ClientStateMachine(interactive=True)
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        m.apply(ClientOp.RECV_INTERMEDIATE)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.RECEIVE)  # must answer the intermediate first
+
+    def test_intermediate_send_needs_intermediate_state(self):
+        m = ClientStateMachine(interactive=True)
+        m.apply(ClientOp.CONNECT)
+        m.apply(ClientOp.SEND)
+        with pytest.raises(ProtocolViolation):
+            m.apply(ClientOp.SEND_INTERMEDIATE)
+
+    def test_all_states_listing(self):
+        assert ClientState.INTERMEDIATE_IO in ClientStateMachine.all_states(
+            interactive=True
+        )
+        assert ClientState.INTERMEDIATE_IO not in ClientStateMachine.all_states()
+
+
+class TestExhaustiveEdges:
+    def test_every_undeclared_edge_rejected(self):
+        """Benchmark F1's core assertion: the transition table is the
+        *complete* spec — every (state, op) pair not in it raises."""
+        for interactive in (False, True):
+            machine = ClientStateMachine(interactive=interactive)
+            table = machine.transitions
+            for state in ClientState:
+                for op in ClientOp:
+                    machine.state = state
+                    if (state, op) in table:
+                        machine.apply(op)
+                    else:
+                        with pytest.raises(ProtocolViolation):
+                            machine.apply(op)

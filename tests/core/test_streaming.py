@@ -1,0 +1,109 @@
+"""Streaming client tests (Section 11's Mercury-style extension)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.streaming import StreamingClient, slot_registrant
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler
+
+
+def serve_while(system, fn, servers=1, handler=echo_handler):
+    stop = threading.Event()
+    server_objects = [system.server(f"s{i}", handler) for i in range(servers)]
+    threads = [
+        threading.Thread(target=s.serve_until, args=(stop.is_set, 0.01), daemon=True)
+        for s in server_objects
+    ]
+    for t in threads:
+        t.start()
+    try:
+        return fn()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+
+
+class TestStreaming:
+    def test_window_validation(self, system):
+        with pytest.raises(ValueError):
+            StreamingClient(system, "c", ["x"], window=0)
+
+    def test_stream_returns_replies_in_work_order(self, system):
+        work = list(range(10))
+        stream = StreamingClient(system, "st", work, window=3, receive_timeout=10)
+        replies = serve_while(system, stream.run, servers=2)
+        assert [r.body["echo"] for r in replies] == work
+
+    def test_window_of_one_equals_base_model(self, system):
+        stream = StreamingClient(system, "st", ["a", "b"], window=1, receive_timeout=10)
+        replies = serve_while(system, stream.run)
+        assert [r.body["echo"] for r in replies] == ["a", "b"]
+
+    def test_multiple_requests_in_flight(self, system):
+        # With no server running, the stream should have `window`
+        # requests durably captured.
+        work = list(range(8))
+        stream = StreamingClient(system, "st", work, window=4, receive_timeout=1)
+        thread = threading.Thread(
+            target=lambda: _swallow(stream.run), daemon=True
+        )
+        thread.start()
+        import time
+
+        queue = system.request_repo.get_queue(system.request_queue)
+        deadline = time.monotonic() + 5
+        while queue.depth() < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert queue.depth() == 4  # a full window in flight
+        thread.join(timeout=10)
+
+    def test_exactly_once_across_stream(self, system):
+        work = list(range(12))
+        stream = StreamingClient(system, "st", work, window=4, receive_timeout=10)
+        serve_while(system, stream.run, servers=3)
+        GuaranteeChecker(system.trace).assert_ok()
+        executed = system.trace.rids("request.executed")
+        assert len(executed) == len(set(executed)) == 12
+
+    def test_crash_mid_stream_resumes_per_slot(self, system):
+        work = list(range(6))
+        stream = StreamingClient(system, "st", work, window=2, receive_timeout=10)
+        # Manually advance: connect, prime, let servers run a bit, then
+        # "crash" (abandon the object) with some slots mid-flight.
+        next_index = stream._connect_slots()
+        for slot in range(stream.window):
+            stream._send(slot, next_index[slot])
+        server = system.server("s", echo_handler)
+        server.process_one()  # only one of the two in-flight served
+        # New incarnation: must not resend served/sent work.
+        stream2 = StreamingClient(system, "st", work, window=2, receive_timeout=10)
+        replies = serve_while(system, stream2.run, servers=2)
+        assert [r.body["echo"] for r in replies] == work
+        GuaranteeChecker(system.trace).assert_ok()
+        executed = system.trace.rids("request.executed")
+        assert len(executed) == len(set(executed)) == 6
+
+    def test_slot_registrants_are_per_slot(self, system):
+        stream = StreamingClient(system, "st", list(range(4)), window=2,
+                                 receive_timeout=10)
+        serve_while(system, stream.run)
+        regs = system.request_repo.registration
+        assert regs.is_registered(system.request_queue, slot_registrant("st", 0)) is False
+        # (disconnect deregistered them; during the run they existed —
+        # verify via the trace instead)
+        clients = {e.detail.get("client") for e in system.trace.events("request.sent")}
+        assert clients == {slot_registrant("st", 0), slot_registrant("st", 1)}
+
+
+def _swallow(fn):
+    try:
+        fn()
+    except Exception:
+        pass

@@ -1,0 +1,148 @@
+"""End-to-end System Model tests (Figure 4) under normal operation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.client import UserCheckpoint
+from repro.core.devices import CashDispenser, DisplayWithUserIds, TicketPrinter
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler, run_with_server
+
+
+class TestSingleClient:
+    def test_worklist_round_trip(self, system, printer):
+        client = system.client("c1", ["a", "b", "c"], printer)
+        server = system.server("s", echo_handler)
+        replies = run_with_server(system, server, client)
+        assert [r.body for r in replies] == [
+            {"echo": "a"},
+            {"echo": "b"},
+            {"echo": "c"},
+        ]
+        system.checker().assert_ok()
+
+    def test_replies_in_send_order(self, system, printer):
+        client = system.client("c1", list(range(10)), printer)
+        server = system.server("s", echo_handler)
+        run_with_server(system, server, client)
+        received = system.trace.rids("reply.received")
+        assert received == [f"c1#{i}" for i in range(1, 11)]
+
+    def test_cash_dispenser_totals(self, system):
+        atm = CashDispenser(trace=system.trace)
+        client = system.client("c1", [{"amount": 20}, {"amount": 50}], atm)
+        server = system.server("s", lambda txn, r: {"amount": r.body["amount"]})
+        run_with_server(system, server, client)
+        assert atm.state() == 70
+        system.checker().assert_ok()
+
+
+class TestMultipleClients:
+    def test_private_reply_queues(self, system):
+        # Section 5: "giving each client a private reply queue, and
+        # passing that queue's name with the request".
+        displays = {c: DisplayWithUserIds(trace=system.trace) for c in ("a", "b", "c")}
+        clients = [
+            system.client(cid, [f"{cid}-work-{i}" for i in range(3)], dev)
+            for cid, dev in displays.items()
+        ]
+        server = system.server("s", echo_handler)
+        stop = threading.Event()
+        server_thread = threading.Thread(
+            target=lambda: server.serve_until(stop.is_set, 0.02), daemon=True
+        )
+        server_thread.start()
+        threads = [threading.Thread(target=c.run, daemon=True) for c in clients]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        stop.set()
+        server_thread.join(timeout=5)
+        for cid, device in displays.items():
+            got = [body["echo"] for _rid, body in device.shown]
+            assert got == [f"{cid}-work-{i}" for i in range(3)]
+        system.checker().assert_ok()
+
+    def test_client_ids_kept_apart_in_trace(self, system):
+        d1 = DisplayWithUserIds(trace=system.trace)
+        d2 = DisplayWithUserIds(trace=system.trace)
+        c1 = system.client("alpha", ["x"], d1)
+        c2 = system.client("beta", ["y"], d2)
+        server = system.server("s", echo_handler)
+        run_with_server(system, server, c1)
+        run_with_server(system, server, c2)
+        assert system.trace.rids("request.sent") == ["alpha#1", "beta#1"]
+        system.checker().assert_ok()
+
+
+class TestBatchAndBuffering:
+    def test_requests_buffered_while_no_server_runs(self, system, printer):
+        # Queues capture requests reliably even with no server up.
+        client = system.client("c1", ["q1", "q2"], printer, receive_timeout=10)
+        thread = threading.Thread(target=client.run, daemon=True)
+        thread.start()
+        # Give the client time to enqueue its first request.
+        import time
+
+        deadline = time.monotonic() + 5
+        queue = system.request_repo.get_queue(system.request_queue)
+        while queue.depth() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert queue.depth() == 1  # captured, unserved
+        # A late-started server drains everything.
+        server = system.server("late", echo_handler)
+        stop = threading.Event()
+        st = threading.Thread(target=lambda: server.serve_until(stop.is_set, 0.02), daemon=True)
+        st.start()
+        thread.join(timeout=30)
+        stop.set()
+        st.join(timeout=5)
+        assert client.finished
+        system.checker().assert_ok()
+
+    def test_queue_depths_snapshot(self, system, printer):
+        client = system.client("c1", ["w"], printer)
+        client.resynchronize()
+        client.send_only(1)
+        depths = system.queue_depths()
+        assert depths[system.request_queue] == 1
+        assert depths[system.error_queue] == 0
+
+
+class TestRestart:
+    def test_reopen_preserves_queue_contents(self, system, printer):
+        client = system.client("c1", ["persist me"], printer)
+        client.resynchronize()
+        client.send_only(1)
+        system.crash()
+        system2 = system.reopen()
+        assert system2.request_repo.get_queue(system2.request_queue).depth() == 1
+
+    def test_reopen_shares_trace(self, system, printer):
+        client = system.client("c1", ["w"], printer)
+        client.resynchronize()
+        client.send_only(1)
+        system2 = system.reopen()
+        assert system2.trace is system.trace
+        assert system2.trace.count("request.sent") == 1
+
+    def test_full_cycle_across_restart(self, system, printer):
+        user_log = UserCheckpoint()
+        client = system.client("c1", ["before", "after"], printer, user_log=user_log)
+        client.resynchronize()
+        client.send_only(1)
+        system.server("s", echo_handler).process_one()
+        system.crash()
+        system2 = system.reopen()
+        client2 = system2.client(
+            "c1", ["before", "after"], printer, receive_timeout=5, user_log=user_log
+        )
+        server2 = system2.server("s2", echo_handler)
+        run_with_server(system2, server2, client2)
+        assert [rid for _t, rid in printer.printed] == ["c1#1", "c1#2"]
+        system2.checker().assert_ok()

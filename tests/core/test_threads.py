@@ -1,0 +1,85 @@
+"""Concurrent client-thread tests (Section 5's extension)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.devices import DisplayWithUserIds, TicketPrinter
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.threads import (
+    ThreadedClient,
+    connect_all_threads,
+    thread_registrant,
+)
+from repro.core.system import TPSystem
+
+from tests.conftest import echo_handler
+
+
+def with_servers(system, fn, count=2):
+    stop = threading.Event()
+    servers = [system.server(f"s{i}", echo_handler) for i in range(count)]
+    threads = [
+        threading.Thread(target=s.serve_until, args=(stop.is_set, 0.01), daemon=True)
+        for s in servers
+    ]
+    for t in threads:
+        t.start()
+    try:
+        return fn()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+
+
+class TestThreadedClient:
+    def test_requires_a_processor(self, system):
+        with pytest.raises(ValueError):
+            ThreadedClient(system, "c", ["x"], processors=[])
+
+    def test_work_partitioned_round_robin(self, system):
+        displays = [DisplayWithUserIds(trace=system.trace) for _ in range(2)]
+        client = ThreadedClient(system, "tc", list(range(6)), displays)
+        assert client._partition(0) == [0, 2, 4]
+        assert client._partition(1) == [1, 3, 5]
+
+    def test_threads_run_concurrently_to_completion(self, system):
+        displays = [DisplayWithUserIds(trace=system.trace) for _ in range(3)]
+        client = ThreadedClient(system, "tc", list(range(9)), displays,
+                                receive_timeout=10)
+        results = with_servers(system, client.run, count=3)
+        assert all(len(r) == 3 for r in results)
+        GuaranteeChecker(system.trace).assert_ok()
+
+    def test_tag_array_connect(self, system):
+        # Run thread 0 partially, then read the whole per-thread array.
+        displays = [TicketPrinter(trace=system.trace) for _ in range(2)]
+        client = ThreadedClient(system, "tc", ["a", "b"], displays)
+        t0 = client._client(0)
+        t0.resynchronize()
+        t0.send_only(1)
+        rows = connect_all_threads(system, "tc", 2)
+        assert rows[0].s_rid == f"{thread_registrant('tc', 0)}#1"
+        assert rows[0].r_rid is None
+        assert rows[1].s_rid is None  # thread 1 never sent
+
+    def test_per_thread_recovery_independent(self, system):
+        displays = [TicketPrinter(trace=system.trace) for _ in range(2)]
+        client = ThreadedClient(system, "tc", ["a", "b", "c", "d"], displays,
+                                receive_timeout=10)
+        # Thread 0 sends its first request, then the client crashes.
+        t0 = client._client(0)
+        t0.resynchronize()
+        t0.send_only(1)
+        # Fresh incarnation: both threads finish their partitions.
+        client2 = ThreadedClient(system, "tc", ["a", "b", "c", "d"], displays,
+                                 receive_timeout=10)
+        with_servers(system, client2.run)
+        GuaranteeChecker(system.trace).assert_ok()
+        # exactly one ticket per request, across both threads
+        for printer in displays:
+            rids = [rid for _t, rid in printer.printed]
+            assert len(rids) == len(set(rids)) == 2

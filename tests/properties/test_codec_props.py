@@ -1,0 +1,81 @@
+"""Property-based tests for the codec: round-trip and determinism over
+the full value domain."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.codec import decode, encode
+
+# The codec's value domain: None, bool, int, float, str, bytes,
+# list, dict[str, value].
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),  # NaN breaks == comparison, tested separately
+    st.text(),
+    st.binary(),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(), children, max_size=6),
+    ),
+    max_leaves=30,
+)
+
+
+@given(values)
+@settings(max_examples=300)
+def test_round_trip(value):
+    assert decode(encode(value)) == value
+
+
+@given(values)
+@settings(max_examples=200)
+def test_encoding_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+@given(st.integers())
+def test_int_round_trip_any_magnitude(n):
+    assert decode(encode(n)) == n
+
+
+@given(st.floats())
+def test_float_round_trip_bitwise(x):
+    result = decode(encode(x))
+    if math.isnan(x):
+        assert math.isnan(result)
+    else:
+        assert result == x or (result == 0.0 and x == 0.0)
+
+
+@given(st.binary())
+def test_bytes_round_trip(data):
+    assert decode(encode(data)) == data
+
+
+@given(values, st.binary(min_size=1, max_size=4))
+@settings(max_examples=100)
+def test_trailing_garbage_always_detected(value, garbage):
+    import pytest
+
+    from repro.storage.codec import CodecError
+
+    with pytest.raises(CodecError):
+        decode(encode(value) + garbage)
+
+
+@given(st.lists(values, max_size=5))
+@settings(max_examples=100)
+def test_list_preserves_order_and_length(items):
+    decoded = decode(encode(items))
+    assert len(decoded) == len(items)
+    assert decoded == items

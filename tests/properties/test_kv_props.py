@@ -1,0 +1,87 @@
+"""Property-based tests on the KV store: a random mix of committed and
+aborted transactions plus crashes always equals the committed-only
+history applied to a plain dict."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import MemDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.locks import LockManager
+from repro.transaction.log import LogManager
+from repro.transaction.manager import TransactionManager
+from repro.transaction.recovery import recover
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+
+txn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, st.integers(0, 99)),
+        st.tuples(st.just("del"), keys, st.just(0)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+history = st.lists(
+    st.tuples(txn_ops, st.sampled_from(["commit", "abort"])),
+    max_size=12,
+)
+
+
+def run_history(h, *, crash_every=None):
+    disk = MemDisk()
+    log = LogManager(disk)
+    tm = TransactionManager(log, LockManager(default_timeout=2.0))
+    store = KVStore("m")
+    model: dict[str, int] = {}
+    for index, (ops, outcome) in enumerate(h):
+        txn = tm.begin()
+        staged = dict(model)
+        for op, key, value in ops:
+            if op == "put":
+                store.put(txn, key, value)
+                staged[key] = value
+            else:
+                store.delete(txn, key)
+                staged.pop(key, None)
+        if outcome == "commit":
+            tm.commit(txn)
+            model = staged
+        else:
+            tm.abort(txn)
+        if crash_every and (index + 1) % crash_every == 0:
+            disk.crash()
+            disk.recover()
+            log = LogManager(disk)
+            tm = TransactionManager(log, LockManager(default_timeout=2.0))
+            store = KVStore("m")
+            recover(log, {store.rm_name: store}, tm)
+    return disk, store, model
+
+
+@given(history)
+@settings(max_examples=150, deadline=None)
+def test_store_equals_committed_model(h):
+    _, store, model = run_history(h)
+    assert store.snapshot() == model
+
+
+@given(history)
+@settings(max_examples=100, deadline=None)
+def test_crash_recovery_equals_committed_model(h):
+    disk, _, model = run_history(h)
+    disk.crash()
+    disk.recover()
+    store2 = KVStore("m")
+    recover(LogManager(disk), {store2.rm_name: store2})
+    assert store2.snapshot() == model
+
+
+@given(history, st.integers(1, 4))
+@settings(max_examples=75, deadline=None)
+def test_periodic_crashes_mid_history(h, crash_every):
+    _, store, model = run_history(h, crash_every=crash_every)
+    assert store.snapshot() == model

@@ -1,0 +1,87 @@
+"""Property-based lock-manager tests.
+
+Invariant after any sequence of try_acquire / release operations:
+no two holders of the same resource have incompatible modes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transaction.locks import LockManager, LockMode
+
+OWNERS = ["t1", "t2", "t3"]
+RESOURCES = ["r1", "r2"]
+MODES = list(LockMode)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"),
+            st.sampled_from(OWNERS),
+            st.sampled_from(RESOURCES),
+            st.sampled_from(MODES),
+        ),
+        st.tuples(
+            st.just("release"),
+            st.sampled_from(OWNERS),
+            st.just(""),
+            st.just(LockMode.S),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_no_incompatible_coholders(op_list):
+    lm = LockManager(default_timeout=0.0)
+    for op, owner, resource, mode in op_list:
+        if op == "acquire":
+            lm.try_acquire(owner, resource, mode)
+        else:
+            lm.release_all(owner)
+        for res in RESOURCES:
+            holders = lm.holders(res)
+            items = list(holders.items())
+            for i, (o1, m1) in enumerate(items):
+                for o2, m2 in items[i + 1 :]:
+                    assert m1.compatible(m2), (
+                        f"{o1}:{m1.value} and {o2}:{m2.value} co-hold {res}"
+                    )
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_held_by_matches_holders(op_list):
+    lm = LockManager(default_timeout=0.0)
+    for op, owner, resource, mode in op_list:
+        if op == "acquire":
+            lm.try_acquire(owner, resource, mode)
+        else:
+            lm.release_all(owner)
+    for owner in OWNERS:
+        for resource in lm.held_by(owner):
+            assert owner in lm.holders(resource)
+    for resource in RESOURCES:
+        for owner in lm.holders(resource):
+            assert resource in lm.held_by(owner)
+
+
+@given(ops, st.sampled_from(OWNERS), st.sampled_from(OWNERS))
+@settings(max_examples=100, deadline=None)
+def test_transfer_preserves_compatibility(op_list, src, dst):
+    lm = LockManager(default_timeout=0.0)
+    for op, owner, resource, mode in op_list:
+        if op == "acquire":
+            lm.try_acquire(owner, resource, mode)
+        else:
+            lm.release_all(owner)
+    lm.transfer(src, dst)
+    for resource in RESOURCES:
+        items = list(lm.holders(resource).items())
+        for i, (o1, m1) in enumerate(items):
+            for o2, m2 in items[i + 1 :]:
+                assert m1.compatible(m2)

@@ -1,0 +1,119 @@
+"""Property-based end-to-end protocol test: random work lists, random
+crash points, random handler failure patterns — the Section 3
+guarantees must hold on every generated execution."""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import UserCheckpoint
+from repro.core.devices import TicketPrinter
+from repro.core.guarantees import GuaranteeChecker
+from repro.core.system import TPSystem
+from repro.errors import SimulatedCrash
+from repro.sim.crash import FaultInjector
+from repro.sim.trace import TraceRecorder
+
+# Crash points known to appear in a single-txn request cycle.
+CRASH_POINTS = st.sampled_from(
+    [
+        "clerk.send.before_enqueue",
+        "clerk.send.after_enqueue",
+        "server.after_dequeue",
+        "server.after_process",
+        "server.before_commit",
+        "tm.commit.before_log",
+        "tm.commit.after_log",
+        "client.after_receive",
+        "device.ticket.before_print",
+        "device.ticket.after_print",
+        "client.after_process",
+    ]
+)
+
+
+@given(
+    work=st.lists(st.integers(0, 9), min_size=1, max_size=4),
+    crash_point=CRASH_POINTS,
+    crash_hit=st.integers(1, 3),
+    flaky_attempts=st.integers(0, 2),
+)
+@settings(max_examples=60, deadline=None)
+def test_guarantees_under_random_crash_and_flaky_handler(
+    work, crash_point, crash_hit, flaky_attempts
+):
+    trace = TraceRecorder()
+    injector = FaultInjector(record=False)
+    injector.arm(crash_point, hit=crash_hit)
+    system = TPSystem(injector=injector, trace=trace, max_aborts=10)
+    device = TicketPrinter(trace=trace, injector=injector)
+    user_log = UserCheckpoint()
+
+    failures = {"left": flaky_attempts}
+
+    def handler(txn, request):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("transient handler failure")
+        return {"echo": request.body}
+
+    def cooperative_run(system):
+        client = system.client(
+            "c1", work, device, receive_timeout=None, user_log=user_log
+        )
+        if user_log.is_done():
+            return
+        seq = client.resynchronize()
+        server = system.server("s", handler)
+        while seq <= len(work):
+            client.send_only(seq)
+            while True:
+                try:
+                    if server.process_one():
+                        break
+                except RuntimeError:
+                    continue
+            reply = client.clerk.receive(ckpt=device.state(), timeout=1)
+            device.process(reply.rid, reply.body)
+            seq += 1
+        user_log.mark_done()
+        client.clerk.disconnect()
+
+    try:
+        cooperative_run(system)
+        crashed = False
+    except SimulatedCrash:
+        crashed = True
+
+    if crashed:
+        system = system.reopen()
+        # Finish with a threaded recovery server (no injector).
+        client = system.client(
+            "c1", work, device, receive_timeout=5, user_log=user_log
+        )
+        server = system.server("recovery", handler)
+        done = threading.Event()
+        from repro.errors import DeadlockError, TransactionAborted
+
+        thread = threading.Thread(
+            target=lambda: server.serve_until(
+                done.is_set,
+                0.02,
+                retry_on=(RuntimeError, DeadlockError, TransactionAborted),
+            ),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            client.run()
+        finally:
+            done.set()
+            thread.join(timeout=10)
+
+    GuaranteeChecker(trace).assert_ok()
+    # Non-idempotent device: exactly one ticket per request.
+    for seq in range(1, len(work) + 1):
+        assert len(device.tickets_for(f"c1#{seq}")) == 1

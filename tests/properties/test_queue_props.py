@@ -1,0 +1,139 @@
+"""Property-based tests on recoverable-queue invariants.
+
+A random interleaving of enqueues, transactional dequeues, aborts,
+kills, and crashes must preserve:
+
+* conservation — every enqueued element is in exactly one place:
+  still queued, consumed by a committed dequeue, killed, or moved to
+  the error queue;
+* priority/FIFO order among committed dequeues (in skip-locked mode,
+  order is checked only between non-overlapping operations);
+* recovery equivalence — a crash + replay yields exactly the committed
+  state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueEmpty
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 5)),        # priority
+        st.tuples(st.just("deq_commit"), st.just(0)),
+        st.tuples(st.just("deq_abort"), st.just(0)),
+        st.tuples(st.just("kill_newest"), st.just(0)),
+        st.tuples(st.just("crash"), st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_conservation_and_recovery(op_list):
+    disk = MemDisk()
+    repo = QueueRepository("p", disk)
+    repo.create_queue("err")
+    queue = repo.create_queue("q", error_queue="err", max_aborts=3)
+
+    enqueued: set[int] = set()
+    consumed: set[int] = set()
+    killed: set[int] = set()
+    live_eids: list[int] = []
+    body_counter = 0
+
+    for op, arg in op_list:
+        if op == "enq":
+            with repo.tm.transaction() as txn:
+                eid = queue.enqueue(txn, body_counter, priority=arg)
+            enqueued.add(eid)
+            live_eids.append(eid)
+            body_counter += 1
+        elif op == "deq_commit":
+            try:
+                with repo.tm.transaction() as txn:
+                    element = queue.dequeue(txn)
+                consumed.add(element.eid)
+                live_eids.remove(element.eid)
+            except QueueEmpty:
+                pass
+        elif op == "deq_abort":
+            txn = repo.tm.begin()
+            try:
+                queue.dequeue(txn)
+            except QueueEmpty:
+                repo.tm.abort(txn)
+            else:
+                repo.tm.abort(txn)
+        elif op == "kill_newest":
+            if live_eids:
+                eid = live_eids[-1]
+                if queue.kill_element(eid):
+                    killed.add(eid)
+                    live_eids.remove(eid)
+        elif op == "crash":
+            disk.crash()
+            disk.recover()
+            repo = QueueRepository("p", disk)
+            queue = repo.get_queue("q")
+
+    # Conservation: every enqueued eid is in exactly one bucket.
+    err_queue = repo.get_queue("err")
+    in_queue = set(queue.eids())
+    in_error = set(err_queue.eids())
+    assert in_queue | in_error | consumed | killed == enqueued
+    assert in_queue.isdisjoint(consumed)
+    assert in_queue.isdisjoint(killed)
+    assert in_error.isdisjoint(in_queue)
+
+    # Recovery equivalence: one more crash must not change anything.
+    disk.crash()
+    disk.recover()
+    repo2 = QueueRepository("p", disk)
+    assert set(repo2.get_queue("q").eids()) == in_queue
+    assert set(repo2.get_queue("err").eids()) == in_error
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=15))
+@settings(max_examples=100, deadline=None)
+def test_dequeue_order_matches_priority_then_fifo(priorities):
+    repo = QueueRepository("p", MemDisk())
+    queue = repo.create_queue("q")
+    expected = []
+    for i, priority in enumerate(priorities):
+        with repo.tm.transaction() as txn:
+            queue.enqueue(txn, i, priority=priority)
+        expected.append((-priority, i))
+    expected.sort()
+    got = []
+    for _ in priorities:
+        with repo.tm.transaction() as txn:
+            got.append(queue.dequeue(txn).body)
+    assert got == [i for (_neg, i) in expected]
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=10), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_abort_bound_routes_to_error_queue_exactly_once(bodies, max_aborts):
+    repo = QueueRepository("p", MemDisk())
+    repo.create_queue("err")
+    queue = repo.create_queue("q", error_queue="err", max_aborts=max_aborts)
+    with repo.tm.transaction() as txn:
+        for body in bodies:
+            queue.enqueue(txn, body)
+    # Abort every dequeue until the queue drains into the error queue.
+    for _ in range(len(bodies) * max_aborts + 5):
+        txn = repo.tm.begin()
+        try:
+            queue.dequeue(txn)
+        except QueueEmpty:
+            repo.tm.abort(txn)
+            break
+        repo.tm.abort(txn)
+    assert queue.depth() == 0
+    assert repo.get_queue("err").depth() == len(bodies)

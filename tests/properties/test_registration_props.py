@@ -1,0 +1,95 @@
+"""Property-based tests on persistent registration (Section 4.3).
+
+Invariant: after any sequence of tagged operations, aborted
+transactions, and crashes, re-Register returns exactly the tag/eid of
+the registrant's last *committed* tagged operation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueEmpty
+from repro.queueing.manager import QueueManager
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq_commit"), st.integers(0, 99)),
+        st.tuples(st.just("enq_abort"), st.integers(0, 99)),
+        st.tuples(st.just("deq_commit"), st.just(0)),
+        st.tuples(st.just("deq_abort"), st.just(0)),
+        st.tuples(st.just("crash"), st.just(0)),
+    ),
+    max_size=20,
+)
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_reregister_returns_last_committed_tagged_op(op_list):
+    disk = MemDisk()
+    repo = QueueRepository("rp", disk)
+    qm = QueueManager(repo)
+    qm.create_queue("q")
+    handle, _, _ = qm.register("q", "alice")
+
+    expected_tag = None
+    tag_counter = 0
+
+    for op, value in op_list:
+        tag_counter += 1
+        tag = f"t{tag_counter}"
+        if op == "enq_commit":
+            qm.enqueue(handle, value, tag=tag)
+            expected_tag = tag
+        elif op == "enq_abort":
+            txn = repo.tm.begin()
+            qm.enqueue(handle, value, tag=tag, txn=txn)
+            repo.tm.abort(txn)
+            # aborted: the tag must NOT move
+        elif op == "deq_commit":
+            try:
+                qm.dequeue(handle, tag=tag)
+                expected_tag = tag
+            except QueueEmpty:
+                pass
+        elif op == "deq_abort":
+            txn = repo.tm.begin()
+            try:
+                qm.dequeue(handle, tag=tag, txn=txn)
+            except QueueEmpty:
+                pass
+            repo.tm.abort(txn)
+        elif op == "crash":
+            disk.crash()
+            disk.recover()
+            repo = QueueRepository("rp", disk)
+            qm = QueueManager(repo)
+            handle, observed_tag, _ = qm.register("q", "alice")
+            assert observed_tag == expected_tag
+
+    _, final_tag, _ = qm.register("q", "alice")
+    assert final_tag == expected_tag
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_registrants_isolated(registrant_sequence):
+    """Interleaved operations by several registrants never leak tags."""
+    repo = QueueRepository("rp", MemDisk())
+    qm = QueueManager(repo)
+    qm.create_queue("q")
+    handles = {}
+    last = {}
+    for i, name in enumerate(registrant_sequence):
+        if name not in handles:
+            handles[name], _, _ = qm.register("q", name)
+        tag = f"{name}-{i}"
+        qm.enqueue(handles[name], i, tag=tag)
+        last[name] = tag
+    for name, expected in last.items():
+        _, tag, _ = qm.register("q", name)
+        assert tag == expected

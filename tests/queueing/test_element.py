@@ -1,0 +1,37 @@
+"""Element model tests."""
+
+from __future__ import annotations
+
+from repro.queueing.element import Element
+
+
+class TestElement:
+    def test_record_round_trip(self):
+        element = Element(
+            eid=7,
+            body={"x": [1, 2]},
+            priority=3,
+            enqueue_seq=11,
+            abort_count=2,
+            headers={"rid": "c#1"},
+        )
+        assert Element.from_record(element.to_record()) == element
+
+    def test_copy_is_deep_enough(self):
+        element = Element(eid=1, body={"k": 1}, headers={"h": 1})
+        clone = element.copy()
+        clone.headers["h"] = 2
+        assert element.headers["h"] == 1
+
+    def test_sort_key_priority_desc_then_fifo(self):
+        early_low = Element(eid=1, body=None, priority=0, enqueue_seq=1)
+        late_low = Element(eid=2, body=None, priority=0, enqueue_seq=2)
+        high = Element(eid=3, body=None, priority=9, enqueue_seq=3)
+        ordered = sorted([late_low, high, early_low], key=Element.sort_key)
+        assert [e.eid for e in ordered] == [3, 1, 2]
+
+    def test_defaults(self):
+        element = Element(eid=1, body="b")
+        assert element.priority == 0
+        assert element.abort_count == 0
+        assert element.headers == {}

@@ -1,0 +1,257 @@
+"""Queue sets, alert thresholds, redirection, start-on-arrival,
+join triggers (Section 9 product features)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueEmpty
+from repro.queueing.features import (
+    AlertThreshold,
+    JoinTrigger,
+    QueueSet,
+    Redirection,
+    StartOnArrival,
+)
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+@pytest.fixture
+def repo():
+    return QueueRepository("r", MemDisk())
+
+
+class TestQueueSet:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            QueueSet([])
+
+    def test_dequeues_from_any_member(self, repo):
+        q1, q2 = repo.create_queue("q1"), repo.create_queue("q2")
+        with repo.tm.transaction() as txn:
+            q2.enqueue(txn, "only in q2")
+        qset = QueueSet([q1, q2])
+        with repo.tm.transaction() as txn:
+            member, element = qset.dequeue(txn)
+        assert member is q2
+        assert element.body == "only in q2"
+
+    def test_round_robin_no_starvation(self, repo):
+        q1, q2 = repo.create_queue("q1"), repo.create_queue("q2")
+        with repo.tm.transaction() as txn:
+            for i in range(3):
+                q1.enqueue(txn, f"a{i}")
+                q2.enqueue(txn, f"b{i}")
+        qset = QueueSet([q1, q2])
+        sources = []
+        for _ in range(6):
+            with repo.tm.transaction() as txn:
+                member, _ = qset.dequeue(txn)
+            sources.append(member.name)
+        assert set(sources) == {"q1", "q2"}
+
+    def test_empty_set_raises(self, repo):
+        qset = QueueSet([repo.create_queue("q1")])
+        with pytest.raises(QueueEmpty):
+            with repo.tm.transaction() as txn:
+                qset.dequeue(txn)
+
+    def test_depth_sums_members(self, repo):
+        q1, q2 = repo.create_queue("q1"), repo.create_queue("q2")
+        with repo.tm.transaction() as txn:
+            q1.enqueue(txn, 1)
+            q2.enqueue(txn, 2)
+            q2.enqueue(txn, 3)
+        assert QueueSet([q1, q2]).depth() == 3
+
+
+class TestAlertThreshold:
+    def test_fires_on_crossing(self, repo):
+        q = repo.create_queue("q")
+        fired = []
+        AlertThreshold(q, 2, lambda queue, depth: fired.append(depth))
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 1)
+        assert fired == []
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 2)
+        assert fired == [2]
+
+    def test_does_not_refire_while_above(self, repo):
+        q = repo.create_queue("q")
+        fired = []
+        AlertThreshold(q, 2, lambda queue, depth: fired.append(depth))
+        with repo.tm.transaction() as txn:
+            for i in range(4):
+                q.enqueue(txn, i)
+        assert len(fired) == 1
+
+    def test_rearms_after_draining(self, repo):
+        q = repo.create_queue("q")
+        fired = []
+        AlertThreshold(q, 2, lambda queue, depth: fired.append(depth))
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 1)
+            q.enqueue(txn, 2)
+        for _ in range(2):
+            with repo.tm.transaction() as txn:
+                q.dequeue(txn)
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 3)  # depth 1: re-arms, below threshold
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 4)  # depth 2: fires again
+        assert len(fired) == 2
+
+    def test_threshold_must_be_positive(self, repo):
+        with pytest.raises(ValueError):
+            AlertThreshold(repo.create_queue("q"), 0, lambda q, d: None)
+
+
+class TestRedirection:
+    def test_forwards_new_elements(self, repo):
+        src, dst = repo.create_queue("src"), repo.create_queue("dst")
+        Redirection(src, dst)
+        with repo.tm.transaction() as txn:
+            eid = src.enqueue(txn, "follow me")
+        assert src.depth() == 0
+        assert dst.depth() == 1
+        assert dst.read(eid).body == "follow me"  # eid preserved
+
+    def test_catch_up_moves_existing(self, repo):
+        src, dst = repo.create_queue("src"), repo.create_queue("dst")
+        with repo.tm.transaction() as txn:
+            src.enqueue(txn, "pre-existing")
+        redirection = Redirection(src, dst)
+        moved = redirection.catch_up()
+        assert moved == 1
+        assert dst.depth() == 1
+
+    def test_chained_redirection(self, repo):
+        a, b, c = (repo.create_queue(n) for n in ("a", "b", "c"))
+        Redirection(a, b)
+        Redirection(b, c)
+        with repo.tm.transaction() as txn:
+            a.enqueue(txn, "hop hop")
+        assert c.depth() == 1
+
+
+class TestStartOnArrival:
+    def test_worker_started_and_processes(self, repo):
+        q = repo.create_queue("q")
+        processed = []
+        done = threading.Event()
+
+        def worker(queue):
+            with repo.tm.transaction() as txn:
+                processed.append(queue.dequeue(txn).body)
+            done.set()
+
+        StartOnArrival(q, worker, max_tasks=1)
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "job")
+        assert done.wait(timeout=5)
+        assert processed == ["job"]
+
+    def test_task_limit_respected(self, repo):
+        q = repo.create_queue("q")
+        barrier = threading.Event()
+        active_high_water = []
+        lock = threading.Lock()
+        active = [0]
+
+        def worker(queue):
+            with lock:
+                active[0] += 1
+                active_high_water.append(active[0])
+            barrier.wait(timeout=2)
+            with lock:
+                active[0] -= 1
+
+        starter = StartOnArrival(q, worker, max_tasks=2)
+        for i in range(5):
+            with repo.tm.transaction() as txn:
+                q.enqueue(txn, i)
+        time.sleep(0.2)
+        barrier.set()
+        time.sleep(0.2)
+        assert max(active_high_water) <= 2
+        assert starter.started_tasks <= 5
+
+
+class TestJoinTrigger:
+    def test_fires_when_all_replies_visible(self, repo):
+        q = repo.create_queue("join")
+        joined = []
+        JoinTrigger(q, "rid-1", 2, lambda replies: joined.append(len(replies)))
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "r1", headers={"corr": "rid-1"})
+        assert joined == []
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "r2", headers={"corr": "rid-1"})
+        assert joined == [2]
+
+    def test_ignores_other_correlations(self, repo):
+        q = repo.create_queue("join")
+        joined = []
+        JoinTrigger(q, "rid-1", 1, lambda replies: joined.append(1))
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "other", headers={"corr": "rid-2"})
+        assert joined == []
+
+    def test_catches_up_with_existing_replies(self, repo):
+        q = repo.create_queue("join")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "r1", headers={"corr": "rid-1"})
+            q.enqueue(txn, "r2", headers={"corr": "rid-1"})
+        joined = []
+        JoinTrigger(q, "rid-1", 2, lambda replies: joined.append(len(replies)))
+        assert joined == [2]
+
+    def test_fires_once(self, repo):
+        q = repo.create_queue("join")
+        joined = []
+        JoinTrigger(q, "rid-1", 1, lambda replies: joined.append(1))
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "r1", headers={"corr": "rid-1"})
+            q.enqueue(txn, "r1-dup", headers={"corr": "rid-1"})
+        assert joined == [1]
+
+    def test_declining_action_rearms(self, repo):
+        q = repo.create_queue("join")
+        calls = []
+
+        def action(replies):
+            calls.append(len(replies))
+            return len(calls) >= 2  # decline the first firing
+
+        trigger = JoinTrigger(q, "rid-1", 1, action)
+        with repro_enqueue(repo, q, "a", "rid-1"):
+            pass
+        assert not trigger.fired
+        with repro_enqueue(repo, q, "b", "rid-1"):
+            pass
+        assert trigger.fired
+        # The re-fired action sees every observed reply so far.
+        assert calls == [1, 2]
+
+    def test_expected_must_be_positive(self, repo):
+        with pytest.raises(ValueError):
+            JoinTrigger(repo.create_queue("q"), "r", 0, lambda r: None)
+
+
+class repro_enqueue:
+    """Tiny helper: enqueue-and-commit as a context manager."""
+
+    def __init__(self, repo, queue, body, corr):
+        with repo.tm.transaction() as txn:
+            queue.enqueue(txn, body, headers={"corr": corr})
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *args):
+        return False

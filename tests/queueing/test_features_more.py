@@ -1,0 +1,70 @@
+"""Additional feature coverage: queue sets with selectors, volatile
+blocking dequeue, scheduler selector edge cases."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.scheduler import RequestScheduler
+from repro.errors import QueueEmpty
+from repro.queueing.element import Element
+from repro.queueing.features import QueueSet
+from repro.queueing.repository import QueueRepository
+from repro.queueing.volatile import VolatileQueue
+from repro.storage.disk import MemDisk
+
+
+class TestQueueSetSelectors:
+    def test_selector_applies_across_members(self):
+        repo = QueueRepository("r", MemDisk())
+        q1, q2 = repo.create_queue("q1"), repo.create_queue("q2")
+        with repo.tm.transaction() as txn:
+            q1.enqueue(txn, {"k": "nope"})
+            q2.enqueue(txn, {"k": "yes"})
+        qset = QueueSet([q1, q2])
+        with repo.tm.transaction() as txn:
+            member, element = qset.dequeue(txn, selector=lambda e: e.body["k"] == "yes")
+        assert member is q2
+        assert element.body["k"] == "yes"
+
+    def test_selector_no_match_raises(self):
+        repo = QueueRepository("r", MemDisk())
+        q1 = repo.create_queue("q1")
+        with repo.tm.transaction() as txn:
+            q1.enqueue(txn, {"k": "nope"})
+        qset = QueueSet([q1])
+        with pytest.raises(QueueEmpty):
+            with repo.tm.transaction() as txn:
+                qset.dequeue(txn, selector=lambda e: e.body["k"] == "yes")
+
+
+class TestVolatileBlocking:
+    def test_blocking_dequeue_woken_by_enqueue(self):
+        queue = VolatileQueue("v")
+        got = []
+
+        def consumer():
+            got.append(queue.dequeue(block=True, timeout=5).body)
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        queue.enqueue(None, "wake")
+        thread.join(timeout=5)
+        assert got == ["wake"]
+
+    def test_blocking_dequeue_times_out(self):
+        queue = VolatileQueue("v")
+        with pytest.raises(QueueEmpty):
+            queue.dequeue(block=True, timeout=0.05)
+
+
+class TestSchedulerSelectorEdges:
+    def test_class_selector_ignores_non_dict_bodies(self):
+        selector = RequestScheduler.class_selector("vip")
+        assert not selector(Element(eid=1, body="plain string"))
+        assert not selector(Element(eid=2, body={"no": "scratch"}))
+        assert selector(
+            Element(eid=3, body={"scratch": {"server_class": "vip"}})
+        )

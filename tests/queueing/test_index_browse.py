@@ -1,0 +1,118 @@
+"""Header index + browse tests (Section 10 content-based retrieval)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+@pytest.fixture
+def repo():
+    return QueueRepository("ix", MemDisk())
+
+
+@pytest.fixture
+def q(repo):
+    return repo.create_queue("q", index_headers=("rid", "kind"))
+
+
+def enq(repo, q, body, headers):
+    with repo.tm.transaction() as txn:
+        return q.enqueue(txn, body, headers=headers)
+
+
+class TestHeaderIndex:
+    def test_find_by_indexed_header(self, repo, q):
+        eid = enq(repo, q, "x", {"rid": "c#1"})
+        enq(repo, q, "y", {"rid": "c#2"})
+        assert q.find_by_header("rid", "c#1") == [eid]
+        assert q.find_by_header("rid", "c#3") == []
+
+    def test_find_by_unindexed_header_falls_back_to_scan(self, repo, q):
+        eid = enq(repo, q, "x", {"other": "v"})
+        assert q.find_by_header("other", "v") == [eid]
+
+    def test_index_tracks_dequeue(self, repo, q):
+        enq(repo, q, "x", {"rid": "c#1"})
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        assert q.find_by_header("rid", "c#1") == []
+
+    def test_index_tracks_enqueue_abort(self, repo, q):
+        txn = repo.tm.begin()
+        q.enqueue(txn, "x", headers={"rid": "c#1"})
+        repo.tm.abort(txn)
+        assert q.find_by_header("rid", "c#1") == []
+
+    def test_index_tracks_dequeue_abort(self, repo, q):
+        eid = enq(repo, q, "x", {"rid": "c#1"})
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        repo.tm.abort(txn)
+        assert q.find_by_header("rid", "c#1") == [eid]
+
+    def test_index_tracks_kill(self, repo, q):
+        eid = enq(repo, q, "x", {"rid": "c#1"})
+        q.kill_element(eid)
+        assert q.find_by_header("rid", "c#1") == []
+
+    def test_index_rebuilt_by_recovery(self, repo, q):
+        disk = repo.disk
+        eid = enq(repo, q, "x", {"rid": "c#1"})
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("ix", disk)
+        q2 = repo2.get_queue("q")
+        assert q2.config.index_headers == ("rid",) + ("kind",)
+        assert q2.find_by_header("rid", "c#1") == [eid]
+
+    def test_index_survives_checkpoint(self, repo, q):
+        disk = repo.disk
+        eid = enq(repo, q, "x", {"rid": "c#1"})
+        repo.checkpoint()
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("ix", disk)
+        assert repo2.get_queue("q").find_by_header("rid", "c#1") == [eid]
+
+    def test_multiple_eids_per_value(self, repo, q):
+        e1 = enq(repo, q, "x", {"kind": "vip"})
+        e2 = enq(repo, q, "y", {"kind": "vip"})
+        assert q.find_by_header("kind", "vip") == sorted([e1, e2])
+
+    def test_unhashable_header_value_tolerated(self, repo, q):
+        enq(repo, q, "x", {"rid": ["not", "hashable"]})
+        # Falls back gracefully: indexed lookup misses, no crash.
+        assert q.find_by_header("rid", "anything") == []
+
+
+class TestBrowse:
+    def test_browse_in_dequeue_order_without_consuming(self, repo, q):
+        enq(repo, q, "low", {"rid": "a"})
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "high", priority=9, headers={"rid": "b"})
+        snapshot = q.browse()
+        assert [e.body for e in snapshot] == ["high", "low"]
+        assert q.depth() == 2  # untouched
+
+    def test_browse_excludes_uncommitted(self, repo, q):
+        enq(repo, q, "visible", {})
+        txn = repo.tm.begin()
+        q.enqueue(txn, "invisible", headers={})
+        assert [e.body for e in q.browse()] == ["visible"]
+        repo.tm.abort(txn)
+
+    def test_browse_excludes_pending_dequeues(self, repo, q):
+        enq(repo, q, "taken", {})
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        assert q.browse() == []
+        repo.tm.abort(txn)
+
+    def test_browse_returns_copies(self, repo, q):
+        enq(repo, q, "x", {"h": 1})
+        snapshot = q.browse()
+        snapshot[0].headers["h"] = 999
+        assert q.browse()[0].headers["h"] == 1

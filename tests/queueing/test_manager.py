@@ -1,0 +1,105 @@
+"""QueueManager facade tests (Figure 3 operation surface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    NoSuchElementError,
+    NoSuchQueueError,
+    QueueEmpty,
+    QueueStoppedError,
+)
+from repro.queueing.manager import QueueHandle, QueueManager
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+@pytest.fixture
+def qm():
+    repo = QueueRepository("r", MemDisk())
+    manager = QueueManager(repo)
+    manager.create_queue("q")
+    return manager
+
+
+class TestRegisterSurface:
+    def test_register_unknown_queue_raises(self, qm):
+        with pytest.raises(NoSuchQueueError):
+            qm.register("ghost", "alice")
+
+    def test_handle_fields(self, qm):
+        handle, _, _ = qm.register("q", "alice")
+        assert handle == QueueHandle("r", "q", "alice")
+
+
+class TestEnqueueDequeue:
+    def test_non_transactional_enqueue_visible_immediately(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        qm.enqueue(h, "now")
+        assert qm.depth("q") == 1
+
+    def test_non_transactional_enqueue_durable(self, qm):
+        disk = qm.repo.disk
+        h, _, _ = qm.register("q", "alice")
+        qm.enqueue(h, "stable")
+        disk.crash()
+        disk.recover()
+        qm2 = QueueManager(QueueRepository("r", disk))
+        assert qm2.depth("q") == 1
+
+    def test_transactional_ops_honour_caller_txn(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        txn = qm.repo.tm.begin()
+        qm.enqueue(h, "maybe", txn=txn)
+        assert qm.depth("q") == 0
+        qm.repo.tm.abort(txn)
+        assert qm.depth("q") == 0
+
+    def test_dequeue_returns_element(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        eid = qm.enqueue(h, {"n": 1}, headers={"h": "v"}, priority=4)
+        element = qm.dequeue(h)
+        assert element.eid == eid
+        assert element.body == {"n": 1}
+        assert element.headers == {"h": "v"}
+        assert element.priority == 4
+
+    def test_dequeue_empty(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        with pytest.raises(QueueEmpty):
+            qm.dequeue(h)
+
+    def test_dequeue_with_selector(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        qm.enqueue(h, {"k": "a"})
+        qm.enqueue(h, {"k": "b"})
+        element = qm.dequeue(h, selector=lambda e: e.body["k"] == "b")
+        assert element.body["k"] == "b"
+
+    def test_read_unknown_raises(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        with pytest.raises(NoSuchElementError):
+            qm.read(h, 31337)
+
+    def test_kill_element_surface(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        eid = qm.enqueue(h, "victim")
+        assert qm.kill_element(h, eid) is True
+        assert qm.kill_element(h, eid) is False
+
+
+class TestDataDefinitionSurface:
+    def test_stop_start(self, qm):
+        h, _, _ = qm.register("q", "alice")
+        qm.stop_queue("q")
+        with pytest.raises(QueueStoppedError):
+            qm.enqueue(h, "x")
+        qm.start_queue("q")
+        qm.enqueue(h, "x")
+
+    def test_destroy(self, qm):
+        qm.create_queue("temp")
+        qm.destroy_queue("temp")
+        with pytest.raises(NoSuchQueueError):
+            qm.depth("temp")

@@ -1,0 +1,437 @@
+"""RecoverableQueue tests: transactional visibility, ordering, error
+queues, strict vs skip-locked, kill, archive, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ElementLockedError,
+    KillFailedError,
+    NoSuchElementError,
+    QueueEmpty,
+    QueueStoppedError,
+)
+from repro.queueing.queue import DequeueMode
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+@pytest.fixture
+def repo():
+    return QueueRepository("r", MemDisk())
+
+
+@pytest.fixture
+def q(repo):
+    repo.create_queue("err")
+    return repo.create_queue("q", error_queue="err", max_aborts=2)
+
+
+class TestVisibility:
+    def test_enqueue_invisible_until_commit(self, repo, q):
+        txn = repo.tm.begin()
+        q.enqueue(txn, "payload")
+        assert q.depth() == 0
+        repo.tm.commit(txn)
+        assert q.depth() == 1
+
+    def test_enqueue_abort_discards(self, repo, q):
+        txn = repo.tm.begin()
+        q.enqueue(txn, "payload")
+        repo.tm.abort(txn)
+        assert q.depth() == 0
+        assert q.pending() == 0
+
+    def test_uncommitted_enqueue_not_dequeueable(self, repo, q):
+        txn1 = repo.tm.begin()
+        q.enqueue(txn1, "hidden")
+        txn2 = repo.tm.begin()
+        with pytest.raises(QueueEmpty):
+            q.dequeue(txn2)
+        repo.tm.abort(txn1)
+        repo.tm.abort(txn2)
+
+    def test_dequeue_removes_at_commit(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        with repo.tm.transaction() as txn:
+            element = q.dequeue(txn)
+        assert element.body == "x"
+        assert q.depth() == 0
+
+    def test_dequeue_abort_returns_element(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        assert q.depth() == 0  # pending
+        repo.tm.abort(txn)
+        assert q.depth() == 1  # back
+
+    def test_dequeue_empty_raises(self, repo, q):
+        with pytest.raises(QueueEmpty):
+            with repo.tm.transaction() as txn:
+                q.dequeue(txn)
+
+    def test_dequeue_with_timeout_raises_after_wait(self, repo, q):
+        txn = repo.tm.begin()
+        with pytest.raises(QueueEmpty):
+            q.dequeue(txn, block=True, timeout=0.1)
+        repo.tm.abort(txn)
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self, repo, q):
+        with repo.tm.transaction() as txn:
+            for i in range(5):
+                q.enqueue(txn, f"m{i}")
+        got = []
+        for _ in range(5):
+            with repo.tm.transaction() as txn:
+                got.append(q.dequeue(txn).body)
+        assert got == ["m0", "m1", "m2", "m3", "m4"]
+
+    def test_priority_order(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "low", priority=1)
+            q.enqueue(txn, "high", priority=10)
+            q.enqueue(txn, "mid", priority=5)
+        got = []
+        for _ in range(3):
+            with repo.tm.transaction() as txn:
+                got.append(q.dequeue(txn).body)
+        assert got == ["high", "mid", "low"]
+
+    def test_selector_content_based(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, {"amount": 10})
+            q.enqueue(txn, {"amount": 500})
+        with repo.tm.transaction() as txn:
+            rich = q.dequeue(txn, selector=lambda e: e.body["amount"] >= 100)
+        assert rich.body["amount"] == 500
+        assert q.depth() == 1
+
+    def test_selector_no_match_raises_empty(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, {"amount": 1})
+        with pytest.raises(QueueEmpty):
+            with repo.tm.transaction() as txn:
+                q.dequeue(txn, selector=lambda e: e.body["amount"] > 100)
+
+
+class TestSkipLockedVsStrict:
+    def test_skip_locked_passes_pending_head(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "head")
+            q.enqueue(txn, "second")
+        holder = repo.tm.begin()
+        assert q.dequeue(holder).body == "head"
+        with repo.tm.transaction() as txn:
+            assert q.dequeue(txn).body == "second"
+        repo.tm.abort(holder)
+        assert q.skipped_locked >= 1
+
+    def test_strict_mode_refuses_pending_head(self, repo):
+        repo.create_queue("errs")
+        strict = repo.create_queue(
+            "sq", error_queue="errs", mode=DequeueMode.STRICT
+        )
+        with repo.tm.transaction() as txn:
+            strict.enqueue(txn, "head")
+            strict.enqueue(txn, "second")
+        holder = repo.tm.begin()
+        strict.dequeue(holder)
+        other = repo.tm.begin()
+        with pytest.raises(ElementLockedError):
+            strict.dequeue(other)
+        repo.tm.abort(holder)
+        repo.tm.abort(other)
+
+    def test_anomalous_order_when_holder_aborts(self, repo, q):
+        # Section 10: "if the first transaction aborts and the second
+        # commits, then the Dequeues won't be FIFO ordered".
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "first")
+            q.enqueue(txn, "second")
+        t1 = repo.tm.begin()
+        q.dequeue(t1)  # takes "first"
+        with repo.tm.transaction() as t2:
+            assert q.dequeue(t2).body == "second"  # commits before t1
+        repo.tm.abort(t1)  # "first" returns
+        with repo.tm.transaction() as t3:
+            assert q.dequeue(t3).body == "first"
+
+
+class TestErrorQueue:
+    def test_nth_abort_moves_to_error_queue(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "poison")
+        for _ in range(2):  # max_aborts=2
+            txn = repo.tm.begin()
+            q.dequeue(txn)
+            repo.tm.abort(txn)
+        err = repo.get_queue("err")
+        assert q.depth() == 0
+        assert err.depth() == 1
+        element = err.read(eid)
+        assert element.eid == eid  # identity preserved
+        assert "abort_code" in element.headers
+        assert element.headers["origin_queue"] == "q"
+
+    def test_abort_count_below_bound_stays(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "retry-me")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        repo.tm.abort(txn)
+        assert q.depth() == 1
+        assert repo.get_queue("err").depth() == 0
+
+    def test_abort_count_durable_across_crash(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "poison")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        repo.tm.abort(txn)  # count=1, durable
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        q2 = repo2.get_queue("q")
+        assert q2.read(eid).abort_count == 1
+        # one more abort reaches the bound of 2
+        txn = repo2.tm.begin()
+        q2.dequeue(txn)
+        repo2.tm.abort(txn)
+        assert repo2.get_queue("err").depth() == 1
+
+    def test_error_queue_override_parameter(self, repo, q):
+        other = repo.create_queue("other-err")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "poison")
+        for _ in range(2):
+            txn = repo.tm.begin()
+            q.dequeue(txn, error_queue="other-err")
+            repo.tm.abort(txn)
+        assert other.depth() == 1
+        assert repo.get_queue("err").depth() == 0
+
+    def test_no_error_queue_retries_forever(self, repo):
+        bare = repo.create_queue("bare", max_aborts=1)
+        with repo.tm.transaction() as txn:
+            bare.enqueue(txn, "x")
+        for _ in range(5):
+            txn = repo.tm.begin()
+            bare.dequeue(txn)
+            repo.tm.abort(txn)
+        assert bare.depth() == 1
+
+
+class TestReadAndArchive:
+    def test_read_available_element(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "readable")
+        assert q.read(eid).body == "readable"
+
+    def test_read_pending_dequeue(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "held")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        assert q.read(eid).body == "held"
+        repo.tm.abort(txn)
+
+    def test_read_after_removal_from_archive(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "gone but read")
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        assert q.read(eid).body == "gone but read"
+
+    def test_read_unknown_raises(self, repo, q):
+        with pytest.raises(NoSuchElementError):
+            q.read(424242)
+
+    def test_archive_bounded(self, repo):
+        small = repo.create_queue("small", archive_limit=2)
+        eids = []
+        for i in range(4):
+            with repo.tm.transaction() as txn:
+                eids.append(small.enqueue(txn, i))
+            with repo.tm.transaction() as txn:
+                small.dequeue(txn)
+        with pytest.raises(NoSuchElementError):
+            small.read(eids[0])
+        assert small.read(eids[-1]).body == 3
+
+
+class TestKillElement:
+    def test_kill_available_element(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "cancel me")
+        assert q.kill_element(eid) is True
+        assert q.depth() == 0
+
+    def test_kill_unknown_returns_false(self, repo, q):
+        assert q.kill_element(999) is False
+
+    def test_kill_aborts_uncommitted_dequeuer(self, repo, q):
+        from repro.transaction.ids import TxnStatus
+
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "contested")
+        holder = repo.tm.begin()
+        q.dequeue(holder)
+        assert q.kill_element(eid) is True
+        assert holder.status is TxnStatus.ABORTED
+        assert q.depth() == 0
+
+    def test_kill_consumed_element_fails(self, repo, q):
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "done")
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        assert q.kill_element(eid) is False
+
+    def test_kill_uncommitted_enqueue_rejected(self, repo, q):
+        txn = repo.tm.begin()
+        eid = q.enqueue(txn, "mine")
+        with pytest.raises(KillFailedError):
+            q.kill_element(eid)
+        repo.tm.abort(txn)
+
+    def test_kill_is_durable(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "killed")
+        q.kill_element(eid)
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.get_queue("q").depth() == 0
+
+
+class TestStopStart:
+    def test_stopped_queue_rejects_ops(self, repo, q):
+        q.stop()
+        txn = repo.tm.begin()
+        with pytest.raises(QueueStoppedError):
+            q.enqueue(txn, "x")
+        with pytest.raises(QueueStoppedError):
+            q.dequeue(txn)
+        repo.tm.abort(txn)
+
+    def test_start_reenables(self, repo, q):
+        q.stop()
+        q.start()
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        assert q.depth() == 1
+
+
+class TestRecovery:
+    def test_committed_contents_survive_crash(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "a", priority=2)
+            q.enqueue(txn, "b")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        q2 = repo2.get_queue("q")
+        assert q2.depth() == 2
+        with repo2.tm.transaction() as txn:
+            assert q2.dequeue(txn).body == "a"  # priority preserved
+
+    def test_pending_dequeue_returns_after_crash(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "in flight")
+        txn = repo.tm.begin()
+        q.dequeue(txn)  # never commits: crash
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.get_queue("q").depth() == 1
+
+    def test_committed_dequeue_stays_gone_after_crash(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "consumed")
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.get_queue("q").depth() == 0
+
+    def test_enqueue_seq_resumes_after_crash(self, repo, q):
+        disk = repo.disk
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "before")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        q2 = repo2.get_queue("q")
+        with repo2.tm.transaction() as txn:
+            q2.enqueue(txn, "after")
+        got = []
+        for _ in range(2):
+            with repo2.tm.transaction() as txn:
+                got.append(q2.dequeue(txn).body)
+        assert got == ["before", "after"]
+
+    def test_snapshot_restore_round_trip(self, repo, q):
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "s1", priority=3, headers={"h": 1})
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "archived")
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn, selector=lambda e: e.body == "archived")
+        snap = q.snapshot()
+        repo2 = QueueRepository("r2", MemDisk())
+        repo2.create_queue("err")
+        q2 = repo2.create_queue("q", error_queue="err")
+        q2.restore(snap)
+        assert q2.depth() == 1
+        assert q2.read(eid).body == "archived"
+
+
+class TestBlockingDequeue:
+    def test_blocking_dequeue_woken_by_commit(self, repo, q):
+        import threading
+
+        got = []
+
+        def consumer():
+            with repo.tm.transaction() as txn:
+                got.append(q.dequeue(txn, block=True, timeout=5).body)
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "wake up")
+        thread.join(timeout=5)
+        assert got == ["wake up"]
+
+    def test_blocking_dequeue_woken_by_dequeue_abort(self, repo, q):
+        import threading
+        import time
+
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "contested")
+        holder = repo.tm.begin()
+        q.dequeue(holder)
+        got = []
+
+        def consumer():
+            with repo.tm.transaction() as txn:
+                got.append(q.dequeue(txn, block=True, timeout=5).body)
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        repo.tm.abort(holder)
+        thread.join(timeout=5)
+        assert got == ["contested"]

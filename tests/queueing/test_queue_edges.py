@@ -1,0 +1,81 @@
+"""Edge-case coverage for the recoverable queue and eid allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueueEmpty
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+class TestSweepEdges:
+    def test_sweep_without_error_queue_is_noop(self):
+        repo = QueueRepository("r", MemDisk())
+        q = repo.create_queue("q", max_aborts=1)
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        repo.tm.abort(txn)
+        assert q.sweep_poisoned() == 0
+        assert q.depth() == 1  # still here: nowhere to move it
+
+    def test_sweep_ignores_healthy_elements(self):
+        repo = QueueRepository("r", MemDisk())
+        repo.create_queue("err")
+        q = repo.create_queue("q", error_queue="err", max_aborts=5)
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "fine")
+        assert q.sweep_poisoned() == 0
+
+
+class TestEidBatchBoundary:
+    def test_allocation_crosses_reservation_batches(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        # The allocator reserves in batches of 64; cross two boundaries.
+        eids = [repo.alloc_eid() for _ in range(130)]
+        assert eids == list(range(1, 131))
+        # A crash right after the last allocation skips at most one batch.
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        fresh = repo2.alloc_eid()
+        assert 130 < fresh <= 130 + 2 * 64
+
+
+class TestDequeueMiscellany:
+    def test_same_txn_enqueue_invisible_to_own_dequeue(self):
+        # Documented behaviour: uncommitted enqueues are invisible even
+        # to the enqueuing transaction.
+        repo = QueueRepository("r", MemDisk())
+        q = repo.create_queue("q")
+        txn = repo.tm.begin()
+        q.enqueue(txn, "own")
+        with pytest.raises(QueueEmpty):
+            q.dequeue(txn)
+        repo.tm.abort(txn)
+
+    def test_counters_track_operations(self):
+        repo = QueueRepository("r", MemDisk())
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, 1)
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        txn = repo.tm.begin()
+        with pytest.raises(QueueEmpty):
+            q.dequeue(txn)
+        repo.tm.abort(txn)
+        assert q.enqueues == 1
+        assert q.dequeues == 1
+
+    def test_max_eid_covers_archive(self):
+        repo = QueueRepository("r", MemDisk())
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "soon gone")
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        assert q.max_eid() == eid  # removed but archived

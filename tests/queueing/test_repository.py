@@ -1,0 +1,239 @@
+"""Repository tests: data definition, eid allocation, checkpointing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoSuchQueueError, QueueExistsError
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+class TestDataDefinition:
+    def test_create_and_get(self):
+        repo = QueueRepository("r", MemDisk())
+        q = repo.create_queue("q1")
+        assert repo.get_queue("q1") is q
+        assert repo.queue_names() == ["q1"]
+
+    def test_duplicate_create_rejected(self):
+        repo = QueueRepository("r", MemDisk())
+        repo.create_queue("q1")
+        with pytest.raises(QueueExistsError):
+            repo.create_queue("q1")
+
+    def test_get_missing_raises(self):
+        repo = QueueRepository("r", MemDisk())
+        with pytest.raises(NoSuchQueueError):
+            repo.get_queue("nope")
+
+    def test_destroy_queue(self):
+        repo = QueueRepository("r", MemDisk())
+        repo.create_queue("q1")
+        repo.destroy_queue("q1")
+        with pytest.raises(NoSuchQueueError):
+            repo.get_queue("q1")
+
+    def test_destroy_missing_raises(self):
+        repo = QueueRepository("r", MemDisk())
+        with pytest.raises(NoSuchQueueError):
+            repo.destroy_queue("ghost")
+
+    def test_queue_creation_durable(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q1", max_aborts=7)
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.get_queue("q1").config.max_aborts == 7
+
+    def test_queue_destruction_durable(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q1")
+        repo.destroy_queue("q1")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert "q1" not in repo2.queues
+
+    def test_tables_durable(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        table = repo.create_table("accounts")
+        with repo.tm.transaction() as txn:
+            table.put(txn, "k", 1)
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.get_table("accounts").peek("k") == 1
+
+    def test_create_table_idempotent(self):
+        repo = QueueRepository("r", MemDisk())
+        t1 = repo.create_table("t")
+        t2 = repo.create_table("t")
+        assert t1 is t2
+
+
+class TestEidAllocation:
+    def test_eids_unique_and_increasing(self):
+        repo = QueueRepository("r", MemDisk())
+        eids = [repo.alloc_eid() for _ in range(200)]
+        assert eids == sorted(set(eids))
+
+    def test_eids_never_reused_after_crash(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        allocated = [repo.alloc_eid() for _ in range(10)]
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        fresh = repo2.alloc_eid()
+        assert fresh > max(allocated)
+
+    def test_eid_unique_across_queues(self):
+        repo = QueueRepository("r", MemDisk())
+        q1 = repo.create_queue("q1")
+        q2 = repo.create_queue("q2")
+        eids = set()
+        for q in (q1, q2):
+            for _ in range(5):
+                with repo.tm.transaction() as txn:
+                    eids.add(q.enqueue(txn, "x"))
+        assert len(eids) == 10
+
+
+class TestCheckpoint:
+    def test_checkpoint_and_recover(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        q = repo.create_queue("q")
+        table = repo.create_table("t")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "kept")
+            table.put(txn, "k", "v")
+        repo.checkpoint()
+        # post-checkpoint activity
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "after-ckpt")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        assert repo2.last_recovery.checkpoint_loaded
+        assert repo2.get_queue("q").depth() == 2
+        assert repo2.get_table("t").peek("k") == "v"
+
+    def test_checkpoint_shrinks_log(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        q = repo.create_queue("q")
+        for i in range(20):
+            with repo.tm.transaction() as txn:
+                q.enqueue(txn, i)
+        before = len(repo.log.records())
+        repo.checkpoint()
+        assert len(repo.log.records()) == 0
+        assert before > 0
+
+    def test_registration_survives_checkpoint(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q")
+        from repro.queueing.manager import QueueManager
+
+        qm = QueueManager(repo)
+        h, _, _ = qm.register("q", "alice")
+        qm.enqueue(h, "x", tag="t9")
+        repo.checkpoint()
+        disk.crash()
+        disk.recover()
+        qm2 = QueueManager(QueueRepository("r", disk))
+        _, tag, _ = qm2.register("q", "alice")
+        assert tag == "t9"
+
+    def test_double_crash_recovery(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        disk.crash(); disk.recover()
+        repo2 = QueueRepository("r", disk)
+        with repo2.tm.transaction() as txn:
+            repo2.get_queue("q").enqueue(txn, "y")
+        disk.crash(); disk.recover()
+        repo3 = QueueRepository("r", disk)
+        assert repo3.get_queue("q").depth() == 2
+
+
+class TestPoisonSweep:
+    def test_crash_attempt_counting_bounds_crashing_requests(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("err")
+        q = repo.create_queue(
+            "q", error_queue="err", max_aborts=2, count_crash_attempts=True
+        )
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "always-crashes")
+        # Two attempts that "crash" (dequeue, then node dies mid-txn).
+        for _ in range(2):
+            txn = repo.tm.begin()
+            q.dequeue(txn)
+            disk.crash()
+            disk.recover()
+            repo = QueueRepository("r", disk)
+            q = repo.get_queue("q")
+        # Recovery swept the poisoned element to the error queue.
+        assert repo.get_queue("err").depth() == 1
+        assert q.depth() == 0
+
+
+class TestDurableStopStart:
+    def test_stop_survives_crash(self):
+        from repro.errors import QueueStoppedError
+        import pytest as _pytest
+
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q")
+        repo.stop_queue("q")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        queue = repo2.get_queue("q")
+        txn = repo2.tm.begin()
+        with _pytest.raises(QueueStoppedError):
+            queue.enqueue(txn, "x")
+        repo2.tm.abort(txn)
+
+    def test_start_survives_crash(self):
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q")
+        repo.stop_queue("q")
+        repo.start_queue("q")
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        with repo2.tm.transaction() as txn:
+            repo2.get_queue("q").enqueue(txn, "works")
+        assert repo2.get_queue("q").depth() == 1
+
+    def test_stop_survives_checkpoint(self):
+        from repro.errors import QueueStoppedError
+        import pytest as _pytest
+
+        disk = MemDisk()
+        repo = QueueRepository("r", disk)
+        repo.create_queue("q")
+        repo.stop_queue("q")
+        repo.checkpoint()
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("r", disk)
+        txn = repo2.tm.begin()
+        with _pytest.raises(QueueStoppedError):
+            repo2.get_queue("q").enqueue(txn, "x")
+        repo2.tm.abort(txn)

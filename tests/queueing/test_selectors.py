@@ -1,0 +1,66 @@
+"""Selector combinator tests (Section 10 scheduling policies)."""
+
+from __future__ import annotations
+
+from repro.queueing.element import Element
+from repro.queueing.selectors import (
+    all_of,
+    any_of,
+    by_body,
+    by_field,
+    by_header,
+    min_amount,
+    negate,
+    priority_from,
+)
+
+
+def element(body=None, headers=None, priority=0):
+    return Element(eid=1, body=body, priority=priority, headers=headers or {})
+
+
+class TestSelectors:
+    def test_by_header(self):
+        sel = by_header("type", "payment")
+        assert sel(element(headers={"type": "payment"}))
+        assert not sel(element(headers={"type": "refund"}))
+        assert not sel(element())
+
+    def test_by_body(self):
+        sel = by_body(lambda b: b == "yes")
+        assert sel(element(body="yes"))
+        assert not sel(element(body="no"))
+
+    def test_by_field_requires_dict(self):
+        sel = by_field("amount", lambda v: v > 10)
+        assert sel(element(body={"amount": 11}))
+        assert not sel(element(body={"amount": 5}))
+        assert not sel(element(body="not a dict"))
+        assert not sel(element(body={"other": 1}))
+
+    def test_min_amount(self):
+        sel = min_amount("amount", 100)
+        assert sel(element(body={"amount": 100}))
+        assert not sel(element(body={"amount": 99.5}))
+        assert not sel(element(body={"amount": "lots"}))
+
+    def test_all_of(self):
+        sel = all_of(by_header("a", 1), by_header("b", 2))
+        assert sel(element(headers={"a": 1, "b": 2}))
+        assert not sel(element(headers={"a": 1}))
+
+    def test_any_of(self):
+        sel = any_of(by_header("a", 1), by_header("b", 2))
+        assert sel(element(headers={"b": 2}))
+        assert not sel(element(headers={}))
+
+    def test_negate(self):
+        sel = negate(by_header("a", 1))
+        assert sel(element())
+        assert not sel(element(headers={"a": 1}))
+
+    def test_priority_from(self):
+        assert priority_from({"amount": 250}, "amount") == 250
+        assert priority_from({"amount": 2.5}, "amount", scale=10) == 25
+        assert priority_from({}, "amount") == 0
+        assert priority_from({"amount": "n/a"}, "amount") == 0

@@ -1,0 +1,106 @@
+"""Volatile queue and relay tests (Section 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueueEmpty
+from repro.queueing.repository import QueueRepository
+from repro.queueing.volatile import VolatileQueue, VolatileRelay
+from repro.storage.disk import MemDisk
+
+
+class TestVolatileQueue:
+    def test_non_transactional_round_trip(self):
+        q = VolatileQueue("v")
+        q.enqueue(None, "a")
+        q.enqueue(None, "b")
+        assert q.dequeue().body == "a"
+        assert q.dequeue().body == "b"
+
+    def test_priority_order(self):
+        q = VolatileQueue("v")
+        q.enqueue(None, "low", priority=1)
+        q.enqueue(None, "high", priority=5)
+        assert q.dequeue().body == "high"
+
+    def test_empty_raises(self):
+        with pytest.raises(QueueEmpty):
+            VolatileQueue("v").dequeue()
+
+    def test_transactional_visibility(self):
+        repo = QueueRepository("r", MemDisk())
+        q = VolatileQueue("v")
+        txn = repo.tm.begin()
+        q.enqueue(txn, "pending")
+        assert q.depth() == 0
+        repo.tm.commit(txn)
+        assert q.depth() == 1
+
+    def test_transactional_dequeue_undo_on_abort(self):
+        repo = QueueRepository("r", MemDisk())
+        q = VolatileQueue("v")
+        q.enqueue(None, "x")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        repo.tm.abort(txn)
+        assert q.depth() == 1
+
+    def test_enqueue_abort_never_appears(self):
+        repo = QueueRepository("r", MemDisk())
+        q = VolatileQueue("v")
+        txn = repo.tm.begin()
+        q.enqueue(txn, "never")
+        repo.tm.abort(txn)
+        assert q.depth() == 0
+
+    def test_crash_loses_contents(self):
+        q = VolatileQueue("v")
+        for i in range(3):
+            q.enqueue(None, i)
+        assert q.crash() == 3
+        assert q.depth() == 0
+
+    def test_selector(self):
+        q = VolatileQueue("v")
+        q.enqueue(None, {"t": "a"})
+        q.enqueue(None, {"t": "b"})
+        assert q.dequeue(selector=lambda e: e.body["t"] == "b").body == {"t": "b"}
+
+    def test_drain(self):
+        q = VolatileQueue("v")
+        for i in range(3):
+            q.enqueue(None, i)
+        assert [e.body for e in q.drain()] == [0, 1, 2]
+        assert q.depth() == 0
+
+
+class TestVolatileRelay:
+    def test_pump_moves_everything(self):
+        src, dst = VolatileQueue("s"), VolatileQueue("d")
+        for i in range(4):
+            src.enqueue(None, i)
+        relay = VolatileRelay(src, dst)
+        assert relay.pump() == 4
+        assert dst.depth() == 4
+        assert src.depth() == 0
+
+    def test_pump_limit(self):
+        src, dst = VolatileQueue("s"), VolatileQueue("d")
+        for i in range(4):
+            src.enqueue(None, i)
+        relay = VolatileRelay(src, dst)
+        assert relay.pump(limit=2) == 2
+        assert src.depth() == 2
+
+    def test_crash_window_loses_only_unrelayed(self):
+        # Section 10: the volatile pair behaves like one queue whose
+        # exposure window is the relay interval.
+        src, dst = VolatileQueue("s"), VolatileQueue("d")
+        relay = VolatileRelay(src, dst)
+        src.enqueue(None, "early")
+        relay.pump()
+        src.enqueue(None, "late")
+        lost = src.crash()  # client node dies before next pump
+        assert lost == 1
+        assert dst.depth() == 1  # "early" survived via the relay

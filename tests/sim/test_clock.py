@@ -1,0 +1,39 @@
+"""VirtualClock tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_zero_ok(self):
+        clock = VirtualClock()
+        clock.advance(0)
+        assert clock.now() == 0.0
+
+    def test_tick_strictly_increases(self):
+        clock = VirtualClock()
+        ticks = [clock.tick() for _ in range(100)]
+        assert all(a < b for a, b in zip(ticks, ticks[1:]))
+
+    def test_sequence_unique(self):
+        clock = VirtualClock()
+        seqs = [clock.sequence() for _ in range(10)]
+        assert seqs == sorted(set(seqs))

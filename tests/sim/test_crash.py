@@ -1,0 +1,109 @@
+"""FaultInjector / CrashPlan tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.sim.crash import NULL_INJECTOR, CrashPlan, FaultInjector
+
+
+class TestCrashPlan:
+    def test_hit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashPlan("p", hit=0)
+
+    def test_defaults(self):
+        assert CrashPlan("p").hit == 1
+
+
+class TestFaultInjector:
+    def test_idle_injector_is_noop(self):
+        injector = FaultInjector()
+        injector.reach("anywhere")  # no raise
+
+    def test_armed_point_crashes(self):
+        injector = FaultInjector()
+        injector.arm("danger")
+        with pytest.raises(SimulatedCrash):
+            injector.reach("danger")
+
+    def test_other_points_unaffected(self):
+        injector = FaultInjector()
+        injector.arm("danger")
+        injector.reach("safe")
+
+    def test_nth_hit(self):
+        injector = FaultInjector()
+        injector.arm("loop", hit=3)
+        injector.reach("loop")
+        injector.reach("loop")
+        with pytest.raises(SimulatedCrash):
+            injector.reach("loop")
+
+    def test_history_records_order(self):
+        injector = FaultInjector()
+        injector.reach("a")
+        injector.reach("b")
+        injector.reach("a")
+        assert injector.history == ["a", "b", "a"]
+
+    def test_schedule_pairs(self):
+        injector = FaultInjector()
+        injector.reach("a")
+        injector.reach("b")
+        injector.reach("a")
+        assert injector.schedule() == [("a", 1), ("b", 1), ("a", 2)]
+
+    def test_hits_counter(self):
+        injector = FaultInjector()
+        injector.reach("x")
+        injector.reach("x")
+        assert injector.hits("x") == 2
+        assert injector.hits("never") == 0
+
+    def test_on_crash_hooks_run_before_raise(self):
+        injector = FaultInjector()
+        ran = []
+        injector.on_crash.append(lambda point: ran.append(point))
+        injector.arm("p")
+        with pytest.raises(SimulatedCrash):
+            injector.reach("p")
+        assert ran == ["p"]
+
+    def test_disarm_keeps_history(self):
+        injector = FaultInjector()
+        injector.arm("p")
+        injector.disarm()
+        injector.reach("p")
+        assert injector.history == ["p"]
+
+    def test_reset_clears_everything(self):
+        injector = FaultInjector()
+        injector.arm("p")
+        injector.reach("q")
+        injector.reset()
+        assert injector.history == []
+        assert injector.hits("q") == 0
+        injector.reach("p")  # plan is gone
+
+    def test_crash_message_names_point_and_hit(self):
+        injector = FaultInjector()
+        injector.arm("spot", hit=2)
+        injector.reach("spot")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.reach("spot")
+        assert "spot#2" in str(excinfo.value)
+
+    def test_simulated_crash_not_caught_by_except_exception(self):
+        injector = FaultInjector()
+        injector.arm("p")
+        with pytest.raises(SimulatedCrash):
+            try:
+                injector.reach("p")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must not be a plain Exception")
+
+    def test_null_injector_does_not_record(self):
+        NULL_INJECTOR.reach("spam")
+        assert NULL_INJECTOR.history == []

@@ -1,0 +1,100 @@
+"""crash_every_step harness tests."""
+
+from __future__ import annotations
+
+from repro.sim.crash import FaultInjector
+from repro.sim.harness import crash_every_step, enumerate_crash_points
+
+
+class TestEnumeration:
+    def test_enumerates_in_order(self):
+        def scenario(injector: FaultInjector):
+            injector.reach("a")
+            injector.reach("b")
+            injector.reach("a")
+
+        assert enumerate_crash_points(scenario) == [("a", 1), ("b", 1), ("a", 2)]
+
+
+class TestCrashEverStep:
+    def test_each_point_crashes_once(self):
+        crashes = []
+
+        def scenario(injector: FaultInjector):
+            state = {"progress": []}
+            scenario.state = state
+            injector.reach("step1")
+            state["progress"].append(1)
+            injector.reach("step2")
+            state["progress"].append(2)
+            return state
+
+        def recover(state):
+            return state
+
+        results = crash_every_step(scenario, recover)
+        # 2 points + 1 crash-free run
+        assert len(results) == 3
+        assert [r.crashed for r in results] == [True, True, False]
+        # Crash at step1 -> no progress; at step2 -> progress [1].
+        assert results[0].scenario_result["progress"] == []
+        assert results[1].scenario_result["progress"] == [1]
+        assert results[2].scenario_result["progress"] == [1, 2]
+
+    def test_point_filter(self):
+        def scenario(injector: FaultInjector):
+            scenario.state = {}
+            injector.reach("keep.this")
+            injector.reach("skip.this")
+            return {}
+
+        results = crash_every_step(
+            scenario, lambda s: s, point_filter=lambda p: p.startswith("keep")
+        )
+        assert len(results) == 2  # one filtered point + crash-free run
+        assert results[0].plan.point == "keep.this"
+
+    def test_check_called_with_plan(self):
+        plans = []
+
+        def scenario(injector: FaultInjector):
+            scenario.state = {}
+            injector.reach("only")
+            return {}
+
+        def check(state, recovery, plan):
+            plans.append(plan.point)
+            return "checked"
+
+        results = crash_every_step(scenario, lambda s: s, check)
+        assert plans == ["only", "<none>"]
+        assert all(r.check_result == "checked" for r in results)
+
+    def test_pre_enumerated_points(self):
+        def scenario(injector: FaultInjector):
+            scenario.state = {}
+            injector.reach("a")
+            injector.reach("b")
+            return {}
+
+        results = crash_every_step(
+            scenario, lambda s: s, points=[("b", 1)]
+        )
+        assert len(results) == 2
+        assert results[0].plan.point == "b"
+
+    def test_state_attribute_used_after_crash(self):
+        def scenario(injector: FaultInjector):
+            scenario.state = "partial"
+            injector.reach("boom")
+            scenario.state = "complete"
+            return "complete"
+
+        recovered = []
+
+        def recover(state):
+            recovered.append(state)
+            return state
+
+        crash_every_step(scenario, recover)
+        assert recovered == ["partial", "complete"]

@@ -1,0 +1,63 @@
+"""TraceRecorder tests."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_count(self):
+        trace = TraceRecorder()
+        trace.record("a.b", rid="r1")
+        trace.record("a.b", rid="r2")
+        trace.record("c", rid="r1")
+        assert trace.count("a.b") == 2
+        assert trace.count("a.b", rid="r1") == 1
+
+    def test_sequence_numbers_increase(self):
+        trace = TraceRecorder()
+        e1 = trace.record("x")
+        e2 = trace.record("y")
+        assert e2.seq == e1.seq + 1
+
+    def test_events_filtering(self):
+        trace = TraceRecorder()
+        trace.record("k1", rid="a", extra=1)
+        trace.record("k2", rid="a")
+        trace.record("k1", rid="b")
+        assert len(trace.events("k1")) == 2
+        assert len(trace.events(rid="a")) == 2
+        assert len(trace.events("k1", rid="b")) == 1
+        assert len(trace.events()) == 3
+
+    def test_rids_keeps_duplicates_in_order(self):
+        trace = TraceRecorder()
+        for rid in ["r1", "r2", "r1"]:
+            trace.record("sent", rid=rid)
+        assert trace.rids("sent") == ["r1", "r2", "r1"]
+
+    def test_last(self):
+        trace = TraceRecorder()
+        assert trace.last("k") is None
+        trace.record("k", rid="a", n=1)
+        trace.record("k", rid="a", n=2)
+        assert trace.last("k").detail["n"] == 2
+
+    def test_detail_stored(self):
+        trace = TraceRecorder()
+        event = trace.record("k", rid="r", foo="bar", n=3)
+        assert event.detail == {"foo": "bar", "n": 3}
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record("k")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.record("k").seq == 1
+
+    def test_iter_and_len(self):
+        trace = TraceRecorder()
+        trace.record("a")
+        trace.record("b")
+        assert [e.kind for e in trace] == ["a", "b"]
+        assert len(trace) == 2

@@ -1,0 +1,138 @@
+"""Codec unit tests: round trips, determinism, and error handling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.storage.codec import CodecError, decode, encode
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            2**40,
+            -(2**40),
+            2**100,
+            -(2**100),
+            0.0,
+            3.5,
+            -2.25,
+            1e300,
+            "",
+            "hello",
+            "unicode: héllo ✓ 漢字",
+            b"",
+            b"\x00\xff\xc4\x51",
+            [],
+            [1, 2, 3],
+            ["a", b"b", None, True],
+            {},
+            {"k": "v"},
+            {"nested": {"list": [1, {"deep": b"bytes"}]}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_float_nan(self):
+        result = decode(encode(float("nan")))
+        assert math.isnan(result)
+
+    def test_float_inf(self):
+        assert decode(encode(float("inf"))) == float("inf")
+        assert decode(encode(float("-inf"))) == float("-inf")
+
+    def test_bool_not_confused_with_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert decode(encode(1)) is not True or decode(encode(1)) == 1
+
+    def test_bytearray_and_memoryview(self):
+        assert decode(encode(bytearray(b"abc"))) == b"abc"
+        assert decode(encode(memoryview(b"abc"))) == b"abc"
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(decode(encode(value)).keys()) == ["z", "a", "m"]
+
+    def test_deeply_nested(self):
+        value: object = 0
+        for _ in range(50):
+            value = [value]
+        assert decode(encode(value)) == value
+
+
+class TestDeterminism:
+    def test_same_value_same_bytes(self):
+        value = {"a": [1, 2.5, "x"], "b": b"\x01"}
+        assert encode(value) == encode(value)
+
+    def test_int_encoding_is_compact(self):
+        # small ints are 2 bytes (tag + one varint byte)
+        assert len(encode(0)) == 2
+        assert len(encode(63)) == 2
+        assert len(encode(2**40)) < 10
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_unsupported_set(self):
+        with pytest.raises(CodecError):
+            encode({1, 2})
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(CodecError):
+            encode({1: "x"})
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"junk")
+
+    def test_truncated_string(self):
+        data = encode("hello")
+        with pytest.raises(CodecError):
+            decode(data[:-1])
+
+    def test_truncated_varint(self):
+        with pytest.raises(CodecError):
+            decode(b"I\xff")
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode(b"Zjunk")
+
+    def test_truncated_float(self):
+        with pytest.raises(CodecError):
+            decode(b"D\x00\x00")
+
+    def test_truncated_list(self):
+        data = encode([1, 2, 3])
+        with pytest.raises(CodecError):
+            decode(data[:-1])
+
+    def test_truncated_dict_key(self):
+        data = encode({"key": 1})
+        with pytest.raises(CodecError):
+            decode(data[:3])

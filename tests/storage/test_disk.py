@@ -1,0 +1,175 @@
+"""MemDisk / FileDisk tests, especially crash semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiskCrashedError
+from repro.storage.disk import FileDisk, MemDisk
+
+
+class TestMemDiskBasics:
+    def test_missing_area_reads_empty(self):
+        assert MemDisk().read("nope") == b""
+
+    def test_append_returns_offsets(self):
+        disk = MemDisk()
+        assert disk.append("a", b"xxx") == 0
+        assert disk.append("a", b"yy") == 3
+        assert disk.append("a", b"z") == 5
+
+    def test_read_sees_buffered_data(self):
+        disk = MemDisk()
+        disk.append("a", b"live")
+        assert disk.read("a") == b"live"
+
+    def test_areas_listing(self):
+        disk = MemDisk()
+        disk.append("b", b"1")
+        disk.append("a", b"1")
+        assert disk.areas() == ["a", "b"]
+
+    def test_size(self):
+        disk = MemDisk()
+        disk.append("a", b"12345")
+        assert disk.size("a") == 5
+
+    def test_replace_is_durable(self):
+        disk = MemDisk()
+        disk.append("a", b"old")
+        disk.replace("a", b"new")
+        disk.crash()
+        disk.recover()
+        assert disk.read("a") == b"new"
+
+    def test_truncate(self):
+        disk = MemDisk()
+        disk.append("a", b"data")
+        disk.flush("a")
+        disk.truncate("a")
+        assert disk.read("a") == b""
+
+
+class TestMemDiskCrash:
+    def test_unflushed_data_lost_on_crash(self):
+        disk = MemDisk()
+        disk.append("a", b"durable")
+        disk.flush("a")
+        disk.append("a", b"volatile")
+        disk.crash()
+        disk.recover()
+        assert disk.read("a") == b"durable"
+
+    def test_flushed_data_survives_crash(self):
+        disk = MemDisk()
+        disk.append("a", b"keep me")
+        disk.flush("a")
+        disk.crash()
+        disk.recover()
+        assert disk.read("a") == b"keep me"
+
+    def test_io_rejected_while_crashed(self):
+        disk = MemDisk()
+        disk.crash()
+        with pytest.raises(DiskCrashedError):
+            disk.append("a", b"x")
+        with pytest.raises(DiskCrashedError):
+            disk.read("a")
+        with pytest.raises(DiskCrashedError):
+            disk.flush("a")
+
+    def test_torn_tail_keeps_prefix_of_unflushed(self):
+        disk = MemDisk(torn_tail_bytes=3)
+        disk.append("a", b"ok")
+        disk.flush("a")
+        disk.append("a", b"abcdef")
+        disk.crash()
+        disk.recover()
+        assert disk.read("a") == b"okabc"
+
+    def test_crash_is_idempotent_per_area(self):
+        disk = MemDisk()
+        disk.append("a", b"x")
+        disk.flush("a")
+        disk.crash()
+        disk.recover()
+        disk.crash()
+        disk.recover()
+        assert disk.read("a") == b"x"
+
+    def test_crashed_flag(self):
+        disk = MemDisk()
+        assert not disk.crashed
+        disk.crash()
+        assert disk.crashed
+        disk.recover()
+        assert not disk.crashed
+
+    def test_durable_read_excludes_buffer(self):
+        disk = MemDisk()
+        disk.append("a", b"flushed")
+        disk.flush("a")
+        disk.append("a", b"buffered")
+        assert disk.durable_read("a") == b"flushed"
+        assert disk.read("a") == b"flushedbuffered"
+
+    def test_counters(self):
+        disk = MemDisk()
+        disk.append("a", b"12")
+        disk.append("a", b"3")
+        disk.flush("a")
+        assert disk.append_count == 2
+        assert disk.flush_count == 1
+        assert disk.bytes_written == 3
+
+
+class TestFileDisk:
+    def test_append_read_round_trip(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("a", b"hello ")
+        disk.append("a", b"world")
+        disk.flush("a")
+        assert disk.read("a") == b"hello world"
+        disk.close()
+
+    def test_replace_atomic(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("a", b"old")
+        disk.flush("a")
+        disk.replace("a", b"new contents")
+        assert disk.read("a") == b"new contents"
+        disk.close()
+
+    def test_reopen_sees_data(self, tmp_path):
+        root = str(tmp_path / "d")
+        disk = FileDisk(root)
+        disk.append("a", b"persisted")
+        disk.flush("a")
+        disk.close()
+        disk2 = FileDisk(root)
+        assert disk2.read("a") == b"persisted"
+        disk2.close()
+
+    def test_missing_area_reads_empty(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        assert disk.read("missing") == b""
+        disk.close()
+
+    def test_areas(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("x", b"1")
+        disk.append("y", b"1")
+        disk.flush("x")
+        disk.flush("y")
+        assert sorted(disk.areas()) == ["x", "y"]
+        disk.close()
+
+    def test_append_offsets_continue_after_reopen(self, tmp_path):
+        root = str(tmp_path / "d")
+        disk = FileDisk(root)
+        disk.append("a", b"12345")
+        disk.flush("a")
+        disk.close()
+        disk2 = FileDisk(root)
+        assert disk2.append("a", b"6") == 5
+        disk2.close()

@@ -1,0 +1,213 @@
+"""Recoverable KV store tests: transactional semantics, locking,
+redo/undo, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.storage.disk import MemDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.locks import LockManager, LockMode
+from repro.transaction.log import LogManager
+from repro.transaction.manager import TransactionManager
+from repro.transaction.recovery import recover
+
+
+@pytest.fixture
+def store_and_tm():
+    disk = MemDisk()
+    log = LogManager(disk)
+    tm = TransactionManager(log, LockManager(default_timeout=2.0))
+    return KVStore("t"), tm, log, disk
+
+
+class TestBasicOps:
+    def test_get_missing_returns_default(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            assert store.get(txn, "nope") is None
+            assert store.get(txn, "nope", default=42) == 42
+
+    def test_put_get_round_trip(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", {"v": 1})
+        with tm.transaction() as txn:
+            assert store.get(txn, "k") == {"v": 1}
+
+    def test_delete(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", 1)
+        with tm.transaction() as txn:
+            assert store.delete(txn, "k") is True
+            assert store.delete(txn, "k") is False
+        with tm.transaction() as txn:
+            assert not store.exists(txn, "k")
+
+    def test_update_read_modify_write(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "n", 10)
+        with tm.transaction() as txn:
+            assert store.update(txn, "n", lambda v: v + 5) == 15
+        assert store.peek("n") == 15
+
+    def test_scan_prefix_and_order(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "b/2", 2)
+            store.put(txn, "a/1", 1)
+            store.put(txn, "b/1", 3)
+        with tm.transaction() as txn:
+            assert list(store.scan(txn, prefix="b/")) == [("b/1", 3), ("b/2", 2)]
+
+    def test_count(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "x", 1)
+            store.put(txn, "y", 2)
+        with tm.transaction() as txn:
+            assert store.count(txn) == 2
+
+
+class TestAbortUndo:
+    def test_abort_reverts_put(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", "original")
+        with pytest.raises(RuntimeError):
+            with tm.transaction() as txn:
+                store.put(txn, "k", "overwritten")
+                raise RuntimeError("boom")
+        assert store.peek("k") == "original"
+
+    def test_abort_reverts_insert(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with pytest.raises(RuntimeError):
+            with tm.transaction() as txn:
+                store.put(txn, "new", 1)
+                raise RuntimeError("boom")
+        assert store.peek("new") is None
+
+    def test_abort_reverts_delete(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", "keep")
+        with pytest.raises(RuntimeError):
+            with tm.transaction() as txn:
+                store.delete(txn, "k")
+                raise RuntimeError("boom")
+        assert store.peek("k") == "keep"
+
+    def test_abort_reverts_multiple_ops_in_reverse(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "a", 1)
+        with pytest.raises(RuntimeError):
+            with tm.transaction() as txn:
+                store.put(txn, "a", 2)
+                store.put(txn, "a", 3)
+                store.delete(txn, "a")
+                raise RuntimeError("boom")
+        assert store.peek("a") == 1
+
+
+class TestLocking:
+    def test_write_blocks_conflicting_read(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        from repro.errors import LockTimeoutError
+
+        txn1 = tm.begin()
+        store.put(txn1, "hot", 1)
+        txn2 = tm.begin()
+        with pytest.raises(LockTimeoutError):
+            tm.locks.acquire(txn2.id, "kv:t/hot", LockMode.S, timeout=0.1)
+        tm.abort(txn1)
+        tm.abort(txn2)
+
+    def test_readers_share(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as setup:
+            store.put(setup, "k", 1)
+        txn1 = tm.begin()
+        txn2 = tm.begin()
+        assert store.get(txn1, "k") == 1
+        assert store.get(txn2, "k") == 1
+        tm.commit(txn1)
+        tm.commit(txn2)
+
+    def test_scan_blocks_writer(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        from repro.errors import LockTimeoutError
+
+        with tm.transaction() as setup:
+            store.put(setup, "k", 1)
+        reader = tm.begin()
+        list(store.scan(reader))
+        writer = tm.begin()
+        with pytest.raises(LockTimeoutError):
+            tm.locks.acquire(writer.id, "kv:t", LockMode.IX, timeout=0.1)
+        tm.commit(reader)
+        tm.abort(writer)
+
+
+class TestRecovery:
+    def test_committed_data_survives_crash(self, store_and_tm):
+        store, tm, log, disk = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", "durable")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        log2 = LogManager(disk)
+        recover(log2, {store2.rm_name: store2})
+        assert store2.peek("k") == "durable"
+
+    def test_uncommitted_data_lost_at_crash(self, store_and_tm):
+        store, tm, log, disk = store_and_tm
+        txn = tm.begin()
+        store.put(txn, "k", "uncommitted")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") is None
+
+    def test_deletes_replay(self, store_and_tm):
+        store, tm, log, disk = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "k", 1)
+        with tm.transaction() as txn:
+            store.delete(txn, "k")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") is None
+
+    def test_redo_is_idempotent(self, store_and_tm):
+        store, _, _, _ = store_and_tm
+        record = {"op": "put", "key": "k", "val": 9}
+        store.redo(record)
+        store.redo(record)
+        assert store.peek("k") == 9
+        store.redo({"op": "del", "key": "k"})
+        store.redo({"op": "del", "key": "k"})
+        assert store.peek("k") is None
+
+    def test_snapshot_restore(self, store_and_tm):
+        store, tm, _, _ = store_and_tm
+        with tm.transaction() as txn:
+            store.put(txn, "a", 1)
+            store.put(txn, "b", [2, 3])
+        snap = store.snapshot()
+        store2 = KVStore("t")
+        store2.restore(snap)
+        assert store2.peek("a") == 1
+        assert store2.peek("b") == [2, 3]
+        # snapshot is a copy, not a view
+        with tm.transaction() as txn:
+            store.put(txn, "a", 99)
+        assert store2.peek("a") == 1

@@ -1,0 +1,73 @@
+"""Exception hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            errors.StorageError,
+            errors.DiskCrashedError,
+            errors.CorruptRecordError,
+            errors.CheckpointError,
+            errors.TransactionError,
+            errors.DeadlockError,
+            errors.LockTimeoutError,
+            errors.InvalidTransactionState,
+            errors.TwoPhaseCommitError,
+            errors.QueueError,
+            errors.NoSuchQueueError,
+            errors.NoSuchRepositoryError,
+            errors.QueueExistsError,
+            errors.QueueStoppedError,
+            errors.QueueEmpty,
+            errors.NoSuchElementError,
+            errors.ElementLockedError,
+            errors.NotRegisteredError,
+            errors.RegistrationExistsError,
+            errors.KillFailedError,
+            errors.ClientError,
+            errors.NotConnectedError,
+            errors.ProtocolViolation,
+            errors.CancelFailed,
+            errors.CommError,
+            errors.MessageLost,
+            errors.PartitionedError,
+            errors.RpcTimeout,
+        ],
+    )
+    def test_all_library_errors_are_repro_errors(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_transaction_aborted_carries_context(self):
+        exc = errors.TransactionAborted(42, "deadlock victim")
+        assert exc.txn_id == 42
+        assert exc.reason == "deadlock victim"
+        assert "42" in str(exc)
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.DeadlockError, errors.TransactionError)
+        assert issubclass(errors.QueueEmpty, errors.QueueError)
+        assert issubclass(errors.NotConnectedError, errors.ClientError)
+        assert issubclass(errors.MessageLost, errors.CommError)
+        assert issubclass(errors.DiskCrashedError, errors.StorageError)
+
+    def test_one_handler_catches_the_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QueueEmpty("nothing here")
+
+    def test_simulated_crash_is_not_a_repro_error(self):
+        # Deliberately uncatchable by `except ReproError` or even
+        # `except Exception` — like a power failure.
+        assert not issubclass(errors.SimulatedCrash, errors.ReproError)
+        assert not issubclass(errors.SimulatedCrash, Exception)
+        assert issubclass(errors.SimulatedCrash, BaseException)
+
+    def test_simulated_crash_message(self):
+        assert "my.point" in str(errors.SimulatedCrash("my.point"))
+        assert str(errors.SimulatedCrash())  # no point given

@@ -1,0 +1,53 @@
+"""Every example script must run clean — the examples are part of the
+public contract (deliverable b), so the suite guards them."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_reports_guarantees():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "guarantees: OK" in result.stdout
+
+
+def test_atm_reports_exhaustive_coverage():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "crash_tolerant_atm.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "crash points exercised" in result.stdout
+    count = int(result.stdout.split("crash points exercised :")[1].split()[0])
+    assert count >= 40

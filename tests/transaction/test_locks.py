@@ -1,0 +1,228 @@
+"""Lock manager tests: modes, blocking, deadlock, inheritance."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.transaction.locks import LockManager, LockMode
+
+
+class TestModeAlgebra:
+    @pytest.mark.parametrize(
+        "a,b,compatible",
+        [
+            (LockMode.IS, LockMode.IS, True),
+            (LockMode.IS, LockMode.IX, True),
+            (LockMode.IS, LockMode.S, True),
+            (LockMode.IS, LockMode.X, False),
+            (LockMode.IX, LockMode.IX, True),
+            (LockMode.IX, LockMode.S, False),
+            (LockMode.IX, LockMode.X, False),
+            (LockMode.S, LockMode.S, True),
+            (LockMode.S, LockMode.X, False),
+            (LockMode.X, LockMode.X, False),
+        ],
+    )
+    def test_compatibility_matrix(self, a, b, compatible):
+        assert a.compatible(b) is compatible
+        assert b.compatible(a) is compatible
+
+    def test_x_covers_everything(self):
+        for mode in LockMode:
+            assert LockMode.X.covers(mode)
+
+    def test_join_of_s_and_ix_is_x(self):
+        assert LockMode.S.join(LockMode.IX) is LockMode.X
+        assert LockMode.IX.join(LockMode.S) is LockMode.X
+
+    def test_join_is_idempotent(self):
+        for mode in LockMode:
+            assert mode.join(mode) is mode
+
+
+class TestGrantRelease:
+    def test_grant_and_release(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        assert lm.holders("r") == {"t1": LockMode.X}
+        lm.release_all("t1")
+        assert lm.holders("r") == {}
+
+    def test_shared_lock_granted_to_many(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("t2", "r", LockMode.S)
+        assert set(lm.holders("r")) == {"t1", "t2"}
+
+    def test_exclusive_blocks_until_timeout(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("t2", "r", LockMode.X, timeout=0.1)
+
+    def test_reacquire_same_mode_is_noop(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("t1", "r", LockMode.S)
+        assert lm.stats.acquisitions == 1
+
+    def test_upgrade_s_to_x_with_no_conflict(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("t1", "r", LockMode.X)
+        assert lm.holders("r") == {"t1": LockMode.X}
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("t2", "r", LockMode.S)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("t1", "r", LockMode.X, timeout=0.1)
+
+    def test_release_wakes_waiter(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        granted = threading.Event()
+
+        def waiter():
+            lm.acquire("t2", "r", LockMode.X, timeout=5)
+            granted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not granted.is_set()
+        lm.release_all("t1")
+        assert granted.wait(timeout=2)
+        thread.join(timeout=2)
+
+    def test_try_acquire(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", "r", LockMode.X)
+        assert not lm.try_acquire("t2", "r", LockMode.S)
+        assert lm.try_acquire("t1", "r", LockMode.X)
+
+    def test_would_block(self):
+        lm = LockManager()
+        assert not lm.would_block("t2", "r", LockMode.S)
+        lm.acquire("t1", "r", LockMode.X)
+        assert lm.would_block("t2", "r", LockMode.S)
+        assert not lm.would_block("t1", "r", LockMode.S)
+
+    def test_held_by(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.S)
+        lm.acquire("t1", "b", LockMode.X)
+        assert lm.held_by("t1") == {"a", "b"}
+
+
+class TestDeadlock:
+    def test_two_party_deadlock_detected(self):
+        lm = LockManager(default_timeout=5.0)
+        lm.acquire("t1", "a", LockMode.X)
+        lm.acquire("t2", "b", LockMode.X)
+        errors = []
+
+        def t1_wants_b():
+            try:
+                lm.acquire("t1", "b", LockMode.X, timeout=5)
+            except (DeadlockError, LockTimeoutError) as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=t1_wants_b, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let t1 block on b
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", "a", LockMode.X, timeout=5)
+        lm.release_all("t2")  # victim aborts; t1 proceeds
+        thread.join(timeout=3)
+        assert not errors, f"t1 should have been granted: {errors}"
+
+    def test_self_upgrade_deadlock_between_two_readers(self):
+        lm = LockManager(default_timeout=5.0)
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("t2", "r", LockMode.S)
+        failures = []
+
+        def upgrade(owner):
+            try:
+                lm.acquire(owner, "r", LockMode.X, timeout=5)
+            except DeadlockError:
+                failures.append(owner)
+                lm.release_all(owner)
+
+        threads = [
+            threading.Thread(target=upgrade, args=(o,), daemon=True)
+            for o in ("t1", "t2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # Exactly one of the two must die; the other gets the upgrade.
+        assert len(failures) == 1
+        assert lm.stats.deadlocks == 1
+
+    def test_deadlock_stat_counted(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.X)
+        lm.acquire("t2", "b", LockMode.X)
+
+        def block_t1():
+            try:
+                lm.acquire("t1", "b", LockMode.X, timeout=2)
+            except (DeadlockError, LockTimeoutError):
+                pass
+
+        thread = threading.Thread(target=block_t1, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", "a", LockMode.X, timeout=2)
+        lm.release_all("t2")
+        thread.join(timeout=3)
+        assert lm.stats.deadlocks >= 1
+
+
+class TestTransfer:
+    def test_transfer_moves_ownership(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        moved = lm.transfer("t1", "chain")
+        assert moved == ["r"]
+        assert lm.holders("r") == {"chain": LockMode.X}
+        assert lm.held_by("t1") == set()
+
+    def test_transfer_merges_with_existing(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.S)
+        lm.acquire("chain", "r", LockMode.S)
+        lm.transfer("t1", "chain")
+        assert lm.holders("r") == {"chain": LockMode.S}
+
+    def test_transferred_lock_still_blocks_others(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        lm.transfer("t1", "chain")
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("t2", "r", LockMode.X, timeout=0.1)
+        lm.release_all("chain")
+        lm.acquire("t2", "r", LockMode.X)
+
+    def test_transfer_of_nothing(self):
+        lm = LockManager()
+        assert lm.transfer("ghost", "chain") == []
+
+    def test_wait_stats_accumulate(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("t2", "r", LockMode.X, timeout=0.05)
+        stats = lm.stats.snapshot()
+        assert stats["waits"] == 1
+        assert stats["timeouts"] == 1
+        assert stats["wait_time"] > 0

@@ -1,0 +1,127 @@
+"""LogManager unit tests (typed records, checkpoint area, analysis
+helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.storage.disk import MemDisk
+from repro.transaction.log import (
+    KIND_ABORT,
+    KIND_AUTO,
+    KIND_COMMIT,
+    KIND_OUTCOME,
+    KIND_PREPARE,
+    KIND_UPDATE,
+    LogManager,
+)
+
+
+class TestRecordKinds:
+    def test_update_then_commit(self):
+        log = LogManager(MemDisk())
+        log.log_update(1, "rm-a", {"op": "x"})
+        log.log_commit(1)
+        records = log.records()
+        assert [r.kind for r in records] == [KIND_UPDATE, KIND_COMMIT]
+        assert records[0].rm == "rm-a"
+        assert records[0].data == {"op": "x"}
+
+    def test_abort_record(self):
+        log = LogManager(MemDisk())
+        log.log_abort(7, "deadlock")
+        record = log.records()[0]
+        assert record.kind == KIND_ABORT
+        assert record.data["reason"] == "deadlock"
+
+    def test_auto_is_immediately_durable(self):
+        disk = MemDisk()
+        log = LogManager(disk)
+        log.log_auto("rm", {"n": 1})
+        disk.crash()
+        disk.recover()
+        assert LogManager(disk).records()[0].kind == KIND_AUTO
+
+    def test_update_is_not_durable_until_commit(self):
+        disk = MemDisk()
+        log = LogManager(disk)
+        log.log_update(1, "rm", {})
+        disk.crash()
+        disk.recover()
+        assert LogManager(disk).records() == []
+
+    def test_commit_forces_everything_before_it(self):
+        disk = MemDisk()
+        log = LogManager(disk)
+        log.log_update(1, "rm", {"n": 1})
+        log.log_update(1, "rm", {"n": 2})
+        log.log_commit(1)
+        disk.crash()
+        disk.recover()
+        assert len(LogManager(disk).records()) == 3
+
+    def test_prepare_and_outcome(self):
+        log = LogManager(MemDisk())
+        log.log_prepare(3, "gid-9", ["r1", "r2"])
+        log.log_outcome(3, "commit")
+        prepare, outcome = log.records()
+        assert prepare.kind == KIND_PREPARE
+        assert prepare.data == {"gid": "gid-9", "locks": ["r1", "r2"]}
+        assert outcome.kind == KIND_OUTCOME
+
+    def test_lsn_ordering(self):
+        log = LogManager(MemDisk())
+        lsns = [log.log_update(1, "rm", {"i": i}) for i in range(5)]
+        assert lsns == sorted(lsns)
+
+    def test_counters(self):
+        log = LogManager(MemDisk())
+        log.log_update(1, "rm", {})
+        log.log_update(1, "rm", {})
+        log.log_commit(1)
+        assert log.update_records == 2
+        assert log.commit_records == 1
+
+
+class TestAnalysisHelpers:
+    def test_committed_txns(self):
+        log = LogManager(MemDisk())
+        log.log_update(1, "rm", {})
+        log.log_commit(1)
+        log.log_update(2, "rm", {})
+        log.log_abort(2)
+        assert log.committed_txns() == {1}
+
+    def test_outcome_decisions(self):
+        log = LogManager(MemDisk())
+        log.log_outcome(5, "commit")
+        log.log_outcome(6, "abort")
+        assert log.outcome_decisions() == {5: "commit", 6: "abort"}
+
+
+class TestCheckpointArea:
+    def test_round_trip(self):
+        log = LogManager(MemDisk())
+        log.write_checkpoint({"rm-a": {"k": 1}, "rm-b": [1, 2]})
+        assert log.read_checkpoint() == {"rm-a": {"k": 1}, "rm-b": [1, 2]}
+
+    def test_missing_checkpoint_is_none(self):
+        assert LogManager(MemDisk()).read_checkpoint() is None
+
+    def test_checkpoint_truncates_log(self):
+        log = LogManager(MemDisk())
+        log.log_auto("rm", {})
+        log.write_checkpoint({})
+        assert log.records() == []
+
+    def test_corrupt_checkpoint_raises(self):
+        disk = MemDisk()
+        log = LogManager(disk)
+        disk.replace(log.checkpoint_area, b"\xff\xffgarbage")
+        with pytest.raises(CheckpointError):
+            log.read_checkpoint()
+
+    def test_checkpoint_area_name_derived(self):
+        log = LogManager(MemDisk(), area="node7.log")
+        assert log.checkpoint_area == "node7.log.ckpt"

@@ -1,0 +1,259 @@
+"""Transaction manager tests: commit/abort, hooks, crash points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InvalidTransactionState,
+    SimulatedCrash,
+    TransactionAborted,
+)
+from repro.sim.crash import FaultInjector
+from repro.storage.disk import MemDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.ids import TxnStatus
+from repro.transaction.locks import LockManager
+from repro.transaction.log import LogManager
+from repro.transaction.manager import TransactionManager
+from repro.transaction.recovery import recover
+
+
+def make_tm(disk=None, injector=None):
+    disk = disk if disk is not None else MemDisk()
+    log = LogManager(disk)
+    tm = TransactionManager(log, LockManager(default_timeout=2.0), injector)
+    return tm, log, disk
+
+
+class TestLifecycle:
+    def test_ids_are_unique_and_increasing(self):
+        tm, _, _ = make_tm()
+        t1, t2, t3 = tm.begin(), tm.begin(), tm.begin()
+        assert t1.id < t2.id < t3.id
+
+    def test_commit_sets_status(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.commit(txn)
+        assert txn.status is TxnStatus.COMMITTED
+        assert tm.commits == 1
+
+    def test_abort_sets_status(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.abort(txn, "test")
+        assert txn.status is TxnStatus.ABORTED
+        assert tm.aborts == 1
+
+    def test_double_abort_is_noop(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.abort(txn)
+        tm.abort(txn)
+        assert tm.aborts == 1
+
+    def test_commit_after_abort_rejected(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.abort(txn)
+        with pytest.raises(InvalidTransactionState):
+            tm.commit(txn)
+
+    def test_abort_after_commit_rejected(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.commit(txn)
+        with pytest.raises(InvalidTransactionState):
+            tm.abort(txn)
+
+    def test_operations_rejected_on_finished_txn(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        tm.commit(txn)
+        with pytest.raises(InvalidTransactionState):
+            txn.log_update("rm", {})
+        with pytest.raises(InvalidTransactionState):
+            txn.add_undo(lambda: None)
+
+
+class TestUndoAndHooks:
+    def test_undo_runs_in_reverse_on_abort(self):
+        tm, _, _ = make_tm()
+        order = []
+        txn = tm.begin()
+        txn.add_undo(lambda: order.append("first-registered"))
+        txn.add_undo(lambda: order.append("second-registered"))
+        tm.abort(txn)
+        assert order == ["second-registered", "first-registered"]
+
+    def test_undo_not_run_on_commit(self):
+        tm, _, _ = make_tm()
+        ran = []
+        txn = tm.begin()
+        txn.add_undo(lambda: ran.append(1))
+        tm.commit(txn)
+        assert ran == []
+
+    def test_commit_hooks_fire_on_commit_only(self):
+        tm, _, _ = make_tm()
+        fired = []
+        txn = tm.begin()
+        txn.on_commit(lambda: fired.append("c"))
+        txn.on_abort(lambda: fired.append("a"))
+        tm.commit(txn)
+        assert fired == ["c"]
+
+    def test_abort_hooks_fire_on_abort_only(self):
+        tm, _, _ = make_tm()
+        fired = []
+        txn = tm.begin()
+        txn.on_commit(lambda: fired.append("c"))
+        txn.on_abort(lambda: fired.append("a"))
+        tm.abort(txn)
+        assert fired == ["a"]
+
+    def test_locks_released_after_commit(self):
+        tm, _, _ = make_tm()
+        from repro.transaction.locks import LockMode
+
+        txn = tm.begin()
+        txn.lock("r", LockMode.X)
+        tm.commit(txn)
+        assert tm.locks.holders("r") == {}
+
+    def test_locks_released_after_abort(self):
+        tm, _, _ = make_tm()
+        from repro.transaction.locks import LockMode
+
+        txn = tm.begin()
+        txn.lock("r", LockMode.X)
+        tm.abort(txn)
+        assert tm.locks.holders("r") == {}
+
+
+class TestContextManager:
+    def test_commits_on_success(self):
+        tm, _, _ = make_tm()
+        with tm.transaction() as txn:
+            pass
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_aborts_on_exception(self):
+        tm, _, _ = make_tm()
+        with pytest.raises(ValueError):
+            with tm.transaction() as txn:
+                raise ValueError("boom")
+        assert txn.status is TxnStatus.ABORTED
+
+    def test_simulated_crash_does_not_gracefully_abort(self):
+        # A crash kills the process; there is nobody left to run undo.
+        tm, _, _ = make_tm()
+        with pytest.raises(SimulatedCrash):
+            with tm.transaction() as txn:
+                raise SimulatedCrash("mid-txn")
+        assert txn.status is TxnStatus.ACTIVE
+
+    def test_external_abort_surfaces_as_error(self):
+        tm, _, _ = make_tm()
+        with pytest.raises(TransactionAborted):
+            with tm.transaction() as txn:
+                tm.abort_by_id(txn.id, "killed from outside")
+
+    def test_run_retries_deadlock(self):
+        tm, _, _ = make_tm()
+        from repro.errors import DeadlockError
+
+        attempts = []
+
+        def body(txn):
+            attempts.append(1)
+            if len(attempts) < 3:
+                tm.abort(txn, "pretend deadlock")
+                raise DeadlockError("pretend")
+            return "done"
+
+        assert tm.run(body) == "done"
+        assert len(attempts) == 3
+
+    def test_run_gives_up_after_attempts(self):
+        tm, _, _ = make_tm()
+        from repro.errors import DeadlockError
+
+        def body(txn):
+            tm.abort(txn, "always deadlocks")
+            raise DeadlockError("always")
+
+        with pytest.raises(TransactionAborted):
+            tm.run(body, attempts=2)
+
+
+class TestAbortById:
+    def test_abort_active_txn(self):
+        tm, _, _ = make_tm()
+        txn = tm.begin()
+        assert tm.abort_by_id(txn.id) is True
+        assert txn.status is TxnStatus.ABORTED
+
+    def test_abort_unknown_id(self):
+        tm, _, _ = make_tm()
+        assert tm.abort_by_id(9999) is False
+
+
+class TestDurability:
+    def test_commit_is_durable_at_crash(self):
+        disk = MemDisk()
+        tm, log, _ = make_tm(disk)
+        store = KVStore("d")
+        with tm.transaction() as txn:
+            store.put(txn, "k", "v")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("d")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") == "v"
+        assert report.replayed_updates == 1
+
+    def test_crash_before_commit_log_loses_txn(self):
+        disk = MemDisk()
+        injector = FaultInjector()
+        injector.arm("tm.commit.before_log")
+        tm, log, _ = make_tm(disk, injector)
+        store = KVStore("d")
+        txn = tm.begin()
+        store.put(txn, "k", "v")
+        with pytest.raises(SimulatedCrash):
+            tm.commit(txn)
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("d")
+        recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") is None
+
+    def test_crash_after_commit_log_keeps_txn(self):
+        disk = MemDisk()
+        injector = FaultInjector()
+        injector.arm("tm.commit.after_log")
+        tm, log, _ = make_tm(disk, injector)
+        store = KVStore("d")
+        txn = tm.begin()
+        store.put(txn, "k", "v")
+        with pytest.raises(SimulatedCrash):
+            tm.commit(txn)
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("d")
+        recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") == "v"
+
+    def test_recovery_advances_txn_ids(self):
+        disk = MemDisk()
+        tm, _, _ = make_tm(disk)
+        with tm.transaction() as txn:
+            txn.log_update("x", {"noop": True})
+        highest = txn.id
+        disk.crash()
+        disk.recover()
+        tm2, _, _ = make_tm(disk)
+        recover(LogManager(disk), {}, tm2)
+        assert tm2.begin().id > highest

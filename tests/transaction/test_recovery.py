@@ -1,0 +1,275 @@
+"""Restart recovery tests: replay classification, checkpoints, in-doubt
+branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.disk import MemDisk
+from repro.storage.kvstore import KVStore
+from repro.transaction.locks import LockManager, LockMode
+from repro.transaction.log import LogManager
+from repro.transaction.manager import TransactionManager
+from repro.transaction.recovery import recover
+
+
+def fresh(disk):
+    log = LogManager(disk)
+    tm = TransactionManager(log, LockManager(default_timeout=2.0))
+    return log, tm
+
+
+class TestReplayClassification:
+    def test_only_committed_updates_replayed(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        with tm.transaction() as txn:
+            store.put(txn, "committed", 1)
+        orphan = tm.begin()
+        store.put(orphan, "orphan", 2)  # never commits
+        log.wal.flush()  # even flushed update records don't count without cmt
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("committed") == 1
+        assert store2.peek("orphan") is None
+        assert report.replayed_updates == 1
+
+    def test_aborted_txn_not_replayed(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "bad")
+        tm.abort(txn)
+        log.wal.flush()
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("k") is None
+
+    def test_auto_records_always_replayed(self):
+        disk = MemDisk()
+        log, _ = fresh(disk)
+        store = KVStore("t")
+        log.log_auto(store.rm_name, {"op": "put", "key": "auto", "val": 7})
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert store2.peek("auto") == 7
+        assert report.replayed_autos == 1
+
+    def test_replay_in_log_order_across_rms(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        a, b = KVStore("a"), KVStore("b")
+        with tm.transaction() as txn:
+            a.put(txn, "k", "a1")
+            b.put(txn, "k", "b1")
+            a.put(txn, "k", "a2")
+        disk.crash()
+        disk.recover()
+        a2, b2 = KVStore("a"), KVStore("b")
+        recover(LogManager(disk), {a2.rm_name: a2, b2.rm_name: b2})
+        assert a2.peek("k") == "a2"
+        assert b2.peek("k") == "b1"
+
+    def test_unknown_rm_records_skipped(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        with tm.transaction() as txn:
+            txn.log_update("ghost-rm", {"op": "whatever"})
+        disk.crash()
+        disk.recover()
+        report = recover(LogManager(disk), {})
+        assert report.replayed_updates == 0
+
+    def test_report_committed_set(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        with tm.transaction() as t1:
+            t1.log_update("x", {})
+        t2 = tm.begin()
+        t2.log_update("x", {})
+        log.wal.flush()
+        disk.crash()
+        disk.recover()
+        report = recover(LogManager(disk), {})
+        assert t1.id in report.committed
+        assert t2.id not in report.committed
+
+
+class TestCheckpoints:
+    def test_checkpoint_then_recover(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        with tm.transaction() as txn:
+            store.put(txn, "pre", 1)
+        log.write_checkpoint({store.rm_name: store.snapshot()})
+        with tm.transaction() as txn:
+            store.put(txn, "post", 2)
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert report.checkpoint_loaded
+        assert store2.peek("pre") == 1
+        assert store2.peek("post") == 2
+
+    def test_checkpoint_truncates_log(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        with tm.transaction() as txn:
+            store.put(txn, "k", 1)
+        assert len(log.records()) > 0
+        log.write_checkpoint({store.rm_name: store.snapshot()})
+        assert log.records() == []
+
+    def test_no_checkpoint_flag(self):
+        disk = MemDisk()
+        report = recover(LogManager(disk), {})
+        assert not report.checkpoint_loaded
+
+    def test_replay_on_top_of_checkpoint_is_idempotent(self):
+        # Simulate a crash between checkpoint-write and log-truncate by
+        # replaying the pre-checkpoint log over the checkpoint state.
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        with tm.transaction() as txn:
+            store.put(txn, "k", 1)
+        # Write the checkpoint but *keep* the old log (manual surgery).
+        disk.replace(
+            log.checkpoint_area,
+            __import__("repro.storage.codec", fromlist=["encode"]).encode(
+                {"rms": {store.rm_name: store.snapshot()}}
+            ),
+        )
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert report.checkpoint_loaded
+        assert store2.peek("k") == 1  # replayed over snapshot: same value
+
+
+class TestInDoubt:
+    def test_prepared_without_outcome_is_in_doubt(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "maybe")
+        tm.prepare(txn, "gid-1")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        assert len(report.in_doubt) == 1
+        branch = report.in_doubt[0]
+        assert branch.global_id == "gid-1"
+        assert store2.peek("k") is None  # not applied until decided
+
+    def test_in_doubt_commit_applies_updates(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "decided")
+        tm.prepare(txn, "gid-2")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        log2 = LogManager(disk)
+        report = recover(log2, {store2.rm_name: store2})
+        report.in_doubt[0].resolve("commit")
+        assert store2.peek("k") == "decided"
+
+    def test_in_doubt_abort_discards_updates(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "never")
+        tm.prepare(txn, "gid-3")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        log2 = LogManager(disk)
+        report = recover(log2, {store2.rm_name: store2})
+        report.in_doubt[0].resolve("abort")
+        assert store2.peek("k") is None
+
+    def test_resolution_is_durable(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "v")
+        tm.prepare(txn, "gid-4")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        log2 = LogManager(disk)
+        report = recover(log2, {store2.rm_name: store2})
+        report.in_doubt[0].resolve("commit")
+        # Crash again after resolution: outcome record must persist.
+        disk.crash()
+        disk.recover()
+        store3 = KVStore("t")
+        report2 = recover(LogManager(disk), {store3.rm_name: store3})
+        assert report2.in_doubt == []
+        assert store3.peek("k") == "v"
+
+    def test_in_doubt_locks_reacquired(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", "v")
+        tm.prepare(txn, "gid-5")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        lm2 = LockManager(default_timeout=0.1)
+        report = recover(LogManager(disk), {store2.rm_name: store2}, lock_manager=lm2)
+        # The branch's X lock on the key is held by the in-doubt owner.
+        from repro.errors import LockTimeoutError
+
+        with pytest.raises(LockTimeoutError):
+            lm2.acquire("someone", "kv:t/k", LockMode.X, timeout=0.05)
+        report.in_doubt[0].resolve("commit")
+        lm2.acquire("someone", "kv:t/k", LockMode.X)
+
+    def test_resolve_rejects_garbage(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        txn = tm.begin()
+        txn.log_update("t", {"op": "noop"})
+        tm.prepare(txn, "gid-6")
+        disk.crash()
+        disk.recover()
+        report = recover(LogManager(disk), {})
+        with pytest.raises(ValueError):
+            report.in_doubt[0].resolve("maybe")
+
+    def test_resolve_twice_is_noop(self):
+        disk = MemDisk()
+        log, tm = fresh(disk)
+        store = KVStore("t")
+        txn = tm.begin()
+        store.put(txn, "k", 1)
+        tm.prepare(txn, "gid-7")
+        disk.crash()
+        disk.recover()
+        store2 = KVStore("t")
+        report = recover(LogManager(disk), {store2.rm_name: store2})
+        report.in_doubt[0].resolve("commit")
+        report.in_doubt[0].resolve("commit")
+        assert store2.peek("k") == 1
