@@ -16,6 +16,43 @@ import pytest
 from repro.core.devices import DisplayWithUserIds
 from repro.core.request import Request
 from repro.core.system import TPSystem
+from repro.obs import Observability, get_observability, set_observability
+from repro.obs.export import write_metrics_json
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable observability for the whole benchmark run and dump the "
+            "final metrics snapshot to PATH as JSON"
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    path = config.getoption("--metrics-out")
+    if path:
+        # Fail on an unwritable path now, not after the whole run.
+        try:
+            with open(path, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise pytest.UsageError(f"--metrics-out: {exc}") from exc
+        # One process-global registry for the run; every TPSystem built
+        # without an explicit ``obs=`` picks it up.
+        set_observability(Observability())
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    path = session.config.getoption("--metrics-out")
+    if path:
+        try:
+            write_metrics_json(get_observability().metrics, path)
+        finally:
+            set_observability(None)
 
 
 def send_request(system: TPSystem, client_id: str, seq: int, body) -> None:

@@ -23,7 +23,16 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-reproduction experiment index.
 """
 
+import logging as _logging
+
+# Library logging hygiene: repro never configures handlers for the
+# application; attach a NullHandler so un-configured users see no
+# "No handler found" warnings.  Enable with e.g.
+# ``logging.getLogger("repro").setLevel(logging.DEBUG)`` plus a handler.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.errors import ReproError
+from repro.obs import Observability, get_observability, set_observability
 from repro.sim.crash import FaultInjector, CrashPlan
 from repro.sim.harness import crash_every_step
 from repro.sim.trace import TraceRecorder
@@ -44,6 +53,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "Observability",
+    "get_observability",
+    "set_observability",
     "FaultInjector",
     "CrashPlan",
     "crash_every_step",

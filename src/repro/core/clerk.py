@@ -31,10 +31,12 @@ the outcome from the reply or at reconnect), and ``transceive``
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any
 
 from repro.core.request import Reply, Request
 from repro.errors import CancelFailed, NotConnectedError, QueueEmpty
+from repro.obs import Observability, get_observability
 from repro.queueing.manager import QueueHandle, QueueManager
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
@@ -54,6 +56,7 @@ class Clerk:
         trace: TraceRecorder | None = None,
         injector: FaultInjector | None = None,
         transport: Any = None,
+        obs: Observability | None = None,
     ):
         self.client_id = client_id
         self.request_qm = request_qm
@@ -63,6 +66,24 @@ class Clerk:
         self.trace = trace
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.transport = transport  # optional comm layer for one-way sends
+        obs = obs if obs is not None else get_observability()
+        self._obs_on = obs.enabled
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_sent = metrics.counter(
+            "requests_sent_total", "requests sent by clerks", ("client",)
+        ).labels(client=client_id)
+        self._m_received = metrics.counter(
+            "replies_received_total", "replies received by clerks", ("client",)
+        ).labels(client=client_id)
+        self._m_cancelled = metrics.counter(
+            "requests_cancelled_total", "requests cancelled before consumption",
+            ("client",),
+        ).labels(client=client_id)
+        self._m_receive_latency = metrics.histogram(
+            "clerk_receive_seconds", "Receive wall time incl. reply wait",
+            ("client",),
+        ).labels(client=client_id)
         self._h_in: QueueHandle | None = None
         self._h_out: QueueHandle | None = None
         self._rid_tag: str | None = None
@@ -135,13 +156,24 @@ class Clerk:
         self._require_connected()
         self._rid_tag = rid
         self.injector.reach("clerk.send.before_enqueue")
-        eid = self.request_qm.enqueue(
-            self._h_in,
-            request.to_body(),
-            tag=rid,
-            priority=priority,
-            headers={"rid": rid, "reply_to": request.reply_to},
-        )
+        # The Send span uses the rid as its trace id; its wire context
+        # rides the element headers so the server's processing span (and
+        # the reply trip back) stitch into the same trace.
+        with self._tracer.start_span(
+            "clerk.send", trace_id=rid, client=self.client_id
+        ) as span:
+            headers = {"rid": rid, "reply_to": request.reply_to}
+            ctx = span.context()
+            if ctx is not None:
+                headers["trace"] = ctx
+            eid = self.request_qm.enqueue(
+                self._h_in,
+                request.to_body(),
+                tag=rid,
+                priority=priority,
+                headers=headers,
+            )
+        self._m_sent.inc()
         self._last_request_eid = eid
         self.injector.reach("clerk.send.after_enqueue")
         if self.trace is not None:
@@ -195,6 +227,8 @@ class Clerk:
         Dequeue"."""
         self._require_connected()
         self.injector.reach("clerk.receive.before_dequeue")
+        wall0 = _time.time() if self._obs_on else 0.0
+        t0 = _time.perf_counter() if self._obs_on else 0.0
         tag = [self._rid_tag, ckpt]
         try:
             element = self.reply_qm.dequeue(
@@ -218,6 +252,20 @@ class Clerk:
         self._last_reply_eid = element.eid
         self.injector.reach("clerk.receive.after_dequeue")
         reply = Reply.from_body(element.body)
+        if self._obs_on:
+            # Created after the fact (the rid is only known once the
+            # reply arrives) with the true start time, parented onto the
+            # server's reply-enqueue context.
+            span = self._tracer.start_span(
+                "clerk.receive",
+                trace_id=reply.rid,
+                parent=element.headers.get("trace"),
+                start=wall0,
+                client=self.client_id,
+            )
+            span.end()
+            self._m_received.inc()
+            self._m_receive_latency.observe(_time.perf_counter() - t0)
         if self.trace is not None:
             self.trace.record("reply.received", reply.rid, client=self.client_id)
         return reply
@@ -256,6 +304,11 @@ class Clerk:
         if self._last_request_eid is None:
             raise CancelFailed(f"client {self.client_id!r} has sent no request")
         killed = self.request_qm.kill_element(self._h_in, self._last_request_eid)
+        if killed:
+            self._m_cancelled.inc()
+            self._tracer.event(
+                "request.cancelled", trace_id=self._rid_tag, client=self.client_id
+            )
         if self.trace is not None:
             kind = "request.cancelled" if killed else "request.cancel_failed"
             self.trace.record(kind, self._rid_tag, client=self.client_id)

@@ -262,10 +262,12 @@ class _StageServer(Server):
         super().__init__(*args, **kwargs)
         self.final = final
 
-    def _enqueue_reply(self, txn: Transaction, request: Request, reply: Reply) -> None:
+    def _enqueue_reply(
+        self, txn: Transaction, request: Request, reply: Reply, span=None
+    ) -> None:
         if reply.body is _FORWARDED:
             return
-        super()._enqueue_reply(txn, request, reply)
+        super()._enqueue_reply(txn, request, reply, *(() if span is None else (span,)))
 
     def _trace_commit(self, rid: str, reply: Reply) -> None:
         if reply.body is _FORWARDED:

@@ -22,14 +22,18 @@ Two components:
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.server import Handler, Server
 from repro.core.system import TPSystem
+from repro.obs import Observability, get_observability
 from repro.queueing.element import Element
 from repro.queueing.selectors import priority_from
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -75,9 +79,14 @@ class RequestScheduler:
     """Admission-side scheduler: wraps a clerk's Send so every request
     is enqueued with the policy's priority and class header."""
 
-    def __init__(self, policy: SchedulingPolicy):
+    def __init__(self, policy: SchedulingPolicy, obs: Observability | None = None):
         self.policy = policy
         self.scheduled = 0
+        obs = obs if obs is not None else get_observability()
+        self._m_scheduled = obs.metrics.counter(
+            "scheduler_requests_total", "requests admitted by a scheduler",
+            ("policy",),
+        ).labels(policy=policy.name)
 
     def priority_for(self, body: Any) -> int:
         if self.policy.priority_fn is None:
@@ -92,6 +101,7 @@ class RequestScheduler:
     def send(self, clerk, request, rid: str) -> int:
         """Send ``request`` through ``clerk`` with scheduling applied."""
         self.scheduled += 1
+        self._m_scheduled.inc()
         server_class = self.class_for(request.body)
         if server_class is not None:
             request.scratch["server_class"] = server_class
@@ -130,6 +140,7 @@ class ServerPool:
         scale_up_depth: int = 8,
         idle_polls: int = 20,
         poll_timeout: float = 0.02,
+        obs: Observability | None = None,
     ):
         if not 1 <= min_servers <= max_servers:
             raise ValueError("need 1 <= min_servers <= max_servers")
@@ -148,6 +159,20 @@ class ServerPool:
         self.scale_ups = 0
         self.scale_downs = 0
         self._retired_processed = 0
+        obs = obs if obs is not None else getattr(system, "obs", None) or get_observability()
+        self._obs_on = obs.enabled
+        metrics = obs.metrics
+        self._m_size = metrics.gauge(
+            "pool_size", "server threads in the pool", ("pool",)
+        ).labels(pool=name)
+        self._m_scale_ups = metrics.counter(
+            "pool_scale_ups_total", "pool grow events", ("pool",)
+        ).labels(pool=name)
+        self._m_scale_downs = metrics.counter(
+            "pool_scale_downs_total", "pool shrink events", ("pool",)
+        ).labels(pool=name)
+        if self._obs_on:
+            self._m_size.set_function(self.size)
 
     # -- sizing -----------------------------------------------------------
 
@@ -173,6 +198,8 @@ class ServerPool:
             self._retired_processed += server.stats.processed
         if extras:
             self.scale_downs += 1
+            self._m_scale_downs.inc()
+            logger.debug("pool %r shrank to %d servers", self.name, self.min_servers)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -191,6 +218,11 @@ class ServerPool:
             if depth >= self.scale_up_depth and self.size() < self.max_servers:
                 self._spawn()
                 self.scale_ups += 1
+                self._m_scale_ups.inc()
+                logger.debug(
+                    "pool %r grew to %d servers (depth=%d)",
+                    self.name, self.size(), depth,
+                )
                 idle = 0
             elif depth == 0:
                 idle += 1

@@ -23,16 +23,21 @@ exactly what Exactly-Once Request-Processing quantifies over.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time as _time
 from typing import Any, Callable
 
 from repro.core.request import REPLY_FAILED, REPLY_OK, Reply, Request
 from repro.errors import DeadlockError, QueueEmpty, TransactionAborted
+from repro.obs import NULL_SPAN, Observability, Span, get_observability
 from repro.queueing.manager import QueueHandle, QueueManager
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.transaction.manager import Transaction
 from repro.transaction.twophase import TwoPhaseCoordinator
+
+logger = logging.getLogger(__name__)
 
 #: handler(txn, request) -> reply body; raise to abort the attempt.
 Handler = Callable[[Transaction, Request], Any]
@@ -62,6 +67,7 @@ class Server:
         trace: TraceRecorder | None = None,
         injector: FaultInjector | None = None,
         selector: Callable[..., bool] | None = None,
+        obs: Observability | None = None,
     ):
         self.name = name
         self.request_qm = request_qm
@@ -74,6 +80,28 @@ class Server:
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.selector = selector
         self.stats = ServerStats()
+        obs = obs if obs is not None else get_observability()
+        self._obs_on = obs.enabled
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_committed = metrics.counter(
+            "requests_committed_total",
+            "requests whose processing transaction committed", ("server",),
+        ).labels(server=name)
+        self._m_failed = metrics.counter(
+            "requests_failed_total",
+            "committed requests that returned a failure reply", ("server",),
+        ).labels(server=name)
+        self._m_aborts = metrics.counter(
+            "server_aborts_total", "processing attempts that aborted", ("server",)
+        ).labels(server=name)
+        self._m_empty_polls = metrics.counter(
+            "server_empty_polls_total", "polls that found no request", ("server",)
+        ).labels(server=name)
+        self._m_processing = metrics.histogram(
+            "request_processing_seconds",
+            "dequeue-to-commit processing time", ("server",),
+        ).labels(server=name)
         self._distributed = self.reply_qm.repo is not self.request_qm.repo
         if self._distributed and coordinator is None:
             raise ValueError(
@@ -102,6 +130,7 @@ class Server:
                 done = self._attempt(txn, txn, block, timeout)
         except QueueEmpty:
             self.stats.empty_polls += 1
+            self._m_empty_polls.inc()
             return False
         return done
 
@@ -121,9 +150,26 @@ class Server:
         self.injector.reach("server.after_dequeue")
         if self.trace is not None:
             self.trace.record("request.attempt", rid, server=self.name)
+        span = NULL_SPAN
+        t0 = 0.0
+        if self._obs_on:
+            t0 = _time.perf_counter()
+            # One span per processing *attempt*: a request that aborts
+            # and is re-dequeued shows several, the last one committed.
+            span = self._tracer.start_span(
+                "server.process",
+                trace_id=rid,
+                parent=element.headers.get("trace"),
+                server=self.name,
+                eid=element.eid,
+                attempt=element.abort_count + 1,
+            )
 
         def record_abort() -> None:
             self.stats.aborts += 1
+            self._m_aborts.inc()
+            span.end("aborted")
+            logger.debug("server %r: attempt on %s aborted", self.name, rid)
             if self.trace is not None:
                 self.trace.record("request.attempt_aborted", rid, server=self.name)
 
@@ -131,16 +177,23 @@ class Server:
         # The handler's database work belongs to the REQUEST node's
         # transaction (application tables live beside the request
         # queue); only the reply enqueue uses the reply node's branch.
-        reply_body = self.handler(request_txn, request)
-        self.injector.reach("server.after_process")
-        reply = self._as_reply(rid, reply_body)
-        self._enqueue_reply(reply_txn, request, reply)
+        with self._tracer.use_span(span):
+            reply_body = self.handler(request_txn, request)
+            self.injector.reach("server.after_process")
+            reply = self._as_reply(rid, reply_body)
+            self._enqueue_reply(reply_txn, request, reply, span)
         self.injector.reach("server.before_commit")
 
         def record_commit() -> None:
             self.stats.processed += 1
+            self._m_committed.inc()
             if reply.status == REPLY_FAILED:
                 self.stats.failed_replies += 1
+                self._m_failed.inc()
+            if self._obs_on:
+                self._m_processing.observe(_time.perf_counter() - t0)
+                span.annotate("txn.committed", status=reply.status)
+            span.end("ok")
             self._trace_commit(rid, reply)
 
         request_txn.on_commit(record_commit)
@@ -162,18 +215,28 @@ class Server:
             return Reply(rid=rid, body=reply_body.body, status=reply_body.status)
         return Reply(rid=rid, body=reply_body, status=REPLY_OK)
 
-    def _enqueue_reply(self, txn: Transaction, request: Request, reply: Reply) -> None:
+    def _enqueue_reply(
+        self,
+        txn: Transaction,
+        request: Request,
+        reply: Reply,
+        span: Span = NULL_SPAN,
+    ) -> None:
         handle = self._reply_handles.get(request.reply_to)
         if handle is None:
             handle, _, _ = self.reply_qm.register(
                 request.reply_to, self.name, stable=False
             )
             self._reply_handles[request.reply_to] = handle
+        headers = {"rid": reply.rid, "corr": request.rid}
+        ctx = span.context()
+        if ctx is not None:
+            headers["trace"] = ctx
         self.reply_qm.enqueue(
             handle,
             reply.to_body(),
             txn=txn,
-            headers={"rid": reply.rid, "corr": request.rid},
+            headers=headers,
         )
 
     # ------------------------------------------------------------------
@@ -191,6 +254,7 @@ class Server:
             request_tm.abort(request_txn, "empty")
             reply_tm.abort(reply_txn, "empty")
             self.stats.empty_polls += 1
+            self._m_empty_polls.inc()
             return False
         except BaseException as exc:
             from repro.errors import SimulatedCrash

@@ -27,6 +27,7 @@ from repro.core.client import Client, ReplyProcessor, UserCheckpoint
 from repro.core.request import REPLY_FAILED, Reply, Request
 from repro.core.server import Handler, Server
 from repro.core.guarantees import GuaranteeChecker
+from repro.obs import Observability, get_observability
 from repro.queueing.manager import QueueManager
 from repro.queueing.queue import DequeueMode
 from repro.queueing.repository import QueueRepository
@@ -48,6 +49,7 @@ class TPSystem:
         reply_disk: Disk | None = None,
         injector: FaultInjector | None = None,
         trace: TraceRecorder | None = None,
+        obs: Observability | None = None,
         *,
         request_queue: str = REQUEST_QUEUE,
         error_queue: str = ERROR_QUEUE,
@@ -58,6 +60,7 @@ class TPSystem:
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
+        self.obs = obs if obs is not None else get_observability()
         self.request_queue = request_queue
         self.error_queue = error_queue
         self._config = {
@@ -68,12 +71,16 @@ class TPSystem:
         }
 
         self.request_disk = request_disk if request_disk is not None else MemDisk()
-        self.request_repo = QueueRepository("reqnode", self.request_disk, self.injector)
+        self.request_repo = QueueRepository(
+            "reqnode", self.request_disk, self.injector, obs=self.obs
+        )
         self.request_qm = QueueManager(self.request_repo)
 
         if separate_reply_node:
             self.reply_disk: Disk = reply_disk if reply_disk is not None else MemDisk()
-            self.reply_repo = QueueRepository("repnode", self.reply_disk, self.injector)
+            self.reply_repo = QueueRepository(
+                "repnode", self.reply_disk, self.injector, obs=self.obs
+            )
             self.reply_qm = QueueManager(self.reply_repo)
             self.coordinator: TwoPhaseCoordinator | None = TwoPhaseCoordinator(
                 self.request_repo.log, name="server-2pc", injector=self.injector
@@ -124,6 +131,7 @@ class TPSystem:
             reply_queue,
             trace=self.trace,
             injector=self.injector,
+            obs=self.obs,
         )
 
     def client(
@@ -162,6 +170,7 @@ class TPSystem:
             trace=self.trace,
             injector=self.injector,
             selector=selector,
+            obs=self.obs,
         )
 
     def error_reply_server(self, name: str = "error-replier") -> Server:
@@ -185,6 +194,7 @@ class TPSystem:
             coordinator=self.coordinator,
             trace=self.trace,
             injector=self.injector,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -214,6 +224,7 @@ class TPSystem:
             reply_disk=self.reply_disk if self._config["separate_reply_node"] else None,
             injector=injector,
             trace=self.trace,
+            obs=self.obs,
             request_queue=self.request_queue,
             error_queue=self.error_queue,
             max_aborts=self._config["max_aborts"],
@@ -235,6 +246,21 @@ class TPSystem:
 
     def checker(self) -> GuaranteeChecker:
         return GuaranteeChecker(self.trace)
+
+    # -- observability conveniences ------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of this system's metrics registry."""
+        return self.obs.metrics.snapshot()
+
+    def metrics_dashboard(self) -> str:
+        """Human-readable metrics summary."""
+        return self.obs.metrics.render_dashboard()
+
+    def span_timeline(self, rid: str) -> str:
+        """Reconstructed lifetime of one request id (requires an
+        enabled :class:`~repro.obs.Observability`)."""
+        return self.obs.tracer.timeline(rid)
 
     def drain(
         self, server: Server, max_requests: int = 10_000

@@ -1,0 +1,122 @@
+"""repro.obs — metrics and span tracing for the recoverable-queue stack.
+
+One :class:`Observability` object bundles a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracing.SpanTracer`.  Every instrumented component
+(clerk, queue manager, queues, transaction manager, WAL, server,
+scheduler) takes an optional ``obs`` argument and falls back to the
+process-global default, which starts **disabled**: the disabled bundle
+hands out shared no-op metric/span singletons, so an uninstrumented run
+pays one boolean check (or one no-op call) per hook.
+
+Enabling, per system::
+
+    from repro.obs import Observability
+    obs = Observability()                       # enabled
+    system = TPSystem(obs=obs)
+    ...
+    print(obs.metrics.render_dashboard())
+    print(obs.tracer.timeline(rid))
+
+or globally (before building any components)::
+
+    from repro import obs
+    obs.set_observability(obs.Observability())
+
+See ``docs/observability.md`` for the metric catalog.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    NullMetric,
+    NullMetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanTracer,
+)
+
+
+class Observability:
+    """A metrics registry + span tracer pair with one enabled flag."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ):
+        self.enabled = enabled
+        if enabled:
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else SpanTracer()
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans."""
+        self.metrics.reset()
+        self.tracer.clear()
+
+
+#: The process-global default, used by components built without an
+#: explicit ``obs``.  Disabled out of the box.
+NULL_OBS = Observability.disabled()
+_current: Observability = NULL_OBS
+
+
+def get_observability() -> Observability:
+    """The current process-global Observability."""
+    return _current
+
+
+def set_observability(obs: Observability | None) -> Observability:
+    """Install ``obs`` as the process-global default (``None`` restores
+    the disabled default).  Components cache their metric handles at
+    construction, so set this *before* building systems.  Returns the
+    installed bundle."""
+    global _current
+    _current = obs if obs is not None else NULL_OBS
+    return _current
+
+
+__all__ = [
+    "Observability",
+    "get_observability",
+    "set_observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "NullMetric",
+    "NULL_METRIC",
+    "DEFAULT_BUCKETS",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+]

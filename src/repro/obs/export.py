@@ -1,0 +1,164 @@
+"""Exporters: JSONL event sink, Prometheus text, dashboard summary.
+
+Three views over the same registry/tracer:
+
+* :class:`JsonlSink` / :func:`write_spans_jsonl` /
+  :func:`write_metrics_json` — machine-readable files for trajectory
+  tooling (``BENCH_*.json`` runs, offline span analysis).
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / labeled samples), so a scrape endpoint is
+  one ``web.write(render_prometheus(reg))`` away.
+* :func:`render_dashboard` — a human-readable operator summary: every
+  counter/gauge, and p50/p95/p99 per histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+
+
+class JsonlSink:
+    """Append-only JSON-lines sink (thread-safe).
+
+    Accepts a path or any text file object; one ``write(event_dict)``
+    per line.  Used for span dumps and incremental metric events.
+    """
+
+    def __init__(self, target: str | IO[str]):
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def write(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def write_many(self, events: list[dict[str, Any]]) -> None:
+        for event in events:
+            self.write(event)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def write_spans_jsonl(tracer: SpanTracer, target: str | IO[str],
+                      trace_id: str | None = None) -> int:
+    """Dump spans (optionally one trace) as JSONL; returns span count."""
+    records = tracer.to_records(trace_id)
+    with JsonlSink(target) as sink:
+        sink.write_many(records)
+    return len(records)
+
+
+def write_metrics_json(registry: MetricsRegistry, target: str | IO[str]) -> None:
+    """Dump a registry snapshot as one pretty-printed JSON document."""
+    snapshot = registry.snapshot()
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+    else:
+        json.dump(snapshot, target, indent=2, sort_keys=True, default=str)
+        target.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _format_labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-format snapshot of the registry."""
+    lines: list[str] = []
+    for name, family in registry.snapshot().items():
+        kind = family["kind"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_format_labels(labels)} {series['value']}")
+            elif kind == "histogram":
+                cumulative = 0
+                for edge, count in series["buckets"].items():
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels, {'le': edge})} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{_format_labels(labels)} {series['sum']}")
+                lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable dashboard
+# ----------------------------------------------------------------------
+
+def render_dashboard(registry: MetricsRegistry) -> str:
+    """Operator summary: counters/gauges as totals, histograms with
+    count/mean/p50/p95/p99."""
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return "(no metrics recorded)"
+    sections = {"counter": [], "gauge": [], "histogram": []}  # type: dict[str, list[str]]
+    for name, family in snapshot.items():
+        kind = family["kind"]
+        rows = sections.get(kind)
+        if rows is None:
+            continue
+        for series in family["series"]:
+            label = _format_labels(series["labels"])
+            if kind == "histogram":
+                if series["count"] == 0:
+                    continue
+                rows.append(
+                    f"  {name}{label}: count={series['count']} "
+                    f"mean={series['mean'] * 1000:.3f}ms "
+                    f"p50={series['p50'] * 1000:.3f}ms "
+                    f"p95={series['p95'] * 1000:.3f}ms "
+                    f"p99={series['p99'] * 1000:.3f}ms"
+                )
+            else:
+                value = series["value"]
+                shown = int(value) if float(value).is_integer() else value
+                rows.append(f"  {name}{label}: {shown}")
+    lines = ["== metrics dashboard =="]
+    for kind, title in (
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+        ("histogram", "latency histograms"),
+    ):
+        if sections[kind]:
+            lines.append(f"{title}:")
+            lines.extend(sections[kind])
+    return "\n".join(lines)

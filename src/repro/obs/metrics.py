@@ -1,0 +1,473 @@
+"""Thread-safe metrics primitives: Counter, Gauge, Histogram.
+
+Gray's "Queues Are Databases" (PAPERS.md) argues that queue depth,
+dequeue latency, and retry counts are exactly the signals an operator
+of a queued-transaction system lives on.  This module provides the
+primitives the rest of the stack is instrumented with:
+
+* :class:`Counter` — monotonically increasing count (``_total`` names).
+* :class:`Gauge` — a value that goes up and down (queue depth, pool
+  size); supports callback gauges whose value is sampled lazily at
+  snapshot time so the hot path pays nothing.
+* :class:`Histogram` — fixed-bucket latency distribution with
+  p50/p95/p99 summaries estimated by linear interpolation inside the
+  owning bucket (clamped to the observed min/max).
+
+Every metric may declare *label names*; :meth:`_Metric.labels` returns
+the child for one label-value combination (created on first use).  All
+mutating operations are thread-safe.
+
+The **no-op mode** mirrors every class with a ``Null*`` singleton whose
+methods do nothing: a disabled registry hands those out, so
+instrumented code caches metric objects once and the disabled hot path
+costs a single no-op method call.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+#: Default latency buckets (seconds): 50µs .. 5s, roughly logarithmic.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class MetricError(ValueError):
+    """Bad metric declaration or use (type/label mismatch, re-registration)."""
+
+
+class _Metric:
+    """Base: a named metric family with zero or more labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[Any, ...], Any] = {}
+
+    def labels(self, **labelvalues: Any):
+        """Child metric for one label-value combination (get-or-create)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(labelvalues[n] for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _new_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _own_child(self):
+        """The implicit unlabeled child (for metrics with no labelnames)."""
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} has labels {self.labelnames}; use .labels(...)"
+            )
+        with self._lock:
+            child = self._children.get(())
+            if child is None:
+                child = self._children[()] = self._new_child()
+            return child
+
+    def children(self) -> dict[tuple[Any, ...], Any]:
+        with self._lock:
+            return dict(self._children)
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [],
+        }
+        for key, child in sorted(
+            self.children().items(), key=lambda kv: tuple(map(str, kv[0]))
+        ):
+            entry = {"labels": dict(zip(self.labelnames, key))}
+            entry.update(child.snapshot())
+            out["series"].append(entry)
+        return out
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._own_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._own_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float] | None) -> None:
+        """Sample ``fn`` lazily at read time instead of storing a value
+        (e.g. ``queue.depth`` — the hot path then pays nothing)."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return float("nan")
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._own_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._own_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._own_child().dec(amount)
+
+    def set_function(self, fn: Callable[[], float] | None) -> None:
+        self._own_child().set_function(fn)
+
+    @property
+    def value(self) -> float:
+        return self._own_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_edges", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._edges = edges
+        # one bucket per edge (observation <= edge), plus overflow (+Inf)
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q < 1) from the buckets.
+
+        Linear interpolation inside the owning bucket, clamped to the
+        observed min/max so single-observation histograms are exact.
+        """
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return 0.0
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        target = q * count
+        cumulative = 0.0
+        for index, n in enumerate(counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lower = self._edges[index - 1] if index > 0 else 0.0
+                upper = self._edges[index] if index < len(self._edges) else hi
+                fraction = (target - cumulative) / n
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, lo), hi)
+            cumulative += n
+        return hi
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            count, total = self._count, self._sum
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        out: dict[str, Any] = {
+            "count": count,
+            "sum": total,
+            "buckets": {
+                **{str(edge): c for edge, c in zip(self._edges, counts)},
+                "+Inf": counts[-1],
+            },
+        }
+        if count:
+            out.update(
+                min=lo,
+                max=hi,
+                mean=total / count,
+                p50=self.quantile(0.50),
+                p95=self.quantile(0.95),
+                p99=self.quantile(0.99),
+            )
+        return out
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with percentile summaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(buckets))
+        if not edges:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+        self.buckets = edges
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._own_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._own_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._own_child().sum
+
+    def quantile(self, q: float) -> float:
+        return self._own_child().quantile(q)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Named metrics for one process; get-or-create by (name, kind).
+
+    Re-requesting an existing name with the same kind and labelnames
+    returns the existing metric (so independent components can share a
+    family); a kind or labelname clash raises :class:`MetricError`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != labelnames:
+                    raise MetricError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every metric family."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    def reset(self) -> None:
+        """Drop all metrics (tests / fresh benchmark runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # Rendering lives in repro.obs.export; these are conveniences.
+
+    def render_prometheus(self) -> str:
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self)
+
+    def render_dashboard(self) -> str:
+        from repro.obs.export import render_dashboard
+
+        return render_dashboard(self)
+
+
+# ----------------------------------------------------------------------
+# No-op mode
+# ----------------------------------------------------------------------
+
+class NullMetric:
+    """Does nothing, cheaply; stands in for every metric kind."""
+
+    kind = "null"
+    name = "null"
+    help = ""
+    labelnames: tuple[str, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def labels(self, **labelvalues: Any) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float] | None) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+#: Shared no-op metric: cache it like a real one, pay one no-op call.
+NULL_METRIC = NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: every factory returns :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def counter(self, name, help="", labelnames=()):  # type: ignore[override]
+        return NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()):  # type: ignore[override]
+        return NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS):  # type: ignore[override]
+        return NULL_METRIC
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,369 @@
+"""Lightweight span tracing with request-id correlation.
+
+A *span* covers one timed operation (a clerk Send, a queue Dequeue, a
+server processing transaction); spans carrying the same ``trace_id``
+belong to one logical request.  The stack uses the paper's request id
+(*rid*) as the trace id, so a single request's lifetime — including
+aborted attempts and error-queue trips — can be reconstructed with
+:meth:`SpanTracer.timeline`.
+
+Context propagates two ways:
+
+* **in-process** — ``with tracer.start_span(...)`` pushes the span on a
+  thread-local stack; nested ``start_span`` calls parent to it
+  automatically (the clerk's Send span becomes the parent of the queue
+  manager's Enqueue span with no plumbing).
+* **across the queue** — :meth:`Span.context` returns a small dict the
+  sender stores in the element's headers; the consumer passes it back
+  as ``parent=`` (or :meth:`Span.adopt_context`), which stitches the
+  server's processing span to the client's Send span even though they
+  run in different threads, transactions, or (after a crash) processes.
+
+The no-op mode (:data:`NULL_TRACER` / :data:`NULL_SPAN`) makes every
+operation a cheap no-op so disabled tracing stays out of the hot path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, ContextManager, Iterator
+
+#: wire-context keys (element headers)
+CTX_TRACE = "trace_id"
+CTX_SPAN = "span_id"
+
+
+class Span:
+    """One timed operation within a trace."""
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id",
+        "start", "end_time", "status", "attrs", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer | None",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None = None,
+        start: float | None = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.time() if start is None else start
+        self.end_time: float | None = None
+        self.status = "open"
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def annotate(self, event: str, **attrs: Any) -> None:
+        """Attach a timestamped point event to this span."""
+        self.events.append((time.time(), event, attrs))
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def end(self, status: str = "ok") -> None:
+        """Finish the span (idempotent: the first end wins)."""
+        if self.end_time is None:
+            self.end_time = time.time()
+            self.status = status
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end_time is None else self.end_time - self.start
+
+    # -- context propagation -----------------------------------------------
+
+    def context(self) -> dict[str, str]:
+        """Wire context to store in element headers for the consumer."""
+        return {CTX_TRACE: self.trace_id, CTX_SPAN: self.span_id}
+
+    def adopt_context(self, ctx: dict[str, str] | None) -> None:
+        """Re-parent this span onto a wire context discovered after the
+        span started (a Dequeue learns the element's trace only once an
+        element has been selected)."""
+        if ctx and CTX_TRACE in ctx:
+            self.trace_id = ctx[CTX_TRACE]
+            self.parent_id = ctx.get(CTX_SPAN)
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        if self.tracer is not None:
+            self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.tracer is not None:
+            self.tracer._pop(self)
+        self.end("error" if exc_type is not None else "ok")
+
+    # -- export -----------------------------------------------------------
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end_time,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "events": [
+                {"ts": ts, "name": name, "attrs": attrs}
+                for ts, name, attrs in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id!r}, "
+            f"id={self.span_id}, status={self.status})"
+        )
+
+
+class SpanTracer:
+    """Collects spans; thread-safe; bounded."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._seq = 0
+        self._max_spans = max_spans
+        self._local = threading.local()
+
+    # -- creation ---------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        parent: "Span | dict[str, str] | None" = None,
+        start: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Start (and record) a span.
+
+        ``parent`` may be a live :class:`Span`, a wire context dict from
+        :meth:`Span.context`, or ``None`` — in which case the calling
+        thread's current span (if any) is the parent.
+        """
+        parent_id: str | None = None
+        if parent is None:
+            parent = self.current_span()
+        if isinstance(parent, Span):
+            parent_id = parent.span_id
+            if trace_id is None:
+                trace_id = parent.trace_id
+        elif isinstance(parent, dict):
+            parent_id = parent.get(CTX_SPAN)
+            if trace_id is None:
+                trace_id = parent.get(CTX_TRACE)
+        with self._lock:
+            self._seq += 1
+            span_id = f"s{self._seq}"
+            if trace_id is None:
+                trace_id = f"trace-{self._seq}"
+            span = Span(self, name, trace_id, span_id, parent_id, start, attrs)
+            self._spans.append(span)
+            if len(self._spans) > self._max_spans:
+                del self._spans[: self._max_spans // 2]
+        return span
+
+    def event(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        parent: "Span | dict[str, str] | None" = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an instantaneous event as a zero-duration span."""
+        span = self.start_span(name, trace_id=trace_id, parent=parent, **attrs)
+        span.end_time = span.start
+        span.status = "event"
+        return span
+
+    # -- thread-local current span ---------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextlib.contextmanager
+    def _use_span_cm(self, span: Span):
+        self._push(span)
+        try:
+            yield span
+        finally:
+            self._pop(span)
+
+    def use_span(self, span: Span) -> ContextManager[Span]:
+        """Make ``span`` the calling thread's current span for the
+        ``with`` block *without* ending it on exit — for spans whose end
+        is decided elsewhere (e.g. a server span ended by the processing
+        transaction's commit/abort hook)."""
+        return self._use_span_cm(span)
+
+    # -- queries -----------------------------------------------------------
+
+    def spans(self, trace_id: str | None = None, name: str | None = None) -> list[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        return [
+            s
+            for s in spans
+            if (trace_id is None or s.trace_id == trace_id)
+            and (name is None or s.name == name)
+        ]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for span in self._spans:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # -- reconstruction -----------------------------------------------------
+
+    def timeline(self, trace_id: str) -> str:
+        """Human-readable lifetime of one request id.
+
+        Spans sorted by start time, indented by parent depth, with
+        point events inline — e.g. a request that aborted once shows
+        two ``server.process`` spans, the first ``status=aborted``.
+        """
+        spans = sorted(self.spans(trace_id), key=lambda s: (s.start, s.span_id))
+        if not spans:
+            return f"(no spans for trace {trace_id!r})"
+        by_id = {s.span_id: s for s in spans}
+
+        def depth(span: Span) -> int:
+            d, seen = 0, set()
+            while span.parent_id in by_id and span.parent_id not in seen:
+                seen.add(span.parent_id)
+                span = by_id[span.parent_id]
+                d += 1
+            return d
+
+        t0 = spans[0].start
+        lines = [f"trace {trace_id}"]
+        for span in spans:
+            pad = "  " * depth(span)
+            offset = (span.start - t0) * 1000.0
+            took = "…" if span.duration is None else f"{span.duration * 1000.0:.3f}ms"
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            lines.append(
+                f"  {offset:9.3f}ms {pad}{span.name} [{span.status}] {took}"
+                + (f" {attrs}" if attrs else "")
+            )
+            for ts, event, eattrs in span.events:
+                eoffset = (ts - t0) * 1000.0
+                extra = " ".join(f"{k}={v}" for k, v in sorted(eattrs.items()))
+                lines.append(
+                    f"  {eoffset:9.3f}ms {pad}  • {event}" + (f" {extra}" if extra else "")
+                )
+        return "\n".join(lines)
+
+    def to_records(self, trace_id: str | None = None) -> list[dict[str, Any]]:
+        return [s.to_record() for s in self.spans(trace_id)]
+
+
+# ----------------------------------------------------------------------
+# No-op mode
+# ----------------------------------------------------------------------
+
+class NullSpan(Span):
+    """Shared do-nothing span for disabled tracing."""
+
+    def __init__(self) -> None:
+        super().__init__(None, "null", "null", "null", start=0.0)
+
+    def annotate(self, event: str, **attrs: Any) -> None:
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def end(self, status: str = "ok") -> None:
+        pass
+
+    def context(self) -> dict[str, str] | None:  # type: ignore[override]
+        return None
+
+    def adopt_context(self, ctx: dict[str, str] | None) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer(SpanTracer):
+    """Disabled tracer: hands out :data:`NULL_SPAN`, records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_spans=1)
+
+    def start_span(self, name, trace_id=None, parent=None, start=None, **attrs):  # type: ignore[override]
+        return NULL_SPAN
+
+    def event(self, name, trace_id=None, parent=None, **attrs):  # type: ignore[override]
+        return NULL_SPAN
+
+    def current_span(self) -> Span | None:
+        return None
+
+    def use_span(self, span: Span) -> ContextManager[Span]:  # type: ignore[override]
+        return contextlib.nullcontext(NULL_SPAN)
+
+
+NULL_TRACER = NullTracer()

@@ -17,11 +17,13 @@
 
 from __future__ import annotations
 
+import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.errors import NoSuchElementError, NotRegisteredError
+from repro.obs import Observability
 from repro.queueing.element import Element
 from repro.queueing.registration import Registration
 from repro.queueing.repository import QueueRepository
@@ -40,8 +42,20 @@ class QueueHandle:
 class QueueManager:
     """Facade over one repository, exposing the paper's operations."""
 
-    def __init__(self, repo: QueueRepository):
+    def __init__(self, repo: QueueRepository, obs: Observability | None = None):
         self.repo = repo
+        obs = obs if obs is not None else repo.obs
+        self._obs_on = obs.enabled
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_enq_latency = metrics.histogram(
+            "queue_enqueue_latency_seconds",
+            "Enqueue wall time incl. registration record", ("queue",),
+        )
+        self._m_deq_latency = metrics.histogram(
+            "queue_dequeue_latency_seconds",
+            "Dequeue wall time incl. blocking wait", ("queue",),
+        )
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -127,6 +141,31 @@ class QueueManager:
         original eid is returned without enqueuing again.  Rids are
         unique per request (Section 3), so equal tags always mean the
         same logical Send."""
+        if not self._obs_on:
+            return self._enqueue(
+                handle, body, tag, txn=txn, priority=priority, headers=headers
+            )
+        t0 = _time.perf_counter()
+        with self._tracer.start_span("queue.enqueue", queue=handle.queue) as span:
+            eid = self._enqueue(
+                handle, body, tag, txn=txn, priority=priority, headers=headers
+            )
+            span.set_attr("eid", eid)
+        self._m_enq_latency.labels(queue=handle.queue).observe(
+            _time.perf_counter() - t0
+        )
+        return eid
+
+    def _enqueue(
+        self,
+        handle: QueueHandle,
+        body: Any,
+        tag: Any = None,
+        *,
+        txn: Transaction | None = None,
+        priority: int = 0,
+        headers: dict[str, Any] | None = None,
+    ) -> int:
         self._check_registered(handle)
         if tag is not None:
             previous = self.repo.registration.lookup(handle.queue, handle.registrant)
@@ -162,6 +201,45 @@ class QueueManager:
 
         ``error_queue`` mirrors the ``eh`` parameter: where the element
         goes after its ``max_aborts``-th dequeue-abort."""
+        if not self._obs_on:
+            return self._dequeue(
+                handle, tag, error_queue,
+                txn=txn, block=block, timeout=timeout, selector=selector,
+            )
+        t0 = _time.perf_counter()
+        wall0 = _time.time()
+        element = self._dequeue(
+            handle, tag, error_queue,
+            txn=txn, block=block, timeout=timeout, selector=selector,
+        )
+        # The span is created only once an element arrives (empty polls
+        # would flood the tracer) and re-parented onto the element's
+        # wire context, stitching the consumer to the producer's Send.
+        span = self._tracer.start_span(
+            "queue.dequeue",
+            parent=element.headers.get("trace"),
+            start=wall0,
+            queue=handle.queue,
+            eid=element.eid,
+            registrant=handle.registrant,
+        )
+        span.end()
+        self._m_deq_latency.labels(queue=handle.queue).observe(
+            _time.perf_counter() - t0
+        )
+        return element
+
+    def _dequeue(
+        self,
+        handle: QueueHandle,
+        tag: Any = None,
+        error_queue: str | None = None,
+        *,
+        txn: Transaction | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+        selector: Callable[[Element], bool] | None = None,
+    ) -> Element:
         self._check_registered(handle)
         queue = self._queue(handle)
         with self._txn_scope(txn) as t:

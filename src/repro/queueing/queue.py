@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import bisect
 import enum
+import logging
 import threading
 import time as _time
 from collections import OrderedDict
@@ -49,6 +50,8 @@ from repro.transaction.manager import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.queueing.repository import QueueRepository
+
+logger = logging.getLogger(__name__)
 
 
 class DequeueMode(enum.Enum):
@@ -145,6 +148,42 @@ class RecoverableQueue:
         self.dequeues = 0
         self.dequeue_aborts = 0
         self.skipped_locked = 0
+        # -- observability (cached children; no-ops when disabled) -----
+        obs = repo.obs
+        self._obs_on = obs.enabled
+        metrics = obs.metrics
+        labels = {"queue": config.name}
+        self._m_enqueues = metrics.counter(
+            "queue_enqueues_total", "elements enqueued", ("queue",)
+        ).labels(**labels)
+        self._m_dequeues = metrics.counter(
+            "queue_dequeues_total", "elements dequeued", ("queue",)
+        ).labels(**labels)
+        self._m_deq_aborts = metrics.counter(
+            "queue_dequeue_aborts_total",
+            "dequeues undone by transaction abort (retries)", ("queue",)
+        ).labels(**labels)
+        self._m_skip_locked = metrics.counter(
+            "queue_skip_locked_total",
+            "elements passed over because another dequeue holds them", ("queue",)
+        ).labels(**labels)
+        self._m_error_moves = metrics.counter(
+            "queue_error_moves_total",
+            "elements moved to the error queue (Section 4.2 bound)", ("queue",)
+        ).labels(**labels)
+        self._m_kills = metrics.counter(
+            "queue_kills_total", "elements deleted by Kill_element", ("queue",)
+        ).labels(**labels)
+        depth_gauge = metrics.gauge(
+            "queue_depth", "committed, eligible elements", ("queue",)
+        ).labels(**labels)
+        pending_gauge = metrics.gauge(
+            "queue_pending", "elements held by uncommitted transactions", ("queue",)
+        ).labels(**labels)
+        if self._obs_on:
+            # Sampled lazily at snapshot time: the hot path pays nothing.
+            depth_gauge.set_function(self.depth)
+            pending_gauge.set_function(self.pending)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -289,6 +328,7 @@ class RecoverableQueue:
         txn.on_commit(lambda: self._commit_enqueue(eid))
         self.repo.injector.reach(f"queue.{self.name}.enqueue.after_log")
         self.enqueues += 1
+        self._m_enqueues.inc()
         return eid
 
     def _discard_slot(self, eid: int) -> None:
@@ -363,6 +403,7 @@ class RecoverableQueue:
         txn.on_abort(lambda: self._after_dequeue_abort(eid, error_queue))
         self.repo.injector.reach(f"queue.{self.name}.dequeue.after_log")
         self.dequeues += 1
+        self._m_dequeues.inc()
         return element
 
     def _select_slot(
@@ -389,6 +430,7 @@ class RecoverableQueue:
                         f"uncommitted transaction {slot.pending_txn}"
                     )
                 self.skipped_locked += 1
+                self._m_skip_locked.inc()
                 continue
             if selector is not None and not selector(slot.element):
                 continue
@@ -418,6 +460,7 @@ class RecoverableQueue:
         """Abort hook: durably count the abort; on the n-th, move the
         element to the error queue (Section 4.2)."""
         self.dequeue_aborts += 1
+        self._m_deq_aborts.inc()
         if self.config.count_crash_attempts:
             # The attempt was already counted durably at dequeue time.
             with self._mutex:
@@ -471,6 +514,20 @@ class RecoverableQueue:
             slot = self._slots.pop(eid, None)
             if slot is not None:
                 self._archive_element(slot.element)
+        self._m_error_moves.inc()
+        logger.warning(
+            "queue %r: element %d moved to error queue %r after %d aborts",
+            self.name, eid, target_name, count,
+        )
+        if self._obs_on:
+            self.repo.obs.tracer.event(
+                "queue.error_move",
+                parent=element.headers.get("trace"),
+                queue=self.name,
+                error_queue=target_name,
+                eid=eid,
+                aborts=count,
+            )
 
     def sweep_poisoned(self) -> int:
         """Move every available element whose abort count already meets
@@ -540,6 +597,7 @@ class RecoverableQueue:
                 removed = self._slots.pop(eid)
                 self._index_remove(removed.element)
                 self._archive_element(removed.element)
+        self._m_kills.inc()
         return True
 
     # ------------------------------------------------------------------

@@ -16,10 +16,12 @@ contents.  Constructing :class:`QueueRepository` over a non-empty disk
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Any
 
 from repro.errors import NoSuchQueueError, QueueExistsError
+from repro.obs import Observability, get_observability
 from repro.queueing.queue import QueueConfig, RecoverableQueue
 from repro.queueing.registration import RegistrationTable
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
@@ -29,6 +31,8 @@ from repro.transaction.locks import LockManager
 from repro.transaction.log import LogManager
 from repro.transaction.manager import TransactionManager
 from repro.transaction.recovery import RecoveryReport, recover
+
+logger = logging.getLogger(__name__)
 
 
 class _EidAllocator:
@@ -91,13 +95,19 @@ class QueueRepository:
         disk: Disk | None = None,
         injector: FaultInjector | None = None,
         lock_manager: LockManager | None = None,
+        obs: Observability | None = None,
     ):
         self.name = name
         self.disk = disk if disk is not None else MemDisk()
         self.injector = injector if injector is not None else NULL_INJECTOR
-        self.log = LogManager(self.disk, area=f"{name}.log")
-        self.locks = lock_manager if lock_manager is not None else LockManager()
-        self.tm = TransactionManager(self.log, self.locks, self.injector)
+        self.obs = obs if obs is not None else get_observability()
+        self.log = LogManager(self.disk, area=f"{name}.log", obs=self.obs)
+        self.locks = (
+            lock_manager if lock_manager is not None else LockManager(obs=self.obs)
+        )
+        self.tm = TransactionManager(
+            self.log, self.locks, self.injector, obs=self.obs, node=name
+        )
         self.registration = RegistrationTable()
         self.eids = _EidAllocator(self.log)
         self.queues: dict[str, RecoverableQueue] = {}
@@ -115,6 +125,12 @@ class QueueRepository:
             self.injector.on_crash.append(lambda _point: self.disk.crash())
         self.last_recovery: RecoveryReport = recover(
             self.log, self.rms, self.tm, self.locks
+        )
+        self.obs.metrics.counter(
+            "recovery_runs_total", "restart recoveries performed", ("repo",)
+        ).labels(repo=name).inc()
+        logger.debug(
+            "repository %r recovered: %s", name, self.last_recovery
         )
         for queue in self.queues.values():
             queue.sweep_poisoned()

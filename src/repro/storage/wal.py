@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import CorruptRecordError
+from repro.obs import Observability, get_observability
 from repro.storage.disk import Disk
 
 _MAGIC = b"\xC4\x51"
@@ -54,13 +55,25 @@ class WriteAheadLog:
     (skip the flush if the commit record is already durable).
     """
 
-    def __init__(self, disk: Disk, area: str = "wal"):
+    def __init__(self, disk: Disk, area: str = "wal",
+                 obs: Observability | None = None):
         self.disk = disk
         self.area = area
         self._lock = threading.Lock()
         # Resume appending after whatever is already present (restart).
         self._next_lsn = disk.size(area)
         self._flushed_lsn = self._next_lsn
+        obs = obs if obs is not None else get_observability()
+        metrics = obs.metrics
+        self._m_appends = metrics.counter(
+            "wal_appends_total", "log records appended", ("area",)
+        ).labels(area=area)
+        self._m_bytes = metrics.counter(
+            "wal_appended_bytes_total", "log bytes appended (incl. framing)", ("area",)
+        ).labels(area=area)
+        self._m_flushes = metrics.counter(
+            "wal_flushes_total", "log forces (fsync-equivalents)", ("area",)
+        ).labels(area=area)
 
     # -- writing -----------------------------------------------------------
 
@@ -70,7 +83,9 @@ class WriteAheadLog:
         with self._lock:
             lsn = self.disk.append(self.area, header + payload)
             self._next_lsn = lsn + HEADER_SIZE + len(payload)
-            return lsn
+        self._m_appends.inc()
+        self._m_bytes.inc(HEADER_SIZE + len(payload))
+        return lsn
 
     def flush(self) -> None:
         """Force all appended records to stable storage."""
@@ -78,6 +93,7 @@ class WriteAheadLog:
             if self._flushed_lsn < self._next_lsn:
                 self.disk.flush(self.area)
                 self._flushed_lsn = self._next_lsn
+                self._m_flushes.inc()
 
     def append_flush(self, payload: bytes) -> int:
         """Append one record and force it (one-call force-at-commit)."""

@@ -26,6 +26,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import DeadlockError, LockTimeoutError
+from repro.obs import Observability, get_observability
 
 
 class LockMode(enum.Enum):
@@ -116,7 +117,8 @@ class LockManager:
     methods are thread-safe.
     """
 
-    def __init__(self, default_timeout: float | None = 10.0):
+    def __init__(self, default_timeout: float | None = 10.0,
+                 obs: Observability | None = None):
         self._mutex = threading.Lock()
         self._granted: dict[str, _LockState] = defaultdict(_LockState)
         self._waits_for: dict[object, set[object]] = {}
@@ -124,6 +126,17 @@ class LockManager:
         self._held_by_owner: dict[object, set[str]] = defaultdict(set)
         self.default_timeout = default_timeout
         self.stats = LockStats()
+        obs = obs if obs is not None else get_observability()
+        metrics = obs.metrics
+        self._m_wait = metrics.histogram(
+            "lock_wait_seconds", "time spent waiting for a lock grant"
+        )
+        self._m_deadlocks = metrics.counter(
+            "lock_deadlocks_total", "lock requests aborted by deadlock detection"
+        )
+        self._m_timeouts = metrics.counter(
+            "lock_timeouts_total", "lock requests that timed out"
+        )
 
     # -- acquisition ---------------------------------------------------------
 
@@ -163,6 +176,7 @@ class LockManager:
                 if self._detects_cycle(owner):
                     del self._waits_for[owner]
                     self.stats.deadlocks += 1
+                    self._m_deadlocks.inc()
                     raise DeadlockError(
                         f"{owner} waiting for {sorted(map(str, blockers))} on "
                         f"{resource!r} closes a waits-for cycle"
@@ -176,6 +190,8 @@ class LockManager:
                     del self._waits_for[owner]
                     self.stats.timeouts += 1
                     self.stats.wait_time += time.monotonic() - wait_start
+                    self._m_timeouts.inc()
+                    self._m_wait.observe(time.monotonic() - wait_start)
                     raise LockTimeoutError(
                         f"{owner} timed out waiting for {mode.value} on {resource!r}"
                     )
@@ -186,6 +202,7 @@ class LockManager:
             self._waits_for.pop(owner, None)
             if waited:
                 self.stats.wait_time += time.monotonic() - wait_start
+                self._m_wait.observe(time.monotonic() - wait_start)
             state.holders[owner] = target
             self._held_by_owner[owner].add(resource)
             self.stats.acquisitions += 1

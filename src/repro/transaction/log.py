@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import CheckpointError
+from repro.obs import Observability
 from repro.storage.codec import decode, encode
 from repro.storage.disk import Disk
 from repro.storage.wal import WriteAheadLog
@@ -66,10 +67,11 @@ class LogRecord:
 class LogManager:
     """Shared typed log + checkpoint area for one node."""
 
-    def __init__(self, disk: Disk, area: str = "log"):
+    def __init__(self, disk: Disk, area: str = "log",
+                 obs: Observability | None = None):
         self.disk = disk
         self.area = area
-        self.wal = WriteAheadLog(disk, area)
+        self.wal = WriteAheadLog(disk, area, obs=obs)
         self._lock = threading.Lock()
         #: counters for benchmarks
         self.update_records = 0

@@ -29,10 +29,12 @@ Crash points (for the crash-at-every-step harness):
 from __future__ import annotations
 
 import threading
+import time as _time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.obs import Observability, get_observability
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.transaction.ids import TxnStatus
 from repro.transaction.locks import LockManager, LockMode
@@ -52,6 +54,8 @@ class Transaction:
         self._on_abort: list[Callable[[], None]] = []
         #: global id when this is a two-phase-commit branch
         self.global_id: str | None = None
+        #: begin time for the txn-duration histogram (set iff observing)
+        self._started: float | None = _time.perf_counter() if tm._obs_on else None
 
     # -- resource-manager interface -----------------------------------------
 
@@ -107,6 +111,8 @@ class TransactionManager:
         log: LogManager,
         locks: LockManager | None = None,
         injector: FaultInjector | None = None,
+        obs: Observability | None = None,
+        node: str = "node",
     ):
         self.log = log
         self.locks = locks if locks is not None else LockManager()
@@ -117,6 +123,23 @@ class TransactionManager:
         #: counters for benchmarks
         self.commits = 0
         self.aborts = 0
+        obs = obs if obs is not None else get_observability()
+        self._obs_on = obs.enabled
+        metrics = obs.metrics
+        self._m_commits = metrics.counter(
+            "txn_commits_total", "committed transactions", ("node",)
+        ).labels(node=node)
+        self._m_aborts = metrics.counter(
+            "txn_aborts_total", "aborted transactions", ("node",)
+        ).labels(node=node)
+        self._m_active = metrics.gauge(
+            "txn_active", "currently active transactions", ("node",)
+        ).labels(node=node)
+        self._m_duration = metrics.histogram(
+            "txn_duration_seconds", "begin-to-outcome transaction time", ("node",)
+        ).labels(node=node)
+        if self._obs_on:
+            self._m_active.set_function(lambda: len(self._active))
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -143,6 +166,7 @@ class TransactionManager:
         txn.status = TxnStatus.COMMITTED
         self._finish(txn, txn._on_commit)
         self.commits += 1
+        self._observe_outcome(txn, self._m_commits)
 
     def abort(self, txn: Transaction, reason: str = "application abort") -> None:
         """Abort: reverse volatile effects, then release locks and fire
@@ -159,6 +183,12 @@ class TransactionManager:
         txn.status = TxnStatus.ABORTED
         self._finish(txn, txn._on_abort)
         self.aborts += 1
+        self._observe_outcome(txn, self._m_aborts)
+
+    def _observe_outcome(self, txn: Transaction, counter) -> None:
+        counter.inc()
+        if txn._started is not None:
+            self._m_duration.observe(_time.perf_counter() - txn._started)
 
     def abort_by_id(self, txn_id: int, reason: str = "external abort") -> bool:
         """Abort an active transaction by id.
@@ -208,6 +238,7 @@ class TransactionManager:
         txn.status = TxnStatus.COMMITTED
         self._finish(txn, txn._on_commit)
         self.commits += 1
+        self._observe_outcome(txn, self._m_commits)
 
     def abort_prepared(self, txn: Transaction) -> None:
         if txn.status is not TxnStatus.PREPARED:
@@ -220,6 +251,7 @@ class TransactionManager:
         txn.status = TxnStatus.ABORTED
         self._finish(txn, txn._on_abort)
         self.aborts += 1
+        self._observe_outcome(txn, self._m_aborts)
 
     # -- conveniences ---------------------------------------------------------------
 

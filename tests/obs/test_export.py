@@ -1,0 +1,94 @@
+"""Exporters: JSONL sink, metrics JSON, Prometheus text, dashboard."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.export import (
+    JsonlSink,
+    render_dashboard,
+    render_prometheus,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "operations", ("queue",)).labels(queue="q1").inc(3)
+    reg.gauge("depth", "queue depth").set(2)
+    h = reg.histogram("lat_seconds", "latency", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    return reg
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.write({"a": 1})
+            sink.write_many([{"b": 2}, {"c": 3}])
+        lines = path.read_text().splitlines()
+        assert [json.loads(l) for l in lines] == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_file_object_not_closed(self):
+        buf = io.StringIO()
+        with JsonlSink(buf) as sink:
+            sink.write({"x": 1})
+        assert not buf.closed
+        assert json.loads(buf.getvalue()) == {"x": 1}
+
+
+class TestSpanDump:
+    def test_write_spans_jsonl(self, tmp_path):
+        tracer = SpanTracer()
+        tracer.start_span("a", trace_id="r1").end()
+        tracer.start_span("b", trace_id="r2").end()
+        path = tmp_path / "spans.jsonl"
+        n = write_spans_jsonl(tracer, str(path), trace_id="r1")
+        assert n == 1
+        (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert record["name"] == "a" and record["trace_id"] == "r1"
+
+
+class TestMetricsJson:
+    def test_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(_populated_registry(), str(path))
+        snap = json.loads(path.read_text())
+        assert snap["ops_total"]["series"][0]["value"] == 3.0
+        assert snap["lat_seconds"]["series"][0]["count"] == 2
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = render_prometheus(_populated_registry())
+        assert "# HELP ops_total operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{queue="q1"} 3.0' in text
+        assert "depth 2.0" in text
+        # histogram: cumulative buckets + sum/count
+        assert 'lat_seconds_bucket{le="0.01"} 1' in text
+        assert 'lat_seconds_bucket{le="0.1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestDashboard:
+    def test_sections_and_percentiles(self):
+        text = render_dashboard(_populated_registry())
+        assert text.startswith("== metrics dashboard ==")
+        assert "counters:" in text and "gauges:" in text
+        assert "latency histograms:" in text
+        assert "p95=" in text and "count=2" in text
+
+    def test_empty_registry(self):
+        assert render_dashboard(MetricsRegistry()) == "(no metrics recorded)"

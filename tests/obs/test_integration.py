@@ -1,0 +1,172 @@
+"""End-to-end observability over a live TPSystem.
+
+The acceptance scenario of the observability layer: one request whose
+first processing attempt aborts must yield a span timeline showing
+send -> enqueue -> dequeue -> aborted attempt -> re-dequeue -> commit
+-> reply, with metrics consistent with that story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Observability,
+    Request,
+    TPSystem,
+    get_observability,
+    set_observability,
+)
+
+
+def _send(system: TPSystem, clerk, rid: str, body) -> None:
+    request = Request(
+        rid=rid,
+        body=body,
+        client_id=clerk.client_id,
+        reply_to=system.reply_queue_name(clerk.client_id),
+    )
+    clerk.send(request, rid)
+
+
+class TestRequestLifetimeTrace:
+    def test_abort_then_commit_timeline_and_metrics(self):
+        obs = Observability()
+        system = TPSystem(obs=obs)
+        attempts = []
+
+        def flaky(txn, request):
+            attempts.append(request.rid)
+            if len(attempts) == 1:
+                raise RuntimeError("first attempt dies")
+            return {"ok": True}
+
+        server = system.server("s1", flaky)
+        clerk = system.clerk("c1")
+        clerk.connect()
+        _send(system, clerk, "c1#1", {"op": "test"})
+
+        with pytest.raises(RuntimeError):
+            server.process_one()  # attempt 1 aborts, request requeued
+        assert server.process_one()  # attempt 2 commits
+        reply = clerk.receive(timeout=5.0)
+        assert reply.rid == "c1#1"
+
+        spans = obs.tracer.spans(trace_id="c1#1")
+        names = [s.name for s in spans]
+        for expected in ("clerk.send", "queue.enqueue", "queue.dequeue",
+                         "server.process", "clerk.receive"):
+            assert expected in names, f"missing {expected} in {names}"
+
+        # one aborted attempt, then one committed attempt
+        process = sorted(
+            obs.tracer.spans(trace_id="c1#1", name="server.process"),
+            key=lambda s: s.start,
+        )
+        assert [s.status for s in process] == ["aborted", "ok"]
+        assert process[0].attrs["attempt"] == 1
+        assert process[1].attrs["attempt"] == 2
+        # the committed attempt recorded the commit annotation
+        assert any(e[1] == "txn.committed" for e in process[1].events)
+        # request dequeued twice (abort requeues it); reply once
+        dequeues = obs.tracer.spans(trace_id="c1#1", name="queue.dequeue")
+        assert [s.attrs["queue"] for s in dequeues].count("req.q") == 2
+        assert [s.attrs["queue"] for s in dequeues].count("reply.c1") == 1
+        # every span of the trace stitched onto the same trace id
+        assert all(s.trace_id == "c1#1" for s in spans)
+
+        timeline = system.span_timeline("c1#1")
+        assert timeline.startswith("trace c1#1")
+        assert "[aborted]" in timeline and "[ok]" in timeline
+
+        # -- metrics agree with the story ------------------------------
+        snap = system.metrics_snapshot()
+
+        def series(name, **labels):
+            for entry in snap[name]["series"]:
+                if all(entry["labels"].get(k) == v for k, v in labels.items()):
+                    return entry
+            raise AssertionError(f"no series {labels} in {name}")
+
+        assert series("requests_sent_total", client="c1")["value"] == 1.0
+        assert series("requests_committed_total", server="s1")["value"] == 1.0
+        assert series("server_aborts_total", server="s1")["value"] == 1.0
+        assert series("txn_aborts_total", node="reqnode")["value"] >= 1.0
+        assert series("txn_commits_total", node="reqnode")["value"] >= 1.0
+        assert series("replies_received_total", client="c1")["value"] == 1.0
+        # request consumed, reply consumed: both queues drained
+        assert series("queue_depth", queue="req.q")["value"] == 0.0
+        assert series("queue_depth", queue="reply.c1")["value"] == 0.0
+        assert series("queue_enqueues_total", queue="req.q")["value"] == 1.0
+        assert series("queue_dequeues_total", queue="req.q")["value"] == 2.0
+        assert series("queue_dequeue_aborts_total", queue="req.q")["value"] == 1.0
+        # the WAL saw appends on the repo's log area
+        assert snap["wal_appends_total"]["series"][0]["value"] > 0
+
+    def test_error_queue_trip_is_traced(self):
+        obs = Observability()
+        system = TPSystem(obs=obs, max_aborts=1)
+
+        def poison(txn, request):
+            raise RuntimeError("always dies")
+
+        server = system.server("s1", poison)
+        clerk = system.clerk("c1")
+        clerk.connect()
+        _send(system, clerk, "c1#1", {"op": "poison"})
+
+        with pytest.raises(RuntimeError):
+            server.process_one()
+        # abort_count reached max_aborts: the request is on the error queue
+        assert system.queue_depths()["req.err"] == 1
+        moves = obs.tracer.spans(trace_id="c1#1", name="queue.error_move")
+        assert len(moves) == 1
+        assert moves[0].attrs["error_queue"] == "req.err"
+        snap = system.metrics_snapshot()
+        (entry,) = [
+            s for s in snap["queue_error_moves_total"]["series"]
+            if s["labels"]["queue"] == "req.q"
+        ]
+        assert entry["value"] == 1.0
+
+
+class TestDisabledMode:
+    def test_default_system_records_nothing(self):
+        system = TPSystem()  # global default observability is disabled
+        server = system.server("s1", lambda txn, req: {"ok": True})
+        clerk = system.clerk("c1")
+        clerk.connect()
+        _send(system, clerk, "c1#1", {})
+        assert server.process_one()
+        clerk.receive(timeout=5.0)
+        assert system.metrics_snapshot() == {}
+        assert len(system.obs.tracer) == 0
+        assert "no spans" in system.span_timeline("c1#1")
+
+    def test_disabled_sends_no_trace_headers(self):
+        system = TPSystem()
+        clerk = system.clerk("c1")
+        clerk.connect()
+        _send(system, clerk, "c1#1", {})
+        queue = system.request_repo.get_queue(system.request_queue)
+        element = queue.read(clerk.last_request_eid)
+        assert "trace" not in element.headers
+
+
+class TestGlobalObservability:
+    def test_set_observability_threads_through(self):
+        obs = Observability()
+        set_observability(obs)
+        try:
+            assert get_observability() is obs
+            system = TPSystem()  # no explicit obs: picks up the global
+            assert system.obs is obs
+            server = system.server("s1", lambda txn, req: {"ok": True})
+            clerk = system.clerk("c1")
+            clerk.connect()
+            _send(system, clerk, "c1#1", {})
+            assert server.process_one()
+            assert obs.metrics.snapshot()["requests_committed_total"]
+        finally:
+            set_observability(None)
+        assert get_observability().enabled is False

@@ -1,0 +1,204 @@
+"""Metrics primitives: Counter / Gauge / Histogram / registry / no-op."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = Counter("c_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        c = Counter("ops_total", labelnames=("queue",))
+        c.labels(queue="a").inc()
+        c.labels(queue="a").inc()
+        c.labels(queue="b").inc()
+        assert c.labels(queue="a").value == 2.0
+        assert c.labels(queue="b").value == 1.0
+
+    def test_labels_is_get_or_create(self):
+        c = Counter("ops_total", labelnames=("queue",))
+        assert c.labels(queue="a") is c.labels(queue="a")
+
+    def test_wrong_label_names_raise(self):
+        c = Counter("ops_total", labelnames=("queue",))
+        with pytest.raises(MetricError):
+            c.labels(client="a")
+        with pytest.raises(MetricError):
+            c.inc()  # labeled family has no implicit unlabeled child
+
+    def test_thread_safety(self):
+        c = Counter("c_total")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+    def test_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(2)
+        assert g.value == -2.0
+
+    def test_callback_gauge_sampled_lazily(self):
+        g = Gauge("depth")
+        state = {"n": 0}
+        g.set_function(lambda: state["n"])
+        state["n"] = 7
+        assert g.value == 7.0
+        state["n"] = 3
+        assert g.value == 3.0
+
+    def test_callback_errors_become_nan(self):
+        g = Gauge("depth")
+        g.set_function(lambda: 1 / 0)
+        assert g.value != g.value  # NaN
+
+    def test_labeled(self):
+        g = Gauge("depth", labelnames=("queue",))
+        g.labels(queue="q1").set(4)
+        assert g.labels(queue="q1").value == 4.0
+
+
+class TestHistogram:
+    def test_count_sum(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(2.55)
+
+    def test_single_observation_quantiles_exact(self):
+        h = Histogram("lat")
+        h.observe(0.003)
+        # clamped to observed min == max
+        assert h.quantile(0.50) == pytest.approx(0.003)
+        assert h.quantile(0.99) == pytest.approx(0.003)
+
+    def test_quantiles_ordered(self):
+        h = Histogram("lat")
+        for i in range(1, 101):
+            h.observe(i / 1000.0)  # 1ms .. 100ms
+        p50, p95, p99 = h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)
+        assert p50 <= p95 <= p99
+        assert 0.02 <= p50 <= 0.08
+        assert p99 <= 0.1
+
+    def test_empty_quantile_is_zero(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) == 0.0
+
+    def test_snapshot_has_percentiles_and_buckets(self):
+        h = Histogram("lat", buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        snap = h.snapshot()
+        series = snap["series"][0]
+        assert series["count"] == 2
+        assert series["buckets"] == {"0.01": 1, "0.1": 1, "+Inf": 0}
+        for q in ("p50", "p95", "p99", "mean", "min", "max"):
+            assert q in series
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_shares_families(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops_total", "help", ("queue",))
+        b = reg.counter("ops_total", "other help", ("queue",))
+        assert a is b
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_labelname_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("queue",)).labels(queue="q").inc(3)
+        reg.gauge("depth").set(5)
+        snap = reg.snapshot()
+        assert snap["ops_total"]["kind"] == "counter"
+        assert snap["ops_total"]["series"] == [
+            {"labels": {"queue": "q"}, "value": 3.0}
+        ]
+        assert snap["depth"]["series"][0]["value"] == 5.0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.names() == []
+
+
+class TestNoOpMode:
+    def test_null_registry_hands_out_null_metric(self):
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.counter("x") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("x") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("x") is NULL_METRIC
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_null_metric_absorbs_everything(self):
+        m = NULL_METRIC.labels(queue="q")
+        assert m is NULL_METRIC
+        m.inc()
+        m.dec()
+        m.set(5)
+        m.observe(0.1)
+        m.set_function(lambda: 1)
+        assert m.value == 0.0
+        assert m.quantile(0.5) == 0.0
+        assert m.snapshot() == {}

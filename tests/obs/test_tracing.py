@@ -1,0 +1,180 @@
+"""Span tracer: parenting, wire context, timeline, no-op mode."""
+
+from __future__ import annotations
+
+from repro.obs.tracing import (
+    CTX_SPAN,
+    CTX_TRACE,
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanTracer,
+)
+
+
+class TestSpanBasics:
+    def test_start_and_end(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("op", trace_id="r1")
+        assert span.status == "open"
+        assert span.duration is None
+        span.end()
+        assert span.status == "ok"
+        assert span.duration is not None and span.duration >= 0
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("op")
+        span.end("aborted")
+        span.end("ok")
+        assert span.status == "aborted"
+
+    def test_attrs_and_events(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("op", queue="q1")
+        span.set_attr("eid", 7)
+        span.annotate("txn.committed", status="ok")
+        assert span.attrs == {"queue": "q1", "eid": 7}
+        assert span.events[0][1] == "txn.committed"
+
+    def test_context_manager_sets_error_status(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.start_span("op") as span:
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert span.status == "error"
+
+
+class TestParenting:
+    def test_nested_spans_parent_implicitly(self):
+        tracer = SpanTracer()
+        with tracer.start_span("outer", trace_id="r1") as outer:
+            with tracer.start_span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == "r1"  # trace id inherits from parent
+
+    def test_explicit_span_parent(self):
+        tracer = SpanTracer()
+        parent = tracer.start_span("p", trace_id="r1")
+        child = tracer.start_span("c", parent=parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == "r1"
+
+    def test_wire_context_round_trip(self):
+        tracer = SpanTracer()
+        sender = tracer.start_span("send", trace_id="c1#1")
+        ctx = sender.context()
+        assert ctx == {CTX_TRACE: "c1#1", CTX_SPAN: sender.span_id}
+        # "another process": a fresh tracer stitches via the dict
+        consumer = SpanTracer()
+        child = consumer.start_span("process", parent=ctx)
+        assert child.trace_id == "c1#1"
+        assert child.parent_id == sender.span_id
+
+    def test_adopt_context_reparents(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("dequeue")
+        span.adopt_context({CTX_TRACE: "r9", CTX_SPAN: "s42"})
+        assert span.trace_id == "r9"
+        assert span.parent_id == "s42"
+        span.adopt_context(None)  # no-op
+        assert span.trace_id == "r9"
+
+    def test_use_span_pushes_without_ending(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("server.process", trace_id="r1")
+        with tracer.use_span(span):
+            child = tracer.start_span("queue.enqueue")
+            child.end()
+        assert span.status == "open"  # use_span must not end it
+        assert child.parent_id == span.span_id
+        span.end()
+
+
+class TestTracerQueries:
+    def test_spans_filtered_by_trace_and_name(self):
+        tracer = SpanTracer()
+        tracer.start_span("a", trace_id="r1").end()
+        tracer.start_span("b", trace_id="r1").end()
+        tracer.start_span("a", trace_id="r2").end()
+        assert len(tracer.spans()) == 3
+        assert len(tracer.spans(trace_id="r1")) == 2
+        assert len(tracer.spans(name="a")) == 2
+        assert len(tracer.spans(trace_id="r2", name="a")) == 1
+
+    def test_trace_ids_first_seen_order(self):
+        tracer = SpanTracer()
+        for tid in ("r2", "r1", "r2"):
+            tracer.start_span("x", trace_id=tid)
+        assert tracer.trace_ids() == ["r2", "r1"]
+
+    def test_event_is_zero_duration(self):
+        tracer = SpanTracer()
+        ev = tracer.event("queue.error_move", trace_id="r1", queue="q")
+        assert ev.duration == 0.0
+        assert ev.status == "event"
+
+    def test_bounded_drops_oldest(self):
+        tracer = SpanTracer(max_spans=10)
+        for i in range(11):
+            tracer.start_span("s", trace_id=f"t{i}")
+        assert len(tracer) <= 10
+        remaining = tracer.trace_ids()
+        assert "t10" in remaining and "t0" not in remaining
+
+    def test_timeline_structure(self):
+        tracer = SpanTracer()
+        with tracer.start_span("clerk.send", trace_id="r1", client="c1") as send:
+            tracer.start_span("queue.enqueue", queue="req.q").end()
+        send.end()
+        text = tracer.timeline("r1")
+        lines = text.splitlines()
+        assert lines[0] == "trace r1"
+        assert "clerk.send" in text and "queue.enqueue" in text
+        # child indented deeper than parent
+        send_line = next(l for l in lines if "clerk.send" in l)
+        enq_line = next(l for l in lines if "queue.enqueue" in l)
+        assert enq_line.index("queue.enqueue") > send_line.index("clerk.send")
+
+    def test_timeline_missing_trace(self):
+        tracer = SpanTracer()
+        assert "no spans" in tracer.timeline("nope")
+
+    def test_to_records(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("op", trace_id="r1", queue="q")
+        span.annotate("point", n=1)
+        span.end()
+        (record,) = tracer.to_records("r1")
+        assert record["name"] == "op"
+        assert record["trace_id"] == "r1"
+        assert record["attrs"] == {"queue": "q"}
+        assert record["events"][0]["name"] == "point"
+        assert record["duration"] is not None
+
+
+class TestNoOpMode:
+    def test_null_tracer_hands_out_null_span(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.start_span("op", trace_id="r1")
+        assert span is NULL_SPAN
+        assert NULL_TRACER.event("x") is NULL_SPAN
+        assert NULL_TRACER.current_span() is None
+        assert len(NULL_TRACER) == 0
+
+    def test_null_span_absorbs_everything(self):
+        with NULL_SPAN as span:
+            span.annotate("x")
+            span.set_attr("k", 1)
+            span.adopt_context({CTX_TRACE: "r"})
+        span.end("aborted")
+        assert span.context() is None  # senders skip header injection
+        assert span.status == "open"  # nothing sticks
+
+    def test_null_use_span(self):
+        with NULL_TRACER.use_span(NULL_SPAN) as span:
+            assert span is NULL_SPAN

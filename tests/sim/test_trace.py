@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceEventStr:
+    def test_str_with_rid_and_detail(self):
+        event = TraceEvent(seq=7, kind="request.sent", rid="c1#1", detail={"n": 2})
+        text = str(event)
+        assert text == "[7] request.sent rid=c1#1 {'n': 2}"
+
+    def test_str_without_rid(self):
+        event = TraceEvent(seq=1, kind="system.crash")
+        assert str(event) == "[1] system.crash"
+
+    def test_str_without_detail_has_no_trailing_space(self):
+        event = TraceEvent(seq=3, kind="reply.enqueued", rid="r9")
+        assert str(event) == "[3] reply.enqueued rid=r9"
 
 
 class TestTraceRecorder:
@@ -61,3 +76,21 @@ class TestTraceRecorder:
         trace.record("b")
         assert [e.kind for e in trace] == ["a", "b"]
         assert len(trace) == 2
+
+    def test_iteration_preserves_seq_order(self):
+        trace = TraceRecorder()
+        for kind in ["send", "enqueue", "dequeue", "execute", "reply"]:
+            trace.record(kind, rid="r1")
+        seqs = [e.seq for e in trace]
+        assert seqs == sorted(seqs)
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_filtered_events_keep_recording_order(self):
+        trace = TraceRecorder()
+        trace.record("a", rid="r1")
+        trace.record("b", rid="r2")
+        trace.record("a", rid="r3")
+        trace.record("a", rid="r2")
+        assert [e.rid for e in trace.events("a")] == ["r1", "r3", "r2"]
+        seqs = [e.seq for e in trace.events("a")]
+        assert seqs == sorted(seqs)
