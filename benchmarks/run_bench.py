@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Commit-throughput benchmark for the group-commit coordinator.
+
+Runs N committer threads x M transactions each against one repository
+(a KV table sharing the node's log, as in Figure 5's server
+transaction), on both the in-memory disk and the file-backed disk, with
+group commit disabled (the seed's one-fsync-per-commit behaviour) and
+enabled.  Writes ``BENCH_groupcommit.json`` with txn/s, the disk's
+flush count, and the batch-size distribution, so the performance
+trajectory has data points.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from repro.obs import Observability
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import FileDisk, MemDisk
+from repro.storage.groupcommit import GroupCommitConfig
+
+SCHEMA_VERSION = 1
+
+
+def run_scenario(
+    disk_kind: str,
+    group_commit: GroupCommitConfig,
+    threads_n: int,
+    txns_n: int,
+) -> dict:
+    """One benchmark cell; returns its JSON-ready result row."""
+    obs = Observability()
+    if disk_kind == "mem":
+        disk = MemDisk()
+        tmpdir = None
+    elif disk_kind == "file":
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        disk = FileDisk(tmpdir.name)
+    else:
+        raise ValueError(f"unknown disk kind {disk_kind!r}")
+    try:
+        repo = QueueRepository(
+            "bench", disk, obs=obs, group_commit=group_commit
+        )
+        table = repo.create_table("accounts")
+        flushes_before = disk.flush_count
+        errors: list[BaseException] = []
+
+        def committer(tid: int) -> None:
+            try:
+                for i in range(txns_n):
+                    with repo.tm.transaction() as txn:
+                        table.put(txn, f"k{tid}-{i}", i)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=committer, args=(t,))
+            for t in range(threads_n)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        commits = threads_n * txns_n
+        flushes = disk.flush_count - flushes_before
+        snapshot = obs.metrics.snapshot()
+        batch = None
+        family = snapshot.get("wal_group_commit_batch_size")
+        if family and family["series"]:
+            series = family["series"][0]
+            batch = {
+                "count": series["count"],
+                "mean": series.get("mean", 0.0),
+                "max": series.get("max", 0.0),
+                "buckets": series["buckets"],
+            }
+        return {
+            "disk": disk_kind,
+            "group_commit": group_commit.enabled,
+            "max_wait": group_commit.max_wait,
+            "max_batch": group_commit.max_batch,
+            "threads": threads_n,
+            "txns_per_thread": txns_n,
+            "commits": commits,
+            "flushes": flushes,
+            "flushes_per_commit": flushes / commits if commits else 0.0,
+            "txn_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+            "batch_size": batch,
+        }
+    finally:
+        if isinstance(disk, FileDisk):
+            disk.close()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+def run(args: argparse.Namespace) -> dict:
+    threads_n = args.threads
+    txns_n = args.txns
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 40)
+    configs = [
+        GroupCommitConfig(enabled=False),
+        GroupCommitConfig(max_wait=args.max_wait, max_batch=args.max_batch),
+    ]
+    scenarios = []
+    for disk_kind in ("mem", "file"):
+        for config in configs:
+            label = "group" if config.enabled else "baseline"
+            print(f"running {disk_kind}/{label} "
+                  f"({threads_n} threads x {txns_n} txns)...", flush=True)
+            row = run_scenario(disk_kind, config, threads_n, txns_n)
+            print(f"  {row['txn_per_sec']:.0f} txn/s, "
+                  f"{row['flushes']} flushes / {row['commits']} commits")
+            scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "groupcommit",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
+# -- schema check (CI smoke) -------------------------------------------------
+
+_SCENARIO_FIELDS = {
+    "disk": str,
+    "group_commit": bool,
+    "max_wait": (int, float),
+    "max_batch": int,
+    "threads": int,
+    "txns_per_thread": int,
+    "commits": int,
+    "flushes": int,
+    "flushes_per_commit": (int, float),
+    "txn_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
+
+def validate(doc: object) -> list[str]:
+    """Schema errors in a benchmark JSON document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("version") != SCHEMA_VERSION:
+        errors.append(f"version must be {SCHEMA_VERSION}")
+    if doc.get("benchmark") != "groupcommit":
+        errors.append("benchmark must be 'groupcommit'")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return errors + ["scenarios must be a non-empty list"]
+    for index, row in enumerate(scenarios):
+        if not isinstance(row, dict):
+            errors.append(f"scenarios[{index}] is not an object")
+            continue
+        for field, kind in _SCENARIO_FIELDS.items():
+            if field not in row:
+                errors.append(f"scenarios[{index}] missing {field!r}")
+            elif not isinstance(row[field], kind) or isinstance(row[field], bool) != (kind is bool):
+                errors.append(
+                    f"scenarios[{index}].{field} has type "
+                    f"{type(row[field]).__name__}"
+                )
+        batch = row.get("batch_size")
+        if batch is not None and (
+            not isinstance(batch, dict) or "buckets" not in batch
+        ):
+            errors.append(f"scenarios[{index}].batch_size malformed")
+        if row.get("group_commit") and not row.get("batch_size"):
+            errors.append(
+                f"scenarios[{index}]: group-commit run has no batch histogram"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--txns", type=int, default=200,
+                        help="transactions per thread")
+    parser.add_argument("--max-wait", type=float, default=0.0005,
+                        help="group-commit wait window (seconds)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke testing")
+    parser.add_argument("--out", default="BENCH_groupcommit.json")
+    parser.add_argument("--check", metavar="PATH",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as f:
+            doc = json.load(f)
+        errors = validate(doc)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema ok ({len(doc['scenarios'])} scenarios)")
+        return 0
+
+    doc = run(args)
+    errors = validate(doc)
+    if errors:  # pragma: no cover - a bug in this script
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.queueing.repository import QueueRepository
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import Disk, MemDisk
+from repro.storage.groupcommit import GroupCommitConfig
 from repro.transaction.twophase import TwoPhaseCoordinator
 
 REQUEST_QUEUE = "req.q"
@@ -57,29 +58,36 @@ class TPSystem:
         queue_mode: DequeueMode = DequeueMode.SKIP_LOCKED,
         count_crash_attempts: bool = False,
         separate_reply_node: bool = False,
+        group_commit: GroupCommitConfig | None = None,
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
         self.obs = obs if obs is not None else get_observability()
         self.request_queue = request_queue
         self.error_queue = error_queue
+        self.group_commit = (
+            group_commit if group_commit is not None else GroupCommitConfig()
+        )
         self._config = {
             "max_aborts": max_aborts,
             "queue_mode": queue_mode,
             "count_crash_attempts": count_crash_attempts,
             "separate_reply_node": separate_reply_node,
+            "group_commit": self.group_commit,
         }
 
         self.request_disk = request_disk if request_disk is not None else MemDisk()
         self.request_repo = QueueRepository(
-            "reqnode", self.request_disk, self.injector, obs=self.obs
+            "reqnode", self.request_disk, self.injector, obs=self.obs,
+            group_commit=self.group_commit,
         )
         self.request_qm = QueueManager(self.request_repo)
 
         if separate_reply_node:
             self.reply_disk: Disk = reply_disk if reply_disk is not None else MemDisk()
             self.reply_repo = QueueRepository(
-                "repnode", self.reply_disk, self.injector, obs=self.obs
+                "repnode", self.reply_disk, self.injector, obs=self.obs,
+                group_commit=self.group_commit,
             )
             self.reply_qm = QueueManager(self.reply_repo)
             self.coordinator: TwoPhaseCoordinator | None = TwoPhaseCoordinator(
@@ -231,6 +239,7 @@ class TPSystem:
             queue_mode=self._config["queue_mode"],
             count_crash_attempts=self._config["count_crash_attempts"],
             separate_reply_node=self._config["separate_reply_node"],
+            group_commit=self._config["group_commit"],
         )
 
     def crash(self) -> None:

@@ -141,12 +141,16 @@ def render_dashboard(registry: MetricsRegistry) -> str:
             if kind == "histogram":
                 if series["count"] == 0:
                     continue
+                if name.endswith("_seconds"):
+                    scale, unit, digits = 1000, "ms", 3
+                else:  # unit-less histogram (e.g. batch sizes)
+                    scale, unit, digits = 1, "", 1
                 rows.append(
                     f"  {name}{label}: count={series['count']} "
-                    f"mean={series['mean'] * 1000:.3f}ms "
-                    f"p50={series['p50'] * 1000:.3f}ms "
-                    f"p95={series['p95'] * 1000:.3f}ms "
-                    f"p99={series['p99'] * 1000:.3f}ms"
+                    f"mean={series['mean'] * scale:.{digits}f}{unit} "
+                    f"p50={series['p50'] * scale:.{digits}f}{unit} "
+                    f"p95={series['p95'] * scale:.{digits}f}{unit} "
+                    f"p99={series['p99'] * scale:.{digits}f}{unit}"
                 )
             else:
                 value = series["value"]
@@ -156,7 +160,7 @@ def render_dashboard(registry: MetricsRegistry) -> str:
     for kind, title in (
         ("counter", "counters"),
         ("gauge", "gauges"),
-        ("histogram", "latency histograms"),
+        ("histogram", "histograms"),
     ):
         if sections[kind]:
             lines.append(f"{title}:")

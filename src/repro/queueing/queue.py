@@ -133,6 +133,10 @@ class RecoverableQueue:
         self._cond = threading.Condition(self._mutex)
         self._next_seq = 1
         self.stopped = False
+        #: maintained counts by slot state — ``depth()``/``pending()``
+        #: back per-op gauges, so they must stay O(1), not scans
+        self._n_available = 0
+        self._n_pending = 0
         #: hash index: header name -> header value -> set of eids.
         #: Section 10: content-based scheduling "usually requires a QM
         #: with content-based retrieval capability" — this provides it
@@ -194,17 +198,22 @@ class RecoverableQueue:
         return self.config.name
 
     def depth(self) -> int:
-        """Number of committed, eligible elements."""
+        """Number of committed, eligible elements.  O(1)."""
         with self._mutex:
-            return sum(
-                1 for s in self._slots.values() if s.state is ElementState.AVAILABLE
-            )
+            return self._n_available
 
     def pending(self) -> int:
+        """Number of elements held by uncommitted transactions.  O(1)."""
         with self._mutex:
-            return sum(
-                1 for s in self._slots.values() if s.state is not ElementState.AVAILABLE
-            )
+            return self._n_pending
+
+    def _count(self, state: ElementState, delta: int) -> None:
+        """Adjust the maintained counters for a slot entering (+1) or
+        leaving (-1) ``state``.  Callers hold ``_mutex``."""
+        if state is ElementState.AVAILABLE:
+            self._n_available += delta
+        else:
+            self._n_pending += delta
 
     def eids(self) -> list[int]:
         with self._mutex:
@@ -223,9 +232,11 @@ class RecoverableQueue:
     # ------------------------------------------------------------------
 
     def stop(self) -> None:
-        """Stop the queue: operations raise until started again."""
-        with self._mutex:
+        """Stop the queue: operations raise until started again.
+        Blocked dequeuers wake promptly and raise."""
+        with self._cond:
             self.stopped = True
+            self._cond.notify_all()
 
     def start(self) -> None:
         with self._cond:
@@ -322,6 +333,7 @@ class RecoverableQueue:
             self._next_seq += 1
             txn.log_update(self.rm_name, {"op": "enq", "el": element.to_record()})
             self._slots[eid] = _Slot(element, ElementState.ENQ_PENDING, txn.id)
+            self._count(ElementState.ENQ_PENDING, +1)
             self._index_add(element)
             bisect.insort(self._order, (element.sort_key(), eid))
         txn.add_undo(lambda: self._discard_slot(eid))
@@ -335,6 +347,7 @@ class RecoverableQueue:
         with self._mutex:
             slot = self._slots.pop(eid, None)
             if slot is not None:
+                self._count(slot.state, -1)
                 self._index_remove(slot.element)
 
     def _commit_enqueue(self, eid: int) -> None:
@@ -342,7 +355,9 @@ class RecoverableQueue:
             slot = self._slots.get(eid)
             if slot is None:  # killed before the hook ran
                 return
+            self._count(slot.state, -1)
             slot.state = ElementState.AVAILABLE
+            self._count(ElementState.AVAILABLE, +1)
             slot.pending_txn = None
             element = slot.element.copy()
             self._cond.notify_all()
@@ -388,12 +403,17 @@ class RecoverableQueue:
                     raise QueueEmpty(
                         f"queue {self.name!r}: no element within {timeout}s"
                     )
-                self._cond.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
+                # Wait for a notify: element visible (_commit_enqueue),
+                # element returned (_return_slot), start(), or stop().
+                # No polling — waiters wake promptly and idle CPU is nil.
+                self._cond.wait(timeout=remaining)
                 self._check_started()
             eid = slot.element.eid
             self.repo.injector.reach(f"queue.{self.name}.dequeue.before_log")
             txn.log_update(self.rm_name, {"op": "deq", "eid": eid})
+            self._count(slot.state, -1)
             slot.state = ElementState.DEQ_PENDING
+            self._count(ElementState.DEQ_PENDING, +1)
             slot.pending_txn = txn.id
             element = slot.element.copy()
         if self.config.count_crash_attempts:
@@ -445,7 +465,9 @@ class RecoverableQueue:
         with self._cond:
             slot = self._slots.get(eid)
             if slot is not None and slot.state is ElementState.DEQ_PENDING:
+                self._count(ElementState.DEQ_PENDING, -1)
                 slot.state = ElementState.AVAILABLE
+                self._count(ElementState.AVAILABLE, +1)
                 slot.pending_txn = None
                 self._cond.notify_all()
 
@@ -453,6 +475,7 @@ class RecoverableQueue:
         with self._mutex:
             slot = self._slots.pop(eid, None)
             if slot is not None:
+                self._count(slot.state, -1)
                 self._index_remove(slot.element)
                 self._archive_element(slot.element)
 
@@ -513,6 +536,7 @@ class RecoverableQueue:
         with self._mutex:
             slot = self._slots.pop(eid, None)
             if slot is not None:
+                self._count(slot.state, -1)
                 self._archive_element(slot.element)
         self._m_error_moves.inc()
         logger.warning(
@@ -595,6 +619,7 @@ class RecoverableQueue:
                     return False
                 txn.log_update(self.rm_name, {"op": "deq", "eid": eid})
                 removed = self._slots.pop(eid)
+                self._count(removed.state, -1)
                 self._index_remove(removed.element)
                 self._archive_element(removed.element)
         self._m_kills.inc()
@@ -619,15 +644,19 @@ class RecoverableQueue:
         with self._mutex:
             if op == "enq":
                 element = Element.from_record(data["el"])
-                already_present = element.eid in self._slots
+                previous = self._slots.get(element.eid)
+                if previous is not None:
+                    self._count(previous.state, -1)
                 self._slots[element.eid] = _Slot(element, ElementState.AVAILABLE)
+                self._count(ElementState.AVAILABLE, +1)
                 self._index_add(element)
-                if not already_present:
+                if previous is None:
                     bisect.insort(self._order, (element.sort_key(), element.eid))
                 self._next_seq = max(self._next_seq, element.enqueue_seq + 1)
             elif op == "deq":
                 slot = self._slots.pop(data["eid"], None)
                 if slot is not None:
+                    self._count(slot.state, -1)
                     self._index_remove(slot.element)
                     self._archive_element(slot.element)
             elif op == "abortcount":
@@ -659,11 +688,14 @@ class RecoverableQueue:
             self._slots.clear()
             self._order = []
             self._archive.clear()
+            self._n_available = 0
+            self._n_pending = 0
             for buckets in self._header_index.values():
                 buckets.clear()
             for record in state["slots"]:
                 element = Element.from_record(record)
                 self._slots[element.eid] = _Slot(element, ElementState.AVAILABLE)
+                self._count(ElementState.AVAILABLE, +1)
                 self._index_add(element)
                 bisect.insort(self._order, (element.sort_key(), element.eid))
             for record in state["archive"]:

@@ -26,6 +26,7 @@ from repro.queueing.queue import QueueConfig, RecoverableQueue
 from repro.queueing.registration import RegistrationTable
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.storage.disk import Disk, MemDisk
+from repro.storage.groupcommit import GroupCommitConfig
 from repro.storage.kvstore import KVStore
 from repro.transaction.locks import LockManager
 from repro.transaction.log import LogManager
@@ -96,12 +97,16 @@ class QueueRepository:
         injector: FaultInjector | None = None,
         lock_manager: LockManager | None = None,
         obs: Observability | None = None,
+        group_commit: GroupCommitConfig | None = None,
     ):
         self.name = name
         self.disk = disk if disk is not None else MemDisk()
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.obs = obs if obs is not None else get_observability()
-        self.log = LogManager(self.disk, area=f"{name}.log", obs=self.obs)
+        self.log = LogManager(
+            self.disk, area=f"{name}.log", obs=self.obs,
+            injector=self.injector, group_commit=group_commit,
+        )
         self.locks = (
             lock_manager if lock_manager is not None else LockManager(obs=self.obs)
         )

@@ -17,6 +17,8 @@ This package provides exactly that model:
   real files with ``fsync`` for the runnable examples.
 * :mod:`repro.storage.wal` — a CRC-framed, torn-write-tolerant
   write-ahead log on top of a disk area.
+* :mod:`repro.storage.groupcommit` — the group-commit coordinator that
+  coalesces concurrent force-at-commit flushes into single ``fsync``s.
 * :mod:`repro.storage.kvstore` — a recoverable key-value table that
   participates in transactions (redo logging through the shared
   :class:`~repro.transaction.log.LogManager`, in-memory undo).
@@ -24,6 +26,7 @@ This package provides exactly that model:
 
 from repro.storage.codec import encode, decode
 from repro.storage.disk import Disk, MemDisk, FileDisk
+from repro.storage.groupcommit import GroupCommitConfig, GroupCommitter
 from repro.storage.wal import WriteAheadLog, WalRecord
 
 __all__ = [
@@ -32,6 +35,8 @@ __all__ = [
     "Disk",
     "MemDisk",
     "FileDisk",
+    "GroupCommitConfig",
+    "GroupCommitter",
     "WriteAheadLog",
     "WalRecord",
 ]

@@ -180,6 +180,10 @@ class FileDisk(Disk):
         os.makedirs(root, exist_ok=True)
         self._handles: dict[str, object] = {}
         self._lock = threading.Lock()
+        #: counters for benchmarks, mirroring :class:`MemDisk`
+        self.flush_count = 0
+        self.append_count = 0
+        self.bytes_written = 0
 
     def _path(self, area: str) -> str:
         safe = area.replace("/", "__")
@@ -197,6 +201,8 @@ class FileDisk(Disk):
             handle = self._handle(area)
             offset = handle.tell()
             handle.write(data)
+            self.append_count += 1
+            self.bytes_written += len(data)
             return offset
 
     def flush(self, area: str) -> None:
@@ -205,6 +211,7 @@ class FileDisk(Disk):
             if handle is not None:
                 handle.flush()
                 os.fsync(handle.fileno())
+            self.flush_count += 1
 
     def read(self, area: str) -> bytes:
         with self._lock:
@@ -229,6 +236,7 @@ class FileDisk(Disk):
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, path)
+            self.flush_count += 1
 
     def truncate(self, area: str) -> None:
         self.replace(area, b"")

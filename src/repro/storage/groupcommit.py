@@ -1,0 +1,181 @@
+"""Group commit: amortize force-at-commit across concurrent committers.
+
+Section 10 prescribes force-at-commit logging, and the cost of that
+force — one ``fsync`` per transaction — is what caps commit throughput
+(Gray, *Queues Are Databases*).  The standard cure is to batch the
+durability point: committers append their ``cmt`` record and then
+*park* on a :class:`GroupCommitter`; one of them (the *leader*) runs a
+single :meth:`~repro.storage.wal.WriteAheadLog.flush_until`, and every
+transaction whose record the flush covered wakes and returns.  The
+synchronous contract is unchanged — ``commit()`` still returns only
+after the commit record is durable — but N concurrent commits now cost
+one flush instead of N.
+
+Batching comes from two mechanisms:
+
+* **flush-in-progress coalescing** (always on): committers that arrive
+  while a flush is running park; when the leader finishes, one of them
+  leads the *next* group, whose single flush covers everyone parked so
+  far.  With a real ``fsync`` in the milliseconds this alone batches
+  aggressively; it adds zero latency when there is no concurrency.
+* **a bounded wait window** (``max_wait`` > 0): the leader lingers up
+  to ``max_wait`` seconds — or until ``max_batch`` committers are
+  parked — before flushing, trading a little latency for larger
+  groups.  This is Postgres's ``commit_delay`` / MySQL's
+  ``binlog_group_commit_sync_delay`` knob; the default of 0 keeps
+  single-threaded paths exactly as fast as before.
+
+Crash points (for :class:`~repro.sim.crash.FaultInjector`):
+
+* ``wal.<area>.group_flush.before`` — records of the current group are
+  appended but not yet durable: a crash here must lose every
+  transaction in the group (none of their ``commit()`` calls returned).
+* ``wal.<area>.group_flush.after`` — the group is durable: all its
+  transactions must survive recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass
+
+from repro.obs import Observability, get_observability
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.storage.wal import WriteAheadLog
+
+#: Buckets for the batch-size histogram (committers per flush).
+BATCH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class GroupCommitConfig:
+    """Tuning knobs for one node's group-commit coordinator.
+
+    ``enabled=False`` restores the seed behaviour (a private
+    ``append_flush`` per forced record).
+    """
+
+    enabled: bool = True
+    #: how long the leader lingers for company before flushing (seconds);
+    #: 0 flushes immediately (batching then comes only from coalescing
+    #: around an in-progress flush)
+    max_wait: float = 0.0
+    #: flush as soon as this many committers are parked, even inside the
+    #: wait window
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+#: Module-level default (group commit on, no wait window).
+DEFAULT_CONFIG = GroupCommitConfig()
+
+
+class GroupCommitter:
+    """Coalesces concurrent log forces into single flushes.
+
+    Thread-safe.  :meth:`sync` blocks until the record appended at
+    ``lsn`` is durable; concurrent callers share flushes.  Exceptions
+    from the underlying flush (e.g. a crashed disk) propagate to every
+    caller whose record did not become durable — ``sync`` never returns
+    successfully for a non-durable record.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        config: GroupCommitConfig | None = None,
+        injector: FaultInjector | None = None,
+        obs: Observability | None = None,
+    ):
+        self.wal = wal
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._cond = threading.Condition()
+        #: True while one thread is forming or flushing a group
+        self._leader = False
+        #: committers currently parked on the coordinator (incl. leader)
+        self._waiters = 0
+        self._point_before = f"wal.{wal.area}.group_flush.before"
+        self._point_after = f"wal.{wal.area}.group_flush.after"
+        obs = obs if obs is not None else get_observability()
+        metrics = obs.metrics
+        self._m_groups = metrics.counter(
+            "wal_group_commits_total",
+            "group flushes performed by the commit coordinator", ("area",)
+        ).labels(area=wal.area)
+        self._m_piggybacked = metrics.counter(
+            "wal_group_commit_piggybacked_total",
+            "commit forces satisfied by another transaction's flush", ("area",)
+        ).labels(area=wal.area)
+        self._m_forced = metrics.counter(
+            "wal_group_commit_forced_total",
+            "commit forces that ran the group's flush themselves (leaders)",
+            ("area",)
+        ).labels(area=wal.area)
+        self._m_batch = metrics.histogram(
+            "wal_group_commit_batch_size",
+            "committers covered by one group flush", ("area",),
+            buckets=BATCH_BUCKETS,
+        ).labels(area=wal.area)
+
+    def sync(self, lsn: int) -> None:
+        """Block until the record appended at ``lsn`` is durable.
+
+        The caller must have appended the record already (``sync`` is
+        the park-after-append half of force-at-commit).
+        """
+        cond = self._cond
+        max_batch = self.config.max_batch
+        with cond:
+            if self.wal.flushed_lsn > lsn:
+                self._m_piggybacked.inc()
+                return
+            self._waiters += 1
+            # The leader is not counted in _waiters while it lingers in
+            # its wait window; wake it as soon as the group is full.
+            if self._waiters + (1 if self._leader else 0) >= max_batch:
+                cond.notify_all()
+            try:
+                while self._leader:
+                    cond.wait()
+                    if self.wal.flushed_lsn > lsn:
+                        self._m_piggybacked.inc()
+                        return
+                # No flush in progress and our record is not durable:
+                # lead the next group.
+                self._leader = True
+            finally:
+                self._waiters -= 1
+            if self.config.max_wait > 0 and self._waiters + 1 < max_batch:
+                deadline = _time.monotonic() + self.config.max_wait
+                while self._waiters + 1 < max_batch:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        break
+                    cond.wait(remaining)
+            batch = self._waiters + 1  # parked committers + us
+        try:
+            # Flush outside the condition so committers can keep
+            # appending and parking for the next group meanwhile.
+            self.injector.reach(self._point_before)
+            self.wal.flush_until(lsn)
+            self.injector.reach(self._point_after)
+        finally:
+            with cond:
+                self._leader = False
+                cond.notify_all()
+        self._m_forced.inc()
+        self._m_groups.inc()
+        self._m_batch.observe(batch)
+
+    def append_sync(self, payload: bytes) -> int:
+        """Append one record and group-force it; returns its LSN."""
+        lsn = self.wal.append(payload)
+        self.sync(lsn)
+        return lsn

@@ -87,6 +87,35 @@ class WriteAheadLog:
         self._m_bytes.inc(HEADER_SIZE + len(payload))
         return lsn
 
+    def append_many(self, payloads: Iterable[bytes]) -> list[int]:
+        """Append a vector of records under one lock acquisition and one
+        disk write.  Returns their LSNs, in order.
+
+        The batch is framed record-by-record, so a torn tail inside the
+        batch loses a suffix of it, exactly as for individual appends.
+        """
+        frames: list[bytes] = []
+        sizes: list[int] = []
+        for payload in payloads:
+            frames.append(
+                _HEADER.pack(_MAGIC, len(payload),
+                             zlib.crc32(payload) & 0xFFFFFFFF) + payload
+            )
+            sizes.append(HEADER_SIZE + len(payload))
+        if not frames:
+            return []
+        with self._lock:
+            base = self.disk.append(self.area, b"".join(frames))
+            lsns: list[int] = []
+            pos = base
+            for size in sizes:
+                lsns.append(pos)
+                pos += size
+            self._next_lsn = pos
+        self._m_appends.inc(len(frames))
+        self._m_bytes.inc(sum(sizes))
+        return lsns
+
     def flush(self) -> None:
         """Force all appended records to stable storage."""
         with self._lock:
@@ -94,6 +123,22 @@ class WriteAheadLog:
                 self.disk.flush(self.area)
                 self._flushed_lsn = self._next_lsn
                 self._m_flushes.inc()
+
+    def flush_until(self, lsn: int) -> int:
+        """Force the record appended at ``lsn`` (and everything before
+        it) to stable storage; a no-op if it is already durable.
+
+        Because a flush forces the whole area, the flushed LSN advances
+        to the current append point, not just past ``lsn`` — the basis
+        of group commit (:mod:`repro.storage.groupcommit`): one flush
+        covers every record appended so far.  Returns the flushed LSN.
+        """
+        with self._lock:
+            if self._flushed_lsn <= lsn and self._flushed_lsn < self._next_lsn:
+                self.disk.flush(self.area)
+                self._flushed_lsn = self._next_lsn
+                self._m_flushes.inc()
+            return self._flushed_lsn
 
     def append_flush(self, payload: bytes) -> int:
         """Append one record and force it (one-call force-at-commit)."""

@@ -39,8 +39,10 @@ from typing import Any, Iterable
 
 from repro.errors import CheckpointError
 from repro.obs import Observability
+from repro.sim.crash import FaultInjector
 from repro.storage.codec import decode, encode
 from repro.storage.disk import Disk
+from repro.storage.groupcommit import GroupCommitConfig, GroupCommitter
 from repro.storage.wal import WriteAheadLog
 
 KIND_UPDATE = "upd"
@@ -68,10 +70,21 @@ class LogManager:
     """Shared typed log + checkpoint area for one node."""
 
     def __init__(self, disk: Disk, area: str = "log",
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 injector: FaultInjector | None = None,
+                 group_commit: GroupCommitConfig | None = None):
         self.disk = disk
         self.area = area
         self.wal = WriteAheadLog(disk, area, obs=obs)
+        self.group_commit = (
+            group_commit if group_commit is not None else GroupCommitConfig()
+        )
+        #: coalesces concurrent commit forces; None when disabled
+        self.group: GroupCommitter | None = (
+            GroupCommitter(self.wal, self.group_commit, injector=injector, obs=obs)
+            if self.group_commit.enabled
+            else None
+        )
         self._lock = threading.Lock()
         #: counters for benchmarks
         self.update_records = 0
@@ -81,9 +94,13 @@ class LogManager:
 
     def _append(self, kind: str, txn_id: int | None, rm: str | None, data: dict[str, Any], *, flush: bool) -> int:
         payload = encode({"k": kind, "t": txn_id, "rm": rm, "d": data})
-        if flush:
-            return self.wal.append_flush(payload)
-        return self.wal.append(payload)
+        if not flush:
+            return self.wal.append(payload)
+        if self.group is not None:
+            # Force-at-commit via the group committer: append, then park
+            # until a (possibly shared) flush covers the record.
+            return self.group.append_sync(payload)
+        return self.wal.append_flush(payload)
 
     def log_update(self, txn_id: int, rm: str, data: dict[str, Any]) -> int:
         """Buffered redo record; durability comes with the commit flush."""

@@ -4,10 +4,14 @@ Design (see DESIGN.md §5):
 
 * **Redo-only WAL, in-memory undo.**  An RM applies each update to its
   volatile state immediately after logging a redo record.  Commit
-  writes + flushes one ``cmt`` record (force-at-commit).  Abort runs
-  the transaction's in-memory undo stack in reverse.  A crash simply
-  discards volatile state; recovery replays only committed records, so
-  uncommitted work vanishes with no undo pass.
+  writes + forces one ``cmt`` record (force-at-commit); the force goes
+  through the node's group-commit coordinator
+  (:mod:`repro.storage.groupcommit`), so concurrent committers share a
+  single flush while ``commit()`` still returns only after the record
+  is durable.  Abort runs the transaction's in-memory undo stack in
+  reverse.  A crash simply discards volatile state; recovery replays
+  only committed records, so uncommitted work vanishes with no undo
+  pass.
 * **Strict two-phase locking.**  Locks are acquired through the
   transaction and released only at commit/abort (or transferred to a
   successor — Section 6's lock inheritance).
@@ -158,7 +162,8 @@ class TransactionManager:
             self._next_id = max(self._next_id, next_id)
 
     def commit(self, txn: Transaction) -> None:
-        """Commit: force the log, then release locks and fire hooks."""
+        """Commit: force the log (coalesced with concurrent commits by
+        the group committer), then release locks and fire hooks."""
         txn.require_active()
         self.injector.reach("tm.commit.before_log")
         self.log.log_commit(txn.id)

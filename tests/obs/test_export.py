@@ -87,8 +87,22 @@ class TestDashboard:
         text = render_dashboard(_populated_registry())
         assert text.startswith("== metrics dashboard ==")
         assert "counters:" in text and "gauges:" in text
-        assert "latency histograms:" in text
+        assert "histograms:" in text
         assert "p95=" in text and "count=2" in text
+        # latency histograms (*_seconds) render in milliseconds
+        assert "ms " in text or text.rstrip().endswith("ms")
+
+    def test_unitless_histogram_not_rendered_as_ms(self):
+        registry = MetricsRegistry()
+        batch = registry.histogram(
+            "batch_size", "committers per flush", buckets=(1, 2, 4)
+        ).labels()
+        batch.observe(1)
+        batch.observe(4)
+        text = render_dashboard(registry)
+        line = next(l for l in text.splitlines() if "batch_size" in l)
+        assert "ms" not in line
+        assert "mean=2.5" in line
 
     def test_empty_registry(self):
         assert render_dashboard(MetricsRegistry()) == "(no metrics recorded)"

@@ -1,0 +1,199 @@
+"""The O(1) depth()/pending() counters must track the slot map exactly
+through every lifecycle path, and blocking dequeues must wake on
+notify, not by polling."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueEmpty, QueueStoppedError
+from repro.queueing.element import ElementState
+from repro.queueing.queue import RecoverableQueue
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+
+
+@pytest.fixture
+def repo() -> QueueRepository:
+    return QueueRepository("test", MemDisk())
+
+
+def assert_counts_consistent(queue: RecoverableQueue) -> None:
+    """The maintained counters must equal a fresh scan."""
+    with queue._mutex:
+        available = sum(
+            1 for s in queue._slots.values() if s.state is ElementState.AVAILABLE
+        )
+        pending = len(queue._slots) - available
+    assert queue.depth() == available
+    assert queue.pending() == pending
+
+
+class TestCounters:
+    def test_enqueue_commit_abort(self, repo):
+        q = repo.create_queue("q")
+        txn = repo.tm.begin()
+        q.enqueue(txn, "a")
+        assert (q.depth(), q.pending()) == (0, 1)
+        assert_counts_consistent(q)
+        txn.commit()
+        assert (q.depth(), q.pending()) == (1, 0)
+        assert_counts_consistent(q)
+        txn2 = repo.tm.begin()
+        q.enqueue(txn2, "b")
+        txn2.abort()
+        assert (q.depth(), q.pending()) == (1, 0)
+        assert_counts_consistent(q)
+
+    def test_dequeue_commit_and_abort(self, repo):
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "a")
+            q.enqueue(txn, "b")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        assert (q.depth(), q.pending()) == (1, 1)
+        assert_counts_consistent(q)
+        txn.abort()
+        assert (q.depth(), q.pending()) == (2, 0)
+        assert_counts_consistent(q)
+        with repo.tm.transaction() as txn:
+            q.dequeue(txn)
+        assert (q.depth(), q.pending()) == (1, 0)
+        assert_counts_consistent(q)
+
+    def test_kill_element(self, repo):
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            eid = q.enqueue(txn, "victim")
+        assert q.kill_element(eid)
+        assert (q.depth(), q.pending()) == (0, 0)
+        assert_counts_consistent(q)
+
+    def test_error_queue_move(self, repo):
+        q = repo.create_queue("q", max_aborts=1, error_queue="err")
+        err = repo.create_queue("err")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "poison")
+        txn = repo.tm.begin()
+        q.dequeue(txn)
+        txn.abort()  # 1st abort >= max_aborts -> moved to error queue
+        assert (q.depth(), q.pending()) == (0, 0)
+        assert (err.depth(), err.pending()) == (1, 0)
+        assert_counts_consistent(q)
+        assert_counts_consistent(err)
+
+    def test_survive_crash_recovery(self, repo):
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "durable-1")
+            q.enqueue(txn, "durable-2")
+        orphan = repo.tm.begin()
+        q.enqueue(orphan, "uncommitted")
+        disk = repo.disk
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("test", disk)
+        q2 = repo2.get_queue("q")
+        assert (q2.depth(), q2.pending()) == (2, 0)
+        assert_counts_consistent(q2)
+
+    def test_survive_checkpoint_restore(self, repo):
+        q = repo.create_queue("q")
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x")
+        repo.checkpoint()
+        disk = repo.disk
+        disk.crash()
+        disk.recover()
+        repo2 = QueueRepository("test", disk)
+        q2 = repo2.get_queue("q")
+        assert (q2.depth(), q2.pending()) == (1, 0)
+        assert_counts_consistent(q2)
+
+    def test_mixed_workload_stays_consistent(self, repo):
+        q = repo.create_queue("q", max_aborts=2, error_queue="err")
+        repo.create_queue("err")
+        for i in range(10):
+            with repo.tm.transaction() as txn:
+                q.enqueue(txn, f"e{i}", priority=i % 3)
+            assert_counts_consistent(q)
+        for _ in range(4):
+            txn = repo.tm.begin()
+            q.dequeue(txn)
+            assert_counts_consistent(q)
+            txn.abort()
+            assert_counts_consistent(q)
+        for _ in range(3):
+            with repo.tm.transaction() as txn:
+                q.dequeue(txn)
+            assert_counts_consistent(q)
+
+
+class TestBlockingDequeue:
+    def test_waiter_wakes_promptly_on_commit(self, repo):
+        q = repo.create_queue("q")
+        got: list = []
+        latency: list[float] = []
+        started = threading.Event()
+
+        def waiter() -> None:
+            txn = repo.tm.begin()
+            started.set()
+            t0 = time.monotonic()
+            element = q.dequeue(txn, block=True, timeout=10.0)
+            latency.append(time.monotonic() - t0)
+            got.append(element.body)
+            txn.commit()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        started.wait(5)
+        time.sleep(0.05)  # let the waiter actually park
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "wake-up")
+        thread.join(timeout=10)
+        assert got == ["wake-up"]
+        # Condition-notify wake: the waiter must not be sitting out a
+        # poll interval on top of the enqueue (50ms poll would show up
+        # as ~100ms+ here; notify wakes in well under a second even on
+        # a loaded CI box).
+        assert latency[0] < 1.0
+
+    def test_stop_wakes_blocked_waiter(self, repo):
+        q = repo.create_queue("q")
+        outcome: list = []
+        started = threading.Event()
+
+        def waiter() -> None:
+            txn = repo.tm.begin()
+            started.set()
+            try:
+                q.dequeue(txn, block=True, timeout=30.0)
+            except QueueStoppedError:
+                outcome.append("stopped")
+            finally:
+                txn.abort()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        started.wait(5)
+        time.sleep(0.05)
+        t0 = time.monotonic()
+        q.stop()
+        thread.join(timeout=10)
+        assert outcome == ["stopped"]
+        assert time.monotonic() - t0 < 5.0
+
+    def test_timeout_still_raises_queue_empty(self, repo):
+        q = repo.create_queue("q")
+        txn = repo.tm.begin()
+        t0 = time.monotonic()
+        with pytest.raises(QueueEmpty):
+            q.dequeue(txn, block=True, timeout=0.1)
+        elapsed = time.monotonic() - t0
+        assert 0.05 <= elapsed < 5.0
+        txn.abort()

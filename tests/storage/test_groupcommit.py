@@ -1,0 +1,131 @@
+"""Group-commit coordinator tests: batching, piggybacking, error
+propagation, knobs, and metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DiskCrashedError
+from repro.obs import Observability
+from repro.storage.disk import MemDisk
+from repro.storage.groupcommit import GroupCommitConfig, GroupCommitter
+from repro.storage.wal import WriteAheadLog
+
+
+class TestSingleThreaded:
+    def test_append_sync_makes_record_durable(self):
+        disk = MemDisk()
+        gc = GroupCommitter(WriteAheadLog(disk))
+        gc.append_sync(b"cmt-1")
+        disk.crash()
+        disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == [b"cmt-1"]
+
+    def test_sync_is_noop_when_already_durable(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        gc = GroupCommitter(wal)
+        lsn = wal.append(b"rec")
+        wal.flush()
+        flushes = disk.flush_count
+        gc.sync(lsn)  # piggybacks on the earlier flush
+        assert disk.flush_count == flushes
+
+    def test_sequential_syncs_flush_each(self):
+        # Without concurrency the sync semantics match append_flush.
+        disk = MemDisk()
+        gc = GroupCommitter(WriteAheadLog(disk))
+        for i in range(5):
+            gc.append_sync(f"r{i}".encode())
+        assert disk.flush_count == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GroupCommitConfig(max_wait=-1)
+        with pytest.raises(ValueError):
+            GroupCommitConfig(max_batch=0)
+
+
+class TestBatching:
+    def test_concurrent_commits_share_flushes(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        gc = GroupCommitter(
+            wal, GroupCommitConfig(max_wait=0.1, max_batch=8)
+        )
+        threads_n, txns_n = 8, 25
+        errors: list[BaseException] = []
+
+        def committer(tid: int) -> None:
+            try:
+                for i in range(txns_n):
+                    gc.append_sync(f"t{tid}-{i}".encode())
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=committer, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        commits = threads_n * txns_n
+        assert len(wal.records()) == commits
+        # The acceptance bar: flushes grow sublinearly — at least 4x
+        # fewer flushes than commits at 8 threads.
+        assert disk.flush_count * 4 <= commits, (
+            f"{disk.flush_count} flushes for {commits} commits"
+        )
+
+    def test_full_batch_releases_waiting_leader_early(self):
+        # With a long window but max_batch=2, the second committer must
+        # trigger the flush long before the window expires.
+        disk = MemDisk()
+        gc = GroupCommitter(
+            WriteAheadLog(disk), GroupCommitConfig(max_wait=30.0, max_batch=2)
+        )
+        done = threading.Barrier(3, timeout=10)
+
+        def committer(i: int) -> None:
+            gc.append_sync(f"c{i}".encode())
+            done.wait()
+
+        for i in range(2):
+            threading.Thread(target=committer, args=(i,), daemon=True).start()
+        done.wait()  # would time out if the leader slept the full window
+        assert disk.flush_count >= 1
+
+    def test_metrics_recorded(self):
+        obs = Observability()
+        disk = MemDisk()
+        wal = WriteAheadLog(disk, obs=obs)
+        gc = GroupCommitter(wal, obs=obs)
+        lsn = gc.append_sync(b"one")
+        gc.sync(lsn)  # already durable -> piggybacked
+        snap = obs.metrics.snapshot()
+        groups = snap["wal_group_commits_total"]["series"][0]["value"]
+        piggy = snap["wal_group_commit_piggybacked_total"]["series"][0]["value"]
+        batch = snap["wal_group_commit_batch_size"]["series"][0]
+        assert groups == 1
+        assert piggy == 1
+        assert batch["count"] == 1
+
+
+class TestErrors:
+    def test_flush_failure_propagates_to_all_committers(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        gc = GroupCommitter(wal, GroupCommitConfig(max_wait=0.05, max_batch=64))
+        lsn = wal.append(b"doomed")
+        disk.crash()  # every flush from now on raises
+        with pytest.raises(DiskCrashedError):
+            gc.sync(lsn)
+        # The coordinator must not be wedged: after recovery new commits
+        # work again.
+        disk.recover()
+        gc.append_sync(b"alive")
+        assert wal.flushed_lsn == wal.next_lsn

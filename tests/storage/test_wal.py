@@ -73,6 +73,83 @@ class TestAppendScan:
         assert disk.flush_count == flushes
 
 
+class TestAppendMany:
+    def test_round_trip_and_lsns(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        payloads = [f"batch-{i}".encode() for i in range(10)]
+        lsns = wal.append_many(payloads)
+        wal.flush()
+        records = wal.records()
+        assert [r.payload for r in records] == payloads
+        assert [r.lsn for r in records] == lsns
+        assert wal.next_lsn == records[-1].next_lsn
+
+    def test_single_disk_write(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        writes = disk.append_count
+        wal.append_many([b"a", b"b", b"c"])
+        assert disk.append_count == writes + 1
+
+    def test_empty_batch(self):
+        wal = WriteAheadLog(MemDisk())
+        assert wal.append_many([]) == []
+        assert wal.next_lsn == 0
+
+    def test_interleaves_with_single_appends(self):
+        wal = WriteAheadLog(MemDisk())
+        first = wal.append(b"one")
+        batch = wal.append_many([b"two", b"three"])
+        last = wal.append(b"four")
+        wal.flush()
+        assert [r.lsn for r in wal.records()] == [first, *batch, last]
+
+    def test_torn_tail_loses_batch_suffix_only(self):
+        # A tear inside a batch behaves like a tear between appends:
+        # the intact prefix of the batch survives.
+        disk = MemDisk(torn_tail_bytes=HEADER_SIZE + 2 + 3)  # "r0" + 3 bytes
+        wal = WriteAheadLog(disk)
+        wal.append_many([b"r0", b"r1", b"r2"])
+        disk.crash()
+        disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == [b"r0"]
+
+
+class TestFlushUntil:
+    def test_flushes_record_and_everything_before(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"first")
+        lsn = wal.append(b"second")
+        flushed = wal.flush_until(lsn)
+        assert flushed == wal.next_lsn
+        disk.crash()
+        disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == [
+            b"first", b"second"
+        ]
+
+    def test_noop_when_already_durable(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        lsn = wal.append(b"rec")
+        wal.flush()
+        flushes = disk.flush_count
+        assert wal.flush_until(lsn) == wal.flushed_lsn
+        assert disk.flush_count == flushes
+
+    def test_covers_later_appends_too(self):
+        # One flush advances past everything appended so far — the
+        # property group commit relies on.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        lsn = wal.append(b"mine")
+        wal.append(b"someone elses")
+        wal.flush_until(lsn)
+        assert wal.flushed_lsn == wal.next_lsn
+
+
 class TestCrashRecovery:
     def test_unflushed_records_lost(self):
         disk = MemDisk()
