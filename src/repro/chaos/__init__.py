@@ -1,0 +1,44 @@
+"""Deterministic chaos campaigns over the queued-transaction stack.
+
+The paper's guarantees are claims about behaviour *under failure*;
+one-fault-at-a-time tests (a single crash point, a lossy network, a
+torn tail) never exercise the combinations that break recovery
+protocols in practice.  This package runs a concurrent client/server
+workload while injecting a per-seed sampled fault schedule across every
+layer — process crashes at :class:`~repro.sim.crash.FaultInjector`
+points, disk I/O errors and corruption via
+:class:`~repro.storage.faults.FaultyDisk`, network loss/duplication/
+partitions via :class:`~repro.comm.network.SimNetwork`, poisoned
+handlers and client crashes — then performs full restart recovery and
+client resynchronization and asserts the three guarantees plus
+structural invariants.  Failing seeds replay exactly and are shrunk to
+a minimal counterexample.
+
+Run campaigns from the command line::
+
+    python -m repro.chaos --episodes 200 --base-seed 0
+
+See ``docs/fault-injection.md`` for the full catalogue of fault kinds
+and knobs.
+"""
+
+from repro.chaos.engine import ChaosEngine, EpisodeResult, run_episode
+from repro.chaos.schedule import (
+    ChaosConfig,
+    ChaosFault,
+    ChaosSchedule,
+    sample_schedule,
+)
+from repro.chaos.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosFault",
+    "ChaosSchedule",
+    "EpisodeResult",
+    "ShrinkResult",
+    "run_episode",
+    "sample_schedule",
+    "shrink",
+]

@@ -1,0 +1,126 @@
+"""Minimal-counterexample search over failing fault schedules.
+
+When an episode fails, its schedule typically contains faults that have
+nothing to do with the failure (the sampler drew up to ``max_faults``
+of them).  Because episodes are deterministic functions of
+``(schedule, config)``, we can shrink the schedule the way
+property-testing frameworks shrink inputs: greedily drop one fault at a
+time, replay, and keep the smaller schedule whenever the episode still
+fails *with the same outcome class*.  A final pass also tries calming
+the environment knobs (network loss/duplication, torn-tail width) to
+zero.
+
+The result is the smallest schedule the greedy search could reach —
+usually one to three faults — which is what a human debugging the
+failure actually wants to stare at, and what the CI smoke job prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.chaos.engine import EpisodeResult, run_episode
+from repro.chaos.schedule import ChaosConfig, ChaosSchedule
+
+#: hard cap on replays one shrink may spend (a full greedy pass over a
+#: schedule of n faults costs at most n replays, and each success
+#: shrinks the schedule, so this is generous)
+MAX_REPLAYS = 200
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing schedule found and how much work it took."""
+
+    original: ChaosSchedule
+    minimal: ChaosSchedule
+    result: EpisodeResult
+    replays: int = 0
+    removed: int = 0
+    history: list[str] = field(default_factory=list)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "seed": self.original.seed,
+            "replays": self.replays,
+            "removed": self.removed,
+            "original_faults": len(self.original.faults),
+            "minimal_faults": len(self.minimal.faults),
+            "minimal_schedule": self.minimal.to_record(),
+            "result": self.result.to_record(),
+            "history": list(self.history),
+        }
+
+
+def shrink(
+    schedule: ChaosSchedule,
+    config: ChaosConfig | None = None,
+    failed: EpisodeResult | None = None,
+    max_replays: int = MAX_REPLAYS,
+    progress: Callable[[str], None] | None = None,
+) -> ShrinkResult:
+    """Greedily minimise a failing schedule.
+
+    ``failed`` is the original failing result if the caller already has
+    it (saves one replay).  A candidate counts as "still failing" when
+    its outcome equals the original failing outcome — shrinking a
+    guarantee violation into a mere stall would change what is being
+    debugged.
+    """
+    config = config if config is not None else ChaosConfig()
+    note = progress if progress is not None else (lambda _msg: None)
+    replays = 0
+    if failed is None:
+        failed = run_episode(schedule.seed, config, schedule=schedule)
+        replays += 1
+    if not failed.failed:
+        raise ValueError(
+            f"schedule for seed {schedule.seed} does not fail "
+            f"(outcome {failed.outcome!r}); nothing to shrink"
+        )
+    target = failed.outcome
+    current, best = schedule, failed
+    history: list[str] = []
+
+    def attempt(candidate: ChaosSchedule, label: str) -> EpisodeResult | None:
+        nonlocal replays
+        if replays >= max_replays:
+            return None
+        replays += 1
+        result = run_episode(candidate.seed, config, schedule=candidate)
+        if result.outcome == target:
+            history.append(label)
+            note(f"shrink: {label} kept failure ({len(candidate.faults)} faults)")
+            return result
+        return None
+
+    # Greedy single-removal to a fixed point: after every successful
+    # removal, restart the scan (removals can unmask each other).
+    progressed = True
+    while progressed and replays < max_replays:
+        progressed = False
+        for index in range(len(current.faults)):
+            candidate = current.without(index)
+            label = f"drop {current.faults[index]}"
+            result = attempt(candidate, label)
+            if result is not None:
+                current, best = candidate, result
+                progressed = True
+                break
+    # Environment knobs last: a quiet network / clean crash tails keep
+    # the counterexample readable if they are not load-bearing.
+    calmed = current.calmed()
+    if calmed != current:
+        result = attempt(calmed, "calm network + clean crash tails")
+        if result is not None:
+            current, best = calmed, result
+
+    return ShrinkResult(
+        original=schedule,
+        minimal=current,
+        result=best,
+        replays=replays,
+        removed=len(schedule.faults) - len(current.faults),
+        history=history,
+    )

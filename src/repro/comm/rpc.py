@@ -15,18 +15,48 @@ remote side is addressed by endpoint name.  Calls retry on lost
 messages up to ``max_retries`` (RPC semantics need at-least-once
 transport; the *queue operations* being invoked are what make the end
 result exactly-once — that is the paper's whole point).
+
+Concurrency and correlation: every call carries a channel-unique call
+id, echoed back in the response, so concurrent calls over one channel
+(several clerk threads sharing a connection) each receive exactly
+*their* result — a late or duplicated response for another call (or for
+an earlier attempt of a completed call) is discarded.  Retries back off
+exponentially with seeded jitter (deterministic per channel seed), so a
+storm of callers against a lossy or partitioned network spreads out
+instead of hammering in lockstep.
 """
 
 from __future__ import annotations
 
+import random
+import threading
+import time as _time
 from typing import Any, Callable
 
 from repro.comm.network import SimNetwork
-from repro.errors import MessageLost, RpcTimeout
+from repro.errors import MessageLost, PartitionedError, RpcTimeout
+
+_NO_RESPONSE = object()
 
 
 class RpcChannel:
-    """Request/response calls between two endpoints."""
+    """Request/response calls between two endpoints.
+
+    Thread-safe: any number of threads may :meth:`call` concurrently.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first (so ``max_retries + 1``
+        sends at most).
+    backoff_base, backoff_factor, backoff_max:
+        Sleep before retry ``n`` is ``base * factor**n`` capped at
+        ``max``, scaled by a jitter factor in ``[0.5, 1.0)`` drawn from
+        a :class:`random.Random` seeded with ``seed``.  The default
+        base keeps worst-case test/benchmark retry storms cheap while
+        still de-synchronising concurrent callers; pass ``0.0`` for the
+        old immediate-retry behaviour.
+    """
 
     def __init__(
         self,
@@ -34,18 +64,45 @@ class RpcChannel:
         local: str,
         remote: str,
         max_retries: int = 10,
+        backoff_base: float = 0.0005,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.01,
+        seed: int = 0,
     ):
         self.network = network
         self.local = local
         self.remote = remote
         self.max_retries = max_retries
-        self._response: list[Any] = []
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self._rng = random.Random(seed)
+        self._mutex = threading.Lock()
+        self._next_call_id = 1
+        #: call id -> result slot (kept _NO_RESPONSE until the first
+        #: response for that id arrives; later duplicates are dropped)
+        self._pending: dict[int, Any] = {}
         network.register(local, self._on_response)
         self.calls = 0
         self.retries = 0
 
     def _on_response(self, payload: Any) -> None:
-        self._response.append(payload)
+        if not (isinstance(payload, tuple) and len(payload) == 3 and payload[0] == "resp"):
+            return  # not a correlated response; ignore
+        _, call_id, result = payload
+        with self._mutex:
+            # Unknown id: a duplicate for a call that already returned,
+            # or a response to a previous incarnation of this endpoint.
+            if self._pending.get(call_id, None) is _NO_RESPONSE:
+                self._pending[call_id] = result
+
+    def _backoff(self, attempt: int) -> None:
+        if self.backoff_base <= 0.0:
+            return
+        delay = min(self.backoff_max, self.backoff_base * self.backoff_factor ** attempt)
+        with self._mutex:
+            jitter = 0.5 + self._rng.random() / 2.0
+        _time.sleep(delay * jitter)
 
     def call(self, fn: Callable[[], Any]) -> Any:
         """Invoke ``fn`` at the remote endpoint and return its result.
@@ -56,26 +113,34 @@ class RpcChannel:
         the paper, a tagged queue operation whose duplicate is
         harmless."""
         self.calls += 1
-        for attempt in range(self.max_retries + 1):
-            self._response.clear()
-            try:
-                self.network.send(
-                    self.local,
-                    self.remote,
-                    ("call", fn, self.local),
-                    reliable=True,
-                )
-            except MessageLost:
-                self.retries += 1
-                continue
-            if self._response:
-                # Duplicated delivery may stack two identical responses;
-                # RPC returns the first.
-                return self._response[0]
-            self.retries += 1
-        raise RpcTimeout(
-            f"no response from {self.remote!r} after {self.max_retries} retries"
-        )
+        with self._mutex:
+            call_id = self._next_call_id
+            self._next_call_id += 1
+            self._pending[call_id] = _NO_RESPONSE
+        try:
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self.retries += 1
+                    self._backoff(attempt - 1)
+                try:
+                    self.network.send(
+                        self.local,
+                        self.remote,
+                        ("call", call_id, fn, self.local),
+                        reliable=True,
+                    )
+                except (MessageLost, PartitionedError):
+                    continue
+                with self._mutex:
+                    result = self._pending[call_id]
+                if result is not _NO_RESPONSE:
+                    return result
+            raise RpcTimeout(
+                f"no response from {self.remote!r} after {self.max_retries} retries"
+            )
+        finally:
+            with self._mutex:
+                self._pending.pop(call_id, None)
 
     def post(self, fn: Callable[[], Any]) -> None:
         """One-way message: fire and forget (1 message, possibly lost)."""
@@ -96,15 +161,21 @@ class RpcServer:
         self.handled = 0
 
     def _on_message(self, payload: Any) -> None:
-        kind, fn, reply_to = payload
+        kind = payload[0]
         self.handled += 1
-        result = fn()
         if kind == "call":
+            _, call_id, fn, reply_to = payload
+            result = fn()
             try:
-                self.network.send(self.name, reply_to, result, reliable=True)
-            except MessageLost:
+                self.network.send(
+                    self.name, reply_to, ("resp", call_id, result), reliable=True
+                )
+            except (MessageLost, PartitionedError):
                 # The response is lost; the caller retries the whole call.
                 pass
+        else:  # "post": one-way, no response
+            _, fn, _reply_to = payload
+            fn()
 
 
 class OneWayTransport:

@@ -29,7 +29,14 @@ import time as _time
 from typing import Any, Callable
 
 from repro.core.request import REPLY_FAILED, REPLY_OK, Reply, Request
-from repro.errors import DeadlockError, QueueEmpty, TransactionAborted
+from repro.errors import (
+    DeadlockError,
+    DiskCrashedError,
+    QueueEmpty,
+    StorageError,
+    TransactionAborted,
+    WalPanicError,
+)
 from repro.obs import NULL_SPAN, Observability, Span, get_observability
 from repro.queueing.manager import QueueHandle, QueueManager
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
@@ -51,6 +58,7 @@ class ServerStats:
         self.failed_replies = 0
         self.aborts = 0
         self.empty_polls = 0
+        self.storage_errors = 0
 
 
 class Server:
@@ -98,6 +106,10 @@ class Server:
         self._m_empty_polls = metrics.counter(
             "server_empty_polls_total", "polls that found no request", ("server",)
         ).labels(server=name)
+        self._m_storage_errors = metrics.counter(
+            "server_storage_errors_total",
+            "processing attempts aborted by storage errors", ("server",),
+        ).labels(server=name)
         self._m_processing = metrics.histogram(
             "request_processing_seconds",
             "dequeue-to-commit processing time", ("server",),
@@ -113,6 +125,8 @@ class Server:
         self._reply_handles: dict[str, QueueHandle] = {}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: the error that ended the last serve loop, if it was fatal
+        self.last_fatal: BaseException | None = None
 
     # ------------------------------------------------------------------
     # One request
@@ -282,13 +296,36 @@ class Server:
     ) -> int:
         """Loop: process requests until ``should_stop()``.  Returns how
         many requests were processed.  ``retry_on`` exceptions abort
-        the attempt and continue (the request went back to the queue)."""
+        the attempt and continue (the request went back to the queue).
+
+        Storage errors surface as aborts, not wedged state: a transient
+        :class:`StorageError` counts and continues (the attempt rolled
+        back, the request is requeued); a :class:`WalPanicError` or
+        :class:`DiskCrashedError` means the node's storage is unusable
+        until restart recovery, so the loop stops and records the cause
+        in :attr:`last_fatal` for the supervisor (chaos engine, test
+        harness) to act on.
+        """
         processed = 0
+        self.last_fatal = None
         while not should_stop():
             try:
                 if self.process_one(block=True, timeout=poll_timeout):
                     processed += 1
             except retry_on:
+                continue
+            except (WalPanicError, DiskCrashedError) as exc:
+                self.stats.storage_errors += 1
+                self._m_storage_errors.inc()
+                self.last_fatal = exc
+                logger.warning(
+                    "server %r: storage unusable (%s); stopping until restart",
+                    self.name, type(exc).__name__,
+                )
+                break
+            except StorageError:
+                self.stats.storage_errors += 1
+                self._m_storage_errors.inc()
                 continue
         return processed
 

@@ -221,11 +221,29 @@ class TPSystem:
 
         Disks left in the crashed state are brought back online first;
         the trace recorder carries over so guarantee checks span the
-        failure.
+        failure.  Crash/recover is duck-typed so decorated disks
+        (e.g. :class:`~repro.storage.faults.FaultyDisk` over a
+        :class:`MemDisk`) restart the same way.
+
+        If a repository's WAL panicked (a flush failed), its disk is
+        crashed first even when the "process" is still running: a panic
+        restart must discard the unflushed buffers whose durability is
+        unknowable, exactly as a power failure would, so recovery sees
+        only the durable prefix.
         """
-        for disk in {id(self.request_disk): self.request_disk,
-                     id(self.reply_disk): self.reply_disk}.values():
-            if isinstance(disk, MemDisk) and disk.crashed:
+        disks = {id(self.request_disk): self.request_disk,
+                 id(self.reply_disk): self.reply_disk}.values()
+        panicked = any(
+            repo.log.wal.panicked
+            for repo in {id(self.request_repo): self.request_repo,
+                         id(self.reply_repo): self.reply_repo}.values()
+        )
+        for disk in disks:
+            crashed = getattr(disk, "crashed", None)
+            if panicked and crashed is False:
+                disk.crash()
+                crashed = True
+            if crashed and hasattr(disk, "recover"):
                 disk.recover()
         return TPSystem(
             request_disk=self.request_disk,
@@ -244,9 +262,11 @@ class TPSystem:
 
     def crash(self) -> None:
         """Crash every node now (used by scenarios that crash between
-        protocol steps rather than via an injector point)."""
+        protocol steps rather than via an injector point).  Duck-typed:
+        any disk exposing ``crash``/``crashed`` participates, including
+        decorators like :class:`~repro.storage.faults.FaultyDisk`."""
         for disk in (self.request_disk, self.reply_disk):
-            if isinstance(disk, MemDisk) and not disk.crashed:
+            if getattr(disk, "crashed", None) is False:
                 disk.crash()
 
     # ------------------------------------------------------------------

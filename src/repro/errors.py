@@ -33,6 +33,34 @@ class DiskCrashedError(StorageError):
     """An operation was attempted on a disk whose node has crashed."""
 
 
+class DiskIOError(StorageError):
+    """A disk operation failed with an I/O error.
+
+    Raised by :class:`~repro.storage.faults.FaultyDisk` (and usable by
+    real backends) for transient and permanent device errors.  The
+    failed operation had **no effect**: an append that raised appended
+    nothing, a flush that raised made nothing durable.
+    """
+
+
+class DiskFullError(DiskIOError):
+    """A write failed because the device is out of space."""
+
+
+class WalPanicError(StorageError):
+    """The write-ahead log is unusable after a failed flush.
+
+    Once an ``fsync`` fails, the durability of everything buffered is
+    unknowable (the kernel may have dropped the dirty pages), so
+    retrying the flush could silently promote a commit record whose
+    transaction was already reported as failed.  The WAL therefore
+    *panics*: every subsequent append/flush raises this error until the
+    node restarts and recovers from the durable prefix — the same
+    policy PostgreSQL adopted after "fsyncgate".  The original flush
+    failure is chained as ``__cause__``.
+    """
+
+
 class CorruptRecordError(StorageError):
     """A log record failed its CRC or framing check.
 

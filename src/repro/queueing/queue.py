@@ -44,6 +44,7 @@ from repro.errors import (
     NoSuchElementError,
     QueueEmpty,
     QueueStoppedError,
+    StorageError,
 )
 from repro.queueing.element import Element, ElementState
 from repro.transaction.manager import Transaction
@@ -495,7 +496,18 @@ class RecoverableQueue:
             return
         target_name = error_queue or self.config.error_queue
         if target_name is not None and count >= self.config.max_aborts:
-            self._move_to_error(eid, target_name, count)
+            try:
+                self._move_to_error(eid, target_name, count)
+            except StorageError:
+                # The move runs its own transaction; if storage is
+                # failing (the very thing that may have aborted us) the
+                # element simply stays in the queue and the move retries
+                # after the next abort.  Raising here would propagate
+                # out of an abort hook and wedge the aborting caller.
+                logger.warning(
+                    "queue %r: error-queue move of element %d failed; "
+                    "element stays queued", self.name, eid,
+                )
 
     def _bump_abort_count(self, eid: int, crash_attempt: bool = False) -> int | None:
         with self._mutex:
@@ -506,10 +518,20 @@ class RecoverableQueue:
             count = slot.element.abort_count
         # Durable independently of any transaction: a retry loop must not
         # reset its own counter by aborting.
-        self.repo.log.log_auto(
-            self.rm_name,
-            {"op": "abortcount", "eid": eid, "n": count, "crash": crash_attempt},
-        )
+        try:
+            self.repo.log.log_auto(
+                self.rm_name,
+                {"op": "abortcount", "eid": eid, "n": count, "crash": crash_attempt},
+            )
+        except StorageError:
+            # Run from abort hooks: must not re-raise (see
+            # _after_dequeue_abort).  The volatile count still advanced,
+            # so the Section 4.2 bound holds until the next restart; it
+            # merely restarts from the last durable value afterwards.
+            logger.warning(
+                "queue %r: abort-count force for element %d failed",
+                self.name, eid,
+            )
         return count
 
     def _move_to_error(self, eid: int, target_name: str, count: int) -> None:

@@ -63,6 +63,18 @@ class Disk(ABC):
         """Current length of ``area`` in bytes."""
         return len(self.read(area))
 
+    def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
+        """Flip bits of one **durable** byte (fault-injection hook).
+
+        Models silent media corruption: the byte at ``offset`` of the
+        durable image of ``area`` is XORed with ``mask``.  Returns False
+        when the area has no durable byte at that offset.  Backends
+        without a usable implementation may leave this unsupported.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support corruption injection"
+        )
+
 
 class MemDisk(Disk):
     """In-memory disk with crash semantics.
@@ -166,6 +178,14 @@ class MemDisk(Disk):
         with self._lock:
             return bytes(self._durable.get(area, bytearray()))
 
+    def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
+        with self._lock:
+            durable = self._durable.get(area)
+            if durable is None or not 0 <= offset < len(durable):
+                return False
+            durable[offset] ^= mask & 0xFF
+            return True
+
 
 class FileDisk(Disk):
     """Real-file-backed disk for the runnable examples.
@@ -236,7 +256,20 @@ class FileDisk(Disk):
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, path)
+            # The rename itself lives in the directory, not the file: on
+            # POSIX a power failure after os.replace can still revert to
+            # the old name unless the parent directory is fsynced.  For
+            # a checkpoint that would mean the checkpoint "vanishes"
+            # while the log it replaced is already truncated.
+            self._fsync_dir()
             self.flush_count += 1
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def truncate(self, area: str) -> None:
         self.replace(area, b"")
@@ -247,6 +280,24 @@ class FileDisk(Disk):
                 n for n in os.listdir(self.root) if not n.endswith(".tmp")
             ]
             return sorted(n.replace("__", "/") for n in names)
+
+    def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
+        with self._lock:
+            handle = self._handles.get(area)
+            if handle is not None:
+                handle.flush()
+            path = self._path(area)
+            if not os.path.exists(path) or offset < 0:
+                return False
+            with open(path, "r+b") as f:
+                f.seek(0, os.SEEK_END)
+                if offset >= f.tell():
+                    return False
+                f.seek(offset)
+                byte = f.read(1)
+                f.seek(offset)
+                f.write(bytes([byte[0] ^ (mask & 0xFF)]))
+            return True
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,292 @@
+"""Disk-level fault injection: the :class:`FaultyDisk` decorator.
+
+Crash simulation (:class:`~repro.storage.disk.MemDisk.crash`) models a
+disk that *stops*; real storage also *lies* — I/O calls fail
+transiently, devices fill up, media silently decays.  ``FaultyDisk``
+wraps any :class:`~repro.storage.disk.Disk` and injects those failure
+modes deterministically so the chaos campaign (:mod:`repro.chaos`) can
+search the combined fault space and replay any failure from its seed.
+
+Fault kinds (:data:`IO_ERROR`, :data:`DISK_FULL`, :data:`PERMANENT`,
+:data:`CORRUPT`):
+
+* ``io_error`` — the targeted call raises
+  :class:`~repro.errors.DiskIOError` *instead of* executing, for
+  ``duration`` consecutive calls (default 1, i.e. transient).  The
+  operation has **no effect**: an append that raised appended nothing,
+  a flush that raised made nothing durable.
+* ``disk_full`` — same no-effect contract, raising
+  :class:`~repro.errors.DiskFullError` (only meaningful on the write
+  paths ``append``/``replace``).
+* ``permanent`` — from the targeted call on, *every* operation raises
+  :class:`~repro.errors.DiskIOError` until :meth:`FaultyDisk.heal`.
+* ``corrupt`` — one durable byte of the call's area is bit-flipped
+  (via :meth:`~repro.storage.disk.Disk.corrupt_byte`) and the call then
+  proceeds normally.  The offset is drawn from the seeded RNG within
+  the first half of the durable image, so with many small records the
+  log keeps valid data *after* the damage and recovery deterministically
+  takes the :class:`~repro.errors.CorruptRecordError` path instead of
+  mistaking the damage for a torn tail.
+
+Faults are scheduled two ways, composable:
+
+* a **plan**: explicit :class:`DiskFault` entries targeting the N-th
+  call of an operation (optionally restricted to one area).  Plans are
+  what the chaos engine samples from a seed — and what its shrinker
+  drops entries from;
+* **rates**: a per-operation probability of a transient ``io_error``,
+  drawn from the seeded RNG on every call (property tests).
+
+Everything not overridden (``crash``/``recover``/``durable_read``/
+benchmark counters…) is delegated to the wrapped disk, so a
+``FaultyDisk(MemDisk())`` drops into every place a ``MemDisk`` goes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import DiskFullError, DiskIOError
+from repro.obs import Observability, get_observability
+from repro.storage.disk import Disk
+
+#: operations a fault can target
+OPS = ("append", "flush", "read", "replace", "truncate")
+
+IO_ERROR = "io_error"
+DISK_FULL = "disk_full"
+PERMANENT = "permanent"
+CORRUPT = "corrupt"
+FAULT_KINDS = (IO_ERROR, DISK_FULL, PERMANENT, CORRUPT)
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """Inject one fault at the ``hit``-th call of ``op`` (1-based).
+
+    ``area`` restricts matching to calls on that area (the hit counter
+    then counts only those calls).  ``duration`` extends ``io_error`` /
+    ``disk_full`` over that many consecutive matching calls.
+    """
+
+    op: str
+    hit: int = 1
+    kind: str = IO_ERROR
+    area: str | None = None
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {self.op!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.hit < 1:
+            raise ValueError(f"hit must be >= 1, got {self.hit}")
+        if self.duration < 1:
+            raise ValueError(f"duration must be >= 1, got {self.duration}")
+
+    def to_record(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"op": self.op, "hit": self.hit, "kind": self.kind}
+        if self.area is not None:
+            record["area"] = self.area
+        if self.duration != 1:
+            record["duration"] = self.duration
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "DiskFault":
+        return cls(
+            op=record["op"],
+            hit=record.get("hit", 1),
+            kind=record.get("kind", IO_ERROR),
+            area=record.get("area"),
+            duration=record.get("duration", 1),
+        )
+
+
+@dataclass
+class InjectedFault:
+    """One fault that actually fired (for reports and shrinking)."""
+
+    fault: DiskFault
+    op: str
+    area: str
+    call: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.fault.kind}@{self.op}#{self.call}({self.area})"
+
+
+class FaultyDisk(Disk):
+    """Decorator over any :class:`Disk` that injects seeded I/O faults.
+
+    Thread-safe (a single lock guards the fault bookkeeping; the
+    wrapped disk provides its own I/O atomicity).
+    """
+
+    def __init__(
+        self,
+        inner: Disk,
+        faults: Iterable[DiskFault] = (),
+        seed: int = 0,
+        rates: dict[str, float] | None = None,
+        obs: Observability | None = None,
+    ):
+        self.inner = inner
+        self.plan: list[DiskFault] = list(faults)
+        self.rates = dict(rates or {})
+        self._rng = random.Random(seed)
+        self._mutex = threading.Lock()
+        self._counts: Counter[tuple[str, str | None]] = Counter()
+        self._dead: DiskFault | None = None
+        #: faults that fired, in order
+        self.injected: list[InjectedFault] = []
+        obs = obs if obs is not None else get_observability()
+        self._m_faults = obs.metrics.counter(
+            "disk_faults_injected_total",
+            "disk faults injected by FaultyDisk", ("op", "kind"),
+        )
+
+    # -- configuration -----------------------------------------------------
+
+    def add_fault(self, fault: DiskFault) -> None:
+        with self._mutex:
+            self.plan.append(fault)
+
+    def heal(self) -> None:
+        """Clear the remaining plan, all rates, and any permanent
+        failure; injected-fault history is preserved."""
+        with self._mutex:
+            self.plan.clear()
+            self.rates.clear()
+            self._dead = None
+
+    def revive(self) -> None:
+        """Clear only a ``permanent`` failure, keeping the remaining
+        plan and rates — the chaos engine's restart protocol: replacing
+        a failed device brings the node back, but the not-yet-fired
+        faults of the schedule still lie ahead."""
+        with self._mutex:
+            self._dead = None
+
+    @property
+    def dead(self) -> bool:
+        """True while a ``permanent`` fault holds the device down."""
+        return self._dead is not None
+
+    # -- fault decision ----------------------------------------------------
+
+    def _record(self, fault: DiskFault, op: str, area: str, call: int) -> None:
+        self.injected.append(InjectedFault(fault, op, area, call))
+        self._m_faults.labels(op=op, kind=fault.kind).inc()
+
+    def _consult(self, op: str, area: str) -> DiskFault | None:
+        """Advance the hit counters and return the fault to apply to
+        this call, recording it.  ``corrupt`` faults are applied here
+        (the call then proceeds); error faults are returned for the
+        caller to raise *before* touching the inner disk."""
+        with self._mutex:
+            if self._dead is not None:
+                fault = self._dead
+                self._record(fault, op, area, self._counts[(op, None)] + 1)
+                return fault
+            self._counts[(op, None)] += 1
+            self._counts[(op, area)] += 1
+            matched: DiskFault | None = None
+            for fault in self.plan:
+                if fault.op != op:
+                    continue
+                if fault.area is not None and fault.area != area:
+                    continue
+                call = self._counts[(op, fault.area)]
+                if fault.hit <= call < fault.hit + fault.duration:
+                    matched = fault
+                    break
+            if matched is None:
+                rate = self.rates.get(op, 0.0)
+                if rate > 0.0 and self._rng.random() < rate:
+                    matched = DiskFault(op=op, hit=self._counts[(op, None)])
+            if matched is None:
+                return None
+            if matched.kind == PERMANENT:
+                self._dead = matched
+            self._record(matched, op, area, self._counts[(op, None)])
+            if matched.kind == CORRUPT:
+                self._corrupt(area)
+                return None
+            return matched
+
+    def _corrupt(self, area: str) -> None:
+        """Flip one durable bit in ``area`` (first half of the image,
+        so valid records typically remain after the damage)."""
+        size = len(self._durable_image(area))
+        if size == 0:
+            return
+        offset = self._rng.randrange(max(1, size // 2))
+        mask = 1 << self._rng.randrange(8)
+        self.inner.corrupt_byte(area, offset, mask)
+
+    def _durable_image(self, area: str) -> bytes:
+        durable_read = getattr(self.inner, "durable_read", None)
+        if durable_read is not None:
+            return durable_read(area)
+        return self.inner.read(area)
+
+    @staticmethod
+    def _raise(fault: DiskFault, op: str, area: str) -> None:
+        if fault.kind == DISK_FULL:
+            raise DiskFullError(f"disk full: {op} on {area!r}")
+        if fault.kind == PERMANENT:
+            raise DiskIOError(f"permanent device failure: {op} on {area!r}")
+        raise DiskIOError(f"injected I/O error: {op} on {area!r}")
+
+    # -- Disk interface ----------------------------------------------------
+
+    def append(self, area: str, data: bytes) -> int:
+        fault = self._consult("append", area)
+        if fault is not None:
+            self._raise(fault, "append", area)
+        return self.inner.append(area, data)
+
+    def flush(self, area: str) -> None:
+        fault = self._consult("flush", area)
+        if fault is not None:
+            self._raise(fault, "flush", area)
+        self.inner.flush(area)
+
+    def read(self, area: str) -> bytes:
+        fault = self._consult("read", area)
+        if fault is not None:
+            self._raise(fault, "read", area)
+        return self.inner.read(area)
+
+    def replace(self, area: str, data: bytes) -> None:
+        fault = self._consult("replace", area)
+        if fault is not None:
+            self._raise(fault, "replace", area)
+        self.inner.replace(area, data)
+
+    def truncate(self, area: str) -> None:
+        fault = self._consult("truncate", area)
+        if fault is not None:
+            self._raise(fault, "truncate", area)
+        self.inner.truncate(area)
+
+    def areas(self) -> list[str]:
+        return self.inner.areas()
+
+    def size(self, area: str) -> int:
+        # No fault point: size() is bookkeeping, not I/O.
+        return self.inner.size(area)
+
+    def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
+        return self.inner.corrupt_byte(area, offset, mask)
+
+    # -- passthrough (crash semantics, counters, durable_read, ...) --------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

@@ -16,6 +16,20 @@ the first record that fails framing or CRC *at the tail* ends the log
 silently; if valid framed data follows a corrupt record, the log is
 genuinely damaged and :class:`~repro.errors.CorruptRecordError` is
 raised.
+
+Flush-failure handling (panic semantics): when ``disk.flush`` raises,
+the durability of everything buffered becomes unknowable — a kernel (or
+our :class:`~repro.storage.faults.FaultyDisk`) may have dropped the
+dirty pages.  Retrying the flush later could then silently make a
+commit record durable *after* its transaction was reported as failed,
+so recovery would redo a transaction the application believes never
+happened.  The log therefore *panics* on the first flush failure: the
+original exception propagates to the committer, and every subsequent
+append or flush raises :class:`~repro.errors.WalPanicError` until the
+node restarts and rebuilds the log from the durable prefix.  This is
+the post-"fsyncgate" PostgreSQL policy, and it is what makes group
+commit safe under I/O errors: a follower whose leader's flush failed
+cannot retry the flush and accidentally promote the leader's records.
 """
 
 from __future__ import annotations
@@ -26,7 +40,12 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import CorruptRecordError
+from repro.errors import (
+    CorruptRecordError,
+    DiskCrashedError,
+    StorageError,
+    WalPanicError,
+)
 from repro.obs import Observability, get_observability
 from repro.storage.disk import Disk
 
@@ -60,8 +79,11 @@ class WriteAheadLog:
         self.disk = disk
         self.area = area
         self._lock = threading.Lock()
-        # Resume appending after whatever is already present (restart).
-        self._next_lsn = disk.size(area)
+        # Resume appending after the valid record prefix (restart); a
+        # torn tail left by a crash is durably discarded first, because
+        # appending *after* damaged framing would turn an expected torn
+        # write into mid-log corruption on the next scan.
+        self._next_lsn = self._trim_torn_tail()
         self._flushed_lsn = self._next_lsn
         obs = obs if obs is not None else get_observability()
         metrics = obs.metrics
@@ -74,6 +96,70 @@ class WriteAheadLog:
         self._m_flushes = metrics.counter(
             "wal_flushes_total", "log forces (fsync-equivalents)", ("area",)
         ).labels(area=area)
+        self._m_panics = metrics.counter(
+            "wal_panics_total", "log panics after a failed flush", ("area",)
+        ).labels(area=area)
+        self._panic: BaseException | None = None
+
+    def _trim_torn_tail(self) -> int:
+        """Find the end of the valid record prefix; durably drop any
+        torn tail beyond it.  Returns the append point.
+
+        Raises :class:`CorruptRecordError` when valid framed data
+        follows the damage — that is mid-log corruption, and truncating
+        there would silently destroy committed records.
+        """
+        if self.area not in self.disk.areas():
+            return 0
+        data = self.disk.read(self.area)
+        pos = 0
+        while True:
+            _record, next_pos, ok = self._parse_at(data, pos)
+            if not ok:
+                break
+            pos = next_pos
+        if pos < len(data):
+            if self._valid_record_after(data, pos + 1):
+                raise CorruptRecordError(
+                    f"corrupt record at lsn {pos} followed by valid data"
+                )
+            self.disk.replace(self.area, data[:pos])
+        return pos
+
+    # -- panic state -------------------------------------------------------
+
+    @property
+    def panicked(self) -> bool:
+        """True once a flush has failed; the log refuses all writes."""
+        return self._panic is not None
+
+    @property
+    def panic_cause(self) -> BaseException | None:
+        """The flush failure that panicked the log, if any."""
+        return self._panic
+
+    def _check_panic(self) -> None:
+        # Caller holds self._lock.
+        if self._panic is not None:
+            raise WalPanicError(
+                f"log area {self.area!r} is panicked after a failed flush"
+            ) from self._panic
+
+    def _flush_disk(self) -> None:
+        # Caller holds self._lock and has verified there is data to
+        # force.  A DiskCrashedError does not panic: the crash already
+        # discarded the buffers, so there is nothing a retry could
+        # wrongly promote; restart/recovery handles it.
+        try:
+            self.disk.flush(self.area)
+        except DiskCrashedError:
+            raise
+        except (StorageError, OSError) as exc:
+            self._panic = exc
+            self._m_panics.inc()
+            raise
+        self._flushed_lsn = self._next_lsn
+        self._m_flushes.inc()
 
     # -- writing -----------------------------------------------------------
 
@@ -81,6 +167,7 @@ class WriteAheadLog:
         """Append one record (buffered).  Returns its LSN."""
         header = _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
         with self._lock:
+            self._check_panic()
             lsn = self.disk.append(self.area, header + payload)
             self._next_lsn = lsn + HEADER_SIZE + len(payload)
         self._m_appends.inc()
@@ -105,6 +192,7 @@ class WriteAheadLog:
         if not frames:
             return []
         with self._lock:
+            self._check_panic()
             base = self.disk.append(self.area, b"".join(frames))
             lsns: list[int] = []
             pos = base
@@ -117,12 +205,15 @@ class WriteAheadLog:
         return lsns
 
     def flush(self) -> None:
-        """Force all appended records to stable storage."""
+        """Force all appended records to stable storage.
+
+        A failure propagates to the caller and panics the log (see
+        module docstring); the flushed LSN does not advance.
+        """
         with self._lock:
+            self._check_panic()
             if self._flushed_lsn < self._next_lsn:
-                self.disk.flush(self.area)
-                self._flushed_lsn = self._next_lsn
-                self._m_flushes.inc()
+                self._flush_disk()
 
     def flush_until(self, lsn: int) -> int:
         """Force the record appended at ``lsn`` (and everything before
@@ -134,10 +225,9 @@ class WriteAheadLog:
         covers every record appended so far.  Returns the flushed LSN.
         """
         with self._lock:
+            self._check_panic()
             if self._flushed_lsn <= lsn and self._flushed_lsn < self._next_lsn:
-                self.disk.flush(self.area)
-                self._flushed_lsn = self._next_lsn
-                self._m_flushes.inc()
+                self._flush_disk()
             return self._flushed_lsn
 
     def append_flush(self, payload: bytes) -> int:
@@ -220,6 +310,9 @@ class WriteAheadLog:
         """Durably discard the log (caller must have checkpointed all
         state it still needs — see :class:`repro.transaction.log.LogManager`)."""
         with self._lock:
+            # Refuse on panic: a checkpoint taken while commit durability
+            # is unknowable must not destroy the durable log prefix.
+            self._check_panic()
             self.disk.truncate(self.area)
             self._next_lsn = 0
             self._flushed_lsn = 0

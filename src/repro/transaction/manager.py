@@ -37,7 +37,7 @@ import time as _time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
-from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.errors import InvalidTransactionState, StorageError, TransactionAborted
 from repro.obs import Observability, get_observability
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.transaction.ids import TxnStatus
@@ -166,7 +166,19 @@ class TransactionManager:
         the group committer), then release locks and fire hooks."""
         txn.require_active()
         self.injector.reach("tm.commit.before_log")
-        self.log.log_commit(txn.id)
+        try:
+            self.log.log_commit(txn.id)
+        except StorageError as exc:
+            # The commit record may or may not be durable (the WAL has
+            # panicked, so no later flush can quietly promote it).  The
+            # transaction cannot be acknowledged: abort it so its locks
+            # are released and its volatile effects are undone, and let
+            # the storage error reach the caller.  If the record *did*
+            # reach the platter, recovery will redo the work — the
+            # request-level idempotence of the queue protocols absorbs
+            # that, exactly as it absorbs a crash after ``after_log``.
+            self._hard_abort(txn, f"commit force failed: {exc}")
+            raise
         self.injector.reach("tm.commit.after_log")
         txn.status = TxnStatus.COMMITTED
         self._finish(txn, txn._on_commit)
@@ -184,7 +196,27 @@ class TransactionManager:
         for undo in reversed(txn._undo):
             undo()
         self.injector.reach("tm.abort.after_undo")
-        self.log.log_abort(txn.id, reason)
+        try:
+            self.log.log_abort(txn.id, reason)
+        except StorageError:
+            # The abort record is an optimization (recovery treats a
+            # missing outcome as abort), so a failing log must not block
+            # the undo/lock-release path — that would wedge the node.
+            pass
+        txn.status = TxnStatus.ABORTED
+        self._finish(txn, txn._on_abort)
+        self.aborts += 1
+        self._observe_outcome(txn, self._m_aborts)
+
+    def _hard_abort(self, txn: Transaction, reason: str) -> None:
+        """Abort after a failed commit force: undo, release, and report
+        — without requiring the (possibly panicked) log to cooperate."""
+        for undo in reversed(txn._undo):
+            undo()
+        try:
+            self.log.log_abort(txn.id, reason)
+        except StorageError:
+            pass
         txn.status = TxnStatus.ABORTED
         self._finish(txn, txn._on_abort)
         self.aborts += 1

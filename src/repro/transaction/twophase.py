@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.errors import SimulatedCrash, TwoPhaseCommitError
+from repro.errors import SimulatedCrash, StorageError, TwoPhaseCommitError
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.transaction.ids import TxnStatus
 from repro.transaction.log import KIND_AUTO, LogManager
@@ -82,7 +82,13 @@ class TwoPhaseCoordinator:
         self.injector.reach("2pc.after_prepare")
 
         if veto:
-            self._log_decision(gid, "abort")
+            try:
+                self._log_decision(gid, "abort")
+            except StorageError:
+                # Presumed abort: the abort decision record is advisory
+                # (no record *means* abort), so a failing coordinator log
+                # must not leave the branches locked and in doubt.
+                pass
             for tm, txn in branches:
                 if txn.status is TxnStatus.PREPARED:
                     tm.abort_prepared(txn)

@@ -1,0 +1,125 @@
+"""Chaos-campaign engine tests: determinism, schedule serialization,
+and the fixed-seed acceptance campaign (no guarantee violations under
+any sampled fault mix)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import (
+    ChaosConfig,
+    ChaosSchedule,
+    run_episode,
+    sample_schedule,
+)
+from repro.chaos.engine import (
+    FAILING_OUTCOMES,
+    OUTCOME_CORRUPTION_DATA_LOSS,
+    OUTCOME_CORRUPTION_DETECTED,
+    OUTCOME_OK,
+)
+from repro.chaos.schedule import (
+    KIND_CLIENT_CRASH,
+    KIND_CRASH,
+    KIND_DISK,
+    KIND_PARTITION,
+    KIND_POISON,
+)
+
+#: seeds of the in-suite acceptance campaign; CI runs the same range
+CAMPAIGN_SEEDS = range(200)
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_for_bit_identical(self):
+        for seed in (0, 7, 37):
+            first = run_episode(seed)
+            second = run_episode(seed)
+            assert first.outcome == second.outcome
+            assert first.fingerprint == second.fingerprint
+            assert first.steps == second.steps
+            assert first.restarts == second.restarts
+
+    def test_different_seeds_diverge(self):
+        fingerprints = {run_episode(seed).fingerprint for seed in range(5)}
+        assert len(fingerprints) == 5
+
+    def test_schedule_sampling_is_pure(self):
+        config = ChaosConfig()
+        assert sample_schedule(42, config) == sample_schedule(42, config)
+
+    def test_replay_from_json_schedule_matches(self):
+        # A schedule that survived a JSON round trip (the regression-
+        # artifact path) replays to the identical episode.
+        seed = 11
+        schedule = sample_schedule(seed)
+        wire = json.dumps(schedule.to_record(), sort_keys=True)
+        restored = ChaosSchedule.from_record(json.loads(wire))
+        assert restored == schedule
+        original = run_episode(seed, schedule=schedule)
+        replayed = run_episode(seed, schedule=restored)
+        assert replayed.fingerprint == original.fingerprint
+        assert replayed.outcome == original.outcome
+
+
+class TestScheduleSampling:
+    def test_campaign_mixes_all_fault_kinds(self):
+        kinds = set()
+        for seed in CAMPAIGN_SEEDS:
+            kinds |= {f.kind for f in sample_schedule(seed).faults}
+        assert kinds == {KIND_CRASH, KIND_DISK, KIND_PARTITION,
+                         KIND_POISON, KIND_CLIENT_CRASH}
+
+    def test_fault_record_round_trip(self):
+        for seed in range(30):
+            schedule = sample_schedule(seed)
+            assert ChaosSchedule.from_record(schedule.to_record()) == schedule
+
+    def test_fault_count_respects_config_bounds(self):
+        config = ChaosConfig(min_faults=2, max_faults=4)
+        for seed in range(30):
+            n = len(sample_schedule(seed, config).faults)
+            assert 2 <= n <= 4
+
+
+class TestAcceptanceCampaign:
+    def test_200_episodes_zero_guarantee_violations(self):
+        # The ISSUE's acceptance gate: a fixed-seed campaign mixing
+        # crashes, disk faults, partitions, poison handlers, and client
+        # crashes completes with no violation / stall / error outcome.
+        outcomes: dict[str, int] = {}
+        failing = []
+        for seed in CAMPAIGN_SEEDS:
+            result = run_episode(seed)
+            outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+            if result.failed:
+                failing.append((seed, result.outcome, result.violations))
+        assert not failing, f"failing episodes: {failing}"
+        # The campaign must actually exercise recovery, not dodge it.
+        assert outcomes.get(OUTCOME_OK, 0) > 100
+        # Bit-flip corruption episodes are expected to surface as one of
+        # the two corruption outcomes (documented data-loss model for
+        # redo-only logging), never as an undetected violation.
+        assert set(outcomes) <= {
+            OUTCOME_OK, OUTCOME_CORRUPTION_DETECTED, OUTCOME_CORRUPTION_DATA_LOSS,
+        }
+        assert all(o not in FAILING_OUTCOMES for o in outcomes)
+
+
+class TestEpisodeResult:
+    def test_result_record_is_json_ready(self):
+        result = run_episode(5)
+        wire = json.dumps(result.to_record(), sort_keys=True)
+        back = json.loads(wire)
+        assert back["seed"] == 5
+        assert back["outcome"] == result.outcome
+        assert back["fingerprint"] == result.fingerprint
+
+    def test_episode_restarts_after_crash_faults(self):
+        # Find a seed whose schedule contains a crash fault that fires,
+        # and confirm the engine actually restarted and still finished.
+        for seed in CAMPAIGN_SEEDS:
+            result = run_episode(seed)
+            if result.restarts > 0 and result.outcome == OUTCOME_OK:
+                return
+        raise AssertionError("no episode restarted — campaign too tame")

@@ -1,0 +1,77 @@
+"""Shrinking tests: a planted test-only bug is found by the campaign
+and reduced to a minimal (<= 3 fault) counterexample that survives a
+JSON round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosSchedule, run_episode, shrink
+
+#: the planted bug: commit appends its record but never forces it, so a
+#: crash can lose an acknowledged commit — exactly-once then breaks
+BUGGY = ChaosConfig(planted_bug="ack-no-force")
+
+
+def _first_failing_seed(limit: int = 40):
+    for seed in range(limit):
+        result = run_episode(seed, BUGGY)
+        if result.failed:
+            return seed, result
+    raise AssertionError(
+        f"planted bug not detected in {limit} seeds — campaign too weak"
+    )
+
+
+class TestPlantedBugDetection:
+    def test_campaign_finds_the_planted_bug(self):
+        seed, result = _first_failing_seed()
+        assert result.failed
+        assert result.violations, "failure without a violation message"
+
+    def test_planted_bug_failures_are_deterministic(self):
+        seed, result = _first_failing_seed()
+        replay = run_episode(seed, BUGGY)
+        assert replay.outcome == result.outcome
+        assert replay.fingerprint == result.fingerprint
+
+
+class TestShrinking:
+    def test_shrinks_to_a_minimal_counterexample(self):
+        seed, result = _first_failing_seed()
+        shrunk = shrink(result.schedule, BUGGY, failed=result)
+        # The acceptance bar: a <= 3-fault minimal schedule.
+        assert len(shrunk.minimal.faults) <= 3
+        assert len(shrunk.minimal.faults) <= len(result.schedule.faults)
+        assert shrunk.result.failed
+        assert shrunk.result.outcome == result.outcome
+        assert shrunk.replays >= 1
+
+    def test_minimal_schedule_survives_json_and_still_fails(self):
+        seed, result = _first_failing_seed()
+        shrunk = shrink(result.schedule, BUGGY, failed=result)
+        wire = json.dumps(shrunk.to_record(), sort_keys=True)
+        restored = ChaosSchedule.from_record(
+            json.loads(wire)["minimal_schedule"]
+        )
+        assert restored == shrunk.minimal
+        replay = run_episode(restored.seed, BUGGY, schedule=restored)
+        assert replay.outcome == result.outcome
+
+    def test_shrink_rejects_a_passing_schedule(self):
+        result = run_episode(1)  # healthy stack, seed 1 passes
+        assert not result.failed
+        with pytest.raises(ValueError):
+            shrink(result.schedule, failed=result)
+
+    def test_shrink_report_counts_removals(self):
+        seed, result = _first_failing_seed()
+        shrunk = shrink(result.schedule, BUGGY, failed=result)
+        assert shrunk.removed == (
+            len(result.schedule.faults) - len(shrunk.minimal.faults)
+        )
+        record = shrunk.to_record()
+        assert record["original_faults"] == len(result.schedule.faults)
+        assert record["minimal_faults"] == len(shrunk.minimal.faults)

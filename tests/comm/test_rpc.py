@@ -52,6 +52,97 @@ class TestRpcChannel:
         assert effects == []
 
 
+class TestCallCorrelation:
+    def test_concurrent_calls_each_get_their_own_result(self):
+        # Many threads share one channel over a duplicating network:
+        # the per-call id must route every (possibly duplicated)
+        # response to exactly its own caller.
+        import threading
+
+        net = SimNetwork(seed=5, dup_rate=0.3)
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server", seed=5)
+        results: dict[tuple[int, int], object] = {}
+        mutex = threading.Lock()
+
+        def caller(tid: int) -> None:
+            for i in range(25):
+                value = channel.call(lambda tid=tid, i=i: ("r", tid, i))
+                with mutex:
+                    results[(tid, i)] = value
+
+        threads = [threading.Thread(target=caller, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 8 * 25
+        for (tid, i), value in results.items():
+            assert value == ("r", tid, i)
+
+    def test_duplicated_responses_are_discarded(self):
+        net = SimNetwork(seed=2, dup_rate=1.0)  # every message doubled
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server")
+        assert [channel.call(lambda i=i: i) for i in range(10)] == list(range(10))
+
+
+class TestRetryBackoff:
+    def _delays_for(self, seed: int, monkeypatch) -> list[float]:
+        from repro.comm import rpc as rpc_module
+
+        slept: list[float] = []
+        monkeypatch.setattr(
+            rpc_module._time, "sleep", lambda d: slept.append(round(d, 9))
+        )
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        RpcServer(net, "server")
+        channel = RpcChannel(
+            net, "client", "server", max_retries=6,
+            backoff_base=0.001, backoff_max=1.0, seed=seed,
+        )
+        with pytest.raises(RpcTimeout):
+            channel.call(lambda: "never")
+        return slept
+
+    def test_backoff_is_seed_deterministic(self, monkeypatch):
+        assert self._delays_for(3, monkeypatch) == self._delays_for(3, monkeypatch)
+        assert self._delays_for(3, monkeypatch) != self._delays_for(4, monkeypatch)
+
+    def test_backoff_grows_and_respects_the_cap(self, monkeypatch):
+        from repro.comm import rpc as rpc_module
+
+        slept: list[float] = []
+        monkeypatch.setattr(rpc_module._time, "sleep", lambda d: slept.append(d))
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        RpcServer(net, "server")
+        channel = RpcChannel(
+            net, "client", "server", max_retries=8,
+            backoff_base=0.001, backoff_factor=2.0, backoff_max=0.004, seed=0,
+        )
+        with pytest.raises(RpcTimeout):
+            channel.call(lambda: "never")
+        assert len(slept) == 8
+        # Jitter is in [0.5, 1.0), so the cap bounds every sleep and the
+        # later (capped) delays still exceed the first un-capped one.
+        assert all(d <= 0.004 for d in slept)
+        assert max(slept) > min(slept)
+
+    def test_zero_base_never_sleeps(self, monkeypatch):
+        from repro.comm import rpc as rpc_module
+
+        monkeypatch.setattr(
+            rpc_module._time, "sleep",
+            lambda d: (_ for _ in ()).throw(AssertionError("slept")),
+        )
+        net = SimNetwork(seed=1, loss_rate=1.0)
+        RpcServer(net, "server")
+        channel = RpcChannel(net, "client", "server", max_retries=3,
+                             backoff_base=0.0)
+        with pytest.raises(RpcTimeout):
+            channel.call(lambda: "never")
+
+
 class TestOneWayTransportWithClerk:
     def test_oneway_send_through_transport(self):
         from repro.core.request import Request

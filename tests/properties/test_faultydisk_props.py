@@ -1,0 +1,148 @@
+"""Property-based tests for :class:`repro.storage.faults.FaultyDisk`.
+
+The decorator's contract is all-or-nothing per call: every operation
+either raises (:class:`~repro.errors.DiskIOError` /
+:class:`~repro.errors.DiskFullError`) with **no effect**, or behaves
+exactly like the wrapped disk.  We drive a random operation sequence
+with random planned faults and failure rates against a
+``FaultyDisk(MemDisk())`` while mirroring every *acknowledged*
+operation in a shadow model of the MemDisk semantics; at each readable
+point the real disk must agree with the model bit-for-bit — in
+particular the append-only areas only ever grow by acknowledged
+appends, in order (the prefix contract).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DiskFullError, DiskIOError
+from repro.storage.disk import MemDisk
+from repro.storage.faults import (
+    DISK_FULL,
+    IO_ERROR,
+    PERMANENT,
+    DiskFault,
+    FaultyDisk,
+)
+
+AREAS = ("log", "ckpt")
+
+# corrupt faults intentionally violate read-back equality (they model
+# silent media decay); the no-effect contract is about the other kinds
+fault_strategy = st.builds(
+    DiskFault,
+    op=st.sampled_from(("append", "flush", "read", "replace")),
+    hit=st.integers(min_value=1, max_value=12),
+    kind=st.sampled_from((IO_ERROR, DISK_FULL, PERMANENT)),
+    area=st.sampled_from(AREAS + (None,)),
+    duration=st.integers(min_value=1, max_value=3),
+)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("append"), st.sampled_from(AREAS),
+              st.binary(min_size=1, max_size=8)),
+    st.tuples(st.just("flush"), st.sampled_from(AREAS), st.none()),
+    st.tuples(st.just("read"), st.sampled_from(AREAS), st.none()),
+    st.tuples(st.just("replace"), st.sampled_from(AREAS),
+              st.binary(max_size=8)),
+    st.tuples(st.just("crash"), st.none(), st.none()),
+)
+
+
+class ShadowDisk:
+    """Reference model of MemDisk semantics (torn_tail_bytes=0)."""
+
+    def __init__(self):
+        self.durable: dict[str, bytes] = {}
+        self.buffer: dict[str, bytes] = {}
+
+    def append(self, area, data):
+        self.buffer[area] = self.buffer.get(area, b"") + data
+        self.durable.setdefault(area, b"")
+
+    def flush(self, area):
+        self.durable[area] = self.durable.get(area, b"") + self.buffer.get(area, b"")
+        self.buffer[area] = b""
+
+    def replace(self, area, data):
+        self.durable[area] = data
+        self.buffer[area] = b""
+
+    def crash(self):
+        self.buffer = {area: b"" for area in self.buffer}
+
+    def read(self, area):
+        return self.durable.get(area, b"") + self.buffer.get(area, b"")
+
+
+@given(
+    faults=st.lists(fault_strategy, max_size=4),
+    rates=st.fixed_dictionaries(
+        {},
+        optional={
+            "append": st.sampled_from((0.0, 0.3, 1.0)),
+            "flush": st.sampled_from((0.0, 0.3, 1.0)),
+        },
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+    ops=st.lists(op_strategy, max_size=30),
+)
+@settings(max_examples=200, deadline=None)
+def test_every_op_raises_or_matches_the_model(faults, rates, seed, ops):
+    inner = MemDisk()
+    disk = FaultyDisk(inner, faults=faults, seed=seed, rates=rates)
+    model = ShadowDisk()
+    for op, area, data in ops:
+        if op == "crash":
+            disk.crash()
+            disk.recover()
+            disk.revive()  # restart protocol: replace a dead device
+            model.crash()
+            continue
+        try:
+            if op == "append":
+                disk.append(area, data)
+            elif op == "flush":
+                disk.flush(area)
+            elif op == "replace":
+                disk.replace(area, data)
+            else:
+                observed = disk.read(area)
+                assert observed == model.read(area)
+                continue
+        except (DiskIOError, DiskFullError):
+            continue  # no effect: the model is not advanced
+        # Acknowledged: mirror the operation in the model.
+        getattr(model, op)(area, *([data] if data is not None else []))
+    # Quiesce the fault plan and compare the final images directly.
+    disk.heal()
+    for area in AREAS:
+        assert disk.read(area) == model.read(area)
+        assert inner.durable_read(area) == model.durable.get(area, b"")
+
+
+@given(
+    faults=st.lists(fault_strategy, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+    payloads=st.lists(st.binary(min_size=1, max_size=8), max_size=20),
+)
+@settings(max_examples=200, deadline=None)
+def test_acknowledged_appends_form_the_exact_area_contents(
+    faults, seed, payloads
+):
+    """The append-only prefix contract: an area's contents are exactly
+    the concatenation of the acknowledged appends, in submission order —
+    a failed append contributes nothing, anywhere."""
+    disk = FaultyDisk(MemDisk(), faults=faults, seed=seed)
+    acknowledged = []
+    for payload in payloads:
+        try:
+            disk.append("log", payload)
+        except (DiskIOError, DiskFullError):
+            disk.revive()  # a PERMANENT fault would fail all the rest
+            continue
+        acknowledged.append(payload)
+    disk.heal()
+    assert disk.read("log") == b"".join(acknowledged)

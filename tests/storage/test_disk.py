@@ -173,3 +173,26 @@ class TestFileDisk:
         disk2 = FileDisk(root)
         assert disk2.append("a", b"6") == 5
         disk2.close()
+
+    def test_replace_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        # The rename of the write-temp/fsync/rename idiom lives in the
+        # *directory*: without fsyncing it, a power failure can revert
+        # the checkpoint to the old name after the log was truncated.
+        import os
+        import stat
+
+        real_fsync = os.fsync
+        synced: list[bool] = []  # True when the fsynced fd is a directory
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        root = str(tmp_path / "d")
+        disk = FileDisk(root)
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        disk.replace("ckpt", b"snapshot")
+        # One file fsync (the temp file) and one directory fsync, in
+        # that order: data durable before the rename is.
+        assert synced == [False, True]
+        disk.close()

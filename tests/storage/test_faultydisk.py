@@ -1,0 +1,191 @@
+"""Unit tests for :class:`repro.storage.faults.FaultyDisk`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiskFullError, DiskIOError
+from repro.storage.disk import MemDisk
+from repro.storage.faults import (
+    CORRUPT,
+    DISK_FULL,
+    IO_ERROR,
+    PERMANENT,
+    DiskFault,
+    FaultyDisk,
+)
+
+
+class TestDiskFaultValidation:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            DiskFault(op="format")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DiskFault(op="append", kind="gremlins")
+
+    def test_rejects_nonpositive_hit_and_duration(self):
+        with pytest.raises(ValueError):
+            DiskFault(op="append", hit=0)
+        with pytest.raises(ValueError):
+            DiskFault(op="append", duration=0)
+
+    def test_record_round_trip(self):
+        fault = DiskFault(op="flush", hit=3, kind=DISK_FULL,
+                          area="log", duration=2)
+        assert DiskFault.from_record(fault.to_record()) == fault
+
+    def test_record_omits_defaults(self):
+        assert DiskFault(op="read").to_record() == {
+            "op": "read", "hit": 1, "kind": IO_ERROR,
+        }
+
+
+class TestPlannedFaults:
+    def test_nth_call_raises_and_has_no_effect(self):
+        disk = FaultyDisk(MemDisk(), faults=[DiskFault(op="append", hit=2)])
+        disk.append("a", b"one")
+        with pytest.raises(DiskIOError):
+            disk.append("a", b"never lands")
+        disk.append("a", b"three")
+        assert disk.read("a") == b"one" + b"three"
+
+    def test_area_restricted_hit_counts_only_that_area(self):
+        disk = FaultyDisk(
+            MemDisk(), faults=[DiskFault(op="append", hit=2, area="b")]
+        )
+        disk.append("a", b"x")   # does not count towards area "b"
+        disk.append("b", b"1")
+        disk.append("a", b"y")
+        with pytest.raises(DiskIOError):
+            disk.append("b", b"2")  # 2nd append on area "b"
+        assert disk.read("b") == b"1"
+
+    def test_duration_extends_over_consecutive_calls(self):
+        disk = FaultyDisk(
+            MemDisk(), faults=[DiskFault(op="flush", hit=1, duration=3)]
+        )
+        disk.append("a", b"x")
+        for _ in range(3):
+            with pytest.raises(DiskIOError):
+                disk.flush("a")
+        disk.flush("a")  # 4th call succeeds
+        assert disk.durable_read("a") == b"x"
+
+    def test_disk_full_on_write_path(self):
+        disk = FaultyDisk(
+            MemDisk(), faults=[DiskFault(op="append", kind=DISK_FULL)]
+        )
+        with pytest.raises(DiskFullError):
+            disk.append("a", b"x")
+        assert disk.read("a") == b""
+
+    def test_injected_history_records_firings(self):
+        disk = FaultyDisk(MemDisk(), faults=[DiskFault(op="append", hit=1)])
+        with pytest.raises(DiskIOError):
+            disk.append("a", b"x")
+        assert len(disk.injected) == 1
+        assert disk.injected[0].op == "append"
+        assert disk.injected[0].area == "a"
+
+
+class TestPermanentFaults:
+    def test_everything_fails_until_heal(self):
+        disk = FaultyDisk(
+            MemDisk(), faults=[DiskFault(op="flush", hit=2, kind=PERMANENT)]
+        )
+        disk.append("a", b"x")
+        disk.flush("a")
+        with pytest.raises(DiskIOError):
+            disk.flush("a")  # device dies here
+        assert disk.dead
+        with pytest.raises(DiskIOError):
+            disk.read("a")   # every op now fails, not just flush
+        with pytest.raises(DiskIOError):
+            disk.append("a", b"y")
+        disk.heal()
+        assert not disk.dead
+        assert disk.read("a") == b"x"
+
+    def test_heal_clears_remaining_plan(self):
+        disk = FaultyDisk(MemDisk(), faults=[DiskFault(op="append", hit=5)])
+        disk.heal()
+        for i in range(8):
+            disk.append("a", bytes([i]))  # hit 5 never fires
+
+    def test_revive_clears_only_the_permanent_failure(self):
+        # The chaos engine's restart protocol: replacing the failed
+        # device brings the node back, but not-yet-fired planned faults
+        # still lie ahead.
+        disk = FaultyDisk(MemDisk(), faults=[
+            DiskFault(op="append", hit=1, kind=PERMANENT),
+            DiskFault(op="flush", hit=2),
+        ])
+        with pytest.raises(DiskIOError):
+            disk.append("a", b"x")
+        assert disk.dead
+        disk.revive()
+        assert not disk.dead
+        disk.append("a", b"x")
+        disk.flush("a")
+        with pytest.raises(DiskIOError):
+            disk.flush("a")  # the planned flush fault survived revive()
+
+
+class TestCorruptFaults:
+    def test_corrupt_flips_a_durable_bit_and_call_proceeds(self):
+        inner = MemDisk()
+        disk = FaultyDisk(
+            inner, faults=[DiskFault(op="flush", hit=2, kind=CORRUPT)], seed=1
+        )
+        disk.append("a", b"A" * 64)
+        disk.flush("a")
+        before = inner.durable_read("a")
+        disk.append("a", b"B" * 64)
+        disk.flush("a")  # corrupts one durable byte, then flushes
+        after = inner.durable_read("a")
+        assert len(after) == 128
+        damage = [i for i in range(64) if after[i] != before[i]]
+        assert len(damage) == 1  # exactly one byte, in the old image
+
+
+class TestRates:
+    def test_rate_one_always_fails(self):
+        disk = FaultyDisk(MemDisk(), rates={"append": 1.0}, seed=3)
+        for _ in range(5):
+            with pytest.raises(DiskIOError):
+                disk.append("a", b"x")
+
+    def test_rate_faults_are_seed_deterministic(self):
+        def failure_pattern(seed: int) -> list[bool]:
+            disk = FaultyDisk(MemDisk(), rates={"append": 0.5}, seed=seed)
+            pattern = []
+            for i in range(40):
+                try:
+                    disk.append("a", bytes([i]))
+                    pattern.append(False)
+                except DiskIOError:
+                    pattern.append(True)
+            return pattern
+
+        assert failure_pattern(7) == failure_pattern(7)
+        assert failure_pattern(7) != failure_pattern(8)
+
+
+class TestDelegation:
+    def test_crash_semantics_pass_through(self):
+        inner = MemDisk()
+        disk = FaultyDisk(inner)
+        disk.append("a", b"buffered")
+        assert disk.crashed is False
+        disk.crash()
+        assert disk.crashed is True
+        disk.recover()
+        assert disk.read("a") == b""  # unflushed data gone
+
+    def test_size_and_areas_delegate(self):
+        disk = FaultyDisk(MemDisk())
+        disk.append("a", b"xyz")
+        assert disk.areas() == ["a"]
+        assert disk.size("a") == 3

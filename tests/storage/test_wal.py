@@ -194,8 +194,9 @@ class TestCrashRecovery:
         assert lsn == end
 
     def test_append_after_torn_tail_recovers_cleanly(self):
-        # After a torn tail, a restarted WAL appends after the garbage;
-        # the scan must still stop at the tear (garbage never parses).
+        # A restarted WAL durably trims the torn tail before appending;
+        # leaving the garbage in place and appending after it would turn
+        # an expected torn write into mid-log corruption on later scans.
         disk = MemDisk(torn_tail_bytes=3)
         wal = WriteAheadLog(disk)
         wal.append(b"solid")
@@ -206,6 +207,58 @@ class TestCrashRecovery:
         wal2 = WriteAheadLog(disk)
         records = wal2.records()
         assert [r.payload for r in records] == [b"solid"]
+
+    def test_restart_trims_torn_tail_so_new_appends_scan_clean(self):
+        # Regression found by the chaos campaign (seed 0): with the
+        # torn tail left on disk, a record appended after restart sat
+        # beyond the damage, and the next full scan raised
+        # CorruptRecordError ("valid data after corruption") on a log
+        # that was actually healthy.
+        disk = MemDisk(torn_tail_bytes=7)
+        wal = WriteAheadLog(disk)
+        wal.append(b"keep me")
+        wal.flush()
+        end = wal.next_lsn
+        wal.append(b"this one tears")
+        disk.crash()
+        disk.recover()
+        assert len(disk.read("wal")) > end  # the tear is really there
+        wal2 = WriteAheadLog(disk)
+        assert wal2.next_lsn == end          # trimmed, not skipped over
+        assert len(disk.read("wal")) == end  # and durably so
+        wal2.append(b"after restart")
+        wal2.flush()
+        # Survives any number of restarts with no corruption report.
+        payloads = [r.payload for r in WriteAheadLog(disk).records()]
+        assert payloads == [b"keep me", b"after restart"]
+
+    def test_restart_trim_tolerates_repeated_crashes(self):
+        disk = MemDisk(torn_tail_bytes=5)
+        expect = []
+        for i in range(4):
+            wal = WriteAheadLog(disk)
+            durable = f"gen{i}".encode()
+            wal.append(durable)
+            wal.flush()
+            expect.append(durable)
+            wal.append(b"doomed" * 3)
+            disk.crash()
+            disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == expect
+
+    def test_restart_still_raises_on_mid_log_corruption(self):
+        # The trim must never truncate at damage that has valid records
+        # after it — that is real corruption, not a torn tail.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"first")
+        wal.append(b"second")
+        wal.flush()
+        raw = bytearray(disk.read("wal"))
+        raw[HEADER_SIZE] ^= 0xFF  # damage the first record's payload
+        disk.replace("wal", bytes(raw))
+        with pytest.raises(CorruptRecordError):
+            WriteAheadLog(disk)
 
 
 class TestCorruption:
