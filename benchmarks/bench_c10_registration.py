@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import itertools
 
-from repro.core.guarantees import GuaranteeChecker
 from repro.core.request import Request
 from repro.core.system import TPSystem
 from repro.sim.trace import TraceRecorder

@@ -14,7 +14,6 @@ everything after healing, at the cost of extra delivery latency.
 
 from __future__ import annotations
 
-from repro.errors import PartitionedError
 from repro.queueing.relay import StableRelay
 from repro.queueing.repository import QueueRepository
 from repro.storage.disk import MemDisk

@@ -1,17 +1,26 @@
 #!/usr/bin/env python
-"""Commit-throughput benchmark for the group-commit coordinator.
+"""Commit-throughput benchmarks: group commit and repository sharding.
 
-Runs N committer threads x M transactions each against one repository
-(a KV table sharing the node's log, as in Figure 5's server
-transaction), on both the in-memory disk and the file-backed disk, with
-group commit disabled (the seed's one-fsync-per-commit behaviour) and
-enabled.  Writes ``BENCH_groupcommit.json`` with txn/s, the disk's
-flush count, and the batch-size distribution, so the performance
-trajectory has data points.
+**groupcommit** (default): N committer threads x M transactions each
+against one repository (a KV table sharing the node's log, as in
+Figure 5's server transaction), on both the in-memory disk and the
+file-backed disk, with group commit disabled (the seed's
+one-fsync-per-commit behaviour) and enabled.  Writes
+``BENCH_groupcommit.json`` with txn/s, the disk's flush count, and the
+batch-size distribution.
+
+**sharding** (``--shards N``): the same committer workload against a
+:class:`~repro.queueing.sharded.ShardedRepository` over 1, 2, ... N
+file-backed shard disks, each thread pinned to one shard's table
+(single-shard transactions: one log force, no 2PC — the routed commit
+counters prove it), plus one cross-shard cell at N shards where every
+transaction spans two shards and is promoted to two-phase commit.
+Writes ``BENCH_sharding.json`` with txn/s per shard count.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py            # group commit
+    PYTHONPATH=src python benchmarks/run_bench.py --shards 4 # sharding
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -26,7 +35,9 @@ import threading
 import time
 
 from repro.obs import Observability
+from repro.queueing.placement import PinnedPlacement
 from repro.queueing.repository import QueueRepository
+from repro.queueing.sharded import ShardedRepository
 from repro.storage.disk import FileDisk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
 
@@ -112,6 +123,130 @@ def run_scenario(
             tmpdir.cleanup()
 
 
+def run_sharded_scenario(
+    shard_count: int,
+    threads_n: int,
+    txns_n: int,
+    workload: str,
+) -> dict:
+    """One sharding-benchmark cell on file-backed shard disks.
+
+    ``workload="single"`` pins thread *t* to a table on shard
+    ``t % shard_count`` — every transaction stays on one shard and
+    commits with a single log force.  ``workload="cross"`` makes every
+    transaction also write the next thread's table, so (for more than
+    one shard) each commit spans two shards and promotes to 2PC.
+    """
+    obs = Observability()
+    tmpdirs = [
+        tempfile.TemporaryDirectory(prefix="repro-bench-")
+        for _ in range(shard_count)
+    ]
+    disks = [FileDisk(d.name) for d in tmpdirs]
+    try:
+        placement = PinnedPlacement(
+            {f"t{t}": t % shard_count for t in range(threads_n)}
+        )
+        repo = ShardedRepository(
+            "bench", disks, obs=obs,
+            group_commit=GroupCommitConfig(enabled=False),
+            placement=placement,
+        )
+        tables = [repo.create_table(f"t{t}") for t in range(threads_n)]
+        tm = repo.tm
+        commits_before = tm.commits
+        single_before = getattr(tm, "single_shard_commits", 0)
+        cross_before = getattr(tm, "cross_shard_commits", 0)
+        flushes_before = sum(disk.flush_count for disk in disks)
+        errors: list[BaseException] = []
+
+        def committer(tid: int) -> None:
+            table = tables[tid]
+            other = tables[(tid + 1) % threads_n]
+            try:
+                for i in range(txns_n):
+                    with tm.transaction() as txn:
+                        table.put(txn, f"k{tid}-{i}", i)
+                        if workload == "cross":
+                            other.put(txn, f"x{tid}-{i}", i)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=committer, args=(t,))
+            for t in range(threads_n)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        commits = threads_n * txns_n
+        flushes = sum(disk.flush_count for disk in disks) - flushes_before
+        if shard_count == 1:
+            # Passthrough repository: a plain TransactionManager, every
+            # commit trivially single-shard.
+            single, cross = tm.commits - commits_before, 0
+        else:
+            single = tm.single_shard_commits - single_before
+            cross = tm.cross_shard_commits - cross_before
+        return {
+            "shards": shard_count,
+            "workload": workload,
+            "threads": threads_n,
+            "txns_per_thread": txns_n,
+            "commits": commits,
+            "single_shard_commits": single,
+            "cross_shard_commits": cross,
+            "flushes": flushes,
+            "flushes_per_commit": flushes / commits if commits else 0.0,
+            "txn_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        for disk in disks:
+            disk.close()
+        for tmpdir in tmpdirs:
+            tmpdir.cleanup()
+
+
+def run_sharding(args: argparse.Namespace) -> dict:
+    threads_n = args.threads
+    txns_n = args.txns
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 40)
+    counts = []
+    count = 1
+    while count < args.shards:
+        counts.append(count)
+        count *= 2
+    counts.append(args.shards)
+    scenarios = []
+    for shard_count in counts:
+        print(f"running sharding/single x{shard_count} "
+              f"({threads_n} threads x {txns_n} txns)...", flush=True)
+        row = run_sharded_scenario(shard_count, threads_n, txns_n, "single")
+        print(f"  {row['txn_per_sec']:.0f} txn/s, "
+              f"{row['cross_shard_commits']} cross-shard commits")
+        scenarios.append(row)
+    print(f"running sharding/cross x{args.shards}...", flush=True)
+    row = run_sharded_scenario(args.shards, threads_n, txns_n, "cross")
+    print(f"  {row['txn_per_sec']:.0f} txn/s, "
+          f"{row['cross_shard_commits']} cross-shard commits")
+    scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "sharding",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     threads_n = args.threads
     txns_n = args.txns
@@ -142,7 +277,7 @@ def run(args: argparse.Namespace) -> dict:
 
 # -- schema check (CI smoke) -------------------------------------------------
 
-_SCENARIO_FIELDS = {
+_GROUPCOMMIT_FIELDS = {
     "disk": str,
     "group_commit": bool,
     "max_wait": (int, float),
@@ -156,6 +291,68 @@ _SCENARIO_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_SHARDING_FIELDS = {
+    "shards": int,
+    "workload": str,
+    "threads": int,
+    "txns_per_thread": int,
+    "commits": int,
+    "single_shard_commits": int,
+    "cross_shard_commits": int,
+    "flushes": int,
+    "flushes_per_commit": (int, float),
+    "txn_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
+#: per-benchmark scenario schemas; ``validate`` accepts any known one
+_SCHEMAS = {
+    "groupcommit": _GROUPCOMMIT_FIELDS,
+    "sharding": _SHARDING_FIELDS,
+}
+
+
+def _check_groupcommit_row(index: int, row: dict) -> list[str]:
+    errors: list[str] = []
+    batch = row.get("batch_size")
+    if batch is not None and (
+        not isinstance(batch, dict) or "buckets" not in batch
+    ):
+        errors.append(f"scenarios[{index}].batch_size malformed")
+    if row.get("group_commit") and not row.get("batch_size"):
+        errors.append(
+            f"scenarios[{index}]: group-commit run has no batch histogram"
+        )
+    return errors
+
+
+def _check_sharding_row(index: int, row: dict) -> list[str]:
+    # The acceptance invariant: pinned single-shard work must never pay
+    # for 2PC, and the cross workload (on >1 shard) always promotes.
+    errors: list[str] = []
+    if row.get("workload") == "single" and row.get("cross_shard_commits"):
+        errors.append(
+            f"scenarios[{index}]: single-shard workload reported "
+            f"{row['cross_shard_commits']} cross-shard (2PC) commits"
+        )
+    if (
+        row.get("workload") == "cross"
+        and isinstance(row.get("shards"), int)
+        and row["shards"] > 1
+        and row.get("cross_shard_commits") != row.get("commits")
+    ):
+        errors.append(
+            f"scenarios[{index}]: cross workload should promote every "
+            "commit to 2PC"
+        )
+    return errors
+
+
+_ROW_CHECKS = {
+    "groupcommit": _check_groupcommit_row,
+    "sharding": _check_sharding_row,
+}
+
 
 def validate(doc: object) -> list[str]:
     """Schema errors in a benchmark JSON document (empty = valid)."""
@@ -164,16 +361,21 @@ def validate(doc: object) -> list[str]:
         return ["document is not an object"]
     if doc.get("version") != SCHEMA_VERSION:
         errors.append(f"version must be {SCHEMA_VERSION}")
-    if doc.get("benchmark") != "groupcommit":
-        errors.append("benchmark must be 'groupcommit'")
+    benchmark = doc.get("benchmark")
+    fields = _SCHEMAS.get(benchmark)
+    if fields is None:
+        return errors + [
+            f"benchmark must be one of {sorted(_SCHEMAS)}, got {benchmark!r}"
+        ]
     scenarios = doc.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
         return errors + ["scenarios must be a non-empty list"]
+    row_check = _ROW_CHECKS[benchmark]
     for index, row in enumerate(scenarios):
         if not isinstance(row, dict):
             errors.append(f"scenarios[{index}] is not an object")
             continue
-        for field, kind in _SCENARIO_FIELDS.items():
+        for field, kind in fields.items():
             if field not in row:
                 errors.append(f"scenarios[{index}] missing {field!r}")
             elif not isinstance(row[field], kind) or isinstance(row[field], bool) != (kind is bool):
@@ -181,15 +383,7 @@ def validate(doc: object) -> list[str]:
                     f"scenarios[{index}].{field} has type "
                     f"{type(row[field]).__name__}"
                 )
-        batch = row.get("batch_size")
-        if batch is not None and (
-            not isinstance(batch, dict) or "buckets" not in batch
-        ):
-            errors.append(f"scenarios[{index}].batch_size malformed")
-        if row.get("group_commit") and not row.get("batch_size"):
-            errors.append(
-                f"scenarios[{index}]: group-commit run has no batch histogram"
-            )
+        errors.extend(row_check(index, row))
     return errors
 
 
@@ -201,12 +395,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-wait", type=float, default=0.0005,
                         help="group-commit wait window (seconds)")
     parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run the sharding benchmark over 1..N "
+                             "file-backed repository shards instead of "
+                             "the group-commit benchmark")
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI smoke testing")
-    parser.add_argument("--out", default="BENCH_groupcommit.json")
+    parser.add_argument("--out", default=None,
+                        help="result file (default BENCH_<benchmark>.json)")
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            "BENCH_sharding.json" if args.shards else "BENCH_groupcommit.json"
+        )
 
     if args.check:
         with open(args.check) as f:
@@ -219,7 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.check}: schema ok ({len(doc['scenarios'])} scenarios)")
         return 0
 
-    doc = run(args)
+    doc = run_sharding(args) if args.shards else run(args)
     errors = validate(doc)
     if errors:  # pragma: no cover - a bug in this script
         for error in errors:

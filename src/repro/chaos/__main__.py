@@ -31,6 +31,7 @@ def _build_config(args: argparse.Namespace) -> ChaosConfig:
         servers=args.servers,
         max_faults=args.max_faults,
         planted_bug=args.planted_bug,
+        shards=args.shards,
     )
 
 
@@ -53,6 +54,10 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="servers on the request queue (default 2)")
     parser.add_argument("--max-faults", type=int, default=6,
                         help="max faults sampled per episode (default 6)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="repository shards under the queue node; >1 "
+                             "targets disk faults at individual shards and "
+                             "adds 2PC crash points (default 1)")
     parser.add_argument("--planted-bug", default=None,
                         help="enable a known test-only bug (e.g. 'ack-no-force') "
                              "to demo failure finding and shrinking")
@@ -133,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
                 "servers": config.servers,
                 "max_faults": config.max_faults,
                 "planted_bug": config.planted_bug,
+                "shards": config.shards,
             },
             "outcomes": outcomes,
             "failures": failures,

@@ -79,6 +79,7 @@ from repro.errors import (
     SimulatedCrash,
     StorageError,
     TransactionAborted,
+    TwoPhaseInDoubtError,
     WalPanicError,
 )
 from repro.obs import get_observability
@@ -295,11 +296,24 @@ class ChaosEngine:
         self.injector = FaultInjector(record=False)
         for fault in schedule.of_kind(KIND_CRASH):
             self.injector.arm(fault.point, fault.hit)
-        self.faulty = FaultyDisk(
-            MemDisk(torn_tail_bytes=schedule.torn_tail),
-            faults=[f.to_disk_fault() for f in schedule.of_kind(KIND_DISK)],
-            seed=self.seed,
-        )
+        # One faulty device per repository shard; each disk fault is
+        # routed to its sampled target shard.  With shards=1 every fault
+        # lands on the single disk, matching the unsharded engine
+        # exactly.
+        shards = max(1, self.config.shards)
+        self.faulty_disks = [
+            FaultyDisk(
+                MemDisk(torn_tail_bytes=schedule.torn_tail),
+                faults=[
+                    f.to_disk_fault()
+                    for f in schedule.of_kind(KIND_DISK)
+                    if f.target % shards == i
+                ],
+                seed=self.seed + i,
+            )
+            for i in range(shards)
+        ]
+        self.faulty = self.faulty_disks[0]
         self.network = SimNetwork(
             seed=self.seed,
             loss_rate=schedule.loss_rate,
@@ -375,12 +389,12 @@ class ChaosEngine:
         recovery."""
         if self.config.planted_bug != "ack-no-force":
             raise ValueError(f"unknown planted bug {self.config.planted_bug!r}")
-        log = system.request_repo.log
+        for log in system.request_repo.logs:
 
-        def bad_log_commit(txn_id: int, _log=log) -> int:
-            return _log._append(KIND_COMMIT, txn_id, None, {}, flush=False)
+            def bad_log_commit(txn_id: int, _log=log) -> int:
+                return _log._append(KIND_COMMIT, txn_id, None, {}, flush=False)
 
-        log.log_commit = bad_log_commit
+            log.log_commit = bad_log_commit
 
     # ------------------------------------------------------------------
     # Crash / restart protocol
@@ -396,13 +410,22 @@ class ChaosEngine:
         for _ in range(_RESTART_ATTEMPTS):
             try:
                 if self.system is None:
-                    system = TPSystem(
-                        request_disk=self.faulty,
-                        injector=self.injector,
-                        trace=self.trace,
-                        request_queue=self.config.request_queue,
-                        max_aborts=self.config.max_aborts,
-                    )
+                    if len(self.faulty_disks) > 1:
+                        system = TPSystem(
+                            shard_disks=self.faulty_disks,
+                            injector=self.injector,
+                            trace=self.trace,
+                            request_queue=self.config.request_queue,
+                            max_aborts=self.config.max_aborts,
+                        )
+                    else:
+                        system = TPSystem(
+                            request_disk=self.faulty,
+                            injector=self.injector,
+                            trace=self.trace,
+                            request_queue=self.config.request_queue,
+                            max_aborts=self.config.max_aborts,
+                        )
                 else:
                     system = self.system.reopen(injector=self.injector)
                 self._wire(system)
@@ -418,11 +441,12 @@ class ChaosEngine:
         )
 
     def _crash_disk(self) -> None:
-        """Power-cycle the device between recovery attempts."""
-        if self.faulty.crashed is False:
-            self.faulty.crash()
-        self.faulty.revive()
-        self.faulty.recover()
+        """Power-cycle the devices between recovery attempts."""
+        for faulty in self.faulty_disks:
+            if faulty.crashed is False:
+                faulty.crash()
+            faulty.revive()
+            faulty.recover()
 
     def _restart(self) -> None:
         """Full node failure + restart recovery + client resync."""
@@ -431,7 +455,8 @@ class ChaosEngine:
         self.system.crash()
         # A permanently-failed device is replaced at restart; planned
         # (not-yet-fired) faults survive, as does the injected history.
-        self.faulty.revive()
+        for faulty in self.faulty_disks:
+            faulty.revive()
         self._boot()
 
     # ------------------------------------------------------------------
@@ -491,7 +516,10 @@ class ChaosEngine:
                     self._server_step(self.servers[pick - len(self.clients)])
             except SimulatedCrash:
                 self._restart()
-            except (WalPanicError, DiskCrashedError):
+            except (WalPanicError, DiskCrashedError, TwoPhaseInDoubtError):
+                # Node-fatal conditions: a panicked WAL, a dead disk, or
+                # a cross-shard branch stuck in doubt with its locks —
+                # restart recovery resolves all three.
                 self._restart()
         return self._workload_finished()
 
@@ -517,9 +545,9 @@ class ChaosEngine:
             # (panicked WAL, crashed disk) restart once more so the
             # checks read the durable truth.
             self._quiesce()
-            if (
-                self.system.request_repo.log.wal.panicked
-                or getattr(self.faulty, "crashed", False)
+            if self.system.request_repo.wal_panicked or any(
+                getattr(faulty, "crashed", False)
+                for faulty in self.faulty_disks
             ):
                 self._restart()
         except (CorruptRecordError, CheckpointError) as exc:
@@ -546,7 +574,8 @@ class ChaosEngine:
     def _quiesce(self) -> None:
         """Disarm every fault source for the drain phase."""
         self.injector.disarm()
-        self.faulty.heal()
+        for faulty in self.faulty_disks:
+            faulty.heal()
         self.network.heal()
         self.network.loss_rate = 0.0
         self.network.dup_rate = 0.0
@@ -563,12 +592,15 @@ class ChaosEngine:
                 require_completion=finished
             )
         ]
-        # WAL structural invariant: the surviving log must re-scan
-        # cleanly end to end.
-        try:
-            self.system.request_repo.log.records()
-        except StorageError as exc:
-            violations.append(f"[wal-structure] log re-scan failed: {exc}")
+        # WAL structural invariant: every shard's surviving log must
+        # re-scan cleanly end to end.
+        for index, log in enumerate(self.system.request_repo.logs):
+            try:
+                log.records()
+            except StorageError as exc:
+                violations.append(
+                    f"[wal-structure] shard {index} log re-scan failed: {exc}"
+                )
         if finished:
             violations.extend(self._check_counters())
         return violations
@@ -620,7 +652,7 @@ class ChaosEngine:
             violations=violations or [],
             steps=self.steps,
             restarts=self.restarts,
-            faults_injected=len(self.faulty.injected),
+            faults_injected=sum(len(f.injected) for f in self.faulty_disks),
             fingerprint=self.fingerprint(),
             error=error,
         )

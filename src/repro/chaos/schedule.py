@@ -42,6 +42,16 @@ CRASH_POINTS = (
     "wal.log.group_flush.after",
 )
 
+#: Extra crash points sampled only for sharded campaigns
+#: (``config.shards > 1``): the cross-shard two-phase-commit promotion
+#: path of :mod:`repro.transaction.routing`.
+SHARDED_CRASH_POINTS = CRASH_POINTS + (
+    "2pc.before_prepare",
+    "2pc.after_prepare",
+    "2pc.after_decision",
+    "2pc.after_branch_commit",
+)
+
 #: Disk operations the sampler targets, weighted towards the hot write
 #: path (append/flush run orders of magnitude more often than replace).
 _DISK_OPS = ("append", "append", "flush", "flush", "flush", "read", "replace")
@@ -159,6 +169,10 @@ class ChaosConfig:
     #: bug for the shrinking demo)
     planted_bug: str | None = None
     request_queue: str = "req.q"
+    #: repository shards under the queue node; with more than one,
+    #: disk faults target individual shards and the sampler also draws
+    #: crash points from the cross-shard 2PC path
+    shards: int = 1
 
     @property
     def total_requests(self) -> int:
@@ -238,12 +252,16 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
     """
     config = config if config is not None else ChaosConfig()
     rng = random.Random(f"chaos:{seed}:schedule")
+    # Sharded campaigns draw two extra values (2PC crash points, disk
+    # fault targets); at shards=1 the draw sequence — and therefore
+    # every sampled schedule — is byte-identical to the unsharded one.
+    crash_points = SHARDED_CRASH_POINTS if config.shards > 1 else CRASH_POINTS
     faults: list[ChaosFault] = []
     n = rng.randint(config.min_faults, config.max_faults)
     for _ in range(n):
         kind = _weighted_choice(rng, config.weights)
         if kind == KIND_CRASH:
-            point = rng.choice(CRASH_POINTS).format(rq=config.request_queue)
+            point = rng.choice(crash_points).format(rq=config.request_queue)
             faults.append(ChaosFault(
                 kind=kind, point=point, hit=rng.randint(1, config.max_hits),
             ))
@@ -251,9 +269,11 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
             mode = rng.choice(_DISK_KINDS)
             op = rng.choice(_DISK_OPS)
             duration = rng.choice((1, 1, 1, 2, 3)) if mode == IO_ERROR else 1
+            target = rng.randrange(config.shards) if config.shards > 1 else 0
             faults.append(ChaosFault(
                 kind=kind, op=op, mode=mode,
                 hit=rng.randint(1, config.max_hits * 4), duration=duration,
+                target=target,
             ))
         elif kind == KIND_PARTITION:
             faults.append(ChaosFault(

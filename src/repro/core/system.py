@@ -29,8 +29,9 @@ from repro.core.server import Handler, Server
 from repro.core.guarantees import GuaranteeChecker
 from repro.obs import Observability, get_observability
 from repro.queueing.manager import QueueManager
+from repro.queueing.placement import PlacementPolicy
 from repro.queueing.queue import DequeueMode
-from repro.queueing.repository import QueueRepository
+from repro.queueing.sharded import ShardedRepository
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import Disk, MemDisk
@@ -59,6 +60,9 @@ class TPSystem:
         count_crash_attempts: bool = False,
         separate_reply_node: bool = False,
         group_commit: GroupCommitConfig | None = None,
+        shards: int = 1,
+        shard_disks: Sequence[Disk] | None = None,
+        placement: PlacementPolicy | None = None,
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
@@ -68,25 +72,40 @@ class TPSystem:
         self.group_commit = (
             group_commit if group_commit is not None else GroupCommitConfig()
         )
+        if shard_disks:
+            shards = len(shard_disks)
+        if shards > 1 and separate_reply_node:
+            raise ValueError(
+                "separate_reply_node is the two-repository legacy layout; "
+                "with shards > 1, reply queues are placed across the shards"
+            )
+        self.placement = placement
         self._config = {
             "max_aborts": max_aborts,
             "queue_mode": queue_mode,
             "count_crash_attempts": count_crash_attempts,
             "separate_reply_node": separate_reply_node,
             "group_commit": self.group_commit,
+            "shards": shards,
         }
 
-        self.request_disk = request_disk if request_disk is not None else MemDisk()
-        self.request_repo = QueueRepository(
-            "reqnode", self.request_disk, self.injector, obs=self.obs,
-            group_commit=self.group_commit,
+        if shard_disks:
+            disks = list(shard_disks)
+        else:
+            disks = [request_disk if request_disk is not None else MemDisk()]
+            disks.extend(MemDisk() for _ in range(shards - 1))
+        self.shard_disks: list[Disk] = disks
+        self.request_disk = disks[0]
+        self.request_repo = ShardedRepository(
+            "reqnode", disks, self.injector, obs=self.obs,
+            group_commit=self.group_commit, placement=placement,
         )
         self.request_qm = QueueManager(self.request_repo)
 
         if separate_reply_node:
             self.reply_disk: Disk = reply_disk if reply_disk is not None else MemDisk()
-            self.reply_repo = QueueRepository(
-                "repnode", self.reply_disk, self.injector, obs=self.obs,
+            self.reply_repo = ShardedRepository(
+                "repnode", [self.reply_disk], self.injector, obs=self.obs,
                 group_commit=self.group_commit,
             )
             self.reply_qm = QueueManager(self.reply_repo)
@@ -231,14 +250,10 @@ class TPSystem:
         unknowable, exactly as a power failure would, so recovery sees
         only the durable prefix.
         """
-        disks = {id(self.request_disk): self.request_disk,
-                 id(self.reply_disk): self.reply_disk}.values()
-        panicked = any(
-            repo.log.wal.panicked
-            for repo in {id(self.request_repo): self.request_repo,
-                         id(self.reply_repo): self.reply_repo}.values()
-        )
-        for disk in disks:
+        repos = {id(self.request_repo): self.request_repo,
+                 id(self.reply_repo): self.reply_repo}.values()
+        panicked = any(repo.wal_panicked for repo in repos)
+        for disk in self._all_disks():
             crashed = getattr(disk, "crashed", None)
             if panicked and crashed is False:
                 disk.crash()
@@ -258,16 +273,34 @@ class TPSystem:
             count_crash_attempts=self._config["count_crash_attempts"],
             separate_reply_node=self._config["separate_reply_node"],
             group_commit=self._config["group_commit"],
+            shard_disks=self.shard_disks if self._config["shards"] > 1 else None,
+            placement=self.placement,
         )
+
+    def _all_disks(self) -> list[Disk]:
+        """Every distinct disk of every repository shard, in order."""
+        seen: dict[int, Disk] = {}
+        for disk in (*self.shard_disks, self.reply_disk):
+            seen.setdefault(id(disk), disk)
+        return list(seen.values())
 
     def crash(self) -> None:
         """Crash every node now (used by scenarios that crash between
         protocol steps rather than via an injector point).  Duck-typed:
         any disk exposing ``crash``/``crashed`` participates, including
         decorators like :class:`~repro.storage.faults.FaultyDisk`."""
-        for disk in (self.request_disk, self.reply_disk):
+        for disk in self._all_disks():
             if getattr(disk, "crashed", None) is False:
                 disk.crash()
+
+    def crash_shard(self, index: int) -> None:
+        """Crash one request-repository shard's disk (partial failure).
+
+        The rest of the system keeps running; transactions touching the
+        crashed shard fail until :meth:`reopen` recovers it."""
+        disk = self.request_repo.disks[index]
+        if getattr(disk, "crashed", None) is False:
+            disk.crash()
 
     # ------------------------------------------------------------------
     # Convenience
@@ -292,19 +325,45 @@ class TPSystem:
         return self.obs.tracer.timeline(rid)
 
     def drain(
-        self, server: Server, max_requests: int = 10_000
+        self, server: "Server | Sequence[Server]", max_requests: int = 10_000
     ) -> int:
-        """Have ``server`` process until its queue is empty; returns the
-        number processed (test convenience)."""
+        """Process until the queues are empty; returns the number
+        processed (test convenience).  Accepts one server or several —
+        multi-shard systems typically drain with one server per shard,
+        round-robin until none of them finds work."""
+        servers = [server] if isinstance(server, Server) else list(server)
         processed = 0
-        while processed < max_requests and server.process_one():
-            processed += 1
+        progressed = True
+        while progressed and processed < max_requests:
+            progressed = False
+            for srv in servers:
+                if processed >= max_requests:
+                    break
+                if srv.process_one():
+                    processed += 1
+                    progressed = True
         return processed
 
-    def queue_depths(self) -> dict[str, int]:
-        depths = {
-            name: queue.depth() for name, queue in self.request_repo.queues.items()
-        }
+    def queue_depths(self, by_shard: bool = False) -> dict[str, int]:
+        """Depth of every queue across every repository shard.
+
+        ``by_shard=True`` prefixes each entry with its owning shard
+        (``s0:req.q``) so partial-shard tests can assert placement; the
+        default keys stay shard-agnostic and therefore identical to the
+        unsharded layout.
+        """
+        if by_shard:
+            depths = {
+                f"s{index}:{name}": depth
+                for index, shard_depths in
+                self.request_repo.depths_by_shard().items()
+                for name, depth in shard_depths.items()
+            }
+        else:
+            depths = {
+                name: queue.depth()
+                for name, queue in self.request_repo.queues.items()
+            }
         if self.reply_repo is not self.request_repo:
             depths.update(
                 {

@@ -117,6 +117,16 @@ class TwoPhaseCommitError(TransactionError):
     """The two-phase commit protocol could not reach a decision."""
 
 
+class TwoPhaseInDoubtError(TwoPhaseCommitError):
+    """A durably-decided transaction could not apply its decision to a
+    prepared branch (phase 2 kept failing).
+
+    The branch is in doubt *on a live node*: it still holds its locks,
+    and only restart recovery — which replays the durable decision —
+    can resolve it.  Callers should treat this as node-fatal, exactly
+    like a WAL panic."""
+
+
 # ---------------------------------------------------------------------------
 # Queueing (Figure 3 operations)
 # ---------------------------------------------------------------------------

@@ -136,6 +136,15 @@ def render_dashboard(registry: MetricsRegistry) -> str:
         rows = sections.get(kind)
         if rows is None:
             continue
+        # Multi-series counter/gauge families get a family-total line so
+        # an operator reads the aggregate (e.g. WAL flushes across all
+        # shards) without summing label permutations by hand.
+        if kind in ("counter", "gauge") and len(family["series"]) > 1:
+            total = sum(series["value"] for series in family["series"])
+            shown = int(total) if float(total).is_integer() else round(total, 3)
+            rows.append(
+                f"  {name} (total of {len(family['series'])} series): {shown}"
+            )
         for series in family["series"]:
             label = _format_labels(series["labels"])
             if kind == "histogram":

@@ -24,6 +24,10 @@ features the paper attributes to commercial products:
   fork/join workflow of Section 6).
 * :mod:`repro.queueing.volatile` — volatile queues and the
   volatile-relay pattern (Section 10).
+* :mod:`repro.queueing.placement` / :mod:`repro.queueing.sharded` —
+  repository sharding: a pluggable placement policy maps queue and
+  table names onto N independent repositories behind one facade, with
+  cross-shard transactions promoted to two-phase commit.
 """
 
 from repro.queueing.element import Element, ElementState
@@ -31,6 +35,12 @@ from repro.queueing.queue import RecoverableQueue, QueueConfig, DequeueMode
 from repro.queueing.registration import RegistrationTable, Registration
 from repro.queueing.repository import QueueRepository
 from repro.queueing.manager import QueueManager, QueueHandle
+from repro.queueing.placement import (
+    ConsistentHashPlacement,
+    PinnedPlacement,
+    PlacementPolicy,
+)
+from repro.queueing.sharded import ShardedRepository
 from repro.queueing.volatile import VolatileQueue
 
 __all__ = [
@@ -44,5 +54,9 @@ __all__ = [
     "QueueRepository",
     "QueueManager",
     "QueueHandle",
+    "PlacementPolicy",
+    "ConsistentHashPlacement",
+    "PinnedPlacement",
+    "ShardedRepository",
     "VolatileQueue",
 ]

@@ -1,0 +1,116 @@
+"""Placement policies: which repository shard owns a queue or table.
+
+The paper's repository is the unit of failure and recovery — one disk,
+one log, one lock manager.  Sharding multiplies that unit; placement
+decides which shard each *named object* (queue, table) lives on.  The
+contract that makes recovery stay local is simple: **placement is a
+pure function of the name**, stable across restarts, so a recovering
+shard can rebuild exactly the queues its own log describes without
+consulting the others.
+
+Two policies ship:
+
+* :class:`ConsistentHashPlacement` — the default.  Each shard gets a
+  ring of virtual points keyed by ``shard:{i}:{replica}``; a name maps
+  to the first point clockwise of its hash.  Adding a shard moves only
+  ~1/N of the names, so operators can grow a deployment without
+  re-homing everything.
+* :class:`PinnedPlacement` — explicit ``name -> shard`` pins over a
+  fallback policy.  Used for co-location (an error queue must live on
+  its source queue's shard — dead-letter moves happen inside one shard
+  transaction) and by tests that need a queue on a known shard.
+
+Policies are deliberately tiny: ``shard_for(name, shard_count)`` is the
+whole interface, so applications can drop in their own (e.g. range
+partitioning by tenant prefix).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Maps an object name to the index of its owning shard."""
+
+    def shard_for(self, name: str, shard_count: int) -> int:
+        """The owning shard of ``name``, in ``range(shard_count)``.
+
+        Must be deterministic and stable across process restarts for a
+        given ``(name, shard_count)`` — recovery depends on it.
+        """
+        ...  # pragma: no cover - protocol
+
+
+def _stable_hash(key: str) -> int:
+    """A hash stable across processes (``hash()`` is salted per run)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashPlacement:
+    """Consistent hashing over a ring of virtual shard points."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._rings: dict[int, tuple[list[int], list[int]]] = {}
+
+    def _ring(self, shard_count: int) -> tuple[list[int], list[int]]:
+        ring = self._rings.get(shard_count)
+        if ring is None:
+            points: list[tuple[int, int]] = []
+            for shard in range(shard_count):
+                for replica in range(self.replicas):
+                    points.append((_stable_hash(f"shard:{shard}:{replica}"), shard))
+            points.sort()
+            ring = ([h for h, _ in points], [s for _, s in points])
+            self._rings[shard_count] = ring
+        return ring
+
+    def shard_for(self, name: str, shard_count: int) -> int:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if shard_count == 1:
+            return 0
+        hashes, shards = self._ring(shard_count)
+        index = bisect.bisect_right(hashes, _stable_hash(name))
+        if index == len(hashes):  # wrap around the ring
+            index = 0
+        return shards[index]
+
+
+class PinnedPlacement:
+    """Explicit pins over a fallback policy.
+
+    ``pins`` wins for names it covers; everything else falls through to
+    ``fallback`` (consistent hashing by default).  Pins added after
+    construction via :meth:`pin` apply to subsequent lookups only, so
+    pin *before* creating the object.
+    """
+
+    def __init__(
+        self,
+        pins: dict[str, int] | None = None,
+        fallback: PlacementPolicy | None = None,
+    ):
+        self.pins = dict(pins) if pins else {}
+        self.fallback = fallback if fallback is not None else ConsistentHashPlacement()
+
+    def pin(self, name: str, shard: int) -> "PinnedPlacement":
+        self.pins[name] = shard
+        return self
+
+    def shard_for(self, name: str, shard_count: int) -> int:
+        pinned = self.pins.get(name)
+        if pinned is not None:
+            if not 0 <= pinned < shard_count:
+                raise ValueError(
+                    f"{name!r} is pinned to shard {pinned}, outside "
+                    f"range(0, {shard_count})"
+                )
+            return pinned
+        return self.fallback.shard_for(name, shard_count)

@@ -1,0 +1,533 @@
+"""Sharded queue repositories: N units of failure behind one facade.
+
+The paper's repository (Section 4.1) is the unit of failure and
+recovery — one disk, one shared log, one lock manager.  That unit is
+also a throughput ceiling: every queue in the system serializes behind
+one WAL force.  :class:`ShardedRepository` multiplies the unit instead
+of stretching it: it owns **N independent** :class:`QueueRepository`
+shards — each with its own disk, WAL, lock manager, transaction
+manager, registration table and group committer — and routes every
+named object (queue, table) to one owning shard via a pluggable
+:class:`~repro.queueing.placement.PlacementPolicy`.
+
+Layering (see ``docs/architecture.md``)::
+
+    QueueManager / Server / Clerk
+        │  names (queue, table) + transactions
+        ▼
+    ShardedRepository ── PlacementPolicy: name -> shard
+        │  shard-bound views resolve RoutedTransaction -> branch
+        ▼
+    QueueRepository × N ── per-shard WAL, locks, TM, group commit
+
+Transactions come from a
+:class:`~repro.transaction.routing.ShardedTransactionManager`: they
+open a branch on a shard the first time an operation touches it.  A
+transaction that stays on one shard commits with that shard's ordinary
+single log force; one that spans shards is automatically promoted to
+presumed-abort two-phase commit, with the first-touched shard's
+coordinator logging the decision.  Coordinator global-ids embed a
+durable per-shard *epoch* (an auto record under the pseudo-RM
+``"_shards"``) so ids never collide with decision records from before
+a restart.
+
+**Placement is volatile; location is durable.**  Each shard's log fully
+describes the queues it owns, so restart recovery is shard-local (and
+runs in parallel when no fault injector is attached — determinism under
+injection requires sequential recovery).  Routing consults actual
+location first and the placement policy only for names that do not
+exist anywhere yet; co-location pins (an error queue must live on its
+source queue's shard, because dead-letter moves happen inside one shard
+transaction) therefore survive restarts for free.
+
+With ``N=1`` the facade is a pure passthrough: same repository name,
+same log layout, same plain :class:`TransactionManager` — behaviour-
+and byte-compatible with using :class:`QueueRepository` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+from typing import Any, Iterator
+
+from repro.errors import NoSuchQueueError, QueueExistsError
+from repro.obs import Observability, get_observability
+from repro.queueing.placement import ConsistentHashPlacement, PlacementPolicy
+from repro.queueing.queue import RecoverableQueue
+from repro.queueing.repository import QueueRepository
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.storage.disk import Disk, MemDisk
+from repro.storage.groupcommit import GroupCommitConfig
+from repro.storage.kvstore import KVStore
+from repro.transaction.log import KIND_AUTO, LogManager
+from repro.transaction.routing import RoutedTransaction, ShardedTransactionManager
+from repro.transaction.twophase import TwoPhaseCoordinator
+
+#: pseudo-RM of the durable coordinator-epoch records (ignored by
+#: recovery's redo pass, like the ``"_2pc"`` decision records)
+EPOCH_RM = "_shards"
+
+
+def shard_txn(txn: Any, shard: int) -> Any:
+    """Resolve ``txn`` to its branch on ``shard``.
+
+    Routed transactions open (or reuse) their branch on the shard's
+    transaction manager; plain shard-level transactions pass through
+    untouched, so callers holding a branch can use the views directly.
+    """
+    if isinstance(txn, RoutedTransaction):
+        return txn.branch_for(shard)
+    return txn
+
+
+def _next_epoch(log: LogManager) -> int:
+    """One past the largest coordinator epoch recorded in ``log``."""
+    epoch = 0
+    for record in log.records():
+        if record.kind == KIND_AUTO and record.rm == EPOCH_RM:
+            epoch = max(epoch, record.data.get("epoch", 0))
+    return epoch + 1
+
+
+def _find_decision(log: LogManager, gid: str) -> str | None:
+    """The 2PC decision for ``gid`` in ``log``, or None if unrecorded."""
+    for record in log.records():
+        if (
+            record.kind == KIND_AUTO
+            and record.rm == "_2pc"
+            and record.data.get("gid") == gid
+        ):
+            return record.data["decision"]
+    return None
+
+
+class ShardQueueView:
+    """A queue as seen through the facade: transactional operations
+    resolve the caller's routed transaction to this shard's branch;
+    everything else passes straight through to the real queue."""
+
+    _TXN_METHODS = frozenset({"enqueue", "dequeue"})
+
+    def __init__(self, queue: RecoverableQueue, shard: int):
+        self._queue = queue
+        self.shard_index = shard
+
+    def __getattr__(self, attr: str) -> Any:
+        target = getattr(self._queue, attr)
+        if attr in self._TXN_METHODS:
+            shard = self.shard_index
+
+            def routed(txn: Any, *args: Any, **kwargs: Any) -> Any:
+                return target(shard_txn(txn, shard), *args, **kwargs)
+
+            return routed
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardQueueView({self._queue.name!r}, shard={self.shard_index})"
+
+
+class ShardTableView:
+    """A KV table view; same branch-resolution contract as
+    :class:`ShardQueueView` (``peek``/``size`` stay non-transactional)."""
+
+    _TXN_METHODS = frozenset(
+        {"get", "exists", "put", "delete", "update", "scan", "count"}
+    )
+
+    def __init__(self, table: KVStore, shard: int):
+        self._table = table
+        self.shard_index = shard
+
+    def __getattr__(self, attr: str) -> Any:
+        target = getattr(self._table, attr)
+        if attr in self._TXN_METHODS:
+            shard = self.shard_index
+
+            def routed(txn: Any, *args: Any, **kwargs: Any) -> Any:
+                return target(shard_txn(txn, shard), *args, **kwargs)
+
+            return routed
+        return target
+
+
+class _RegistrationRouter:
+    """Registration facade routing by queue name.
+
+    Registrations live on the shard that owns their queue, so a tagged
+    operation's registration update rides the same branch — and the
+    same single log force — as the queue operation it describes.
+    """
+
+    rm_name = "qreg"
+
+    def __init__(self, repo: "ShardedRepository"):
+        self._repo = repo
+
+    def _target(self, queue: str) -> tuple[Any, int]:
+        shard = self._repo.shard_of(queue)
+        return self._repo.shards[shard].registration, shard
+
+    def register(self, txn: Any, queue: str, registrant: str, stable: bool):
+        table, shard = self._target(queue)
+        return table.register(shard_txn(txn, shard), queue, registrant, stable)
+
+    def deregister(self, txn: Any, queue: str, registrant: str) -> None:
+        table, shard = self._target(queue)
+        table.deregister(shard_txn(txn, shard), queue, registrant)
+
+    def record_op(
+        self,
+        txn: Any,
+        queue: str,
+        registrant: str,
+        op: str,
+        tag: Any,
+        eid: int,
+        element_record: dict[str, Any],
+    ) -> None:
+        table, shard = self._target(queue)
+        table.record_op(
+            shard_txn(txn, shard), queue, registrant, op, tag, eid, element_record
+        )
+
+    def lookup(self, queue: str, registrant: str):
+        return self._target(queue)[0].lookup(queue, registrant)
+
+    def is_registered(self, queue: str, registrant: str) -> bool:
+        return self._target(queue)[0].is_registered(queue, registrant)
+
+    def registrants(self, queue: str) -> list[str]:
+        return self._target(queue)[0].registrants(queue)
+
+
+class _CombinedQueues(Mapping):
+    """Read-only name → queue-view mapping over every shard.
+
+    Queue names are unique across shards (creation goes through the
+    facade), so the union is well-defined.
+    """
+
+    def __init__(self, repo: "ShardedRepository"):
+        self._repo = repo
+
+    def __getitem__(self, name: str) -> Any:
+        located = self._repo._locate_queue(name)
+        if located is None:
+            raise KeyError(name)
+        return self._repo._queue_view(name, located)
+
+    def __iter__(self) -> Iterator[str]:
+        for shard in self._repo.shards:
+            yield from shard.queues
+
+    def __len__(self) -> int:
+        return sum(len(shard.queues) for shard in self._repo.shards)
+
+
+class _CombinedTables(Mapping):
+    """Read-only name → table-view mapping over every shard."""
+
+    def __init__(self, repo: "ShardedRepository"):
+        self._repo = repo
+
+    def __getitem__(self, name: str) -> Any:
+        for index, shard in enumerate(self._repo.shards):
+            if name in shard.tables:
+                return ShardTableView(shard.tables[name], index)
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        for shard in self._repo.shards:
+            yield from shard.tables
+
+    def __len__(self) -> int:
+        return sum(len(shard.tables) for shard in self._repo.shards)
+
+
+class ShardedRepository:
+    """N independent queue repositories behind one repository surface.
+
+    Exposes the :class:`QueueRepository` interface that the queue
+    manager, servers and tests program against (``tm``, ``queues``,
+    ``registration``, ``get_queue``, ``create_queue``...), backed by
+    ``len(disks)`` shards.  Constructing it over non-empty disks *is*
+    restart recovery, shard by shard (in parallel unless a fault
+    injector demands determinism); unresolved two-phase branches are
+    then settled by scanning every shard's log for the coordinator's
+    decision — presumed abort if none is found.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        disks: list[Disk] | None = None,
+        injector: FaultInjector | None = None,
+        obs: Observability | None = None,
+        group_commit: GroupCommitConfig | None = None,
+        placement: PlacementPolicy | None = None,
+    ):
+        self.name = name
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.obs = obs if obs is not None else get_observability()
+        self.placement = (
+            placement if placement is not None else ConsistentHashPlacement()
+        )
+        if not disks:
+            disks = [MemDisk()]
+        self.shard_count = len(disks)
+        #: name -> shard co-location pins taken at creation time
+        #: (volatile; routing consults durable location first)
+        self._pins: dict[str, int] = {}
+        self._views: dict[str, ShardQueueView] = {}
+        self.shards = self._recover_shards(disks, group_commit)
+
+        if self.shard_count == 1:
+            # Pure passthrough: same objects, same log layout, same
+            # metric labels as an unsharded QueueRepository.
+            shard = self.shards[0]
+            self.tm: Any = shard.tm
+            self.log = shard.log
+            self.locks = shard.locks
+            self.disk = shard.disk
+            self.eids = shard.eids
+            self.registration: Any = shard.registration
+            self.queues: Any = shard.queues
+            self.tables: Any = shard.tables
+            self.coordinators: list[TwoPhaseCoordinator] = []
+        else:
+            self.coordinators = []
+            for index, shard in enumerate(self.shards):
+                epoch = _next_epoch(shard.log)
+                shard.log.log_auto(EPOCH_RM, {"epoch": epoch})
+                self.coordinators.append(
+                    TwoPhaseCoordinator(
+                        shard.log,
+                        name=f"{name}.s{index}.e{epoch}",
+                        injector=self.injector,
+                    )
+                )
+            self.tm = ShardedTransactionManager(
+                [shard.tm for shard in self.shards],
+                self.coordinators,
+                obs=self.obs,
+                node=name,
+            )
+            self.registration = _RegistrationRouter(self)
+            self.queues = _CombinedQueues(self)
+            self.tables = _CombinedTables(self)
+            self._resolve_in_doubt()
+
+        self.recoveries = [shard.last_recovery for shard in self.shards]
+        #: shard 0's report, for single-shard compatibility; sharded
+        #: callers should read :attr:`recoveries`
+        self.last_recovery = self.recoveries[0]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _recover_shards(
+        self, disks: list[Disk], group_commit: GroupCommitConfig | None
+    ) -> list[QueueRepository]:
+        def build(index: int, disk: Disk) -> QueueRepository:
+            # N=1 keeps the facade's own name so logs and metric labels
+            # are indistinguishable from an unsharded repository.
+            shard_name = self.name if len(disks) == 1 else f"{self.name}.s{index}"
+            return QueueRepository(
+                shard_name, disk, self.injector, obs=self.obs,
+                group_commit=group_commit,
+            )
+
+        if len(disks) == 1 or self.injector is not NULL_INJECTOR:
+            # Sequential: injected faults (and their on_crash hooks)
+            # must fire in a deterministic order.
+            return [build(i, disk) for i, disk in enumerate(disks)]
+
+        shards: list[QueueRepository | None] = [None] * len(disks)
+        errors: list[BaseException] = []
+
+        def worker(index: int, disk: Disk) -> None:
+            try:
+                shards[index] = build(index, disk)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, disk), daemon=True)
+            for i, disk in enumerate(disks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [shard for shard in shards if shard is not None]
+
+    def _resolve_in_doubt(self) -> None:
+        """Settle prepared-but-undecided 2PC branches left by a crash.
+
+        The coordinator's decision record lives on whichever shard
+        coordinated that transaction; scan them all.  Presumed abort:
+        no record anywhere means abort.
+        """
+        for shard in self.shards:
+            for branch in shard.last_recovery.in_doubt:
+                if branch.resolved is not None:
+                    continue
+                decision = "abort"
+                for other in self.shards:
+                    found = _find_decision(other.log, branch.global_id)
+                    if found is not None:
+                        decision = found
+                        break
+                branch.resolve(decision)
+
+    # ------------------------------------------------------------------
+    # Placement and location
+    # ------------------------------------------------------------------
+
+    def _locate_queue(self, qname: str) -> int | None:
+        for index, shard in enumerate(self.shards):
+            if qname in shard.queues:
+                return index
+        return None
+
+    def _locate_table(self, tname: str) -> int | None:
+        for index, shard in enumerate(self.shards):
+            if tname in shard.tables:
+                return index
+        return None
+
+    def shard_of(self, name: str) -> int:
+        """The shard owning ``name``: where it actually lives if it
+        exists, else its co-location pin, else the placement policy."""
+        located = self._locate_queue(name)
+        if located is None:
+            located = self._locate_table(name)
+        if located is not None:
+            return located
+        pinned = self._pins.get(name)
+        if pinned is not None:
+            return pinned
+        return self.placement.shard_for(name, self.shard_count)
+
+    def _queue_view(self, qname: str, shard: int) -> ShardQueueView:
+        view = self._views.get(qname)
+        if view is None or view.shard_index != shard:
+            view = ShardQueueView(self.shards[shard].queues[qname], shard)
+            self._views[qname] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Data definition
+    # ------------------------------------------------------------------
+
+    def create_queue(self, qname: str, **config: Any) -> Any:
+        if self.shard_count == 1:
+            return self.shards[0].create_queue(qname, **config)
+        if self._locate_queue(qname) is not None:
+            raise QueueExistsError(
+                f"queue {qname!r} already exists in {self.name!r}"
+            )
+        error_queue = config.get("error_queue")
+        shard: int | None = None
+        if error_queue is not None:
+            # Dead-letter moves happen inside one shard transaction, so
+            # a queue must share its error queue's shard.
+            shard = self._locate_queue(error_queue)
+        if shard is None:
+            shard = self.shard_of(qname)
+        self.shards[shard].create_queue(qname, **config)
+        if error_queue is not None:
+            self._pins[error_queue] = shard
+        return self._queue_view(qname, shard)
+
+    def destroy_queue(self, qname: str) -> None:
+        if self.shard_count == 1:
+            self.shards[0].destroy_queue(qname)
+            return
+        located = self._locate_queue(qname)
+        if located is None:
+            raise NoSuchQueueError(f"no queue {qname!r} in {self.name!r}")
+        self.shards[located].destroy_queue(qname)
+        self._views.pop(qname, None)
+
+    def stop_queue(self, qname: str) -> None:
+        self.shards[self._require_queue_shard(qname)].stop_queue(qname)
+
+    def start_queue(self, qname: str) -> None:
+        self.shards[self._require_queue_shard(qname)].start_queue(qname)
+
+    def create_table(self, tname: str) -> Any:
+        if self.shard_count == 1:
+            return self.shards[0].create_table(tname)
+        located = self._locate_table(tname)
+        if located is None:
+            located = self.shard_of(tname)
+        table = self.shards[located].create_table(tname)
+        return ShardTableView(table, located)
+
+    def _require_queue_shard(self, qname: str) -> int:
+        located = self._locate_queue(qname)
+        if located is None:
+            raise NoSuchQueueError(f"no queue {qname!r} in {self.name!r}")
+        return located
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get_queue(self, qname: str) -> Any:
+        if self.shard_count == 1:
+            return self.shards[0].get_queue(qname)
+        return self._queue_view(qname, self._require_queue_shard(qname))
+
+    def get_table(self, tname: str) -> Any:
+        if self.shard_count == 1:
+            return self.shards[0].get_table(tname)
+        located = self._locate_table(tname)
+        if located is None:
+            raise NoSuchQueueError(f"no table {tname!r} in {self.name!r}")
+        return ShardTableView(self.shards[located].tables[tname], located)
+
+    def queue_names(self) -> list[str]:
+        return sorted(self.queues)
+
+    def alloc_eid(self) -> int:
+        """Facade-level allocation draws from shard 0; shard-local
+        operations allocate from their own shard (element identity is
+        per (queue, eid), so per-shard uniqueness suffices)."""
+        return self.shards[0].alloc_eid()
+
+    # ------------------------------------------------------------------
+    # Durability plumbing used by TPSystem / chaos
+    # ------------------------------------------------------------------
+
+    @property
+    def disks(self) -> list[Disk]:
+        return [shard.disk for shard in self.shards]
+
+    @property
+    def logs(self) -> list[LogManager]:
+        return [shard.log for shard in self.shards]
+
+    @property
+    def wal_panicked(self) -> bool:
+        return any(shard.log.wal.panicked for shard in self.shards)
+
+    def checkpoint(self) -> None:
+        for shard in self.shards:
+            shard.checkpoint()
+
+    def depths_by_shard(self) -> dict[int, dict[str, int]]:
+        """Per-shard queue depths (monitoring/tests)."""
+        return {
+            index: {name: q.depth() for name, q in shard.queues.items()}
+            for index, shard in enumerate(self.shards)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardedRepository({self.name!r}, shards={self.shard_count})"

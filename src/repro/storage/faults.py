@@ -47,7 +47,7 @@ from __future__ import annotations
 import random
 import threading
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import DiskFullError, DiskIOError

@@ -14,7 +14,10 @@ the machinery:
 * :mod:`repro.transaction.recovery` — restart recovery (checkpoint +
   redo of committed work, in-doubt transaction extraction),
 * :mod:`repro.transaction.twophase` — two-phase commit across nodes
-  (the "multiple transaction protocols" concern of Section 6).
+  (the "multiple transaction protocols" concern of Section 6),
+* :mod:`repro.transaction.routing` — routed transactions over
+  repository shards: single-shard commits keep the one-log-force fast
+  path, cross-shard commits are promoted to two-phase commit.
 """
 
 from repro.transaction.ids import TxnId, TxnStatus
@@ -22,6 +25,7 @@ from repro.transaction.locks import LockManager, LockMode
 from repro.transaction.log import LogManager, LogRecord
 from repro.transaction.manager import Transaction, TransactionManager
 from repro.transaction.recovery import recover, RecoveryReport
+from repro.transaction.routing import RoutedTransaction, ShardedTransactionManager
 from repro.transaction.twophase import TwoPhaseCoordinator
 
 __all__ = [
@@ -35,5 +39,7 @@ __all__ = [
     "TransactionManager",
     "recover",
     "RecoveryReport",
+    "RoutedTransaction",
+    "ShardedTransactionManager",
     "TwoPhaseCoordinator",
 ]

@@ -1,0 +1,319 @@
+"""Routed transactions over repository shards.
+
+A :class:`ShardedTransactionManager` fronts the per-shard
+:class:`~repro.transaction.manager.TransactionManager` instances of a
+:class:`~repro.queueing.sharded.ShardedRepository`.  Its transactions
+(:class:`RoutedTransaction`) begin with **no** branches; the first
+operation against a shard lazily opens a branch on that shard's
+transaction manager (:meth:`RoutedTransaction.branch_for`).  At commit
+time the routing decides the protocol:
+
+* **0 branches** — nothing was logged anywhere; only the routed-level
+  hooks fire.
+* **1 branch** — the transaction stayed on one shard: it commits with
+  that shard's ordinary force-at-commit (one log force, coalesced by
+  the shard's group committer).  This is the fast path; placement
+  policies exist to make it the common case.
+* **≥2 branches** — the transaction spanned shards (e.g. a server
+  dequeuing a request on shard A and enqueuing the reply on shard B,
+  Figure 5 run across shards): it is automatically promoted to the
+  presumed-abort two-phase commit of
+  :mod:`repro.transaction.twophase`.  The coordinator is *selected* per
+  transaction: the shard of the first-touched branch hosts the decision
+  record, so the decision force lands on a log that transaction already
+  made hot.
+
+Locks stay per shard — each branch acquires locks from its own shard's
+lock manager, so lock traffic never crosses shard boundaries.
+
+The routed transaction implements enough of the
+:class:`~repro.transaction.manager.Transaction` surface (``status``,
+``require_active``, ``on_commit``/``on_abort``, ``commit``/``abort``)
+to be handed to servers and handlers; shard-bound work must reach it
+through shard-aware facades (queue views, table views) that resolve the
+owning branch first.  Calling ``lock``/``log_update``/``add_undo``
+directly on a routed transaction is an error by construction: those
+operations have no shard context.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.obs import Observability, get_observability
+from repro.transaction.ids import TxnStatus
+from repro.transaction.manager import Transaction, TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transaction.twophase import TwoPhaseCoordinator
+
+
+class RoutedTransaction:
+    """One logical transaction routed across repository shards.
+
+    Not thread-safe, like :class:`~repro.transaction.manager.Transaction`:
+    it belongs to the single thread (simulated process) executing it.
+    """
+
+    def __init__(self, stm: "ShardedTransactionManager", routed_id: int):
+        self.stm = stm
+        self.id = ("routed", routed_id)
+        self.status = TxnStatus.ACTIVE
+        #: shard index -> branch, in first-touch order (Python dicts
+        #: preserve insertion order; the first entry selects the
+        #: coordinator on promotion to 2PC)
+        self._branches: dict[int, Transaction] = {}
+        self._on_commit: list[Callable[[], None]] = []
+        self._on_abort: list[Callable[[], None]] = []
+
+    # -- shard-facade interface ----------------------------------------
+
+    def branch_for(self, shard: int) -> Transaction:
+        """The branch transaction on ``shard``, begun on first touch."""
+        self.require_active()
+        branch = self._branches.get(shard)
+        if branch is None:
+            branch = self.stm.shard_tm(shard).begin()
+            self._branches[shard] = branch
+        return branch
+
+    @property
+    def branches(self) -> dict[int, Transaction]:
+        """Read-only view of the open branches (for tests/monitoring)."""
+        return dict(self._branches)
+
+    @property
+    def is_cross_shard(self) -> bool:
+        return len(self._branches) > 1
+
+    # -- Transaction surface -------------------------------------------
+
+    def require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"routed transaction {self.id} is {self.status.value}, not active"
+            )
+        # A branch aborted out from under us (Kill_element, deadlock
+        # victim): the logical transaction cannot proceed either.
+        for branch in self._branches.values():
+            if branch.status is TxnStatus.ABORTED:
+                raise TransactionAborted(
+                    branch.id, "a shard branch was aborted externally"
+                )
+
+    def on_commit(self, fn: Callable[[], None]) -> None:
+        self._on_commit.append(fn)
+
+    def on_abort(self, fn: Callable[[], None]) -> None:
+        self._on_abort.append(fn)
+
+    def lock(self, resource: str, mode: Any) -> None:
+        raise InvalidTransactionState(
+            "a routed transaction has no shard context for a direct lock; "
+            "acquire locks through a shard-bound queue or table facade"
+        )
+
+    def log_update(self, rm: str, data: dict[str, Any]) -> int:
+        raise InvalidTransactionState(
+            "a routed transaction has no shard context for a direct log "
+            "write; log through a shard-bound queue or table facade"
+        )
+
+    def add_undo(self, fn: Callable[[], None]) -> None:
+        raise InvalidTransactionState(
+            "a routed transaction has no shard context for a direct undo; "
+            "register undos through a shard-bound facade"
+        )
+
+    # -- outcomes -------------------------------------------------------
+
+    def commit(self) -> None:
+        self.stm.commit(self)
+
+    def abort(self, reason: str = "application abort") -> None:
+        self.stm.abort(self, reason)
+
+    def _fire(self, hooks: list[Callable[[], None]]) -> None:
+        for hook in hooks:
+            hook()
+        self._on_commit.clear()
+        self._on_abort.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoutedTransaction(id={self.id}, status={self.status.value}, "
+            f"shards={sorted(self._branches)})"
+        )
+
+
+class ShardedTransactionManager:
+    """Transaction manager facade over the shards of one repository.
+
+    Exposes the same lifecycle surface as
+    :class:`~repro.transaction.manager.TransactionManager` (``begin`` /
+    ``commit`` / ``abort`` / ``transaction`` / ``run``) but yields
+    :class:`RoutedTransaction` objects whose commit protocol is chosen
+    by how many shards the transaction actually touched.
+    """
+
+    def __init__(
+        self,
+        shard_tms: list[TransactionManager],
+        coordinators: list["TwoPhaseCoordinator"],
+        obs: Observability | None = None,
+        node: str = "sharded",
+    ):
+        if len(shard_tms) != len(coordinators):
+            raise ValueError("one coordinator per shard is required")
+        self._tms = shard_tms
+        self._coordinators = coordinators
+        self._mutex = threading.Lock()
+        self._next_id = 1
+        #: routed-commit counters for benchmarks
+        self.single_shard_commits = 0
+        self.cross_shard_commits = 0
+        self.empty_commits = 0
+        obs = obs if obs is not None else get_observability()
+        metrics = obs.metrics
+        self._m_commits = metrics.counter(
+            "sharded_txn_commits_total",
+            "routed transaction commits by scope", ("node", "scope"),
+        )
+        self._m_single = self._m_commits.labels(node=node, scope="single")
+        self._m_cross = self._m_commits.labels(node=node, scope="cross")
+        self._m_branches = metrics.histogram(
+            "sharded_txn_branches",
+            "shards touched per routed transaction", ("node",),
+            buckets=(1.0, 2.0, 3.0, 4.0, 8.0, 16.0),
+        ).labels(node=node)
+
+    def shard_tm(self, shard: int) -> TransactionManager:
+        return self._tms[shard]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._tms)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin(self) -> RoutedTransaction:
+        with self._mutex:
+            routed_id = self._next_id
+            self._next_id += 1
+        return RoutedTransaction(self, routed_id)
+
+    def commit(self, txn: RoutedTransaction) -> None:
+        """Commit with the cheapest protocol the branch set allows."""
+        txn.require_active()
+        branches = [(self._tms[i], b) for i, b in txn._branches.items()]
+        if not branches:
+            txn.status = TxnStatus.COMMITTED
+            self.empty_commits += 1
+            txn._fire(txn._on_commit)
+            return
+        if len(branches) == 1:
+            tm, branch = branches[0]
+            try:
+                tm.commit(branch)
+            except BaseException:
+                # The branch commit hard-aborted (or the process
+                # "crashed"); mirror its outcome at the routed level.
+                if branch.status is TxnStatus.ABORTED:
+                    txn.status = TxnStatus.ABORTED
+                    txn._fire(txn._on_abort)
+                raise
+            txn.status = TxnStatus.COMMITTED
+            self.single_shard_commits += 1
+            self._m_single.inc()
+            self._m_branches.observe(1.0)
+            txn._fire(txn._on_commit)
+            return
+        # Cross-shard: promote to two-phase commit.  The coordinator is
+        # the first-touched shard's, so the decision record is forced on
+        # a log this transaction already wrote to.
+        coordinator_shard = next(iter(txn._branches))
+        coordinator = self._coordinators[coordinator_shard]
+        decision = coordinator.commit(branches)
+        self._m_branches.observe(float(len(branches)))
+        if decision != "commit":
+            txn.status = TxnStatus.ABORTED
+            txn._fire(txn._on_abort)
+            raise TransactionAborted(
+                txn.id, "two-phase commit across shards aborted"
+            )
+        txn.status = TxnStatus.COMMITTED
+        self.cross_shard_commits += 1
+        self._m_cross.inc()
+        txn._fire(txn._on_commit)
+
+    def abort(self, txn: RoutedTransaction, reason: str = "application abort") -> None:
+        if txn.status is TxnStatus.ABORTED:
+            return
+        if txn.status is TxnStatus.COMMITTED:
+            raise InvalidTransactionState(
+                f"routed transaction {txn.id} already committed"
+            )
+        for shard, branch in txn._branches.items():
+            if branch.status is TxnStatus.ACTIVE:
+                self._tms[shard].abort(branch, reason)
+        txn.status = TxnStatus.ABORTED
+        txn._fire(txn._on_abort)
+
+    def abort_by_id(self, txn_id: Any, reason: str = "external abort") -> bool:
+        """Kill_element support: branch ids are shard-local, so forward
+        to every shard until one recognises the id."""
+        return any(tm.abort_by_id(txn_id, reason) for tm in self._tms)
+
+    # -- conveniences ---------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[RoutedTransaction]:
+        """``with stm.transaction() as txn:`` — commit on success, abort
+        on any exception (re-raised); same contract as
+        :meth:`~repro.transaction.manager.TransactionManager.transaction`."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException as exc:
+            if txn.status is TxnStatus.ACTIVE:
+                from repro.errors import SimulatedCrash, TwoPhaseInDoubtError
+
+                # A crash means the process is gone; an in-doubt branch
+                # means the decision is durably COMMIT but a branch kept
+                # its locks.  Neither may fire the abort hooks — the
+                # transaction did not abort, and restart recovery will
+                # (re)apply its outcome.
+                if not isinstance(exc, (SimulatedCrash, TwoPhaseInDoubtError)):
+                    self.abort(txn, reason=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            if txn.status is TxnStatus.ACTIVE:
+                self.commit(txn)
+            elif txn.status is TxnStatus.ABORTED:
+                raise TransactionAborted(txn.id, "aborted externally")
+
+    def run(self, fn: Callable[[RoutedTransaction], Any], attempts: int = 3) -> Any:
+        """Run ``fn`` in a routed transaction, retrying on deadlock."""
+        from repro.errors import DeadlockError
+
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                with self.transaction() as txn:
+                    return fn(txn)
+            except DeadlockError as exc:
+                last = exc
+        raise TransactionAborted(None, f"deadlock retries exhausted: {last}")
+
+    # -- aggregate counters (benchmark parity with TransactionManager) --
+
+    @property
+    def commits(self) -> int:
+        return sum(tm.commits for tm in self._tms)
+
+    @property
+    def aborts(self) -> int:
+        return sum(tm.aborts for tm in self._tms)

@@ -26,7 +26,14 @@ from __future__ import annotations
 
 import threading
 
-from repro.errors import SimulatedCrash, StorageError, TwoPhaseCommitError
+from repro.errors import (
+    DiskCrashedError,
+    SimulatedCrash,
+    StorageError,
+    TwoPhaseCommitError,
+    TwoPhaseInDoubtError,
+    WalPanicError,
+)
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.transaction.ids import TxnStatus
 from repro.transaction.log import KIND_AUTO, LogManager
@@ -96,12 +103,53 @@ class TwoPhaseCoordinator:
                     tm.abort(txn, "2pc veto")
             return "abort"
 
-        self._log_decision(gid, "commit")
+        try:
+            self._log_decision(gid, "commit")
+        except (WalPanicError, DiskCrashedError):
+            # Node-fatal: the process is going down and restart recovery
+            # will resolve the prepared branches (presumed abort — the
+            # decision never became durable).
+            raise
+        except StorageError:
+            # Transient coordinator-log failure: the commit decision is
+            # not durable, so by presumed abort the global decision *is*
+            # abort.  Release the prepared branches rather than leaving
+            # them locked and in doubt on a live node.
+            for tm, txn in prepared:
+                if txn.status is TxnStatus.PREPARED:
+                    tm.abort_prepared(txn)
+            return "abort"
         self.injector.reach("2pc.after_decision")
         for tm, txn in prepared:
-            tm.commit_prepared(txn)
+            self._commit_branch(tm, txn)
             self.injector.reach("2pc.after_branch_commit")
         return "commit"
+
+    #: phase-2 retry budget per branch before declaring it in doubt
+    _PHASE2_ATTEMPTS = 3
+
+    def _commit_branch(self, tm: TransactionManager, txn: Transaction) -> None:
+        """Apply the durable commit decision to one prepared branch.
+
+        Phase 2 must complete — the decision record already forced — so
+        a transient I/O error on the branch's outcome record is retried
+        (``commit_prepared`` leaves the branch PREPARED when its log
+        write fails, so the retry is safe).  If the branch still cannot
+        apply the decision, it is in doubt on a live node, holding its
+        locks: that is node-fatal (:class:`TwoPhaseInDoubtError`), and
+        restart recovery resolves it from the decision record."""
+        last: StorageError | None = None
+        for _ in range(self._PHASE2_ATTEMPTS):
+            try:
+                tm.commit_prepared(txn)
+                return
+            except (SimulatedCrash, WalPanicError, DiskCrashedError):
+                raise
+            except StorageError as exc:
+                last = exc
+        raise TwoPhaseInDoubtError(
+            f"branch {txn.id} could not apply the committed decision: {last}"
+        ) from last
 
     def _log_decision(self, gid: str, decision: str) -> None:
         self.log.log_auto(_DECISION_RM, {"gid": gid, "decision": decision})

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.banking import BankApp, InsufficientFunds
+from repro.apps.banking import BankApp
 from repro.core.devices import DisplayWithUserIds
 from repro.core.system import TPSystem
 

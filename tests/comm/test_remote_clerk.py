@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import threading
 
-import pytest
 
 from repro.comm.network import SimNetwork
 from repro.comm.remote import RemoteQueueManager

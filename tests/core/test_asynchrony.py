@@ -12,7 +12,6 @@ all guarantees.
 from __future__ import annotations
 
 from repro.core.devices import TicketPrinter
-from repro.core.system import TPSystem
 
 from tests.conftest import echo_handler
 

@@ -11,9 +11,8 @@ D. ``s_rid == r_rid`` and reply processed      → continue with new work.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.client import Client, UserCheckpoint
+from repro.core.client import UserCheckpoint
 from repro.core.devices import TicketPrinter
 from repro.core.system import TPSystem
 

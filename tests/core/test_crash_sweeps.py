@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import threading
 
-import pytest
 
 from repro.apps.banking import BankApp
 from repro.core.client import UserCheckpoint

@@ -17,7 +17,6 @@ from repro.core.interactive import (
 )
 from repro.core.states import ClientState
 from repro.core.system import TPSystem
-from repro.errors import CancelFailed
 
 
 def order_system():

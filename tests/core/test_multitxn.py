@@ -9,7 +9,6 @@ from repro.core.applocks import AppLockTable
 from repro.core.devices import DisplayWithUserIds
 from repro.core.multitxn import MultiTransactionPipeline, Stage
 from repro.core.system import TPSystem
-from repro.errors import SimulatedCrash
 from repro.sim.crash import FaultInjector
 
 
@@ -140,10 +139,12 @@ class TestRequestSerializability:
         # Two transfers from alice: interleave their stages.
         d1 = DisplayWithUserIds(trace=system.trace)
         c1 = system.client("c1", bank.transfer_work([("alice", "bob", 60)]), d1)
-        c1.resynchronize(); c1.send_only(1)
+        c1.resynchronize()
+        c1.send_only(1)
         d2 = DisplayWithUserIds(trace=system.trace)
         c2 = system.client("c2", bank.transfer_work([("alice", "carol", 60)]), d2)
-        c2.resynchronize(); c2.send_only(1)
+        c2.resynchronize()
+        c2.send_only(1)
         from repro.apps.banking import InsufficientFunds
 
         s0 = pipeline.stage_server(0)
@@ -194,10 +195,12 @@ class TestRequestSerializability:
         pipeline = bank.transfer_pipeline("al", lock_table=lock_table)
         d1 = DisplayWithUserIds(trace=system.trace)
         c1 = system.client("c1", bank.transfer_work([("alice", "bob", 10)]), d1)
-        c1.resynchronize(); c1.send_only(1)
+        c1.resynchronize()
+        c1.send_only(1)
         d2 = DisplayWithUserIds(trace=system.trace)
         c2 = system.client("c2", bank.transfer_work([("alice", "bob", 20)]), d2)
-        c2.resynchronize(); c2.send_only(1)
+        c2.resynchronize()
+        c2.send_only(1)
         s0 = pipeline.stage_server(0)
         s0.process_one()  # c1 acquires app locks on alice+bob
         with pytest.raises(AppLockConflict):

@@ -6,7 +6,6 @@ import time
 
 import pytest
 
-from repro.core.devices import DisplayWithUserIds
 from repro.core.request import Request
 from repro.core.scheduler import (
     RequestScheduler,
@@ -16,7 +15,6 @@ from repro.core.scheduler import (
     highest_amount_policy,
     priority_policy,
 )
-from repro.core.system import TPSystem
 
 from tests.conftest import echo_handler
 

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.request import REPLY_FAILED, Reply, Request
 from repro.core.system import TPSystem
-from repro.errors import QueueEmpty
 
 
 def send(system: TPSystem, client_id: str, seq: int, body="work"):

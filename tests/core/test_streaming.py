@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.guarantees import GuaranteeChecker
 from repro.core.streaming import StreamingClient, slot_registrant
-from repro.core.system import TPSystem
 
 from tests.conftest import echo_handler
 

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 import threading
 
-import pytest
 
 from repro.core.client import UserCheckpoint
-from repro.core.devices import CashDispenser, DisplayWithUserIds, TicketPrinter
-from repro.core.system import TPSystem
+from repro.core.devices import CashDispenser, DisplayWithUserIds
 
 from tests.conftest import echo_handler, run_with_server
 

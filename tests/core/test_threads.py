@@ -13,7 +13,6 @@ from repro.core.threads import (
     connect_all_threads,
     thread_registrant,
 )
-from repro.core.system import TPSystem
 
 from tests.conftest import echo_handler
 

@@ -3,14 +3,13 @@ file-backed persistence."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.devices import DisplayWithUserIds
 from repro.core.system import TPSystem
 from repro.queueing.queue import DequeueMode
 from repro.storage.disk import FileDisk
 
-from tests.conftest import echo_handler, run_with_server
+from tests.conftest import echo_handler
 
 
 class TestConfiguration:

@@ -33,7 +33,7 @@ class TestJsonlSink:
             sink.write({"a": 1})
             sink.write_many([{"b": 2}, {"c": 3}])
         lines = path.read_text().splitlines()
-        assert [json.loads(l) for l in lines] == [{"a": 1}, {"b": 2}, {"c": 3}]
+        assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}, {"c": 3}]
 
     def test_file_object_not_closed(self):
         buf = io.StringIO()
@@ -51,7 +51,7 @@ class TestSpanDump:
         path = tmp_path / "spans.jsonl"
         n = write_spans_jsonl(tracer, str(path), trace_id="r1")
         assert n == 1
-        (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
         assert record["name"] == "a" and record["trace_id"] == "r1"
 
 
@@ -100,9 +100,28 @@ class TestDashboard:
         batch.observe(1)
         batch.observe(4)
         text = render_dashboard(registry)
-        line = next(l for l in text.splitlines() if "batch_size" in l)
+        line = next(ln for ln in text.splitlines() if "batch_size" in ln)
         assert "ms" not in line
         assert "mean=2.5" in line
+
+    def test_multi_series_families_get_a_total_line(self):
+        registry = MetricsRegistry()
+        flushes = registry.counter(
+            "wal_flushes_total", "forces", ("node",)
+        )
+        flushes.labels(node="reqnode.s0").inc(3)
+        flushes.labels(node="reqnode.s1").inc(4)
+        text = render_dashboard(registry)
+        assert "wal_flushes_total (total of 2 series): 7" in text
+        # per-series lines still follow the total
+        assert 'wal_flushes_total{node="reqnode.s0"}: 3' in text
+
+    def test_single_series_family_has_no_total_line(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "ops").labels().inc(5)
+        text = render_dashboard(registry)
+        assert "total of" not in text
+        assert "ops_total: 5" in text
 
     def test_empty_registry(self):
         assert render_dashboard(MetricsRegistry()) == "(no metrics recorded)"

@@ -136,8 +136,8 @@ class TestTracerQueries:
         assert lines[0] == "trace r1"
         assert "clerk.send" in text and "queue.enqueue" in text
         # child indented deeper than parent
-        send_line = next(l for l in lines if "clerk.send" in l)
-        enq_line = next(l for l in lines if "queue.enqueue" in l)
+        send_line = next(line for line in lines if "clerk.send" in line)
+        enq_line = next(line for line in lines if "queue.enqueue" in line)
         assert enq_line.index("queue.enqueue") > send_line.index("clerk.send")
 
     def test_timeline_missing_trace(self):

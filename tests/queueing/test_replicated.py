@@ -9,7 +9,6 @@ from repro.queueing.replicated import ReplicatedQueue
 from repro.queueing.repository import QueueRepository
 from repro.sim.crash import FaultInjector
 from repro.storage.disk import MemDisk
-from repro.transaction.recovery import recover
 from repro.transaction.twophase import TwoPhaseCoordinator
 
 

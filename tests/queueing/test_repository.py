@@ -158,11 +158,13 @@ class TestCheckpoint:
         q = repo.create_queue("q")
         with repo.tm.transaction() as txn:
             q.enqueue(txn, "x")
-        disk.crash(); disk.recover()
+        disk.crash()
+        disk.recover()
         repo2 = QueueRepository("r", disk)
         with repo2.tm.transaction() as txn:
             repo2.get_queue("q").enqueue(txn, "y")
-        disk.crash(); disk.recover()
+        disk.crash()
+        disk.recover()
         repo3 = QueueRepository("r", disk)
         assert repo3.get_queue("q").depth() == 2
 

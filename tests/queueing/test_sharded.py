@@ -1,0 +1,345 @@
+"""ShardedRepository: placement, routing, 2PC promotion, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueueEmpty, TransactionAborted
+from repro.obs import Observability
+from repro.queueing.manager import QueueManager
+from repro.queueing.placement import ConsistentHashPlacement, PinnedPlacement
+from repro.queueing.queue import RecoverableQueue
+from repro.queueing.repository import QueueRepository
+from repro.queueing.sharded import ShardedRepository
+from repro.sim.crash import CrashPlan, FaultInjector
+from repro.storage.disk import MemDisk
+from repro.transaction.log import KIND_AUTO
+from repro.transaction.manager import TransactionManager
+
+
+def decision_records(repo: ShardedRepository) -> list[dict]:
+    """All 2PC decision records across every shard's log."""
+    found = []
+    for log in repo.logs:
+        for record in log.records():
+            if record.kind == KIND_AUTO and record.rm == "_2pc":
+                found.append(record.data)
+    return found
+
+
+class TestConsistentHashPlacement:
+    def test_deterministic_and_in_range(self):
+        policy = ConsistentHashPlacement()
+        for name in ("req.q", "reply.c1", "tbl", ""):
+            shard = policy.shard_for(name, 4)
+            assert 0 <= shard < 4
+            assert shard == ConsistentHashPlacement().shard_for(name, 4)
+
+    def test_single_shard_is_zero(self):
+        policy = ConsistentHashPlacement()
+        assert all(policy.shard_for(f"q{i}", 1) == 0 for i in range(20))
+
+    def test_covers_every_shard(self):
+        policy = ConsistentHashPlacement()
+        hit = {policy.shard_for(f"queue-{i}", 4) for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_growth_moves_a_minority_of_names(self):
+        # The point of the ring: adding a shard re-homes ~1/N of the
+        # names, not all of them.
+        policy = ConsistentHashPlacement()
+        names = [f"queue-{i}" for i in range(400)]
+        moved = sum(
+            1 for n in names if policy.shard_for(n, 4) != policy.shard_for(n, 5)
+        )
+        assert 0 < moved < len(names) // 2
+
+
+class TestPinnedPlacement:
+    def test_pin_overrides_fallback(self):
+        policy = PinnedPlacement({"req.q": 3})
+        assert policy.shard_for("req.q", 4) == 3
+        assert 0 <= policy.shard_for("other", 4) < 4
+
+    def test_out_of_range_pin_rejected(self):
+        with pytest.raises(ValueError):
+            PinnedPlacement({"req.q": 7}).shard_for("req.q", 4)
+
+    def test_pin_after_construction(self):
+        policy = PinnedPlacement().pin("a", 1)
+        assert policy.shard_for("a", 2) == 1
+
+
+class TestSingleShardPassthrough:
+    """N=1 must be behaviour-compatible with a bare QueueRepository."""
+
+    def test_components_are_the_shard_objects(self):
+        repo = ShardedRepository("node", [MemDisk()])
+        shard = repo.shards[0]
+        assert isinstance(repo.tm, TransactionManager)
+        assert repo.tm is shard.tm
+        assert repo.log is shard.log
+        assert repo.locks is shard.locks
+        assert repo.registration is shard.registration
+        assert repo.queues is shard.queues
+        assert shard.name == "node"
+
+    def test_get_queue_returns_real_queue(self):
+        repo = ShardedRepository("node", [MemDisk()])
+        repo.create_queue("q")
+        assert isinstance(repo.get_queue("q"), RecoverableQueue)
+
+    def test_log_layout_matches_unsharded(self):
+        # Byte-identical logs: an unsharded repository and a 1-shard
+        # facade over the same operations produce the same WAL.
+        d1, d2 = MemDisk(), MemDisk()
+        plain = QueueRepository("node", d1)
+        facade = ShardedRepository("node", [d2])
+        for repo in (plain, facade):
+            repo.create_queue("q")
+            qm = QueueManager(repo)
+            handle, _, _ = qm.register("q", "c", stable=True)
+            qm.enqueue(handle, {"n": 1}, tag="t1")
+        assert d1.read("node.log") == d2.read("node.log")
+
+
+@pytest.fixture
+def sharded():
+    """A 2-shard repository with queues pinned to known shards."""
+    placement = PinnedPlacement({"qa": 0, "qb": 1, "qa.err": 0})
+    repo = ShardedRepository(
+        "node", [MemDisk(), MemDisk()], placement=placement,
+        obs=Observability(),
+    )
+    repo.create_queue("qa", error_queue="qa.err", max_aborts=1)
+    repo.create_queue("qa.err")
+    repo.create_queue("qb")
+    return repo
+
+
+class TestRouting:
+    def test_queues_land_on_their_pinned_shards(self, sharded):
+        assert sharded._locate_queue("qa") == 0
+        assert sharded._locate_queue("qb") == 1
+        assert sorted(sharded.queues) == ["qa", "qa.err", "qb"]
+        assert len(sharded.queues) == 3
+        assert "qa" in sharded.queues and "nope" not in sharded.queues
+
+    def test_single_shard_txn_stays_one_branch(self, sharded):
+        qm = QueueManager(sharded)
+        handle, _, _ = qm.register("qa", "c", stable=True)
+        before = sharded.tm.single_shard_commits
+        with sharded.tm.transaction() as txn:
+            qm.enqueue(handle, {"n": 1}, txn=txn)
+            assert sorted(txn.branches) == [0]
+        assert sharded.tm.single_shard_commits == before + 1
+        assert sharded.tm.cross_shard_commits == 0
+        assert decision_records(sharded) == []
+
+    def test_cross_shard_txn_promoted_to_2pc(self, sharded):
+        qm = QueueManager(sharded)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        hb, _, _ = qm.register("qb", "c", stable=True)
+        with sharded.tm.transaction() as txn:
+            qm.enqueue(ha, {"to": "a"}, txn=txn)
+            qm.enqueue(hb, {"to": "b"}, txn=txn)
+            assert sorted(txn.branches) == [0, 1]
+        assert sharded.tm.cross_shard_commits == 1
+        decisions = decision_records(sharded)
+        assert len(decisions) == 1 and decisions[0]["decision"] == "commit"
+        assert sharded.get_queue("qa").depth() == 1
+        assert sharded.get_queue("qb").depth() == 1
+
+    def test_cross_shard_abort_is_atomic(self, sharded):
+        qm = QueueManager(sharded)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        hb, _, _ = qm.register("qb", "c", stable=True)
+        with pytest.raises(RuntimeError):
+            with sharded.tm.transaction() as txn:
+                qm.enqueue(ha, {"to": "a"}, txn=txn)
+                qm.enqueue(hb, {"to": "b"}, txn=txn)
+                raise RuntimeError("boom")
+        assert sharded.get_queue("qa").depth() == 0
+        assert sharded.get_queue("qb").depth() == 0
+
+    def test_registration_rides_the_queue_shard(self, sharded):
+        qm = QueueManager(sharded)
+        handle, tag, eid = qm.register("qb", "c", stable=True)
+        assert (tag, eid) == (None, None)
+        first = qm.enqueue(handle, {"n": 1}, tag="t1")
+        # Duplicate tagged enqueue (lost-ack retry) is absorbed.
+        assert qm.enqueue(handle, {"n": 1}, tag="t1") == first
+        assert sharded.get_queue("qb").depth() == 1
+        # The registration lives on qb's shard, not shard 0.
+        assert sharded.shards[1].registration.is_registered("qb", "c")
+        assert not sharded.shards[0].registration.is_registered("qb", "c")
+
+    def test_tables_route_by_name(self, sharded):
+        table = sharded.create_table("counters")
+        with sharded.tm.transaction() as txn:
+            table.put(txn, "k", 41)
+            table.update(txn, "k", lambda v: (v or 0) + 1)
+        with sharded.tm.transaction() as txn:
+            assert table.get(txn, "k") == 42
+        assert "counters" in sharded.tables
+
+    def test_kill_element_routes_to_owner(self, sharded):
+        qm = QueueManager(sharded)
+        handle, _, _ = qm.register("qb", "c", stable=True)
+        eid = qm.enqueue(handle, {"n": 1})
+        assert qm.kill_element(handle, eid)
+        assert sharded.get_queue("qb").depth() == 0
+
+
+class TestErrorQueueColocation:
+    def test_error_queue_created_after_source(self, sharded):
+        # "qa.err" was pinned to qa's shard at create_queue("qa") time.
+        assert sharded._locate_queue("qa.err") == sharded._locate_queue("qa")
+
+    def test_queue_follows_existing_error_queue(self):
+        placement = PinnedPlacement({"shared.err": 1, "consumer": 0})
+        repo = ShardedRepository(
+            "node", [MemDisk(), MemDisk()], placement=placement
+        )
+        repo.create_queue("shared.err")
+        # Despite the policy placing "consumer" on shard 0, its error
+        # queue already lives on shard 1 — co-location wins.
+        repo.create_queue("consumer", error_queue="shared.err")
+        assert repo._locate_queue("consumer") == 1
+
+    def test_poisoned_element_moves_within_one_shard(self, sharded):
+        qm = QueueManager(sharded)
+        handle, _, _ = qm.register("qa", "c", stable=True)
+        qm.enqueue(handle, {"poison": True})
+        with pytest.raises(RuntimeError):
+            with sharded.tm.transaction() as txn:
+                qm.dequeue(handle, txn=txn)
+                raise RuntimeError("handler blew up")
+        # max_aborts=1: the element moved to the co-located error queue.
+        assert sharded.get_queue("qa").depth() == 0
+        assert sharded.get_queue("qa.err").depth() == 1
+        with pytest.raises(QueueEmpty):
+            with sharded.tm.transaction() as txn:
+                qm.dequeue(handle, txn=txn)
+
+
+class TestShardedRecovery:
+    def _populate(self, disks, placement):
+        repo = ShardedRepository("node", disks, placement=placement)
+        repo.create_queue("qa")
+        repo.create_queue("qb")
+        qm = QueueManager(repo)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        hb, _, _ = qm.register("qb", "c", stable=True)
+        qm.enqueue(ha, {"n": "a"})
+        with repo.tm.transaction() as txn:
+            qm.enqueue(ha, {"n": "a2"}, txn=txn)
+            qm.enqueue(hb, {"n": "b"}, txn=txn)
+        return repo
+
+    def test_restart_recovers_every_shard(self):
+        disks = [MemDisk(), MemDisk()]
+        placement = PinnedPlacement({"qa": 0, "qb": 1})
+        self._populate(disks, placement)
+        again = ShardedRepository("node", disks, placement=placement)
+        assert again.get_queue("qa").depth() == 2
+        assert again.get_queue("qb").depth() == 1
+        assert len(again.recoveries) == 2
+        # Routing still finds the queues where their logs rebuilt them.
+        assert again._locate_queue("qa") == 0
+        assert again._locate_queue("qb") == 1
+
+    def _crash_cross_shard_commit(self, crash_point):
+        disks = [MemDisk(), MemDisk()]
+        placement = PinnedPlacement({"qa": 0, "qb": 1})
+        injector = FaultInjector(plans=[CrashPlan(crash_point, 1)], record=False)
+        repo = ShardedRepository(
+            "node", disks, injector=injector, placement=placement
+        )
+        repo.create_queue("qa")
+        repo.create_queue("qb")
+        qm = QueueManager(repo)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        hb, _, _ = qm.register("qb", "c", stable=True)
+        from repro.errors import SimulatedCrash
+
+        with pytest.raises(SimulatedCrash):
+            with repo.tm.transaction() as txn:
+                qm.enqueue(ha, {"n": "a"}, txn=txn)
+                qm.enqueue(hb, {"n": "b"}, txn=txn)
+        for disk in disks:
+            disk.recover()
+        return ShardedRepository("node", disks, placement=placement)
+
+    def test_crash_before_decision_presumes_abort(self):
+        repo = self._crash_cross_shard_commit("2pc.after_prepare")
+        assert repo.get_queue("qa").depth() == 0
+        assert repo.get_queue("qb").depth() == 0
+        resolved = [
+            b.resolved for r in repo.recoveries for b in r.in_doubt
+        ]
+        assert resolved and all(r == "abort" for r in resolved)
+
+    def test_crash_after_decision_commits_both(self):
+        repo = self._crash_cross_shard_commit("2pc.after_decision")
+        assert repo.get_queue("qa").depth() == 1
+        assert repo.get_queue("qb").depth() == 1
+        resolved = [
+            b.resolved for r in repo.recoveries for b in r.in_doubt
+        ]
+        assert resolved and all(r == "commit" for r in resolved)
+
+    def test_coordinator_epochs_advance_across_restarts(self):
+        disks = [MemDisk(), MemDisk()]
+        first = ShardedRepository("node", disks)
+        assert all(c.name.endswith(".e1") for c in first.coordinators)
+        second = ShardedRepository("node", disks)
+        assert all(c.name.endswith(".e2") for c in second.coordinators)
+        # Fresh epochs mean fresh global ids: no collision with any
+        # decision record logged before the restart.
+        gids = {c.new_global_id() for c in first.coordinators}
+        gids |= {c.new_global_id() for c in second.coordinators}
+        assert len(gids) == 4
+
+
+class TestRoutedTransactionSurface:
+    def test_direct_log_and_lock_are_rejected(self, sharded):
+        from repro.errors import InvalidTransactionState
+
+        with sharded.tm.transaction() as txn:
+            with pytest.raises(InvalidTransactionState):
+                txn.log_update("rm", {})
+            with pytest.raises(InvalidTransactionState):
+                txn.lock("r", None)
+            with pytest.raises(InvalidTransactionState):
+                txn.add_undo(lambda: None)
+
+    def test_hooks_fire_on_global_outcome(self, sharded):
+        qm = QueueManager(sharded)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        hb, _, _ = qm.register("qb", "c", stable=True)
+        fired: list[str] = []
+        with sharded.tm.transaction() as txn:
+            qm.enqueue(ha, {"n": 1}, txn=txn)
+            qm.enqueue(hb, {"n": 2}, txn=txn)
+            txn.on_commit(lambda: fired.append("commit"))
+            txn.on_abort(lambda: fired.append("abort"))
+        assert fired == ["commit"]
+
+    def test_externally_aborted_branch_aborts_the_routed_txn(self, sharded):
+        qm = QueueManager(sharded)
+        ha, _, _ = qm.register("qa", "c", stable=True)
+        with pytest.raises(TransactionAborted):
+            with sharded.tm.transaction() as txn:
+                qm.enqueue(ha, {"n": 1}, txn=txn)
+                branch = txn.branches[0]
+                sharded.tm.shard_tm(0).abort(branch, "killed externally")
+                qm.enqueue(ha, {"n": 2}, txn=txn)
+        assert sharded.get_queue("qa").depth() == 0
+
+    def test_empty_transaction_commits_without_touching_any_log(self, sharded):
+        before = [log.wal.flushed_lsn for log in sharded.logs]
+        with sharded.tm.transaction():
+            pass
+        assert [log.wal.flushed_lsn for log in sharded.logs] == before
+        assert sharded.tm.empty_commits == 1

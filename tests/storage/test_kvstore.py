@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import TransactionAborted
 from repro.storage.disk import MemDisk
 from repro.storage.kvstore import KVStore
 from repro.transaction.locks import LockManager, LockMode
