@@ -9,6 +9,15 @@ one-fsync-per-commit behaviour) and enabled.  Writes
 ``BENCH_groupcommit.json`` with txn/s, the disk's flush count, and the
 batch-size distribution.
 
+**checkpoint** (``--checkpoint-bytes N``): the same committer workload
+on one file-backed repository, with the byte-triggered fuzzy
+checkpointer off (the seed's full-log-replay restart) and on at an
+``N``-byte interval.  After the workload the node is closed and
+reopened cold, timing restart recovery.  Writes
+``BENCH_checkpoint.json`` with live WAL bytes, checkpoints taken,
+restart latency, and records replayed — the bounded-time-recovery
+acceptance numbers.
+
 **sharding** (``--shards N``): the same committer workload against a
 :class:`~repro.queueing.sharded.ShardedRepository` over 1, 2, ... N
 file-backed shard disks, each thread pinned to one shard's table
@@ -21,6 +30,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # group commit
     PYTHONPATH=src python benchmarks/run_bench.py --shards 4 # sharding
+    PYTHONPATH=src python benchmarks/run_bench.py --checkpoint-bytes 65536
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -214,6 +224,114 @@ def run_sharded_scenario(
             tmpdir.cleanup()
 
 
+def run_checkpoint_scenario(
+    interval_bytes: int | None,
+    threads_n: int,
+    txns_n: int,
+) -> dict:
+    """One checkpoint-benchmark cell on a file-backed disk.
+
+    Runs the committer workload (with the background checkpointer when
+    ``interval_bytes`` is set), then closes the node and times a cold
+    reopen — the restart-latency number the checkpoint exists to bound.
+    """
+    obs = Observability()
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    pad = "x" * 64  # give each commit some log weight
+    try:
+        disk = FileDisk(tmpdir.name)
+        repo = QueueRepository(
+            "bench", disk, obs=obs, checkpoint_interval_bytes=interval_bytes
+        )
+        table = repo.create_table("accounts")
+        errors: list[BaseException] = []
+
+        def committer(tid: int) -> None:
+            try:
+                for i in range(txns_n):
+                    with repo.tm.transaction() as txn:
+                        table.put(txn, f"k{tid}-{i}", f"{i}:{pad}")
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=committer, args=(t,))
+            for t in range(threads_n)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        repo.close()
+        commits = threads_n * txns_n
+        live_wal = repo.log.wal.live_bytes()
+        checkpoints = (
+            repo.checkpointer.checkpoints_taken
+            if repo.checkpointer is not None else 0
+        )
+        disk.close()
+
+        # Cold restart: recovery reads the checkpoint (if any) and
+        # replays only the log suffix above its recovery LSN.
+        disk = FileDisk(tmpdir.name)
+        restart_started = time.perf_counter()
+        reopened = QueueRepository(
+            "bench", disk, obs=Observability(),
+            checkpoint_interval_bytes=interval_bytes,
+        )
+        restart_seconds = time.perf_counter() - restart_started
+        reopened.close()
+        report = reopened.last_recovery
+        disk.close()
+        return {
+            "checkpointing": interval_bytes is not None,
+            "interval_bytes": interval_bytes or 0,
+            "threads": threads_n,
+            "txns_per_thread": txns_n,
+            "commits": commits,
+            "checkpoints": checkpoints,
+            "live_wal_bytes": live_wal,
+            "restart_seconds": restart_seconds,
+            "replayed_records": report.replayed_records,
+            "recovery_lsn": report.recovery_lsn,
+            "txn_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        tmpdir.cleanup()
+
+
+def run_checkpoint(args: argparse.Namespace) -> dict:
+    threads_n = args.threads
+    txns_n = args.txns
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 40)
+    scenarios = []
+    for interval in (None, args.checkpoint_bytes):
+        label = "off" if interval is None else f"every {interval} bytes"
+        print(f"running checkpoint/{label} "
+              f"({threads_n} threads x {txns_n} txns)...", flush=True)
+        row = run_checkpoint_scenario(interval, threads_n, txns_n)
+        print(f"  {row['txn_per_sec']:.0f} txn/s, "
+              f"{row['checkpoints']} checkpoints, "
+              f"{row['live_wal_bytes']} live WAL bytes, "
+              f"restart {row['restart_seconds'] * 1000:.1f} ms "
+              f"({row['replayed_records']} records replayed)")
+        scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "checkpoint",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
 def run_sharding(args: argparse.Namespace) -> dict:
     threads_n = args.threads
     txns_n = args.txns
@@ -305,10 +423,26 @@ _SHARDING_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_CHECKPOINT_FIELDS = {
+    "checkpointing": bool,
+    "interval_bytes": int,
+    "threads": int,
+    "txns_per_thread": int,
+    "commits": int,
+    "checkpoints": int,
+    "live_wal_bytes": int,
+    "restart_seconds": (int, float),
+    "replayed_records": int,
+    "recovery_lsn": int,
+    "txn_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
 #: per-benchmark scenario schemas; ``validate`` accepts any known one
 _SCHEMAS = {
     "groupcommit": _GROUPCOMMIT_FIELDS,
     "sharding": _SHARDING_FIELDS,
+    "checkpoint": _CHECKPOINT_FIELDS,
 }
 
 
@@ -348,9 +482,43 @@ def _check_sharding_row(index: int, row: dict) -> list[str]:
     return errors
 
 
+def _check_checkpoint_row(index: int, row: dict) -> list[str]:
+    # The acceptance invariant: a checkpointing run must actually have
+    # checkpointed and must restart from a non-zero recovery LSN with a
+    # replay proportional to the interval, not to the whole history.
+    errors: list[str] = []
+    if row.get("checkpointing"):
+        if not row.get("checkpoints"):
+            errors.append(
+                f"scenarios[{index}]: checkpointing run took no checkpoints"
+            )
+        if not row.get("recovery_lsn"):
+            errors.append(
+                f"scenarios[{index}]: checkpointing restart replayed from "
+                "LSN 0 (full-log replay)"
+            )
+        commits = row.get("commits")
+        replayed = row.get("replayed_records")
+        if (
+            isinstance(commits, int) and isinstance(replayed, int)
+            and commits > 0 and replayed >= 2 * commits
+        ):
+            errors.append(
+                f"scenarios[{index}]: replayed {replayed} records — "
+                "recovery is not bounded by the checkpoint"
+            )
+    else:
+        if row.get("checkpoints") or row.get("recovery_lsn"):
+            errors.append(
+                f"scenarios[{index}]: baseline run reports checkpoint state"
+            )
+    return errors
+
+
 _ROW_CHECKS = {
     "groupcommit": _check_groupcommit_row,
     "sharding": _check_sharding_row,
+    "checkpoint": _check_checkpoint_row,
 }
 
 
@@ -399,6 +567,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the sharding benchmark over 1..N "
                              "file-backed repository shards instead of "
                              "the group-commit benchmark")
+    parser.add_argument("--checkpoint-bytes", type=int, default=0, metavar="N",
+                        help="run the checkpoint benchmark (restart latency "
+                             "and live WAL bytes, checkpointing off vs on "
+                             "at an N-byte interval) instead of the "
+                             "group-commit benchmark")
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI smoke testing")
     parser.add_argument("--out", default=None,
@@ -406,10 +579,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
+    if args.shards and args.checkpoint_bytes:
+        parser.error("--shards and --checkpoint-bytes are mutually exclusive")
     if args.out is None:
-        args.out = (
-            "BENCH_sharding.json" if args.shards else "BENCH_groupcommit.json"
-        )
+        if args.shards:
+            args.out = "BENCH_sharding.json"
+        elif args.checkpoint_bytes:
+            args.out = "BENCH_checkpoint.json"
+        else:
+            args.out = "BENCH_groupcommit.json"
 
     if args.check:
         with open(args.check) as f:
@@ -422,7 +600,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.check}: schema ok ({len(doc['scenarios'])} scenarios)")
         return 0
 
-    doc = run_sharding(args) if args.shards else run(args)
+    if args.shards:
+        doc = run_sharding(args)
+    elif args.checkpoint_bytes:
+        doc = run_checkpoint(args)
+    else:
+        doc = run(args)
     errors = validate(doc)
     if errors:  # pragma: no cover - a bug in this script
         for error in errors:

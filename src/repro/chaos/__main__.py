@@ -32,6 +32,7 @@ def _build_config(args: argparse.Namespace) -> ChaosConfig:
         max_faults=args.max_faults,
         planted_bug=args.planted_bug,
         shards=args.shards,
+        checkpoint_interval_bytes=args.checkpoint_bytes,
     )
 
 
@@ -58,6 +59,10 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="repository shards under the queue node; >1 "
                              "targets disk faults at individual shards and "
                              "adds 2PC crash points (default 1)")
+    parser.add_argument("--checkpoint-bytes", type=int, default=None,
+                        help="run a byte-triggered fuzzy checkpointer during "
+                             "each episode (polled every step) and add the "
+                             "ckpt.* crash points to the sampler (default off)")
     parser.add_argument("--planted-bug", default=None,
                         help="enable a known test-only bug (e.g. 'ack-no-force') "
                              "to demo failure finding and shrinking")
@@ -139,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
                 "max_faults": config.max_faults,
                 "planted_bug": config.planted_bug,
                 "shards": config.shards,
+                "checkpoint_interval_bytes": config.checkpoint_interval_bytes,
             },
             "outcomes": outcomes,
             "failures": failures,

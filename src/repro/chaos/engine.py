@@ -417,6 +417,9 @@ class ChaosEngine:
                             trace=self.trace,
                             request_queue=self.config.request_queue,
                             max_aborts=self.config.max_aborts,
+                            checkpoint_interval_bytes=(
+                                self.config.checkpoint_interval_bytes
+                            ),
                         )
                     else:
                         system = TPSystem(
@@ -425,6 +428,9 @@ class ChaosEngine:
                             trace=self.trace,
                             request_queue=self.config.request_queue,
                             max_aborts=self.config.max_aborts,
+                            checkpoint_interval_bytes=(
+                                self.config.checkpoint_interval_bytes
+                            ),
                         )
                 else:
                     system = self.system.reopen(injector=self.injector)
@@ -514,6 +520,7 @@ class ChaosEngine:
                     self.clients[pick].step()
                 else:
                     self._server_step(self.servers[pick - len(self.clients)])
+                self._poll_checkpointers()
             except SimulatedCrash:
                 self._restart()
             except (WalPanicError, DiskCrashedError, TwoPhaseInDoubtError):
@@ -522,6 +529,29 @@ class ChaosEngine:
                 # restart recovery resolves all three.
                 self._restart()
         return self._workload_finished()
+
+    def _poll_checkpointers(self) -> None:
+        """Drive the byte-triggered checkpointers synchronously.
+
+        Under fault injection the repository creates them passive (no
+        thread), so the engine polls once per scheduler step — the
+        checkpoint runs inline, deterministically placed in the
+        interleaving, and injected ``ckpt.*`` crash points fire here.
+        Node-fatal errors propagate to the step loop's restart handling;
+        a transient I/O failure just leaves the old checkpoint governing
+        recovery until the next poll.
+        """
+        if self.config.checkpoint_interval_bytes is None:
+            return
+        for shard in self.system.request_repo.shards:
+            if shard.checkpointer is None:
+                continue
+            try:
+                shard.checkpointer.poll()
+            except (SimulatedCrash, WalPanicError, DiskCrashedError):
+                raise
+            except StorageError:
+                pass
 
     # ------------------------------------------------------------------
     # Episode

@@ -52,6 +52,21 @@ SHARDED_CRASH_POINTS = CRASH_POINTS + (
     "2pc.after_branch_commit",
 )
 
+#: Extra crash points sampled only when the campaign runs a byte-
+#: triggered checkpointer (``config.checkpoint_interval_bytes``): the
+#: fuzzy-checkpoint protocol of
+#: :meth:`~repro.queueing.repository.QueueRepository.checkpoint`.
+CHECKPOINT_CRASH_POINTS = (
+    "ckpt.begin.before",
+    "ckpt.begin.after",
+    "ckpt.snapshot.before",
+    "ckpt.snapshot.after",
+    "ckpt.install.before",
+    "ckpt.install.after",
+    "ckpt.gc.before",
+    "ckpt.gc.after",
+)
+
 #: Disk operations the sampler targets, weighted towards the hot write
 #: path (append/flush run orders of magnitude more often than replace).
 _DISK_OPS = ("append", "append", "flush", "flush", "flush", "read", "replace")
@@ -173,6 +188,11 @@ class ChaosConfig:
     #: disk faults target individual shards and the sampler also draws
     #: crash points from the cross-shard 2PC path
     shards: int = 1
+    #: run a byte-triggered fuzzy checkpointer during the episode (the
+    #: engine polls it synchronously at every step); the sampler then
+    #: also draws crash points from the checkpoint protocol.  ``None``
+    #: keeps existing seeds byte-identical.
+    checkpoint_interval_bytes: int | None = None
 
     @property
     def total_requests(self) -> int:
@@ -256,6 +276,10 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
     # fault targets); at shards=1 the draw sequence — and therefore
     # every sampled schedule — is byte-identical to the unsharded one.
     crash_points = SHARDED_CRASH_POINTS if config.shards > 1 else CRASH_POINTS
+    if config.checkpoint_interval_bytes is not None:
+        # Gated on the knob, like the sharded extension, so schedules
+        # sampled without a checkpointer keep their exact historic shape.
+        crash_points = crash_points + CHECKPOINT_CRASH_POINTS
     faults: list[ChaosFault] = []
     n = rng.randint(config.min_faults, config.max_faults)
     for _ in range(n):

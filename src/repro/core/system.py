@@ -63,6 +63,7 @@ class TPSystem:
         shards: int = 1,
         shard_disks: Sequence[Disk] | None = None,
         placement: PlacementPolicy | None = None,
+        checkpoint_interval_bytes: int | None = None,
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
@@ -87,6 +88,7 @@ class TPSystem:
             "separate_reply_node": separate_reply_node,
             "group_commit": self.group_commit,
             "shards": shards,
+            "checkpoint_interval_bytes": checkpoint_interval_bytes,
         }
 
         if shard_disks:
@@ -99,6 +101,7 @@ class TPSystem:
         self.request_repo = ShardedRepository(
             "reqnode", disks, self.injector, obs=self.obs,
             group_commit=self.group_commit, placement=placement,
+            checkpoint_interval_bytes=checkpoint_interval_bytes,
         )
         self.request_qm = QueueManager(self.request_repo)
 
@@ -107,6 +110,7 @@ class TPSystem:
             self.reply_repo = ShardedRepository(
                 "repnode", [self.reply_disk], self.injector, obs=self.obs,
                 group_commit=self.group_commit,
+                checkpoint_interval_bytes=checkpoint_interval_bytes,
             )
             self.reply_qm = QueueManager(self.reply_repo)
             self.coordinator: TwoPhaseCoordinator | None = TwoPhaseCoordinator(
@@ -252,6 +256,10 @@ class TPSystem:
         """
         repos = {id(self.request_repo): self.request_repo,
                  id(self.reply_repo): self.reply_repo}.values()
+        for repo in repos:
+            # Stop the old process's background checkpointers before
+            # the new one starts its own over the same disks.
+            repo.close()
         panicked = any(repo.wal_panicked for repo in repos)
         for disk in self._all_disks():
             crashed = getattr(disk, "crashed", None)
@@ -275,6 +283,7 @@ class TPSystem:
             group_commit=self._config["group_commit"],
             shard_disks=self.shard_disks if self._config["shards"] > 1 else None,
             placement=self.placement,
+            checkpoint_interval_bytes=self._config["checkpoint_interval_bytes"],
         )
 
     def _all_disks(self) -> list[Disk]:

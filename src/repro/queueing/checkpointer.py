@@ -1,0 +1,92 @@
+"""Background checkpointing: bounded-time recovery without quiescence.
+
+A :class:`Checkpointer` watches one repository's log and takes a fuzzy
+checkpoint (:meth:`QueueRepository.checkpoint`) whenever
+``interval_bytes`` of new log have accumulated since the last
+checkpoint began.  That bounds both restart-recovery work (replay never
+starts below the latest checkpoint's recovery LSN) and live WAL size
+(segment GC reclaims everything below it), at the cost of one snapshot
+write per interval.
+
+Threading: with no fault injector attached, the checkpointer runs a
+daemon thread that polls the byte trigger.  Under fault injection a
+thread would destroy schedule determinism, so the checkpointer stays
+passive and the harness (the chaos engine, tests) drives it
+synchronously via :meth:`poll`.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.errors import DiskCrashedError, StorageError, WalPanicError
+
+logger = logging.getLogger(__name__)
+
+
+class Checkpointer:
+    """Byte-triggered checkpoint driver for one repository (or shard)."""
+
+    def __init__(
+        self,
+        repo,
+        interval_bytes: int,
+        *,
+        poll_seconds: float = 0.02,
+        threaded: bool = True,
+    ):
+        if interval_bytes < 1:
+            raise ValueError(f"interval_bytes must be >= 1, got {interval_bytes}")
+        self.repo = repo
+        self.interval_bytes = interval_bytes
+        self.poll_seconds = poll_seconds
+        #: checkpoints this driver completed (monitoring/tests)
+        self.checkpoints_taken = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if threaded:
+            self._thread = threading.Thread(
+                target=self._run, name=f"checkpointer-{repo.name}", daemon=True
+            )
+            self._thread.start()
+
+    @property
+    def threaded(self) -> bool:
+        """Whether a background polling thread is running."""
+        return self._thread is not None
+
+    def should_checkpoint(self) -> bool:
+        return self.repo.log.bytes_since_checkpoint() >= self.interval_bytes
+
+    def poll(self) -> bool:
+        """Take a checkpoint if the byte trigger is due.  Returns
+        whether one ran.  Synchronous driver for deterministic
+        harnesses; also the body of the background thread."""
+        if not self.should_checkpoint():
+            return False
+        self.repo.checkpoint()
+        self.checkpoints_taken += 1
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_seconds):
+            try:
+                self.poll()
+            except (WalPanicError, DiskCrashedError):
+                # The node is going down; the restarted repository
+                # builds a fresh checkpointer.
+                return
+            except StorageError:
+                # Transient: the old checkpoint still governs recovery
+                # (install is atomic), so just try again next interval.
+                logger.exception(
+                    "checkpoint of %r failed; retrying next poll", self.repo.name
+                )
+
+    def stop(self) -> None:
+        """Stop the background thread (if any) and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

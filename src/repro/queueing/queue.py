@@ -696,9 +696,11 @@ class RecoverableQueue:
                 "slots": [
                     s.element.to_record()
                     for s in self._slots.values()
-                    # Snapshots capture only committed state; pending
-                    # transactions are forced to be resolved (the
-                    # repository checkpoints at quiescence).
+                    # Committed view: an uncommitted enqueue is invisible
+                    # (if it commits, its `enq` record is above the fuzzy
+                    # checkpoint's recovery LSN and gets replayed); an
+                    # uncommitted dequeue leaves the element committed-
+                    # present, and a later `deq` replay removes it.
                     if s.state is not ElementState.ENQ_PENDING
                 ],
                 "archive": [e.to_record() for e in self._archive.values()],

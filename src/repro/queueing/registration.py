@@ -73,6 +73,11 @@ class RegistrationTable:
     def __init__(self) -> None:
         self._regs: dict[tuple[str, str], Registration] = {}
         self._mutex = threading.Lock()
+        #: pre-image of the first uncommitted write per key (None = the
+        #: key did not exist); reverted by snapshot() so fuzzy
+        #: checkpoints capture only committed registrations
+        self._dirty: dict[tuple[str, str], Registration | None] = {}
+        self._dirty_txns: dict[int, set[tuple[str, str]]] = {}
 
     @staticmethod
     def _key(queue: str, registrant: str) -> tuple[str, str]:
@@ -116,6 +121,7 @@ class RegistrationTable:
         txn.log_update(self.rm_name, {"op": "dereg", "q": queue, "r": registrant})
         with self._mutex:
             old = self._regs.pop(key)
+            self._note_dirty(txn, key, old)
         txn.add_undo(lambda: self._restore_reg(old))
 
     def _restore_reg(self, reg: Registration) -> None:
@@ -163,6 +169,7 @@ class RegistrationTable:
         txn.log_update(self.rm_name, {"op": "set", "reg": reg.to_record()})
         with self._mutex:
             self._regs[key] = reg
+            self._note_dirty(txn, key, old)
         if old is None:
             txn.add_undo(lambda: self._drop_reg(key))
         else:
@@ -171,6 +178,28 @@ class RegistrationTable:
     def _drop_reg(self, key: tuple[str, str]) -> None:
         with self._mutex:
             self._regs.pop(key, None)
+
+    def _note_dirty(
+        self, txn: Transaction, key: tuple[str, str], old: Registration | None
+    ) -> None:
+        """Remember ``key``'s committed pre-image (caller holds
+        ``self._mutex``); cleared by the transaction's commit/abort
+        hooks, which run before its locks are released."""
+        if key in self._dirty:
+            return
+        self._dirty[key] = old
+        keys = self._dirty_txns.get(txn.id)
+        if keys is None:
+            keys = self._dirty_txns[txn.id] = set()
+            txn_id = txn.id
+            txn.on_commit(lambda: self._clear_dirty(txn_id))
+            txn.on_abort(lambda: self._clear_dirty(txn_id))
+        keys.add(key)
+
+    def _clear_dirty(self, txn_id: int) -> None:
+        with self._mutex:
+            for key in self._dirty_txns.pop(txn_id, ()):
+                self._dirty.pop(key, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -204,12 +233,22 @@ class RegistrationTable:
                 raise ValueError(f"unknown registration redo op {data['op']!r}")
 
     def snapshot(self) -> Any:
+        """Committed view: uncommitted writes reverted to their
+        pre-images (fuzzy-checkpoint safe)."""
         with self._mutex:
-            return [reg.to_record() for reg in self._regs.values()]
+            regs = dict(self._regs)
+            for key, old in self._dirty.items():
+                if old is None:
+                    regs.pop(key, None)
+                else:
+                    regs[key] = old
+            return [reg.to_record() for reg in regs.values()]
 
     def restore(self, state: Any) -> None:
         with self._mutex:
             self._regs = {}
+            self._dirty.clear()
+            self._dirty_txns.clear()
             for record in state:
                 reg = Registration.from_record(record)
                 self._regs[self._key(reg.queue, reg.registrant)] = reg

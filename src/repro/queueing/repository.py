@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import logging
 import threading
+import time as _time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import NoSuchQueueError, QueueExistsError
 from repro.obs import Observability, get_observability
+from repro.queueing.checkpointer import Checkpointer
 from repro.queueing.queue import QueueConfig, RecoverableQueue
 from repro.queueing.registration import RegistrationTable
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
@@ -34,6 +37,11 @@ from repro.transaction.manager import TransactionManager
 from repro.transaction.recovery import RecoveryReport, recover
 
 logger = logging.getLogger(__name__)
+
+#: Buckets for the checkpoint-duration histogram (seconds).
+CHECKPOINT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0
+)
 
 
 class _EidAllocator:
@@ -76,8 +84,97 @@ class _EidAllocator:
 
     def restore(self, state: Any) -> None:
         with self._mutex:
-            self._next = state["next"]
             self._limit = state["limit"]
+            # ``next`` in the image is a fuzzy mid-batch value:
+            # allocations after the snapshot stay volatile until the
+            # *next* reserve record, so resuming there could reissue
+            # live eids.  Resume at the reserved limit instead — a
+            # restart skips at most one batch, exactly the replay rule.
+            self._next = state["limit"]
+
+
+class _EpochRM:
+    """Durable high-water mark of 2PC-coordinator epochs.
+
+    The epoch itself is logged as an auto record under the pseudo-RM
+    ``"_shards"`` (see :mod:`repro.queueing.sharded`).  Registering this
+    tracker as a real resource manager lets fuzzy checkpoints capture
+    the mark, so segment GC may reclaim the records that carried it
+    without a restarted facade ever reissuing an old epoch.
+    """
+
+    rm_name = "_shards"
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._mutex = threading.Lock()
+
+    def note(self, epoch: int) -> None:
+        with self._mutex:
+            self._epoch = max(self._epoch, epoch)
+
+    @property
+    def epoch(self) -> int:
+        with self._mutex:
+            return self._epoch
+
+    def redo(self, data: dict[str, Any]) -> None:
+        self.note(data.get("epoch", 0))
+
+    def snapshot(self) -> Any:
+        return {"epoch": self.epoch}
+
+    def restore(self, state: Any) -> None:
+        self.note(state.get("epoch", 0))
+
+
+class _DecisionRM:
+    """Two-phase-commit decisions by global id (pseudo-RM ``"_2pc"``).
+
+    Decision records must outlive segment GC: an in-doubt branch on one
+    shard may need a decision whose record lived on another shard's
+    log.  Checkpoints snapshot this tracker, so the decision survives
+    even after its auto record's segment is reclaimed.  (Presumed
+    abort keeps the absence of an entry meaningful: no decision
+    anywhere still means abort.)
+    """
+
+    rm_name = "_2pc"
+
+    def __init__(self) -> None:
+        self._decisions: dict[str, str] = {}
+        self._mutex = threading.Lock()
+
+    def note(self, gid: str, decision: str) -> None:
+        with self._mutex:
+            self._decisions[gid] = decision
+
+    def get(self, gid: str) -> str | None:
+        with self._mutex:
+            return self._decisions.get(gid)
+
+    def redo(self, data: dict[str, Any]) -> None:
+        self.note(data["gid"], data["decision"])
+
+    def snapshot(self) -> Any:
+        with self._mutex:
+            return dict(self._decisions)
+
+    def restore(self, state: Any) -> None:
+        with self._mutex:
+            self._decisions = dict(state)
+
+
+@dataclass(frozen=True)
+class CheckpointStats:
+    """What one fuzzy checkpoint did."""
+
+    begin_lsn: int
+    recovery_lsn: int
+    #: transactions active while the snapshot was taken
+    active_txns: int
+    #: sealed WAL segments reclaimed by the trailing GC
+    segments_removed: int
 
 
 class QueueRepository:
@@ -98,14 +195,23 @@ class QueueRepository:
         lock_manager: LockManager | None = None,
         obs: Observability | None = None,
         group_commit: GroupCommitConfig | None = None,
+        checkpoint_interval_bytes: int | None = None,
     ):
         self.name = name
         self.disk = disk if disk is not None else MemDisk()
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.obs = obs if obs is not None else get_observability()
+        self.checkpoint_interval_bytes = checkpoint_interval_bytes
+        # Size segments well below the checkpoint interval so the
+        # trailing GC always has sealed segments to reclaim.
+        segment_bytes = (
+            None if checkpoint_interval_bytes is None
+            else max(4096, checkpoint_interval_bytes // 4)
+        )
         self.log = LogManager(
             self.disk, area=f"{name}.log", obs=self.obs,
             injector=self.injector, group_commit=group_commit,
+            segment_bytes=segment_bytes,
         )
         self.locks = (
             lock_manager if lock_manager is not None else LockManager(obs=self.obs)
@@ -115,6 +221,8 @@ class QueueRepository:
         )
         self.registration = RegistrationTable()
         self.eids = _EidAllocator(self.log)
+        self.epochs = _EpochRM()
+        self.decisions = _DecisionRM()
         self.queues: dict[str, RecoverableQueue] = {}
         self.tables: dict[str, KVStore] = {}
         #: name -> resource manager; mutated by _dd redo during replay
@@ -122,8 +230,12 @@ class QueueRepository:
             self.rm_name: self,
             RegistrationTable.rm_name: self.registration,
             _EidAllocator.rm_name: self.eids,
+            _EpochRM.rm_name: self.epochs,
+            _DecisionRM.rm_name: self.decisions,
         }
         self._dd_mutex = threading.Lock()
+        #: serializes fuzzy checkpoints (manual + background driver)
+        self._ckpt_mutex = threading.Lock()
         if self.injector is not NULL_INJECTOR and hasattr(self.disk, "crash"):
             # A simulated crash must freeze the disk at exactly the
             # injection point, before any harness code runs.
@@ -134,11 +246,37 @@ class QueueRepository:
         self.obs.metrics.counter(
             "recovery_runs_total", "restart recoveries performed", ("repo",)
         ).labels(repo=name).inc()
+        self.obs.metrics.counter(
+            "recovery_replayed_records_total",
+            "log records replayed by restart recoveries", ("repo",)
+        ).labels(repo=name).inc(self.last_recovery.replayed_records)
+        self._m_checkpoints = self.obs.metrics.counter(
+            "checkpoints_total", "fuzzy checkpoints completed", ("repo",)
+        ).labels(repo=name)
+        self._m_ckpt_duration = self.obs.metrics.histogram(
+            "checkpoint_duration_seconds",
+            "wall time of one fuzzy checkpoint", ("repo",),
+            buckets=CHECKPOINT_BUCKETS,
+        ).labels(repo=name)
         logger.debug(
             "repository %r recovered: %s", name, self.last_recovery
         )
         for queue in self.queues.values():
             queue.sweep_poisoned()
+        #: background byte-triggered checkpoint driver; passive (polled
+        #: by the harness) under fault injection for determinism
+        self.checkpointer: Checkpointer | None = None
+        if checkpoint_interval_bytes is not None:
+            self.checkpointer = Checkpointer(
+                self, checkpoint_interval_bytes,
+                threaded=self.injector is NULL_INJECTOR,
+            )
+
+    def close(self) -> None:
+        """Stop background machinery (the checkpointer thread).  The
+        durable state stays ready for a future restart recovery."""
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
 
     # ------------------------------------------------------------------
     # Data definition (Section 4.1: create, destroy, start, stop)
@@ -222,19 +360,64 @@ class QueueRepository:
     def alloc_eid(self) -> int:
         return self.eids.alloc()
 
-    def checkpoint(self) -> None:
-        """Snapshot every RM and truncate the log.
+    def checkpoint(self) -> CheckpointStats:
+        """Online fuzzy checkpoint: snapshot every RM *without
+        quiescence*, install the image, and GC dead log segments.
 
-        Must run at quiescence (no active transactions): queue
-        snapshots capture only committed state.  The ``_dd`` snapshot is
-        written first so restore can rebuild the catalog before queue
-        and table snapshots are applied.
+        The protocol (see ``docs/architecture.md``):
+
+        1. roll the log and append the ``bck`` marker (LSN *B*);
+        2. read the recovery floor — min of *B*, the first LSN of every
+           transaction with live records, and every GC pin — **before**
+           taking snapshots, so a transaction the floor has passed is
+           guaranteed to have its effects already final in them;
+        3. take committed-view snapshots under each RM's own mutex
+           (``_dd`` first so restore rebuilds the catalog before queue
+           and table images are applied) while transactions keep
+           running;
+        4. force the ``eck`` marker carrying the active table;
+        5. atomically install the checkpoint blob (the commit point);
+        6. reclaim sealed segments wholly below the recovery floor.
+
+        Safe concurrently with commits because RM redo is idempotent:
+        replay from the floor may re-apply work the snapshot already
+        captured, never the reverse.
         """
-        snapshots: dict[str, Any] = {self.rm_name: self.snapshot()}
-        for rm_name, rm in self.rms.items():
-            if rm_name != self.rm_name:
-                snapshots[rm_name] = rm.snapshot()
-        self.log.write_checkpoint(snapshots)
+        injector = self.injector
+        with self._ckpt_mutex:
+            started = _time.perf_counter()
+            injector.reach("ckpt.begin.before")
+            begin_lsn = self.log.begin_checkpoint()
+            injector.reach("ckpt.begin.after")
+            recovery_lsn = self.log.recovery_floor(begin_lsn)
+            first = self.log.txn_first_lsns()
+            active = {
+                tid: first.get(tid, begin_lsn) for tid in self.tm.active_txns()
+            }
+            injector.reach("ckpt.snapshot.before")
+            snapshots: dict[str, Any] = {self.rm_name: self.snapshot()}
+            for rm_name, rm in list(self.rms.items()):
+                if rm_name != self.rm_name:
+                    snapshots[rm_name] = rm.snapshot()
+            injector.reach("ckpt.snapshot.after")
+            self.log.end_checkpoint(begin_lsn, active, recovery_lsn)
+            injector.reach("ckpt.install.before")
+            self.log.install_checkpoint(
+                snapshots, begin_lsn=begin_lsn, recovery_lsn=recovery_lsn,
+                next_txn_id=self.tm.next_txn_id(),
+            )
+            injector.reach("ckpt.install.after")
+            injector.reach("ckpt.gc.before")
+            removed = self.log.gc(recovery_lsn)
+            injector.reach("ckpt.gc.after")
+            self._m_checkpoints.inc()
+            self._m_ckpt_duration.observe(_time.perf_counter() - started)
+            return CheckpointStats(
+                begin_lsn=begin_lsn,
+                recovery_lsn=recovery_lsn,
+                active_txns=len(active),
+                segments_removed=removed,
+            )
 
     # ------------------------------------------------------------------
     # Resource-manager protocol for data definition

@@ -60,12 +60,13 @@ from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.storage.disk import Disk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
 from repro.storage.kvstore import KVStore
-from repro.transaction.log import KIND_AUTO, LogManager
+from repro.transaction.log import LogManager
 from repro.transaction.routing import RoutedTransaction, ShardedTransactionManager
 from repro.transaction.twophase import TwoPhaseCoordinator
 
-#: pseudo-RM of the durable coordinator-epoch records (ignored by
-#: recovery's redo pass, like the ``"_2pc"`` decision records)
+#: pseudo-RM of the durable coordinator-epoch records (tracked by each
+#: shard's :class:`~repro.queueing.repository._EpochRM`, so checkpoints
+#: preserve the high-water mark across segment GC)
 EPOCH_RM = "_shards"
 
 
@@ -79,27 +80,6 @@ def shard_txn(txn: Any, shard: int) -> Any:
     if isinstance(txn, RoutedTransaction):
         return txn.branch_for(shard)
     return txn
-
-
-def _next_epoch(log: LogManager) -> int:
-    """One past the largest coordinator epoch recorded in ``log``."""
-    epoch = 0
-    for record in log.records():
-        if record.kind == KIND_AUTO and record.rm == EPOCH_RM:
-            epoch = max(epoch, record.data.get("epoch", 0))
-    return epoch + 1
-
-
-def _find_decision(log: LogManager, gid: str) -> str | None:
-    """The 2PC decision for ``gid`` in ``log``, or None if unrecorded."""
-    for record in log.records():
-        if (
-            record.kind == KIND_AUTO
-            and record.rm == "_2pc"
-            and record.data.get("gid") == gid
-        ):
-            return record.data["decision"]
-    return None
 
 
 class ShardQueueView:
@@ -267,6 +247,7 @@ class ShardedRepository:
         obs: Observability | None = None,
         group_commit: GroupCommitConfig | None = None,
         placement: PlacementPolicy | None = None,
+        checkpoint_interval_bytes: int | None = None,
     ):
         self.name = name
         self.injector = injector if injector is not None else NULL_INJECTOR
@@ -281,7 +262,10 @@ class ShardedRepository:
         #: (volatile; routing consults durable location first)
         self._pins: dict[str, int] = {}
         self._views: dict[str, ShardQueueView] = {}
-        self.shards = self._recover_shards(disks, group_commit)
+        self.checkpoint_interval_bytes = checkpoint_interval_bytes
+        self.shards = self._recover_shards(
+            disks, group_commit, checkpoint_interval_bytes
+        )
 
         if self.shard_count == 1:
             # Pure passthrough: same objects, same log layout, same
@@ -299,13 +283,22 @@ class ShardedRepository:
         else:
             self.coordinators = []
             for index, shard in enumerate(self.shards):
-                epoch = _next_epoch(shard.log)
-                shard.log.log_auto(EPOCH_RM, {"epoch": epoch})
+                # The epoch tracker was rebuilt by recovery (checkpoint
+                # image + replay), so the log scan of old is redundant.
+                # note() runs under the WAL lock at append time: a
+                # concurrent checkpoint either snapshots the new epoch
+                # or replays its record — never loses it to segment GC.
+                epoch = shard.epochs.epoch + 1
+                shard.log.log_auto(
+                    EPOCH_RM, {"epoch": epoch},
+                    on_lsn=lambda _lsn, s=shard, e=epoch: s.epochs.note(e),
+                )
                 self.coordinators.append(
                     TwoPhaseCoordinator(
                         shard.log,
                         name=f"{name}.s{index}.e{epoch}",
                         injector=self.injector,
+                        tracker=shard.decisions,
                     )
                 )
             self.tm = ShardedTransactionManager(
@@ -329,7 +322,8 @@ class ShardedRepository:
     # ------------------------------------------------------------------
 
     def _recover_shards(
-        self, disks: list[Disk], group_commit: GroupCommitConfig | None
+        self, disks: list[Disk], group_commit: GroupCommitConfig | None,
+        checkpoint_interval_bytes: int | None,
     ) -> list[QueueRepository]:
         def build(index: int, disk: Disk) -> QueueRepository:
             # N=1 keeps the facade's own name so logs and metric labels
@@ -338,6 +332,7 @@ class ShardedRepository:
             return QueueRepository(
                 shard_name, disk, self.injector, obs=self.obs,
                 group_commit=group_commit,
+                checkpoint_interval_bytes=checkpoint_interval_bytes,
             )
 
         if len(disks) == 1 or self.injector is not NULL_INJECTOR:
@@ -369,9 +364,11 @@ class ShardedRepository:
     def _resolve_in_doubt(self) -> None:
         """Settle prepared-but-undecided 2PC branches left by a crash.
 
-        The coordinator's decision record lives on whichever shard
-        coordinated that transaction; scan them all.  Presumed abort:
-        no record anywhere means abort.
+        The coordinator's decision lives on whichever shard coordinated
+        that transaction; ask every shard's decision tracker (rebuilt
+        from its checkpoint image plus log replay, so it covers records
+        segment GC has already reclaimed).  Presumed abort: no decision
+        anywhere means abort.
         """
         for shard in self.shards:
             for branch in shard.last_recovery.in_doubt:
@@ -379,7 +376,7 @@ class ShardedRepository:
                     continue
                 decision = "abort"
                 for other in self.shards:
-                    found = _find_decision(other.log, branch.global_id)
+                    found = other.decisions.get(branch.global_id)
                     if found is not None:
                         decision = found
                         break
@@ -519,8 +516,43 @@ class ShardedRepository:
         return any(shard.log.wal.panicked for shard in self.shards)
 
     def checkpoint(self) -> None:
+        """Fuzzy-checkpoint every shard.
+
+        No quiescence and no cross-shard barrier needed: each shard's
+        checkpoint is consistent with its own log, and that is the only
+        pair recovery ever reads together — cross-shard atomicity is
+        2PC's job (decision trackers are snapshotted per shard), not
+        the checkpoint's.  So shards checkpoint in parallel, like they
+        recover, except under fault injection where determinism demands
+        a fixed order.
+        """
+        if self.shard_count == 1 or self.injector is not NULL_INJECTOR:
+            for shard in self.shards:
+                shard.checkpoint()
+            return
+        errors: list[BaseException] = []
+
+        def worker(shard: QueueRepository) -> None:
+            try:
+                shard.checkpoint()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(shard,), daemon=True)
+            for shard in self.shards
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Stop every shard's background machinery."""
         for shard in self.shards:
-            shard.checkpoint()
+            shard.close()
 
     def depths_by_shard(self) -> dict[int, dict[str, int]]:
         """Per-shard queue depths (monitoring/tests)."""

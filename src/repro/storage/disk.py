@@ -56,11 +56,23 @@ class Disk(ABC):
         """Durably discard the contents of ``area``."""
 
     @abstractmethod
+    def delete(self, area: str) -> None:
+        """Durably remove ``area`` entirely (``unlink`` + directory
+        fsync).  After deletion the area no longer appears in
+        :meth:`areas`; deleting a missing area is a no-op.  This is how
+        the segmented WAL reclaims sealed log segments after a
+        checkpoint."""
+
+    @abstractmethod
     def areas(self) -> list[str]:
         """Names of all existing areas."""
 
     def size(self, area: str) -> int:
-        """Current length of ``area`` in bytes."""
+        """Current length of ``area`` in bytes (durable + buffered).
+
+        Implementations should make this O(1): the checkpointer polls
+        it on the commit path to decide when a checkpoint is due.
+        """
         return len(self.read(area))
 
     def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
@@ -101,6 +113,7 @@ class MemDisk(Disk):
         self.flush_count = 0
         self.append_count = 0
         self.bytes_written = 0
+        self.delete_count = 0
 
     def _check(self) -> None:
         if self._crashed:
@@ -146,9 +159,23 @@ class MemDisk(Disk):
             self._durable[area] = bytearray()
             self._buffer[area] = bytearray()
 
+    def delete(self, area: str) -> None:
+        with self._lock:
+            self._check()
+            self._durable.pop(area, None)
+            self._buffer.pop(area, None)
+            self.delete_count += 1
+
     def areas(self) -> list[str]:
         with self._lock:
             return sorted(set(self._durable) | set(self._buffer))
+
+    def size(self, area: str) -> int:
+        with self._lock:
+            self._check()
+            return len(self._durable.get(area, b"")) + len(
+                self._buffer.get(area, b"")
+            )
 
     # -- crash semantics ---------------------------------------------------
 
@@ -200,10 +227,15 @@ class FileDisk(Disk):
         os.makedirs(root, exist_ok=True)
         self._handles: dict[str, object] = {}
         self._lock = threading.Lock()
+        # Logical area sizes (durable + userspace-buffered), maintained
+        # incrementally so size() never has to stat or read a file on
+        # the hot path once an area has been touched.
+        self._sizes: dict[str, int] = {}
         #: counters for benchmarks, mirroring :class:`MemDisk`
         self.flush_count = 0
         self.append_count = 0
         self.bytes_written = 0
+        self.delete_count = 0
 
     def _path(self, area: str) -> str:
         safe = area.replace("/", "__")
@@ -221,6 +253,7 @@ class FileDisk(Disk):
             handle = self._handle(area)
             offset = handle.tell()
             handle.write(data)
+            self._sizes[area] = offset + len(data)
             self.append_count += 1
             self.bytes_written += len(data)
             return offset
@@ -262,6 +295,7 @@ class FileDisk(Disk):
             # a checkpoint that would mean the checkpoint "vanishes"
             # while the log it replaced is already truncated.
             self._fsync_dir()
+            self._sizes[area] = len(data)
             self.flush_count += 1
 
     def _fsync_dir(self) -> None:
@@ -274,12 +308,46 @@ class FileDisk(Disk):
     def truncate(self, area: str) -> None:
         self.replace(area, b"")
 
+    def delete(self, area: str) -> None:
+        with self._lock:
+            handle = self._handles.pop(area, None)
+            if handle is not None:
+                handle.close()
+            path = self._path(area)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+            else:
+                # Like replace(): the unlink lives in the directory
+                # entry, so it is durable only once the parent is
+                # fsynced.  GC must not "undelete" a segment on crash.
+                self._fsync_dir()
+            self._sizes.pop(area, None)
+            self.delete_count += 1
+
     def areas(self) -> list[str]:
         with self._lock:
             names = [
                 n for n in os.listdir(self.root) if not n.endswith(".tmp")
             ]
             return sorted(n.replace("__", "/") for n in names)
+
+    def size(self, area: str) -> int:
+        with self._lock:
+            cached = self._sizes.get(area)
+            if cached is not None:
+                return cached
+            handle = self._handles.get(area)
+            if handle is not None:
+                size = handle.tell()
+            else:
+                try:
+                    size = os.stat(self._path(area)).st_size
+                except FileNotFoundError:
+                    size = 0
+            self._sizes[area] = size
+            return size
 
     def corrupt_byte(self, area: str, offset: int, mask: int = 0x01) -> bool:
         with self._lock:

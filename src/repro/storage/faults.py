@@ -55,7 +55,7 @@ from repro.obs import Observability, get_observability
 from repro.storage.disk import Disk
 
 #: operations a fault can target
-OPS = ("append", "flush", "read", "replace", "truncate")
+OPS = ("append", "flush", "read", "replace", "truncate", "delete")
 
 IO_ERROR = "io_error"
 DISK_FULL = "disk_full"
@@ -275,6 +275,12 @@ class FaultyDisk(Disk):
         if fault is not None:
             self._raise(fault, "truncate", area)
         self.inner.truncate(area)
+
+    def delete(self, area: str) -> None:
+        fault = self._consult("delete", area)
+        if fault is not None:
+            self._raise(fault, "delete", area)
+        self.inner.delete(area)
 
     def areas(self) -> list[str]:
         return self.inner.areas()

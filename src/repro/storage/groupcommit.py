@@ -174,8 +174,12 @@ class GroupCommitter:
         self._m_groups.inc()
         self._m_batch.observe(batch)
 
-    def append_sync(self, payload: bytes) -> int:
-        """Append one record and group-force it; returns its LSN."""
-        lsn = self.wal.append(payload)
+    def append_sync(self, payload: bytes, on_lsn=None) -> int:
+        """Append one record and group-force it; returns its LSN.
+
+        ``on_lsn`` is forwarded to :meth:`WriteAheadLog.append` (invoked
+        under the log lock, before the force).
+        """
+        lsn = self.wal.append(payload, on_lsn=on_lsn)
         self.sync(lsn)
         return lsn

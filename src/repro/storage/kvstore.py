@@ -14,6 +14,16 @@ of this store.  It is a full resource manager:
   replay records already captured by a checkpoint;
 * :meth:`snapshot` / :meth:`restore` support checkpoints.
 
+Because updates are applied to volatile state *before* commit (redo-only
+WAL, in-memory undo), a raw copy of ``_data`` would capture uncommitted
+writes — poison for a *fuzzy* checkpoint, whose recovery replays no
+records of transactions that later aborted.  :meth:`snapshot` therefore
+returns the **committed view**: the store remembers, per key, the value
+it had before the first uncommitted write (cleaned up by commit/abort
+hooks) and reverts those keys in the copy.  Strict 2PL makes this exact:
+a key has at most one uncommitted writer, and the hook that clears its
+entry runs before the X lock is released.
+
 Keys are strings; values are anything the codec supports.
 """
 
@@ -34,6 +44,11 @@ class KVStore:
         self.name = name
         self._data: dict[str, Any] = {}
         self._mutex = threading.Lock()
+        #: per-key pre-image of the first uncommitted write: key ->
+        #: (had_key, old value); reverted by snapshot()
+        self._dirty: dict[str, tuple[bool, Any]] = {}
+        #: which keys each active transaction dirtied first
+        self._dirty_txns: dict[int, set[str]] = {}
 
     # -- lock naming ----------------------------------------------------------
 
@@ -67,6 +82,7 @@ class KVStore:
             had_key = key in self._data
             old = self._data.get(key)
             self._data[key] = value
+            self._note_dirty(txn, key, had_key, old)
         txn.add_undo(self._make_undo(key, had_key, old))
 
     def delete(self, txn: Transaction, key: str) -> bool:
@@ -81,6 +97,7 @@ class KVStore:
         txn.log_update(self.rm_name, {"op": "del", "key": key})
         with self._mutex:
             self._data.pop(key, None)
+            self._note_dirty(txn, key, had_key, old)
         txn.add_undo(self._make_undo(key, had_key, old))
         return True
 
@@ -111,6 +128,31 @@ class KVStore:
         txn.lock(self._table_resource(), LockMode.S)
         with self._mutex:
             return len(self._data)
+
+    # -- committed-view bookkeeping ----------------------------------------------
+
+    def _note_dirty(self, txn: Transaction, key: str, had_key: bool, old: Any) -> None:
+        """Record the pre-image of ``key``'s first uncommitted write.
+
+        Caller holds ``self._mutex``.  The X lock on ``key`` guarantees a
+        single uncommitted writer, so a later write by the *same*
+        transaction keeps the original pre-image.
+        """
+        if key in self._dirty:
+            return
+        self._dirty[key] = (had_key, old)
+        keys = self._dirty_txns.get(txn.id)
+        if keys is None:
+            keys = self._dirty_txns[txn.id] = set()
+            txn_id = txn.id
+            txn.on_commit(lambda: self._clear_dirty(txn_id))
+            txn.on_abort(lambda: self._clear_dirty(txn_id))
+        keys.add(key)
+
+    def _clear_dirty(self, txn_id: int) -> None:
+        with self._mutex:
+            for key in self._dirty_txns.pop(txn_id, ()):
+                self._dirty.pop(key, None)
 
     def _make_undo(self, key: str, had_key: bool, old: Any) -> Callable[[], None]:
         def undo() -> None:
@@ -145,9 +187,19 @@ class KVStore:
                 raise ValueError(f"unknown kvstore redo op {data['op']!r}")
 
     def snapshot(self) -> Any:
+        """Committed view: the live table with every uncommitted write
+        reverted to its pre-image (see module docstring)."""
         with self._mutex:
-            return dict(self._data)
+            data = dict(self._data)
+            for key, (had_key, old) in self._dirty.items():
+                if had_key:
+                    data[key] = old
+                else:
+                    data.pop(key, None)
+            return data
 
     def restore(self, state: Any) -> None:
         with self._mutex:
             self._data = dict(state)
+            self._dirty.clear()
+            self._dirty_txns.clear()

@@ -1,4 +1,4 @@
-"""Write-ahead log with CRC framing and torn-write recovery.
+"""Segmented write-ahead log with CRC framing and torn-write recovery.
 
 Record layout on disk::
 
@@ -7,15 +7,32 @@ Record layout on disk::
     | 2 B   | 4 B (BE) | 4 B (BE) | ``length`` bytes |
     +-------+----------+----------+------------------+
 
-The CRC covers the payload.  A record's LSN is its byte offset in the
-area, so LSNs are dense, ordered, and stable across restarts.
+The CRC covers the payload.  The log is split across numbered *segment
+areas* (``<area>.000001``, ``<area>.000002``, …); each segment starts
+with a 16-byte header naming the LSN of its first record::
 
-Torn-write handling (Section 10's "there is still the need to log
-updates"): a crash may leave a partial record at the tail.  On scan,
-the first record that fails framing or CRC *at the tail* ends the log
-silently; if valid framed data follows a corrupt record, the log is
-genuinely damaged and :class:`~repro.errors.CorruptRecordError` is
-raised.
+    +-----------+----------+----------+
+    | seg magic | base LSN | crc32    |
+    | 4 B       | 8 B (BE) | 4 B (BE) |
+    +-----------+----------+----------+
+
+A record's LSN is its byte offset in the *record stream* — segment
+headers are excluded — so LSNs are dense, ordered, monotonic across
+segment rolls, and stable across restarts.  Appends go to the *live*
+(highest-numbered) segment; once :meth:`WriteAheadLog.roll` seals a
+segment it is immutable and fully durable, which is what lets
+:meth:`WriteAheadLog.gc` reclaim whole segments after a checkpoint
+covers them (Section 10's log "managed as a database": bounded, not
+ever-growing).
+
+Torn-write handling: a crash may leave a partial record at the tail of
+the **live segment only** — sealed segments were flushed before the
+roll, so damage inside one (or framing damage followed by valid data
+in the live segment) is genuine corruption and raises
+:class:`~repro.errors.CorruptRecordError`.  A crash can also tear the
+live segment's *header* (the roll buffered it but never flushed): such
+a segment has no durable records by construction, so it is durably
+deleted and its predecessor becomes live again.
 
 Flush-failure handling (panic semantics): when ``disk.flush`` raises,
 the durability of everything buffered becomes unknowable — a kernel (or
@@ -34,11 +51,12 @@ cannot retry the flush and accidentally promote the leader's records.
 
 from __future__ import annotations
 
+import re
 import struct
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import (
     CorruptRecordError,
@@ -52,6 +70,32 @@ from repro.storage.disk import Disk
 _MAGIC = b"\xC4\x51"
 _HEADER = struct.Struct(">2sII")  # magic, length, crc32
 HEADER_SIZE = _HEADER.size
+
+_SEG_MAGIC = b"WSEG"
+_SEG_HEADER = struct.Struct(">4sQI")  # magic, base lsn, crc32(magic+base)
+SEGMENT_HEADER_SIZE = _SEG_HEADER.size
+
+#: Soft segment-size bound: an append that finds the live segment at or
+#: past this many record bytes rolls first.  Large enough that unit
+#: tests over a handful of records never see a roll.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+def _pack_segment_header(base_lsn: int) -> bytes:
+    body = _SEG_MAGIC + struct.pack(">Q", base_lsn)
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def _parse_segment_header(data: bytes) -> int | None:
+    """Base LSN of the segment, or None if the header is torn/invalid."""
+    if len(data) < SEGMENT_HEADER_SIZE:
+        return None
+    magic, base, crc = _SEG_HEADER.unpack_from(data, 0)
+    if magic != _SEG_MAGIC:
+        return None
+    if zlib.crc32(data[: SEGMENT_HEADER_SIZE - 4]) & 0xFFFFFFFF != crc:
+        return None
+    return base
 
 
 @dataclass(frozen=True)
@@ -67,23 +111,32 @@ class WalRecord:
 
 
 class WriteAheadLog:
-    """Append-only log over one disk area.
+    """Append-only log over numbered segment areas of one disk.
 
     Thread-safe.  ``append`` buffers; ``flush`` forces; the *flushed
     LSN* is tracked so callers can implement force-at-commit cheaply
-    (skip the flush if the commit record is already durable).
+    (skip the flush if the commit record is already durable).  Because
+    a roll seals the old segment only after flushing it, a single
+    ``disk.flush`` of the live segment is always enough to advance the
+    flushed LSN to the append point — group commit's ``flush_until``
+    works unchanged across segment boundaries.
     """
 
     def __init__(self, disk: Disk, area: str = "wal",
-                 obs: Observability | None = None):
+                 obs: Observability | None = None, *,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES):
         self.disk = disk
         self.area = area
+        self.segment_bytes = max(1, int(segment_bytes))
         self._lock = threading.Lock()
+        #: (index, base_lsn) per segment, ascending; last entry is live.
+        self._segs: list[tuple[int, int]] = []
+        self._panic: BaseException | None = None
         # Resume appending after the valid record prefix (restart); a
         # torn tail left by a crash is durably discarded first, because
         # appending *after* damaged framing would turn an expected torn
         # write into mid-log corruption on the next scan.
-        self._next_lsn = self._trim_torn_tail()
+        self._next_lsn = self._open()
         self._flushed_lsn = self._next_lsn
         obs = obs if obs is not None else get_observability()
         metrics = obs.metrics
@@ -99,32 +152,105 @@ class WriteAheadLog:
         self._m_panics = metrics.counter(
             "wal_panics_total", "log panics after a failed flush", ("area",)
         ).labels(area=area)
-        self._panic: BaseException | None = None
+        metrics.gauge(
+            "wal_segments", "live segment count per log", ("area",)
+        ).labels(area=area).set_function(self.segment_count)
+        metrics.gauge(
+            "wal_live_bytes", "bytes across live segments per log", ("area",)
+        ).labels(area=area).set_function(self.live_bytes)
 
-    def _trim_torn_tail(self) -> int:
-        """Find the end of the valid record prefix; durably drop any
-        torn tail beyond it.  Returns the append point.
+    # -- segment bookkeeping -----------------------------------------------
 
-        Raises :class:`CorruptRecordError` when valid framed data
-        follows the damage — that is mid-log corruption, and truncating
-        there would silently destroy committed records.
-        """
-        if self.area not in self.disk.areas():
+    def _seg_area(self, index: int) -> str:
+        return f"{self.area}.{index:06d}"
+
+    @property
+    def live_area(self) -> str:
+        """Disk area of the live (append) segment."""
+        with self._lock:
+            return self._seg_area(self._segs[-1][0])
+
+    def segments(self) -> list[str]:
+        """Disk areas of all segments, oldest first."""
+        with self._lock:
+            return [self._seg_area(index) for index, _base in self._segs]
+
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segs)
+
+    def oldest_lsn(self) -> int:
+        """LSN of the first record still on disk (base of the oldest
+        segment); records below it have been reclaimed by :meth:`gc`."""
+        with self._lock:
+            return self._segs[0][1]
+
+    def live_bytes(self) -> int:
+        """Total on-disk bytes across all segments (incl. headers)."""
+        with self._lock:
+            areas = [self._seg_area(index) for index, _base in self._segs]
+        return sum(self.disk.size(area) for area in areas)
+
+    def _create_segment(self, index: int, base: int) -> None:
+        # Buffered: the header becomes durable with the first flush that
+        # covers the segment.  A crash before that leaves a headerless
+        # area, which _open treats as "the roll never happened".
+        self.disk.append(self._seg_area(index), _pack_segment_header(base))
+        self._segs.append((index, base))
+
+    def _open(self) -> int:
+        """Discover segments, validate them, trim the live torn tail.
+        Returns the append point."""
+        pattern = re.compile(re.escape(self.area) + r"\.(\d{6})")
+        found = sorted(
+            int(match.group(1))
+            for name in self.disk.areas()
+            if (match := pattern.fullmatch(name)) is not None
+        )
+        if not found:
+            self._create_segment(1, 0)
             return 0
-        data = self.disk.read(self.area)
-        pos = 0
-        while True:
-            _record, next_pos, ok = self._parse_at(data, pos)
-            if not ok:
-                break
-            pos = next_pos
-        if pos < len(data):
-            if self._valid_record_after(data, pos + 1):
-                raise CorruptRecordError(
-                    f"corrupt record at lsn {pos} followed by valid data"
-                )
-            self.disk.replace(self.area, data[:pos])
-        return pos
+        expected_base: int | None = None
+        next_lsn = 0
+        for position, index in enumerate(found):
+            area = self._seg_area(index)
+            last = position == len(found) - 1
+            data = self.disk.read(area)
+            base = _parse_segment_header(data)
+            if base is None or (expected_base is not None
+                                and base != expected_base):
+                # A headerless *last* segment is a torn roll (the header
+                # was buffered, never flushed): by construction it holds
+                # no durable records, so drop it and resume on the
+                # predecessor.  Anything else — a damaged header in a
+                # sealed segment, a base-LSN discontinuity, or valid
+                # records behind the damage — is real corruption.
+                if not last or self._valid_record_after(data, 1):
+                    raise CorruptRecordError(
+                        f"segment {area!r} has a damaged header"
+                    )
+                self.disk.delete(area)
+                if not self._segs:
+                    self._create_segment(1, 0)
+                    return 0
+                return next_lsn
+            pos = SEGMENT_HEADER_SIZE
+            while True:
+                _record, next_pos, ok = self._parse_at(data, pos)
+                if not ok:
+                    break
+                pos = next_pos
+            if pos < len(data):
+                lsn = base + pos - SEGMENT_HEADER_SIZE
+                if not last or self._valid_record_after(data, pos + 1):
+                    raise CorruptRecordError(
+                        f"corrupt record at lsn {lsn} followed by valid data"
+                    )
+                self.disk.replace(area, data[:pos])
+            self._segs.append((index, base))
+            expected_base = base + pos - SEGMENT_HEADER_SIZE
+            next_lsn = expected_base
+        return next_lsn
 
     # -- panic state -------------------------------------------------------
 
@@ -147,11 +273,13 @@ class WriteAheadLog:
 
     def _flush_disk(self) -> None:
         # Caller holds self._lock and has verified there is data to
-        # force.  A DiskCrashedError does not panic: the crash already
+        # force.  Only the live segment can hold unflushed bytes —
+        # sealed segments were flushed by the roll that sealed them.
+        # A DiskCrashedError does not panic: the crash already
         # discarded the buffers, so there is nothing a retry could
         # wrongly promote; restart/recovery handles it.
         try:
-            self.disk.flush(self.area)
+            self.disk.flush(self._seg_area(self._segs[-1][0]))
         except DiskCrashedError:
             raise
         except (StorageError, OSError) as exc:
@@ -161,17 +289,79 @@ class WriteAheadLog:
         self._flushed_lsn = self._next_lsn
         self._m_flushes.inc()
 
-    # -- writing -----------------------------------------------------------
+    # -- segment rolling and reclamation -----------------------------------
 
-    def append(self, payload: bytes) -> int:
-        """Append one record (buffered).  Returns its LSN."""
-        header = _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    def _roll_locked(self) -> None:
+        if self._segs[-1][1] == self._next_lsn:
+            return  # live segment holds no records yet; nothing to seal
+        # Seal invariant: everything in a sealed segment is durable, so
+        # later flushes only ever need to touch the live segment.
+        if self._flushed_lsn < self._next_lsn:
+            self._flush_disk()
+        self._create_segment(self._segs[-1][0] + 1, self._next_lsn)
+
+    def _maybe_roll_locked(self) -> None:
+        if self._next_lsn - self._segs[-1][1] >= self.segment_bytes:
+            self._roll_locked()
+
+    def roll(self) -> str:
+        """Seal the live segment (flushing it) and open a fresh one; a
+        no-op while the live segment is empty.  Returns the live area.
+
+        Checkpoints roll first so that the checkpoint-begin record
+        opens a segment: once the checkpoint covers everything below
+        it, :meth:`gc` can reclaim *all* older segments.
+        """
         with self._lock:
             self._check_panic()
-            lsn = self.disk.append(self.area, header + payload)
-            self._next_lsn = lsn + HEADER_SIZE + len(payload)
+            self._roll_locked()
+            return self._seg_area(self._segs[-1][0])
+
+    def gc(self, keep_from_lsn: int) -> int:
+        """Durably delete sealed segments wholly below ``keep_from_lsn``
+        (oldest first, never the live segment).  Returns the number of
+        segments reclaimed.
+
+        Safe at any moment: a crash between deletes just leaves more
+        segments for the next GC, and the base-LSN chain stays
+        contiguous because reclamation is strictly oldest-first.
+        """
+        with self._lock:
+            self._check_panic()
+            reclaimed = 0
+            while len(self._segs) > 1:
+                index, _base = self._segs[0]
+                end = self._segs[1][1]
+                if end > keep_from_lsn:
+                    break
+                self.disk.delete(self._seg_area(index))
+                self._segs.pop(0)
+                reclaimed += 1
+            return reclaimed
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, payload: bytes,
+               on_lsn: Callable[[int], None] | None = None) -> int:
+        """Append one record (buffered).  Returns its LSN.
+
+        ``on_lsn`` is invoked with the record's LSN *while the log lock
+        is held*: anything published there is ordered-before every
+        later append (the hook :class:`~repro.transaction.log.LogManager`
+        uses to keep its first-LSN table consistent with the log).
+        """
+        header = _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        size = HEADER_SIZE + len(payload)
+        with self._lock:
+            self._check_panic()
+            self._maybe_roll_locked()
+            lsn = self._next_lsn
+            self.disk.append(self._seg_area(self._segs[-1][0]), header + payload)
+            self._next_lsn = lsn + size
+            if on_lsn is not None:
+                on_lsn(lsn)
         self._m_appends.inc()
-        self._m_bytes.inc(HEADER_SIZE + len(payload))
+        self._m_bytes.inc(size)
         return lsn
 
     def append_many(self, payloads: Iterable[bytes]) -> list[int]:
@@ -180,6 +370,7 @@ class WriteAheadLog:
 
         The batch is framed record-by-record, so a torn tail inside the
         batch loses a suffix of it, exactly as for individual appends.
+        The whole batch lands in one segment (the size bound is soft).
         """
         frames: list[bytes] = []
         sizes: list[int] = []
@@ -193,9 +384,10 @@ class WriteAheadLog:
             return []
         with self._lock:
             self._check_panic()
-            base = self.disk.append(self.area, b"".join(frames))
+            self._maybe_roll_locked()
+            self.disk.append(self._seg_area(self._segs[-1][0]), b"".join(frames))
             lsns: list[int] = []
-            pos = base
+            pos = self._next_lsn
             for size in sizes:
                 lsns.append(pos)
                 pos += size
@@ -219,7 +411,8 @@ class WriteAheadLog:
         """Force the record appended at ``lsn`` (and everything before
         it) to stable storage; a no-op if it is already durable.
 
-        Because a flush forces the whole area, the flushed LSN advances
+        Because a flush forces the whole live segment (and sealed
+        segments are durable by construction), the flushed LSN advances
         to the current append point, not just past ``lsn`` — the basis
         of group commit (:mod:`repro.storage.groupcommit`): one flush
         covers every record appended so far.  Returns the flushed LSN.
@@ -230,9 +423,10 @@ class WriteAheadLog:
                 self._flush_disk()
             return self._flushed_lsn
 
-    def append_flush(self, payload: bytes) -> int:
+    def append_flush(self, payload: bytes,
+                     on_lsn: Callable[[int], None] | None = None) -> int:
         """Append one record and force it (one-call force-at-commit)."""
-        lsn = self.append(payload)
+        lsn = self.append(payload, on_lsn=on_lsn)
         self.flush()
         return lsn
 
@@ -249,23 +443,31 @@ class WriteAheadLog:
     def scan(self, from_lsn: int = 0) -> Iterator[WalRecord]:
         """Yield valid records starting at ``from_lsn``.
 
-        Stops silently at a torn tail; raises
-        :class:`CorruptRecordError` if valid data follows corruption
-        (mid-log damage).
+        ``from_lsn`` must be a record boundary at or above
+        :meth:`oldest_lsn` (reclaimed records cannot be scanned).
+        Stops silently at a torn tail of the live segment; raises
+        :class:`CorruptRecordError` if valid data follows corruption or
+        a sealed segment is damaged (mid-log damage).
         """
-        data = self.disk.read(self.area)
-        pos = from_lsn
-        end = len(data)
-        while pos < end:
-            record, next_pos, ok = self._parse_at(data, pos)
-            if not ok:
-                if self._valid_record_after(data, pos + 1):
-                    raise CorruptRecordError(
-                        f"corrupt record at lsn {pos} followed by valid data"
-                    )
-                return
-            yield record
-            pos = next_pos
+        with self._lock:
+            segs = list(self._segs)
+        for position, (index, base) in enumerate(segs):
+            last = position == len(segs) - 1
+            if not last and segs[position + 1][1] <= from_lsn:
+                continue  # segment wholly below the scan start
+            data = self.disk.read(self._seg_area(index))
+            pos = SEGMENT_HEADER_SIZE + max(0, from_lsn - base)
+            while pos < len(data):
+                record, next_pos, ok = self._parse_at(data, pos)
+                if not ok:
+                    lsn = base + pos - SEGMENT_HEADER_SIZE
+                    if not last or self._valid_record_after(data, pos + 1):
+                        raise CorruptRecordError(
+                            f"corrupt record at lsn {lsn} followed by valid data"
+                        )
+                    return
+                yield WalRecord(base + pos - SEGMENT_HEADER_SIZE, record.payload)
+                pos = next_pos
 
     def records(self) -> list[WalRecord]:
         """All valid records, eagerly."""
@@ -308,11 +510,15 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Durably discard the log (caller must have checkpointed all
-        state it still needs — see :class:`repro.transaction.log.LogManager`)."""
+        state it still needs — see :class:`repro.transaction.log.LogManager`).
+        The LSN space restarts at 0."""
         with self._lock:
             # Refuse on panic: a checkpoint taken while commit durability
             # is unknowable must not destroy the durable log prefix.
             self._check_panic()
-            self.disk.truncate(self.area)
+            for index, _base in self._segs:
+                self.disk.delete(self._seg_area(index))
+            self._segs = []
+            self._create_segment(1, 0)
             self._next_lsn = 0
             self._flushed_lsn = 0

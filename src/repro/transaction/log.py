@@ -29,13 +29,40 @@ Record kinds
 ``out``
     Two-phase-commit outcome applied at a participant for a previously
     prepared branch.
+``bck`` / ``eck``
+    Fuzzy-checkpoint markers (ARIES-style).  ``bck`` opens a checkpoint
+    (always the first record of a fresh segment — the checkpoint rolls
+    first so segment GC can reclaim everything older); ``eck`` closes
+    it, carrying the active-transaction table and the computed recovery
+    LSN.  Both are bookkeeping, not redo: :meth:`LogManager.records`
+    filters them out, and recovery takes its starting point from the
+    installed checkpoint blob instead.
+
+Checkpoint protocol
+-------------------
+
+:meth:`begin_checkpoint` (roll + ``bck`` at LSN *B*) → snapshot the RMs
+(no quiescence; the caller takes committed-view snapshots under each
+RM's own mutex) → :meth:`recovery_floor` (min of *B*, the first LSN of
+every transaction with live log records, and every GC pin) →
+:meth:`end_checkpoint` (forced ``eck``) → :meth:`install_checkpoint`
+(atomic blob replace) → :meth:`gc` (reclaim sealed segments below the
+floor).  A crash at any point leaves either the old checkpoint or the
+new one installed, and in both cases every record at/above the
+installed checkpoint's recovery LSN is still on disk, so
+recovery-over-snapshot (idempotent redo) reconstructs the same state.
+
+In-doubt two-phase-commit branches outlive restarts, so recovery *pins*
+(:meth:`pin`) each branch at its first LSN; the pin holds the floor —
+and therefore segment GC — back until the coordinator's decision
+resolves the branch (:meth:`unpin`).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.errors import CheckpointError
 from repro.obs import Observability
@@ -51,8 +78,14 @@ KIND_ABORT = "abt"
 KIND_AUTO = "auto"
 KIND_PREPARE = "prep"
 KIND_OUTCOME = "out"
+KIND_BEGIN_CKPT = "bck"
+KIND_END_CKPT = "eck"
+
+#: marker kinds hidden from :meth:`LogManager.records`
+_CKPT_KINDS = (KIND_BEGIN_CKPT, KIND_END_CKPT)
 
 _CHECKPOINT_AREA_SUFFIX = ".ckpt"
+_CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -66,16 +99,33 @@ class LogRecord:
     data: dict[str, Any]
 
 
+@dataclass(frozen=True)
+class CheckpointImage:
+    """A decoded checkpoint blob.
+
+    ``recovery_lsn`` is where replay starts (0 for legacy quiescent
+    checkpoints, which covered everything); ``next_txn_id`` preserves
+    the transaction-id watermark even when the records that proved it
+    have been reclaimed by segment GC.
+    """
+
+    rms: dict[str, Any]
+    recovery_lsn: int = 0
+    next_txn_id: int = 0
+
+
 class LogManager:
     """Shared typed log + checkpoint area for one node."""
 
     def __init__(self, disk: Disk, area: str = "log",
                  obs: Observability | None = None,
                  injector: FaultInjector | None = None,
-                 group_commit: GroupCommitConfig | None = None):
+                 group_commit: GroupCommitConfig | None = None,
+                 segment_bytes: int | None = None):
         self.disk = disk
         self.area = area
-        self.wal = WriteAheadLog(disk, area, obs=obs)
+        wal_kwargs = {} if segment_bytes is None else {"segment_bytes": segment_bytes}
+        self.wal = WriteAheadLog(disk, area, obs=obs, **wal_kwargs)
         self.group_commit = (
             group_commit if group_commit is not None else GroupCommitConfig()
         )
@@ -86,30 +136,57 @@ class LogManager:
             else None
         )
         self._lock = threading.Lock()
+        #: first LSN of every transaction with records in the live log
+        self._txn_first: dict[int, int] = {}
+        #: GC pins: floor contributions that outlive transactions
+        #: (in-doubt 2PC branches awaiting their coordinator)
+        self._pins: dict[Hashable, int] = {}
+        #: LSN of the last installed checkpoint's begin record — the
+        #: base of the bytes-since-checkpoint trigger.  Starts at the
+        #: oldest on-disk LSN so a restarted node measures from what it
+        #: actually still carries.
+        self._ckpt_base = self.wal.oldest_lsn()
         #: counters for benchmarks
         self.update_records = 0
         self.commit_records = 0
 
     # -- writing ------------------------------------------------------------
 
-    def _append(self, kind: str, txn_id: int | None, rm: str | None, data: dict[str, Any], *, flush: bool) -> int:
+    def _append(self, kind: str, txn_id: int | None, rm: str | None,
+                data: dict[str, Any], *, flush: bool,
+                on_lsn: Callable[[int], None] | None = None) -> int:
         payload = encode({"k": kind, "t": txn_id, "rm": rm, "d": data})
+        if on_lsn is None and txn_id is not None and kind in (KIND_UPDATE, KIND_PREPARE):
+            # Publish the transaction's first LSN under the WAL lock:
+            # a checkpoint that appends its begin marker *after* this
+            # record is thereby guaranteed to see the entry when it
+            # reads the table, so its recovery floor covers us.
+            def on_lsn(lsn: int, txn_id: int = txn_id) -> None:
+                with self._lock:
+                    self._txn_first.setdefault(txn_id, lsn)
         if not flush:
-            return self.wal.append(payload)
+            return self.wal.append(payload, on_lsn=on_lsn)
         if self.group is not None:
             # Force-at-commit via the group committer: append, then park
             # until a (possibly shared) flush covers the record.
-            return self.group.append_sync(payload)
-        return self.wal.append_flush(payload)
+            return self.group.append_sync(payload, on_lsn=on_lsn)
+        return self.wal.append_flush(payload, on_lsn=on_lsn)
 
     def log_update(self, txn_id: int, rm: str, data: dict[str, Any]) -> int:
         """Buffered redo record; durability comes with the commit flush."""
         self.update_records += 1
         return self._append(KIND_UPDATE, txn_id, rm, data, flush=False)
 
-    def log_auto(self, rm: str, data: dict[str, Any]) -> int:
-        """Auto-committed update: immediately durable, replayed always."""
-        return self._append(KIND_AUTO, None, rm, data, flush=True)
+    def log_auto(self, rm: str, data: dict[str, Any],
+                 on_lsn: Callable[[int], None] | None = None) -> int:
+        """Auto-committed update: immediately durable, replayed always.
+
+        ``on_lsn`` runs under the WAL lock at append time — callers
+        mirroring the record into volatile tracker state (2PC decisions,
+        coordinator epochs) use it so a concurrent fuzzy checkpoint
+        either snapshots the mirrored state or replays the record, never
+        neither."""
+        return self._append(KIND_AUTO, None, rm, data, flush=True, on_lsn=on_lsn)
 
     def log_commit(self, txn_id: int) -> int:
         """Force-at-commit: the commit record and everything before it
@@ -128,13 +205,45 @@ class LogManager:
     def log_outcome(self, txn_id: int, decision: str) -> int:
         return self._append(KIND_OUTCOME, txn_id, None, {"decision": decision}, flush=True)
 
+    # -- transaction / pin bookkeeping --------------------------------------
+
+    def forget_txn(self, txn_id: int) -> None:
+        """Drop the first-LSN entry of a finished transaction, letting
+        future checkpoints advance their recovery floor past it."""
+        with self._lock:
+            self._txn_first.pop(txn_id, None)
+
+    def txn_first_lsns(self) -> dict[int, int]:
+        """First LSN per transaction with live records (copy)."""
+        with self._lock:
+            return dict(self._txn_first)
+
+    def pin(self, key: Hashable, lsn: int) -> None:
+        """Hold the recovery floor (and segment GC) at or below ``lsn``
+        until :meth:`unpin` — used for in-doubt 2PC branches whose redo
+        records must survive until the coordinator decides."""
+        with self._lock:
+            existing = self._pins.get(key)
+            self._pins[key] = lsn if existing is None else min(existing, lsn)
+
+    def unpin(self, key: Hashable) -> None:
+        with self._lock:
+            self._pins.pop(key, None)
+
+    def pins(self) -> dict[Hashable, int]:
+        with self._lock:
+            return dict(self._pins)
+
     # -- reading ------------------------------------------------------------
 
-    def records(self) -> list[LogRecord]:
-        """All durable+buffered records, in order (live view)."""
+    def records(self, from_lsn: int = 0) -> list[LogRecord]:
+        """All durable+buffered records from ``from_lsn``, in order
+        (live view).  Checkpoint markers are internal and filtered out."""
         out = []
-        for raw in self.wal.scan():
+        for raw in self.wal.scan(from_lsn):
             body = decode(raw.payload)
+            if body["k"] in _CKPT_KINDS:
+                continue
             out.append(
                 LogRecord(raw.lsn, body["k"], body["t"], body["rm"], body["d"])
             )
@@ -146,25 +255,105 @@ class LogManager:
     def checkpoint_area(self) -> str:
         return self.area + _CHECKPOINT_AREA_SUFFIX
 
-    def write_checkpoint(self, snapshots: dict[str, Any]) -> None:
-        """Atomically persist RM snapshots, then truncate the log.
+    def bytes_since_checkpoint(self) -> int:
+        """Record bytes appended since the last installed checkpoint —
+        the checkpointer's trigger.  Measured from the checkpoint-begin
+        LSN (not the recovery floor), so one long-running transaction
+        cannot livelock the trigger."""
+        return self.wal.next_lsn - self._ckpt_base
 
-        A crash between the two steps leaves the checkpoint *and* the old
-        log; recovery replays the log on top of the checkpoint, which is
-        safe because RM redo is idempotent.
+    def begin_checkpoint(self) -> int:
+        """Open a fuzzy checkpoint: roll to a fresh segment and append
+        the ``bck`` marker as its first record.  Returns *B*, the
+        checkpoint-begin LSN."""
+        self.wal.roll()
+        return self._append(KIND_BEGIN_CKPT, None, None, {}, flush=False)
+
+    def recovery_floor(self, begin_lsn: int) -> int:
+        """Where replay must start for a checkpoint begun at
+        ``begin_lsn``: the minimum of *B*, the first LSN of every
+        transaction with live records, and every pin.
+
+        Safe to read after the ``bck`` append: any transaction whose
+        first record precedes *B* published its entry under the WAL
+        lock before that append completed, and any transaction missing
+        from the table writes its first record above *B*.
         """
-        self.disk.replace(self.checkpoint_area, encode({"rms": snapshots}))
-        self.wal.reset()
+        floor = begin_lsn
+        with self._lock:
+            for lsn in self._txn_first.values():
+                floor = min(floor, lsn)
+            for lsn in self._pins.values():
+                floor = min(floor, lsn)
+        return floor
 
-    def read_checkpoint(self) -> dict[str, Any] | None:
+    def end_checkpoint(self, begin_lsn: int, active: dict[int, int],
+                       recovery_lsn: int) -> int:
+        """Close the checkpoint with a forced ``eck`` marker carrying
+        the active-transaction table (txn id → first LSN) and the
+        computed recovery LSN."""
+        data = {
+            "b": begin_lsn,
+            "r": recovery_lsn,
+            # codec dict keys must be strings: encode as pairs.
+            "active": [[tid, lsn] for tid, lsn in sorted(active.items())],
+        }
+        return self._append(KIND_END_CKPT, None, None, data, flush=True)
+
+    def install_checkpoint(self, snapshots: dict[str, Any], *,
+                           begin_lsn: int, recovery_lsn: int,
+                           next_txn_id: int) -> None:
+        """Atomically persist the checkpoint blob.  The single
+        ``disk.replace`` is the commit point of the whole checkpoint:
+        before it the old checkpoint governs recovery, after it the new
+        one does, and both are consistent with the (not yet GC'd) log."""
+        self.disk.replace(self.checkpoint_area, encode({
+            "v": _CHECKPOINT_VERSION,
+            "recovery_lsn": recovery_lsn,
+            "next_txn_id": next_txn_id,
+            "rms": snapshots,
+        }))
+        self._ckpt_base = begin_lsn
+
+    def gc(self, recovery_lsn: int) -> int:
+        """Reclaim sealed segments wholly below ``recovery_lsn``."""
+        return self.wal.gc(recovery_lsn)
+
+    def write_checkpoint(self, snapshots: dict[str, Any]) -> None:
+        """Quiescent one-shot checkpoint (callers with no concurrent
+        transactions): begin, close with an empty active table, install,
+        and GC in one call."""
+        begin_lsn = self.begin_checkpoint()
+        recovery_lsn = self.recovery_floor(begin_lsn)
+        self.end_checkpoint(begin_lsn, {}, recovery_lsn)
+        self.install_checkpoint(
+            snapshots, begin_lsn=begin_lsn, recovery_lsn=recovery_lsn,
+            next_txn_id=0,
+        )
+        self.gc(recovery_lsn)
+
+    def load_checkpoint(self) -> CheckpointImage | None:
+        """The installed checkpoint, or None.  Accepts legacy (v1)
+        blobs, which have no recovery LSN (replay starts at 0)."""
         raw = self.disk.read(self.checkpoint_area)
         if not raw:
             return None
         try:
             body = decode(raw)
+            return CheckpointImage(
+                rms=body["rms"],
+                recovery_lsn=body.get("recovery_lsn", 0),
+                next_txn_id=body.get("next_txn_id", 0),
+            )
+        except CheckpointError:
+            raise
         except Exception as exc:  # codec error -> unusable checkpoint
             raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
-        return body["rms"]
+
+    def read_checkpoint(self) -> dict[str, Any] | None:
+        """RM snapshots of the installed checkpoint, or None."""
+        image = self.load_checkpoint()
+        return None if image is None else image.rms
 
     # -- analysis helpers (used by recovery) ---------------------------------------
 

@@ -243,14 +243,32 @@ class TransactionManager:
         self.abort(txn, reason)
         return True
 
-    def _finish(self, txn: Transaction, hooks: list[Callable[[], None]]) -> None:
+    def active_txns(self) -> list[int]:
+        """Ids of currently active (incl. prepared) transactions — the
+        active-transaction table a fuzzy checkpoint records."""
         with self._mutex:
-            self._active.pop(txn.id, None)
+            return sorted(self._active)
+
+    def next_txn_id(self) -> int:
+        """The id the next ``begin()`` would hand out — the watermark a
+        checkpoint persists so restarted nodes never reuse ids whose
+        records were GC'd with their segments."""
+        with self._mutex:
+            return self._next_id
+
+    def _finish(self, txn: Transaction, hooks: list[Callable[[], None]]) -> None:
         # Hooks run while locks are still held so that, e.g., a returned
         # queue element becomes visible atomically with the lock release
-        # that follows.
+        # that follows.  They run *before* the transaction leaves the
+        # active table: a fuzzy checkpoint that no longer sees the
+        # transaction as active may rely on its snapshot-visible effects
+        # being final (the RMs' committed-view snapshot bookkeeping is
+        # cleaned up by these hooks).
         for hook in hooks:
             hook()
+        with self._mutex:
+            self._active.pop(txn.id, None)
+        self.log.forget_txn(txn.id)
         self.locks.release_all(txn.id)
         txn._undo.clear()
 

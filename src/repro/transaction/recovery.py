@@ -3,27 +3,38 @@
 After a crash a node's volatile state is gone.  Recovery rebuilds it:
 
 1. load the latest checkpoint (if any) into each resource manager;
-2. scan the log once, classifying transactions into *committed*
-   (``cmt`` record, or ``prep`` followed by a commit ``out``-come),
-   *aborted/forgotten* (everything else), and *in doubt* (``prep``
-   without an outcome — a two-phase-commit branch awaiting its
-   coordinator);
+2. scan the log **from the checkpoint's recovery LSN** (0 without a
+   checkpoint — fuzzy checkpoints record the minimum of their begin
+   LSN and the first LSN of every then-active or in-doubt transaction,
+   so nothing below it is ever needed), classifying transactions into
+   *committed* (``cmt`` record, or ``prep`` followed by a commit
+   ``out``-come), *aborted/forgotten* (everything else), and *in doubt*
+   (``prep`` without an outcome — a two-phase-commit branch awaiting
+   its coordinator);
 3. replay, in log order, the ``upd`` records of committed transactions
    and every ``auto`` record (RM redo is idempotent, so records already
    captured by the checkpoint are harmless);
-4. stash the updates of in-doubt branches and re-acquire their locks,
-   so conflicting work stays blocked until the coordinator's decision
-   arrives (resolved via :meth:`InDoubtBranch.resolve`).
+4. stash the updates of in-doubt branches, re-acquire their locks, and
+   *pin* their first LSN in the log manager so segment GC cannot
+   reclaim their redo records before the coordinator's decision
+   arrives (resolved via :meth:`InDoubtBranch.resolve`, which unpins).
 
 This is the standard redo-only counterpart of ARIES for a no-steal
 volatile cache: no undo pass is ever needed because uncommitted work
 never reaches stable state.
+
+An unreadable checkpoint (:class:`~repro.errors.CheckpointError`) is
+survivable only while the full log is still on disk: recovery then
+falls back to a full-history replay from LSN 0.  Once segment GC has
+reclaimed the prefix the checkpoint covered, the error propagates —
+truncating silently there would resurrect a partial state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import CheckpointError
 from repro.transaction.locks import LockManager, LockMode
 from repro.transaction.log import (
     KIND_AUTO,
@@ -57,8 +68,8 @@ class InDoubtBranch:
 
     def resolve(self, decision: str) -> None:
         """Apply the coordinator's decision: ``"commit"`` replays the
-        branch's updates; either way the outcome is logged and the
-        branch's locks are released."""
+        branch's updates; either way the outcome is logged, the
+        branch's locks are released, and its GC pin is dropped."""
         if self.resolved is not None:
             return
         if decision not in ("commit", "abort"):
@@ -70,6 +81,7 @@ class InDoubtBranch:
                 if rm is not None:
                     rm.redo(record.data)
         self._log.log_outcome(self.txn_id, decision)
+        self._log.unpin(("indoubt", self.txn_id))
         if self._lock_manager is not None:
             self._lock_manager.release_all(("indoubt", self.txn_id))
         self.resolved = decision
@@ -85,6 +97,12 @@ class RecoveryReport:
     replayed_autos: int
     in_doubt: list[InDoubtBranch]
     max_txn_id: int
+    #: where the log scan started (0 = full-history replay)
+    recovery_lsn: int = 0
+
+    @property
+    def replayed_records(self) -> int:
+        return self.replayed_updates + self.replayed_autos
 
 
 def recover(
@@ -93,22 +111,35 @@ def recover(
     tm: TransactionManager | None = None,
     lock_manager: LockManager | None = None,
 ) -> RecoveryReport:
-    """Rebuild the volatile state of every RM in ``rms`` from the log.
+    """Rebuild the volatile state of every RM in ``rms`` from the
+    checkpoint and the log suffix above its recovery LSN.
 
     ``tm`` (if given) has its transaction-id counter advanced past every
-    id seen in the log.  ``lock_manager`` (if given) re-acquires the
-    locks of in-doubt branches under the synthetic owner
-    ``("indoubt", txn_id)``.
+    id seen in the log (and past the checkpoint's watermark, which may
+    exceed anything still in the log after GC).  ``lock_manager`` (if
+    given) re-acquires the locks of in-doubt branches under the
+    synthetic owner ``("indoubt", txn_id)``.
     """
-    snapshots = log.read_checkpoint()
-    checkpoint_loaded = snapshots is not None
-    if snapshots:
-        for name, state in snapshots.items():
+    try:
+        image = log.load_checkpoint()
+    except CheckpointError:
+        if log.wal.oldest_lsn() > 0:
+            # The records the checkpoint covered are gone — a full
+            # replay is impossible, so the damage is unrecoverable.
+            raise
+        image = None
+    checkpoint_loaded = image is not None
+    recovery_lsn = 0
+    next_txn_id = 0
+    if image is not None:
+        recovery_lsn = image.recovery_lsn
+        next_txn_id = image.next_txn_id
+        for name, state in image.rms.items():
             rm = rms.get(name)
             if rm is not None:
                 rm.restore(state)
 
-    records = log.records()
+    records = log.records(from_lsn=recovery_lsn)
     committed = {r.txn_id for r in records if r.kind == KIND_COMMIT and r.txn_id is not None}
     outcomes = {
         r.txn_id: r.data["decision"]
@@ -156,7 +187,15 @@ def recover(
                 replayed_autos += 1
 
     if tm is not None:
-        tm.set_next_id(max_txn_id + 1)
+        tm.set_next_id(max(max_txn_id + 1, next_txn_id))
+    for branch in branches.values():
+        # Pin each unresolved branch at its earliest record so segment
+        # GC keeps the redo records until the coordinator decides.
+        first = min(
+            [record.lsn for record in branch.updates]
+            + [prepared[branch.txn_id].lsn]
+        )
+        log.pin(("indoubt", branch.txn_id), first)
     if lock_manager is not None:
         for branch in branches.values():
             for resource in branch.locks:
@@ -169,4 +208,5 @@ def recover(
         replayed_autos=replayed_autos,
         in_doubt=sorted(branches.values(), key=lambda b: b.txn_id),
         max_txn_id=max_txn_id,
+        recovery_lsn=recovery_lsn,
     )

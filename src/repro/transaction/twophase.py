@@ -50,10 +50,15 @@ class TwoPhaseCoordinator:
         log: LogManager,
         name: str = "coord",
         injector: FaultInjector | None = None,
+        tracker=None,
     ):
         self.log = log
         self.name = name
         self.injector = injector if injector is not None else NULL_INJECTOR
+        #: optional decision tracker (a ``_DecisionRM``): mirrors every
+        #: decision record into checkpointable volatile state, so the
+        #: decision survives segment GC of the record that carried it
+        self.tracker = tracker
         self._seq = 0
         self._mutex = threading.Lock()
 
@@ -152,13 +157,27 @@ class TwoPhaseCoordinator:
         ) from last
 
     def _log_decision(self, gid: str, decision: str) -> None:
-        self.log.log_auto(_DECISION_RM, {"gid": gid, "decision": decision})
+        # The tracker is updated under the WAL lock at append time
+        # (on_lsn): a fuzzy checkpoint concurrent with the decision
+        # either snapshots the tracker entry or replays the record —
+        # never neither.  If the append fails, nothing was noted.
+        on_lsn = None
+        if self.tracker is not None:
+            def on_lsn(_lsn: int) -> None:
+                self.tracker.note(gid, decision)
+        self.log.log_auto(
+            _DECISION_RM, {"gid": gid, "decision": decision}, on_lsn=on_lsn
+        )
 
     # -- recovery-time resolution ------------------------------------------------
 
     def decision(self, gid: str) -> str:
         """Presumed-abort lookup: ``"commit"`` only if a durable commit
         decision exists for ``gid``."""
+        if self.tracker is not None:
+            found = self.tracker.get(gid)
+            if found is not None:
+                return found
         for record in self.log.records():
             if (
                 record.kind == KIND_AUTO

@@ -1,0 +1,75 @@
+"""Checkpointer-enabled chaos campaigns: the ``checkpoint_interval_bytes``
+knob runs a byte-triggered fuzzy checkpointer inside every episode and
+adds the ``ckpt.*`` crash points to the sampler, while the default
+(``None``) keeps existing seeds byte-identical."""
+
+from __future__ import annotations
+
+from repro.chaos import ChaosConfig, run_episode, sample_schedule
+from repro.chaos.engine import FAILING_OUTCOMES, OUTCOME_OK
+from repro.chaos.schedule import (
+    CHECKPOINT_CRASH_POINTS,
+    CRASH_POINTS,
+    KIND_CRASH,
+)
+
+#: seeds of the in-suite checkpointing acceptance campaign
+CAMPAIGN_SEEDS = range(200)
+CONFIG = ChaosConfig(checkpoint_interval_bytes=4096)
+
+
+class TestScheduleCompatibility:
+    def test_default_config_schedules_are_unchanged(self):
+        # The checkpoint knob must not perturb existing seeds: replay
+        # artifacts recorded before the knob existed stay valid.
+        for seed in range(100):
+            assert sample_schedule(seed) == sample_schedule(
+                seed, ChaosConfig(checkpoint_interval_bytes=None)
+            )
+
+    def test_ckpt_points_cover_the_whole_protocol(self):
+        assert set(CHECKPOINT_CRASH_POINTS) == {
+            f"ckpt.{step}.{edge}"
+            for step in ("begin", "snapshot", "install", "gc")
+            for edge in ("before", "after")
+        }
+        assert not set(CHECKPOINT_CRASH_POINTS) & set(CRASH_POINTS)
+
+    def test_campaign_schedules_arm_ckpt_points(self):
+        points = set()
+        for seed in CAMPAIGN_SEEDS:
+            for fault in sample_schedule(seed, CONFIG).faults:
+                if fault.kind == KIND_CRASH:
+                    points.add(fault.point)
+        assert points & set(CHECKPOINT_CRASH_POINTS)
+
+
+class TestCheckpointDeterminism:
+    def test_same_seed_same_interval_is_identical(self):
+        for seed in (0, 7, 42):
+            first = run_episode(seed, CONFIG)
+            second = run_episode(seed, CONFIG)
+            assert first.outcome == second.outcome
+            assert first.fingerprint == second.fingerprint
+            assert first.restarts == second.restarts
+
+
+class TestCheckpointAcceptanceCampaign:
+    def test_200_episodes_with_checkpointing_zero_violations(self):
+        # The bounded-recovery acceptance gate: every episode runs the
+        # fuzzy checkpointer mid-workload (polled every step, crashes
+        # armable inside the protocol), and every guarantee holds.
+        outcomes: dict[str, int] = {}
+        failing = []
+        restarts = 0
+        for seed in CAMPAIGN_SEEDS:
+            result = run_episode(seed, CONFIG)
+            outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+            restarts += result.restarts
+            if result.failed:
+                failing.append((seed, result.outcome, result.violations))
+        assert not failing, f"failing episodes: {failing}"
+        assert outcomes.get(OUTCOME_OK, 0) > 100
+        assert all(o not in FAILING_OUTCOMES for o in outcomes)
+        # The campaign must actually exercise restart recovery.
+        assert restarts > 20

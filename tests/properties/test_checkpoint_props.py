@@ -1,0 +1,79 @@
+"""Property: crashing at *any* point inside the fuzzy-checkpoint
+protocol leaves exactly the state a checkpoint-free crash would have —
+the checkpoint is pure optimisation, never observable in outcomes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.schedule import CHECKPOINT_CRASH_POINTS
+from repro.errors import SimulatedCrash
+from repro.queueing.repository import QueueRepository
+from repro.sim.crash import FaultInjector
+from repro.storage.disk import MemDisk
+
+# (committed enqueue payloads, committed table puts, leave a txn open?)
+workloads = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=99), max_size=6),
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 9)),
+        max_size=4,
+    ),
+    st.booleans(),
+)
+
+
+def _run_workload(repo: QueueRepository, workload) -> None:
+    payloads, puts, leave_open = workload
+    q = repo.create_queue("q")
+    table = repo.create_table("t")
+    for payload in payloads:
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, payload)
+    for key, value in puts:
+        with repo.tm.transaction() as txn:
+            table.put(txn, key, value)
+    if leave_open:
+        open_txn = repo.tm.begin()
+        q.enqueue(open_txn, "never-committed")
+        table.put(open_txn, "open", "never-committed")
+        # deliberately neither committed nor aborted: the crash takes it
+
+
+def _observe(disk: MemDisk) -> tuple:
+    disk.recover()
+    repo = QueueRepository("r", disk)
+    q = repo.get_queue("q")
+    bodies = []
+    with repo.tm.transaction() as txn:
+        while q.depth() > 0:
+            bodies.append(q.dequeue(txn).body)
+    table = repo.get_table("t")
+    values = {key: table.peek(key) for key in ("a", "b", "c", "open")}
+    return tuple(bodies), tuple(sorted(values.items(), key=lambda kv: kv[0]))
+
+
+@given(st.sampled_from(CHECKPOINT_CRASH_POINTS), workloads)
+@settings(max_examples=60, deadline=None)
+def test_crash_at_any_ckpt_point_equals_no_checkpoint_recovery(
+    point, workload
+):
+    # With a checkpoint that dies at `point` (the injector's on_crash
+    # hook freezes the disk right there) ...
+    crashed_disk = MemDisk()
+    injector = FaultInjector(record=False)
+    repo = QueueRepository("r", crashed_disk, injector=injector)
+    _run_workload(repo, workload)
+    injector.arm(point)
+    with pytest.raises(SimulatedCrash):
+        repo.checkpoint()
+
+    # ... versus the identical workload, no checkpoint, plain crash.
+    plain_disk = MemDisk()
+    baseline = QueueRepository("r", plain_disk)
+    _run_workload(baseline, workload)
+    plain_disk.crash()
+
+    assert _observe(crashed_disk) == _observe(plain_disk)

@@ -26,16 +26,18 @@ def test_scan_returns_exactly_what_was_appended(payloads):
 )
 @settings(max_examples=200)
 def test_any_truncation_yields_a_prefix(payloads, cut):
-    """Chop the log at an arbitrary byte: the scan must return a prefix
-    of the appended records (the torn tail is silently dropped), never
-    garbage and never an out-of-order subset."""
+    """Chop the live segment at an arbitrary byte: the scan must return
+    a prefix of the appended records (the torn tail is silently
+    dropped — a cut inside the segment header drops the whole segment),
+    never garbage and never an out-of-order subset."""
     disk = MemDisk()
     wal = WriteAheadLog(disk)
     for payload in payloads:
         wal.append(payload)
     wal.flush()
-    raw = disk.read("wal")
-    disk.replace("wal", raw[: min(cut, len(raw))])
+    live = wal.live_area
+    raw = disk.read(live)
+    disk.replace(live, raw[: min(cut, len(raw))])
     recovered = [r.payload for r in WriteAheadLog(disk).scan()]
     assert recovered == payloads[: len(recovered)]
 

@@ -1,0 +1,81 @@
+"""Unit tests for the byte-triggered background checkpoint driver."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.queueing.checkpointer import Checkpointer
+from repro.queueing.repository import QueueRepository
+from repro.sim.crash import FaultInjector
+from repro.storage.disk import MemDisk
+
+
+def _passive_repo(interval: int) -> QueueRepository:
+    # A (plan-free) injector makes the repository build its checkpointer
+    # in passive mode: no thread, driven only by explicit poll() calls.
+    return QueueRepository(
+        "r", MemDisk(), injector=FaultInjector(record=False),
+        checkpoint_interval_bytes=interval,
+    )
+
+
+class TestTrigger:
+    def test_poll_is_noop_below_threshold(self):
+        repo = _passive_repo(1 << 20)
+        ckpt = repo.checkpointer
+        assert ckpt is not None and not ckpt.threaded
+        with repo.tm.transaction() as txn:
+            repo.create_queue("q").enqueue(txn, "x")
+        assert not ckpt.should_checkpoint()
+        assert ckpt.poll() is False
+        assert ckpt.checkpoints_taken == 0
+
+    def test_poll_checkpoints_once_threshold_crossed(self):
+        repo = _passive_repo(2048)
+        ckpt = repo.checkpointer
+        q = repo.create_queue("q")
+        while not ckpt.should_checkpoint():
+            with repo.tm.transaction() as txn:
+                q.enqueue(txn, "payload-" + "x" * 64)
+        assert ckpt.poll() is True
+        assert ckpt.checkpoints_taken == 1
+        # The trigger resets: bytes are measured from the new
+        # checkpoint's begin record, not from the recovery floor.
+        assert not ckpt.should_checkpoint()
+        assert ckpt.poll() is False
+
+    def test_interval_must_be_positive(self):
+        repo = QueueRepository("r", MemDisk())
+        with pytest.raises(ValueError):
+            Checkpointer(repo, 0)
+
+
+class TestThreaded:
+    def test_background_thread_checkpoints_under_load(self):
+        repo = QueueRepository(
+            "r", MemDisk(), checkpoint_interval_bytes=2048
+        )
+        ckpt = repo.checkpointer
+        assert ckpt is not None and ckpt.threaded
+        try:
+            q = repo.create_queue("q")
+            deadline = time.monotonic() + 10.0
+            while ckpt.checkpoints_taken == 0:
+                with repo.tm.transaction() as txn:
+                    q.enqueue(txn, "payload-" + "x" * 64)
+                assert time.monotonic() < deadline, (
+                    "background checkpointer never fired"
+                )
+            assert repo.last_recovery.recovery_lsn == 0  # booted fresh
+        finally:
+            repo.close()
+        assert not ckpt.threaded
+
+    def test_close_is_idempotent(self):
+        repo = QueueRepository(
+            "r", MemDisk(), checkpoint_interval_bytes=1 << 20
+        )
+        repo.close()
+        repo.close()

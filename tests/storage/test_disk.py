@@ -34,6 +34,37 @@ class TestMemDiskBasics:
         disk.append("a", b"12345")
         assert disk.size("a") == 5
 
+    def test_size_counts_durable_and_buffered(self):
+        disk = MemDisk()
+        disk.append("a", b"123")
+        disk.flush("a")
+        disk.append("a", b"45")
+        assert disk.size("a") == 5
+        assert disk.size("missing") == 0
+
+    def test_delete_removes_area(self):
+        disk = MemDisk()
+        disk.append("a", b"bye")
+        disk.flush("a")
+        disk.delete("a")
+        assert "a" not in disk.areas()
+        assert disk.read("a") == b""
+        assert disk.delete_count == 1
+
+    def test_delete_is_durable(self):
+        disk = MemDisk()
+        disk.append("a", b"seg")
+        disk.flush("a")
+        disk.delete("a")
+        disk.crash()
+        disk.recover()
+        assert "a" not in disk.areas()
+
+    def test_delete_missing_is_noop(self):
+        disk = MemDisk()
+        disk.delete("ghost")
+        assert disk.areas() == []
+
     def test_replace_is_durable(self):
         disk = MemDisk()
         disk.append("a", b"old")
@@ -172,6 +203,39 @@ class TestFileDisk:
         disk.close()
         disk2 = FileDisk(root)
         assert disk2.append("a", b"6") == 5
+        disk2.close()
+
+    def test_delete_removes_file(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("seg", b"data")
+        disk.flush("seg")
+        disk.delete("seg")
+        assert "seg" not in disk.areas()
+        assert disk.size("seg") == 0
+        disk.delete("seg")  # idempotent
+        disk.close()
+
+    def test_size_is_tracked_without_reads(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("a", b"123")
+        # Unflushed bytes still count: size() reflects the logical
+        # length, served from the incremental cache (no stat/read).
+        assert disk.size("a") == 3
+        disk.append("a", b"45")
+        assert disk.size("a") == 5
+        disk.replace("a", b"x")
+        assert disk.size("a") == 1
+        disk.close()
+
+    def test_size_of_untouched_area_comes_from_stat(self, tmp_path):
+        root = str(tmp_path / "d")
+        disk = FileDisk(root)
+        disk.append("a", b"12345678")
+        disk.flush("a")
+        disk.close()
+        disk2 = FileDisk(root)
+        assert disk2.size("a") == 8
+        assert disk2.size("missing") == 0
         disk2.close()
 
     def test_replace_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):

@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import CorruptRecordError
 from repro.storage.disk import MemDisk
-from repro.storage.wal import HEADER_SIZE, WalRecord, WriteAheadLog
+from repro.storage.wal import (
+    HEADER_SIZE,
+    SEGMENT_HEADER_SIZE,
+    WalRecord,
+    WriteAheadLog,
+)
 
 
 class TestAppendScan:
@@ -107,8 +112,12 @@ class TestAppendMany:
 
     def test_torn_tail_loses_batch_suffix_only(self):
         # A tear inside a batch behaves like a tear between appends:
-        # the intact prefix of the batch survives.
-        disk = MemDisk(torn_tail_bytes=HEADER_SIZE + 2 + 3)  # "r0" + 3 bytes
+        # the intact prefix of the batch survives.  The live segment's
+        # buffer starts with its 16-byte header (buffered at creation),
+        # so the tear offset counts that too.
+        disk = MemDisk(
+            torn_tail_bytes=SEGMENT_HEADER_SIZE + HEADER_SIZE + 2 + 3
+        )  # header + "r0" + 3 bytes
         wal = WriteAheadLog(disk)
         wal.append_many([b"r0", b"r1", b"r2"])
         disk.crash()
@@ -222,10 +231,11 @@ class TestCrashRecovery:
         wal.append(b"this one tears")
         disk.crash()
         disk.recover()
-        assert len(disk.read("wal")) > end  # the tear is really there
+        live = "wal.000001"
+        assert len(disk.read(live)) > SEGMENT_HEADER_SIZE + end  # tear is there
         wal2 = WriteAheadLog(disk)
         assert wal2.next_lsn == end          # trimmed, not skipped over
-        assert len(disk.read("wal")) == end  # and durably so
+        assert len(disk.read(live)) == SEGMENT_HEADER_SIZE + end  # durably so
         wal2.append(b"after restart")
         wal2.flush()
         # Survives any number of restarts with no corruption report.
@@ -254,9 +264,10 @@ class TestCrashRecovery:
         wal.append(b"first")
         wal.append(b"second")
         wal.flush()
-        raw = bytearray(disk.read("wal"))
-        raw[HEADER_SIZE] ^= 0xFF  # damage the first record's payload
-        disk.replace("wal", bytes(raw))
+        raw = bytearray(disk.read(wal.live_area))
+        # damage the first record's payload
+        raw[SEGMENT_HEADER_SIZE + HEADER_SIZE] ^= 0xFF
+        disk.replace(wal.live_area, bytes(raw))
         with pytest.raises(CorruptRecordError):
             WriteAheadLog(disk)
 
@@ -269,9 +280,9 @@ class TestCorruption:
         wal.append(b"second")
         wal.flush()
         # Corrupt the first record's payload in place.
-        raw = bytearray(disk.read("wal"))
-        raw[HEADER_SIZE] ^= 0xFF
-        disk.replace("wal", bytes(raw))
+        raw = bytearray(disk.read(wal.live_area))
+        raw[SEGMENT_HEADER_SIZE + HEADER_SIZE] ^= 0xFF
+        disk.replace(wal.live_area, bytes(raw))
         with pytest.raises(CorruptRecordError):
             list(WriteAheadLog(disk).scan())
 
@@ -281,9 +292,9 @@ class TestCorruption:
         wal.append(b"first")
         wal.append(b"last")
         wal.flush()
-        raw = bytearray(disk.read("wal"))
+        raw = bytearray(disk.read(wal.live_area))
         raw[-1] ^= 0xFF  # flip a bit in the final record's payload
-        disk.replace("wal", bytes(raw))
+        disk.replace(wal.live_area, bytes(raw))
         assert [r.payload for r in WriteAheadLog(disk).scan()] == [b"first"]
 
     def test_reset_truncates(self):
@@ -294,3 +305,206 @@ class TestCorruption:
         wal.reset()
         assert wal.records() == []
         assert wal.next_lsn == 0
+
+
+class TestSegments:
+    def test_fresh_log_opens_segment_one(self):
+        wal = WriteAheadLog(MemDisk())
+        assert wal.live_area == "wal.000001"
+        assert wal.segments() == ["wal.000001"]
+        assert wal.oldest_lsn() == 0
+
+    def test_roll_seals_and_opens_next_segment(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"in-seg-1")
+        wal.roll()
+        assert wal.live_area == "wal.000002"
+        assert wal.segments() == ["wal.000001", "wal.000002"]
+        # Sealing flushed the old segment even without an explicit flush.
+        disk.crash()
+        disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == [b"in-seg-1"]
+
+    def test_roll_on_empty_live_segment_is_noop(self):
+        wal = WriteAheadLog(MemDisk())
+        wal.append(b"x")
+        wal.roll()
+        before = wal.segments()
+        wal.roll()
+        assert wal.segments() == before
+
+    def test_lsns_are_monotonic_across_rolls(self):
+        wal = WriteAheadLog(MemDisk())
+        lsn1 = wal.append(b"abc")
+        wal.roll()
+        lsn2 = wal.append(b"d")
+        assert lsn1 == 0
+        assert lsn2 == HEADER_SIZE + 3  # segment headers excluded
+        assert wal.oldest_lsn() == 0
+
+    def test_scan_spans_segments(self):
+        wal = WriteAheadLog(MemDisk())
+        payloads = []
+        for i in range(9):
+            payload = f"rec-{i}".encode()
+            wal.append(payload)
+            payloads.append(payload)
+            if i % 3 == 2:
+                wal.roll()
+        wal.flush()
+        assert [r.payload for r in wal.records()] == payloads
+
+    def test_scan_from_lsn_seeks_into_segment(self):
+        wal = WriteAheadLog(MemDisk())
+        wal.append(b"first")
+        wal.roll()
+        lsn = wal.append(b"second")
+        wal.append(b"third")
+        wal.flush()
+        assert [r.payload for r in wal.scan(from_lsn=lsn)] == [
+            b"second", b"third"
+        ]
+
+    def test_automatic_roll_at_size_bound(self):
+        wal = WriteAheadLog(MemDisk(), segment_bytes=64)
+        for i in range(20):
+            wal.append(f"payload-{i:02d}".encode())
+        wal.flush()
+        assert wal.segment_count() > 1
+        assert len(wal.records()) == 20
+
+    def test_restart_across_segments(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"one")
+        wal.roll()
+        wal.append(b"two")
+        wal.flush()
+        end = wal.next_lsn
+        wal2 = WriteAheadLog(disk)
+        assert wal2.next_lsn == end
+        assert [r.payload for r in wal2.records()] == [b"one", b"two"]
+
+    def test_gc_reclaims_sealed_segments(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"old")
+        wal.roll()
+        keep_from = wal.append(b"new")
+        wal.flush()
+        assert wal.gc(keep_from) == 1
+        assert wal.segments() == ["wal.000002"]
+        assert wal.oldest_lsn() == keep_from
+        assert "wal.000001" not in disk.areas()
+        assert [r.payload for r in wal.scan(keep_from)] == [b"new"]
+
+    def test_gc_never_deletes_live_segment(self):
+        wal = WriteAheadLog(MemDisk())
+        wal.append(b"only")
+        wal.flush()
+        assert wal.gc(wal.next_lsn) == 0
+        assert wal.segment_count() == 1
+
+    def test_gc_respects_keep_from_lsn(self):
+        wal = WriteAheadLog(MemDisk())
+        keep = wal.append(b"still needed")
+        wal.roll()
+        wal.append(b"later")
+        wal.flush()
+        # The oldest segment contains `keep`, so it must survive.
+        assert wal.gc(keep) == 0
+        assert wal.segment_count() == 2
+
+    def test_restart_after_gc(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"gone")
+        wal.roll()
+        keep_from = wal.append(b"kept")
+        wal.flush()
+        wal.gc(keep_from)
+        wal2 = WriteAheadLog(disk)
+        assert wal2.oldest_lsn() == keep_from
+        assert [r.payload for r in wal2.scan(keep_from)] == [b"kept"]
+
+    def test_torn_roll_falls_back_to_predecessor(self):
+        # Crash right after a roll: the new segment's header was
+        # buffered but never flushed, so the durable image has an
+        # empty/torn area.  Reopen must resume on the sealed segment.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"sealed")
+        wal.roll()
+        end = wal.next_lsn
+        disk.crash()
+        disk.recover()
+        wal2 = WriteAheadLog(disk)
+        assert wal2.next_lsn == end
+        assert wal2.live_area == "wal.000001"
+        assert [r.payload for r in wal2.records()] == [b"sealed"]
+        assert "wal.000002" not in disk.areas()
+
+    def test_corrupt_sealed_segment_raises(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"victim")
+        wal.roll()
+        wal.append(b"live")
+        wal.flush()
+        raw = bytearray(disk.read("wal.000001"))
+        raw[SEGMENT_HEADER_SIZE + HEADER_SIZE] ^= 0xFF
+        disk.replace("wal.000001", bytes(raw))
+        with pytest.raises(CorruptRecordError):
+            WriteAheadLog(disk)
+
+    def test_corrupt_live_header_with_records_raises(self):
+        # A damaged live-segment header is only a "torn roll" when the
+        # segment has no parseable records; with records behind it the
+        # damage is corruption and must not be silently deleted.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"valuable")
+        wal.flush()
+        disk.corrupt_byte(wal.live_area, 5, 0xFF)
+        with pytest.raises(CorruptRecordError):
+            WriteAheadLog(disk)
+
+    def test_live_bytes_tracks_disk(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"abc")
+        wal.roll()
+        wal.append(b"defgh")
+        expected = sum(disk.size(a) for a in wal.segments())
+        assert wal.live_bytes() == expected
+        assert wal.live_bytes() > 2 * SEGMENT_HEADER_SIZE
+
+    def test_reset_deletes_all_segments(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append(b"a")
+        wal.roll()
+        wal.append(b"b")
+        wal.flush()
+        wal.reset()
+        assert wal.segments() == ["wal.000001"]
+        assert wal.next_lsn == 0
+        assert "wal.000002" not in disk.areas()
+
+    def test_flush_until_works_across_a_roll(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        lsn = wal.append(b"pre-roll")
+        wal.roll()
+        lsn2 = wal.append(b"post-roll")
+        # The roll sealed (and flushed) the first segment, so the
+        # pre-roll record is already durable; the second call forces
+        # the live segment and advances to the append point.
+        assert wal.flush_until(lsn) > lsn
+        assert wal.flush_until(lsn2) == wal.next_lsn
+        disk.crash()
+        disk.recover()
+        assert [r.payload for r in WriteAheadLog(disk).records()] == [
+            b"pre-roll", b"post-roll"
+        ]

@@ -135,7 +135,7 @@ class TestGroupCommitForceFailure:
         # WalPanicError — nobody's commit() returns without a durable
         # record, so recovery must cover exactly the acknowledged set.
         faulty = FaultyDisk(
-            MemDisk(), faults=[DiskFault(op="flush", hit=10, area="repo.log")]
+            MemDisk(), faults=[DiskFault(op="flush", hit=10, area="repo.log.000001")]
         )
         repo = QueueRepository(
             "repo", faulty,
@@ -178,7 +178,7 @@ class TestGroupCommitForceFailure:
         # Two committers, one group flush, which fails: *both* commit()
         # calls must raise, and neither transaction may survive.
         faulty = FaultyDisk(
-            MemDisk(), faults=[DiskFault(op="flush", hit=1, area="log")]
+            MemDisk(), faults=[DiskFault(op="flush", hit=1, area="log.000001")]
         )
         log, tm = _fresh(
             faulty, group_commit=GroupCommitConfig(max_wait=0.05, max_batch=2)
