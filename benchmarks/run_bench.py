@@ -26,11 +26,19 @@ counters prove it), plus one cross-shard cell at N shards where every
 transaction spans two shards and is promoted to two-phase commit.
 Writes ``BENCH_sharding.json`` with txn/s per shard count.
 
+**profile** (``--profile``): the in-memory committer workload with
+observability disabled (the null-object fast path) and enabled, timing
+the instrumentation overhead.  Writes ``BENCH_obs_overhead.json`` with
+txn/s for both cells, the overhead percentage, and the enabled run's
+per-phase latency attribution; the full metrics snapshot goes to
+``--metrics-out`` so ``python -m repro.obs.report`` can render it.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # group commit
     PYTHONPATH=src python benchmarks/run_bench.py --shards 4 # sharding
     PYTHONPATH=src python benchmarks/run_bench.py --checkpoint-bytes 65536
+    PYTHONPATH=src python benchmarks/run_bench.py --profile  # obs overhead
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -59,9 +67,10 @@ def run_scenario(
     group_commit: GroupCommitConfig,
     threads_n: int,
     txns_n: int,
+    obs: Observability | None = None,
 ) -> dict:
     """One benchmark cell; returns its JSON-ready result row."""
-    obs = Observability()
+    obs = obs if obs is not None else Observability()
     if disk_kind == "mem":
         disk = MemDisk()
         tmpdir = None
@@ -365,6 +374,68 @@ def run_sharding(args: argparse.Namespace) -> dict:
     }
 
 
+def run_profile(args: argparse.Namespace) -> dict:
+    """The observability-overhead benchmark (``--profile``).
+
+    Runs the same in-memory committer workload twice — observability
+    disabled (the null-object fast path) and enabled — and reports the
+    txn/s delta plus the enabled run's per-phase latency attribution.
+    The enabled run's full metrics snapshot is written next to the
+    result so ``python -m repro.obs.report`` can render it.
+    """
+    from repro.obs.export import write_metrics_json
+    from repro.obs.report import PIPELINE_PHASES, _merge, _series
+
+    threads_n = args.threads
+    txns_n = args.txns
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 40)
+    config = GroupCommitConfig(max_wait=args.max_wait, max_batch=args.max_batch)
+
+    print(f"running profile/disabled ({threads_n} threads x {txns_n} "
+          "txns)...", flush=True)
+    row_off = run_scenario("mem", config, threads_n, txns_n,
+                           obs=Observability.disabled())
+    row_off["obs_enabled"] = False
+    print(f"  {row_off['txn_per_sec']:.0f} txn/s")
+
+    print(f"running profile/enabled ({threads_n} threads x {txns_n} "
+          "txns)...", flush=True)
+    obs = Observability()
+    row_on = run_scenario("mem", config, threads_n, txns_n, obs=obs)
+    row_on["obs_enabled"] = True
+    print(f"  {row_on['txn_per_sec']:.0f} txn/s")
+
+    snapshot = obs.metrics.snapshot()
+    attribution = {}
+    for label, metric, match in PIPELINE_PHASES:
+        merged = _merge(_series(snapshot, metric, match))
+        if merged["count"]:
+            attribution[label] = {
+                "count": int(merged["count"]),
+                "total_s": merged["sum"],
+                "p95_s": merged["p95"],
+            }
+    write_metrics_json(obs.metrics, args.metrics_out)
+    print(f"wrote metrics snapshot to {args.metrics_out}")
+
+    off_tps, on_tps = row_off["txn_per_sec"], row_on["txn_per_sec"]
+    overhead_pct = (
+        100.0 * (off_tps - on_tps) / off_tps if off_tps > 0 else 0.0
+    )
+    print(f"  instrumentation overhead: {overhead_pct:.1f}% txn/s")
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "obs_overhead",
+        "quick": bool(args.quick),
+        "overhead_pct": overhead_pct,
+        "metrics_snapshot": args.metrics_out,
+        "attribution": attribution,
+        "scenarios": [row_off, row_on],
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     threads_n = args.threads
     txns_n = args.txns
@@ -438,11 +509,17 @@ _CHECKPOINT_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_OBS_OVERHEAD_FIELDS = {
+    **_GROUPCOMMIT_FIELDS,
+    "obs_enabled": bool,
+}
+
 #: per-benchmark scenario schemas; ``validate`` accepts any known one
 _SCHEMAS = {
     "groupcommit": _GROUPCOMMIT_FIELDS,
     "sharding": _SHARDING_FIELDS,
     "checkpoint": _CHECKPOINT_FIELDS,
+    "obs_overhead": _OBS_OVERHEAD_FIELDS,
 }
 
 
@@ -515,10 +592,17 @@ def _check_checkpoint_row(index: int, row: dict) -> list[str]:
     return errors
 
 
+def _check_obs_overhead_row(index: int, row: dict) -> list[str]:
+    # Structure only: the overhead percentage itself is a measurement,
+    # and CI machines are too noisy for a hard numeric gate here.
+    return []
+
+
 _ROW_CHECKS = {
     "groupcommit": _check_groupcommit_row,
     "sharding": _check_sharding_row,
     "checkpoint": _check_checkpoint_row,
+    "obs_overhead": _check_obs_overhead_row,
 }
 
 
@@ -552,6 +636,16 @@ def validate(doc: object) -> list[str]:
                     f"{type(row[field]).__name__}"
                 )
         errors.extend(row_check(index, row))
+    if benchmark == "obs_overhead":
+        if not isinstance(doc.get("overhead_pct"), (int, float)):
+            errors.append("overhead_pct missing or not a number")
+        if not isinstance(doc.get("attribution"), dict):
+            errors.append("attribution missing or not an object")
+        flags = [row.get("obs_enabled") for row in scenarios
+                 if isinstance(row, dict)]
+        if flags.count(False) != 1 or flags.count(True) != 1:
+            errors.append("obs_overhead needs exactly one disabled and "
+                          "one enabled scenario")
     return errors
 
 
@@ -572,6 +666,13 @@ def main(argv: list[str] | None = None) -> int:
                              "and live WAL bytes, checkpointing off vs on "
                              "at an N-byte interval) instead of the "
                              "group-commit benchmark")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the observability-overhead benchmark "
+                             "(obs disabled vs enabled) and write a "
+                             "metrics snapshot for repro.obs.report")
+    parser.add_argument("--metrics-out", default="BENCH_obs_metrics.json",
+                        help="metrics-snapshot file for --profile "
+                             "(default BENCH_obs_metrics.json)")
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI smoke testing")
     parser.add_argument("--out", default=None,
@@ -579,13 +680,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
-    if args.shards and args.checkpoint_bytes:
-        parser.error("--shards and --checkpoint-bytes are mutually exclusive")
+    if sum(map(bool, (args.shards, args.checkpoint_bytes, args.profile))) > 1:
+        parser.error("--shards, --checkpoint-bytes and --profile are "
+                     "mutually exclusive")
     if args.out is None:
         if args.shards:
             args.out = "BENCH_sharding.json"
         elif args.checkpoint_bytes:
             args.out = "BENCH_checkpoint.json"
+        elif args.profile:
+            args.out = "BENCH_obs_overhead.json"
         else:
             args.out = "BENCH_groupcommit.json"
 
@@ -604,6 +708,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_sharding(args)
     elif args.checkpoint_bytes:
         doc = run_checkpoint(args)
+    elif args.profile:
+        doc = run_profile(args)
     else:
         doc = run(args)
     errors = validate(doc)

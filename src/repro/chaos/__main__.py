@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Any
 
 from repro.chaos.engine import run_episode
@@ -33,6 +34,7 @@ def _build_config(args: argparse.Namespace) -> ChaosConfig:
         planted_bug=args.planted_bug,
         shards=args.shards,
         checkpoint_interval_bytes=args.checkpoint_bytes,
+        flight_dir=args.flight_dir,
     )
 
 
@@ -63,6 +65,9 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="run a byte-triggered fuzzy checkpointer during "
                              "each episode (polled every step) and add the "
                              "ckpt.* crash points to the sampler (default off)")
+    parser.add_argument("--flight-dir", default=None,
+                        help="write flight-recorder JSONL dumps for failing "
+                             "episodes into this directory (default off)")
     parser.add_argument("--planted-bug", default=None,
                         help="enable a known test-only bug (e.g. 'ack-no-force') "
                              "to demo failure finding and shrinking")
@@ -104,13 +109,20 @@ def main(argv: list[str] | None = None) -> int:
             continue
 
         failure: dict[str, Any] = {"seed": seed, "result": result.to_record()}
-        replay = run_episode(seed, config)
+        if result.flight_dump is not None:
+            failure["flight_dump"] = result.flight_dump
+            print(f"  flight recorder dump: {result.flight_dump}")
+        # Replay + shrinking re-run the episode many times; keep only
+        # the original failure's flight dump instead of rewriting it on
+        # every failing replay.
+        quiet_config = replace(config, flight_dir=None)
+        replay = run_episode(seed, quiet_config)
         failure["deterministic"] = replay.fingerprint == result.fingerprint
         if not failure["deterministic"]:
             print(f"seed {seed}: WARNING — replay fingerprint differs "
                   "(non-deterministic episode, shrinking skipped)")
         elif args.shrink:
-            shrunk = shrink(result.schedule, config, failed=result)
+            shrunk = shrink(result.schedule, quiet_config, failed=result)
             failure["shrink"] = shrunk.to_record()
             print(f"seed {seed}: shrunk {len(result.schedule.faults)} -> "
                   f"{len(shrunk.minimal.faults)} faults "
@@ -145,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
                 "planted_bug": config.planted_bug,
                 "shards": config.shards,
                 "checkpoint_interval_bytes": config.checkpoint_interval_bytes,
+                "flight_dir": config.flight_dir,
             },
             "outcomes": outcomes,
             "failures": failures,

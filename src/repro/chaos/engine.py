@@ -82,7 +82,7 @@ from repro.errors import (
     TwoPhaseInDoubtError,
     WalPanicError,
 )
-from repro.obs import get_observability
+from repro.obs import FlightRecorder, Observability, get_observability
 from repro.sim.crash import FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import MemDisk
@@ -262,6 +262,9 @@ class EpisodeResult:
     faults_injected: int = 0
     fingerprint: str = ""
     error: str | None = None
+    #: path of the flight-recorder dump written for a failing episode
+    #: (``None`` when the episode passed or no flight_dir was set)
+    flight_dump: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -281,6 +284,8 @@ class EpisodeResult:
             record["violations"] = list(self.violations)
         if self.error is not None:
             record["error"] = self.error
+        if self.flight_dump is not None:
+            record["flight_dump"] = self.flight_dump
         return record
 
 
@@ -296,6 +301,25 @@ class ChaosEngine:
         self.injector = FaultInjector(record=False)
         for fault in schedule.of_kind(KIND_CRASH):
             self.injector.arm(fault.point, fault.hit)
+        # Black-box flight recorder: always real (even when ambient
+        # observability is disabled) so a failing episode can dump the
+        # last events leading up to the failure.  The episode's obs
+        # keeps the ambient metrics/tracing behaviour but substitutes
+        # this ring, so component failure-path events (wal.panic,
+        # 2pc.in_doubt, disk.fault) land here too.
+        ambient = get_observability()
+        self.flight = FlightRecorder(
+            name=f"chaos-{self.seed}", auto_dump_dir=self.config.flight_dir
+        )
+        self.obs = Observability(
+            enabled=ambient.enabled,
+            metrics=ambient.metrics if ambient.enabled else None,
+            tracer=ambient.tracer if ambient.enabled else None,
+            flight=self.flight,
+        )
+        self.injector.on_crash.append(
+            lambda point: self.flight.record("crash.point", point=point)
+        )
         # One faulty device per repository shard; each disk fault is
         # routed to its sampled target shard.  With shards=1 every fault
         # lands on the single disk, matching the unsharded engine
@@ -310,6 +334,7 @@ class ChaosEngine:
                     if f.target % shards == i
                 ],
                 seed=self.seed + i,
+                obs=self.obs,
             )
             for i in range(shards)
         ]
@@ -415,6 +440,7 @@ class ChaosEngine:
                             shard_disks=self.faulty_disks,
                             injector=self.injector,
                             trace=self.trace,
+                            obs=self.obs,
                             request_queue=self.config.request_queue,
                             max_aborts=self.config.max_aborts,
                             checkpoint_interval_bytes=(
@@ -426,6 +452,7 @@ class ChaosEngine:
                             request_disk=self.faulty,
                             injector=self.injector,
                             trace=self.trace,
+                            obs=self.obs,
                             request_queue=self.config.request_queue,
                             max_aborts=self.config.max_aborts,
                             checkpoint_interval_bytes=(
@@ -458,6 +485,7 @@ class ChaosEngine:
         """Full node failure + restart recovery + client resync."""
         self.restarts += 1
         self._m_restarts.inc()
+        self.flight.record("node.restart", n=self.restarts, step=self.steps)
         self.system.crash()
         # A permanently-failed device is replaced at restart; planned
         # (not-yet-fired) faults survive, as does the injected history.
@@ -675,6 +703,15 @@ class ChaosEngine:
         get_observability().metrics.counter(
             "chaos_episodes_total", "chaos episodes by outcome", ("outcome",)
         ).labels(outcome=outcome).inc()
+        for violation in violations or []:
+            self.flight.record("guarantee.violation", detail=violation)
+        self.flight.record(
+            "episode.end", outcome=outcome, steps=self.steps,
+            restarts=self.restarts, error=error,
+        )
+        flight_dump: str | None = None
+        if outcome in FAILING_OUTCOMES:
+            flight_dump = self.flight.auto_dump(outcome)
         return EpisodeResult(
             seed=self.seed,
             outcome=outcome,
@@ -685,6 +722,7 @@ class ChaosEngine:
             faults_injected=sum(len(f.injected) for f in self.faulty_disks),
             fingerprint=self.fingerprint(),
             error=error,
+            flight_dump=flight_dump,
         )
 
     def fingerprint(self) -> str:

@@ -193,6 +193,9 @@ class ChaosConfig:
     #: also draws crash points from the checkpoint protocol.  ``None``
     #: keeps existing seeds byte-identical.
     checkpoint_interval_bytes: int | None = None
+    #: directory for flight-recorder dumps of failing episodes
+    #: (``None`` keeps the ring in memory only — no files are written)
+    flight_dir: str | None = None
 
     @property
     def total_requests(self) -> int:

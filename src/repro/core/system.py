@@ -114,7 +114,8 @@ class TPSystem:
             )
             self.reply_qm = QueueManager(self.reply_repo)
             self.coordinator: TwoPhaseCoordinator | None = TwoPhaseCoordinator(
-                self.request_repo.log, name="server-2pc", injector=self.injector
+                self.request_repo.log, name="server-2pc", injector=self.injector,
+                obs=self.obs,
             )
         else:
             self.reply_disk = self.request_disk

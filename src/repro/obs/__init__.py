@@ -28,6 +28,11 @@ See ``docs/observability.md`` for the metric catalog.
 
 from __future__ import annotations
 
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -51,30 +56,39 @@ from repro.obs.tracing import (
 
 
 class Observability:
-    """A metrics registry + span tracer pair with one enabled flag."""
+    """A metrics registry + span tracer + flight recorder bundle with
+    one enabled flag."""
 
     def __init__(
         self,
         enabled: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        flight: FlightRecorder | None = None,
     ):
         self.enabled = enabled
         if enabled:
             self.metrics = metrics if metrics is not None else MetricsRegistry()
             self.tracer = tracer if tracer is not None else SpanTracer()
+            self.flight = flight if flight is not None else FlightRecorder()
         else:
             self.metrics = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            # A black-box flight recorder may ride on a disabled bundle:
+            # failure-path events (WAL panics, 2PC in-doubt, injected
+            # faults) record unconditionally, and that is exactly the
+            # configuration a metrics-off production run wants.
+            self.flight = flight if flight is not None else NULL_FLIGHT
 
     @classmethod
     def disabled(cls) -> "Observability":
         return cls(enabled=False)
 
     def reset(self) -> None:
-        """Drop all recorded metrics and spans."""
+        """Drop all recorded metrics, spans, and flight events."""
         self.metrics.reset()
         self.tracer.clear()
+        self.flight.clear()
 
 
 #: The process-global default, used by components built without an
@@ -119,4 +133,7 @@ __all__ = [
     "Span",
     "NullSpan",
     "NULL_SPAN",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
 ]

@@ -84,6 +84,18 @@ def write_metrics_json(registry: MetricsRegistry, target: str | IO[str]) -> None
 # Prometheus text exposition
 # ----------------------------------------------------------------------
 
+def _escape_label_value(value: Any) -> str:
+    """Prometheus text-format label-value escaping: backslash, double
+    quote, and line feed must be escaped (in that order — escaping the
+    backslash first keeps the other two escapes unambiguous)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -91,7 +103,8 @@ def _format_labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) 
     if not merged:
         return ""
     inner = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
     )
     return "{" + inner + "}"
 

@@ -1,0 +1,182 @@
+"""Black-box flight recorder: a bounded ring of recent structured events.
+
+Metrics aggregate and spans need a live request id; neither answers the
+post-mortem question "what were the last things this node did before it
+panicked?".  The flight recorder does: instrumented components append
+small structured events (transaction state transitions, WAL forces and
+panics, 2PC decisions, injected disk faults, crash points hit) to a
+bounded, thread-safe ring buffer, and failure paths dump the ring as
+JSONL — automatically on :class:`~repro.errors.WalPanicError`,
+:class:`~repro.errors.TwoPhaseInDoubtError`, and chaos
+:class:`~repro.chaos.guarantees.GuaranteeChecker` violations, where the
+dump is attached to the shrunken counterexample report.
+
+Events are dicts with three reserved keys — ``seq`` (monotonic, the
+deterministic ordering under seeded schedules), ``ts`` (wall clock,
+informational), ``kind`` (dotted event name, e.g. ``wal.force``) — plus
+whatever fields the caller passed.
+
+Dumping is opt-in: :meth:`FlightRecorder.auto_dump` writes nothing
+until :attr:`FlightRecorder.auto_dump_dir` is set (the chaos engine and
+tests point it at their artifact directory), so ordinary runs never
+litter the working directory.
+
+The disabled bundle hands out :data:`NULL_FLIGHT`, whose ``record`` is
+a no-op taking only keyword arguments it never touches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any
+
+#: default ring capacity — enough for a few thousand pipeline events,
+#: small enough that a dump stays readable
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of structured events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, name: str = "flight",
+                 auto_dump_dir: str | None = None):
+        if capacity <= 0:
+            raise ValueError("flight-recorder capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        #: directory auto-dumps land in; ``None`` disables auto-dumping
+        self.auto_dump_dir = auto_dump_dir
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._dumps = 0
+        #: paths of every dump written, in order (counterexample reports
+        #: reference the latest)
+        self.dump_paths: list[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind: str, /, **fields: Any) -> None:
+        """Append one event; drops the oldest event when full.  The
+        event kind is positional-only so ``kind=...`` stays usable as an
+        ordinary field name (e.g. ``disk.fault`` events carry the fault
+        kind)."""
+        with self._lock:
+            self._seq += 1
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            # Reserved keys win over same-named fields: the event kind
+            # must never be masked by a payload field.
+            self._ring.append({**fields, "seq": self._seq,
+                               "ts": time.time(), "kind": kind})
+
+    def events(self) -> list[dict[str, Any]]:
+        """Copies of the buffered events, oldest first."""
+        with self._lock:
+            return [dict(event) for event in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound since the last clear."""
+        return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump(self, path: str, reason: str = "manual") -> str:
+        """Write the ring as JSONL: a header line (recorder metadata and
+        the dump reason), then one event per line, oldest first."""
+        with self._lock:
+            events = [dict(event) for event in self._ring]
+            header = {
+                "flight": self.name,
+                "reason": reason,
+                "ts": time.time(),
+                "events": len(events),
+                "dropped": self._dropped,
+                "capacity": self.capacity,
+            }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True, default=str) + "\n")
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        with self._lock:
+            self.dump_paths.append(path)
+        return path
+
+    def auto_dump(self, reason: str) -> str | None:
+        """Dump into :attr:`auto_dump_dir` (``None`` → no-op).  The file
+        name carries the reason and a per-recorder counter, so repeated
+        failures in one process never overwrite each other."""
+        directory = self.auto_dump_dir
+        if directory is None:
+            return None
+        with self._lock:
+            self._dumps += 1
+            count = self._dumps
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+        path = os.path.join(directory, f"{self.name}-{count:03d}-{safe}.jsonl")
+        try:
+            return self.dump(path, reason=reason)
+        except OSError:
+            # A failing dump must never mask the failure being dumped.
+            return None
+
+    @property
+    def last_dump_path(self) -> str | None:
+        with self._lock:
+            return self.dump_paths[-1] if self.dump_paths else None
+
+
+class NullFlightRecorder(FlightRecorder):
+    """Disabled recorder: records nothing, dumps nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1, name="null")
+
+    def record(self, kind: str, /, **fields: Any) -> None:
+        pass
+
+    def dump(self, path: str, reason: str = "manual") -> str:
+        return path
+
+    def auto_dump(self, reason: str) -> str | None:
+        return None
+
+
+NULL_FLIGHT = NullFlightRecorder()
+
+
+def read_flight_dump(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse a flight dump: ``(header, events)``.  Tolerates dumps with
+    no header line (every line an event) for hand-built fixtures."""
+    header: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for index, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if index == 0 and "flight" in doc and "kind" not in doc:
+                header = doc
+            else:
+                events.append(doc)
+    return header, events

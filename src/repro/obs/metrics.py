@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 #: Default latency buckets (seconds): 50µs .. 5s, roughly logarithmic.
@@ -202,6 +203,28 @@ class Gauge(_Metric):
         return self._own_child().value
 
 
+class _Timer:
+    """``with histogram.time():`` — observes the elapsed seconds on exit.
+
+    The exception path observes too: a commit that fails after waiting
+    on a lock still spent that time in the phase being attributed.
+    """
+
+    __slots__ = ("_child", "_start")
+
+    def __init__(self, child: "_HistogramChild") -> None:
+        self._child = child
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._child.observe(perf_counter() - self._start)
+        return False
+
+
 class _HistogramChild:
     __slots__ = ("_lock", "_edges", "_counts", "_sum", "_count", "_min", "_max")
 
@@ -214,6 +237,10 @@ class _HistogramChild:
         self._count = 0
         self._min = float("inf")
         self._max = float("-inf")
+
+    def time(self) -> _Timer:
+        """Context manager observing the elapsed wall time on exit."""
+        return _Timer(self)
 
     def observe(self, value: float) -> None:
         index = bisect_left(self._edges, value)
@@ -313,6 +340,9 @@ class Histogram(_Metric):
     def observe(self, value: float) -> None:
         self._own_child().observe(value)
 
+    def time(self) -> _Timer:
+        return self._own_child().time()
+
     @property
     def count(self) -> int:
         return self._own_child().count
@@ -411,6 +441,22 @@ class MetricsRegistry:
 # No-op mode
 # ----------------------------------------------------------------------
 
+class _NullTimer:
+    """Shared, stateless no-op timer: the disabled ``time()`` path hands
+    out this one instance, so it allocates nothing per use."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
 class NullMetric:
     """Does nothing, cheaply; stands in for every metric kind."""
 
@@ -425,6 +471,9 @@ class NullMetric:
 
     def labels(self, **labelvalues: Any) -> "NullMetric":
         return self
+
+    def time(self) -> _NullTimer:
+        return _NULL_TIMER
 
     def inc(self, amount: float = 1.0) -> None:
         pass

@@ -1,0 +1,230 @@
+"""Latency-attribution reports: ``python -m repro.obs.report``.
+
+Turns a metrics snapshot (the JSON document written by
+:func:`repro.obs.export.write_metrics_json`, e.g. by
+``benchmarks/run_bench.py --profile``) into a human-readable breakdown
+of where commit-pipeline time went: lock waits, WAL append and force,
+group-commit leader/follower waits, 2PC rounds, checkpoint stalls,
+queue age, and recovery progress.  Optionally tails a flight-recorder
+dump (:func:`repro.obs.flight.read_flight_dump`) next to the numbers,
+so one command shows *what* was slow and *what happened last*.
+
+Usage::
+
+    python -m repro.obs.report METRICS.json
+    python -m repro.obs.report METRICS.json --flight DUMP.jsonl --tail 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, IO
+
+from repro.obs.flight import read_flight_dump
+
+#: the commit-pipeline phases, in pipeline order: (label, metric name,
+#: label filter applied to each series' labels)
+PIPELINE_PHASES: tuple[tuple[str, str, dict[str, str]], ...] = (
+    ("lock wait", "lock_wait_seconds", {}),
+    ("WAL append (buffer)", "wal_append_seconds", {}),
+    ("WAL force (flush)", "wal_force_seconds", {}),
+    ("group-commit wait (leader)",
+     "wal_group_commit_wait_seconds", {"role": "leader"}),
+    ("group-commit wait (follower)",
+     "wal_group_commit_wait_seconds", {"role": "follower"}),
+    ("2PC prepare", "twophase_prepare_seconds", {}),
+    ("2PC decision force", "twophase_decide_seconds", {}),
+    ("2PC round-trip (end-to-end)", "twophase_commit_seconds", {}),
+    ("checkpoint stall", "checkpoint_stall_seconds", {}),
+)
+
+#: the denominator for the "share" column
+TOTAL_METRIC = "txn_duration_seconds"
+
+
+def load_metrics(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _series(snapshot: dict[str, Any], name: str,
+            match: dict[str, str]) -> list[dict[str, Any]]:
+    family = snapshot.get(name)
+    if not family:
+        return []
+    return [
+        s for s in family.get("series", [])
+        if all(s.get("labels", {}).get(k) == v for k, v in match.items())
+    ]
+
+
+def _merge(series: list[dict[str, Any]]) -> dict[str, float]:
+    """Aggregate histogram series: counts and sums add; p95 and max take
+    the worst series (a conservative merge — exact quantiles cannot be
+    recovered from pre-bucketed series)."""
+    out = {"count": 0.0, "sum": 0.0, "p95": 0.0, "max": 0.0}
+    for entry in series:
+        out["count"] += entry.get("count", 0)
+        out["sum"] += entry.get("sum", 0.0)
+        out["p95"] = max(out["p95"], entry.get("p95", 0.0))
+        out["max"] = max(out["max"], entry.get("max", 0.0))
+    return out
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value < 0.001:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _rule(out: IO[str], title: str) -> None:
+    out.write(f"\n{title}\n{'-' * len(title)}\n")
+
+
+def render_attribution(snapshot: dict[str, Any], out: IO[str]) -> None:
+    """The per-phase breakdown of commit-pipeline time."""
+    total = _merge(_series(snapshot, TOTAL_METRIC, {}))
+    _rule(out, "Commit-pipeline latency attribution")
+    header = (f"{'phase':<30} {'count':>9} {'total':>10} "
+              f"{'mean':>9} {'p95':>9} {'share':>7}")
+    out.write(header + "\n")
+    for label, metric, match in PIPELINE_PHASES:
+        merged = _merge(_series(snapshot, metric, match))
+        if merged["count"] == 0:
+            continue
+        mean = merged["sum"] / merged["count"]
+        share = (f"{100.0 * merged['sum'] / total['sum']:.1f}%"
+                 if total["sum"] > 0 else "-")
+        out.write(
+            f"{label:<30} {int(merged['count']):>9} "
+            f"{_fmt_seconds(merged['sum']):>10} {_fmt_seconds(mean):>9} "
+            f"{_fmt_seconds(merged['p95']):>9} {share:>7}\n"
+        )
+    if total["count"]:
+        mean = total["sum"] / total["count"]
+        out.write(
+            f"{'transaction total':<30} {int(total['count']):>9} "
+            f"{_fmt_seconds(total['sum']):>10} {_fmt_seconds(mean):>9} "
+            f"{_fmt_seconds(total['p95']):>9} {'100.0%':>7}\n"
+        )
+        out.write("(share = phase time / total transaction time; phases "
+                  "overlap — e.g. the\n WAL force happens inside the "
+                  "group-commit leader wait — so shares do not sum "
+                  "to 100%)\n")
+    else:
+        out.write("(no txn_duration_seconds series: per-phase shares "
+                  "unavailable)\n")
+
+
+def render_queue_age(snapshot: dict[str, Any], out: IO[str]) -> None:
+    family = snapshot.get("queue_age_seconds")
+    if not family or not family.get("series"):
+        return
+    _rule(out, "Queue age (visible -> dequeued)")
+    out.write(f"{'queue':<30} {'count':>9} {'mean':>9} {'p95':>9} "
+              f"{'max':>9}\n")
+    for entry in family["series"]:
+        if not entry.get("count"):
+            continue
+        name = entry.get("labels", {}).get("queue", "?")
+        mean = entry["sum"] / entry["count"]
+        out.write(
+            f"{name:<30} {int(entry['count']):>9} "
+            f"{_fmt_seconds(mean):>9} {_fmt_seconds(entry.get('p95', 0)):>9} "
+            f"{_fmt_seconds(entry.get('max', 0)):>9}\n"
+        )
+
+
+def render_recovery(snapshot: dict[str, Any], out: IO[str]) -> None:
+    runs = _series(snapshot, "recovery_runs_total", {})
+    if not runs:
+        return
+    records = {tuple(sorted(s["labels"].items())): s.get("value", 0)
+               for s in _series(snapshot, "recovery_replayed_records_total", {})}
+    replayed = {tuple(sorted(s["labels"].items())): s.get("value", 0)
+                for s in _series(snapshot, "recovery_replayed_bytes_total", {})}
+    durations = {tuple(sorted(s["labels"].items())): s
+                 for s in _series(snapshot, "recovery_duration_seconds", {})}
+    _rule(out, "Recovery")
+    out.write(f"{'repo':<30} {'runs':>6} {'records':>9} {'bytes':>10} "
+              f"{'time(sum)':>10}\n")
+    for entry in runs:
+        key = tuple(sorted(entry["labels"].items()))
+        duration = durations.get(key, {})
+        out.write(
+            f"{entry['labels'].get('repo', '?'):<30} "
+            f"{int(entry.get('value', 0)):>6} "
+            f"{int(records.get(key, 0)):>9} {int(replayed.get(key, 0)):>10} "
+            f"{_fmt_seconds(duration.get('sum', 0.0)):>10}\n"
+        )
+    modes = _series(snapshot, "recovery_mode_total", {})
+    if modes:
+        summary = ", ".join(
+            f"{s['labels'].get('mode', '?')}={int(s.get('value', 0))}"
+            for s in modes if s.get("value")
+        )
+        if summary:
+            out.write(f"modes: {summary}\n")
+
+
+def render_flight(path: str, tail: int, out: IO[str]) -> None:
+    header, events = read_flight_dump(path)
+    _rule(out, f"Flight recorder: {header.get('flight', path)} "
+               f"(reason: {header.get('reason', '?')})")
+    shown = events[-tail:] if tail else events
+    if len(events) > len(shown):
+        out.write(f"... {len(events) - len(shown)} earlier events "
+                  "omitted ...\n")
+    for event in shown:
+        detail = " ".join(
+            f"{k}={v}" for k, v in sorted(event.items())
+            if k not in ("seq", "ts", "kind") and v is not None
+        )
+        out.write(f"{event.get('seq', '?'):>6}  "
+                  f"{event.get('kind', '?'):<20} {detail}\n")
+
+
+def render_report(snapshot: dict[str, Any], out: IO[str],
+                  flight_path: str | None = None, tail: int = 20) -> None:
+    render_attribution(snapshot, out)
+    render_queue_age(snapshot, out)
+    render_recovery(snapshot, out)
+    if flight_path is not None:
+        render_flight(flight_path, tail, out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a latency-attribution report from a metrics "
+                    "snapshot (and optionally a flight-recorder dump).",
+    )
+    parser.add_argument("metrics", help="metrics snapshot JSON "
+                        "(write_metrics_json / run_bench.py --profile)")
+    parser.add_argument("--flight", default=None,
+                        help="flight-recorder JSONL dump to tail")
+    parser.add_argument("--tail", type=int, default=20,
+                        help="flight events to show (default 20; 0 = all)")
+    args = parser.parse_args(argv)
+    try:
+        snapshot = load_metrics(args.metrics)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read metrics snapshot: {exc}", file=sys.stderr)
+        return 2
+    try:
+        render_report(snapshot, sys.stdout, flight_path=args.flight,
+                      tail=args.tail)
+    except BrokenPipeError:
+        # reader (e.g. ``| head``) went away — not an error
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -240,9 +240,29 @@ class QueueRepository:
             # A simulated crash must freeze the disk at exactly the
             # injection point, before any harness code runs.
             self.injector.on_crash.append(lambda _point: self.disk.crash())
-        self.last_recovery: RecoveryReport = recover(
-            self.log, self.rms, self.tm, self.locks
-        )
+        recovery_started = _time.perf_counter()
+        with self.obs.tracer.start_span(
+            "recovery", trace_id=f"recovery-{name}", repo=name
+        ) as recovery_span:
+            self.last_recovery: RecoveryReport = recover(
+                self.log, self.rms, self.tm, self.locks
+            )
+        report = self.last_recovery
+        recovery_seconds = _time.perf_counter() - recovery_started
+        # LSNs are record-stream byte offsets, so the replayed byte span
+        # is simply append-point minus replay-start.
+        replayed_bytes = max(0, self.log.wal.next_lsn - report.recovery_lsn)
+        if report.checkpoint_loaded:
+            # Replay covered only the log suffix above the checkpoint.
+            recovery_mode = "checkpoint-suffix"
+        elif report.replayed_records or report.committed:
+            recovery_mode = "full-replay"
+        else:
+            recovery_mode = "fresh"
+        recovery_span.set_attr("mode", recovery_mode)
+        recovery_span.set_attr("replayed_records", report.replayed_records)
+        recovery_span.set_attr("replayed_bytes", replayed_bytes)
+        recovery_span.set_attr("in_doubt", len(report.in_doubt))
         self.obs.metrics.counter(
             "recovery_runs_total", "restart recoveries performed", ("repo",)
         ).labels(repo=name).inc()
@@ -250,12 +270,39 @@ class QueueRepository:
             "recovery_replayed_records_total",
             "log records replayed by restart recoveries", ("repo",)
         ).labels(repo=name).inc(self.last_recovery.replayed_records)
+        self.obs.metrics.counter(
+            "recovery_replayed_bytes_total",
+            "log bytes scanned above the replay start by restart "
+            "recoveries", ("repo",)
+        ).labels(repo=name).inc(replayed_bytes)
+        self.obs.metrics.histogram(
+            "recovery_duration_seconds",
+            "wall time of one restart recovery (checkpoint load + "
+            "replay + lock re-acquisition)", ("repo",),
+            buckets=CHECKPOINT_BUCKETS,
+        ).labels(repo=name).observe(recovery_seconds)
+        self.obs.metrics.counter(
+            "recovery_mode_total",
+            "restart recoveries by replay classification", ("repo", "mode"),
+        ).labels(repo=name, mode=recovery_mode).inc()
+        self.obs.flight.record(
+            "recovery.complete", repo=name, mode=recovery_mode,
+            records=report.replayed_records, bytes=replayed_bytes,
+            in_doubt=len(report.in_doubt),
+        )
         self._m_checkpoints = self.obs.metrics.counter(
             "checkpoints_total", "fuzzy checkpoints completed", ("repo",)
         ).labels(repo=name)
         self._m_ckpt_duration = self.obs.metrics.histogram(
             "checkpoint_duration_seconds",
             "wall time of one fuzzy checkpoint", ("repo",),
+            buckets=CHECKPOINT_BUCKETS,
+        ).labels(repo=name)
+        self._m_ckpt_stall = self.obs.metrics.histogram(
+            "checkpoint_stall_seconds",
+            "checkpoint phase that can stall writers: RM snapshots "
+            "under their mutexes plus the forced end-checkpoint record",
+            ("repo",),
             buckets=CHECKPOINT_BUCKETS,
         ).labels(repo=name)
         logger.debug(
@@ -395,12 +442,13 @@ class QueueRepository:
                 tid: first.get(tid, begin_lsn) for tid in self.tm.active_txns()
             }
             injector.reach("ckpt.snapshot.before")
-            snapshots: dict[str, Any] = {self.rm_name: self.snapshot()}
-            for rm_name, rm in list(self.rms.items()):
-                if rm_name != self.rm_name:
-                    snapshots[rm_name] = rm.snapshot()
-            injector.reach("ckpt.snapshot.after")
-            self.log.end_checkpoint(begin_lsn, active, recovery_lsn)
+            with self._m_ckpt_stall.time():
+                snapshots: dict[str, Any] = {self.rm_name: self.snapshot()}
+                for rm_name, rm in list(self.rms.items()):
+                    if rm_name != self.rm_name:
+                        snapshots[rm_name] = rm.snapshot()
+                injector.reach("ckpt.snapshot.after")
+                self.log.end_checkpoint(begin_lsn, active, recovery_lsn)
             injector.reach("ckpt.install.before")
             self.log.install_checkpoint(
                 snapshots, begin_lsn=begin_lsn, recovery_lsn=recovery_lsn,

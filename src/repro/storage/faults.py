@@ -150,6 +150,7 @@ class FaultyDisk(Disk):
             "disk_faults_injected_total",
             "disk faults injected by FaultyDisk", ("op", "kind"),
         )
+        self._flight = obs.flight
 
     # -- configuration -----------------------------------------------------
 
@@ -183,6 +184,8 @@ class FaultyDisk(Disk):
     def _record(self, fault: DiskFault, op: str, area: str, call: int) -> None:
         self.injected.append(InjectedFault(fault, op, area, call))
         self._m_faults.labels(op=op, kind=fault.kind).inc()
+        self._flight.record("disk.fault", op=op, area=area,
+                            fault=fault.kind, call=call)
 
     def _consult(self, op: str, area: str) -> DiskFault | None:
         """Advance the hit counters and return the fault to apply to

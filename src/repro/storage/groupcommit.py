@@ -123,6 +123,15 @@ class GroupCommitter:
             "committers covered by one group flush", ("area",),
             buckets=BATCH_BUCKETS,
         ).labels(area=wal.area)
+        self._obs_on = obs.enabled
+        wait = metrics.histogram(
+            "wal_group_commit_wait_seconds",
+            "time one committer spends parked in sync(), by role: the "
+            "leader runs the flush, a follower piggybacks on it",
+            ("area", "role"),
+        )
+        self._m_wait_leader = wait.labels(area=wal.area, role="leader")
+        self._m_wait_follower = wait.labels(area=wal.area, role="follower")
 
     def sync(self, lsn: int) -> None:
         """Block until the record appended at ``lsn`` is durable.
@@ -130,11 +139,14 @@ class GroupCommitter:
         The caller must have appended the record already (``sync`` is
         the park-after-append half of force-at-commit).
         """
+        start = _time.perf_counter() if self._obs_on else 0.0
         cond = self._cond
         max_batch = self.config.max_batch
         with cond:
             if self.wal.flushed_lsn > lsn:
                 self._m_piggybacked.inc()
+                if self._obs_on:
+                    self._m_wait_follower.observe(_time.perf_counter() - start)
                 return
             self._waiters += 1
             # The leader is not counted in _waiters while it lingers in
@@ -146,6 +158,10 @@ class GroupCommitter:
                     cond.wait()
                     if self.wal.flushed_lsn > lsn:
                         self._m_piggybacked.inc()
+                        if self._obs_on:
+                            self._m_wait_follower.observe(
+                                _time.perf_counter() - start
+                            )
                         return
                 # No flush in progress and our record is not durable:
                 # lead the next group.
@@ -173,6 +189,8 @@ class GroupCommitter:
         self._m_forced.inc()
         self._m_groups.inc()
         self._m_batch.observe(batch)
+        if self._obs_on:
+            self._m_wait_leader.observe(_time.perf_counter() - start)
 
     def append_sync(self, payload: bytes, on_lsn=None) -> int:
         """Append one record and group-force it; returns its LSN.

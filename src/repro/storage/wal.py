@@ -140,6 +140,7 @@ class WriteAheadLog:
         self._flushed_lsn = self._next_lsn
         obs = obs if obs is not None else get_observability()
         metrics = obs.metrics
+        self._flight = obs.flight
         self._m_appends = metrics.counter(
             "wal_appends_total", "log records appended", ("area",)
         ).labels(area=area)
@@ -151,6 +152,14 @@ class WriteAheadLog:
         ).labels(area=area)
         self._m_panics = metrics.counter(
             "wal_panics_total", "log panics after a failed flush", ("area",)
+        ).labels(area=area)
+        self._m_append_time = metrics.histogram(
+            "wal_append_seconds", "time spent appending one record "
+            "(buffering only, no force)", ("area",)
+        ).labels(area=area)
+        self._m_force_time = metrics.histogram(
+            "wal_force_seconds", "time spent in one disk flush "
+            "(the force half of force-at-commit)", ("area",)
         ).labels(area=area)
         metrics.gauge(
             "wal_segments", "live segment count per log", ("area",)
@@ -279,15 +288,22 @@ class WriteAheadLog:
         # discarded the buffers, so there is nothing a retry could
         # wrongly promote; restart/recovery handles it.
         try:
-            self.disk.flush(self._seg_area(self._segs[-1][0]))
+            with self._m_force_time.time():
+                self.disk.flush(self._seg_area(self._segs[-1][0]))
         except DiskCrashedError:
             raise
         except (StorageError, OSError) as exc:
             self._panic = exc
             self._m_panics.inc()
+            # Black-box dump: the panic is node-fatal, so this is the
+            # last chance to capture what led up to it.
+            self._flight.record("wal.panic", area=self.area,
+                                error=type(exc).__name__, lsn=self._next_lsn)
+            self._flight.auto_dump("wal-panic")
             raise
         self._flushed_lsn = self._next_lsn
         self._m_flushes.inc()
+        self._flight.record("wal.force", area=self.area, lsn=self._next_lsn)
 
     # -- segment rolling and reclamation -----------------------------------
 
@@ -352,14 +368,15 @@ class WriteAheadLog:
         """
         header = _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
         size = HEADER_SIZE + len(payload)
-        with self._lock:
-            self._check_panic()
-            self._maybe_roll_locked()
-            lsn = self._next_lsn
-            self.disk.append(self._seg_area(self._segs[-1][0]), header + payload)
-            self._next_lsn = lsn + size
-            if on_lsn is not None:
-                on_lsn(lsn)
+        with self._m_append_time.time():
+            with self._lock:
+                self._check_panic()
+                self._maybe_roll_locked()
+                lsn = self._next_lsn
+                self.disk.append(self._seg_area(self._segs[-1][0]), header + payload)
+                self._next_lsn = lsn + size
+                if on_lsn is not None:
+                    on_lsn(lsn)
         self._m_appends.inc()
         self._m_bytes.inc(size)
         return lsn

@@ -129,6 +129,8 @@ class TransactionManager:
         self.aborts = 0
         obs = obs if obs is not None else get_observability()
         self._obs_on = obs.enabled
+        self._node = node
+        self._flight = obs.flight
         metrics = obs.metrics
         self._m_commits = metrics.counter(
             "txn_commits_total", "committed transactions", ("node",)
@@ -181,6 +183,8 @@ class TransactionManager:
             raise
         self.injector.reach("tm.commit.after_log")
         txn.status = TxnStatus.COMMITTED
+        if self._obs_on:
+            self._flight.record("txn.commit", node=self._node, txn=txn.id)
         self._finish(txn, txn._on_commit)
         self.commits += 1
         self._observe_outcome(txn, self._m_commits)
@@ -204,6 +208,9 @@ class TransactionManager:
             # the undo/lock-release path — that would wedge the node.
             pass
         txn.status = TxnStatus.ABORTED
+        if self._obs_on:
+            self._flight.record("txn.abort", node=self._node, txn=txn.id,
+                                reason=reason)
         self._finish(txn, txn._on_abort)
         self.aborts += 1
         self._observe_outcome(txn, self._m_aborts)
@@ -218,6 +225,9 @@ class TransactionManager:
         except StorageError:
             pass
         txn.status = TxnStatus.ABORTED
+        if self._obs_on:
+            self._flight.record("txn.hard_abort", node=self._node,
+                                txn=txn.id, reason=reason)
         self._finish(txn, txn._on_abort)
         self.aborts += 1
         self._observe_outcome(txn, self._m_aborts)
@@ -283,6 +293,9 @@ class TransactionManager:
         self.injector.reach("tm.prepare.after_log")
         txn.status = TxnStatus.PREPARED
         txn.global_id = global_id
+        if self._obs_on:
+            self._flight.record("txn.prepare", node=self._node, txn=txn.id,
+                                gid=global_id)
 
     def commit_prepared(self, txn: Transaction) -> None:
         if txn.status is not TxnStatus.PREPARED:
@@ -291,6 +304,9 @@ class TransactionManager:
             )
         self.log.log_outcome(txn.id, "commit")
         txn.status = TxnStatus.COMMITTED
+        if self._obs_on:
+            self._flight.record("txn.commit_prepared", node=self._node,
+                                txn=txn.id, gid=txn.global_id)
         self._finish(txn, txn._on_commit)
         self.commits += 1
         self._observe_outcome(txn, self._m_commits)
@@ -304,6 +320,9 @@ class TransactionManager:
         for undo in reversed(txn._undo):
             undo()
         txn.status = TxnStatus.ABORTED
+        if self._obs_on:
+            self._flight.record("txn.abort_prepared", node=self._node,
+                                txn=txn.id, gid=txn.global_id)
         self._finish(txn, txn._on_abort)
         self.aborts += 1
         self._observe_outcome(txn, self._m_aborts)

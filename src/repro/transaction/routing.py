@@ -189,6 +189,12 @@ class ShardedTransactionManager:
             "shards touched per routed transaction", ("node",),
             buckets=(1.0, 2.0, 3.0, 4.0, 8.0, 16.0),
         ).labels(node=node)
+        self._m_2pc_commit = metrics.histogram(
+            "twophase_commit_seconds",
+            "full two-phase commit round-trip for one cross-shard "
+            "transaction (all prepares + decision force + phase 2)",
+            ("node",),
+        ).labels(node=node)
 
     def shard_tm(self, shard: int) -> TransactionManager:
         return self._tms[shard]
@@ -236,7 +242,8 @@ class ShardedTransactionManager:
         # a log this transaction already wrote to.
         coordinator_shard = next(iter(txn._branches))
         coordinator = self._coordinators[coordinator_shard]
-        decision = coordinator.commit(branches)
+        with self._m_2pc_commit.time():
+            decision = coordinator.commit(branches)
         self._m_branches.observe(float(len(branches)))
         if decision != "commit":
             txn.status = TxnStatus.ABORTED

@@ -34,6 +34,7 @@ from repro.errors import (
     TwoPhaseInDoubtError,
     WalPanicError,
 )
+from repro.obs import Observability, get_observability
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.transaction.ids import TxnStatus
 from repro.transaction.log import KIND_AUTO, LogManager
@@ -51,6 +52,7 @@ class TwoPhaseCoordinator:
         name: str = "coord",
         injector: FaultInjector | None = None,
         tracker=None,
+        obs: Observability | None = None,
     ):
         self.log = log
         self.name = name
@@ -61,6 +63,22 @@ class TwoPhaseCoordinator:
         self.tracker = tracker
         self._seq = 0
         self._mutex = threading.Lock()
+        obs = obs if obs is not None else get_observability()
+        self._flight = obs.flight
+        # Labeled by log area, not coordinator name: restart recovery
+        # mints a fresh epoch-suffixed coordinator per shard, and a
+        # per-epoch label would grow without bound under chaos.
+        area = log.area
+        self._m_prepare = obs.metrics.histogram(
+            "twophase_prepare_seconds",
+            "per-branch prepare round-trip (force-logged prep record)",
+            ("area",),
+        ).labels(area=area)
+        self._m_decide = obs.metrics.histogram(
+            "twophase_decide_seconds",
+            "coordinator decision force (the 2PC commit point)",
+            ("area",),
+        ).labels(area=area)
 
     def new_global_id(self) -> str:
         with self._mutex:
@@ -84,7 +102,8 @@ class TwoPhaseCoordinator:
         for tm, txn in branches:
             try:
                 self.injector.reach("2pc.before_prepare")
-                tm.prepare(txn, gid)
+                with self._m_prepare.time():
+                    tm.prepare(txn, gid)
                 prepared.append((tm, txn))
             except SimulatedCrash:
                 raise
@@ -152,6 +171,10 @@ class TwoPhaseCoordinator:
                 raise
             except StorageError as exc:
                 last = exc
+        # Node-fatal with locks held: dump the black box before raising.
+        self._flight.record("2pc.in_doubt", coord=self.name,
+                            txn=str(txn.id), error=type(last).__name__)
+        self._flight.auto_dump("2pc-in-doubt")
         raise TwoPhaseInDoubtError(
             f"branch {txn.id} could not apply the committed decision: {last}"
         ) from last
@@ -165,9 +188,12 @@ class TwoPhaseCoordinator:
         if self.tracker is not None:
             def on_lsn(_lsn: int) -> None:
                 self.tracker.note(gid, decision)
-        self.log.log_auto(
-            _DECISION_RM, {"gid": gid, "decision": decision}, on_lsn=on_lsn
-        )
+        with self._m_decide.time():
+            self.log.log_auto(
+                _DECISION_RM, {"gid": gid, "decision": decision}, on_lsn=on_lsn
+            )
+        self._flight.record("2pc.decision", coord=self.name,
+                            gid=gid, decision=decision)
 
     # -- recovery-time resolution ------------------------------------------------
 

@@ -1,0 +1,78 @@
+"""A chaos-found violation must leave a flight-recorder dump behind,
+referenced from the episode's counterexample record, and the recorded
+event stream must be deterministic under the seeded schedule."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos.engine import run_episode
+from repro.chaos.schedule import ChaosConfig
+from repro.obs.flight import read_flight_dump
+
+#: commit acknowledges before its record is forced — the planted
+#: recovery bug the campaign exists to catch
+_BUGGY = dict(planted_bug="ack-no-force")
+
+
+def _first_failure(flight_dir: str, limit: int = 40):
+    config = ChaosConfig(flight_dir=flight_dir, **_BUGGY)
+    for seed in range(limit):
+        result = run_episode(seed, config)
+        if result.failed:
+            return seed, result
+    pytest.fail(f"planted bug not detected in {limit} seeds")
+
+
+class TestViolationDump:
+    def test_failing_episode_writes_and_references_a_dump(self, tmp_path):
+        seed, result = _first_failure(str(tmp_path))
+        assert result.flight_dump is not None
+        assert os.path.exists(result.flight_dump)
+        assert result.to_record()["flight_dump"] == result.flight_dump
+        header, events = read_flight_dump(result.flight_dump)
+        assert header["reason"] == result.outcome
+        kinds = [e["kind"] for e in events]
+        assert "episode.end" in kinds
+        end = [e for e in events if e["kind"] == "episode.end"][-1]
+        assert end["outcome"] == result.outcome
+        if result.violations:
+            assert "guarantee.violation" in kinds
+        # black-box context from inside the stack, not just the engine
+        assert "wal.force" in kinds
+
+    def test_passing_episode_writes_no_dump(self, tmp_path):
+        config = ChaosConfig(flight_dir=str(tmp_path))
+        for seed in range(40):
+            result = run_episode(seed, config)
+            if not result.failed:
+                assert result.flight_dump is None
+                return
+        pytest.fail("no passing episode in 40 seeds")
+
+    def test_event_stream_is_deterministic(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        seed, result = _first_failure(str(tmp_path / "a"))
+        replay = run_episode(
+            seed, ChaosConfig(flight_dir=str(tmp_path / "b"), **_BUGGY)
+        )
+        _, first = read_flight_dump(result.flight_dump)
+        _, second = read_flight_dump(replay.flight_dump)
+        strip = lambda events: [  # noqa: E731 - local shorthand
+            {k: v for k, v in e.items() if k != "ts"} for e in events
+        ]
+        assert strip(first) == strip(second)
+
+    def test_crash_points_reach_the_box(self, tmp_path):
+        config = ChaosConfig(flight_dir=str(tmp_path), **_BUGGY)
+        for seed in range(60):
+            result = run_episode(seed, config)
+            if result.failed and result.restarts:
+                _, events = read_flight_dump(result.flight_dump)
+                kinds = {e["kind"] for e in events}
+                assert "node.restart" in kinds
+                return
+        pytest.fail("no failing episode with a restart in 60 seeds")

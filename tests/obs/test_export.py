@@ -125,3 +125,43 @@ class TestDashboard:
 
     def test_empty_registry(self):
         assert render_dashboard(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestPrometheusLabelEscaping:
+    def test_special_characters_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("q",)) \
+            .labels(q='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'ops_total{q="a\\"b\\\\c\\nd"} 1.0' in text
+        # one metric line (plus HELP/TYPE): the newline did not split it
+        lines = [l for l in text.splitlines() if l.startswith("ops_total{")]
+        assert len(lines) == 1
+
+    def test_backslash_is_escaped_before_quotes(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("q",)) \
+            .labels(q='\\"').inc()
+        text = render_prometheus(reg)
+        # raw \" must become \\\" — not \\" (which would unescape wrong)
+        assert '{q="\\\\\\""}' in text
+
+    def test_series_order_is_stable_across_renders(self):
+        def build(order):
+            reg = MetricsRegistry()
+            metric = reg.counter("ops_total", "operations", ("q", "op"))
+            for q, op in order:
+                metric.labels(q=q, op=op).inc()
+            return render_prometheus(reg)
+
+        first = build([("b", "y"), ("a", "z"), ("a", "x")])
+        second = build([("a", "x"), ("a", "z"), ("b", "y")])
+        # insertion order must not leak into the exposition
+        assert first == second
+        lines = [l for l in first.splitlines() if l.startswith("ops_total{")]
+        # series sort by label values in declared-labelname order (q, op)
+        assert lines == [
+            'ops_total{op="x",q="a"} 1.0',
+            'ops_total{op="z",q="a"} 1.0',
+            'ops_total{op="y",q="b"} 1.0',
+        ]

@@ -1,0 +1,134 @@
+"""The black-box flight recorder: ring semantics, dumps, and the
+auto-dump hooks on WAL panic."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import DiskIOError
+from repro.obs import NULL_FLIGHT, FlightRecorder, Observability
+from repro.obs.flight import NullFlightRecorder, read_flight_dump
+from repro.queueing.repository import QueueRepository
+from repro.storage.disk import MemDisk
+from repro.storage.faults import DiskFault, FaultyDisk
+
+
+class TestRing:
+    def test_events_keep_order_and_sequence(self):
+        flight = FlightRecorder(capacity=8)
+        flight.record("a", x=1)
+        flight.record("b", x=2)
+        events = flight.events()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[0]["x"] == 1
+
+    def test_bounded_ring_drops_oldest(self):
+        flight = FlightRecorder(capacity=3)
+        for n in range(5):
+            flight.record("e", n=n)
+        events = flight.events()
+        assert len(flight) == 3
+        assert [e["n"] for e in events] == [2, 3, 4]
+        assert flight.dropped == 2
+
+    def test_event_kind_is_never_masked_by_a_field(self):
+        flight = FlightRecorder()
+        flight.record("disk.fault", kind="io_error")
+        (event,) = flight.events()
+        assert event["kind"] == "disk.fault"
+
+    def test_clear(self):
+        flight = FlightRecorder(capacity=2)
+        for _ in range(4):
+            flight.record("e")
+        flight.clear()
+        assert len(flight) == 0 and flight.dropped == 0
+
+
+class TestDump:
+    def test_dump_round_trips(self, tmp_path):
+        flight = FlightRecorder(name="box")
+        flight.record("txn.commit", txn="7")
+        flight.record("wal.force", lsn=42)
+        path = flight.dump(str(tmp_path / "d.jsonl"), reason="test")
+        header, events = read_flight_dump(path)
+        assert header["flight"] == "box" and header["reason"] == "test"
+        assert header["events"] == 2
+        assert [e["kind"] for e in events] == ["txn.commit", "wal.force"]
+        assert events[1]["lsn"] == 42
+        assert flight.last_dump_path == path
+
+    def test_auto_dump_without_dir_is_a_no_op(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("e")
+        assert flight.auto_dump("why") is None
+        assert os.listdir(tmp_path) == []
+
+    def test_auto_dump_names_carry_reason_and_counter(self, tmp_path):
+        flight = FlightRecorder(name="box", auto_dump_dir=str(tmp_path))
+        flight.record("e")
+        first = flight.auto_dump("wal panic!")
+        second = flight.auto_dump("wal panic!")
+        assert first != second
+        assert os.path.basename(first) == "box-001-wal-panic-.jsonl"
+        assert flight.dump_paths == [first, second]
+
+    def test_failed_dump_is_swallowed(self, tmp_path):
+        flight = FlightRecorder(auto_dump_dir=str(tmp_path / "missing" / "x"))
+        flight.record("e")
+        assert flight.auto_dump("r") is None
+
+    def test_headerless_dump_is_tolerated(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text(json.dumps({"seq": 1, "kind": "e"}) + "\n")
+        header, events = read_flight_dump(str(path))
+        assert events[0]["kind"] == "e"
+
+
+class TestNullRecorder:
+    def test_records_nothing(self):
+        NULL_FLIGHT.record("e", x=1)
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_FLIGHT.auto_dump("r") is None
+        assert isinstance(NULL_FLIGHT, NullFlightRecorder)
+
+    def test_disabled_observability_hands_out_null(self):
+        assert Observability.disabled().flight is NULL_FLIGHT
+
+    def test_disabled_observability_accepts_an_explicit_black_box(self):
+        box = FlightRecorder()
+        obs = Observability(enabled=False, flight=box)
+        assert obs.flight is box
+
+
+class TestWalPanicAutoDump:
+    def _panicking_repo(self, tmp_path):
+        obs = Observability()
+        obs.flight.auto_dump_dir = str(tmp_path)
+        faulty = FaultyDisk(MemDisk(), faults=[DiskFault(op="flush", hit=2)],
+                            obs=obs)
+        repo = QueueRepository("node", faulty, obs=obs)
+        return obs, repo
+
+    def test_panic_records_and_dumps(self, tmp_path):
+        obs, repo = self._panicking_repo(tmp_path)
+        table = repo.create_table("t")  # flush #1
+        txn = repo.tm.begin()
+        table.put(txn, "k", "v")
+        with pytest.raises(DiskIOError):
+            repo.tm.commit(txn)  # flush #2 fails -> panic
+        kinds = [e["kind"] for e in obs.flight.events()]
+        assert "wal.panic" in kinds
+        dump = obs.flight.last_dump_path
+        assert dump is not None and os.path.exists(dump)
+        header, events = read_flight_dump(dump)
+        assert header["reason"] == "wal-panic"
+        panic = [e for e in events if e["kind"] == "wal.panic"]
+        assert panic and panic[0]["error"] == "DiskIOError"
+        # the events leading up to the failure are in the box too
+        assert any(e["kind"] == "wal.force" for e in events)
+        assert any(e["kind"] == "disk.fault" for e in events)

@@ -202,3 +202,36 @@ class TestNoOpMode:
         assert m.value == 0.0
         assert m.quantile(0.5) == 0.0
         assert m.snapshot() == {}
+
+
+class TestHistogramTimer:
+    def test_time_observes_elapsed_wall_time(self):
+        h = Histogram("h_seconds", buckets=(0.5, 1.0))
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0.0 <= h.sum < 0.5
+
+    def test_time_observes_on_exception(self):
+        h = Histogram("h_seconds", buckets=(0.5, 1.0))
+        with pytest.raises(RuntimeError):
+            with h.time():
+                raise RuntimeError("timed section failed")
+        assert h.count == 1
+
+    def test_labeled_child_timer(self):
+        h = Histogram("h_seconds", labelnames=("q",), buckets=(0.5,))
+        with h.labels(q="a").time():
+            pass
+        (series,) = [
+            s for s in h.snapshot()["series"] if s["labels"] == {"q": "a"}
+        ]
+        assert series["count"] == 1
+
+    def test_null_timer_is_a_shared_singleton(self):
+        # the disabled path must not allocate per call
+        first = NULL_METRIC.time()
+        second = NULL_METRIC.labels(q="a").time()
+        assert first is second
+        with first:
+            pass
