@@ -33,12 +33,28 @@ txn/s for both cells, the overhead percentage, and the enabled run's
 per-phase latency attribution; the full metrics snapshot goes to
 ``--metrics-out`` so ``python -m repro.obs.report`` can render it.
 
+**hotpath** (``--dequeue-mode``): the contended-consumer dequeue
+workload — one file-backed queue prefilled to a steady depth, N
+consumer threads each running dequeue-and-requeue transactions — at
+the base depth and at 10x the base depth, in ``skip_locked`` and/or
+``strict`` mode.  This is the Section 10 claim as a benchmark shape:
+skip-locked throughput should be depth-insensitive while strict FIFO
+collapses under contention.  Writes ``BENCH_hotpath.json`` with txn/s,
+lock conflicts, skipped-locked counts, and WAL appends per commit.
+
+**codec** (``--codec``): microbenchmark of the storage codec — per-
+record ``encode``/``decode`` versus the batched ``encode_into`` reused
+buffer and the ``memoryview``-based ``decode_from`` used by batched
+WAL appends and recovery replay.  Writes ``BENCH_codec.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # group commit
     PYTHONPATH=src python benchmarks/run_bench.py --shards 4 # sharding
     PYTHONPATH=src python benchmarks/run_bench.py --checkpoint-bytes 65536
     PYTHONPATH=src python benchmarks/run_bench.py --profile  # obs overhead
+    PYTHONPATH=src python benchmarks/run_bench.py --dequeue-mode both
+    PYTHONPATH=src python benchmarks/run_bench.py --codec    # codec micro
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -52,14 +68,24 @@ import tempfile
 import threading
 import time
 
+from repro.errors import ElementLockedError, QueueEmpty
 from repro.obs import Observability
 from repro.queueing.placement import PinnedPlacement
+from repro.queueing.queue import DequeueMode
 from repro.queueing.repository import QueueRepository
 from repro.queueing.sharded import ShardedRepository
 from repro.storage.disk import FileDisk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
 
 SCHEMA_VERSION = 1
+
+
+def _counter_total(snapshot: dict, name: str) -> int:
+    """Sum of a counter family across its label series (0 if absent)."""
+    family = snapshot.get(name)
+    if not family:
+        return 0
+    return int(sum(s.get("value", 0) for s in family.get("series", ())))
 
 
 def run_scenario(
@@ -315,6 +341,250 @@ def run_checkpoint_scenario(
         tmpdir.cleanup()
 
 
+def run_hotpath_scenario(
+    mode: str,
+    prefill: int,
+    threads_n: int,
+    txns_n: int,
+    group_commit: GroupCommitConfig,
+    metrics_out: str | None = None,
+) -> dict:
+    """One contended-consumer cell on a file-backed disk.
+
+    The queue is prefilled to ``prefill`` committed elements; each of
+    ``threads_n`` consumers then runs ``txns_n`` dequeue-and-requeue
+    transactions, so the committed depth stays ~constant for the whole
+    timed window (the degradation claim needs a steady depth, not a
+    drain).  In STRICT mode an uncommitted head raises
+    ``ElementLockedError``; the consumer aborts and retries, and the
+    retry count is reported as ``lock_conflicts``.
+    """
+    obs = Observability()
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    try:
+        disk = FileDisk(tmpdir.name)
+        repo = QueueRepository("bench", disk, obs=obs, group_commit=group_commit)
+        queue = repo.create_queue("work", mode=DequeueMode(mode))
+        filled = 0
+        while filled < prefill:
+            batch = min(100, prefill - filled)
+            with repo.tm.transaction() as txn:
+                for offset in range(batch):
+                    queue.enqueue(txn, {"n": filled + offset})
+            filled += batch
+
+        flushes_before = disk.flush_count
+        appends_before = _counter_total(
+            obs.metrics.snapshot(), "wal_appends_total"
+        )
+        conflicts = [0] * threads_n
+        errors: list[BaseException] = []
+
+        def consumer(tid: int) -> None:
+            done = 0
+            try:
+                while done < txns_n:
+                    try:
+                        with repo.tm.transaction() as txn:
+                            element = queue.dequeue(txn)
+                            queue.enqueue(
+                                txn, element.body, priority=element.priority
+                            )
+                        done += 1
+                    except (ElementLockedError, QueueEmpty):
+                        conflicts[tid] += 1
+                        time.sleep(0)  # yield to the lock holder
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=consumer, args=(t,))
+            for t in range(threads_n)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        commits = threads_n * txns_n
+        flushes = disk.flush_count - flushes_before
+        appends = _counter_total(
+            obs.metrics.snapshot(), "wal_appends_total"
+        ) - appends_before
+        if metrics_out is not None:
+            from repro.obs.export import write_metrics_json
+
+            write_metrics_json(obs.metrics, metrics_out)
+            print(f"  wrote metrics snapshot to {metrics_out}")
+        return {
+            "mode": mode,
+            "prefill": prefill,
+            "threads": threads_n,
+            "txns_per_thread": txns_n,
+            "commits": commits,
+            "lock_conflicts": sum(conflicts),
+            "skipped_locked": queue.skipped_locked,
+            "flushes": flushes,
+            "flushes_per_commit": flushes / commits if commits else 0.0,
+            "wal_appends": appends,
+            "appends_per_commit": appends / commits if commits else 0.0,
+            "txn_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        tmpdir.cleanup()
+
+
+def run_hotpath(args: argparse.Namespace) -> dict:
+    threads_n = args.threads
+    txns_n = args.txns
+    prefill = args.prefill
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 30)
+        prefill = min(prefill, 20)
+    modes = (
+        ("skip_locked", "strict")
+        if args.dequeue_mode == "both" else (args.dequeue_mode,)
+    )
+    config = GroupCommitConfig(max_wait=args.max_wait, max_batch=args.max_batch)
+    scenarios = []
+    for mode in modes:
+        # STRICT spends most of its time in abort/retry spins; a
+        # smaller per-thread quota keeps the cell's wall time sane
+        # without changing its (normalized) txn/s.
+        mode_txns = txns_n if mode == "skip_locked" else max(10, txns_n // 4)
+        for depth in (prefill, prefill * 10):
+            print(f"running hotpath/{mode} depth={depth} "
+                  f"({threads_n} threads x {mode_txns} txns)...", flush=True)
+            # Snapshot the deep skip-locked cell: that is the hot path
+            # whose attribution docs/performance.md tracks.
+            snapshot_cell = mode == "skip_locked" and depth == prefill * 10
+            row = run_hotpath_scenario(
+                mode, depth, threads_n, mode_txns, config,
+                metrics_out=args.metrics_out if snapshot_cell else None,
+            )
+            print(f"  {row['txn_per_sec']:.0f} txn/s, "
+                  f"{row['lock_conflicts']} conflicts, "
+                  f"{row['skipped_locked']} skipped-locked, "
+                  f"{row['appends_per_commit']:.2f} appends/commit")
+            scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "hotpath",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
+def run_codec(args: argparse.Namespace) -> dict:
+    """The codec microbenchmark (``--codec``).
+
+    Encodes/decodes a realistic WAL-record population four ways:
+    per-record ``encode``/``decode`` (one fresh buffer and one byte
+    copy per record — the seed's path) versus the batched
+    ``encode_into`` reused buffer and the zero-copy ``decode_from``
+    over a single ``memoryview`` (the batched-append path).
+    """
+    from repro.storage import codec
+
+    records_n = 200 if args.quick else 2000
+    reps = 5 if args.quick else 20
+    records = [
+        {
+            "k": "upd",
+            "t": i,
+            "rm": "q:requests",
+            "d": {
+                "op": "enq",
+                "el": {
+                    "eid": i,
+                    "body": {"payload": "x" * 64, "n": i},
+                    "priority": i % 3,
+                    "enqueue_seq": i,
+                    "headers": {"rid": f"r{i}", "client": "bench"},
+                    "abort_count": 0,
+                },
+            },
+        }
+        for i in range(records_n)
+    ]
+
+    def cell(op: str, variant: str, run) -> dict:
+        # One warm-up rep (buffer growth, cache warming), then timed.
+        run()
+        started = time.perf_counter()
+        total_bytes = 0
+        for _ in range(reps):
+            total_bytes += run()
+        elapsed = time.perf_counter() - started
+        done = reps * records_n
+        row = {
+            "op": op,
+            "variant": variant,
+            "records": done,
+            "bytes": total_bytes,
+            "records_per_sec": done / elapsed if elapsed > 0 else 0.0,
+            "mb_per_sec": (
+                total_bytes / elapsed / 1e6 if elapsed > 0 else 0.0
+            ),
+            "elapsed_s": elapsed,
+        }
+        print(f"  {op}/{variant}: {row['records_per_sec']:.0f} records/s "
+              f"({row['mb_per_sec']:.1f} MB/s)")
+        return row
+
+    print(f"running codec microbenchmark ({records_n} records x {reps} "
+          "reps)...", flush=True)
+
+    payloads = [codec.encode(r) for r in records]
+    batch = bytearray()
+    for record in records:
+        codec.encode_into(batch, record)
+    batch_view = memoryview(bytes(batch))
+
+    def encode_single() -> int:
+        return sum(len(codec.encode(r)) for r in records)
+
+    reused = bytearray()
+
+    def encode_batched() -> int:
+        del reused[:]
+        for record in records:
+            codec.encode_into(reused, record)
+        return len(reused)
+
+    def decode_single() -> int:
+        total = 0
+        for payload in payloads:
+            codec.decode(payload)
+            total += len(payload)
+        return total
+
+    def decode_memoryview() -> int:
+        pos = 0
+        while pos < len(batch_view):
+            _, pos = codec.decode_from(batch_view, pos)
+        return len(batch_view)
+
+    scenarios = [
+        cell("encode", "single", encode_single),
+        cell("encode", "batched", encode_batched),
+        cell("decode", "single", decode_single),
+        cell("decode", "memoryview", decode_memoryview),
+    ]
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "codec",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
 def run_checkpoint(args: argparse.Namespace) -> dict:
     threads_n = args.threads
     txns_n = args.txns
@@ -514,12 +784,40 @@ _OBS_OVERHEAD_FIELDS = {
     "obs_enabled": bool,
 }
 
+_HOTPATH_FIELDS = {
+    "mode": str,
+    "prefill": int,
+    "threads": int,
+    "txns_per_thread": int,
+    "commits": int,
+    "lock_conflicts": int,
+    "skipped_locked": int,
+    "flushes": int,
+    "flushes_per_commit": (int, float),
+    "wal_appends": int,
+    "appends_per_commit": (int, float),
+    "txn_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
+_CODEC_FIELDS = {
+    "op": str,
+    "variant": str,
+    "records": int,
+    "bytes": int,
+    "records_per_sec": (int, float),
+    "mb_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
 #: per-benchmark scenario schemas; ``validate`` accepts any known one
 _SCHEMAS = {
     "groupcommit": _GROUPCOMMIT_FIELDS,
     "sharding": _SHARDING_FIELDS,
     "checkpoint": _CHECKPOINT_FIELDS,
     "obs_overhead": _OBS_OVERHEAD_FIELDS,
+    "hotpath": _HOTPATH_FIELDS,
+    "codec": _CODEC_FIELDS,
 }
 
 
@@ -598,11 +896,95 @@ def _check_obs_overhead_row(index: int, row: dict) -> list[str]:
     return []
 
 
+def _check_hotpath_row(index: int, row: dict) -> list[str]:
+    errors: list[str] = []
+    if row.get("mode") not in ("skip_locked", "strict"):
+        errors.append(f"scenarios[{index}].mode must be skip_locked|strict")
+    if row.get("mode") == "skip_locked" and row.get("lock_conflicts"):
+        errors.append(
+            f"scenarios[{index}]: skip-locked consumers reported "
+            f"{row['lock_conflicts']} lock conflicts"
+        )
+    return errors
+
+
+def _check_codec_row(index: int, row: dict) -> list[str]:
+    errors: list[str] = []
+    if row.get("op") not in ("encode", "decode"):
+        errors.append(f"scenarios[{index}].op must be encode|decode")
+    return errors
+
+
+def _check_codec_doc(doc: dict, scenarios: list) -> list[str]:
+    """Cross-row check for a full codec run: the batched encode path
+    (reused buffer, no per-record copy) must beat per-record
+    ``encode`` — the claim the batched WAL append rests on.  Decode is
+    not gated: per-index ``memoryview`` access is slower in pure
+    Python, which is exactly why the WAL read path materializes
+    per-record ``bytes`` after the one batch-CRC pass."""
+    if doc.get("quick"):
+        return []
+    rates = {
+        (row.get("op"), row.get("variant")): row.get("records_per_sec", 0)
+        for row in scenarios if isinstance(row, dict)
+    }
+    single = rates.get(("encode", "single"))
+    batched = rates.get(("encode", "batched"))
+    if single is None or batched is None:
+        return ["codec run missing encode single/batched scenarios"]
+    if batched <= single:
+        return [
+            f"batched encode ({batched:.0f} rec/s) does not beat "
+            f"per-record encode ({single:.0f} rec/s)"
+        ]
+    return []
+
+
+def _check_hotpath_doc(doc: dict, scenarios: list) -> list[str]:
+    """Cross-row acceptance checks for a full (non-quick) hotpath run:
+    skip-locked throughput must be depth-insensitive (<= 20% drop at
+    10x depth) while strict FIFO visibly collapses — the Section 10
+    claim the benchmark exists to reproduce.  Quick (CI-smoke) runs are
+    too noisy for numeric gates and only get the structural checks."""
+    if doc.get("quick"):
+        return []
+    errors: list[str] = []
+    by_mode: dict[str, list[dict]] = {}
+    for row in scenarios:
+        if isinstance(row, dict) and isinstance(row.get("prefill"), int):
+            by_mode.setdefault(row.get("mode"), []).append(row)
+    skip_rows = sorted(by_mode.get("skip_locked", ()),
+                       key=lambda r: r["prefill"])
+    if len(skip_rows) >= 2:
+        shallow, deep = skip_rows[0], skip_rows[-1]
+        if shallow["txn_per_sec"] > 0:
+            drop = 1.0 - deep["txn_per_sec"] / shallow["txn_per_sec"]
+            if drop > 0.20:
+                errors.append(
+                    f"skip_locked degrades {100 * drop:.0f}% from depth "
+                    f"{shallow['prefill']} to {deep['prefill']} (> 20%)"
+                )
+    strict_rows = sorted(by_mode.get("strict", ()),
+                         key=lambda r: r["prefill"])
+    if skip_rows and strict_rows:
+        deep_skip, deep_strict = skip_rows[-1], strict_rows[-1]
+        if deep_strict["txn_per_sec"] >= 0.5 * deep_skip["txn_per_sec"]:
+            errors.append(
+                "strict mode did not collapse: "
+                f"{deep_strict['txn_per_sec']:.0f} txn/s vs skip-locked "
+                f"{deep_skip['txn_per_sec']:.0f} at depth "
+                f"{deep_strict['prefill']}"
+            )
+    return errors
+
+
 _ROW_CHECKS = {
     "groupcommit": _check_groupcommit_row,
     "sharding": _check_sharding_row,
     "checkpoint": _check_checkpoint_row,
     "obs_overhead": _check_obs_overhead_row,
+    "hotpath": _check_hotpath_row,
+    "codec": _check_codec_row,
 }
 
 
@@ -646,6 +1028,10 @@ def validate(doc: object) -> list[str]:
         if flags.count(False) != 1 or flags.count(True) != 1:
             errors.append("obs_overhead needs exactly one disabled and "
                           "one enabled scenario")
+    if benchmark == "hotpath":
+        errors.extend(_check_hotpath_doc(doc, scenarios))
+    if benchmark == "codec":
+        errors.extend(_check_codec_doc(doc, scenarios))
     return errors
 
 
@@ -670,6 +1056,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the observability-overhead benchmark "
                              "(obs disabled vs enabled) and write a "
                              "metrics snapshot for repro.obs.report")
+    parser.add_argument("--dequeue-mode", default=None,
+                        choices=("skip_locked", "strict", "both"),
+                        help="run the contended-consumer dequeue (hotpath) "
+                             "benchmark in the given mode(s) instead of the "
+                             "group-commit benchmark")
+    parser.add_argument("--prefill", type=int, default=100,
+                        help="hotpath base queue depth; cells run at this "
+                             "depth and at 10x it (default 100)")
+    parser.add_argument("--codec", action="store_true",
+                        help="run the codec microbenchmark (per-record vs "
+                             "batched encode/decode)")
     parser.add_argument("--metrics-out", default="BENCH_obs_metrics.json",
                         help="metrics-snapshot file for --profile "
                              "(default BENCH_obs_metrics.json)")
@@ -680,9 +1077,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
-    if sum(map(bool, (args.shards, args.checkpoint_bytes, args.profile))) > 1:
-        parser.error("--shards, --checkpoint-bytes and --profile are "
-                     "mutually exclusive")
+    modes = (args.shards, args.checkpoint_bytes, args.profile,
+             args.dequeue_mode, args.codec)
+    if sum(map(bool, modes)) > 1:
+        parser.error("--shards, --checkpoint-bytes, --profile, "
+                     "--dequeue-mode and --codec are mutually exclusive")
     if args.out is None:
         if args.shards:
             args.out = "BENCH_sharding.json"
@@ -690,6 +1089,12 @@ def main(argv: list[str] | None = None) -> int:
             args.out = "BENCH_checkpoint.json"
         elif args.profile:
             args.out = "BENCH_obs_overhead.json"
+        elif args.dequeue_mode:
+            args.out = "BENCH_hotpath.json"
+            if args.metrics_out == parser.get_default("metrics_out"):
+                args.metrics_out = "BENCH_hotpath_metrics.json"
+        elif args.codec:
+            args.out = "BENCH_codec.json"
         else:
             args.out = "BENCH_groupcommit.json"
 
@@ -710,6 +1115,10 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_checkpoint(args)
     elif args.profile:
         doc = run_profile(args)
+    elif args.dequeue_mode:
+        doc = run_hotpath(args)
+    elif args.codec:
+        doc = run_codec(args)
     else:
         doc = run(args)
     errors = validate(doc)

@@ -52,6 +52,19 @@ SHARDED_CRASH_POINTS = CRASH_POINTS + (
     "2pc.after_branch_commit",
 )
 
+#: Extra crash points sampled only when ``config.batch_crash_points``
+#: is set: the per-transaction batched-append publish of
+#: :class:`~repro.transaction.log.LogManager` (buffered updates +
+#: commit/prepare landing as one WAL batch).  ``before`` crashes with
+#: everything still volatile; ``after`` crashes with the batch appended
+#: and forced.  The names carry the request node's real WAL area
+#: (``reqnode.log`` for the chaos system) because the injector matches
+#: reach points by exact string.
+BATCH_APPEND_CRASH_POINTS = (
+    "wal.reqnode.log.batch_append.before",
+    "wal.reqnode.log.batch_append.after",
+)
+
 #: Extra crash points sampled only when the campaign runs a byte-
 #: triggered checkpointer (``config.checkpoint_interval_bytes``): the
 #: fuzzy-checkpoint protocol of
@@ -193,6 +206,10 @@ class ChaosConfig:
     #: also draws crash points from the checkpoint protocol.  ``None``
     #: keeps existing seeds byte-identical.
     checkpoint_interval_bytes: int | None = None
+    #: also draw crash points from the batched commit-publish path
+    #: (``BATCH_APPEND_CRASH_POINTS``).  Off by default so schedules
+    #: sampled by historic seeds keep their exact shape.
+    batch_crash_points: bool = False
     #: directory for flight-recorder dumps of failing episodes
     #: (``None`` keeps the ring in memory only — no files are written)
     flight_dir: str | None = None
@@ -283,6 +300,8 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
         # Gated on the knob, like the sharded extension, so schedules
         # sampled without a checkpointer keep their exact historic shape.
         crash_points = crash_points + CHECKPOINT_CRASH_POINTS
+    if config.batch_crash_points:
+        crash_points = crash_points + BATCH_APPEND_CRASH_POINTS
     faults: list[ChaosFault] = []
     n = rng.randint(config.min_faults, config.max_faults)
     for _ in range(n):

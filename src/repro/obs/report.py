@@ -28,6 +28,7 @@ from repro.obs.flight import read_flight_dump
 #: label filter applied to each series' labels)
 PIPELINE_PHASES: tuple[tuple[str, str, dict[str, str]], ...] = (
     ("lock wait", "lock_wait_seconds", {}),
+    ("queue select (dequeue scan)", "queue_select_seconds", {}),
     ("WAL append (buffer)", "wal_append_seconds", {}),
     ("WAL force (flush)", "wal_force_seconds", {}),
     ("group-commit wait (leader)",

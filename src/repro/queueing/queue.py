@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import bisect
 import enum
+import heapq
 import logging
 import threading
 import time as _time
@@ -53,6 +54,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.queueing.repository import QueueRepository
 
 logger = logging.getLogger(__name__)
+
+#: the fallback scan path compacts its stale ``_order`` entries with a
+#: single-pass rebuild once this many accumulate; below it, per-index
+#: deletion is cheaper than copying the whole list
+_STALE_COMPACT_THRESHOLD = 32
 
 
 class DequeueMode(enum.Enum):
@@ -132,8 +138,17 @@ class RecoverableQueue:
         self._slots: OrderedDict[int, _Slot] = OrderedDict()
         #: removed elements retained for Read after dequeue (bounded)
         self._archive: OrderedDict[int, Element] = OrderedDict()
-        #: (sort_key, eid) kept sorted; stale entries skipped lazily
+        #: (sort_key, eid) kept sorted; stale entries skipped lazily.
+        #: Only the fallback scan path (STRICT mode, content selectors)
+        #: reads it.
         self._order: list[tuple[tuple[int, int], int]] = []
+        #: ready index: a (sort_key, eid) heap holding exactly the
+        #: AVAILABLE slots (plus lazily-deleted stale entries), pushed
+        #: on every transition *into* AVAILABLE — enqueue-commit,
+        #: dequeue-abort return, recovery redo/restore — so the
+        #: skip-locked no-selector dequeue selects in O(log n) no
+        #: matter how many elements are pending
+        self._ready: list[tuple[tuple[int, int], int]] = []
         self._mutex = threading.RLock()
         self._cond = threading.Condition(self._mutex)
         self._next_seq = 1
@@ -189,6 +204,14 @@ class RecoverableQueue:
             "selection (the paper's request-latency figure)", ("queue",),
             buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
                      0.1, 0.25, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+        ).labels(**labels)
+        self._m_select = metrics.histogram(
+            "queue_select_seconds",
+            "time spent choosing the next eligible element inside "
+            "dequeue (the hot-path scan this queue's ready index "
+            "replaces)", ("queue",),
+            buckets=(0.000001, 0.000005, 0.00001, 0.00005, 0.0001,
+                     0.0005, 0.001, 0.005, 0.01, 0.05, 0.1),
         ).labels(**labels)
         depth_gauge = metrics.gauge(
             "queue_depth", "committed, eligible elements", ("queue",)
@@ -371,6 +394,7 @@ class RecoverableQueue:
             slot.state = ElementState.AVAILABLE
             self._count(ElementState.AVAILABLE, +1)
             slot.pending_txn = None
+            heapq.heappush(self._ready, (slot.element.sort_key(), eid))
             if self._obs_on:
                 slot.visible_at = _time.monotonic()
             element = slot.element.copy()
@@ -407,7 +431,14 @@ class RecoverableQueue:
         deadline = None if timeout is None else _time.monotonic() + timeout
         with self._cond:
             while True:
-                slot = self._select_slot(txn, selector)
+                if self._obs_on:
+                    select_started = _time.perf_counter()
+                    slot = self._select_slot(txn, selector)
+                    self._m_select.observe(
+                        _time.perf_counter() - select_started
+                    )
+                else:
+                    slot = self._select_slot(txn, selector)
                 if slot is not None:
                     break
                 if not block:
@@ -447,11 +478,99 @@ class RecoverableQueue:
     def _select_slot(
         self, txn: Transaction, selector: Callable[[Element], bool] | None
     ) -> _Slot | None:
-        """First eligible slot in order; prunes stale order entries.
+        """First eligible slot in order.
+
+        Routing: the skip-locked no-selector hot path reads the ready
+        index in O(log n); skip-locked equality selectors over an
+        indexed header read the O(1) ``_header_index`` bucket; STRICT
+        mode and content selectors keep the correct full scan.  All
+        paths choose the same element for the same queue state — the
+        property test in ``tests/queueing/test_ready_index.py`` pins
+        that equivalence.
 
         STRICT mode raises :class:`ElementLockedError` if the first
         committed element is pending in another transaction and a later
         one would otherwise be taken."""
+        if self.config.mode is DequeueMode.SKIP_LOCKED:
+            if selector is None:
+                return self._select_ready()
+            indexed = getattr(selector, "header_equals", None)
+            if indexed is not None and indexed[0] in self._header_index:
+                return self._select_indexed(selector, *indexed)
+        return self._select_scan(txn, selector)
+
+    def _select_ready(self) -> _Slot | None:
+        """Skip-locked fast path: peek the best valid ready-index entry.
+
+        The chosen entry is deliberately *not* popped — the caller's
+        ``log_update`` may still fail, and the entry only goes stale
+        once the slot actually leaves AVAILABLE.  Stale entries (slot
+        gone, re-keyed, or no longer AVAILABLE) are popped lazily;
+        passing over an uncommitted dequeue's entry is exactly the
+        Section 10 skip, so it is counted as one."""
+        ready = self._ready
+        slots = self._slots
+        while ready:
+            key, eid = ready[0]
+            slot = slots.get(eid)
+            if slot is not None and slot.element.sort_key() == key:
+                if slot.state is ElementState.AVAILABLE:
+                    return slot
+                if slot.state is ElementState.DEQ_PENDING:
+                    self.skipped_locked += 1
+                    self._m_skip_locked.inc()
+            heapq.heappop(ready)
+        return None
+
+    def _select_indexed(
+        self,
+        selector: Callable[[Element], bool],
+        header: str,
+        value: Any,
+    ) -> _Slot | None:
+        """Skip-locked equality selector over an indexed header: pick
+        the best AVAILABLE element of the O(1) hash bucket instead of
+        scanning the whole queue.  Pass-overs are counted for the
+        bucket's own pending elements that sort before the choice (the
+        scan would also have skipped pending non-matching elements;
+        the bucket cannot see those)."""
+        try:
+            bucket = self._header_index[header].get(value)
+        except TypeError:  # unhashable selector value: nothing indexed
+            return None
+        if not bucket:
+            return None
+        chosen: _Slot | None = None
+        chosen_key: tuple[int, int] | None = None
+        pending_keys: list[tuple[int, int]] = []
+        for eid in bucket:
+            slot = self._slots.get(eid)
+            if slot is None:
+                continue
+            if slot.state is ElementState.ENQ_PENDING:
+                continue  # uncommitted enqueue: invisible
+            key = slot.element.sort_key()
+            if slot.state is ElementState.DEQ_PENDING:
+                pending_keys.append(key)
+                continue
+            if not selector(slot.element):
+                continue
+            if chosen_key is None or key < chosen_key:
+                chosen, chosen_key = slot, key
+        skipped = sum(
+            1 for key in pending_keys
+            if chosen_key is None or key < chosen_key
+        )
+        if skipped:
+            self.skipped_locked += skipped
+            self._m_skip_locked.inc(skipped)
+        return chosen
+
+    def _select_scan(
+        self, txn: Transaction, selector: Callable[[Element], bool] | None
+    ) -> _Slot | None:
+        """The fallback full scan (STRICT mode, content selectors);
+        prunes stale order entries as it goes."""
         stale: list[int] = []
         chosen: _Slot | None = None
         for index, (key, eid) in enumerate(self._order):
@@ -474,8 +593,17 @@ class RecoverableQueue:
                 continue
             chosen = slot
             break
-        for index in reversed(stale):
-            del self._order[index]
+        if len(stale) >= _STALE_COMPACT_THRESHOLD:
+            # Single-pass filtered rebuild: deleting k entries in place
+            # is O(k * n); one copy is O(n).
+            dead = set(stale)
+            self._order = [
+                entry for index, entry in enumerate(self._order)
+                if index not in dead
+            ]
+        else:
+            for index in reversed(stale):
+                del self._order[index]
         return chosen
 
     def _return_slot(self, eid: int) -> None:
@@ -487,6 +615,7 @@ class RecoverableQueue:
                 slot.state = ElementState.AVAILABLE
                 self._count(ElementState.AVAILABLE, +1)
                 slot.pending_txn = None
+                heapq.heappush(self._ready, (slot.element.sort_key(), eid))
                 self._cond.notify_all()
 
     def _commit_dequeue(self, eid: int) -> None:
@@ -691,6 +820,9 @@ class RecoverableQueue:
                 self._index_add(element)
                 if previous is None:
                     bisect.insort(self._order, (element.sort_key(), element.eid))
+                    heapq.heappush(
+                        self._ready, (element.sort_key(), element.eid)
+                    )
                 self._next_seq = max(self._next_seq, element.enqueue_seq + 1)
             elif op == "deq":
                 slot = self._slots.pop(data["eid"], None)
@@ -728,6 +860,7 @@ class RecoverableQueue:
         with self._mutex:
             self._slots.clear()
             self._order = []
+            self._ready = []
             self._archive.clear()
             self._n_available = 0
             self._n_pending = 0
@@ -739,6 +872,7 @@ class RecoverableQueue:
                 self._count(ElementState.AVAILABLE, +1)
                 self._index_add(element)
                 bisect.insort(self._order, (element.sort_key(), element.eid))
+                heapq.heappush(self._ready, (element.sort_key(), element.eid))
             for record in state["archive"]:
                 element = Element.from_record(record)
                 self._archive[element.eid] = element

@@ -23,11 +23,17 @@ Selector = Callable[[Element], bool]
 
 def by_header(name: str, value: Any) -> Selector:
     """Match elements whose header ``name`` equals ``value``
-    (e.g. route by request type)."""
+    (e.g. route by request type).
+
+    The returned selector carries a ``header_equals`` tag; when
+    ``name`` is in the queue's ``config.index_headers``, skip-locked
+    dequeue resolves it through the O(1) header hash index instead of
+    scanning."""
 
     def select(element: Element) -> bool:
         return element.headers.get(name) == value
 
+    select.header_equals = (name, value)  # type: ignore[attr-defined]
     return select
 
 

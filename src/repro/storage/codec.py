@@ -12,12 +12,20 @@ keys.
 Encoding is deterministic: dict items are written in insertion order
 (callers that need canonical bytes sort their dicts first), integers
 use a fixed zig-zag varint, floats use IEEE-754 big-endian.
+
+Batched use: :func:`encode_into` appends a record to a caller-owned
+(reusable) buffer so N records need one buffer and one framing pass,
+and :func:`decode_from` reads one value at an offset from ``bytes`` or
+a ``memoryview`` — recovery replay hands out sub-slices of a single
+mapped batch without per-record byte copies.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Union
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 _T_NONE = b"N"
 _T_TRUE = b"T"
@@ -28,6 +36,18 @@ _T_STR = b"S"
 _T_BYTES = b"B"
 _T_LIST = b"L"
 _T_DICT = b"M"
+
+# decode compares integer tags: ``data[pos]`` is an int for bytes,
+# bytearray, and memoryview alike, and avoids a slice object per value
+_TAG_NONE = _T_NONE[0]
+_TAG_TRUE = _T_TRUE[0]
+_TAG_FALSE = _T_FALSE[0]
+_TAG_INT = _T_INT[0]
+_TAG_FLOAT = _T_FLOAT[0]
+_TAG_STR = _T_STR[0]
+_TAG_BYTES = _T_BYTES[0]
+_TAG_LIST = _T_LIST[0]
+_TAG_DICT = _T_DICT[0]
 
 
 class CodecError(ValueError):
@@ -48,7 +68,7 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+def _read_varint(data: Buffer, pos: int) -> tuple[int, int]:
     result = 0
     shift = 0
     while True:
@@ -73,21 +93,90 @@ def _unzigzag(value: int) -> int:
     return value // 2 if value % 2 == 0 else -(value + 1) // 2
 
 
+def encode_into(out: bytearray, obj: Any) -> None:
+    """Append the encoding of ``obj`` to ``out``.
+
+    The batched-append building block: callers reuse one buffer across
+    N records (one allocation, one framing pass) instead of paying
+    ``encode``'s fresh ``bytearray`` + ``bytes`` copy per record."""
+    _encode_into(out, obj)
+
+
 def _encode_into(out: bytearray, obj: Any) -> None:
-    if obj is None:
+    # Exact-type dispatch (``type(obj) is …``) ordered by hot-path
+    # frequency — log records are dicts of str keys, small ints, and
+    # short strings — with inlined one-byte varints for the < 0x80
+    # values that dominate lengths and ids.  Subclasses (IntEnum,
+    # namedtuple, …) fall through to the general isinstance chain.
+    kind = type(obj)
+    if kind is str:
+        raw = obj.encode("utf-8")
+        length = len(raw)
+        out += _T_STR
+        if length < 0x80:
+            out.append(length)
+        else:
+            _write_varint(out, length)
+        out += raw
+    elif kind is int:
+        zig = obj + obj if obj >= 0 else -obj - obj - 1
+        out += _T_INT
+        if zig < 0x80:
+            out.append(zig)
+        else:
+            _write_varint(out, zig)
+    elif kind is dict:
+        length = len(obj)
+        out += _T_DICT
+        if length < 0x80:
+            out.append(length)
+        else:
+            _write_varint(out, length)
+        for key, value in obj.items():
+            if type(key) is not str:
+                raise CodecError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            klen = len(raw)
+            if klen < 0x80:
+                out.append(klen)
+            else:
+                _write_varint(out, klen)
+            out += raw
+            _encode_into(out, value)
+    elif obj is None:
         out += _T_NONE
     elif obj is True:
         out += _T_TRUE
     elif obj is False:
         out += _T_FALSE
+    elif kind is list or kind is tuple:
+        length = len(obj)
+        out += _T_LIST
+        if length < 0x80:
+            out.append(length)
+        else:
+            _write_varint(out, length)
+        for item in obj:
+            _encode_into(out, item)
+    elif kind is float:
+        out += _T_FLOAT
+        out += struct.pack(">d", obj)
+    elif kind is bytes or kind is bytearray or kind is memoryview:
+        raw = bytes(obj)
+        out += _T_BYTES
+        _write_varint(out, len(raw))
+        out += raw
+    # --- subclass fallbacks (cold) -----------------------------------
     elif isinstance(obj, int):
         out += _T_INT
-        _write_varint(out, _bigzag(obj))
+        _write_varint(out, _bigzag(int(obj)))
     elif isinstance(obj, float):
         out += _T_FLOAT
         out += struct.pack(">d", obj)
     elif isinstance(obj, str):
-        raw = obj.encode("utf-8")
+        raw = str(obj).encode("utf-8")
         out += _T_STR
         _write_varint(out, len(raw))
         out += raw
@@ -106,7 +195,9 @@ def _encode_into(out: bytearray, obj: Any) -> None:
         _write_varint(out, len(obj))
         for key, value in obj.items():
             if not isinstance(key, str):
-                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+                raise CodecError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
             raw = key.encode("utf-8")
             _write_varint(out, len(raw))
             out += raw
@@ -123,57 +214,67 @@ def encode(obj: Any) -> bytes:
     return bytes(out)
 
 
-def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+def decode_from(data: Buffer, pos: int) -> tuple[Any, int]:
+    """Decode one value at ``pos``; returns ``(value, next_pos)``.
+
+    Accepts ``bytes``, ``bytearray``, or a ``memoryview`` — the latter
+    lets recovery replay decode records straight out of one mapped
+    batch buffer with no per-record slice copy (``str``/``bytes``
+    leaves materialise their own payload; the framing never does)."""
+    return _decode_from(data, pos)
+
+
+def _decode_from(data: Buffer, pos: int) -> tuple[Any, int]:
     if pos >= len(data):
         raise CodecError("truncated value")
-    tag = data[pos : pos + 1]
+    tag = data[pos]
     pos += 1
-    if tag == _T_NONE:
+    if tag == _TAG_NONE:
         return None, pos
-    if tag == _T_TRUE:
+    if tag == _TAG_TRUE:
         return True, pos
-    if tag == _T_FALSE:
+    if tag == _TAG_FALSE:
         return False, pos
-    if tag == _T_INT:
+    if tag == _TAG_INT:
         raw, pos = _read_varint(data, pos)
         return _unzigzag(raw), pos
-    if tag == _T_FLOAT:
+    if tag == _TAG_FLOAT:
         if pos + 8 > len(data):
             raise CodecError("truncated float")
         return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
-    if tag == _T_STR:
+    if tag == _TAG_STR:
         length, pos = _read_varint(data, pos)
         if pos + length > len(data):
             raise CodecError("truncated string")
-        return data[pos : pos + length].decode("utf-8"), pos + length
-    if tag == _T_BYTES:
+        return str(data[pos : pos + length], "utf-8"), pos + length
+    if tag == _TAG_BYTES:
         length, pos = _read_varint(data, pos)
         if pos + length > len(data):
             raise CodecError("truncated bytes")
-        return data[pos : pos + length], pos + length
-    if tag == _T_LIST:
+        return bytes(data[pos : pos + length]), pos + length
+    if tag == _TAG_LIST:
         count, pos = _read_varint(data, pos)
         items = []
         for _ in range(count):
             item, pos = _decode_from(data, pos)
             items.append(item)
         return items, pos
-    if tag == _T_DICT:
+    if tag == _TAG_DICT:
         count, pos = _read_varint(data, pos)
         result: dict[str, Any] = {}
         for _ in range(count):
             klen, pos = _read_varint(data, pos)
             if pos + klen > len(data):
                 raise CodecError("truncated dict key")
-            key = data[pos : pos + klen].decode("utf-8")
+            key = str(data[pos : pos + klen], "utf-8")
             pos += klen
             value, pos = _decode_from(data, pos)
             result[key] = value
         return result, pos
-    raise CodecError(f"unknown type tag {tag!r}")
+    raise CodecError(f"unknown type tag {chr(tag)!r}")
 
 
-def decode(data: bytes) -> Any:
+def decode(data: Buffer) -> Any:
     """Decode bytes produced by :func:`encode`.  Raises
     :class:`CodecError` on malformed input or trailing garbage."""
     obj, pos = _decode_from(data, 0)

@@ -201,3 +201,15 @@ class GroupCommitter:
         lsn = self.wal.append(payload, on_lsn=on_lsn)
         self.sync(lsn)
         return lsn
+
+    def append_batch_sync(self, body, offsets, on_lsns=None) -> list[int]:
+        """Append a pre-framed batch and group-force it; returns the
+        batch's LSNs (see :meth:`WriteAheadLog.append_batch`).
+
+        One flush makes the whole batch durable — forcing the last
+        record forces everything before it — so a batched commit costs
+        the same single (possibly shared) flush as a lone commit record.
+        """
+        lsns = self.wal.append_batch(body, offsets, on_lsns=on_lsns)
+        self.sync(lsns[-1])
+        return lsns

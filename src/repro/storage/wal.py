@@ -1,11 +1,31 @@
 """Segmented write-ahead log with CRC framing and torn-write recovery.
 
-Record layout on disk::
+Record layout on disk — individually-appended records keep their own
+CRC frame::
 
     +-------+----------+----------+------------------+
     | magic | length   | crc32    | payload          |
     | 2 B   | 4 B (BE) | 4 B (BE) | ``length`` bytes |
     +-------+----------+----------+------------------+
+
+A *batch* (``append_batch``/``append_many``: one lock acquisition, one
+disk write, one CRC pass for N records — the per-transaction commit
+batching of :class:`~repro.transaction.log.LogManager`) shares one
+frame::
+
+    +--------+----------+----------+----------------------------------+
+    | bmagic | body_len | crc32    | body: ( sub_len 4B | payload )*  |
+    | 2 B    | 4 B (BE) | 4 B (BE) | ``body_len`` bytes               |
+    +--------+----------+----------+----------------------------------+
+
+The batch CRC covers the whole body.  A sub-record's LSN is the byte
+offset of its ``sub_len`` field in the record stream, so LSNs stay
+dense and strictly ordered whether a record travelled alone or in a
+batch.  A torn tail inside a batch drops the *whole* batch: the batch
+CRC cannot vouch for a prefix, and a batch is one transaction's
+records ending in its commit/prepare record, so losing a prefix and
+losing the batch are the same outcome (the transaction was never
+acknowledged — its commit record was not durable).
 
 The CRC covers the payload.  The log is split across numbered *segment
 areas* (``<area>.000001``, ``<area>.000002``, …); each segment starts
@@ -55,8 +75,8 @@ import re
 import struct
 import threading
 import zlib
-from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import (
     CorruptRecordError,
@@ -68,8 +88,13 @@ from repro.obs import Observability, get_observability
 from repro.storage.disk import Disk
 
 _MAGIC = b"\xC4\x51"
+_BATCH_MAGIC = b"\xC4\x52"
+#: both magics share this first byte — the corruption probe scans for it
+_MAGIC_PREFIX = b"\xC4"
 _HEADER = struct.Struct(">2sII")  # magic, length, crc32
 HEADER_SIZE = _HEADER.size
+_SUB_LEN = struct.Struct(">I")  # per-record length inside a batch body
+SUB_HEADER_SIZE = _SUB_LEN.size
 
 _SEG_MAGIC = b"WSEG"
 _SEG_HEADER = struct.Struct(">4sQI")  # magic, base lsn, crc32(magic+base)
@@ -104,9 +129,16 @@ class WalRecord:
 
     lsn: int
     payload: bytes
+    #: stream offset just past this record's framing — differs between
+    #: individually-framed records (10-byte header) and batch
+    #: sub-records (4-byte sub-length); excluded from equality so
+    #: hand-built ``WalRecord(lsn, payload)`` values compare by content
+    end: int | None = field(default=None, compare=False)
 
     @property
     def next_lsn(self) -> int:
+        if self.end is not None:
+            return self.end
         return self.lsn + HEADER_SIZE + len(self.payload)
 
 
@@ -142,7 +174,12 @@ class WriteAheadLog:
         metrics = obs.metrics
         self._flight = obs.flight
         self._m_appends = metrics.counter(
-            "wal_appends_total", "log records appended", ("area",)
+            "wal_appends_total", "physical log appends "
+            "(a batch of records counts once)", ("area",)
+        ).labels(area=area)
+        self._m_records = metrics.counter(
+            "wal_records_total", "log records appended "
+            "(batch sub-records count individually)", ("area",)
         ).labels(area=area)
         self._m_bytes = metrics.counter(
             "wal_appended_bytes_total", "log bytes appended (incl. framing)", ("area",)
@@ -245,7 +282,7 @@ class WriteAheadLog:
                 return next_lsn
             pos = SEGMENT_HEADER_SIZE
             while True:
-                _record, next_pos, ok = self._parse_at(data, pos)
+                _records, next_pos, ok = self._parse_frame(data, pos)
                 if not ok:
                     break
                 pos = next_pos
@@ -378,40 +415,74 @@ class WriteAheadLog:
                 if on_lsn is not None:
                     on_lsn(lsn)
         self._m_appends.inc()
+        self._m_records.inc()
         self._m_bytes.inc(size)
         return lsn
 
-    def append_many(self, payloads: Iterable[bytes]) -> list[int]:
-        """Append a vector of records under one lock acquisition and one
-        disk write.  Returns their LSNs, in order.
+    def append_batch(self, body: bytes | bytearray | memoryview,
+                     offsets: Sequence[int],
+                     on_lsns: Callable[[list[int]], None] | None = None,
+                     ) -> list[int]:
+        """Append N pre-framed records as one batch frame: one lock
+        acquisition, one CRC pass over the whole body, one disk write.
 
-        The batch is framed record-by-record, so a torn tail inside the
-        batch loses a suffix of it, exactly as for individual appends.
-        The whole batch lands in one segment (the size bound is soft).
+        ``body`` is the batch body — ``(sub_len | payload)*`` sub-frames
+        — and ``offsets`` holds each sub-frame's start offset within it.
+        :class:`~repro.transaction.log.LogManager` builds the body
+        incrementally as a transaction logs updates, so publishing at
+        commit needs no re-framing or per-record copies.  A
+        single-record batch is written as a classic frame, so records
+        that travel alone keep their own CRC.
+
+        ``on_lsns`` is invoked with the records' LSNs *while the log
+        lock is held* (the ordering contract of ``append``'s
+        ``on_lsn``).  Returns the LSNs, in order.
         """
-        frames: list[bytes] = []
-        sizes: list[int] = []
-        for payload in payloads:
-            frames.append(
-                _HEADER.pack(_MAGIC, len(payload),
-                             zlib.crc32(payload) & 0xFFFFFFFF) + payload
-            )
-            sizes.append(HEADER_SIZE + len(payload))
-        if not frames:
+        count = len(offsets)
+        if count == 0:
             return []
-        with self._lock:
-            self._check_panic()
-            self._maybe_roll_locked()
-            self.disk.append(self._seg_area(self._segs[-1][0]), b"".join(frames))
-            lsns: list[int] = []
-            pos = self._next_lsn
-            for size in sizes:
-                lsns.append(pos)
-                pos += size
-            self._next_lsn = pos
-        self._m_appends.inc(len(frames))
-        self._m_bytes.inc(sum(sizes))
+        if count == 1:
+            payload = bytes(memoryview(body)[SUB_HEADER_SIZE:])
+            data = _HEADER.pack(
+                _MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+            ) + payload
+        else:
+            crc = zlib.crc32(body) & 0xFFFFFFFF
+            data = b"".join((_HEADER.pack(_BATCH_MAGIC, len(body), crc), body))
+        size = len(data)
+        with self._m_append_time.time():
+            with self._lock:
+                self._check_panic()
+                self._maybe_roll_locked()
+                first = self._next_lsn
+                if count == 1:
+                    lsns = [first]
+                else:
+                    record_base = first + HEADER_SIZE
+                    lsns = [record_base + offset for offset in offsets]
+                self.disk.append(self._seg_area(self._segs[-1][0]), data)
+                self._next_lsn = first + size
+                if on_lsns is not None:
+                    on_lsns(lsns)
+        self._m_appends.inc()
+        self._m_records.inc(count)
+        self._m_bytes.inc(size)
         return lsns
+
+    def append_many(self, payloads: Iterable[bytes]) -> list[int]:
+        """Append a vector of records as one batch frame (one lock
+        acquisition, one CRC, one disk write).  Returns their LSNs.
+
+        A torn tail inside the batch drops the *whole* batch (module
+        docstring); the batch lands in one segment (the bound is soft).
+        """
+        body = bytearray()
+        offsets: list[int] = []
+        for payload in payloads:
+            offsets.append(len(body))
+            body += _SUB_LEN.pack(len(payload))
+            body += payload
+        return self.append_batch(body, offsets)
 
     def flush(self) -> None:
         """Force all appended records to stable storage.
@@ -460,9 +531,10 @@ class WriteAheadLog:
     def scan(self, from_lsn: int = 0) -> Iterator[WalRecord]:
         """Yield valid records starting at ``from_lsn``.
 
-        ``from_lsn`` must be a record boundary at or above
-        :meth:`oldest_lsn` (reclaimed records cannot be scanned).
-        Stops silently at a torn tail of the live segment; raises
+        ``from_lsn`` must be a record boundary — a classic frame start
+        or a batch sub-record start — at or above :meth:`oldest_lsn`
+        (reclaimed records cannot be scanned).  Stops silently at a
+        torn tail of the live segment; raises
         :class:`CorruptRecordError` if valid data follows corruption or
         a sealed segment is damaged (mid-log damage).
         """
@@ -473,17 +545,31 @@ class WriteAheadLog:
             if not last and segs[position + 1][1] <= from_lsn:
                 continue  # segment wholly below the scan start
             data = self.disk.read(self._seg_area(index))
-            pos = SEGMENT_HEADER_SIZE + max(0, from_lsn - base)
+            lsn_base = base - SEGMENT_HEADER_SIZE
+            pos = SEGMENT_HEADER_SIZE
             while pos < len(data):
-                record, next_pos, ok = self._parse_at(data, pos)
+                if lsn_base + pos < from_lsn:
+                    # Fast-skip frames wholly below the scan start from
+                    # their headers alone (no CRC work for records the
+                    # caller already consumed).  A frame *containing*
+                    # ``from_lsn`` — a batch scanned from one of its
+                    # sub-records — is parsed in full below and its
+                    # too-early sub-records filtered out.
+                    end = self._frame_end(data, pos)
+                    if end is not None and lsn_base + end <= from_lsn:
+                        pos = end
+                        continue
+                records, next_pos, ok = self._parse_frame(data, pos, lsn_base)
                 if not ok:
-                    lsn = base + pos - SEGMENT_HEADER_SIZE
+                    lsn = lsn_base + pos
                     if not last or self._valid_record_after(data, pos + 1):
                         raise CorruptRecordError(
                             f"corrupt record at lsn {lsn} followed by valid data"
                         )
                     return
-                yield WalRecord(base + pos - SEGMENT_HEADER_SIZE, record.payload)
+                for record in records:
+                    if record.lsn >= from_lsn:
+                        yield record
                 pos = next_pos
 
     def records(self) -> list[WalRecord]:
@@ -491,33 +577,82 @@ class WriteAheadLog:
         return list(self.scan())
 
     @staticmethod
-    def _parse_at(data: bytes, pos: int) -> tuple[WalRecord | None, int, bool]:
+    def _frame_end(data: bytes, pos: int) -> int | None:
+        """End offset of the frame at ``pos`` from its header alone (no
+        CRC verification), or None if the header is unrecognisable or
+        the frame runs past the end of ``data``."""
         if pos + HEADER_SIZE > len(data):
-            return None, pos, False
+            return None
+        magic, length, _crc = _HEADER.unpack_from(data, pos)
+        if magic != _MAGIC and magic != _BATCH_MAGIC:
+            return None
+        stop = pos + HEADER_SIZE + length
+        return stop if stop <= len(data) else None
+
+    @staticmethod
+    def _parse_frame(data: bytes, pos: int,
+                     lsn_base: int = 0) -> tuple[list[WalRecord], int, bool]:
+        """Parse the frame at ``pos``: ``(records, next_pos, ok)``.
+
+        ``lsn_base`` maps a buffer offset to a stream LSN (``base -
+        SEGMENT_HEADER_SIZE`` for a segment buffer).  A classic frame
+        yields one record; a batch frame yields one per sub-frame, all
+        vouched for by the single batch CRC.  ``ok=False`` marks a
+        torn or corrupt frame — for a batch, damage anywhere drops the
+        *whole* batch, because the batch CRC cannot vouch for a prefix.
+        """
+        if pos + HEADER_SIZE > len(data):
+            return [], pos, False
         magic, length, crc = _HEADER.unpack_from(data, pos)
-        if magic != _MAGIC:
-            return None, pos, False
         start = pos + HEADER_SIZE
         stop = start + length
         if stop > len(data):
-            return None, pos, False
-        payload = data[start:stop]
-        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-            return None, pos, False
-        return WalRecord(pos, payload), stop, True
+            return [], pos, False
+        if magic == _MAGIC:
+            payload = data[start:stop]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return [], pos, False
+            return (
+                [WalRecord(lsn_base + pos, payload, end=lsn_base + stop)],
+                stop, True,
+            )
+        if magic != _BATCH_MAGIC:
+            return [], pos, False
+        body = memoryview(data)[start:stop]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            return [], pos, False
+        records: list[WalRecord] = []
+        sub = 0
+        while sub < length:
+            # A CRC-valid body can only be malformed through a software
+            # bug; treat it as damage rather than crashing the parse.
+            if sub + SUB_HEADER_SIZE > length:
+                return [], pos, False
+            (sub_len,) = _SUB_LEN.unpack_from(body, sub)
+            sub_stop = sub + SUB_HEADER_SIZE + sub_len
+            if sub_stop > length:
+                return [], pos, False
+            records.append(WalRecord(
+                lsn_base + start + sub,
+                bytes(body[sub + SUB_HEADER_SIZE:sub_stop]),
+                end=lsn_base + start + sub_stop,
+            ))
+            sub = sub_stop
+        return records, stop, True
 
     @classmethod
     def _valid_record_after(cls, data: bytes, start: int) -> bool:
-        """Is there any parseable record at/after ``start``?  Used to
+        """Is there any parseable frame at/after ``start``?  Used to
         distinguish a torn tail (expected) from mid-log corruption."""
         pos = start
         # Bound the search: corruption checks are O(n) worst case but the
-        # damaged window is normally tiny (one record).
+        # damaged window is normally tiny (one record).  Both frame
+        # magics share their first byte, so one find covers both.
         while pos + HEADER_SIZE <= len(data):
-            idx = data.find(_MAGIC, pos)
+            idx = data.find(_MAGIC_PREFIX, pos)
             if idx < 0:
                 return False
-            record, _, ok = cls._parse_at(data, idx)
+            _records, _, ok = cls._parse_frame(data, idx)
             if ok:
                 return True
             pos = idx + 1

@@ -6,6 +6,32 @@ record is a single log append, a transaction that touches several RMs
 (the server's ``Dequeue; update database; Enqueue`` of Section 5) is
 atomic without any intra-node commit protocol.
 
+Per-transaction batching
+------------------------
+
+``upd`` records are not appended to the WAL one by one: each
+transaction accumulates them in a private buffer — encoded directly
+into the batch body via :func:`repro.storage.codec.encode_into`, so a
+record is framed exactly once and never copied between buffers — and
+the commit (or prepare) publishes buffer + outcome record as **one**
+WAL batch append (:meth:`~repro.storage.wal.WriteAheadLog.append_batch`):
+one log-lock acquisition, one CRC pass, one disk write, then the usual
+single (group-shared) force.  An abort simply drops the buffer — the
+seed's abort-by-omission, made literal.  Correctness is unchanged:
+
+* A buffered transaction has no WAL records, so a concurrent fuzzy
+  checkpoint's begin marker lands *below* the batch; the transaction's
+  first LSN is published under the WAL lock during the batch append
+  (exactly as the seed published it during the first ``upd`` append),
+  so the floor protocol in :meth:`LogManager.recovery_floor` holds
+  verbatim.
+* A torn batch is dropped whole at recovery, which is indistinguishable
+  from the seed losing the same transaction's unflushed ``upd`` + ``cmt``
+  records: the commit never returned, so the transaction must die.
+* Crash points ``wal.<area>.batch_append.before`` / ``.after`` bracket
+  the publish for the chaos harness (before: everything volatile;
+  after: appended and forced — the transaction must survive recovery).
+
 Record kinds
 ------------
 
@@ -60,17 +86,18 @@ resolves the branch (:meth:`unpin`).
 
 from __future__ import annotations
 
+import struct
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.errors import CheckpointError
 from repro.obs import Observability
-from repro.sim.crash import FaultInjector
-from repro.storage.codec import decode, encode
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.storage.codec import _encode_into, _write_varint, decode, encode
 from repro.storage.disk import Disk
 from repro.storage.groupcommit import GroupCommitConfig, GroupCommitter
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import SUB_HEADER_SIZE, WriteAheadLog
 
 KIND_UPDATE = "upd"
 KIND_COMMIT = "cmt"
@@ -86,6 +113,87 @@ _CKPT_KINDS = (KIND_BEGIN_CKPT, KIND_END_CKPT)
 
 _CHECKPOINT_AREA_SUFFIX = ".ckpt"
 _CHECKPOINT_VERSION = 2
+
+#: sub-frame length prefix of a WAL batch body (see ``append_batch``)
+_SUB_LEN = struct.Struct(">I")
+_SUB_LEN_ZERO = b"\x00" * SUB_HEADER_SIZE
+
+
+def _record_envelope(kind: str) -> bytes:
+    """Codec bytes of ``{"k": kind, "t": …`` up to (excluding) the
+    txn-id value — the constant prefix of every record of ``kind``."""
+    raw = kind.encode("utf-8")
+    return b"M\x04\x01kS" + bytes((len(raw),)) + raw + b"\x01t"
+
+
+#: per-kind constant envelope prefixes (every record is the codec dict
+#: ``{"k": kind, "t": txn_id, "rm": rm, "d": data}``; kind comes from a
+#: closed set, so its prefix is precomputable)
+_ENVELOPES = {
+    kind: _record_envelope(kind)
+    for kind in (KIND_UPDATE, KIND_COMMIT, KIND_ABORT, KIND_AUTO,
+                 KIND_PREPARE, KIND_OUTCOME, KIND_BEGIN_CKPT, KIND_END_CKPT)
+}
+
+#: codec bytes of the str-keyed entries ``"rm": <name>`` keyed by name —
+#: resource-manager names are one-per-queue/table, so the tiny closed
+#: set amortizes to zero; capped as a safety valve against unbounded
+#: dynamically-named areas
+_RM_ENTRIES: dict[str, bytes] = {}
+_RM_CACHE_CAP = 1024
+
+
+def _rm_entry(rm: str) -> bytes:
+    entry = _RM_ENTRIES.get(rm)
+    if entry is None:
+        out = bytearray(b"\x02rm")
+        _encode_into(out, rm)
+        entry = bytes(out)
+        if len(_RM_ENTRIES) < _RM_CACHE_CAP:
+            _RM_ENTRIES[rm] = entry
+    return entry
+
+
+class _TxnBuffer:
+    """One transaction's pending ``upd`` records, pre-framed as a WAL
+    batch body: records are encoded straight into ``body`` behind a
+    length placeholder that is patched in place — no per-record bytes
+    object, no re-framing at publish time.
+
+    The record envelope (kind / txn id / rm keys) is written from
+    precomputed byte skeletons — byte-identical to the generic codec
+    encoding of the envelope dict, but without building the dict or
+    walking it generically (this is the hottest encode in the system:
+    every update of every transaction passes through here)."""
+
+    __slots__ = ("body", "offsets")
+
+    def __init__(self) -> None:
+        self.body = bytearray()
+        self.offsets: list[int] = []
+
+    def add(self, kind: str, txn_id: int | None, rm: str | None,
+            data: dict[str, Any]) -> int:
+        """Sub-frame and append one record; returns its index."""
+        body = self.body
+        start = len(body)
+        self.offsets.append(start)
+        body += _SUB_LEN_ZERO
+        body += _ENVELOPES[kind]
+        if txn_id is None:
+            body += b"N"
+        else:
+            zig = txn_id + txn_id if txn_id >= 0 else -txn_id - txn_id - 1
+            body += b"I"
+            if zig < 0x80:
+                body.append(zig)
+            else:
+                _write_varint(body, zig)
+        body += _rm_entry(rm) if rm is not None else b"\x02rmN"
+        body += b"\x01d"
+        _encode_into(body, data)
+        _SUB_LEN.pack_into(body, start, len(body) - start - SUB_HEADER_SIZE)
+        return len(self.offsets) - 1
 
 
 @dataclass(frozen=True)
@@ -135,7 +243,13 @@ class LogManager:
             if self.group_commit.enabled
             else None
         )
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._point_batch_before = f"wal.{area}.batch_append.before"
+        self._point_batch_after = f"wal.{area}.batch_append.after"
         self._lock = threading.Lock()
+        #: per-transaction batch buffers: ``upd`` records parked here
+        #: until the commit/prepare publishes them as one WAL batch
+        self._buffers: dict[int, _TxnBuffer] = {}
         #: first LSN of every transaction with records in the live log
         self._txn_first: dict[int, int] = {}
         #: GC pins: floor contributions that outlive transactions
@@ -172,10 +286,48 @@ class LogManager:
             return self.group.append_sync(payload, on_lsn=on_lsn)
         return self.wal.append_flush(payload, on_lsn=on_lsn)
 
+    def _publish(self, buf: _TxnBuffer, kind: str, txn_id: int,
+                 data: dict[str, Any]) -> int:
+        """Append ``buf``'s records plus the closing ``kind`` record as
+        one forced WAL batch; returns the closing record's LSN.
+
+        The transaction's first LSN is published under the WAL lock
+        during the append — the same window the seed used for the first
+        ``upd`` append — so a concurrent fuzzy checkpoint either sees
+        the entry or has its begin marker below the whole batch.
+        """
+        buf.add(kind, txn_id, None, data)
+
+        def on_lsns(lsns: list[int], txn_id: int = txn_id) -> None:
+            with self._lock:
+                self._txn_first.setdefault(txn_id, lsns[0])
+
+        self.injector.reach(self._point_batch_before)
+        if self.group is not None:
+            lsns = self.group.append_batch_sync(
+                buf.body, buf.offsets, on_lsns=on_lsns
+            )
+        else:
+            lsns = self.wal.append_batch(buf.body, buf.offsets, on_lsns=on_lsns)
+            self.wal.flush()
+        self.injector.reach(self._point_batch_after)
+        return lsns[-1]
+
+    def _take_buffer(self, txn_id: int) -> _TxnBuffer | None:
+        with self._lock:
+            return self._buffers.pop(txn_id, None)
+
     def log_update(self, txn_id: int, rm: str, data: dict[str, Any]) -> int:
-        """Buffered redo record; durability comes with the commit flush."""
+        """Buffer one redo record in the transaction's batch; it reaches
+        the WAL with the commit/prepare publish (durability still comes
+        with the commit flush).  Returns the record's index within the
+        batch — its LSN exists only once the batch is published."""
         self.update_records += 1
-        return self._append(KIND_UPDATE, txn_id, rm, data, flush=False)
+        with self._lock:
+            buf = self._buffers.get(txn_id)
+            if buf is None:
+                buf = self._buffers[txn_id] = _TxnBuffer()
+            return buf.add(KIND_UPDATE, txn_id, rm, data)
 
     def log_auto(self, rm: str, data: dict[str, Any],
                  on_lsn: Callable[[int], None] | None = None) -> int:
@@ -189,18 +341,27 @@ class LogManager:
         return self._append(KIND_AUTO, None, rm, data, flush=True, on_lsn=on_lsn)
 
     def log_commit(self, txn_id: int) -> int:
-        """Force-at-commit: the commit record and everything before it
-        become durable together."""
+        """Force-at-commit: the transaction's buffered updates and its
+        commit record become durable together, as one batch append and
+        one (group-shared) flush."""
         self.commit_records += 1
-        return self._append(KIND_COMMIT, txn_id, None, {}, flush=True)
+        buf = self._take_buffer(txn_id)
+        if buf is None:
+            return self._append(KIND_COMMIT, txn_id, None, {}, flush=True)
+        return self._publish(buf, KIND_COMMIT, txn_id, {})
 
     def log_abort(self, txn_id: int, reason: str = "") -> int:
+        # Abort-by-omission, literally: the buffered updates never
+        # reach the WAL.  The advisory ``abt`` record still does.
+        self._take_buffer(txn_id)
         return self._append(KIND_ABORT, txn_id, None, {"reason": reason}, flush=False)
 
     def log_prepare(self, txn_id: int, global_id: str, locks: list[str]) -> int:
-        return self._append(
-            KIND_PREPARE, txn_id, None, {"gid": global_id, "locks": locks}, flush=True
-        )
+        data = {"gid": global_id, "locks": locks}
+        buf = self._take_buffer(txn_id)
+        if buf is None:
+            return self._append(KIND_PREPARE, txn_id, None, data, flush=True)
+        return self._publish(buf, KIND_PREPARE, txn_id, data)
 
     def log_outcome(self, txn_id: int, decision: str) -> int:
         return self._append(KIND_OUTCOME, txn_id, None, {"decision": decision}, flush=True)
@@ -209,9 +370,11 @@ class LogManager:
 
     def forget_txn(self, txn_id: int) -> None:
         """Drop the first-LSN entry of a finished transaction, letting
-        future checkpoints advance their recovery floor past it."""
+        future checkpoints advance their recovery floor past it (and
+        discard any batch buffer it left behind)."""
         with self._lock:
             self._txn_first.pop(txn_id, None)
+            self._buffers.pop(txn_id, None)
 
     def txn_first_lsns(self) -> dict[int, int]:
         """First LSN per transaction with live records (copy)."""

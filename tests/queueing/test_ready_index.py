@@ -1,0 +1,231 @@
+"""Ready-index / header-index selection equivalence.
+
+The hot-path dequeue reads a heap of AVAILABLE slots (``_select_ready``)
+and equality selectors over indexed headers read the header hash index
+(``_select_indexed``); the seed behaviour is the full ordered scan
+(``_select_scan``).  These tests pin the load-bearing claim of the
+optimization: **every path selects exactly the element the scan would
+have selected**, for any interleaving of enqueues, transactional
+dequeues, aborts, kills, and crash/restarts, in both dequeue modes.
+
+The property test runs the same operation script against two
+repositories — one with the indexes live, one with selection forced
+through the seed scan — and asserts the dequeue outcomes (element
+identity, QueueEmpty, ElementLockedError) stay in lockstep, including
+after recovery rebuilds the indexes.
+"""
+
+from __future__ import annotations
+
+import types
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ElementLockedError, KillFailedError, QueueEmpty
+from repro.queueing.queue import DequeueMode, RecoverableQueue
+from repro.queueing.repository import QueueRepository
+from repro.queueing.selectors import by_header
+from repro.storage.disk import MemDisk
+
+RTYPES = ("alpha", "beta", "gamma")
+
+
+def _force_scan(queue: RecoverableQueue) -> None:
+    """Route every selection of ``queue`` through the seed scan."""
+    queue._select_slot = types.MethodType(  # type: ignore[method-assign]
+        lambda self, txn, selector: RecoverableQueue._select_scan(
+            self, txn, selector
+        ),
+        queue,
+    )
+
+
+class _Sys:
+    """One repository + queue under the scripted workload."""
+
+    def __init__(self, name: str, mode: str, force_scan: bool):
+        self.disk = MemDisk()
+        self.name = name
+        self.mode = mode
+        self.force_scan = force_scan
+        self.open_txns: list = []
+        self.repo: QueueRepository
+        self.q: RecoverableQueue
+        self._open(fresh=True)
+
+    def _open(self, fresh: bool) -> None:
+        self.repo = QueueRepository(self.name, self.disk)
+        if fresh:
+            self.q = self.repo.create_queue(
+                "q", mode=DequeueMode(self.mode), index_headers=("rid",)
+            )
+        else:
+            self.q = self.repo.get_queue("q")
+        if self.force_scan:
+            _force_scan(self.q)
+
+    def crash(self) -> None:
+        self.open_txns.clear()
+        self.disk.crash()
+        self.disk.recover()
+        self._open(fresh=False)
+
+    def enqueue(self, priority: int, rtype: str, commit: bool):
+        txn = self.repo.tm.begin()
+        eid = self.q.enqueue(
+            txn, f"body-{rtype}", priority=priority, headers={"rid": rtype}
+        )
+        if commit:
+            self.repo.tm.commit(txn)
+        else:
+            self.repo.tm.abort(txn)
+        return eid if commit else None
+
+    def dequeue(self, selector_rtype: str | None, outcome: str):
+        """Returns a comparable outcome tag for the lockstep assert."""
+        selector = (
+            None if selector_rtype is None else by_header("rid", selector_rtype)
+        )
+        txn = self.repo.tm.begin()
+        try:
+            element = self.q.dequeue(txn, selector=selector)
+        except QueueEmpty:
+            self.repo.tm.abort(txn)
+            return ("empty",)
+        except ElementLockedError:
+            self.repo.tm.abort(txn)
+            return ("locked",)
+        if outcome == "commit":
+            self.repo.tm.commit(txn)
+        elif outcome == "abort":
+            self.repo.tm.abort(txn)
+        else:  # hold: leaves the element DEQ_PENDING
+            self.open_txns.append(txn)
+        return ("ok", element.eid, element.body)
+
+    def close(self, index: int, commit: bool):
+        if not self.open_txns:
+            return ("none",)
+        txn = self.open_txns.pop(index % len(self.open_txns))
+        try:
+            if commit:
+                self.repo.tm.commit(txn)
+            else:
+                self.repo.tm.abort(txn)
+        except Exception as exc:  # externally aborted by a kill
+            return ("err", type(exc).__name__)
+        return ("closed", commit)
+
+    def kill(self, eid: int):
+        try:
+            return ("kill", self.q.kill_element(eid))
+        except KillFailedError:
+            return ("killfail",)
+
+    def drain(self) -> list[tuple[int, object]]:
+        for txn in self.open_txns:
+            try:
+                self.repo.tm.abort(txn)
+            except Exception:
+                pass
+        self.open_txns.clear()
+        order = []
+        while True:
+            txn = self.repo.tm.begin()
+            try:
+                element = self.q.dequeue(txn)
+            except QueueEmpty:
+                self.repo.tm.abort(txn)
+                return order
+            self.repo.tm.commit(txn)
+            order.append((element.eid, element.body))
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("enq"), st.integers(0, 3), st.sampled_from(RTYPES),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("deq"),
+            st.sampled_from([None, *RTYPES]),
+            st.sampled_from(["commit", "abort", "hold"]),
+        ),
+        st.tuples(st.just("close"), st.integers(0, 5), st.booleans()),
+        st.tuples(st.just("kill"), st.integers(1, 12)),
+        st.tuples(st.just("crash")),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops, mode=st.sampled_from(["skip_locked", "strict"]))
+def test_indexed_selection_matches_seed_scan(ops, mode):
+    fast = _Sys("f", mode, force_scan=False)
+    ref = _Sys("r", mode, force_scan=True)
+    for op in ops:
+        if op[0] == "enq":
+            _, priority, rtype, commit = op
+            assert fast.enqueue(priority, rtype, commit) == ref.enqueue(
+                priority, rtype, commit
+            )
+        elif op[0] == "deq":
+            _, rtype, outcome = op
+            assert fast.dequeue(rtype, outcome) == ref.dequeue(rtype, outcome)
+        elif op[0] == "close":
+            _, index, commit = op
+            assert fast.close(index, commit) == ref.close(index, commit)
+        elif op[0] == "kill":
+            assert fast.kill(op[1]) == ref.kill(op[1])
+        else:
+            fast.crash()
+            ref.crash()
+    # Full remaining order is byte-identical, across the restart that
+    # rebuilt the fast system's ready index from the recovered state.
+    fast.crash()
+    ref.crash()
+    assert fast.drain() == ref.drain()
+
+
+class TestIndexedSelectorPath:
+    def _repo(self):
+        repo = QueueRepository("ix", MemDisk())
+        q = repo.create_queue("q", index_headers=("rid",))
+        return repo, q
+
+    def test_indexed_selector_returns_same_element_as_scan(self):
+        repo, q = self._repo()
+        with repo.tm.transaction() as txn:
+            for i, rtype in enumerate(["beta", "alpha", "beta", "alpha"]):
+                q.enqueue(txn, i, priority=i % 2, headers={"rid": rtype})
+        selector = by_header("rid", "alpha")
+        txn = repo.tm.begin()
+        via_index = q.dequeue(txn, selector=selector)
+        repo.tm.abort(txn)
+        _force_scan(q)
+        txn = repo.tm.begin()
+        via_scan = q.dequeue(txn, selector=selector)
+        repo.tm.abort(txn)
+        assert (via_index.eid, via_index.body) == (via_scan.eid, via_scan.body)
+
+    def test_unindexed_header_selector_falls_back_to_scan(self):
+        repo, q = self._repo()
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x", headers={"rid": "a", "other": "z"})
+        with repo.tm.transaction() as txn:
+            element = q.dequeue(txn, selector=by_header("other", "z"))
+        assert element.body == "x"
+
+    def test_unhashable_selector_value_matches_nothing(self):
+        repo, q = self._repo()
+        with repo.tm.transaction() as txn:
+            q.enqueue(txn, "x", headers={"rid": "a"})
+        txn = repo.tm.begin()
+        try:
+            q.dequeue(txn, selector=by_header("rid", ["un", "hashable"]))
+            raise AssertionError("expected QueueEmpty")
+        except QueueEmpty:
+            repo.tm.abort(txn)

@@ -9,6 +9,7 @@ from repro.storage.disk import MemDisk
 from repro.storage.wal import (
     HEADER_SIZE,
     SEGMENT_HEADER_SIZE,
+    SUB_HEADER_SIZE,
     WalRecord,
     WriteAheadLog,
 )
@@ -110,19 +111,143 @@ class TestAppendMany:
         wal.flush()
         assert [r.lsn for r in wal.records()] == [first, *batch, last]
 
-    def test_torn_tail_loses_batch_suffix_only(self):
-        # A tear inside a batch behaves like a tear between appends:
-        # the intact prefix of the batch survives.  The live segment's
-        # buffer starts with its 16-byte header (buffered at creation),
-        # so the tear offset counts that too.
+    def test_torn_tail_drops_whole_batch(self):
+        # A tear anywhere inside a batch frame drops the whole batch:
+        # the single batch CRC cannot vouch for a prefix.  That is the
+        # contract batched commits rely on — the batch is one
+        # transaction's records ending in its commit record, so an
+        # acknowledged (flushed) commit implies the whole batch is
+        # durable, and a torn batch was never acknowledged.  The live
+        # segment's buffer starts with its 16-byte header (buffered at
+        # creation), so the tear offset counts that too.
         disk = MemDisk(
-            torn_tail_bytes=SEGMENT_HEADER_SIZE + HEADER_SIZE + 2 + 3
-        )  # header + "r0" + 3 bytes
+            torn_tail_bytes=SEGMENT_HEADER_SIZE + HEADER_SIZE
+            + SUB_HEADER_SIZE + 2 + 3
+        )  # seg header + batch header + sub-framed "r0" + 3 bytes of r1
         wal = WriteAheadLog(disk)
         wal.append_many([b"r0", b"r1", b"r2"])
         disk.crash()
         disk.recover()
-        assert [r.payload for r in WriteAheadLog(disk).records()] == [b"r0"]
+        assert WriteAheadLog(disk).records() == []
+
+    def test_flushed_batch_survives_crash_whole(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append_many([b"r0", b"r1", b"r2"])
+        wal.flush()
+        disk.crash()
+        disk.recover()
+        payloads = [r.payload for r in WriteAheadLog(disk).records()]
+        assert payloads == [b"r0", b"r1", b"r2"]
+
+    def test_batch_is_one_frame_with_one_crc(self):
+        # Physical layout: one batch magic, no per-record classic magic.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append_many([b"aaa", b"bbb"])
+        raw = disk.read(wal.live_area)
+        body = raw[SEGMENT_HEADER_SIZE:]
+        assert body[:2] == b"\xC4\x52"
+        assert body.count(b"\xC4\x51") == 0
+
+    def test_single_record_batch_uses_classic_frame(self):
+        # Records that travel alone keep their own CRC frame.
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        (lsn,) = wal.append_many([b"solo"])
+        wal.flush()
+        raw = disk.read(wal.live_area)
+        assert raw[SEGMENT_HEADER_SIZE:SEGMENT_HEADER_SIZE + 2] == b"\xC4\x51"
+        assert wal.records() == [WalRecord(lsn, b"solo")]
+
+    def test_scan_from_mid_batch_sub_record(self):
+        wal = WriteAheadLog(MemDisk())
+        lsns = wal.append_many([b"zero", b"one", b"two"])
+        wal.flush()
+        assert [r.payload for r in wal.scan(from_lsn=lsns[1])] == [
+            b"one", b"two"
+        ]
+        assert [r.payload for r in wal.scan(from_lsn=lsns[2])] == [b"two"]
+
+    def test_scan_from_lsn_after_batch(self):
+        wal = WriteAheadLog(MemDisk())
+        wal.append_many([b"a", b"b"])
+        lsn = wal.append(b"after")
+        wal.flush()
+        assert [r.payload for r in wal.scan(from_lsn=lsn)] == [b"after"]
+
+    def test_empty_payloads_in_batch(self):
+        wal = WriteAheadLog(MemDisk())
+        lsns = wal.append_many([b"", b"x", b""])
+        wal.flush()
+        records = wal.records()
+        assert [r.payload for r in records] == [b"", b"x", b""]
+        assert [r.lsn for r in records] == lsns
+
+    def test_restart_resumes_after_batch(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append_many([b"b0", b"b1"])
+        wal.flush()
+        end = wal.next_lsn
+        wal2 = WriteAheadLog(disk)
+        assert wal2.next_lsn == end
+        lsn = wal2.append(b"post")
+        wal2.flush()
+        assert lsn == end
+        assert [r.payload for r in wal2.records()] == [b"b0", b"b1", b"post"]
+
+    def test_corrupt_batch_followed_by_valid_data_raises(self):
+        disk = MemDisk()
+        wal = WriteAheadLog(disk)
+        wal.append_many([b"victim-0", b"victim-1"])
+        wal.append(b"valid after")
+        wal.flush()
+        raw = bytearray(disk.read(wal.live_area))
+        raw[SEGMENT_HEADER_SIZE + HEADER_SIZE + SUB_HEADER_SIZE] ^= 0xFF
+        disk.replace(wal.live_area, bytes(raw))
+        with pytest.raises(CorruptRecordError):
+            list(WriteAheadLog(disk).scan())
+
+
+class TestAppendBatch:
+    def test_preframed_body_round_trip(self):
+        import struct
+
+        wal = WriteAheadLog(MemDisk())
+        payloads = [b"alpha", b"bz", b"gamma-3"]
+        body = bytearray()
+        offsets = []
+        for payload in payloads:
+            offsets.append(len(body))
+            body += struct.pack(">I", len(payload))
+            body += payload
+        seen: list[list[int]] = []
+        lsns = wal.append_batch(body, offsets, on_lsns=seen.append)
+        wal.flush()
+        assert seen == [lsns]
+        records = wal.records()
+        assert [r.payload for r in records] == payloads
+        assert [r.lsn for r in records] == lsns
+        assert wal.next_lsn == records[-1].next_lsn
+
+    def test_empty_batch_is_noop(self):
+        wal = WriteAheadLog(MemDisk())
+        assert wal.append_batch(b"", []) == []
+        assert wal.next_lsn == 0
+
+    def test_on_lsns_ordered_before_later_appends(self):
+        # The hook runs under the log lock: the LSNs it publishes are
+        # strictly below anything appended afterwards.
+        wal = WriteAheadLog(MemDisk())
+        captured: list[int] = []
+        wal.append_many([b"a", b"b"])  # no hook: just occupy LSN space
+        import struct
+
+        body = struct.pack(">I", 1) + b"x" + struct.pack(">I", 1) + b"y"
+        wal.append_batch(body, [0, 5], on_lsns=captured.extend)
+        after = wal.append(b"later")
+        assert captured and max(captured) < after
 
 
 class TestFlushUntil:
