@@ -47,6 +47,15 @@ record ``encode``/``decode`` versus the batched ``encode_into`` reused
 buffer and the ``memoryview``-based ``decode_from`` used by batched
 WAL appends and recovery replay.  Writes ``BENCH_codec.json``.
 
+**failover** (``--replicate``): the committer workload unreplicated,
+with a warm standby attached (WAL log shipping rides along with every
+commit force — the shipping-overhead number), and with a mid-workload
+failover to the standby.  The failover cell times promotion plus the
+promoted image's recovery boot (the RTO), verifies every acknowledged
+pre-failover commit survived on the promoted node, and its txn/s
+includes the outage window (steady-state vs during-failover
+throughput).  Writes ``BENCH_failover.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # group commit
@@ -55,6 +64,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --profile  # obs overhead
     PYTHONPATH=src python benchmarks/run_bench.py --dequeue-mode both
     PYTHONPATH=src python benchmarks/run_bench.py --codec    # codec micro
+    PYTHONPATH=src python benchmarks/run_bench.py --replicate # failover/RTO
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -74,6 +84,7 @@ from repro.queueing.placement import PinnedPlacement
 from repro.queueing.queue import DequeueMode
 from repro.queueing.repository import QueueRepository
 from repro.queueing.sharded import ShardedRepository
+from repro.replication import ReplicaSet
 from repro.storage.disk import FileDisk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
 
@@ -339,6 +350,146 @@ def run_checkpoint_scenario(
         }
     finally:
         tmpdir.cleanup()
+
+
+def run_failover_scenario(phase: str, threads_n: int, txns_n: int) -> dict:
+    """One replication-benchmark cell on file-backed disks.
+
+    ``phase="baseline"`` runs the committer workload unreplicated;
+    ``phase="replicated"`` attaches a warm standby (log shipping rides
+    along with every commit force) to measure the shipping overhead;
+    ``phase="failover"`` runs half the workload, fails over to the
+    standby — timing promotion plus the promoted image's recovery boot,
+    which is the RTO — verifies that every pre-failover commit survived
+    on the promoted node, and finishes the workload there.  The
+    failover cell's txn/s includes the RTO outage window, so comparing
+    it against the replicated cell is the steady-state vs
+    during-failover throughput number.
+    """
+    obs = Observability()
+    tmp_primary = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    tmp_standby = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    pad = "x" * 64
+    disks: list[FileDisk] = []
+    try:
+        disk = FileDisk(tmp_primary.name)
+        disks.append(disk)
+        repo = ShardedRepository(
+            "bench", [disk], obs=obs,
+            group_commit=GroupCommitConfig(enabled=False),
+        )
+        table = repo.create_table("accounts")
+        replicas = None
+        if phase != "baseline":
+            standby_disk = FileDisk(tmp_standby.name)
+            disks.append(standby_disk)
+            replicas = ReplicaSet(repo, standby_disks=[standby_disk], obs=obs)
+
+        def run_burst(repo, table, count, offset) -> float:
+            errors: list[BaseException] = []
+
+            def committer(tid: int) -> None:
+                try:
+                    for i in range(offset, offset + count):
+                        with repo.tm.transaction() as txn:
+                            table.put(txn, f"k{tid}-{i}", f"{i}:{pad}")
+                except BaseException as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=committer, args=(t,))
+                for t in range(threads_n)
+            ]
+            started = time.perf_counter()
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            if errors:
+                raise errors[0]
+            return time.perf_counter() - started
+
+        failovers = 0
+        rto_seconds = 0.0
+        commits_before_failover = 0
+        recovered = 0
+        if phase == "failover":
+            first = txns_n // 2
+            elapsed = run_burst(repo, table, first, 0)
+            commits_before_failover = threads_n * first
+            started = time.perf_counter()
+            promoted = replicas.fail_over(0, reason="bench.kill")
+            reopened = ShardedRepository(
+                "bench", [promoted], obs=Observability(),
+                group_commit=GroupCommitConfig(enabled=False),
+            )
+            rto_seconds = time.perf_counter() - started
+            failovers = 1
+            new_table = reopened.create_table("accounts")
+            with reopened.tm.transaction() as txn:
+                for tid in range(threads_n):
+                    for i in range(first):
+                        if new_table.get(txn, f"k{tid}-{i}") is not None:
+                            recovered += 1
+            elapsed += rto_seconds
+            elapsed += run_burst(reopened, new_table, txns_n - first, first)
+            commits = threads_n * txns_n
+        else:
+            elapsed = run_burst(repo, table, txns_n, 0)
+            commits = threads_n * txns_n
+            if replicas is not None:
+                replicas.pump()
+                replicas.detach()
+
+        shipped = _counter_total(
+            obs.metrics.snapshot(), "replication_shipped_bytes_total"
+        )
+        lag = sum(replicas.lag_bytes()) if replicas is not None else 0
+        return {
+            "phase": phase,
+            "threads": threads_n,
+            "txns_per_thread": txns_n,
+            "commits": commits,
+            "shipped_bytes": shipped,
+            "lag_bytes": lag,
+            "failovers": failovers,
+            "rto_seconds": rto_seconds,
+            "commits_before_failover": commits_before_failover,
+            "recovered_commits": recovered,
+            "txn_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        for d in disks:
+            d.close()
+        tmp_primary.cleanup()
+        tmp_standby.cleanup()
+
+
+def run_failover(args: argparse.Namespace) -> dict:
+    threads_n = args.threads
+    txns_n = args.txns
+    if args.quick:
+        threads_n = min(threads_n, 4)
+        txns_n = min(txns_n, 40)
+    scenarios = []
+    for phase in ("baseline", "replicated", "failover"):
+        print(f"running failover/{phase} "
+              f"({threads_n} threads x {txns_n} txns)...", flush=True)
+        row = run_failover_scenario(phase, threads_n, txns_n)
+        print(f"  {row['txn_per_sec']:.0f} txn/s, "
+              f"{row['shipped_bytes']} bytes shipped, lag {row['lag_bytes']}"
+              + (f", RTO {row['rto_seconds'] * 1000:.1f} ms, "
+                 f"{row['recovered_commits']}/{row['commits_before_failover']} "
+                 "pre-failover commits recovered"
+                 if row["failovers"] else ""))
+        scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "failover",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
 
 
 def run_hotpath_scenario(
@@ -800,6 +951,21 @@ _HOTPATH_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_FAILOVER_FIELDS = {
+    "phase": str,
+    "threads": int,
+    "txns_per_thread": int,
+    "commits": int,
+    "shipped_bytes": int,
+    "lag_bytes": int,
+    "failovers": int,
+    "rto_seconds": (int, float),
+    "commits_before_failover": int,
+    "recovered_commits": int,
+    "txn_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
 _CODEC_FIELDS = {
     "op": str,
     "variant": str,
@@ -818,6 +984,7 @@ _SCHEMAS = {
     "obs_overhead": _OBS_OVERHEAD_FIELDS,
     "hotpath": _HOTPATH_FIELDS,
     "codec": _CODEC_FIELDS,
+    "failover": _FAILOVER_FIELDS,
 }
 
 
@@ -908,6 +1075,47 @@ def _check_hotpath_row(index: int, row: dict) -> list[str]:
     return errors
 
 
+def _check_failover_row(index: int, row: dict) -> list[str]:
+    # The acceptance invariants are deterministic (not perf numbers),
+    # so they gate quick runs too: the baseline must not ship, a
+    # replicated run must ship and end drained, and a failover must
+    # recover every commit acknowledged before the kill — the
+    # no-acknowledged-request-lost half of the promotion guarantee.
+    errors: list[str] = []
+    phase = row.get("phase")
+    if phase not in ("baseline", "replicated", "failover"):
+        errors.append(
+            f"scenarios[{index}].phase must be baseline|replicated|failover"
+        )
+    if phase == "baseline":
+        if row.get("shipped_bytes") or row.get("failovers"):
+            errors.append(
+                f"scenarios[{index}]: baseline run reports replication state"
+            )
+    elif phase == "replicated":
+        if not row.get("shipped_bytes"):
+            errors.append(
+                f"scenarios[{index}]: replicated run shipped no WAL bytes"
+            )
+        if row.get("lag_bytes"):
+            errors.append(
+                f"scenarios[{index}]: standby still lags "
+                f"{row['lag_bytes']} bytes after the workload drained"
+            )
+    elif phase == "failover":
+        if row.get("failovers") != 1:
+            errors.append(f"scenarios[{index}]: expected exactly one failover")
+        if not row.get("rto_seconds"):
+            errors.append(f"scenarios[{index}]: failover reports zero RTO")
+        if row.get("recovered_commits") != row.get("commits_before_failover"):
+            errors.append(
+                f"scenarios[{index}]: promoted node recovered "
+                f"{row.get('recovered_commits')} of "
+                f"{row.get('commits_before_failover')} acknowledged commits"
+            )
+    return errors
+
+
 def _check_codec_row(index: int, row: dict) -> list[str]:
     errors: list[str] = []
     if row.get("op") not in ("encode", "decode"):
@@ -985,6 +1193,7 @@ _ROW_CHECKS = {
     "obs_overhead": _check_obs_overhead_row,
     "hotpath": _check_hotpath_row,
     "codec": _check_codec_row,
+    "failover": _check_failover_row,
 }
 
 
@@ -1067,6 +1276,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--codec", action="store_true",
                         help="run the codec microbenchmark (per-record vs "
                              "batched encode/decode)")
+    parser.add_argument("--replicate", action="store_true",
+                        help="run the replication/failover benchmark "
+                             "(shipping overhead, RTO, steady vs "
+                             "during-failover throughput)")
     parser.add_argument("--metrics-out", default="BENCH_obs_metrics.json",
                         help="metrics-snapshot file for --profile "
                              "(default BENCH_obs_metrics.json)")
@@ -1078,10 +1291,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
     modes = (args.shards, args.checkpoint_bytes, args.profile,
-             args.dequeue_mode, args.codec)
+             args.dequeue_mode, args.codec, args.replicate)
     if sum(map(bool, modes)) > 1:
         parser.error("--shards, --checkpoint-bytes, --profile, "
-                     "--dequeue-mode and --codec are mutually exclusive")
+                     "--dequeue-mode, --codec and --replicate are "
+                     "mutually exclusive")
     if args.out is None:
         if args.shards:
             args.out = "BENCH_sharding.json"
@@ -1095,6 +1309,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.metrics_out = "BENCH_hotpath_metrics.json"
         elif args.codec:
             args.out = "BENCH_codec.json"
+        elif args.replicate:
+            args.out = "BENCH_failover.json"
         else:
             args.out = "BENCH_groupcommit.json"
 
@@ -1119,6 +1335,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_hotpath(args)
     elif args.codec:
         doc = run_codec(args)
+    elif args.replicate:
+        doc = run_failover(args)
     else:
         doc = run(args)
     errors = validate(doc)

@@ -35,6 +35,7 @@ def _build_config(args: argparse.Namespace) -> ChaosConfig:
         shards=args.shards,
         checkpoint_interval_bytes=args.checkpoint_bytes,
         flight_dir=args.flight_dir,
+        replicate=args.replicate,
     )
 
 
@@ -65,6 +66,11 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         help="run a byte-triggered fuzzy checkpointer during "
                              "each episode (polled every step) and add the "
                              "ckpt.* crash points to the sampler (default off)")
+    parser.add_argument("--replicate", action="store_true", default=False,
+                        help="attach a warm standby + log shipper to every "
+                             "shard and add the node.kill / failover / "
+                             "standby.lag fault family to the sampler "
+                             "(default off)")
     parser.add_argument("--flight-dir", default=None,
                         help="write flight-recorder JSONL dumps for failing "
                              "episodes into this directory (default off)")
@@ -158,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
                 "shards": config.shards,
                 "checkpoint_interval_bytes": config.checkpoint_interval_bytes,
                 "flight_dir": config.flight_dir,
+                "replicate": config.replicate,
             },
             "outcomes": outcomes,
             "failures": failures,

@@ -56,8 +56,11 @@ from repro.chaos.schedule import (
     KIND_CLIENT_CRASH,
     KIND_CRASH,
     KIND_DISK,
+    KIND_FAILOVER,
+    KIND_NODE_KILL,
     KIND_PARTITION,
     KIND_POISON,
+    KIND_STANDBY_LAG,
     ChaosConfig,
     ChaosSchedule,
     sample_schedule,
@@ -347,6 +350,13 @@ class ChaosEngine:
         self._poison_hits = {f.hit for f in schedule.of_kind(KIND_POISON)}
         self._handler_calls = 0
         self._partition_heal_at: int | None = None
+        #: pending standby.lag heals: (heal_step, shard index)
+        self._lag_heal: list[tuple[int, int]] = []
+        #: standby disks / controller carried across failover rebuilds
+        self._standby_carry: list | None = None
+        self._controller_carry = None
+        #: injected-fault counts of disks retired by failovers
+        self._retired_faults = 0
         self.restarts = 0
         self.steps = 0
         metrics = get_observability().metrics
@@ -400,6 +410,12 @@ class ChaosEngine:
             for i in range(self.config.servers)
         ]
         self.servers.append(system.error_reply_server("err-replier"))
+        if system.replicas is not None:
+            # Keep the carry fresh: a later rebuild (restart or another
+            # failover) must re-attach the same standby images and the
+            # same durable promotion ledger.
+            self._standby_carry = system.replicas.standby_disks()
+            self._controller_carry = system.failover_controller
         if self.config.planted_bug:
             self._apply_planted_bug(system)
         for actor in self.clients:
@@ -446,6 +462,9 @@ class ChaosEngine:
                             checkpoint_interval_bytes=(
                                 self.config.checkpoint_interval_bytes
                             ),
+                            replicate=self.config.replicate,
+                            standby_disks=self._standby_carry,
+                            replica_controller=self._controller_carry,
                         )
                     else:
                         system = TPSystem(
@@ -458,6 +477,9 @@ class ChaosEngine:
                             checkpoint_interval_bytes=(
                                 self.config.checkpoint_interval_bytes
                             ),
+                            replicate=self.config.replicate,
+                            standby_disks=self._standby_carry,
+                            replica_controller=self._controller_carry,
                         )
                 else:
                     system = self.system.reopen(injector=self.injector)
@@ -493,6 +515,72 @@ class ChaosEngine:
             faulty.revive()
         self._boot()
 
+    def _fail_over(self, target: int, planned: bool) -> None:
+        """Depose one shard's primary and boot its standby's image.
+
+        ``node.kill`` crashes the primary's device *first* — promotion
+        then proceeds from whatever the standby last acknowledged (the
+        tee buffer needs no primary reads).  A planned ``failover``
+        fences and drains the live primary before retiring it, so the
+        standby is level at the hand-off.  Either way the old device is
+        permanently retired, the promoted image is wrapped in a fresh
+        fault-free device, and the node is rebuilt through the retrying
+        boot protocol with the surviving standbys and the durable
+        promotion ledger carried across.
+        """
+        system = self.system
+        if system is None or system.replicas is None:
+            return
+        index = target % len(self.faulty_disks)
+        reason = "failover" if planned else "node.kill"
+        self.flight.record("node.failover", shard=index, planned=planned,
+                           step=self.steps, reason=reason)
+        deposed = self.faulty_disks[index]
+        if not planned and deposed.crashed is False:
+            deposed.crash()
+        promoted = system.replicas.fail_over(index, reason=reason)
+        carry = list(system.replicas.standby_disks())
+        carry[index] = None  # its image is now the primary
+        system.replicas.detach()
+        self._standby_carry = carry
+        self._controller_carry = system.failover_controller
+        # The promotion is the epoch boundary the guarantees must
+        # survive; promotion_safety() keys off this trace event.
+        self.trace.record("node.failover", f"s{index}", shard=index,
+                          planned=planned)
+        if deposed.crashed is False:
+            deposed.crash()  # a planned switchover still retires the node
+        self._retired_faults += len(deposed.injected)
+        self.faulty_disks[index] = FaultyDisk(
+            promoted, faults=[], seed=self.seed + 1000 + index, obs=self.obs,
+        )
+        self.faulty = self.faulty_disks[0]
+        self.restarts += 1
+        self._m_restarts.inc()
+        self.system = None  # the next boot is a fresh build over the
+        for faulty in self.faulty_disks:  # new disk set
+            faulty.revive()
+        self._boot()
+
+    def _start_lag(self, target: int, heal_step: int) -> None:
+        """standby.lag fault: shipping to one standby pauses (flushed
+        chunks pile up in the tee buffer) until the heal step."""
+        if self.system is None or self.system.replicas is None:
+            return
+        shard = target % len(self.faulty_disks)
+        self.system.replicas.pause(shard)
+        self._lag_heal.append((heal_step, shard))
+        self.flight.record("standby.lag", shard=shard, until=heal_step)
+
+    def _end_lag(self, shard: int) -> None:
+        if self.system is None or self.system.replicas is None:
+            return
+        shipper = self.system.replicas.shippers[shard]
+        # A restart or failover in the window replaced the shipper (a
+        # fresh one is never paused), so only resume a live pause.
+        if shipper.paused:
+            shipper.resume()
+
     # ------------------------------------------------------------------
     # Scheduler
     # ------------------------------------------------------------------
@@ -501,6 +589,9 @@ class ChaosEngine:
         if self._partition_heal_at is not None and step >= self._partition_heal_at:
             self.network.heal()
             self._partition_heal_at = None
+        for heal in [h for h in self._lag_heal if h[0] <= step]:
+            self._lag_heal.remove(heal)
+            self._end_lag(heal[1])
         for fault in self.schedule.faults:
             if fault.kind == KIND_PARTITION and fault.step == step:
                 # Unlisted endpoints stay in group 0, so the victim must
@@ -510,6 +601,12 @@ class ChaosEngine:
                 self._partition_heal_at = step + fault.duration
             elif fault.kind == KIND_CLIENT_CRASH and fault.step == step:
                 self.clients[fault.target % self.config.clients].reset()
+            elif fault.kind == KIND_NODE_KILL and fault.step == step:
+                self._fail_over(fault.target, planned=False)
+            elif fault.kind == KIND_FAILOVER and fault.step == step:
+                self._fail_over(fault.target, planned=True)
+            elif fault.kind == KIND_STANDBY_LAG and fault.step == step:
+                self._start_lag(fault.target, step + fault.duration)
 
     def _server_step(self, server) -> None:
         try:
@@ -549,6 +646,7 @@ class ChaosEngine:
                 else:
                     self._server_step(self.servers[pick - len(self.clients)])
                 self._poll_checkpointers()
+                self._poll_replication()
             except SimulatedCrash:
                 self._restart()
             except (WalPanicError, DiskCrashedError, TwoPhaseInDoubtError):
@@ -580,6 +678,15 @@ class ChaosEngine:
                 raise
             except StorageError:
                 pass
+
+    def _poll_replication(self) -> None:
+        """One shipping housekeeping pass per scheduler step:
+        checkpoint-blob mirroring, post-lag/post-restart resync and
+        standby warm replay.  Primary-side faults are absorbed inside
+        :meth:`LogShipper.poll` — a killed primary just stops feeding
+        its standby."""
+        if self.system is not None and self.system.replicas is not None:
+            self.system.replicas.pump()
 
     # ------------------------------------------------------------------
     # Episode
@@ -639,6 +746,12 @@ class ChaosEngine:
         self.network.dup_rate = 0.0
         self._poison_hits = set()
         self._partition_heal_at = None
+        self._lag_heal.clear()
+        if self.system is not None and self.system.replicas is not None:
+            for shipper in self.system.replicas.shippers:
+                while shipper.paused:
+                    shipper.resume()
+            self.system.replicas.pump()
 
     def _check(self, finished: bool) -> list[str]:
         # An unfinished (stalled) workload still must not violate the
@@ -719,7 +832,8 @@ class ChaosEngine:
             violations=violations or [],
             steps=self.steps,
             restarts=self.restarts,
-            faults_injected=sum(len(f.injected) for f in self.faulty_disks),
+            faults_injected=(self._retired_faults
+                             + sum(len(f.injected) for f in self.faulty_disks)),
             fingerprint=self.fingerprint(),
             error=error,
             flight_dump=flight_dump,

@@ -96,6 +96,19 @@ KIND_DISK = "disk"            # FaultyDisk fault at (op, hit)
 KIND_PARTITION = "partition"  # isolate one client for `duration` steps
 KIND_POISON = "poison"        # handler raises on its `hit`-th invocation
 KIND_CLIENT_CRASH = "client_crash"  # reset one client actor at `step`
+# Replication fault family (sampled only when ``config.replicate``):
+KIND_NODE_KILL = "node_kill"  # kill shard `target`'s primary at `step`
+KIND_FAILOVER = "failover"    # planned switchover of shard `target`
+KIND_STANDBY_LAG = "standby_lag"  # defer shipping for `duration` steps
+
+#: extra weights merged into the sampler's mix when ``replicate`` is
+#: on; kept out of ``ChaosConfig.weights`` so the default mix — and
+#: therefore every historic seed's schedule — stays byte-identical
+REPLICATION_WEIGHTS = {
+    KIND_NODE_KILL: 3,
+    KIND_FAILOVER: 2,
+    KIND_STANDBY_LAG: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -108,7 +121,11 @@ class ChaosFault:
     * ``partition`` — ``step`` + ``duration`` + ``target`` (client
       index);
     * ``poison`` — ``hit`` (nth handler invocation overall);
-    * ``client_crash`` — ``step`` + ``target`` (client index).
+    * ``client_crash`` — ``step`` + ``target`` (client index);
+    * ``node_kill`` / ``failover`` — ``step`` + ``target`` (**shard**
+      index: the primary to kill/depose);
+    * ``standby_lag`` — ``step`` + ``duration`` + ``target`` (shard
+      index whose shipping is deferred).
     """
 
     kind: str
@@ -161,6 +178,12 @@ class ChaosFault:
             return f"partition:c{self.target}@{self.step}+{self.duration}"
         if self.kind == KIND_POISON:
             return f"poison@handler#{self.hit}"
+        if self.kind == KIND_NODE_KILL:
+            return f"node_kill:s{self.target}@{self.step}"
+        if self.kind == KIND_FAILOVER:
+            return f"failover:s{self.target}@{self.step}"
+        if self.kind == KIND_STANDBY_LAG:
+            return f"standby_lag:s{self.target}@{self.step}+{self.duration}"
         return f"client_crash:c{self.target}@{self.step}"
 
 
@@ -210,6 +233,11 @@ class ChaosConfig:
     #: (``BATCH_APPEND_CRASH_POINTS``).  Off by default so schedules
     #: sampled by historic seeds keep their exact shape.
     batch_crash_points: bool = False
+    #: run every shard with a warm standby (``repro.replication``) and
+    #: let the sampler draw ``node_kill``/``failover``/``standby_lag``
+    #: faults (``REPLICATION_WEIGHTS`` merged into the mix).  Off by
+    #: default so historic seeds keep their exact schedules.
+    replicate: bool = False
     #: directory for flight-recorder dumps of failing episodes
     #: (``None`` keeps the ring in memory only — no files are written)
     flight_dir: str | None = None
@@ -302,10 +330,16 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
         crash_points = crash_points + CHECKPOINT_CRASH_POINTS
     if config.batch_crash_points:
         crash_points = crash_points + BATCH_APPEND_CRASH_POINTS
+    # The replication family joins the mix only when the campaign runs
+    # standbys; merging here (not in the ChaosConfig default) keeps the
+    # weighted draw — and every historic seed — byte-identical when off.
+    weights = config.weights
+    if config.replicate:
+        weights = {**config.weights, **REPLICATION_WEIGHTS}
     faults: list[ChaosFault] = []
     n = rng.randint(config.min_faults, config.max_faults)
     for _ in range(n):
-        kind = _weighted_choice(rng, config.weights)
+        kind = _weighted_choice(rng, weights)
         if kind == KIND_CRASH:
             point = rng.choice(crash_points).format(rq=config.request_queue)
             faults.append(ChaosFault(
@@ -331,6 +365,19 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
         elif kind == KIND_POISON:
             faults.append(ChaosFault(
                 kind=kind, hit=rng.randint(1, config.total_requests * 2),
+            ))
+        elif kind in (KIND_NODE_KILL, KIND_FAILOVER):
+            faults.append(ChaosFault(
+                kind=kind,
+                step=rng.randint(1, config.max_steps // 2),
+                target=rng.randrange(config.shards),
+            ))
+        elif kind == KIND_STANDBY_LAG:
+            faults.append(ChaosFault(
+                kind=kind,
+                step=rng.randint(1, config.max_steps // 2),
+                duration=rng.randint(5, 60),
+                target=rng.randrange(config.shards),
             ))
         else:  # KIND_CLIENT_CRASH
             faults.append(ChaosFault(

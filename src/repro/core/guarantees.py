@@ -134,6 +134,64 @@ class GuaranteeChecker:
         return violations
 
     # ------------------------------------------------------------------
+    # Failover safety (repro.replication)
+    # ------------------------------------------------------------------
+
+    def promotion_safety(self, require_completion: bool = True) -> list[Violation]:
+        """No request is lost or double-processed across standby
+        promotions.
+
+        For every rid sent *before* the last ``node.failover`` trace
+        event: it must not have more than one committed execution (a
+        zombie primary or a stale standby image re-executing work), and
+        — when the workload claims completion — it must still have
+        execution evidence or a cancellation (a promotion must not lose
+        an acknowledged request).  This is the exactly-once guarantee
+        restricted to the promotion-crossing population and labeled
+        separately, so a failover-specific regression is distinguishable
+        from a generic one.  Traces without promotions pass vacuously.
+        """
+        promotions = list(self.trace.events("node.failover"))
+        if not promotions:
+            return []
+        last_promotion_seq = max(e.seq for e in promotions)
+        crossing = {
+            e.rid for e in self.trace.events("request.sent")
+            if e.seq < last_promotion_seq
+        }
+        cancelled = set(self.trace.rids("request.cancelled"))
+        executed_counts: dict[object, int] = defaultdict(int)
+        for rid in self.trace.rids("request.executed"):
+            executed_counts[rid] += 1
+        evidence = (
+            set(executed_counts)
+            | set(self.trace.rids("reply.enqueued"))
+            | set(self.trace.rids("reply.received"))
+        )
+        violations: list[Violation] = []
+        for rid in sorted(crossing, key=str):
+            count = executed_counts.get(rid, 0)
+            if count > 1:
+                violations.append(
+                    Violation(
+                        "failover-safety",
+                        rid,
+                        f"request crossed a promotion and was executed "
+                        f"{count} times (must be exactly 1)",
+                    )
+                )
+            if require_completion and rid not in evidence and rid not in cancelled:
+                violations.append(
+                    Violation(
+                        "failover-safety",
+                        rid,
+                        "request sent before a promotion was lost "
+                        "(never executed nor cancelled)",
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------
     # Request-Reply Matching
     # ------------------------------------------------------------------
 
@@ -191,6 +249,7 @@ class GuaranteeChecker:
             self.exactly_once(require_completion)
             + self.exactly_once_stages()
             + self.at_least_once_reply(require_completion)
+            + self.promotion_safety(require_completion)
             + self.request_reply_matching()
         )
 

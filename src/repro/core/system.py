@@ -20,6 +20,7 @@ disk, preserving the trace so guarantee checks span the failure.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Sequence
 
 from repro.core.clerk import Clerk
@@ -32,6 +33,7 @@ from repro.queueing.manager import QueueManager
 from repro.queueing.placement import PlacementPolicy
 from repro.queueing.queue import DequeueMode
 from repro.queueing.sharded import ShardedRepository
+from repro.replication import FailoverController, ReplicaSet
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import Disk, MemDisk
@@ -64,6 +66,9 @@ class TPSystem:
         shard_disks: Sequence[Disk] | None = None,
         placement: PlacementPolicy | None = None,
         checkpoint_interval_bytes: int | None = None,
+        replicate: bool = False,
+        standby_disks: Sequence[Disk | None] | None = None,
+        replica_controller: FailoverController | None = None,
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
@@ -80,6 +85,11 @@ class TPSystem:
                 "separate_reply_node is the two-repository legacy layout; "
                 "with shards > 1, reply queues are placed across the shards"
             )
+        if replicate and separate_reply_node:
+            raise ValueError(
+                "replication covers the (sharded) request repository; "
+                "the legacy separate reply node has no standby"
+            )
         self.placement = placement
         self._config = {
             "max_aborts": max_aborts,
@@ -89,6 +99,7 @@ class TPSystem:
             "group_commit": self.group_commit,
             "shards": shards,
             "checkpoint_interval_bytes": checkpoint_interval_bytes,
+            "replicate": replicate,
         }
 
         if shard_disks:
@@ -135,6 +146,17 @@ class TPSystem:
             )
         if error_queue not in self.request_repo.queues:
             self.request_repo.create_queue(error_queue)
+
+        # Per-shard warm standbys (repro.replication): attached last so
+        # the attach-time resync ships the boot records in one pass.
+        self.replicas: ReplicaSet | None = None
+        self.failover_controller = replica_controller
+        if replicate:
+            self.replicas = ReplicaSet(
+                self.request_repo, standby_disks=standby_disks,
+                controller=replica_controller, obs=self.obs,
+            )
+            self.failover_controller = self.replicas.controller
 
     # ------------------------------------------------------------------
     # Reply queues (private per client, Section 5)
@@ -261,6 +283,10 @@ class TPSystem:
             # Stop the old process's background checkpointers before
             # the new one starts its own over the same disks.
             repo.close()
+        if self.replicas is not None:
+            # The standbys survive the restart on their own disks; the
+            # rebuilt system re-attaches fresh shippers to them.
+            self.replicas.detach()
         panicked = any(repo.wal_panicked for repo in repos)
         for disk in self._all_disks():
             crashed = getattr(disk, "crashed", None)
@@ -285,7 +311,92 @@ class TPSystem:
             shard_disks=self.shard_disks if self._config["shards"] > 1 else None,
             placement=self.placement,
             checkpoint_interval_bytes=self._config["checkpoint_interval_bytes"],
+            replicate=self._config["replicate"],
+            standby_disks=(self.replicas.standby_disks()
+                           if self.replicas is not None else None),
+            replica_controller=self.failover_controller,
         )
+
+    def fail_over(
+        self,
+        index: int = 0,
+        *,
+        reason: str = "node.kill",
+        injector: FaultInjector | None = None,
+        wrap_promoted: Callable[[Disk], Disk] | None = None,
+    ) -> "TPSystem":
+        """Promote shard ``index``'s warm standby and rebuild the
+        system with the promoted image as that shard's disk.
+
+        The deposed primary is fenced (its WAL refuses all further
+        writes), its disk is dropped from the new system, and the
+        rebuild's restart recovery — bounded by the shipped checkpoint
+        — plus the per-shard epoch bump and in-doubt 2PC resolution
+        happen exactly as on any boot.  Surviving shards keep their
+        disks and standbys; the promoted shard gets a fresh, empty
+        standby that catches up on the first pump.  The elapsed wall
+        time lands in the ``failover_rto_seconds`` histogram.
+
+        ``wrap_promoted`` lets a harness re-wrap the promoted image
+        (e.g. in a :class:`~repro.storage.faults.FaultyDisk`) before
+        the new system boots from it.
+        """
+        if self.replicas is None:
+            raise ValueError(
+                "fail_over requires a system built with replicate=True"
+            )
+        started = perf_counter()
+        controller = self.failover_controller
+        promoted = self.replicas.fail_over(index, reason=reason)
+        standby_disks: list[Disk | None] = [
+            None if position == index else standby.disk
+            for position, standby in enumerate(self.replicas.standbys)
+        ]
+        self.replicas.detach()
+        repos = {id(self.request_repo): self.request_repo,
+                 id(self.reply_repo): self.reply_repo}.values()
+        for repo in repos:
+            repo.close()
+        # The old primary is dead by definition of a failover; make
+        # sure nothing can quietly keep using its disk.
+        deposed = self.shard_disks[index]
+        if getattr(deposed, "crashed", None) is False:
+            deposed.crash()
+        if wrap_promoted is not None:
+            promoted = wrap_promoted(promoted)
+        disks: list[Disk] = list(self.shard_disks)
+        disks[index] = promoted
+        for position, disk in enumerate(disks):
+            if position == index:
+                continue
+            crashed = getattr(disk, "crashed", None)
+            if self.request_repo.shards[position].log.wal.panicked and crashed is False:
+                disk.crash()
+                crashed = True
+            if crashed and hasattr(disk, "recover"):
+                disk.recover()
+        system = TPSystem(
+            injector=injector,
+            trace=self.trace,
+            obs=self.obs,
+            request_queue=self.request_queue,
+            error_queue=self.error_queue,
+            max_aborts=self._config["max_aborts"],
+            queue_mode=self._config["queue_mode"],
+            count_crash_attempts=self._config["count_crash_attempts"],
+            group_commit=self._config["group_commit"],
+            shard_disks=disks,
+            placement=self.placement,
+            checkpoint_interval_bytes=self._config["checkpoint_interval_bytes"],
+            replicate=True,
+            standby_disks=standby_disks,
+            replica_controller=controller,
+        )
+        rto = perf_counter() - started
+        if controller is not None:
+            controller.observe_rto(index, rto)
+        self.obs.flight.record("failover.complete", shard=index, rto=rto)
+        return system
 
     def _all_disks(self) -> list[Disk]:
         """Every distinct disk of every repository shard, in order."""

@@ -61,6 +61,20 @@ class WalPanicError(StorageError):
     """
 
 
+class WalFencedError(StorageError):
+    """The write-ahead log has been fenced by a failover.
+
+    After a standby is promoted, the old primary's log is *fenced*: any
+    late append or flush from the deposed node raises this error rather
+    than landing bytes that the new primary's history does not contain.
+    Fencing is the storage-level half of epoch fencing — the epoch
+    machinery rejects a zombie coordinator's protocol messages, and the
+    fence rejects its disk writes.  Deriving from :class:`StorageError`
+    means existing handlers treat a fenced write exactly like a failed
+    one: the transaction aborts and the node restarts (or retires).
+    """
+
+
 class CorruptRecordError(StorageError):
     """A log record failed its CRC or framing check.
 

@@ -25,6 +25,20 @@ Failure handling:
 * :meth:`failover` swaps the roles, so a surviving replica serves reads
   and writes alone (in degraded, unreplicated mode) until the peer is
   reattached via :meth:`resync`.
+
+This is the *per-queue, strong-sync* end of the replication spectrum:
+every write pays a 2PC round (two log forces plus the coordinator's
+decision record — X2's measured cost) to keep both replicas
+transactionally identical at all times.  The other end is
+:mod:`repro.replication` — *per-shard primary/backup via WAL log
+shipping* — where the primary commits locally (one force) and the
+shipped record stream keeps a warm standby ready to promote, at the
+cost of a failover step (epoch-fenced promotion plus client resync)
+instead of an always-consistent peer.  Use :class:`ReplicatedQueue`
+when a single queue must survive a node loss with zero promotion
+window; use log shipping when whole-node redundancy should not tax
+every commit (``BENCH_failover.json`` holds the shipping overhead and
+RTO numbers next to X2's 2PC cost).
 """
 
 from __future__ import annotations

@@ -1,0 +1,176 @@
+"""Failover orchestration: replica sets and the promotion ledger.
+
+A :class:`ReplicaSet` pairs every shard of one
+:class:`~repro.queueing.sharded.ShardedRepository` with a
+:class:`~repro.replication.standby.StandbyShard` and its
+:class:`~repro.replication.shipper.LogShipper`.
+
+A :class:`FailoverController` is the durable half: before a standby
+image is handed out for a primary boot, the promotion — shard index,
+generation, promoted LSN, reason — is recorded with an atomic+durable
+``replace`` on the controller's own disk.  A controller restart
+therefore always knows which generation is authoritative for each
+shard, so a deposed primary can never be re-adopted by amnesia.
+
+Fencing is two-layered and happens *before* the standby image leaves
+the building:
+
+* **storage fence** — the old primary's WAL is fenced
+  (:class:`~repro.errors.WalFencedError` on any late append/flush), so
+  a zombie process that wakes up mid-commit cannot land bytes that the
+  promoted history does not contain; and
+* **epoch fence** — the promoted repository's boot bumps the shard's
+  durable epoch (the PR-4 machinery), so its 2PC coordinator gids
+  (``<name>.s<i>.e<epoch>``) supersede the old primary's: a zombie
+  coordinator's decisions are for gids no surviving participant will
+  ever again prepare under.
+
+Promotion order: fence → drain (deliver every primary-acknowledged
+byte from the tee buffer) → detach → durably record → release image.
+Draining before recording means the promoted LSN in the ledger is
+exactly the boundary clients can rely on: everything the old primary
+acknowledged is at or below it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs import Observability, get_observability
+from repro.replication.shipper import LogShipper
+from repro.replication.standby import StandbyShard
+from repro.storage.codec import decode, encode
+from repro.storage.disk import Disk, MemDisk
+
+#: disk area holding the controller's durable promotion ledger
+CONTROLLER_AREA = "failover.ctl"
+
+
+class FailoverController:
+    """Durable ledger of standby promotions, one generation per shard."""
+
+    def __init__(self, disk: Disk | None = None, *,
+                 obs: Observability | None = None):
+        self.disk: Disk = disk if disk is not None else MemDisk()
+        obs = obs if obs is not None else get_observability()
+        self._flight = obs.flight
+        metrics = obs.metrics
+        self._m_failovers = metrics.counter(
+            "failovers_total", "standby promotions", ("shard",)
+        )
+        self._m_rto = metrics.histogram(
+            "failover_rto_seconds",
+            "promotion decision to serving primary", ("shard",)
+        )
+        self._state = self._load()
+
+    def _load(self) -> dict:
+        raw = self.disk.read(CONTROLLER_AREA)
+        if not raw:
+            return {"v": 1, "generations": {}, "history": []}
+        return decode(bytes(raw))
+
+    def generation(self, shard: int) -> int:
+        """Promotions recorded for ``shard`` (0 = original primary)."""
+        return int(self._state["generations"].get(str(shard), 0))
+
+    @property
+    def history(self) -> list[dict]:
+        return list(self._state["history"])
+
+    def record_promotion(self, shard: int, *, lsn: int,
+                         reason: str) -> int:
+        """Durably record a promotion; returns the new generation.
+        The ``replace`` is the commit point: a controller crash before
+        it changes nothing, after it the promotion is authoritative."""
+        generation = self.generation(shard) + 1
+        self._state["generations"][str(shard)] = generation
+        self._state["history"].append({
+            "shard": shard, "generation": generation,
+            "lsn": lsn, "reason": reason,
+        })
+        self.disk.replace(CONTROLLER_AREA, encode(self._state))
+        self._m_failovers.labels(shard=str(shard)).inc()
+        self._flight.record("failover.promote", shard=shard,
+                            generation=generation, lsn=lsn, reason=reason)
+        return generation
+
+    def observe_rto(self, shard: int, seconds: float) -> None:
+        """Record one promotion's recovery time (decision → serving)."""
+        self._m_rto.labels(shard=str(shard)).observe(seconds)
+
+
+class ReplicaSet:
+    """One warm standby + shipper per shard of a repository.
+
+    ``standby_disks`` lets a restart re-attach standbys that survived
+    (their disks carry the mirrored image; the shipper resyncs any
+    missing tail on the first :meth:`pump`).  A ``None`` entry — or no
+    list at all — gets a fresh in-memory standby.
+    """
+
+    def __init__(self, repo, *, standby_disks: Sequence[Disk | None] | None = None,
+                 controller: FailoverController | None = None,
+                 obs: Observability | None = None):
+        self.obs = obs if obs is not None else get_observability()
+        self.controller = (controller if controller is not None
+                           else FailoverController(obs=self.obs))
+        self.standbys: list[StandbyShard] = []
+        self.shippers: list[LogShipper] = []
+        for index, shard in enumerate(repo.shards):
+            disk = None
+            if standby_disks is not None and index < len(standby_disks):
+                disk = standby_disks[index]
+            standby = StandbyShard(shard.name, disk)
+            self.standbys.append(standby)
+            self.shippers.append(LogShipper(
+                shard.log, standby, shard=str(index), obs=self.obs,
+            ))
+        self.pump()  # attach-time catch-up (boot records, old history)
+
+    def __len__(self) -> int:
+        return len(self.shippers)
+
+    def pump(self) -> bool:
+        """One housekeeping pass over every shipper (checkpoint
+        mirroring, resync, warm replay).  True when every standby is
+        caught up."""
+        caught_up = True
+        for shipper in self.shippers:
+            caught_up = shipper.poll() and caught_up
+        return caught_up
+
+    def lag_bytes(self) -> list[int]:
+        return [shipper.lag_bytes() for shipper in self.shippers]
+
+    def pause(self, index: int) -> None:
+        """Start simulated replication lag on one shard's shipping."""
+        self.shippers[index].pause()
+
+    def resume(self, index: int) -> None:
+        self.shippers[index].resume()
+
+    def standby_disks(self) -> list[Disk]:
+        return [standby.disk for standby in self.standbys]
+
+    def fail_over(self, index: int, *, reason: str = "node.kill") -> Disk:
+        """Promote shard ``index``'s standby: fence, drain, detach,
+        record, release (module docstring).  Returns the promoted disk
+        image, ready to boot a repository from."""
+        shipper = self.shippers[index]
+        standby = self.standbys[index]
+        shipper.primary.fence(
+            f"shard {index} generation {self.controller.generation(index)} "
+            f"deposed ({reason})"
+        )
+        shipper.drain()
+        shipper.detach()
+        self.controller.record_promotion(
+            index, lsn=standby.next_lsn, reason=reason,
+        )
+        return standby.promote()
+
+    def detach(self) -> None:
+        """Stop all shipping (system shutdown)."""
+        for shipper in self.shippers:
+            shipper.detach()

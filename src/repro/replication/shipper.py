@@ -1,0 +1,276 @@
+"""The log shipper: primary-side streaming of one shard's WAL.
+
+Steady state is a **synchronous tee**: the shipper registers
+``on_append``/``on_flush`` hooks on the primary's
+:class:`~repro.storage.wal.WriteAheadLog`.  Appends are buffered as
+framed byte chunks; when the primary's flush succeeds — i.e. at the
+exact moment the primary starts treating those bytes as durable — the
+durable prefix is delivered to the standby and forced there too.  The
+standby therefore holds every byte the primary has acknowledged, which
+is what makes promotion lossless, and it never holds bytes the
+primary has *not* acknowledged, so it can never run ahead.  Because
+delivery reads the tee buffer rather than the primary's disk, a
+faulty primary disk (read faults, crash) cannot poison steady-state
+shipping.
+
+:meth:`LogShipper.poll` handles everything that is not append-shaped:
+mirroring the checkpoint blob (which also drives standby-side segment
+GC) and *resync* — the catch-up scan used at attach time, after a
+delivery discontinuity, or after the primary's checkpointer reclaimed
+segments past a lagging standby's cursor (full resync from the
+primary's oldest on-disk LSN, which is always a frame boundary; the
+blob's recovery LSN may sit mid-batch and is **not** a valid stream
+start).
+
+:meth:`pause`/:meth:`resume` model replication lag (the chaos
+``standby.lag`` fault): flushed chunks accumulate in the tee buffer
+instead of delivering.  :meth:`drain` delivers everything durable —
+promotion always drains first, so lag delays the standby but never
+loses acknowledged bytes.
+
+Lock order (deadlock freedom): hooks run under the primary WAL lock
+and take the shipper lock, so the shipper must never call a
+primary-WAL-locking method while holding its own lock; the lock-free
+``flushed_lsn``/``next_lsn`` properties are safe.  Standby calls
+happen under the shipper lock, and the standby never calls back into
+the primary: ``WAL → shipper → standby`` is acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import StorageError
+from repro.obs import Observability, get_observability
+from repro.replication.standby import StandbyShard
+from repro.transaction.log import LogManager
+
+#: resync iterations per poll before yielding to the next poll (bounds
+#: the race against a continuously-flushing primary)
+_RESYNC_ROUNDS = 100
+
+
+class LogShipper:
+    """Streams one primary shard's WAL record stream to a standby."""
+
+    def __init__(self, primary: LogManager, standby: StandbyShard, *,
+                 shard: str = "0", obs: Observability | None = None):
+        self.primary = primary
+        self.standby = standby
+        self.shard = shard
+        self._wal = primary.wal
+        self._lock = threading.Lock()
+        #: flushed-on-primary, not yet delivered chunks: (lsn, bytes)
+        self._chunks: deque[tuple[int, bytes]] = deque()
+        #: expected LSN of the next on_append callback
+        self._tail = self._wal.next_lsn
+        #: primary flushed LSN as of the last on_flush callback
+        self._durable = self._wal.flushed_lsn
+        self._paused = 0
+        self._need_resync = True  # attach-time catch-up
+        self._detached = False
+        self._mirrored_blob: bytes | None = None
+
+        obs = obs if obs is not None else get_observability()
+        self._flight = obs.flight
+        metrics = obs.metrics
+        self._m_shipped = metrics.counter(
+            "replication_shipped_bytes_total",
+            "WAL bytes delivered to the standby", ("shard",)
+        ).labels(shard=shard)
+        self._m_resyncs = metrics.counter(
+            "replication_resyncs_total",
+            "catch-up scans (attach, discontinuity, GC overrun)", ("shard",)
+        ).labels(shard=shard)
+        metrics.gauge(
+            "replication_lag_bytes",
+            "primary flushed LSN minus standby shipped LSN", ("shard",)
+        ).labels(shard=shard).set_function(self.lag_bytes)
+
+        self._wal.on_append.append(self._on_append)
+        self._wal.on_flush.append(self._on_flush)
+
+    # -- observable state ----------------------------------------------------
+
+    def lag_bytes(self) -> int:
+        """Durable bytes the standby has not acknowledged yet."""
+        return max(0, self._wal.flushed_lsn - self.standby.next_lsn)
+
+    @property
+    def caught_up(self) -> bool:
+        return (not self._need_resync
+                and self.standby.next_lsn >= self._wal.flushed_lsn)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused > 0
+
+    # -- WAL hooks (run under the primary WAL lock) --------------------------
+
+    def _on_append(self, lsn: int, data: bytes) -> None:
+        with self._lock:
+            if self._detached:
+                return
+            if lsn != self._tail:
+                # Discontinuity: the primary reset its LSN space (log
+                # truncation).  Drop the stale buffer and let poll()
+                # resync from the new stream.
+                self._chunks.clear()
+                self._need_resync = True
+            self._chunks.append((lsn, data))
+            self._tail = lsn + len(data)
+
+    def _on_flush(self, flushed_lsn: int) -> None:
+        with self._lock:
+            if self._detached:
+                return
+            self._durable = flushed_lsn
+            if self._paused or self._need_resync:
+                return
+            self._deliver_locked()
+
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver_locked(self) -> bool:
+        """Deliver buffered chunks that are durable on the primary.
+        Caller holds the shipper lock.  Returns False on a cursor
+        mismatch or standby error (resync scheduled)."""
+        while self._chunks:
+            lsn, data = self._chunks[0]
+            end = lsn + len(data)
+            if end > self._durable:
+                break  # not yet acknowledged by the primary
+            cursor = self.standby.next_lsn
+            if end <= cursor:
+                self._chunks.popleft()  # already shipped (resync overlap)
+                continue
+            if lsn != cursor:
+                self._chunks.clear()
+                self._need_resync = True
+                return False
+            try:
+                self.standby.ingest(data, lsn)
+            except (StorageError, OSError, ValueError) as exc:
+                self._chunks.clear()
+                self._need_resync = True
+                self._flight.record("replication.ship_failed",
+                                    shard=self.shard,
+                                    error=type(exc).__name__)
+                return False
+            self._chunks.popleft()
+            self._m_shipped.inc(len(data))
+        return True
+
+    def pause(self) -> None:
+        """Defer delivery (replication lag); nestable."""
+        with self._lock:
+            self._paused += 1
+
+    def resume(self) -> None:
+        with self._lock:
+            if self._paused:
+                self._paused -= 1
+                if not self._paused and not self._need_resync:
+                    self._deliver_locked()
+
+    def drain(self) -> None:
+        """Deliver every primary-acknowledged byte now, regardless of
+        pause state — the first step of every promotion.  A dead
+        primary disk is absorbed: the tee buffer needs no primary
+        reads, and a resync against a corpse just leaves the standby
+        at whatever it last acknowledged (which is the point of
+        promotion)."""
+        with self._lock:
+            delivered = self._deliver_locked()
+        if not delivered or self._need_resync:
+            try:
+                self._resync()
+            except (StorageError, OSError) as exc:
+                self._flight.record("replication.drain_partial",
+                                    shard=self.shard,
+                                    error=type(exc).__name__)
+
+    def detach(self) -> None:
+        """Stop shipping (the standby was promoted or abandoned)."""
+        with self._lock:
+            if self._detached:
+                return
+            self._detached = True
+            self._chunks.clear()
+        for hooks, hook in ((self._wal.on_append, self._on_append),
+                            (self._wal.on_flush, self._on_flush)):
+            try:
+                hooks.remove(hook)
+            except ValueError:
+                pass
+
+    # -- polling: checkpoint mirror + resync ---------------------------------
+
+    def poll(self) -> bool:
+        """One replication housekeeping pass: mirror the checkpoint
+        blob, then close any shipping gap.  Returns True when the
+        standby is caught up to the primary's flushed LSN.  Primary
+        storage errors (it may be crashed/killed) are absorbed — the
+        standby simply stops advancing, and promotion remains legal at
+        whatever it last acknowledged.
+        """
+        if self._detached:
+            return False
+        try:
+            self._mirror_checkpoint()
+            if self._need_resync and not self._paused:
+                self._resync()
+        except (StorageError, OSError) as exc:
+            self._flight.record("replication.poll_failed", shard=self.shard,
+                                error=type(exc).__name__)
+            return False
+        self.standby.refresh()
+        return self.caught_up
+
+    def _mirror_checkpoint(self) -> None:
+        blob = self.primary.disk.read(self.primary.checkpoint_area)
+        if not blob or blob == self._mirrored_blob:
+            return
+        self.standby.install_checkpoint(bytes(blob))
+        self._mirrored_blob = bytes(blob)
+        self._flight.record("replication.checkpoint_mirrored",
+                            shard=self.shard)
+
+    def _resync(self) -> None:
+        """Catch the standby up by reading the primary's durable stream
+        directly.  Never holds the shipper lock across a primary WAL
+        call (lock order, module docstring)."""
+        self._m_resyncs.inc()
+        for _round in range(_RESYNC_ROUNDS):
+            cursor = self.standby.next_lsn
+            flushed = self._wal.flushed_lsn
+            oldest = self._wal.oldest_lsn()
+            if cursor < oldest or cursor > flushed:
+                # The primary GC'd past us (or reset below us): full
+                # resync from its oldest frame boundary.  The mirrored
+                # blob makes the truncated prefix recoverable.
+                self._mirror_checkpoint()
+                self.standby.reset_to(oldest)
+                self._flight.record("replication.resync", shard=self.shard,
+                                    full=True, base=oldest)
+                cursor = oldest
+            data = self._wal.read_stream(cursor, flushed)
+            with self._lock:
+                if self.standby.next_lsn != cursor:
+                    continue  # a concurrent delivery moved the cursor
+                if data:
+                    self.standby.ingest(data, cursor)
+                    self._m_shipped.inc(len(data))
+                # Anything flushed while we scanned is in the tee
+                # buffer; deliver it and check whether we are level.
+                self._durable = max(self._durable, flushed)
+                if not self._deliver_locked():
+                    continue
+                if self.standby.next_lsn >= self._wal.flushed_lsn:
+                    self._need_resync = False
+                    return
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogShipper(shard={self.shard}, lag={self.lag_bytes()}, "
+                f"paused={self.paused})")

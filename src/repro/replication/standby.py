@@ -1,0 +1,157 @@
+"""The warm standby: a byte mirror of one shard's durable image.
+
+A :class:`StandbyShard` owns a disk holding two things, both streamed
+over by a :class:`~repro.replication.shipper.LogShipper`:
+
+* the primary's WAL **record stream**, re-framed into the standby's
+  own segments (LSNs exclude segment headers, so segment boundaries
+  need not match the primary's), and
+* the primary's **checkpoint blob**, mirrored verbatim — recovery
+  reads only the blob, never the begin/end markers, so a mirrored blob
+  plus the stream tail above its recovery LSN is a complete,
+  ready-to-promote repository image.
+
+The standby *continuously replays* the shipped tail through the same
+scan/decode path restart recovery uses (:meth:`StandbyShard.refresh`):
+every frame's CRC is verified and every record decoded as it arrives,
+so shipping corruption is caught while the primary is still alive, and
+the replay cursor gives replication lag in records/transactions as
+well as bytes.  The authoritative state rebuild — redo with commit
+filtering, in-doubt 2PC resolution, epoch bump — happens at promotion
+by booting a normal :class:`~repro.queueing.repository.QueueRepository`
+over this image; the mirrored checkpoint bounds that replay to the
+tail, which is what keeps the RTO flat as history grows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StorageError
+from repro.obs import NULL_OBS, Observability
+from repro.storage.codec import decode
+from repro.storage.disk import Disk, MemDisk
+from repro.storage.wal import WriteAheadLog
+
+#: record kinds whose arrival marks a transaction outcome on the
+#: standby's warm-replay cursor (mirror of repro.transaction.log)
+_COMMIT_KIND = "cmt"
+
+_CHECKPOINT_AREA_SUFFIX = ".ckpt"
+
+
+class StandbyShard:
+    """A warm backup image of one repository shard.
+
+    ``name`` must equal the primary shard's repository name (e.g.
+    ``"reqnode"`` or ``"reqnode.s1"``): the WAL area and checkpoint
+    area are derived from it, and the promoted repository will look
+    for exactly those areas on this disk.
+
+    The standby's WAL deliberately runs with a *disabled* observability
+    handle — its area name equals the primary's, and double-registering
+    the primary's gauges/counters under the same label would corrupt
+    the primary's series.  Replication has its own metrics on the
+    shipper side.
+    """
+
+    def __init__(self, name: str, disk: Disk | None = None, *,
+                 obs: Observability | None = None):
+        self.name = name
+        self.disk: Disk = disk if disk is not None else MemDisk()
+        self.area = f"{name}.log"
+        self.checkpoint_area = self.area + _CHECKPOINT_AREA_SUFFIX
+        self._obs = obs if obs is not None else NULL_OBS
+        # Opening over a non-empty disk resumes from the durable
+        # prefix (a standby surviving its node's restart).
+        self.wal = WriteAheadLog(self.disk, self.area, obs=NULL_OBS)
+        self._applied_lsn = self.wal.oldest_lsn()
+        self.applied_records = 0
+        self.applied_commits = 0
+        self.promoted = False
+
+    # -- shipping sink -------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """The standby's shipping cursor: the stream offset the next
+        ingested chunk must start at."""
+        return self.wal.next_lsn
+
+    def ingest(self, data: bytes, lsn: int) -> int:
+        """Append shipped stream bytes starting at ``lsn`` and force
+        them — the standby acknowledges nothing it could lose."""
+        end = self.wal.ingest(data, lsn)
+        self.wal.flush()
+        return end
+
+    def reset_to(self, base_lsn: int) -> None:
+        """Full resync: durably discard the mirror and restart the
+        stream at ``base_lsn`` (the primary's oldest on-disk LSN —
+        always a frame boundary)."""
+        self.wal.reset_to(base_lsn)
+        self._applied_lsn = base_lsn
+
+    def install_checkpoint(self, blob: bytes) -> int:
+        """Mirror the primary's checkpoint blob verbatim, then reclaim
+        standby segments the new checkpoint covers.  Returns the
+        blob's recovery LSN.
+
+        The ``replace`` is atomic+durable, and GC runs strictly after
+        it — the same commit-point ordering the primary's checkpointer
+        uses, so a standby crash between the two just leaves segments
+        for the next mirror pass.
+        """
+        try:
+            recovery_lsn = int(decode(blob).get("recovery_lsn", 0))
+        except Exception as exc:  # codec error -> don't mirror garbage
+            raise StorageError(
+                f"unreadable checkpoint blob for standby {self.name!r}: {exc}"
+            ) from exc
+        self.disk.replace(self.checkpoint_area, blob)
+        self.wal.gc(recovery_lsn)
+        if self._applied_lsn < self.wal.oldest_lsn():
+            self._applied_lsn = self.wal.oldest_lsn()
+        return recovery_lsn
+
+    # -- warm replay ---------------------------------------------------------
+
+    @property
+    def applied_lsn(self) -> int:
+        return self._applied_lsn
+
+    def refresh(self) -> int:
+        """Replay newly shipped records through the recovery scan path:
+        verify each frame's CRC, decode each record, and advance the
+        replay cursor.  Returns the number of records applied.
+
+        Torn-tail semantics come from the WAL scan itself: a torn live
+        tail stops the replay silently (the bytes were never durable on
+        the primary either), and a partially-shipped batch frame is
+        dropped whole — re-shipping the full batch later replays it
+        from the same cursor, so replay is idempotent on re-ship.
+        """
+        applied = 0
+        for record in self.wal.scan(self._applied_lsn):
+            body = decode(record.payload)
+            applied += 1
+            if body.get("k") == _COMMIT_KIND:
+                self.applied_commits += 1
+            self._applied_lsn = record.next_lsn
+        self.applied_records += applied
+        return applied
+
+    # -- promotion -----------------------------------------------------------
+
+    def promote(self) -> Disk:
+        """Hand the image over for a primary boot.
+
+        The standby's own WAL handle is done — the promoted repository
+        opens its own log over the disk — so this object becomes inert.
+        """
+        self.promoted = True
+        return self.disk
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"StandbyShard({self.name!r}, next_lsn={self.next_lsn}, "
+                f"promoted={self.promoted})")

@@ -82,6 +82,7 @@ from repro.errors import (
     CorruptRecordError,
     DiskCrashedError,
     StorageError,
+    WalFencedError,
     WalPanicError,
 )
 from repro.obs import Observability, get_observability
@@ -164,6 +165,14 @@ class WriteAheadLog:
         #: (index, base_lsn) per segment, ascending; last entry is live.
         self._segs: list[tuple[int, int]] = []
         self._panic: BaseException | None = None
+        self._fence_reason: str | None = None
+        #: Shipping hooks (``repro.replication``): ``on_append`` hooks
+        #: receive ``(lsn, framed_bytes)`` for every physical append,
+        #: ``on_flush`` hooks receive the new flushed LSN after a
+        #: successful force.  Both fire *while the log lock is held*, so
+        #: a shipper observes appends and flushes in log order.
+        self.on_append: list[Callable[[int, bytes], None]] = []
+        self.on_flush: list[Callable[[int], None]] = []
         # Resume appending after the valid record prefix (restart); a
         # torn tail left by a crash is durably discarded first, because
         # appending *after* damaged framing would turn an expected torn
@@ -316,6 +325,30 @@ class WriteAheadLog:
             raise WalPanicError(
                 f"log area {self.area!r} is panicked after a failed flush"
             ) from self._panic
+        if self._fence_reason is not None:
+            raise WalFencedError(
+                f"log area {self.area!r} is fenced: {self._fence_reason}"
+            )
+
+    # -- fencing (failover) --------------------------------------------------
+
+    @property
+    def fenced(self) -> bool:
+        """True once :meth:`fence` was called; the log refuses writes."""
+        return self._fence_reason is not None
+
+    def fence(self, reason: str = "superseded by failover") -> None:
+        """Refuse all further writes (append/flush/ingest/roll/gc).
+
+        Called on a deposed primary after its standby is promoted: a
+        zombie node that wakes up mid-append must not land bytes that
+        diverge from the new primary's history.  Scanning stays legal —
+        a fenced log is read-only, not destroyed.  Idempotent.
+        """
+        with self._lock:
+            if self._fence_reason is None:
+                self._fence_reason = reason
+        self._flight.record("wal.fence", area=self.area, reason=reason)
 
     def _flush_disk(self) -> None:
         # Caller holds self._lock and has verified there is data to
@@ -341,6 +374,8 @@ class WriteAheadLog:
         self._flushed_lsn = self._next_lsn
         self._m_flushes.inc()
         self._flight.record("wal.force", area=self.area, lsn=self._next_lsn)
+        for hook in self.on_flush:
+            hook(self._flushed_lsn)
 
     # -- segment rolling and reclamation -----------------------------------
 
@@ -410,10 +445,13 @@ class WriteAheadLog:
                 self._check_panic()
                 self._maybe_roll_locked()
                 lsn = self._next_lsn
-                self.disk.append(self._seg_area(self._segs[-1][0]), header + payload)
+                data = header + payload
+                self.disk.append(self._seg_area(self._segs[-1][0]), data)
                 self._next_lsn = lsn + size
                 if on_lsn is not None:
                     on_lsn(lsn)
+                for hook in self.on_append:
+                    hook(lsn, data)
         self._m_appends.inc()
         self._m_records.inc()
         self._m_bytes.inc(size)
@@ -464,6 +502,8 @@ class WriteAheadLog:
                 self._next_lsn = first + size
                 if on_lsns is not None:
                     on_lsns(lsns)
+                for hook in self.on_append:
+                    hook(first, data)
         self._m_appends.inc()
         self._m_records.inc(count)
         self._m_bytes.inc(size)
@@ -575,6 +615,86 @@ class WriteAheadLog:
     def records(self) -> list[WalRecord]:
         """All valid records, eagerly."""
         return list(self.scan())
+
+    # -- log shipping (repro.replication) ------------------------------------
+
+    def read_stream(self, from_lsn: int, upto_lsn: int | None = None) -> bytes:
+        """Raw record-stream bytes in ``[from_lsn, upto_lsn)``.
+
+        Segment headers are excluded — the result is a contiguous slice
+        of the LSN-addressed stream, suitable for :meth:`ingest` on a
+        standby's log (which frames its own segments).  ``from_lsn``
+        must be at or above :meth:`oldest_lsn` (reclaimed bytes cannot
+        be shipped; the shipper falls back to a full resync).
+        ``upto_lsn`` defaults to the flushed LSN: only durable bytes
+        ship, so a standby can never run ahead of its primary.
+        """
+        with self._lock:
+            segs = list(self._segs)
+            if upto_lsn is None:
+                upto_lsn = self._flushed_lsn
+        if from_lsn < segs[0][1]:
+            raise ValueError(
+                f"lsn {from_lsn} is below the oldest on-disk lsn "
+                f"{segs[0][1]} (reclaimed by gc)"
+            )
+        chunks: list[bytes] = []
+        for position, (index, base) in enumerate(segs):
+            end = segs[position + 1][1] if position + 1 < len(segs) else None
+            if end is not None and end <= from_lsn:
+                continue
+            if base >= upto_lsn:
+                break
+            stream = self.disk.read(self._seg_area(index))[SEGMENT_HEADER_SIZE:]
+            lo = max(from_lsn - base, 0)
+            hi = min(len(stream), upto_lsn - base)
+            if hi > lo:
+                chunks.append(stream[lo:hi])
+        return b"".join(chunks)
+
+    def ingest(self, data: bytes, expected_lsn: int) -> int:
+        """Append raw shipped record-stream bytes (standby side).
+
+        ``expected_lsn`` is the stream offset of ``data``'s first byte
+        and must equal this log's append point — the shipper's cursor
+        contract; a mismatch raises :class:`ValueError` so a buggy
+        cursor cannot silently corrupt the mirror.  The bytes are
+        buffered like any append; the caller flushes.  Returns the new
+        append point.
+        """
+        with self._lock:
+            self._check_panic()
+            if not data:
+                return self._next_lsn
+            if expected_lsn != self._next_lsn:
+                raise ValueError(
+                    f"ingest at lsn {expected_lsn} but log area "
+                    f"{self.area!r} is at lsn {self._next_lsn}"
+                )
+            self._maybe_roll_locked()
+            self.disk.append(self._seg_area(self._segs[-1][0]), bytes(data))
+            self._next_lsn += len(data)
+            next_lsn = self._next_lsn
+        self._m_appends.inc()
+        self._m_bytes.inc(len(data))
+        return next_lsn
+
+    def reset_to(self, base_lsn: int) -> None:
+        """Durably discard everything and restart the stream at
+        ``base_lsn`` (which must be a frame boundary of the *source*
+        stream — a segment base always is).  A standby uses this for a
+        full resync when its cursor fell below the primary's
+        :meth:`oldest_lsn`; the next :meth:`ingest` must start exactly
+        at ``base_lsn``.
+        """
+        with self._lock:
+            self._check_panic()
+            for index, _base in self._segs:
+                self.disk.delete(self._seg_area(index))
+            self._segs = []
+            self._create_segment(1, base_lsn)
+            self._next_lsn = base_lsn
+            self._flushed_lsn = base_lsn
 
     @staticmethod
     def _frame_end(data: bytes, pos: int) -> int | None:

@@ -366,6 +366,17 @@ class LogManager:
     def log_outcome(self, txn_id: int, decision: str) -> int:
         return self._append(KIND_OUTCOME, txn_id, None, {"decision": decision}, flush=True)
 
+    # -- fencing (failover) --------------------------------------------------
+
+    def fence(self, reason: str = "superseded by failover") -> None:
+        """Fence the underlying WAL (see
+        :meth:`repro.storage.wal.WriteAheadLog.fence`): after a standby
+        promotion the deposed primary's commits must fail rather than
+        diverge.  Any in-flight transaction hits
+        :class:`~repro.errors.WalFencedError` on its next log write,
+        which the existing storage-error handling turns into an abort."""
+        self.wal.fence(reason)
+
     # -- transaction / pin bookkeeping --------------------------------------
 
     def forget_txn(self, txn_id: int) -> None:

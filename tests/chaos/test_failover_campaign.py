@@ -1,0 +1,93 @@
+"""Replication-enabled chaos campaigns: ``ChaosConfig.replicate``
+attaches a warm standby + log shipper to every shard and adds the
+``node_kill`` / ``failover`` / ``standby_lag`` fault family, while the
+default (``False``) keeps existing seeds byte-identical."""
+
+from __future__ import annotations
+
+from repro.chaos import ChaosConfig, run_episode, sample_schedule
+from repro.chaos.engine import FAILING_OUTCOMES, OUTCOME_OK
+from repro.chaos.schedule import (
+    KIND_FAILOVER,
+    KIND_NODE_KILL,
+    KIND_STANDBY_LAG,
+    REPLICATION_WEIGHTS,
+)
+
+#: seeds of the in-suite failover acceptance campaign
+CAMPAIGN_SEEDS = range(200)
+CONFIG = ChaosConfig(replicate=True)
+SHARDED_CONFIG = ChaosConfig(replicate=True, shards=2)
+
+REPLICATION_KINDS = (KIND_NODE_KILL, KIND_FAILOVER, KIND_STANDBY_LAG)
+
+
+class TestScheduleCompatibility:
+    def test_default_config_schedules_are_unchanged(self):
+        # The replicate knob must not perturb existing seeds: replay
+        # artifacts recorded before the knob existed stay valid.
+        for seed in range(100):
+            assert sample_schedule(seed) == sample_schedule(
+                seed, ChaosConfig(replicate=False)
+            )
+
+    def test_unreplicated_schedules_never_sample_the_family(self):
+        for seed in range(100):
+            for fault in sample_schedule(seed).faults:
+                assert fault.kind not in REPLICATION_KINDS
+
+    def test_campaign_schedules_sample_the_family(self):
+        kinds = set()
+        for seed in CAMPAIGN_SEEDS:
+            for fault in sample_schedule(seed, CONFIG).faults:
+                kinds.add(fault.kind)
+        assert kinds >= set(REPLICATION_WEIGHTS)
+
+
+class TestFailoverDeterminism:
+    def test_same_seed_is_identical(self):
+        for seed in (0, 7, 42):
+            first = run_episode(seed, CONFIG)
+            second = run_episode(seed, CONFIG)
+            assert first.outcome == second.outcome
+            assert first.fingerprint == second.fingerprint
+            assert first.restarts == second.restarts
+
+
+class TestFailoverAcceptanceCampaign:
+    def _run(self, config: ChaosConfig, seeds, min_promotions: int) -> None:
+        outcomes: dict[str, int] = {}
+        failing = []
+        restarts = 0
+        promotions = 0
+        for seed in seeds:
+            result = run_episode(seed, config)
+            outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+            restarts += result.restarts
+            promotions += sum(
+                1 for f in result.schedule.faults
+                if f.kind in (KIND_NODE_KILL, KIND_FAILOVER)
+                and f.step <= result.steps
+            )
+            if result.failed:
+                failing.append((seed, result.outcome, result.violations))
+        assert not failing, f"failing episodes: {failing}"
+        assert outcomes.get(OUTCOME_OK, 0) > len(list(seeds)) // 2
+        assert all(o not in FAILING_OUTCOMES for o in outcomes)
+        # The campaign must actually depose primaries mid-2PC, not just
+        # sample the faults: every restart after a kill runs promotion,
+        # epoch fencing and the Figure-2 client resync.
+        assert promotions >= min_promotions
+        assert restarts > promotions
+
+    def test_200_episodes_with_failovers_zero_violations(self):
+        # The acceptance gate: primaries are killed and deposed
+        # mid-workload, standbys promote, and no request is ever lost
+        # or double-processed across a promotion (the checker's
+        # promotion_safety rule runs inside every episode's check_all).
+        self._run(CONFIG, CAMPAIGN_SEEDS, min_promotions=25)
+
+    def test_sharded_failovers_with_2pc_zero_violations(self):
+        # Cross-shard 2PC plus per-shard failover: the promoted shard's
+        # epoch bump must fence the deposed coordinator's gids.
+        self._run(SHARDED_CONFIG, range(100), min_promotions=12)

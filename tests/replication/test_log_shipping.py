@@ -1,0 +1,185 @@
+"""Log shipping: the synchronous tee, attach-time catch-up, lag,
+checkpoint mirroring, torn standby tails and partially-shipped batch
+frames.
+
+The standby's acknowledgement invariant under test everywhere: after a
+drain the standby holds *every* byte the primary acknowledged and
+*only* bytes the primary acknowledged — what makes promotion lossless
+and replay-safe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WalFencedError
+from repro.queueing.sharded import ShardedRepository
+from repro.replication import LogShipper, ReplicaSet, StandbyShard
+from repro.storage.codec import encode
+from repro.storage.disk import MemDisk
+from repro.storage.wal import _BATCH_MAGIC
+
+import pytest
+
+
+def make_primary(disk: MemDisk | None = None):
+    disk = disk if disk is not None else MemDisk()
+    repo = ShardedRepository("prim", [disk])
+    table = repo.create_table("t")
+    return repo, table
+
+
+def commit_n(repo, table, n: int, start: int = 0) -> None:
+    for i in range(start, start + n):
+        with repo.tm.transaction() as txn:
+            table.put(txn, f"k{i}", i)
+
+
+def boot_promoted(disk, count: int) -> list[int]:
+    """Recover a repository from a promoted image; the keys present."""
+    repo = ShardedRepository("prim", [disk])
+    table = repo.create_table("t")
+    with repo.tm.transaction() as txn:
+        return [
+            i for i in range(count) if table.get(txn, f"k{i}") is not None
+        ]
+
+
+class TestSynchronousTee:
+    def test_every_acknowledged_byte_is_on_the_standby(self):
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        commit_n(repo, table, 10)
+        # No pump needed: delivery rides along with the commit force.
+        assert replicas.lag_bytes() == [0]
+        wal = repo.shards[0].log.wal
+        assert replicas.standbys[0].next_lsn == wal.flushed_lsn
+
+    def test_promoted_image_holds_every_commit(self):
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        commit_n(repo, table, 12)
+        promoted = replicas.fail_over(0, reason="test")
+        assert boot_promoted(promoted, 12) == list(range(12))
+
+    def test_attach_time_catch_up_ships_old_history(self):
+        repo, table = make_primary()
+        commit_n(repo, table, 8)  # before any standby exists
+        replicas = ReplicaSet(repo)
+        assert replicas.lag_bytes() == [0]
+        commit_n(repo, table, 4, start=8)
+        promoted = replicas.fail_over(0, reason="test")
+        assert boot_promoted(promoted, 12) == list(range(12))
+
+    def test_fenced_primary_refuses_late_writes(self):
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        commit_n(repo, table, 3)
+        replicas.fail_over(0, reason="test")
+        with pytest.raises(WalFencedError):
+            commit_n(repo, table, 1, start=3)
+
+
+class TestLag:
+    def test_pause_buffers_and_resume_delivers(self):
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        replicas.pause(0)
+        commit_n(repo, table, 6)
+        assert replicas.lag_bytes()[0] > 0
+        replicas.resume(0)
+        assert replicas.lag_bytes() == [0]
+
+    def test_promotion_drains_a_paused_shipper(self):
+        # standby.lag delays the standby but never loses acknowledged
+        # bytes: fail_over drains the tee buffer before promoting.
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        replicas.pause(0)
+        commit_n(repo, table, 6)
+        assert replicas.lag_bytes()[0] > 0
+        promoted = replicas.fail_over(0, reason="test")
+        assert boot_promoted(promoted, 6) == list(range(6))
+
+
+class TestCheckpointMirroring:
+    def test_poll_mirrors_the_blob_verbatim(self):
+        repo, table = make_primary()
+        replicas = ReplicaSet(repo)
+        commit_n(repo, table, 4)
+        log = repo.shards[0].log
+        blob = encode({"v": 2, "recovery_lsn": 0, "next_txn_id": 99,
+                       "rms": {}})
+        log.disk.replace(log.checkpoint_area, blob)
+        replicas.pump()
+        standby = replicas.standbys[0]
+        assert bytes(standby.disk.read(standby.checkpoint_area)) == blob
+
+
+class TestTornStandbyTail:
+    def test_durable_mid_frame_prefix_is_trimmed_and_reshipped(self):
+        # A standby that crashed mid-ingest recovers with a torn live
+        # tail; its WAL boot trims back to the last whole frame and the
+        # shipper's resync re-ships the gap.
+        repo, table = make_primary()
+        commit_n(repo, table, 8)
+        wal = repo.shards[0].log.wal
+        stream = wal.read_stream(0)
+        sdisk = MemDisk()
+        first = StandbyShard("prim", sdisk)
+        first.ingest(stream[: len(stream) - 3], 0)  # cut mid-frame
+        recovered = StandbyShard("prim", sdisk)  # reboot trims the tear
+        assert recovered.next_lsn < len(stream)
+        shipper = LogShipper(repo.shards[0].log, recovered)
+        assert shipper.poll()
+        assert recovered.next_lsn == wal.flushed_lsn
+        promoted = recovered.promote()
+        assert boot_promoted(promoted, 8) == list(range(8))
+
+    def test_unflushed_tail_lost_in_standby_crash_is_reshipped(self):
+        repo, table = make_primary()
+        commit_n(repo, table, 8)
+        log = repo.shards[0].log
+        stream = log.wal.read_stream(0)
+        sdisk = MemDisk(torn_tail_bytes=48)
+        first = StandbyShard("prim", sdisk)
+        cut = len(stream) // 2
+        first.ingest(stream[:cut], 0)  # durable prefix
+        first.wal.ingest(stream[cut:], cut)  # buffered, never flushed
+        sdisk.crash()  # the standby node dies mid-ship
+        sdisk.recover()
+        recovered = StandbyShard("prim", sdisk)
+        shipper = LogShipper(log, recovered)
+        assert shipper.poll()
+        assert recovered.next_lsn == log.wal.flushed_lsn
+        promoted = recovered.promote()
+        assert boot_promoted(promoted, 8) == list(range(8))
+
+
+class TestPartialBatchFrame:
+    def test_partial_batch_is_dropped_whole_and_reshipped(self):
+        repo, table = make_primary()
+        wal = repo.shards[0].log.wal
+        chunks: list[tuple[int, bytes]] = []
+        wal.on_append.append(lambda lsn, data: chunks.append((lsn, data)))
+        with repo.tm.transaction() as txn:  # one multi-record commit
+            for i in range(6):
+                table.put(txn, f"k{i}", i)
+        batch_lsn, batch = max(chunks, key=lambda c: len(c[1]))
+        assert batch[:2] == _BATCH_MAGIC  # per-txn batching framed it
+
+        stream = wal.read_stream(0)
+        sdisk = MemDisk()
+        first = StandbyShard("prim", sdisk)
+        # Ship everything up to a cut *inside* the batch frame's body.
+        first.ingest(stream[: batch_lsn + len(batch) - 4], 0)
+        recovered = StandbyShard("prim", sdisk)
+        # Damage anywhere in a batch drops the *whole* batch — the
+        # trimmed standby must sit exactly at the batch frame start,
+        # never at a sub-record boundary inside it.
+        assert recovered.next_lsn == batch_lsn
+
+        shipper = LogShipper(repo.shards[0].log, recovered)
+        assert shipper.poll()  # idempotent re-ship of the whole frame
+        assert recovered.next_lsn == wal.flushed_lsn
+        ours = [(r.lsn, bytes(r.payload)) for r in recovered.wal.scan(0)]
+        theirs = [(r.lsn, bytes(r.payload)) for r in wal.scan(0)]
+        assert ours == theirs

@@ -215,6 +215,25 @@ class TestFileDisk:
         disk.delete("seg")  # idempotent
         disk.close()
 
+    def test_delete_fsyncs_parent_directory(self, tmp_path):
+        # Regression guard: the unlink lives in the directory entry, so
+        # segment GC is durable only once the parent is fsynced — a
+        # crash right after delete() must not "undelete" a reclaimed
+        # segment (its records are below the checkpoint's recovery LSN
+        # and would re-apply stale state).
+        disk = FileDisk(str(tmp_path / "d"))
+        disk.append("seg", b"data")
+        disk.flush("seg")
+        calls = []
+        original = disk._fsync_dir
+        disk._fsync_dir = lambda: calls.append(1) or original()
+        disk.delete("seg")
+        assert calls, "delete() must fsync the parent directory"
+        calls.clear()
+        disk.delete("missing")  # nothing unlinked -> nothing to sync
+        assert not calls
+        disk.close()
+
     def test_size_is_tracked_without_reads(self, tmp_path):
         disk = FileDisk(str(tmp_path / "d"))
         disk.append("a", b"123")
