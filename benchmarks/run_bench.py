@@ -42,6 +42,19 @@ skip-locked throughput should be depth-insensitive while strict FIFO
 collapses under contention.  Writes ``BENCH_hotpath.json`` with txn/s,
 lock conflicts, skipped-locked counts, and WAL appends per commit.
 
+**detlane** (``--cc``): the concurrency-control contention sweep —
+N consumer threads each running auto-commit dequeue-then-requeue
+against a strict-FIFO hot queue (with probability ``hot_fraction``)
+or their private queue, on a file-backed repository with group commit
+off, once under 2PL and once routed through the deterministic
+plan-queue lane.  At high contention the 2PL cells collapse into
+``ElementLockedError`` retry storms and one fsync per commit, while
+the lane serializes intents without conflicts and coalesces each plan
+batch into a single commit force.  Writes ``BENCH_detlane.json``; the
+``--check`` gate asserts the lane overtakes 2PL at the
+highest-contention cell (the crossover documented in
+docs/performance.md).
+
 **codec** (``--codec``): microbenchmark of the storage codec — per-
 record ``encode``/``decode`` versus the batched ``encode_into`` reused
 buffer and the ``memoryview``-based ``decode_from`` used by batched
@@ -63,6 +76,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --checkpoint-bytes 65536
     PYTHONPATH=src python benchmarks/run_bench.py --profile  # obs overhead
     PYTHONPATH=src python benchmarks/run_bench.py --dequeue-mode both
+    PYTHONPATH=src python benchmarks/run_bench.py --cc       # det lane sweep
     PYTHONPATH=src python benchmarks/run_bench.py --codec    # codec micro
     PYTHONPATH=src python benchmarks/run_bench.py --replicate # failover/RTO
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
@@ -73,6 +87,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import tempfile
 import threading
@@ -80,6 +95,7 @@ import time
 
 from repro.errors import ElementLockedError, QueueEmpty
 from repro.obs import Observability
+from repro.queueing.manager import QueueManager
 from repro.queueing.placement import PinnedPlacement
 from repro.queueing.queue import DequeueMode
 from repro.queueing.repository import QueueRepository
@@ -87,6 +103,7 @@ from repro.queueing.sharded import ShardedRepository
 from repro.replication import ReplicaSet
 from repro.storage.disk import FileDisk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
+from repro.transaction.deterministic import DeterministicLane
 
 SCHEMA_VERSION = 1
 
@@ -632,6 +649,144 @@ def run_hotpath(args: argparse.Namespace) -> dict:
     }
 
 
+def run_detlane_scenario(
+    cc: str,
+    threads_n: int,
+    txns_n: int,
+    hot_fraction: float,
+) -> dict:
+    """One cell of the concurrency-control contention sweep.
+
+    Every thread loops: pick the shared strict-FIFO ``hot`` queue with
+    probability ``hot_fraction`` (else its private queue), then run an
+    auto-commit dequeue followed by an auto-commit requeue of the same
+    body.  Under 2PL each operation is its own transaction fighting for
+    the queue head; under the deterministic lane both are planned
+    intents executed serially in shared batches.  ``ops`` counts
+    completed dequeue+requeue pairs; a strict-mode head conflict or an
+    empty poll counts as one ``conflict`` retry.
+    """
+    obs = Observability()
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    try:
+        disk = FileDisk(tmpdir.name)
+        repo = ShardedRepository(
+            "bench", [disk], obs=obs,
+            group_commit=GroupCommitConfig(enabled=False),
+        )
+        lane = DeterministicLane(repo, obs=obs) if cc != "2pl" else None
+        qm = QueueManager(repo, obs=obs, cc=cc, lane=lane)
+        qnames = ["hot"] + [f"own{t}" for t in range(threads_n)]
+        for qname in qnames:
+            repo.create_queue(qname, mode=DequeueMode.STRICT)
+        handles = {}
+        for t in range(threads_n):
+            for qname in ("hot", f"own{t}"):
+                handles[(qname, t)], _, _ = qm.register(qname, f"w{t}")
+        prefill = {"hot": 4 * threads_n + 8}
+        for t in range(threads_n):
+            prefill[f"own{t}"] = 4
+        for qname, depth in prefill.items():
+            with repo.tm.transaction() as txn:
+                queue = repo.get_queue(qname)
+                for n in range(depth):
+                    queue.enqueue(txn, {"q": qname, "n": n})
+
+        flushes_before = disk.flush_count
+        conflicts = [0] * threads_n
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            rng = random.Random(7919 * tid + 13)
+            hot = handles[("hot", tid)]
+            own = handles[(f"own{tid}", tid)]
+            done = 0
+            try:
+                while done < txns_n:
+                    handle = hot if rng.random() < hot_fraction else own
+                    try:
+                        element = qm.dequeue(handle)
+                        qm.enqueue(handle, element.body)
+                        done += 1
+                    except (ElementLockedError, QueueEmpty):
+                        conflicts[tid] += 1
+                        time.sleep(0)  # yield to the pending dequeuer
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(threads_n)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+
+        ops = threads_n * txns_n
+        flushes = disk.flush_count - flushes_before
+        snapshot = obs.metrics.snapshot()
+        batch_family = snapshot.get("det_plan_batch_size") or {}
+        batch_series = (batch_family.get("series") or [{}])[0]
+        det_batches = int(batch_series.get("count", 0))
+        batch_sum = float(batch_series.get("sum", 0.0))
+        return {
+            "cc": cc,
+            "threads": threads_n,
+            "hot_fraction": hot_fraction,
+            "txns_per_thread": txns_n,
+            "ops": ops,
+            "conflicts": sum(conflicts),
+            "det_batches": det_batches,
+            "det_batch_mean": (
+                batch_sum / det_batches if det_batches else 0.0
+            ),
+            "flushes": flushes,
+            "ops_per_sec": ops / elapsed if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        tmpdir.cleanup()
+
+
+def run_detlane(args: argparse.Namespace) -> dict:
+    """The ``--cc`` contention sweep: thread count x hot-queue skew,
+    each cell once per concurrency-control lane."""
+    txns_n = max(10, args.txns // 8)
+    threads_grid = (2, 8)
+    hot_grid = (0.0, 0.9)
+    if args.quick:
+        txns_n = min(txns_n, 10)
+        threads_grid = (2,)
+        hot_grid = (0.9,)
+    scenarios = []
+    for threads_n in threads_grid:
+        for hot_fraction in hot_grid:
+            for cc in ("2pl", "deterministic"):
+                print(f"running detlane/{cc} threads={threads_n} "
+                      f"hot={hot_fraction} ({txns_n} pairs/thread)...",
+                      flush=True)
+                row = run_detlane_scenario(
+                    cc, threads_n, txns_n, hot_fraction
+                )
+                print(f"  {row['ops_per_sec']:.0f} ops/s, "
+                      f"{row['conflicts']} conflicts, "
+                      f"{row['det_batches']} plan batches "
+                      f"(mean {row['det_batch_mean']:.1f}), "
+                      f"{row['flushes']} flushes")
+                scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "detlane",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
 def run_codec(args: argparse.Namespace) -> dict:
     """The codec microbenchmark (``--codec``).
 
@@ -830,10 +985,11 @@ def run_profile(args: argparse.Namespace) -> dict:
 
     snapshot = obs.metrics.snapshot()
     attribution = {}
-    for label, metric, match in PIPELINE_PHASES:
+    for label, metric, match, lane in PIPELINE_PHASES:
         merged = _merge(_series(snapshot, metric, match))
         if merged["count"]:
             attribution[label] = {
+                "lane": lane,
                 "count": int(merged["count"]),
                 "total_s": merged["sum"],
                 "p95_s": merged["p95"],
@@ -976,6 +1132,20 @@ _CODEC_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_DETLANE_FIELDS = {
+    "cc": str,
+    "threads": int,
+    "hot_fraction": (int, float),
+    "txns_per_thread": int,
+    "ops": int,
+    "conflicts": int,
+    "det_batches": int,
+    "det_batch_mean": (int, float),
+    "flushes": int,
+    "ops_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
 #: per-benchmark scenario schemas; ``validate`` accepts any known one
 _SCHEMAS = {
     "groupcommit": _GROUPCOMMIT_FIELDS,
@@ -985,6 +1155,7 @@ _SCHEMAS = {
     "hotpath": _HOTPATH_FIELDS,
     "codec": _CODEC_FIELDS,
     "failover": _FAILOVER_FIELDS,
+    "detlane": _DETLANE_FIELDS,
 }
 
 
@@ -1186,6 +1357,59 @@ def _check_hotpath_doc(doc: dict, scenarios: list) -> list[str]:
     return errors
 
 
+def _check_detlane_row(index: int, row: dict) -> list[str]:
+    # Structural sanity: the lane must actually have run (planned at
+    # least one batch) on deterministic rows and must never run on 2PL
+    # rows — otherwise the sweep compared a lane against itself.
+    errors: list[str] = []
+    cc = row.get("cc")
+    if cc not in ("2pl", "deterministic"):
+        errors.append(f"scenarios[{index}].cc must be 2pl or "
+                      f"deterministic, got {cc!r}")
+    elif cc == "deterministic" and not row.get("det_batches"):
+        errors.append(
+            f"scenarios[{index}]: deterministic run planned no batches "
+            "(lane routing did not engage)"
+        )
+    elif cc == "2pl" and row.get("det_batches"):
+        errors.append(
+            f"scenarios[{index}]: 2PL run reported "
+            f"{row['det_batches']} deterministic plan batches"
+        )
+    return errors
+
+
+def _check_detlane_doc(doc: dict, scenarios: list) -> list[str]:
+    """Cross-row acceptance check for a full detlane run: at the
+    highest-contention cell (max threads, max hot-queue fraction) the
+    deterministic lane must out-run 2PL — the QueCC-style claim the
+    sweep exists to reproduce.  Quick (CI-smoke) runs are too noisy
+    for numeric gates and only get the structural row checks."""
+    if doc.get("quick"):
+        return []
+    cells: dict[tuple, dict[str, float]] = {}
+    for row in scenarios:
+        if not isinstance(row, dict):
+            continue
+        key = (row.get("threads"), row.get("hot_fraction"))
+        cells.setdefault(key, {})[row.get("cc")] = row.get("ops_per_sec", 0)
+    keyed = [k for k in cells
+             if isinstance(k[0], int) and isinstance(k[1], (int, float))]
+    if not keyed:
+        return ["detlane run has no (threads, hot_fraction) cells"]
+    hottest = max(keyed)
+    pair = cells[hottest]
+    if "2pl" not in pair or "deterministic" not in pair:
+        return [f"cell {hottest} missing a 2pl or deterministic row"]
+    if pair["deterministic"] <= pair["2pl"]:
+        return [
+            f"deterministic lane ({pair['deterministic']:.0f} ops/s) does "
+            f"not beat 2PL ({pair['2pl']:.0f} ops/s) at threads="
+            f"{hottest[0]} hot_fraction={hottest[1]}"
+        ]
+    return []
+
+
 _ROW_CHECKS = {
     "groupcommit": _check_groupcommit_row,
     "sharding": _check_sharding_row,
@@ -1194,6 +1418,7 @@ _ROW_CHECKS = {
     "hotpath": _check_hotpath_row,
     "codec": _check_codec_row,
     "failover": _check_failover_row,
+    "detlane": _check_detlane_row,
 }
 
 
@@ -1241,6 +1466,8 @@ def validate(doc: object) -> list[str]:
         errors.extend(_check_hotpath_doc(doc, scenarios))
     if benchmark == "codec":
         errors.extend(_check_codec_doc(doc, scenarios))
+    if benchmark == "detlane":
+        errors.extend(_check_detlane_doc(doc, scenarios))
     return errors
 
 
@@ -1280,6 +1507,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the replication/failover benchmark "
                              "(shipping overhead, RTO, steady vs "
                              "during-failover throughput)")
+    parser.add_argument("--cc", action="store_true",
+                        help="run the concurrency-control contention "
+                             "sweep (2PL vs deterministic lane over "
+                             "threads x hot-queue skew)")
     parser.add_argument("--metrics-out", default="BENCH_obs_metrics.json",
                         help="metrics-snapshot file for --profile "
                              "(default BENCH_obs_metrics.json)")
@@ -1291,11 +1522,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
     modes = (args.shards, args.checkpoint_bytes, args.profile,
-             args.dequeue_mode, args.codec, args.replicate)
+             args.dequeue_mode, args.codec, args.replicate, args.cc)
     if sum(map(bool, modes)) > 1:
         parser.error("--shards, --checkpoint-bytes, --profile, "
-                     "--dequeue-mode, --codec and --replicate are "
-                     "mutually exclusive")
+                     "--dequeue-mode, --codec, --replicate and --cc "
+                     "are mutually exclusive")
     if args.out is None:
         if args.shards:
             args.out = "BENCH_sharding.json"
@@ -1311,6 +1542,8 @@ def main(argv: list[str] | None = None) -> int:
             args.out = "BENCH_codec.json"
         elif args.replicate:
             args.out = "BENCH_failover.json"
+        elif args.cc:
+            args.out = "BENCH_detlane.json"
         else:
             args.out = "BENCH_groupcommit.json"
 
@@ -1337,6 +1570,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_codec(args)
     elif args.replicate:
         doc = run_failover(args)
+    elif args.cc:
+        doc = run_detlane(args)
     else:
         doc = run(args)
     errors = validate(doc)

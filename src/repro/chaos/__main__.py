@@ -36,6 +36,7 @@ def _build_config(args: argparse.Namespace) -> ChaosConfig:
         checkpoint_interval_bytes=args.checkpoint_bytes,
         flight_dir=args.flight_dir,
         replicate=args.replicate,
+        cc=args.cc,
     )
 
 
@@ -71,6 +72,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                              "shard and add the node.kill / failover / "
                              "standby.lag fault family to the sampler "
                              "(default off)")
+    parser.add_argument("--cc", choices=("2pl", "deterministic", "auto"),
+                        default="2pl",
+                        help="concurrency-control policy under test: "
+                             "'deterministic'/'auto' route queue-shaped "
+                             "transactions through the plan-queue lane and "
+                             "add the det.plan.* crash points to the "
+                             "sampler (default 2pl)")
     parser.add_argument("--flight-dir", default=None,
                         help="write flight-recorder JSONL dumps for failing "
                              "episodes into this directory (default off)")
@@ -165,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
                 "checkpoint_interval_bytes": config.checkpoint_interval_bytes,
                 "flight_dir": config.flight_dir,
                 "replicate": config.replicate,
+                "cc": config.cc,
             },
             "outcomes": outcomes,
             "failures": failures,

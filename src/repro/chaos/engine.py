@@ -465,6 +465,7 @@ class ChaosEngine:
                             replicate=self.config.replicate,
                             standby_disks=self._standby_carry,
                             replica_controller=self._controller_carry,
+                            cc=self.config.cc,
                         )
                     else:
                         system = TPSystem(
@@ -480,6 +481,7 @@ class ChaosEngine:
                             replicate=self.config.replicate,
                             standby_disks=self._standby_carry,
                             replica_controller=self._controller_carry,
+                            cc=self.config.cc,
                         )
                 else:
                     system = self.system.reopen(injector=self.injector)

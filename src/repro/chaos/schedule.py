@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.storage.faults import CORRUPT, DISK_FULL, IO_ERROR, PERMANENT, DiskFault
+from repro.transaction.deterministic import DET_PLAN_CRASH_POINTS
 
 #: Crash points the sampler draws from.  These are the instrumented
 #: ``injector.reach`` points of the single-node Figure-5 path; the
@@ -238,6 +239,13 @@ class ChaosConfig:
     #: faults (``REPLICATION_WEIGHTS`` merged into the mix).  Off by
     #: default so historic seeds keep their exact schedules.
     replicate: bool = False
+    #: concurrency-control policy for the system under test: "2pl"
+    #: (seed behavior), or "deterministic"/"auto", which route the
+    #: queue-shaped transaction class through the deterministic lane
+    #: and let the sampler draw crash points at the plan-batch
+    #: boundaries (``DET_PLAN_CRASH_POINTS``).  "2pl" keeps historic
+    #: seeds byte-identical.
+    cc: str = "2pl"
     #: directory for flight-recorder dumps of failing episodes
     #: (``None`` keeps the ring in memory only — no files are written)
     flight_dir: str | None = None
@@ -330,6 +338,8 @@ def sample_schedule(seed: int, config: ChaosConfig | None = None) -> ChaosSchedu
         crash_points = crash_points + CHECKPOINT_CRASH_POINTS
     if config.batch_crash_points:
         crash_points = crash_points + BATCH_APPEND_CRASH_POINTS
+    if config.cc != "2pl":
+        crash_points = crash_points + DET_PLAN_CRASH_POINTS
     # The replication family joins the mix only when the campaign runs
     # standbys; merging here (not in the ChaosConfig default) keeps the
     # weighted draw — and every historic seed — byte-identical when off.

@@ -38,6 +38,7 @@ from repro.sim.crash import NULL_INJECTOR, FaultInjector
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import Disk, MemDisk
 from repro.storage.groupcommit import GroupCommitConfig
+from repro.transaction.deterministic import DeterministicLane
 from repro.transaction.twophase import TwoPhaseCoordinator
 
 REQUEST_QUEUE = "req.q"
@@ -69,6 +70,7 @@ class TPSystem:
         replicate: bool = False,
         standby_disks: Sequence[Disk | None] | None = None,
         replica_controller: FailoverController | None = None,
+        cc: str = "2pl",
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
@@ -90,6 +92,9 @@ class TPSystem:
                 "replication covers the (sharded) request repository; "
                 "the legacy separate reply node has no standby"
             )
+        if cc not in ("2pl", "auto", "deterministic"):
+            raise ValueError(f"unknown concurrency-control policy {cc!r}")
+        self.cc = cc
         self.placement = placement
         self._config = {
             "max_aborts": max_aborts,
@@ -100,6 +105,7 @@ class TPSystem:
             "shards": shards,
             "checkpoint_interval_bytes": checkpoint_interval_bytes,
             "replicate": replicate,
+            "cc": cc,
         }
 
         if shard_disks:
@@ -114,7 +120,22 @@ class TPSystem:
             group_commit=self.group_commit, placement=placement,
             checkpoint_interval_bytes=checkpoint_interval_bytes,
         )
-        self.request_qm = QueueManager(self.request_repo)
+        # "auto" and "deterministic" both route the queue-shaped
+        # transaction class (auto-commit single-queue enqueues and
+        # non-waiting dequeues) through the deterministic lane; other
+        # work stays on 2PL either way, so today the two policies
+        # differ only in intent ("deterministic" documents that the
+        # workload is expected to be lane-shaped).
+        self.det_lane = (
+            DeterministicLane(
+                self.request_repo, obs=self.obs, injector=self.injector
+            )
+            if cc != "2pl"
+            else None
+        )
+        self.request_qm = QueueManager(
+            self.request_repo, cc=cc, lane=self.det_lane
+        )
 
         if separate_reply_node:
             self.reply_disk: Disk = reply_disk if reply_disk is not None else MemDisk()
@@ -315,6 +336,7 @@ class TPSystem:
             standby_disks=(self.replicas.standby_disks()
                            if self.replicas is not None else None),
             replica_controller=self.failover_controller,
+            cc=self._config["cc"],
         )
 
     def fail_over(
@@ -391,6 +413,7 @@ class TPSystem:
             replicate=True,
             standby_disks=standby_disks,
             replica_controller=controller,
+            cc=self._config["cc"],
         )
         rto = perf_counter() - started
         if controller is not None:

@@ -25,20 +25,23 @@ from typing import Any, IO
 from repro.obs.flight import read_flight_dump
 
 #: the commit-pipeline phases, in pipeline order: (label, metric name,
-#: label filter applied to each series' labels)
-PIPELINE_PHASES: tuple[tuple[str, str, dict[str, str]], ...] = (
-    ("lock wait", "lock_wait_seconds", {}),
-    ("queue select (dequeue scan)", "queue_select_seconds", {}),
-    ("WAL append (buffer)", "wal_append_seconds", {}),
-    ("WAL force (flush)", "wal_force_seconds", {}),
+#: label filter applied to each series' labels, concurrency-control
+#: lane the phase belongs to — "2pl" / "det" for lane-specific phases,
+#: "any" for machinery both lanes share)
+PIPELINE_PHASES: tuple[tuple[str, str, dict[str, str], str], ...] = (
+    ("lock wait", "lock_wait_seconds", {}, "2pl"),
+    ("det plan wait (intent)", "det_plan_wait_seconds", {}, "det"),
+    ("queue select (dequeue scan)", "queue_select_seconds", {}, "any"),
+    ("WAL append (buffer)", "wal_append_seconds", {}, "any"),
+    ("WAL force (flush)", "wal_force_seconds", {}, "any"),
     ("group-commit wait (leader)",
-     "wal_group_commit_wait_seconds", {"role": "leader"}),
+     "wal_group_commit_wait_seconds", {"role": "leader"}, "any"),
     ("group-commit wait (follower)",
-     "wal_group_commit_wait_seconds", {"role": "follower"}),
-    ("2PC prepare", "twophase_prepare_seconds", {}),
-    ("2PC decision force", "twophase_decide_seconds", {}),
-    ("2PC round-trip (end-to-end)", "twophase_commit_seconds", {}),
-    ("checkpoint stall", "checkpoint_stall_seconds", {}),
+     "wal_group_commit_wait_seconds", {"role": "follower"}, "any"),
+    ("2PC prepare", "twophase_prepare_seconds", {}, "2pl"),
+    ("2PC decision force", "twophase_decide_seconds", {}, "2pl"),
+    ("2PC round-trip (end-to-end)", "twophase_commit_seconds", {}, "2pl"),
+    ("checkpoint stall", "checkpoint_stall_seconds", {}, "any"),
 )
 
 #: the denominator for the "share" column
@@ -92,10 +95,10 @@ def render_attribution(snapshot: dict[str, Any], out: IO[str]) -> None:
     """The per-phase breakdown of commit-pipeline time."""
     total = _merge(_series(snapshot, TOTAL_METRIC, {}))
     _rule(out, "Commit-pipeline latency attribution")
-    header = (f"{'phase':<30} {'count':>9} {'total':>10} "
+    header = (f"{'phase':<30} {'lane':>5} {'count':>9} {'total':>10} "
               f"{'mean':>9} {'p95':>9} {'share':>7}")
     out.write(header + "\n")
-    for label, metric, match in PIPELINE_PHASES:
+    for label, metric, match, lane in PIPELINE_PHASES:
         merged = _merge(_series(snapshot, metric, match))
         if merged["count"] == 0:
             continue
@@ -103,14 +106,14 @@ def render_attribution(snapshot: dict[str, Any], out: IO[str]) -> None:
         share = (f"{100.0 * merged['sum'] / total['sum']:.1f}%"
                  if total["sum"] > 0 else "-")
         out.write(
-            f"{label:<30} {int(merged['count']):>9} "
+            f"{label:<30} {lane:>5} {int(merged['count']):>9} "
             f"{_fmt_seconds(merged['sum']):>10} {_fmt_seconds(mean):>9} "
             f"{_fmt_seconds(merged['p95']):>9} {share:>7}\n"
         )
     if total["count"]:
         mean = total["sum"] / total["count"]
         out.write(
-            f"{'transaction total':<30} {int(total['count']):>9} "
+            f"{'transaction total':<30} {'any':>5} {int(total['count']):>9} "
             f"{_fmt_seconds(total['sum']):>10} {_fmt_seconds(mean):>9} "
             f"{_fmt_seconds(total['p95']):>9} {'100.0%':>7}\n"
         )
@@ -121,6 +124,32 @@ def render_attribution(snapshot: dict[str, Any], out: IO[str]) -> None:
     else:
         out.write("(no txn_duration_seconds series: per-phase shares "
                   "unavailable)\n")
+
+
+def render_lanes(snapshot: dict[str, Any], out: IO[str]) -> None:
+    """Transactions per concurrency-control lane, plus deterministic
+    plan-batch shape when the lane ran."""
+    lanes = _series(snapshot, "txn_lane_total", {})
+    if not lanes:
+        return
+    _rule(out, "Concurrency-control lanes")
+    out.write(f"{'node':<20} {'lane':<15} {'txns':>9}\n")
+    for entry in sorted(
+        lanes,
+        key=lambda s: (s.get("labels", {}).get("node", "?"),
+                       s.get("labels", {}).get("lane", "?")),
+    ):
+        if not entry.get("value"):
+            continue
+        labels = entry.get("labels", {})
+        out.write(f"{labels.get('node', '?'):<20} "
+                  f"{labels.get('lane', '?'):<15} "
+                  f"{int(entry.get('value', 0)):>9}\n")
+    batches = _merge(_series(snapshot, "det_plan_batch_size", {}))
+    if batches["count"]:
+        mean = batches["sum"] / batches["count"]
+        out.write(f"deterministic plan batches: {int(batches['count'])} "
+                  f"(mean size {mean:.1f}, max {batches['max']:.0f})\n")
 
 
 def render_queue_age(snapshot: dict[str, Any], out: IO[str]) -> None:
@@ -194,6 +223,7 @@ def render_flight(path: str, tail: int, out: IO[str]) -> None:
 def render_report(snapshot: dict[str, Any], out: IO[str],
                   flight_path: str | None = None, tail: int = 20) -> None:
     render_attribution(snapshot, out)
+    render_lanes(snapshot, out)
     render_queue_age(snapshot, out)
     render_recovery(snapshot, out)
     if flight_path is not None:

@@ -13,6 +13,14 @@
   stored";
 * a registrant-supplied *tag* rides every Enqueue/Dequeue atomically
   into the persistent registration record (Section 4.3).
+
+When the facade is built with a deterministic lane (``cc="auto"`` or
+``"deterministic"``), auto-commit single-queue enqueues and
+non-waiting dequeues — the queue-shaped transaction class — are
+routed to the lane's plan queues instead of opening a 2PL transaction;
+see :mod:`repro.transaction.deterministic` for the routing rationale.
+Everything else (caller-supplied transactions, blocking dequeues,
+register/deregister) stays on the 2PL lane.
 """
 
 from __future__ import annotations
@@ -42,8 +50,19 @@ class QueueHandle:
 class QueueManager:
     """Facade over one repository, exposing the paper's operations."""
 
-    def __init__(self, repo: QueueRepository, obs: Observability | None = None):
+    def __init__(
+        self,
+        repo: QueueRepository,
+        obs: Observability | None = None,
+        cc: str = "2pl",
+        lane: Any = None,
+    ):
         self.repo = repo
+        #: concurrency-control policy: "2pl" (seed behavior), or
+        #: "auto"/"deterministic", which route the queue-shaped
+        #: transaction class through ``lane``
+        self.cc = cc
+        self.lane = lane if cc != "2pl" else None
         obs = obs if obs is not None else repo.obs
         self._obs_on = obs.enabled
         self._tracer = obs.tracer
@@ -178,6 +197,8 @@ class QueueManager:
             ):
                 return previous.last_eid
         queue = self._queue(handle)
+        if txn is None and self.lane is not None:
+            return self._lane_enqueue(handle, body, tag, priority, headers)
         with self._txn_scope(txn) as t:
             eid = queue.enqueue(t, body, priority=priority, headers=headers)
             element = queue_element_record(body, eid, priority, headers)
@@ -185,6 +206,28 @@ class QueueManager:
                 t, handle.queue, handle.registrant, "enq", tag, eid, element
             )
         return eid
+
+    def _lane_enqueue(
+        self,
+        handle: QueueHandle,
+        body: Any,
+        tag: Any,
+        priority: int,
+        headers: dict[str, Any] | None,
+    ) -> int:
+        """Plan an auto-commit enqueue on the deterministic lane."""
+
+        def op(shard, t: Transaction) -> int:
+            eid = shard.get_queue(handle.queue).enqueue(
+                t, body, priority=priority, headers=headers
+            )
+            element = queue_element_record(body, eid, priority, headers)
+            shard.registration.record_op(
+                t, handle.queue, handle.registrant, "enq", tag, eid, element
+            )
+            return eid
+
+        return self.lane.submit(handle.queue, "enq", op)
 
     def dequeue(
         self,
@@ -242,6 +285,15 @@ class QueueManager:
     ) -> Element:
         self._check_registered(handle)
         queue = self._queue(handle)
+        # Waiting dequeues must not be planned: an executor sleeping on
+        # a queue condition would stall every intent behind it, so only
+        # immediate polls (non-blocking, or a zero timeout) ride the
+        # deterministic lane.
+        waits = block and (timeout is None or timeout > 0)
+        if txn is None and self.lane is not None and not waits:
+            return self._lane_dequeue(
+                handle, tag, error_queue, block, timeout, selector
+            )
         with self._txn_scope(txn) as t:
             element = queue.dequeue(
                 t,
@@ -260,6 +312,38 @@ class QueueManager:
                 element.to_record(),
             )
         return element
+
+    def _lane_dequeue(
+        self,
+        handle: QueueHandle,
+        tag: Any,
+        error_queue: str | None,
+        block: bool,
+        timeout: float | None,
+        selector: Callable[[Element], bool] | None,
+    ) -> Element:
+        """Plan an auto-commit non-waiting dequeue on the lane."""
+
+        def op(shard, t: Transaction) -> Element:
+            element = shard.get_queue(handle.queue).dequeue(
+                t,
+                selector=selector,
+                block=block,
+                timeout=timeout,
+                error_queue=error_queue,
+            )
+            shard.registration.record_op(
+                t,
+                handle.queue,
+                handle.registrant,
+                "deq",
+                tag,
+                element.eid,
+                element.to_record(),
+            )
+            return element
+
+        return self.lane.submit(handle.queue, "deq", op)
 
     def read(self, handle: QueueHandle, eid: int) -> Element:
         """Figure 3: ``element = Read(h, e)``.

@@ -214,7 +214,7 @@ class QueueRepository:
             segment_bytes=segment_bytes,
         )
         self.locks = (
-            lock_manager if lock_manager is not None else LockManager(obs=self.obs)
+            lock_manager if lock_manager is not None else LockManager()
         )
         self.tm = TransactionManager(
             self.log, self.locks, self.injector, obs=self.obs, node=name

@@ -5,8 +5,14 @@ serializable with respect to each other, and — when invoked from within
 a transaction — obey full transaction semantics.  This package provides
 the machinery:
 
+* :mod:`repro.transaction.cc` — pluggable concurrency-control
+  strategies (strict 2PL, and the no-lock strategy of the
+  deterministic lane),
 * :mod:`repro.transaction.locks` — strict two-phase locking with a
   waits-for-graph deadlock detector,
+* :mod:`repro.transaction.deterministic` — the QueCC-style
+  deterministic execution lane: per-shard plan queues drained serially
+  without locks or conflict aborts,
 * :mod:`repro.transaction.log` — a typed, shared, force-at-commit redo
   log multiplexing every resource manager of a node over one WAL,
 * :mod:`repro.transaction.manager` — begin / commit / abort, in-memory
@@ -20,6 +26,15 @@ the machinery:
   path, cross-shard commits are promoted to two-phase commit.
 """
 
+from repro.transaction.cc import (
+    ConcurrencyControl,
+    DeterministicCC,
+    TwoPhaseLockingCC,
+)
+from repro.transaction.deterministic import (
+    DET_PLAN_CRASH_POINTS,
+    DeterministicLane,
+)
 from repro.transaction.ids import TxnId, TxnStatus
 from repro.transaction.locks import LockManager, LockMode
 from repro.transaction.log import LogManager, LogRecord
@@ -31,6 +46,11 @@ from repro.transaction.twophase import TwoPhaseCoordinator
 __all__ = [
     "TxnId",
     "TxnStatus",
+    "ConcurrencyControl",
+    "TwoPhaseLockingCC",
+    "DeterministicCC",
+    "DeterministicLane",
+    "DET_PLAN_CRASH_POINTS",
     "LockManager",
     "LockMode",
     "LogManager",

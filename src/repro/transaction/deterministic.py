@@ -1,0 +1,241 @@
+"""QueCC-style deterministic execution lane.
+
+Queue-shaped transactions — a single enqueue or dequeue against one
+queue — are the textbook case where *planning* beats locking (Qadah's
+queue-oriented transaction processing, PAPERS.md): instead of letting
+concurrent auto-commit transactions fight over the queue head with
+locks and aborts, the lane **plans** incoming intents into a per-shard
+ordered queue and **executes** each plan serially.  Conflicts are
+impossible by construction, so execution acquires no locks
+(:class:`~repro.transaction.cc.DeterministicCC`) and never aborts on
+contention.
+
+Draining reuses the submitting thread: the first submitter on an idle
+shard becomes that shard's executor and drains the plan — including
+intents that arrive while it runs — as a sequence of *batches*, each
+batch one transaction on the shard's ordinary
+:class:`~repro.transaction.manager.TransactionManager`.  Followers
+park on an event and are handed their result when their batch commits,
+so N contended intents share a single commit force instead of N.
+Because no extra threads exist, a single-threaded caller (the chaos
+engine) sees fully deterministic batch-of-one execution.
+
+Recovery cannot tell the lanes apart: a batch writes the same ``upd``
+records through the same :class:`~repro.transaction.log.LogManager`
+batching, ends in the same ``cmt``/``abt`` record, and honors the same
+checkpoint contract as the 2PL lane.
+
+Crash points, bracketing a plan batch for the chaos harness:
+
+* ``det.plan.batch.before`` — intents planned, nothing logged: the
+  whole batch must vanish at recovery.
+* ``det.plan.batch.after`` — batch commit durable, results not yet
+  returned: the whole batch must survive recovery (the request-level
+  idempotence of the queue protocols absorbs the lost replies).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import ElementLockedError, QueueEmpty, SimulatedCrash
+from repro.obs import Observability, get_observability
+from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.transaction.cc import DeterministicCC
+from repro.transaction.ids import TxnStatus
+
+#: crash points at plan-batch boundaries (sampled by the chaos
+#: scheduler when the ``cc`` knob is set)
+DET_PLAN_CRASH_POINTS = (
+    "det.plan.batch.before",
+    "det.plan.batch.after",
+)
+
+#: per-intent failures with no partial effects: both raise before the
+#: first redo record / undo registration of the operation, so they are
+#: safe to absorb inside a batch without poisoning its siblings.
+_SOFT_ERRORS = (QueueEmpty, ElementLockedError)
+
+
+class _Intent:
+    """One planned operation: a closure to run inside a batch txn."""
+
+    __slots__ = ("kind", "queue", "fn", "result", "error", "done", "t_submit")
+
+    def __init__(self, kind: str, queue: str, fn: Callable, t_submit: float | None):
+        self.kind = kind
+        self.queue = queue
+        self.fn = fn
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.t_submit = t_submit
+
+
+class _ShardPlan:
+    """Ordered plan queue of one shard, plus its drain state."""
+
+    __slots__ = ("repo", "mutex", "pending", "draining")
+
+    def __init__(self, repo):
+        self.repo = repo
+        self.mutex = threading.Lock()
+        self.pending: deque[_Intent] = deque()
+        self.draining = False
+
+
+class DeterministicLane:
+    """Planner + executor for auto-routed queue-shaped transactions.
+
+    ``repo`` may be a :class:`~repro.queueing.sharded.ShardedRepository`
+    (one plan per shard) or a plain
+    :class:`~repro.queueing.repository.QueueRepository` (one plan).
+    The lane is rebuilt whenever its node reboots, so plan state is
+    volatile by design — exactly like the unsubmitted requests of the
+    processes it serves.
+    """
+
+    def __init__(
+        self,
+        repo,
+        obs: Observability | None = None,
+        injector: FaultInjector | None = None,
+        max_batch: int = 64,
+    ):
+        self.repo = repo
+        self.max_batch = max_batch
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self._cc = DeterministicCC()
+        shards = getattr(repo, "shards", None)
+        self._plans = [_ShardPlan(s) for s in (shards if shards else [repo])]
+        obs = obs if obs is not None else get_observability()
+        self._obs_on = obs.enabled
+        metrics = obs.metrics
+        self._m_batch = metrics.histogram(
+            "det_plan_batch_size", "intents executed per deterministic plan batch"
+        )
+        self._m_wait = metrics.histogram(
+            "det_plan_wait_seconds",
+            "submit-to-execution wait of a deterministic intent",
+        )
+
+    # -- planning --------------------------------------------------------------
+
+    def _plan_for(self, qname: str) -> _ShardPlan:
+        if len(self._plans) == 1:
+            return self._plans[0]
+        return self._plans[self.repo.shard_of(qname)]
+
+    def submit(self, qname: str, kind: str, fn: Callable) -> Any:
+        """Plan one intent and return its result (or raise its error).
+
+        ``fn(shard_repo, txn)`` runs inside the batch transaction of
+        the shard owning ``qname``; the submitting thread either drains
+        the plan itself (idle shard) or parks until its batch commits.
+        """
+        plan = self._plan_for(qname)
+        intent = _Intent(
+            kind, qname, fn, _time.perf_counter() if self._obs_on else None
+        )
+        with plan.mutex:
+            plan.pending.append(intent)
+            leader = not plan.draining
+            if leader:
+                plan.draining = True
+        if leader:
+            self._drain(plan)
+        else:
+            intent.done.wait()
+        if intent.error is not None:
+            raise intent.error
+        return intent.result
+
+    # -- execution -------------------------------------------------------------
+
+    def _next_batch(self, plan: _ShardPlan) -> list[_Intent]:
+        """Pop the next batch, or release drainership when the plan is
+        empty (both under one mutex hold, so no submitter is orphaned).
+
+        A batch never carries two dequeues of the same queue: inside
+        one transaction the second would see the first's element
+        DEQ_PENDING (a state no 2PL auto-commit dequeue can observe),
+        so repeats start the next batch instead.
+        """
+        with plan.mutex:
+            batch: list[_Intent] = []
+            dequeued: set[str] = set()
+            while plan.pending and len(batch) < self.max_batch:
+                head = plan.pending[0]
+                if head.kind == "deq":
+                    if head.queue in dequeued:
+                        break
+                    dequeued.add(head.queue)
+                batch.append(plan.pending.popleft())
+            if not batch:
+                plan.draining = False
+            return batch
+
+    def _drain(self, plan: _ShardPlan) -> None:
+        while True:
+            batch = self._next_batch(plan)
+            if not batch:
+                return
+            try:
+                self._execute(plan, batch)
+            except BaseException as exc:
+                # The node is in trouble (crash, WAL panic): fail every
+                # planned-but-unexecuted intent and release drainership
+                # so no follower waits forever, then let the leader's
+                # caller see the original failure.
+                with plan.mutex:
+                    leftover = list(plan.pending)
+                    plan.pending.clear()
+                    plan.draining = False
+                for intent in leftover:
+                    if intent.error is None:
+                        intent.error = exc
+                    intent.done.set()
+                raise
+            finally:
+                for intent in batch:
+                    intent.done.set()
+
+    def _execute(self, plan: _ShardPlan, batch: list[_Intent]) -> None:
+        if self._obs_on:
+            now = _time.perf_counter()
+            for intent in batch:
+                if intent.t_submit is not None:
+                    self._m_wait.observe(now - intent.t_submit)
+        self._injector.reach("det.plan.batch.before")
+        tm = plan.repo.tm
+        txn = tm.begin(cc=self._cc)
+        effects = 0
+        try:
+            for intent in batch:
+                try:
+                    intent.result = intent.fn(plan.repo, txn)
+                    effects += 1
+                except _SOFT_ERRORS as exc:
+                    intent.error = exc
+            if effects:
+                tm.commit(txn)
+            else:
+                # All intents were no-ops (e.g. empty polls): mirror the
+                # 2PL auto-commit path, which aborts on QueueEmpty.
+                tm.abort(txn, "deterministic plan batch: no effects")
+        except BaseException as exc:
+            if txn.status is TxnStatus.ACTIVE and not isinstance(
+                exc, SimulatedCrash
+            ):
+                tm.abort(txn, f"{type(exc).__name__}: {exc}")
+            for intent in batch:
+                intent.result = None
+                if intent.error is None:
+                    intent.error = exc
+            raise
+        self._injector.reach("det.plan.batch.after")
+        if self._obs_on:
+            self._m_batch.observe(len(batch))

@@ -26,7 +26,6 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import DeadlockError, LockTimeoutError
-from repro.obs import Observability, get_observability
 
 
 class LockMode(enum.Enum):
@@ -117,8 +116,7 @@ class LockManager:
     methods are thread-safe.
     """
 
-    def __init__(self, default_timeout: float | None = 10.0,
-                 obs: Observability | None = None):
+    def __init__(self, default_timeout: float | None = 10.0):
         self._mutex = threading.Lock()
         self._granted: dict[str, _LockState] = defaultdict(_LockState)
         self._waits_for: dict[object, set[object]] = {}
@@ -126,17 +124,12 @@ class LockManager:
         self._held_by_owner: dict[object, set[str]] = defaultdict(set)
         self.default_timeout = default_timeout
         self.stats = LockStats()
-        obs = obs if obs is not None else get_observability()
-        metrics = obs.metrics
-        self._m_wait = metrics.histogram(
-            "lock_wait_seconds", "time spent waiting for a lock grant"
-        )
-        self._m_deadlocks = metrics.counter(
-            "lock_deadlocks_total", "lock requests aborted by deadlock detection"
-        )
-        self._m_timeouts = metrics.counter(
-            "lock_timeouts_total", "lock requests that timed out"
-        )
+        #: optional accounting sink (``on_wait``/``on_deadlock``/
+        #: ``on_timeout``) — installed by the owning concurrency-control
+        #: strategy (:class:`repro.transaction.cc.TwoPhaseLockingCC`),
+        #: which owns the contention metrics.  The lock table itself
+        #: stays metrics-free so a node that never locks reports zeros.
+        self.sink = None
 
     # -- acquisition ---------------------------------------------------------
 
@@ -176,7 +169,8 @@ class LockManager:
                 if self._detects_cycle(owner):
                     del self._waits_for[owner]
                     self.stats.deadlocks += 1
-                    self._m_deadlocks.inc()
+                    if self.sink is not None:
+                        self.sink.on_deadlock()
                     raise DeadlockError(
                         f"{owner} waiting for {sorted(map(str, blockers))} on "
                         f"{resource!r} closes a waits-for cycle"
@@ -188,10 +182,12 @@ class LockManager:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     del self._waits_for[owner]
+                    elapsed = time.monotonic() - wait_start
                     self.stats.timeouts += 1
-                    self.stats.wait_time += time.monotonic() - wait_start
-                    self._m_timeouts.inc()
-                    self._m_wait.observe(time.monotonic() - wait_start)
+                    self.stats.wait_time += elapsed
+                    if self.sink is not None:
+                        self.sink.on_timeout()
+                        self.sink.on_wait(elapsed)
                     raise LockTimeoutError(
                         f"{owner} timed out waiting for {mode.value} on {resource!r}"
                     )
@@ -201,8 +197,10 @@ class LockManager:
                 self._cond.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
             self._waits_for.pop(owner, None)
             if waited:
-                self.stats.wait_time += time.monotonic() - wait_start
-                self._m_wait.observe(time.monotonic() - wait_start)
+                elapsed = time.monotonic() - wait_start
+                self.stats.wait_time += elapsed
+                if self.sink is not None:
+                    self.sink.on_wait(elapsed)
             state.holders[owner] = target
             self._held_by_owner[owner].add(resource)
             self.stats.acquisitions += 1

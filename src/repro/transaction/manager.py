@@ -40,6 +40,7 @@ from typing import Any, Callable, Iterator
 from repro.errors import InvalidTransactionState, StorageError, TransactionAborted
 from repro.obs import Observability, get_observability
 from repro.sim.crash import NULL_INJECTOR, FaultInjector
+from repro.transaction.cc import ConcurrencyControl, TwoPhaseLockingCC
 from repro.transaction.ids import TxnStatus
 from repro.transaction.locks import LockManager, LockMode
 from repro.transaction.log import LogManager
@@ -49,9 +50,18 @@ class Transaction:
     """One transaction.  Not thread-safe: a transaction belongs to the
     single thread (simulated process) executing it."""
 
-    def __init__(self, tm: "TransactionManager", txn_id: int):
+    def __init__(
+        self,
+        tm: "TransactionManager",
+        txn_id: int,
+        cc: ConcurrencyControl | None = None,
+    ):
         self.tm = tm
         self.id = txn_id
+        #: concurrency-control strategy this transaction runs under;
+        #: defaults to the manager's (strict 2PL), overridden per
+        #: transaction by the deterministic lane.
+        self.cc = cc if cc is not None else tm.cc
         self.status = TxnStatus.ACTIVE
         self._undo: list[Callable[[], None]] = []
         self._on_commit: list[Callable[[], None]] = []
@@ -74,7 +84,7 @@ class Transaction:
         released only at end of transaction)."""
         self.require_active()
         try:
-            self.tm.locks.acquire(self.id, resource, mode)
+            self.cc.acquire(self.id, resource, mode)
         except Exception:
             # Deadlock/timeout: caller decides whether to abort; the lock
             # was not granted, so no cleanup is needed here.
@@ -120,6 +130,10 @@ class TransactionManager:
     ):
         self.log = log
         self.locks = locks if locks is not None else LockManager()
+        #: default concurrency-control strategy (strict 2PL over the
+        #: node's lock table); individual transactions may carry a
+        #: different strategy (``begin(cc=...)``).
+        self.cc: ConcurrencyControl = TwoPhaseLockingCC(self.locks, obs=obs)
         self.injector = injector if injector is not None else NULL_INJECTOR
         self._next_id = 1
         self._mutex = threading.Lock()
@@ -144,16 +158,22 @@ class TransactionManager:
         self._m_duration = metrics.histogram(
             "txn_duration_seconds", "begin-to-outcome transaction time", ("node",)
         ).labels(node=node)
+        self._lane_counter = metrics.counter(
+            "txn_lane_total",
+            "transactions completed per concurrency-control lane",
+            ("node", "lane"),
+        )
+        self._m_lane: dict[str, Any] = {}
         if self._obs_on:
             self._m_active.set_function(lambda: len(self._active))
 
     # -- lifecycle -------------------------------------------------------------
 
-    def begin(self) -> Transaction:
+    def begin(self, cc: ConcurrencyControl | None = None) -> Transaction:
         with self._mutex:
             txn_id = self._next_id
             self._next_id += 1
-            txn = Transaction(self, txn_id)
+            txn = Transaction(self, txn_id, cc=cc)
             self._active[txn_id] = txn
             return txn
 
@@ -234,6 +254,12 @@ class TransactionManager:
 
     def _observe_outcome(self, txn: Transaction, counter) -> None:
         counter.inc()
+        lane = txn.cc.lane
+        m_lane = self._m_lane.get(lane)
+        if m_lane is None:
+            m_lane = self._lane_counter.labels(node=self._node, lane=lane)
+            self._m_lane[lane] = m_lane
+        m_lane.inc()
         if txn._started is not None:
             self._m_duration.observe(_time.perf_counter() - txn._started)
 
@@ -279,7 +305,7 @@ class TransactionManager:
         with self._mutex:
             self._active.pop(txn.id, None)
         self.log.forget_txn(txn.id)
-        self.locks.release_all(txn.id)
+        txn.cc.release_all(txn.id)
         txn._undo.clear()
 
     # -- two-phase-commit branch support ------------------------------------------
@@ -287,7 +313,7 @@ class TransactionManager:
     def prepare(self, txn: Transaction, global_id: str) -> None:
         """Make the branch durable while keeping its locks (2PC phase 1)."""
         txn.require_active()
-        locks = sorted(self.locks.held_by(txn.id))
+        locks = sorted(txn.cc.held_by(txn.id))
         self.injector.reach("tm.prepare.before_log")
         self.log.log_prepare(txn.id, global_id, locks)
         self.injector.reach("tm.prepare.after_log")
@@ -330,10 +356,12 @@ class TransactionManager:
     # -- conveniences ---------------------------------------------------------------
 
     @contextmanager
-    def transaction(self) -> Iterator[Transaction]:
+    def transaction(
+        self, cc: ConcurrencyControl | None = None
+    ) -> Iterator[Transaction]:
         """``with tm.transaction() as txn:`` — commit on success, abort on
         any exception (the exception is re-raised)."""
-        txn = self.begin()
+        txn = self.begin(cc=cc)
         try:
             yield txn
         except BaseException as exc:

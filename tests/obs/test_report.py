@@ -13,19 +13,26 @@ GOLDEN = """\
 
 Commit-pipeline latency attribution
 -----------------------------------
-phase                              count      total      mean       p95   share
-lock wait                              2     4.00ms    2.00ms    2.00ms   10.0%
-WAL append (buffer)                    1    100.0us   100.0us   100.0us    0.2%
-WAL force (flush)                      1     4.00ms    4.00ms    4.00ms   10.0%
-group-commit wait (leader)             1     1.00ms    1.00ms    1.00ms    2.5%
-group-commit wait (follower)           1     3.00ms    3.00ms    3.00ms    7.5%
-2PC prepare                            1     2.00ms    2.00ms    2.00ms    5.0%
-2PC decision force                     1     5.00ms    5.00ms    5.00ms   12.5%
-2PC round-trip (end-to-end)            1    10.00ms   10.00ms   10.00ms   25.0%
-checkpoint stall                       1    50.00ms   50.00ms   50.00ms  125.0%
-transaction total                      2    40.00ms   20.00ms   20.00ms  100.0%
+phase                           lane     count      total      mean       p95   share
+lock wait                        2pl         2     4.00ms    2.00ms    2.00ms   10.0%
+WAL append (buffer)              any         1    100.0us   100.0us   100.0us    0.2%
+WAL force (flush)                any         1     4.00ms    4.00ms    4.00ms   10.0%
+group-commit wait (leader)       any         1     1.00ms    1.00ms    1.00ms    2.5%
+group-commit wait (follower)     any         1     3.00ms    3.00ms    3.00ms    7.5%
+2PC prepare                      2pl         1     2.00ms    2.00ms    2.00ms    5.0%
+2PC decision force               2pl         1     5.00ms    5.00ms    5.00ms   12.5%
+2PC round-trip (end-to-end)      2pl         1    10.00ms   10.00ms   10.00ms   25.0%
+checkpoint stall                 any         1    50.00ms   50.00ms   50.00ms  125.0%
+transaction total                any         2    40.00ms   20.00ms   20.00ms  100.0%
 (share = phase time / total transaction time; phases overlap — e.g. the
  WAL force happens inside the group-commit leader wait — so shares do not sum to 100%)
+
+Concurrency-control lanes
+-------------------------
+node                 lane                 txns
+node                 2pl                     3
+node                 deterministic           5
+deterministic plan batches: 2 (mean size 2.5, max 3)
 
 Queue age (visible -> dequeued)
 -------------------------------
@@ -77,6 +84,13 @@ def _populated_registry() -> MetricsRegistry:
         .labels(repo="node").observe(0.003)
     reg.counter("recovery_mode_total", "r", ("repo", "mode")) \
         .labels(repo="node", mode="full-replay").inc()
+    lanes = reg.counter("txn_lane_total", "lane", ("node", "lane"))
+    lanes.labels(node="node", lane="2pl").inc(3)
+    lanes.labels(node="node", lane="deterministic").inc(5)
+    batches = reg.histogram("det_plan_batch_size", "batch", ("node",)) \
+        .labels(node="node")
+    batches.observe(2)
+    batches.observe(3)
     return reg
 
 

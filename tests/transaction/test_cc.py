@@ -1,0 +1,159 @@
+"""Concurrency-control strategy tests: delegation, the no-lock
+deterministic strategy, and metric ownership (the contention metrics
+belong to the 2PL strategy, not to the lock table)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.obs import Observability
+from repro.transaction.cc import (
+    ConcurrencyControl,
+    DeterministicCC,
+    TwoPhaseLockingCC,
+)
+from repro.transaction.locks import LockManager, LockMode
+
+
+def _counter(obs: Observability, name: str) -> float:
+    family = obs.metrics.snapshot().get(name) or {}
+    return sum(s.get("value", 0) for s in family.get("series", []))
+
+
+def _histogram_count(obs: Observability, name: str) -> int:
+    family = obs.metrics.snapshot().get(name) or {}
+    return sum(int(s.get("count", 0)) for s in family.get("series", []))
+
+
+class TestInterface:
+    def test_base_class_is_abstract(self):
+        cc = ConcurrencyControl()
+        with pytest.raises(NotImplementedError):
+            cc.acquire("t1", "r", LockMode.X)
+        with pytest.raises(NotImplementedError):
+            cc.release_all("t1")
+        with pytest.raises(NotImplementedError):
+            cc.wait_stats()
+        assert cc.lane == "unknown"
+
+
+class TestTwoPhaseLockingCC:
+    def test_delegates_to_lock_manager(self):
+        locks = LockManager()
+        cc = TwoPhaseLockingCC(locks, obs=Observability.disabled())
+        cc.acquire("t1", "r", LockMode.X)
+        assert cc.held_by("t1") == {"r"}
+        assert cc.holders("r") == {"t1": LockMode.X}
+        assert locks.holders("r") == {"t1": LockMode.X}
+        assert cc.would_block("t2", "r", LockMode.S)
+        assert not cc.try_acquire("t2", "r", LockMode.S)
+        cc.release_all("t1")
+        assert cc.holders("r") == {}
+
+    def test_builds_own_lock_manager_when_none_given(self):
+        cc = TwoPhaseLockingCC(obs=Observability.disabled())
+        cc.acquire("t1", "r", LockMode.S)
+        assert cc.locks.holders("r") == {"t1": LockMode.S}
+
+    def test_transfer_delegates(self):
+        cc = TwoPhaseLockingCC(obs=Observability.disabled())
+        cc.acquire("t1", "r", LockMode.X)
+        assert cc.transfer("t1", "t2") == ["r"]
+        assert cc.held_by("t2") == {"r"}
+
+    def test_wait_stats_snapshot_shape(self):
+        cc = TwoPhaseLockingCC(obs=Observability.disabled())
+        cc.acquire("t1", "r", LockMode.X)
+        stats = cc.wait_stats()
+        assert stats["acquisitions"] == 1
+        assert set(stats) == {
+            "acquisitions", "waits", "wait_time", "deadlocks", "timeouts",
+        }
+
+
+class TestMetricOwnership:
+    """The strategy — not the lock table — owns the contention metrics."""
+
+    def test_deadlock_increments_strategy_counter(self):
+        obs = Observability()
+        cc = TwoPhaseLockingCC(LockManager(default_timeout=5.0), obs=obs)
+        cc.acquire("t1", "a", LockMode.X)
+        cc.acquire("t2", "b", LockMode.X)
+
+        def t1_wants_b():
+            try:
+                cc.acquire("t1", "b", LockMode.X, timeout=5)
+            except (DeadlockError, LockTimeoutError):
+                pass
+
+        thread = threading.Thread(target=t1_wants_b, daemon=True)
+        thread.start()
+        time.sleep(0.1)  # let t1 block on b
+        with pytest.raises(DeadlockError):
+            cc.acquire("t2", "a", LockMode.X, timeout=5)
+        cc.release_all("t2")  # victim aborts; t1 proceeds
+        thread.join(timeout=3)
+        cc.release_all("t1")
+        assert _counter(obs, "lock_deadlocks_total") >= 1
+
+    def test_timeout_increments_counter_and_observes_wait(self):
+        obs = Observability()
+        cc = TwoPhaseLockingCC(obs=obs)
+        cc.acquire("t1", "r", LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            cc.acquire("t2", "r", LockMode.X, timeout=0.01)
+        assert _counter(obs, "lock_timeouts_total") == 1
+        assert _histogram_count(obs, "lock_wait_seconds") == 1
+
+    def test_granted_wait_observed(self):
+        obs = Observability()
+        cc = TwoPhaseLockingCC(obs=obs)
+        cc.acquire("t1", "r", LockMode.X)
+
+        def releaser():
+            cc.release_all("t1")
+
+        timer = threading.Timer(0.02, releaser)
+        timer.start()
+        cc.acquire("t2", "r", LockMode.X, timeout=2.0)
+        timer.join()
+        assert _histogram_count(obs, "lock_wait_seconds") == 1
+
+    def test_bare_lock_manager_emits_no_metrics(self):
+        # A LockManager without a strategy still keeps LockStats for
+        # benchmarks but has no sink and therefore no metric series.
+        lm = LockManager()
+        assert lm.sink is None
+        lm.acquire("t1", "r", LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire("t2", "r", LockMode.X, timeout=0.01)
+        assert lm.stats.timeouts == 1
+
+
+class TestDeterministicCC:
+    def test_never_blocks_or_holds(self):
+        cc = DeterministicCC()
+        assert cc.lane == "deterministic"
+        cc.acquire("t1", "r", LockMode.X)
+        cc.acquire("t2", "r", LockMode.X)  # no conflict by construction
+        assert cc.would_block("t2", "r", LockMode.X) is False
+        assert cc.try_acquire("t3", "r", LockMode.X) is True
+        assert cc.held_by("t1") == set()
+        assert cc.holders("r") == {}
+        cc.release_all("t1")
+
+    def test_transfer_is_empty(self):
+        cc = DeterministicCC()
+        cc.acquire("t1", "r", LockMode.X)
+        assert cc.transfer("t1", "t2") == []
+
+    def test_wait_stats_structurally_zero(self):
+        stats = DeterministicCC().wait_stats()
+        assert set(stats) == {
+            "acquisitions", "waits", "wait_time", "deadlocks", "timeouts",
+        }
+        assert all(v == 0 for v in stats.values())
