@@ -69,6 +69,21 @@ pre-failover commit survived on the promoted node, and its txn/s
 includes the outage window (steady-state vs during-failover
 throughput).  Writes ``BENCH_failover.json``.
 
+**netdeploy** (``--deployment tcp``): the saturation benchmark for the
+TCP deployment — shard processes spawned by the supervisor, an asyncio
+:class:`~repro.gateway.Gateway` terminating N closed-loop client
+sessions, and a fixed pool of server threads draining the request
+queue.  Swept over session counts (underload and overload) with
+queue-depth backpressure on and off.  Overload with backpressure off
+lets the request queue absorb the whole session population, so queue
+wait — and the reply tail — grows with N; with backpressure on the
+gateway refuses (``Busy``) past the depth watermark and the accepted
+requests keep a bounded tail.  Writes ``BENCH_netdeploy.json`` with
+txn/s, accepted-submit p50/p95/p99 reply latency, end-to-end p99
+(including Busy retries), and refusal counts; the ``--check`` gate
+asserts backpressure-on beats backpressure-off on p99 at the
+overloaded cell.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # group commit
@@ -79,6 +94,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --cc       # det lane sweep
     PYTHONPATH=src python benchmarks/run_bench.py --codec    # codec micro
     PYTHONPATH=src python benchmarks/run_bench.py --replicate # failover/RTO
+    PYTHONPATH=src python benchmarks/run_bench.py --deployment tcp # netdeploy
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --check BENCH_groupcommit.json
 """
@@ -1041,6 +1057,160 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
+def _percentile(samples: list[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` in milliseconds."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(pct * (len(ordered) - 1)))))
+    return ordered[rank] * 1000.0
+
+
+def run_netdeploy_scenario(
+    backpressure: bool,
+    sessions_n: int,
+    requests_n: int,
+    depth_limit: int,
+    servers_n: int,
+    service_time: float = 0.002,
+) -> dict:
+    """One netdeploy cell: a fresh 2-shard TCP deployment, ``sessions_n``
+    closed-loop async sessions through one gateway, ``servers_n`` server
+    threads draining the request queue with ``service_time`` of work per
+    request.  The server pool is the bottleneck, so the steady-state
+    queue depth is the session population — unless backpressure caps it
+    at ``depth_limit``."""
+    import asyncio
+    import shutil
+
+    from repro.core.system import TPSystem
+    from repro.errors import Busy
+    from repro.gateway import Gateway
+
+    data_dir = tempfile.mkdtemp(prefix="repro-bench-netdeploy-")
+    system = TPSystem(deployment="tcp", shards=2, data_dir=data_dir)
+    stop = threading.Event()
+
+    def handler(_txn, request):
+        time.sleep(service_time)
+        return request.body
+
+    def serve_loop(server) -> None:
+        while not stop.is_set():
+            try:
+                if not server.process_one():
+                    time.sleep(0.001)
+            except Exception:
+                if stop.is_set():
+                    return
+                time.sleep(0.001)
+
+    servers = [
+        system.server(f"bench-s{i}", handler) for i in range(servers_n)
+    ]
+    threads = [
+        threading.Thread(target=serve_loop, args=(server,), daemon=True)
+        for server in servers
+    ]
+
+    #: per-session (accepted-submit latencies, end-to-end latencies, busy)
+    async def client(gateway, cid: str) -> tuple[list, list, int]:
+        loop = asyncio.get_event_loop()
+        session = await gateway.session(cid)
+        service, e2e, busy = [], [], 0
+        for n in range(requests_n):
+            first_attempt = loop.time()
+            while True:
+                try:
+                    await session.submit({"n": n})
+                    break
+                except Busy:
+                    busy += 1
+                    await asyncio.sleep(0.005)
+            accepted = loop.time()
+            await session.receive(timeout=60)
+            now = loop.time()
+            service.append(now - accepted)
+            e2e.append(now - first_attempt)
+        return service, e2e, busy
+
+    async def scenario() -> list:
+        gateway = Gateway(
+            [("127.0.0.1", s.port) for s in system.supervisor.shards],
+            request_queue=system.request_queue,
+            depth_limit=depth_limit,
+            backpressure=backpressure,
+            max_inflight=max(64, 4 * sessions_n),
+        )
+        await gateway.start()
+        try:
+            return await asyncio.gather(
+                *(client(gateway, f"c{i}") for i in range(sessions_n))
+            )
+        finally:
+            await gateway.close()
+
+    try:
+        for thread in threads:
+            thread.start()
+        started = time.perf_counter()
+        results = asyncio.run(scenario())
+        elapsed = time.perf_counter() - started
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        system.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+    service = [s for per_session in results for s in per_session[0]]
+    e2e = [s for per_session in results for s in per_session[1]]
+    busy = sum(per_session[2] for per_session in results)
+    completed = len(service)
+    return {
+        "backpressure": backpressure,
+        "sessions": sessions_n,
+        "requests_per_session": requests_n,
+        "depth_limit": depth_limit,
+        "servers": servers_n,
+        "completed": completed,
+        "busy_refusals": busy,
+        "txn_per_sec": completed / elapsed if elapsed else 0.0,
+        "p50_ms": _percentile(service, 0.50),
+        "p95_ms": _percentile(service, 0.95),
+        "p99_ms": _percentile(service, 0.99),
+        "e2e_p99_ms": _percentile(e2e, 0.99),
+        "elapsed_s": elapsed,
+    }
+
+
+def run_netdeploy(args: argparse.Namespace) -> dict:
+    requests_n = 5 if args.quick else 15
+    sweep = (2, 6) if args.quick else (4, 24)
+    depth_limit = 2 if args.quick else 6
+    scenarios = []
+    for sessions_n in sweep:
+        for backpressure in (False, True):
+            label = "on" if backpressure else "off"
+            print(f"running netdeploy/sessions={sessions_n} "
+                  f"backpressure={label} "
+                  f"({requests_n} requests/session)...", flush=True)
+            row = run_netdeploy_scenario(
+                backpressure, sessions_n, requests_n, depth_limit,
+                servers_n=1,
+            )
+            print(f"  {row['txn_per_sec']:.0f} txn/s, "
+                  f"p99 {row['p99_ms']:.1f} ms, "
+                  f"{row['busy_refusals']} refusals")
+            scenarios.append(row)
+    return {
+        "version": SCHEMA_VERSION,
+        "benchmark": "netdeploy",
+        "quick": bool(args.quick),
+        "scenarios": scenarios,
+    }
+
+
 # -- schema check (CI smoke) -------------------------------------------------
 
 _GROUPCOMMIT_FIELDS = {
@@ -1146,6 +1316,22 @@ _DETLANE_FIELDS = {
     "elapsed_s": (int, float),
 }
 
+_NETDEPLOY_FIELDS = {
+    "backpressure": bool,
+    "sessions": int,
+    "requests_per_session": int,
+    "depth_limit": int,
+    "servers": int,
+    "completed": int,
+    "busy_refusals": int,
+    "txn_per_sec": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "p99_ms": (int, float),
+    "e2e_p99_ms": (int, float),
+    "elapsed_s": (int, float),
+}
+
 #: per-benchmark scenario schemas; ``validate`` accepts any known one
 _SCHEMAS = {
     "groupcommit": _GROUPCOMMIT_FIELDS,
@@ -1156,6 +1342,7 @@ _SCHEMAS = {
     "codec": _CODEC_FIELDS,
     "failover": _FAILOVER_FIELDS,
     "detlane": _DETLANE_FIELDS,
+    "netdeploy": _NETDEPLOY_FIELDS,
 }
 
 
@@ -1410,6 +1597,61 @@ def _check_detlane_doc(doc: dict, scenarios: list) -> list[str]:
     return []
 
 
+def _check_netdeploy_row(index: int, row: dict) -> list[str]:
+    # Structural invariants that hold at any scale: every requested
+    # submission completes (Busy refusals delay, never drop), and a
+    # backpressure-off run must not report refusals.
+    errors: list[str] = []
+    expected = row.get("sessions", 0) * row.get("requests_per_session", 0)
+    if row.get("completed") != expected:
+        errors.append(
+            f"scenarios[{index}]: completed {row.get('completed')} of "
+            f"{expected} submissions"
+        )
+    if not row.get("backpressure") and row.get("busy_refusals"):
+        errors.append(
+            f"scenarios[{index}]: backpressure-off run reported "
+            f"{row['busy_refusals']} Busy refusals"
+        )
+    return errors
+
+
+def _check_netdeploy_doc(doc: dict, scenarios: list) -> list[str]:
+    """Cross-row acceptance gate for a full netdeploy run: at the
+    most-overloaded cell (max sessions) backpressure must have engaged
+    (refusals > 0) and must beat the backpressure-off run on p99 reply
+    latency — bounded queue depth is the whole point of the watermark.
+    Quick (CI-smoke) runs are too noisy for the numeric half and only
+    get the structural row checks."""
+    if doc.get("quick"):
+        return []
+    cells: dict[int, dict[bool, dict]] = {}
+    for row in scenarios:
+        if isinstance(row, dict) and isinstance(row.get("sessions"), int):
+            cells.setdefault(row["sessions"], {})[
+                bool(row.get("backpressure"))] = row
+    if not cells:
+        return ["netdeploy run has no session cells"]
+    overloaded = cells[max(cells)]
+    if True not in overloaded or False not in overloaded:
+        return [f"cell sessions={max(cells)} missing a backpressure "
+                "on or off row"]
+    on, off = overloaded[True], overloaded[False]
+    errors: list[str] = []
+    if not on.get("busy_refusals"):
+        errors.append(
+            f"backpressure never engaged at sessions={max(cells)} "
+            "(no Busy refusals)"
+        )
+    if on.get("p99_ms", 0) >= off.get("p99_ms", 0):
+        errors.append(
+            f"backpressure-on p99 ({on.get('p99_ms'):.1f} ms) does not "
+            f"beat backpressure-off ({off.get('p99_ms'):.1f} ms) at "
+            f"sessions={max(cells)}"
+        )
+    return errors
+
+
 _ROW_CHECKS = {
     "groupcommit": _check_groupcommit_row,
     "sharding": _check_sharding_row,
@@ -1419,6 +1661,7 @@ _ROW_CHECKS = {
     "codec": _check_codec_row,
     "failover": _check_failover_row,
     "detlane": _check_detlane_row,
+    "netdeploy": _check_netdeploy_row,
 }
 
 
@@ -1468,6 +1711,8 @@ def validate(doc: object) -> list[str]:
         errors.extend(_check_codec_doc(doc, scenarios))
     if benchmark == "detlane":
         errors.extend(_check_detlane_doc(doc, scenarios))
+    if benchmark == "netdeploy":
+        errors.extend(_check_netdeploy_doc(doc, scenarios))
     return errors
 
 
@@ -1511,6 +1756,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the concurrency-control contention "
                              "sweep (2PL vs deterministic lane over "
                              "threads x hot-queue skew)")
+    parser.add_argument("--deployment", default=None, choices=("tcp",),
+                        help="run the netdeploy saturation benchmark "
+                             "(asyncio gateway over real shard processes, "
+                             "session sweep with queue-depth backpressure "
+                             "on and off)")
     parser.add_argument("--metrics-out", default="BENCH_obs_metrics.json",
                         help="metrics-snapshot file for --profile "
                              "(default BENCH_obs_metrics.json)")
@@ -1522,11 +1772,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
     modes = (args.shards, args.checkpoint_bytes, args.profile,
-             args.dequeue_mode, args.codec, args.replicate, args.cc)
+             args.dequeue_mode, args.codec, args.replicate, args.cc,
+             args.deployment)
     if sum(map(bool, modes)) > 1:
         parser.error("--shards, --checkpoint-bytes, --profile, "
-                     "--dequeue-mode, --codec, --replicate and --cc "
-                     "are mutually exclusive")
+                     "--dequeue-mode, --codec, --replicate, --cc and "
+                     "--deployment are mutually exclusive")
     if args.out is None:
         if args.shards:
             args.out = "BENCH_sharding.json"
@@ -1544,6 +1795,8 @@ def main(argv: list[str] | None = None) -> int:
             args.out = "BENCH_failover.json"
         elif args.cc:
             args.out = "BENCH_detlane.json"
+        elif args.deployment:
+            args.out = "BENCH_netdeploy.json"
         else:
             args.out = "BENCH_groupcommit.json"
 
@@ -1572,6 +1825,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = run_failover(args)
     elif args.cc:
         doc = run_detlane(args)
+    elif args.deployment:
+        doc = run_netdeploy(args)
     else:
         doc = run(args)
     errors = validate(doc)

@@ -66,8 +66,8 @@ from repro.chaos.schedule import (
     sample_schedule,
 )
 from repro.comm.network import SimNetwork
-from repro.comm.remote import RemoteQueueManager
-from repro.comm.rpc import RpcChannel, RpcServer
+from repro.comm.remote import QueueManagerService, RemoteQueueManager
+from repro.comm.transport import InProcListener, InProcTransport
 from repro.core.clerk import Clerk
 from repro.core.guarantees import GuaranteeChecker
 from repro.core.request import REPLY_OK, Request, make_rid, rid_sequence
@@ -369,17 +369,17 @@ class ChaosEngine:
 
         self.clients = [_ClientActor(self, i) for i in range(self.config.clients)]
         # Clerk-side RPC plumbing: each client endpoint talks to the
-        # queue node's endpoint; the proxies are re-pointed at the fresh
-        # queue manager after every restart (their forwarding closures
-        # late-bind ``_qm``).
-        RpcServer(self.network, _QM_ENDPOINT)
+        # queue node's endpoint; the service is re-pointed at the fresh
+        # queue manager after every restart.
+        self.qm_service = QueueManagerService(None)
+        InProcListener(self.network, _QM_ENDPOINT, self.qm_service.handle)
         self.rqms: list[RemoteQueueManager] = []
         for i in range(self.config.clients):
-            channel = RpcChannel(
+            channel = InProcTransport(
                 self.network, f"c{i}", _QM_ENDPOINT,
                 max_retries=2, backoff_base=0.0, seed=self.seed + i,
             )
-            self.rqms.append(RemoteQueueManager(channel, None))
+            self.rqms.append(RemoteQueueManager(channel))
         self.system: TPSystem | None = None
         self.servers: list = []
 
@@ -403,8 +403,7 @@ class ChaosEngine:
         self.table = system.table(_COUNTS_TABLE)
         for actor in self.clients:
             system.ensure_reply_queue(actor.id)
-        for rqm in self.rqms:
-            rqm._qm = system.request_qm
+        self.qm_service.qm = system.request_qm
         self.servers = [
             system.server(f"s{i}", self._handler)
             for i in range(self.config.servers)

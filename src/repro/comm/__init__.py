@@ -1,5 +1,5 @@
-"""Communication substrate: a lossy, partitionable message network and
-an RPC layer over it.
+"""Communication substrate: a lossy, partitionable message network,
+a transport abstraction over it, and a real TCP wire.
 
 The paper's protocols assume only that the clerk can invoke queue
 operations remotely ("we assume that the clerk invokes QM operations
@@ -10,11 +10,55 @@ the opening failure scenario of Section 2.  This package provides:
 * :class:`~repro.comm.network.SimNetwork` — named endpoints, seeded
   random message loss, duplication, and partitions, with message
   counters used by benchmark C8 (RPC vs one-way Send vs Transceive).
-* :class:`~repro.comm.rpc.RpcChannel` — request/response calls (two
-  messages) and one-way posts (one message) over the network.
+* :class:`~repro.comm.transport.Transport` — the correlated
+  request/response interface, with two media behind it:
+  :class:`~repro.comm.transport.InProcTransport` (the simulated
+  network, byte-identical to the legacy channel behaviour) and
+  :class:`~repro.comm.transport.TcpTransport` (a real socket speaking
+  the CRC'd length-prefixed frames of :mod:`repro.comm.wire`).
+* :class:`~repro.comm.rpc.RpcChannel` — the legacy closure-payload
+  flavour of the same engine, kept for benchmark C8's message-count
+  comparisons; and one-way posts (one message) over the network.
 """
 
 from repro.comm.network import SimNetwork, NetworkStats
 from repro.comm.rpc import RpcChannel, OneWayTransport
+from repro.comm.transport import (
+    NO_RESPONSE,
+    InProcListener,
+    InProcTransport,
+    TcpListener,
+    TcpTransport,
+    Transport,
+)
+from repro.comm.wire import (
+    DEFAULT_MAX_FRAME,
+    FrameError,
+    FrameReader,
+    encode_frame,
+    error_payload,
+    ok_payload,
+    raise_remote,
+    unwrap,
+)
 
-__all__ = ["SimNetwork", "NetworkStats", "RpcChannel", "OneWayTransport"]
+__all__ = [
+    "SimNetwork",
+    "NetworkStats",
+    "RpcChannel",
+    "OneWayTransport",
+    "Transport",
+    "InProcTransport",
+    "InProcListener",
+    "TcpTransport",
+    "TcpListener",
+    "NO_RESPONSE",
+    "FrameError",
+    "FrameReader",
+    "encode_frame",
+    "DEFAULT_MAX_FRAME",
+    "ok_payload",
+    "error_payload",
+    "raise_remote",
+    "unwrap",
+]

@@ -5,32 +5,152 @@ invokes QM operations using remote procedure call [Birrell and
 Nelson 84]."
 
 :class:`RemoteQueueManager` exposes the :class:`~repro.queueing.manager.
-QueueManager` surface the clerk uses, forwarding each operation over an
-:class:`~repro.comm.rpc.RpcChannel`.  The transport is at-least-once
-(lost messages are retried), so duplicate *deliveries* of an operation
-are possible; the queue manager absorbs them:
+QueueManager` surface the clerk uses, forwarding each operation over
+any :class:`~repro.comm.transport.Transport` — the simulated network
+in chaos runs, a real TCP socket in the deployed topology — as *data*
+payloads (``{"op": ..., ...}`` dicts of codec types), dispatched by a
+:class:`QueueManagerService` at the far end.  The transport is
+at-least-once (lost messages/replies are retried), so duplicate
+*deliveries* of an operation are possible; the queue manager absorbs
+them:
 
 * **Register** is naturally idempotent (re-register returns the same
   state);
 * **tagged Enqueue** is deduplicated by the registration's last tag
   (rids are unique, so an equal tag is the same logical Send);
-* **Dequeue** retries can double-dequeue; the clerk's Receive is
-  called once per reply and the blocking dequeue is invoked through a
-  single call whose *response* may be retried — the channel returns the
-  first response and duplicates carry the identical element.
+* **Dequeue** retries can double-dequeue; the clerk's resynchronization
+  (Figure 2) recovers via the tag — the paper's whole point;
+* **Deregister** retries find the registration already gone; for a
+  destroy operation that *is* success, absorbed server-side.
 
-The proxy deliberately only covers the clerk-facing operations; servers
-are co-located with their queues (the paper's back-end assumption).
+The proxy deliberately only covers the clerk-facing auto-commit
+operations; servers are co-located with their queues (the paper's
+back-end assumption), and the sharded TCP deployment has its own
+transactional stubs in :mod:`repro.serve.client`.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.comm.rpc import RpcChannel
-from repro.errors import NotRegisteredError
+from repro.comm.transport import Transport
+from repro.comm.wire import error_payload, ok_payload, unwrap
+from repro.errors import NotRegisteredError, ReproError
 from repro.queueing.element import Element
 from repro.queueing.manager import QueueHandle, QueueManager
+from repro.queueing.registration import Registration
+
+#: slack added to a blocking dequeue's wire timeout so the transport
+#: outwaits the server-side block before declaring the call lost
+_BLOCK_SLACK = 5.0
+#: wire timeout for a block-forever dequeue (the retry re-enters the
+#: same blocking wait, so this only bounds one attempt)
+_BLOCK_FOREVER = 3600.0
+
+
+def handle_record(handle: QueueHandle) -> dict[str, str]:
+    return {
+        "repository": handle.repository,
+        "queue": handle.queue,
+        "registrant": handle.registrant,
+    }
+
+
+def handle_from_record(record: dict[str, str]) -> QueueHandle:
+    return QueueHandle(
+        record["repository"], record["queue"], record["registrant"]
+    )
+
+
+class QueueManagerService:
+    """Server-side dispatcher: executes queue operations named by wire
+    payloads against a local :class:`QueueManager`.
+
+    ``qm`` is rebindable — after a crash/restart the supervisor (or the
+    chaos engine) points the service at the recovered queue manager and
+    in-flight client retries land on the new incarnation, exactly as a
+    reconnecting RPC stub would.
+
+    Only :class:`~repro.errors.ReproError` is converted into an error
+    envelope; anything else (notably injected
+    :class:`~repro.errors.SimulatedCrash` faults) propagates to the
+    caller of :meth:`handle` — over the synchronous in-proc medium that
+    is the sender's stack, preserving the chaos engine's crash
+    propagation.
+    """
+
+    def __init__(self, qm: QueueManager | None):
+        self.qm = qm
+        self.handled = 0
+
+    def handle(self, payload: Any) -> dict[str, Any]:
+        self.handled += 1
+        try:
+            return ok_payload(self._dispatch(payload))
+        except ReproError as exc:
+            return error_payload(exc)
+
+    def _resolve_txn(self, payload: dict[str, Any]) -> Any:
+        """Transaction named in the payload, if any.  The base service
+        is auto-commit only; :class:`repro.serve.service.ShardService`
+        overrides this to resolve branch ids from its transaction
+        table."""
+        if payload.get("txn") is not None:
+            raise ReproError(
+                "transactional calls require a shard service"
+            )
+        return None
+
+    def _dispatch(self, payload: dict[str, Any]) -> Any:
+        qm = self.qm
+        op = payload["op"]
+        if op == "register":
+            handle, tag, eid = qm.register(
+                payload["queue"], payload["registrant"],
+                stable=payload.get("stable", True),
+            )
+            return {"handle": handle_record(handle), "tag": tag, "eid": eid}
+        if op == "deregister":
+            try:
+                qm.deregister(handle_from_record(payload["handle"]))
+            except NotRegisteredError:
+                # Duplicate delivery: the first attempt already
+                # deregistered and only its reply was lost.
+                pass
+            return None
+        if op == "enqueue":
+            return qm.enqueue(
+                handle_from_record(payload["handle"]),
+                payload["body"],
+                tag=payload.get("tag"),
+                txn=self._resolve_txn(payload),
+                priority=payload.get("priority", 0),
+                headers=payload.get("headers"),
+            )
+        if op == "dequeue":
+            element = qm.dequeue(
+                handle_from_record(payload["handle"]),
+                tag=payload.get("tag"),
+                error_queue=payload.get("error_queue"),
+                txn=self._resolve_txn(payload),
+                block=payload.get("block", False),
+                timeout=payload.get("timeout"),
+            )
+            return element.to_record()
+        if op == "registration_info":
+            reg = qm.registration_info(handle_from_record(payload["handle"]))
+            return None if reg is None else reg.to_record()
+        if op == "read":
+            return qm.read(
+                handle_from_record(payload["handle"]), payload["eid"]
+            ).to_record()
+        if op == "kill_element":
+            return qm.kill_element(
+                handle_from_record(payload["handle"]), payload["eid"]
+            )
+        if op == "depth":
+            return qm.depth(payload["queue"])
+        raise ReproError(f"unknown queue-manager operation {op!r}")
 
 
 class RemoteQueueManager:
@@ -40,57 +160,104 @@ class RemoteQueueManager:
     the clerk performs (register, deregister, enqueue, dequeue, read,
     kill_element) — a :class:`~repro.core.clerk.Clerk` works unchanged
     with one of these as its ``request_qm`` / ``reply_qm``.
+
+    All operations are auto-commit (``txn`` must be ``None``): the
+    clerk's Sends and Receives each run in their own server-side
+    transaction, per Figure 3.
     """
 
-    def __init__(self, channel: RpcChannel, qm: QueueManager):
-        self.channel = channel
-        self._qm = qm  # the remote object (held by the far endpoint)
+    def __init__(self, transport: Transport):
+        self.transport = transport
 
-    # The clerk occasionally consults qm.repo for test plumbing; expose
-    # the remote repository reference the same way the real QM does.
-    @property
-    def repo(self):
-        return self._qm.repo
+    def _call(self, payload: dict[str, Any],
+              timeout: float | None = None) -> Any:
+        return unwrap(self.transport.request(payload, timeout=timeout))
+
+    @staticmethod
+    def _no_txn(txn: Any) -> None:
+        if txn is not None:
+            raise ReproError(
+                "RemoteQueueManager operations are auto-commit; "
+                "transactional branches use repro.serve.client stubs"
+            )
 
     # -- forwarded operations ------------------------------------------------
 
     def register(
         self, qname: str, registrant: str, stable: bool = True, txn=None
     ) -> tuple[QueueHandle, Any, int | None]:
-        return self.channel.call(
-            lambda: self._qm.register(qname, registrant, stable=stable, txn=txn)
+        self._no_txn(txn)
+        result = self._call(
+            {"op": "register", "queue": qname, "registrant": registrant,
+             "stable": stable}
+        )
+        return (
+            handle_from_record(result["handle"]), result["tag"], result["eid"]
         )
 
     def deregister(self, handle: QueueHandle, txn=None) -> None:
-        # Absorb the duplicate-delivery case: a retried Deregister whose
-        # first attempt succeeded (response lost) finds the registration
-        # already gone — for a destroy operation that IS success.
-        def destroy():
-            try:
-                self._qm.deregister(handle, txn=txn)
-            except NotRegisteredError:
-                pass
+        self._no_txn(txn)
+        self._call({"op": "deregister", "handle": handle_record(handle)})
 
-        return self.channel.call(destroy)
-
-    def enqueue(self, handle: QueueHandle, body: Any, tag: Any = None, **kwargs) -> int:
-        return self.channel.call(
-            lambda: self._qm.enqueue(handle, body, tag=tag, **kwargs)
+    def enqueue(
+        self,
+        handle: QueueHandle,
+        body: Any,
+        tag: Any = None,
+        *,
+        txn=None,
+        priority: int = 0,
+        headers: dict[str, Any] | None = None,
+    ) -> int:
+        self._no_txn(txn)
+        return self._call(
+            {"op": "enqueue", "handle": handle_record(handle), "body": body,
+             "tag": tag, "priority": priority, "headers": headers}
         )
 
-    def dequeue(self, handle: QueueHandle, tag: Any = None, **kwargs) -> Element:
-        return self.channel.call(
-            lambda: self._qm.dequeue(handle, tag=tag, **kwargs)
+    def dequeue(
+        self,
+        handle: QueueHandle,
+        tag: Any = None,
+        error_queue: str | None = None,
+        *,
+        txn=None,
+        block: bool = False,
+        timeout: float | None = None,
+        selector=None,
+    ) -> Element:
+        self._no_txn(txn)
+        if selector is not None:
+            raise ReproError("selectors cannot cross the wire")
+        wire_timeout = None
+        if block:
+            wire_timeout = (
+                timeout if timeout is not None else _BLOCK_FOREVER
+            ) + _BLOCK_SLACK
+        record = self._call(
+            {"op": "dequeue", "handle": handle_record(handle), "tag": tag,
+             "error_queue": error_queue, "block": block, "timeout": timeout},
+            timeout=wire_timeout,
         )
+        return Element.from_record(record)
 
-    def registration_info(self, handle: QueueHandle):
-        return self.channel.call(lambda: self._qm.registration_info(handle))
+    def registration_info(self, handle: QueueHandle) -> Registration | None:
+        record = self._call(
+            {"op": "registration_info", "handle": handle_record(handle)}
+        )
+        return None if record is None else Registration.from_record(record)
 
     def read(self, handle: QueueHandle, eid: int) -> Element:
-        return self.channel.call(lambda: self._qm.read(handle, eid))
+        record = self._call(
+            {"op": "read", "handle": handle_record(handle), "eid": eid}
+        )
+        return Element.from_record(record)
 
     def kill_element(self, handle: QueueHandle, eid: int) -> bool:
-        return self.channel.call(lambda: self._qm.kill_element(handle, eid))
+        return self._call(
+            {"op": "kill_element", "handle": handle_record(handle),
+             "eid": eid}
+        )
 
     def depth(self, qname: str) -> int:
-        return self.channel.call(lambda: self._qm.depth(qname))
+        return self._call({"op": "depth", "queue": qname})

@@ -28,21 +28,22 @@ instead of hammering in lockstep.
 
 from __future__ import annotations
 
-import random
-import threading
-import time as _time
+import time as _time  # noqa: F401 - patched by tests to observe backoff sleeps
 from typing import Any, Callable
 
 from repro.comm.network import SimNetwork
-from repro.errors import MessageLost, PartitionedError, RpcTimeout
+from repro.comm.transport import InProcTransport
+from repro.errors import MessageLost, PartitionedError
 
-_NO_RESPONSE = object()
 
-
-class RpcChannel:
+class RpcChannel(InProcTransport):
     """Request/response calls between two endpoints.
 
     Thread-safe: any number of threads may :meth:`call` concurrently.
+    The correlation/retry engine lives in
+    :class:`~repro.comm.transport.CorrelatedChannel` (this class is its
+    closure-payload flavour; :class:`~repro.comm.transport.
+    InProcTransport` is the data-payload flavour real wires can speak).
 
     Parameters
     ----------
@@ -58,52 +59,6 @@ class RpcChannel:
         old immediate-retry behaviour.
     """
 
-    def __init__(
-        self,
-        network: SimNetwork,
-        local: str,
-        remote: str,
-        max_retries: int = 10,
-        backoff_base: float = 0.0005,
-        backoff_factor: float = 2.0,
-        backoff_max: float = 0.01,
-        seed: int = 0,
-    ):
-        self.network = network
-        self.local = local
-        self.remote = remote
-        self.max_retries = max_retries
-        self.backoff_base = backoff_base
-        self.backoff_factor = backoff_factor
-        self.backoff_max = backoff_max
-        self._rng = random.Random(seed)
-        self._mutex = threading.Lock()
-        self._next_call_id = 1
-        #: call id -> result slot (kept _NO_RESPONSE until the first
-        #: response for that id arrives; later duplicates are dropped)
-        self._pending: dict[int, Any] = {}
-        network.register(local, self._on_response)
-        self.calls = 0
-        self.retries = 0
-
-    def _on_response(self, payload: Any) -> None:
-        if not (isinstance(payload, tuple) and len(payload) == 3 and payload[0] == "resp"):
-            return  # not a correlated response; ignore
-        _, call_id, result = payload
-        with self._mutex:
-            # Unknown id: a duplicate for a call that already returned,
-            # or a response to a previous incarnation of this endpoint.
-            if self._pending.get(call_id, None) is _NO_RESPONSE:
-                self._pending[call_id] = result
-
-    def _backoff(self, attempt: int) -> None:
-        if self.backoff_base <= 0.0:
-            return
-        delay = min(self.backoff_max, self.backoff_base * self.backoff_factor ** attempt)
-        with self._mutex:
-            jitter = 0.5 + self._rng.random() / 2.0
-        _time.sleep(delay * jitter)
-
     def call(self, fn: Callable[[], Any]) -> Any:
         """Invoke ``fn`` at the remote endpoint and return its result.
 
@@ -112,35 +67,7 @@ class RpcChannel:
         at-least-once, so ``fn`` itself must be idempotent or, as in
         the paper, a tagged queue operation whose duplicate is
         harmless."""
-        self.calls += 1
-        with self._mutex:
-            call_id = self._next_call_id
-            self._next_call_id += 1
-            self._pending[call_id] = _NO_RESPONSE
-        try:
-            for attempt in range(self.max_retries + 1):
-                if attempt:
-                    self.retries += 1
-                    self._backoff(attempt - 1)
-                try:
-                    self.network.send(
-                        self.local,
-                        self.remote,
-                        ("call", call_id, fn, self.local),
-                        reliable=True,
-                    )
-                except (MessageLost, PartitionedError):
-                    continue
-                with self._mutex:
-                    result = self._pending[call_id]
-                if result is not _NO_RESPONSE:
-                    return result
-            raise RpcTimeout(
-                f"no response from {self.remote!r} after {self.max_retries} retries"
-            )
-        finally:
-            with self._mutex:
-                self._pending.pop(call_id, None)
+        return self.request(fn)
 
     def post(self, fn: Callable[[], Any]) -> None:
         """One-way message: fire and forget (1 message, possibly lost)."""

@@ -16,6 +16,18 @@ Crash/restart protocol for tests and benchmarks::
 
 ``reopen`` rebuilds every repository from its (crashed, then recovered)
 disk, preserving the trace so guarantee checks span the failure.
+
+Deployment modes (the transport-abstraction refactor):
+
+* ``deployment="inproc"`` (default) — everything in this process over
+  simulated disks, byte-identical to the layout every chaos schedule
+  and property suite was recorded against.
+* ``deployment="tcp"`` — each shard is a real OS process
+  (``repro-shardd``) serving the wire protocol over TCP from a file
+  disk under ``data_dir``; clerks and servers run in the driver
+  against remote facades, and ``kill_shard`` is a real ``SIGKILL``
+  whose restart runs real recovery (see :mod:`repro.serve` and
+  ``docs/deployment.md``).
 """
 
 from __future__ import annotations
@@ -71,12 +83,45 @@ class TPSystem:
         standby_disks: Sequence[Disk | None] | None = None,
         replica_controller: FailoverController | None = None,
         cc: str = "2pl",
+        deployment: str = "inproc",
+        data_dir: str | None = None,
+        auto_restart: bool = False,
     ):
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.trace = trace if trace is not None else TraceRecorder()
         self.obs = obs if obs is not None else get_observability()
         self.request_queue = request_queue
         self.error_queue = error_queue
+        if deployment not in ("inproc", "tcp"):
+            raise ValueError(f"unknown deployment {deployment!r}")
+        self.deployment = deployment
+        self.supervisor = None  # set by the tcp deployment
+        if deployment == "tcp":
+            if replicate or separate_reply_node:
+                raise ValueError(
+                    "the tcp deployment does not combine with replication "
+                    "or the legacy separate reply node"
+                )
+            if injector is not None and injector is not NULL_INJECTOR:
+                raise ValueError(
+                    "fault injectors are in-process; the tcp deployment "
+                    "injects faults by SIGKILLing shards (kill_shard)"
+                )
+            if cc not in ("2pl", "auto", "deterministic"):
+                raise ValueError(
+                    f"unknown concurrency-control policy {cc!r}"
+                )
+            self._init_tcp(
+                data_dir=data_dir,
+                shards=shards,
+                placement=placement,
+                cc=cc,
+                max_aborts=max_aborts,
+                queue_mode=queue_mode,
+                count_crash_attempts=count_crash_attempts,
+                auto_restart=auto_restart,
+            )
+            return
         self.group_commit = (
             group_commit if group_commit is not None else GroupCommitConfig()
         )
@@ -178,6 +223,104 @@ class TPSystem:
                 controller=replica_controller, obs=self.obs,
             )
             self.failover_controller = self.replicas.controller
+
+    # ------------------------------------------------------------------
+    # TCP deployment (shards as OS processes; repro.serve)
+    # ------------------------------------------------------------------
+
+    def _init_tcp(
+        self,
+        data_dir: str | None,
+        shards: int,
+        placement: PlacementPolicy | None,
+        cc: str,
+        max_aborts: int,
+        queue_mode: DequeueMode,
+        count_crash_attempts: bool,
+        auto_restart: bool,
+    ) -> None:
+        import tempfile
+
+        from repro.serve.client import (
+            RemoteRepository,
+            RemoteShardedQueueManager,
+        )
+        from repro.serve.supervisor import ShardSupervisor
+
+        self.cc = cc
+        self.placement = placement
+        self.group_commit = GroupCommitConfig()
+        self.det_lane = None
+        self.replicas = None
+        self.failover_controller = None
+        self.coordinator = None
+        self.shard_disks = []
+        self.request_disk = self.reply_disk = None
+        self.data_dir = (
+            data_dir if data_dir is not None
+            else tempfile.mkdtemp(prefix="repro-tcp-")
+        )
+        self._config = {
+            "max_aborts": max_aborts,
+            "queue_mode": queue_mode,
+            "count_crash_attempts": count_crash_attempts,
+            "separate_reply_node": False,
+            "group_commit": self.group_commit,
+            "shards": shards,
+            "checkpoint_interval_bytes": None,
+            "replicate": False,
+            "cc": cc,
+        }
+        self.supervisor = ShardSupervisor(
+            self.data_dir, shards, name="reqnode", cc=cc,
+            auto_restart=auto_restart,
+        )
+        endpoints = [("127.0.0.1", s.port) for s in self.supervisor.shards]
+        self.request_repo = RemoteRepository(
+            "reqnode", endpoints, placement=placement, obs=self.obs,
+        )
+        self.reply_repo = self.request_repo
+        self.request_qm = RemoteShardedQueueManager(self.request_repo)
+        self.reply_qm = self.request_qm
+        if self.request_queue not in self.request_repo.queues:
+            self.request_repo.create_queue(
+                self.request_queue,
+                error_queue=self.error_queue,
+                max_aborts=max_aborts,
+                mode=queue_mode,
+                count_crash_attempts=count_crash_attempts,
+                index_headers=("rid",),
+            )
+        if self.error_queue not in self.request_repo.queues:
+            self.request_repo.create_queue(self.error_queue)
+
+    def _tcp_only(self, what: str) -> None:
+        if self.deployment != "tcp":
+            raise ValueError(f"{what} requires TPSystem(deployment='tcp')")
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL shard ``index``'s process — the real ``node.kill``."""
+        self._tcp_only("kill_shard")
+        self.supervisor.kill(index)
+
+    def restart_shard(self, index: int) -> None:
+        """Boot shard ``index`` again over its data directory: restart
+        recovery plus the supervisor's in-doubt 2PC resolution pass."""
+        self._tcp_only("restart_shard")
+        self.supervisor.restart(index)
+
+    def close(self) -> None:
+        """Release the system's resources (both deployments)."""
+        if self.deployment == "tcp":
+            self.request_repo.close()
+            self.supervisor.close()
+            return
+        repos = {id(self.request_repo): self.request_repo,
+                 id(self.reply_repo): self.reply_repo}.values()
+        for repo in repos:
+            repo.close()
+        if self.replicas is not None:
+            self.replicas.detach()
 
     # ------------------------------------------------------------------
     # Reply queues (private per client, Section 5)
@@ -298,6 +441,11 @@ class TPSystem:
         unknowable, exactly as a power failure would, so recovery sees
         only the durable prefix.
         """
+        if self.deployment == "tcp":
+            raise ValueError(
+                "reopen is the in-process restart; the tcp deployment "
+                "restarts real processes via kill_shard/restart_shard"
+            )
         repos = {id(self.request_repo): self.request_repo,
                  id(self.reply_repo): self.reply_repo}.values()
         for repo in repos:
@@ -433,6 +581,10 @@ class TPSystem:
         protocol steps rather than via an injector point).  Duck-typed:
         any disk exposing ``crash``/``crashed`` participates, including
         decorators like :class:`~repro.storage.faults.FaultyDisk`."""
+        if self.deployment == "tcp":
+            raise ValueError(
+                "the tcp deployment crashes real processes: kill_shard"
+            )
         for disk in self._all_disks():
             if getattr(disk, "crashed", None) is False:
                 disk.crash()

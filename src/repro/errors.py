@@ -238,6 +238,14 @@ class RpcTimeout(CommError):
     """A remote procedure call did not receive a response in time."""
 
 
+class Busy(CommError):
+    """Admission control pushed the request back: the target shard has
+    too many calls in flight (queue-depth backpressure).  Retryable —
+    the client should back off and resubmit, exactly like a lost
+    message; the request was *not* accepted, so nothing needs undoing.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Simulation (crash injection)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,15 @@
+"""Asyncio clerk gateway with admission control and backpressure.
+
+See :mod:`repro.gateway.gateway` for the design; ``docs/deployment.md``
+for the deployed topology.
+"""
+
+from repro.gateway.aio import AsyncShardConnection, AsyncShardPool
+from repro.gateway.gateway import Gateway, GatewaySession
+
+__all__ = [
+    "AsyncShardConnection",
+    "AsyncShardPool",
+    "Gateway",
+    "GatewaySession",
+]

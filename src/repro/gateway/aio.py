@@ -1,0 +1,192 @@
+"""Asyncio side of the wire protocol.
+
+One :class:`AsyncShardConnection` multiplexes many concurrent calls
+over a single TCP connection to a shard, exactly like the threaded
+:class:`~repro.comm.transport.TcpTransport` — same frames, same
+correlation ids, same error envelopes — but driven by an event loop:
+each in-flight call parks on an :class:`asyncio.Future` keyed by its
+call id, and one reader task resolves them as response frames arrive.
+
+The gateway holds a small pool of these per shard
+(:class:`AsyncShardPool`): the wire is multiplexed, so the pool exists
+to overlap TCP send buffers under load, not to serialize calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any
+
+from repro.comm.wire import (
+    DEFAULT_MAX_FRAME,
+    KIND_CALL,
+    KIND_RESP,
+    FrameReader,
+    encode_frame,
+    unwrap,
+)
+from repro.errors import PartitionedError, RpcTimeout
+
+#: per-call reply budget, mirroring the threaded transport's default
+DEFAULT_CALL_TIMEOUT = 10.0
+
+
+class AsyncShardConnection:
+    """One multiplexed asyncio connection to one shard service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        timeout: float = DEFAULT_CALL_TIMEOUT,
+        connect_timeout: float = 2.0,
+    ):
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._connect_lock: asyncio.Lock | None = None
+        self.reconnects = 0
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        # The lock is created lazily so the connection object can be
+        # built outside any event loop (the Gateway constructor runs in
+        # sync code).  Without it, a burst of first calls would each see
+        # no writer and open a connection apiece; the losers' transports
+        # leak until GC closes them, and their read loops' teardown
+        # would then kill the one connection everyone else is using.
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            if self._closed:
+                raise PartitionedError(
+                    f"connection to {self.host}:{self.port} closed"
+                )
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise PartitionedError(
+                    f"cannot connect to shard at {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._reader, self._writer = reader, writer
+            self.reconnects += 1
+            self._reader_task = asyncio.ensure_future(
+                self._read_loop(reader, writer)
+            )
+
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        frames = FrameReader(max_frame=self.max_frame)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for kind, call_id, payload in frames.feed(chunk):
+                    if kind != KIND_RESP:
+                        continue
+                    future = self._pending.pop(call_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(payload)
+        except (OSError, asyncio.CancelledError, Exception):
+            pass
+        finally:
+            self._teardown(writer)
+
+    def _teardown(self, writer: asyncio.StreamWriter | None = None) -> None:
+        """Connection died: fail every parked call — their requests may
+        or may not have executed (the callers' retry/dedup discipline
+        owns that ambiguity, as everywhere else in the system).
+
+        ``writer`` identifies which transport is reporting death; if it
+        is no longer the live one (a reconnect already superseded it),
+        only that stale transport is closed — the live connection and
+        its parked calls are untouched."""
+        if writer is not None and writer is not self._writer:
+            writer.close()
+            return
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = self._writer = None
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    PartitionedError(
+                        f"shard connection {self.host}:{self.port} lost"
+                    )
+                )
+
+    async def call(self, payload: Any, timeout: float | None = None) -> Any:
+        """One remote call; returns the unwrapped result (remote errors
+        re-raised by class, exactly like the threaded client)."""
+        await self._ensure_connected()
+        call_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[call_id] = future
+        writer = self._writer
+        assert writer is not None
+        try:
+            writer.write(encode_frame(KIND_CALL, call_id, payload))
+            await writer.drain()
+        except (OSError, ConnectionError) as exc:
+            self._pending.pop(call_id, None)
+            self._teardown(writer)
+            raise PartitionedError(f"send to shard failed: {exc}") from exc
+        budget = timeout if timeout is not None else self.timeout
+        try:
+            envelope = await asyncio.wait_for(future, timeout=budget)
+        except asyncio.TimeoutError as exc:
+            self._pending.pop(call_id, None)
+            raise RpcTimeout(
+                f"no response from {self.host}:{self.port} in {budget}s"
+            ) from exc
+        return unwrap(envelope)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        self._teardown()
+
+
+class AsyncShardPool:
+    """Round-robin pool of multiplexed connections to one shard."""
+
+    def __init__(self, host: str, port: int, size: int = 2, **kwargs: Any):
+        self.connections = [
+            AsyncShardConnection(host, port, **kwargs) for _ in range(size)
+        ]
+        self._rr = itertools.count()
+
+    async def call(self, payload: Any, timeout: float | None = None) -> Any:
+        conn = self.connections[next(self._rr) % len(self.connections)]
+        return await conn.call(payload, timeout=timeout)
+
+    async def close(self) -> None:
+        for conn in self.connections:
+            await conn.close()

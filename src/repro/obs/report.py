@@ -171,6 +171,61 @@ def render_queue_age(snapshot: dict[str, Any], out: IO[str]) -> None:
         )
 
 
+def render_network(snapshot: dict[str, Any], out: IO[str]) -> None:
+    """Wire-level cost of the TCP deployment: driver/gateway RPC
+    round-trips, bytes moved, and the gateway's admission outcomes."""
+    rpc = _series(snapshot, "rpc_client_seconds", {})
+    gw_rpc = _series(snapshot, "gateway_rpc_seconds", {})
+    admissions = _series(snapshot, "gateway_requests_total", {})
+    if not rpc and not gw_rpc and not admissions:
+        return
+    _rule(out, "Network (TCP deployment)")
+    if rpc or gw_rpc:
+        out.write(f"{'caller':<20} {'shard':>6} {'calls':>9} {'mean':>9} "
+                  f"{'p95':>9} {'max':>9}\n")
+        for label, series in (("driver", rpc), ("gateway", gw_rpc)):
+            for entry in sorted(
+                series, key=lambda s: s.get("labels", {}).get("shard", "?")
+            ):
+                if not entry.get("count"):
+                    continue
+                mean = entry["sum"] / entry["count"]
+                out.write(
+                    f"{label:<20} "
+                    f"{entry.get('labels', {}).get('shard', '?'):>6} "
+                    f"{int(entry['count']):>9} {_fmt_seconds(mean):>9} "
+                    f"{_fmt_seconds(entry.get('p95', 0)):>9} "
+                    f"{_fmt_seconds(entry.get('max', 0)):>9}\n"
+                )
+    bytes_series = _series(snapshot, "rpc_client_bytes_total", {})
+    if bytes_series:
+        totals: dict[str, float] = {}
+        for entry in bytes_series:
+            direction = entry.get("labels", {}).get("direction", "?")
+            totals[direction] = totals.get(direction, 0.0) + entry.get("value", 0)
+        summary = ", ".join(
+            f"{direction}={int(total):,}"
+            for direction, total in sorted(totals.items())
+        )
+        out.write(f"wire bytes: {summary}\n")
+    if admissions:
+        outcomes: dict[str, float] = {}
+        for entry in admissions:
+            outcome = entry.get("labels", {}).get("outcome", "?")
+            outcomes[outcome] = outcomes.get(outcome, 0.0) + entry.get("value", 0)
+        admitted = outcomes.get("admitted", 0)
+        busy = sum(v for k, v in outcomes.items() if k.startswith("busy"))
+        out.write(
+            f"gateway admissions: admitted={int(admitted)} "
+            f"busy={int(busy)}"
+        )
+        detail = ", ".join(
+            f"{k}={int(v)}" for k, v in sorted(outcomes.items())
+            if k.startswith("busy") and v
+        )
+        out.write(f" ({detail})\n" if detail else "\n")
+
+
 def render_recovery(snapshot: dict[str, Any], out: IO[str]) -> None:
     runs = _series(snapshot, "recovery_runs_total", {})
     if not runs:
@@ -225,6 +280,7 @@ def render_report(snapshot: dict[str, Any], out: IO[str],
     render_attribution(snapshot, out)
     render_lanes(snapshot, out)
     render_queue_age(snapshot, out)
+    render_network(snapshot, out)
     render_recovery(snapshot, out)
     if flight_path is not None:
         render_flight(flight_path, tail, out)

@@ -1,0 +1,712 @@
+"""Driver-side stubs for the TCP shard deployment.
+
+The design rule of this module: **reuse the routing layer, replace the
+medium**.  :class:`~repro.transaction.routing.ShardedTransactionManager`
+and :class:`~repro.transaction.routing.RoutedTransaction` already know
+how to pick a commit protocol from the branch set (0 branches → no-op,
+1 → single shard force, ≥2 → presumed-abort two-phase commit with the
+first-touched shard coordinating).  Here they run unchanged — their
+``shard_tm(i)`` just returns a :class:`RemoteShardTM` whose branches
+live in another OS process, and their per-shard coordinator is a
+:class:`RemoteTwoPhaseCoordinator` that forces the decision record on
+the coordinator *shard's* log over the wire.
+
+Branch-status mirroring: a :class:`RemoteBranch` keeps a client-side
+copy of the server transaction's status, updated by the outcome of
+each wire call, because the routing layer steers on ``branch.status``.
+The server remains authoritative — a mirror can only lag in ways the
+protocol already tolerates (e.g. an externally-aborted branch is
+discovered at commit time as :class:`TransactionAborted`).
+
+Failure mapping (the same taxonomy in-proc callers see):
+
+* a dead shard surfaces as :class:`PartitionedError`/:class:`RpcTimeout`
+  from the transport, classified retryable by servers and clerks;
+* a commit whose reply was lost is *unknown*: the caller retries the
+  whole request transaction, and the queue discipline (tagged
+  operations, dequeue redelivery) makes the end result exactly-once —
+  the paper's argument, now over a real wire;
+* a coordinator crash between decision and phase 2 leaves branches
+  prepared on live shards; :meth:`RemoteTwoPhaseCoordinator.commit`
+  polls the restarted coordinator for the durable decision (presumed
+  abort if none survived) and finishes phase 2, raising
+  :class:`TwoPhaseInDoubtError` only if the coordinator stays
+  unreachable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Mapping
+from typing import Any, Iterator
+
+from repro.comm.transport import TcpTransport, Transport
+from repro.comm.wire import unwrap
+from repro.errors import (
+    CommError,
+    NoSuchQueueError,
+    QueueExistsError,
+    ReproError,
+    StorageError,
+    TransactionAborted,
+    TwoPhaseCommitError,
+    TwoPhaseInDoubtError,
+)
+from repro.obs import Observability
+from repro.queueing.element import Element
+from repro.queueing.manager import QueueHandle
+from repro.queueing.placement import ConsistentHashPlacement, PlacementPolicy
+from repro.queueing.queue import DequeueMode
+from repro.queueing.registration import Registration
+from repro.transaction.ids import TxnStatus
+from repro.transaction.routing import RoutedTransaction, ShardedTransactionManager
+
+#: see repro.comm.remote — same blocking-dequeue timeout discipline
+_BLOCK_SLACK = 5.0
+_BLOCK_FOREVER = 3600.0
+
+
+class ShardClient:
+    """Thin typed wrapper: one transport to one shard service.
+
+    With an :class:`~repro.obs.Observability`, every call lands in the
+    ``rpc_client_seconds`` histogram and the transport's byte counters
+    feed ``rpc_client_bytes_total`` — the wire-level cost ledger the
+    ``network`` section of ``python -m repro.obs.report`` renders.
+    """
+
+    def __init__(self, transport: Transport, obs: Observability | None = None,
+                 node: str = "reqnode", shard: int = 0):
+        self.transport = transport
+        self._m_latency = None
+        if obs is not None and obs.enabled:
+            metrics = obs.metrics
+            self._m_latency = metrics.histogram(
+                "rpc_client_seconds",
+                "driver-side wire call round-trip", ("node", "shard"),
+            ).labels(node=node, shard=str(shard))
+            bytes_total = metrics.counter(
+                "rpc_client_bytes_total",
+                "driver-side wire bytes by direction",
+                ("node", "shard", "direction"),
+            )
+            self._m_sent = bytes_total.labels(
+                node=node, shard=str(shard), direction="sent")
+            self._m_received = bytes_total.labels(
+                node=node, shard=str(shard), direction="received")
+            self._seen_sent = 0
+            self._seen_received = 0
+            self._metric_mutex = threading.Lock()
+
+    def _observe(self, elapsed: float) -> None:
+        self._m_latency.observe(elapsed)
+        sent = getattr(self.transport, "bytes_sent", 0)
+        received = getattr(self.transport, "bytes_received", 0)
+        with self._metric_mutex:
+            delta_sent, self._seen_sent = sent - self._seen_sent, sent
+            delta_received = received - self._seen_received
+            self._seen_received = received
+        if delta_sent > 0:
+            self._m_sent.inc(delta_sent)
+        if delta_received > 0:
+            self._m_received.inc(delta_received)
+
+    def call(self, payload: dict[str, Any], timeout: float | None = None,
+             retries: int | None = None) -> Any:
+        if self._m_latency is None:
+            return unwrap(
+                self.transport.request(
+                    payload, timeout=timeout, retries=retries)
+            )
+        started = time.perf_counter()
+        try:
+            return unwrap(
+                self.transport.request(
+                    payload, timeout=timeout, retries=retries)
+            )
+        finally:
+            self._observe(time.perf_counter() - started)
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+# ---------------------------------------------------------------------------
+# Remote transaction branches
+# ---------------------------------------------------------------------------
+
+
+class RemoteBranch:
+    """Client-side mirror of one shard-local branch transaction."""
+
+    def __init__(self, tm: "RemoteShardTM", branch_id: int):
+        self.tm = tm
+        self.id = branch_id
+        self.status = TxnStatus.ACTIVE
+        #: global id, set when the branch is prepared — lets outcome
+        #: calls fall back to gid resolution across a shard restart
+        self.gid: str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RemoteBranch(id={self.id}, status={self.status.value})"
+
+
+class RemoteShardTM:
+    """The :class:`~repro.transaction.manager.TransactionManager`
+    surface of one remote shard, as the routing layer drives it.
+
+    Outcome calls go out with ``retries=0`` (at-most-once): a retried
+    commit could re-execute against a *different* incarnation of the
+    branch id space after a restart.  An unknown outcome (lost reply)
+    surfaces as :class:`CommError`; the caller retries the whole
+    request transaction and the queues absorb the duplicate.
+    """
+
+    def __init__(self, client: ShardClient, shard_index: int):
+        self.client = client
+        self.shard_index = shard_index
+
+    # -- lifecycle -------------------------------------------------------
+
+    def begin(self) -> RemoteBranch:
+        branch_id = self.client.call({"op": "txn_begin"}, retries=0)
+        return RemoteBranch(self, branch_id)
+
+    def commit(self, txn: RemoteBranch) -> None:
+        try:
+            self.client.call({"op": "txn_commit", "txn": txn.id}, retries=0)
+        except TransactionAborted:
+            txn.status = TxnStatus.ABORTED
+            raise
+        txn.status = TxnStatus.COMMITTED
+
+    def abort(self, txn: RemoteBranch, reason: str = "application abort") -> None:
+        if txn.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            return
+        try:
+            self.client.call(
+                {"op": "txn_abort", "txn": txn.id, "reason": reason}
+            )
+        except CommError:
+            # Shard unreachable: its restart recovery aborts the branch
+            # anyway (presumed abort for unprepared work).
+            pass
+        txn.status = TxnStatus.ABORTED
+
+    def abort_by_id(self, txn_id: int, reason: str = "external abort") -> bool:
+        try:
+            return bool(self.client.call(
+                {"op": "txn_abort_by_id", "txn": txn_id, "reason": reason}
+            ))
+        except CommError:
+            return False
+
+    # -- two-phase branch operations ------------------------------------
+
+    def prepare(self, txn: RemoteBranch, global_id: str) -> None:
+        try:
+            self.client.call(
+                {"op": "txn_prepare", "txn": txn.id, "gid": global_id},
+                retries=0,
+            )
+        except TransactionAborted:
+            txn.status = TxnStatus.ABORTED
+            raise
+        txn.status = TxnStatus.PREPARED
+        txn.gid = global_id
+
+    def commit_prepared(self, txn: RemoteBranch) -> None:
+        self.client.call(
+            {"op": "txn_commit_prepared", "txn": txn.id, "gid": txn.gid},
+            retries=0,
+        )
+        txn.status = TxnStatus.COMMITTED
+
+    def abort_prepared(self, txn: RemoteBranch) -> None:
+        self.client.call(
+            {"op": "txn_abort_prepared", "txn": txn.id, "gid": txn.gid},
+            retries=0,
+        )
+        txn.status = TxnStatus.ABORTED
+
+    # -- counters (benchmark parity) ------------------------------------
+
+    def _stats(self) -> dict[str, int]:
+        try:
+            return self.client.call({"op": "txn_stats"})
+        except CommError:
+            return {"commits": 0, "aborts": 0}
+
+    @property
+    def commits(self) -> int:
+        return self._stats()["commits"]
+
+    @property
+    def aborts(self) -> int:
+        return self._stats()["aborts"]
+
+
+class RemoteTwoPhaseCoordinator:
+    """Presumed-abort two-phase commit whose decision record lives on a
+    remote shard's log (the shard this coordinator is bound to).
+
+    Mirrors :class:`~repro.transaction.twophase.TwoPhaseCoordinator`
+    step for step; the decision force becomes an idempotent
+    ``txn_decide`` call (duplicate decides for the same gid are
+    absorbed server-side), so it may ride the at-least-once retry
+    discipline that a real network needs.
+    """
+
+    #: phase-2 attempts per branch; between attempts the shard may be
+    #: restarting, so the budget spans the supervisor's recovery window
+    _PHASE2_ATTEMPTS = 10
+    #: how long to poll a crashed coordinator for the durable decision
+    _DECISION_WAIT = 30.0
+
+    def __init__(self, client: ShardClient, name: str):
+        self.client = client
+        self.name = name
+        self._seq = 0
+        self._mutex = threading.Lock()
+
+    def new_global_id(self) -> str:
+        with self._mutex:
+            self._seq += 1
+            return f"{self.name}:p{os.getpid()}:{self._seq}"
+
+    # -- protocol --------------------------------------------------------
+
+    def commit(
+        self, branches: list[tuple[RemoteShardTM, RemoteBranch]]
+    ) -> str:
+        if not branches:
+            raise TwoPhaseCommitError("no branches to commit")
+        gid = self.new_global_id()
+
+        prepared: list[tuple[RemoteShardTM, RemoteBranch]] = []
+        veto = False
+        for tm, txn in branches:
+            try:
+                tm.prepare(txn, gid)
+                prepared.append((tm, txn))
+            except ReproError:
+                veto = True
+                break
+
+        if veto:
+            try:
+                self._decide(gid, "abort")  # advisory under presumed abort
+            except ReproError:
+                pass
+            self._abort_branches(branches)
+            return "abort"
+
+        try:
+            self._decide(gid, "commit")
+        except CommError:
+            # The coordinator shard went down with the decision's
+            # durability unknown.  Ask its restarted incarnation: the
+            # recovered decision tracker is authoritative (presumed
+            # abort if the force never reached the disk).
+            decision = self._await_decision(gid)
+            if decision != "commit":
+                self._abort_branches(prepared)
+                return "abort"
+        except StorageError:
+            # Clean force failure: the decision is not durable, so by
+            # presumed abort the global decision IS abort.
+            self._abort_branches(prepared)
+            return "abort"
+
+        for tm, txn in prepared:
+            self._commit_branch(tm, txn)
+        return "commit"
+
+    def _decide(self, gid: str, decision: str) -> None:
+        self.client.call({"op": "txn_decide", "gid": gid, "decision": decision})
+
+    def _await_decision(self, gid: str) -> str:
+        deadline = time.monotonic() + self._DECISION_WAIT
+        while True:
+            try:
+                return self.client.call({"op": "txn_decision", "gid": gid})
+            except CommError as exc:
+                if time.monotonic() > deadline:
+                    raise TwoPhaseInDoubtError(
+                        f"coordinator for {gid} unreachable; branches "
+                        f"remain prepared until the supervisor resolves "
+                        f"them"
+                    ) from exc
+                time.sleep(0.25)
+
+    def _abort_branches(
+        self, branches: list[tuple[RemoteShardTM, RemoteBranch]]
+    ) -> None:
+        for tm, txn in branches:
+            try:
+                if txn.status is TxnStatus.PREPARED:
+                    tm.abort_prepared(txn)
+                elif txn.status is TxnStatus.ACTIVE:
+                    tm.abort(txn, "2pc veto")
+            except ReproError:
+                # Shard down: restart recovery + the supervisor's
+                # in-doubt pass settle it (presumed abort).
+                pass
+
+    def _commit_branch(self, tm: RemoteShardTM, txn: RemoteBranch) -> None:
+        """Phase 2 must complete — the decision is durable.  Retries
+        span shard restarts (the server resolves by gid after one)."""
+        last: ReproError | None = None
+        for attempt in range(self._PHASE2_ATTEMPTS):
+            try:
+                tm.commit_prepared(txn)
+                return
+            except (CommError, StorageError) as exc:
+                last = exc
+                time.sleep(min(1.0, 0.05 * 2 ** attempt))
+        raise TwoPhaseInDoubtError(
+            f"branch {txn.id} could not apply the committed decision: {last}"
+        ) from last
+
+
+# ---------------------------------------------------------------------------
+# Repository facade
+# ---------------------------------------------------------------------------
+
+
+class _RemoteQueue:
+    """Introspection stub for one remote queue (depth and name; the
+    operations go through the queue manager)."""
+
+    def __init__(self, client: ShardClient, name: str):
+        self._client = client
+        self.name = name
+
+    def depth(self) -> int:
+        return self._client.call({"op": "depth", "queue": self.name})
+
+
+class _RemoteQueues(Mapping):
+    """Name → queue-stub mapping over every shard (union of names)."""
+
+    def __init__(self, repo: "RemoteRepository"):
+        self._repo = repo
+
+    def __getitem__(self, name: str) -> _RemoteQueue:
+        shard = self._repo._locate_queue(name)
+        if shard is None:
+            raise KeyError(name)
+        return _RemoteQueue(self._repo.clients[shard], name)
+
+    def __contains__(self, name: object) -> bool:
+        return (
+            isinstance(name, str)
+            and self._repo._locate_queue(name) is not None
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for names in self._repo._names_by_shard():
+            for name in names:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in iter(self))
+
+
+class RemoteRepository:
+    """The repository surface (``tm``, ``queues``, ``create_queue``...)
+    over shard processes — what a :class:`~repro.core.server.Server`
+    or :class:`~repro.core.clerk.Clerk` sees as ``qm.repo`` in the TCP
+    deployment.
+
+    Placement is client-side and mirrors the in-process facade exactly
+    (:class:`~repro.queueing.placement.ConsistentHashPlacement` hashes
+    are process-stable): location-first routing, then co-location pins,
+    then the policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        endpoints: list[tuple[str, int]],
+        placement: PlacementPolicy | None = None,
+        obs: Observability | None = None,
+        seed: int = 0,
+        max_retries: int = 10,
+    ):
+        self.name = name
+        self.placement = (
+            placement if placement is not None else ConsistentHashPlacement()
+        )
+        self.shard_count = len(endpoints)
+        self.endpoints = list(endpoints)
+        self.clients = [
+            ShardClient(
+                TcpTransport(host, port, seed=seed + i,
+                             max_retries=max_retries),
+                obs=obs, node=name, shard=i,
+            )
+            for i, (host, port) in enumerate(endpoints)
+        ]
+        #: queue name -> shard location cache (volatile; re-validated
+        #: against the shards on miss)
+        self._locations: dict[str, int] = {}
+        self._pins: dict[str, int] = {}
+        self.epochs = [
+            client.call({"op": "hello"})["epoch"] for client in self.clients
+        ]
+        coordinator_names = [
+            (f"{name}.s{i}.e{self.epochs[i]}" if self.shard_count > 1
+             else f"{name}.e{self.epochs[i]}")
+            for i in range(self.shard_count)
+        ]
+        self.coordinators = [
+            RemoteTwoPhaseCoordinator(client, cname)
+            for client, cname in zip(self.clients, coordinator_names)
+        ]
+        self.tm = ShardedTransactionManager(
+            [RemoteShardTM(client, i) for i, client in enumerate(self.clients)],
+            self.coordinators,
+            obs=obs,
+            node=name,
+        )
+        self.queues = _RemoteQueues(self)
+
+    # -- location --------------------------------------------------------
+
+    def _names_by_shard(self) -> list[list[str]]:
+        out = []
+        for client in self.clients:
+            try:
+                out.append(client.call({"op": "queue_names"}))
+            except CommError:
+                out.append([])  # shard down: treat as empty for iteration
+        return out
+
+    def _locate_queue(self, qname: str) -> int | None:
+        cached = self._locations.get(qname)
+        if cached is not None:
+            return cached
+        for index, names in enumerate(self._names_by_shard()):
+            if qname in names:
+                self._locations[qname] = index
+                return index
+        return None
+
+    def shard_of(self, name: str) -> int:
+        located = self._locate_queue(name)
+        if located is not None:
+            return located
+        pinned = self._pins.get(name)
+        if pinned is not None:
+            return pinned
+        return self.placement.shard_for(name, self.shard_count)
+
+    # -- data definition -------------------------------------------------
+
+    @staticmethod
+    def _wire_config(config: dict[str, Any]) -> dict[str, Any]:
+        wire: dict[str, Any] = {}
+        for key, value in config.items():
+            if isinstance(value, DequeueMode):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            wire[key] = value
+        return wire
+
+    def create_queue(self, qname: str, **config: Any) -> _RemoteQueue:
+        if self._locate_queue(qname) is not None:
+            raise QueueExistsError(
+                f"queue {qname!r} already exists in {self.name!r}"
+            )
+        error_queue = config.get("error_queue")
+        shard: int | None = None
+        if error_queue is not None:
+            # Dead-letter moves happen inside one shard transaction, so
+            # a queue must share its error queue's shard.
+            shard = self._locate_queue(error_queue)
+        if shard is None:
+            shard = self.shard_of(qname)
+        self.clients[shard].call(
+            {"op": "create_queue", "queue": qname,
+             "config": self._wire_config(config)}
+        )
+        self._locations[qname] = shard
+        if error_queue is not None:
+            self._pins[error_queue] = shard
+        return _RemoteQueue(self.clients[shard], qname)
+
+    def create_table(self, tname: str) -> Any:
+        raise ReproError(
+            "application tables are not served over the TCP deployment; "
+            "handlers must keep request state in queue payloads "
+            "(Section 9's scratch pad) or run in-process"
+        )
+
+    # -- lookup ----------------------------------------------------------
+
+    def get_queue(self, qname: str) -> _RemoteQueue:
+        shard = self._locate_queue(qname)
+        if shard is None:
+            raise NoSuchQueueError(f"no queue {qname!r} in {self.name!r}")
+        return _RemoteQueue(self.clients[shard], qname)
+
+    def queue_names(self) -> list[str]:
+        return sorted(self.queues)
+
+    def depths_by_shard(self) -> dict[int, dict[str, int]]:
+        return {
+            index: client.call({"op": "depths"})
+            for index, client in enumerate(self.clients)
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        for client in self.clients:
+            client.call({"op": "checkpoint"})
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# Queue-manager facade
+# ---------------------------------------------------------------------------
+
+
+class RemoteShardedQueueManager:
+    """The :class:`~repro.queueing.manager.QueueManager` surface over
+    shard processes: operations route by queue name, and a routed
+    transaction's operations resolve to (and lazily open) its branch on
+    the owning shard — the same contract the in-process sharded views
+    implement, carried as a branch id on the wire.
+    """
+
+    def __init__(self, repo: RemoteRepository):
+        self.repo = repo
+
+    # -- routing helpers -------------------------------------------------
+
+    def _target(self, qname: str) -> tuple[ShardClient, int]:
+        shard = self.repo.shard_of(qname)
+        return self.repo.clients[shard], shard
+
+    @staticmethod
+    def _branch_id(txn: Any, shard: int) -> int | None:
+        if txn is None:
+            return None
+        if isinstance(txn, RoutedTransaction):
+            return txn.branch_for(shard).id
+        if isinstance(txn, RemoteBranch):
+            return txn.id
+        raise ReproError(
+            f"cannot route a {type(txn).__name__} over the wire"
+        )
+
+    @staticmethod
+    def _handle_record(handle: QueueHandle) -> dict[str, str]:
+        return {
+            "repository": handle.repository,
+            "queue": handle.queue,
+            "registrant": handle.registrant,
+        }
+
+    # -- QueueManager surface --------------------------------------------
+
+    def register(
+        self, qname: str, registrant: str, stable: bool = True, txn=None
+    ) -> tuple[QueueHandle, Any, int | None]:
+        client, _ = self._target(qname)
+        result = client.call(
+            {"op": "register", "queue": qname, "registrant": registrant,
+             "stable": stable}
+        )
+        record = result["handle"]
+        handle = QueueHandle(
+            record["repository"], record["queue"], record["registrant"]
+        )
+        return handle, result["tag"], result["eid"]
+
+    def deregister(self, handle: QueueHandle, txn=None) -> None:
+        client, _ = self._target(handle.queue)
+        client.call(
+            {"op": "deregister", "handle": self._handle_record(handle)}
+        )
+
+    def enqueue(
+        self,
+        handle: QueueHandle,
+        body: Any,
+        tag: Any = None,
+        *,
+        txn=None,
+        priority: int = 0,
+        headers: dict[str, Any] | None = None,
+    ) -> int:
+        client, shard = self._target(handle.queue)
+        return client.call(
+            {"op": "enqueue", "handle": self._handle_record(handle),
+             "body": body, "tag": tag, "txn": self._branch_id(txn, shard),
+             "priority": priority, "headers": headers}
+        )
+
+    def dequeue(
+        self,
+        handle: QueueHandle,
+        tag: Any = None,
+        error_queue: str | None = None,
+        *,
+        txn=None,
+        block: bool = False,
+        timeout: float | None = None,
+        selector=None,
+    ) -> Element:
+        if selector is not None:
+            raise ReproError("selectors cannot cross the wire")
+        client, shard = self._target(handle.queue)
+        wire_timeout = None
+        if block:
+            wire_timeout = (
+                timeout if timeout is not None else _BLOCK_FOREVER
+            ) + _BLOCK_SLACK
+        record = client.call(
+            {"op": "dequeue", "handle": self._handle_record(handle),
+             "tag": tag, "error_queue": error_queue,
+             "txn": self._branch_id(txn, shard), "block": block,
+             "timeout": timeout},
+            timeout=wire_timeout,
+        )
+        return Element.from_record(record)
+
+    def registration_info(self, handle: QueueHandle) -> Registration | None:
+        client, _ = self._target(handle.queue)
+        record = client.call(
+            {"op": "registration_info", "handle": self._handle_record(handle)}
+        )
+        return None if record is None else Registration.from_record(record)
+
+    def read(self, handle: QueueHandle, eid: int) -> Element:
+        client, _ = self._target(handle.queue)
+        record = client.call(
+            {"op": "read", "handle": self._handle_record(handle), "eid": eid}
+        )
+        return Element.from_record(record)
+
+    def kill_element(self, handle: QueueHandle, eid: int) -> bool:
+        client, _ = self._target(handle.queue)
+        return client.call(
+            {"op": "kill_element", "handle": self._handle_record(handle),
+             "eid": eid}
+        )
+
+    def depth(self, qname: str) -> int:
+        client, _ = self._target(qname)
+        return client.call({"op": "depth", "queue": qname})

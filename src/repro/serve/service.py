@@ -1,0 +1,247 @@
+"""The shard service: one queue repository behind the wire protocol.
+
+A :class:`ShardService` extends the clerk-facing
+:class:`~repro.comm.remote.QueueManagerService` with everything a
+*transactional* remote caller needs:
+
+* a branch table — ``txn_begin`` opens a shard-local transaction and
+  returns its id; later calls name it (``{"txn": id}``) so a routed
+  transaction's queue operations land in the right branch;
+* the two-phase-commit branch operations (``txn_prepare`` /
+  ``txn_commit_prepared`` / ``txn_abort_prepared``) driven by the
+  client-side coordinator of :mod:`repro.serve.client`;
+* the coordinator's durable side: ``txn_decide`` force-logs the global
+  decision on *this* shard's log (under the same pseudo-RM ``"_2pc"``
+  as the in-process coordinator, mirrored into the shard's decision
+  tracker), ``txn_decision`` answers presumed-abort lookups, and
+  ``in_doubt``/``txn_resolve`` let the supervisor settle prepared
+  branches left by a crash;
+* data definition and introspection (``create_queue``, ``queue_names``,
+  ``depths``, ``checkpoint``, ``hello``).
+
+Retry discipline: the transport is at-least-once for idempotent queue
+operations but transaction *outcome* ops are called with ``retries=0``
+(at-most-once).  A retried ``txn_commit_prepared``/``txn_abort_prepared``
+after a restart falls back to the global id: the branch was recovered
+in doubt and is resolved by gid, or the outcome already applied before
+the crash — either way the call is idempotent because the decision was
+durable first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.comm.remote import QueueManagerService
+from repro.errors import ReproError, TransactionAborted
+from repro.queueing.manager import QueueManager
+from repro.queueing.queue import DequeueMode
+from repro.queueing.repository import QueueRepository
+from repro.transaction.ids import TxnStatus
+from repro.transaction.log import KIND_AUTO
+from repro.transaction.manager import Transaction
+from repro.transaction.twophase import _DECISION_RM
+
+#: remembered outcomes of finished branches, for duplicate outcome calls
+_OUTCOME_CACHE = 1024
+
+
+class ShardService(QueueManagerService):
+    """Wire-protocol dispatcher for one repository shard."""
+
+    def __init__(self, repo: QueueRepository, epoch: int = 0,
+                 qm: QueueManager | None = None):
+        super().__init__(qm if qm is not None else QueueManager(repo))
+        self.repo = repo
+        self.epoch = epoch
+        #: open branches by shard-local transaction id
+        self.txns: dict[int, Transaction] = {}
+        #: recently finished branch ids -> "commit" | "abort"
+        self._outcomes: dict[int, str] = {}
+
+    # -- branch table ---------------------------------------------------
+
+    def _resolve_txn(self, payload: dict[str, Any]) -> Transaction | None:
+        branch_id = payload.get("txn")
+        if branch_id is None:
+            return None
+        txn = self.txns.get(branch_id)
+        if txn is None:
+            raise TransactionAborted(
+                branch_id, "unknown branch (shard restarted; presumed abort)"
+            )
+        return txn
+
+    def _finish(self, branch_id: int, outcome: str) -> None:
+        self.txns.pop(branch_id, None)
+        self._outcomes[branch_id] = outcome
+        while len(self._outcomes) > _OUTCOME_CACHE:
+            self._outcomes.pop(next(iter(self._outcomes)))
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self, payload: dict[str, Any]) -> Any:
+        op = payload["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is not None:
+            return handler(payload)
+        return super()._dispatch(payload)
+
+    # -- admin ----------------------------------------------------------
+
+    def _op_hello(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "name": self.repo.name,
+            "epoch": self.epoch,
+            "queues": self.repo.queue_names(),
+        }
+
+    def _op_create_queue(self, payload: dict[str, Any]) -> None:
+        from repro.errors import QueueExistsError
+
+        config = dict(payload.get("config") or {})
+        if "mode" in config:
+            config["mode"] = DequeueMode(config["mode"])
+        if "index_headers" in config:
+            config["index_headers"] = tuple(config["index_headers"])
+        try:
+            self.repo.create_queue(payload["queue"], **config)
+        except QueueExistsError:
+            pass  # duplicate delivery / restart replay: already there
+
+    def _op_queue_names(self, payload: dict[str, Any]) -> list[str]:
+        return self.repo.queue_names()
+
+    def _op_depths(self, payload: dict[str, Any]) -> dict[str, int]:
+        return {
+            name: queue.depth() for name, queue in self.repo.queues.items()
+        }
+
+    def _op_checkpoint(self, payload: dict[str, Any]) -> None:
+        self.repo.checkpoint()
+
+    def _op_txn_stats(self, payload: dict[str, Any]) -> dict[str, int]:
+        return {"commits": self.repo.tm.commits, "aborts": self.repo.tm.aborts}
+
+    # -- transaction lifecycle ------------------------------------------
+
+    def _op_txn_begin(self, payload: dict[str, Any]) -> int:
+        txn = self.repo.tm.begin()
+        self.txns[txn.id] = txn
+        return txn.id
+
+    def _op_txn_commit(self, payload: dict[str, Any]) -> None:
+        branch_id = payload["txn"]
+        txn = self.txns.get(branch_id)
+        if txn is None:
+            if self._outcomes.get(branch_id) == "commit":
+                return  # duplicate of a commit that succeeded
+            raise TransactionAborted(
+                branch_id, "unknown branch (shard restarted; presumed abort)"
+            )
+        try:
+            self.repo.tm.commit(txn)
+        except BaseException:
+            if txn.status is TxnStatus.ABORTED:
+                self._finish(branch_id, "abort")
+            raise
+        self._finish(branch_id, "commit")
+
+    def _op_txn_abort(self, payload: dict[str, Any]) -> None:
+        branch_id = payload["txn"]
+        txn = self.txns.get(branch_id)
+        if txn is None:
+            return  # already finished or lost to a restart: aborted either way
+        if txn.status is TxnStatus.ACTIVE:
+            self.repo.tm.abort(txn, payload.get("reason", "remote abort"))
+        self._finish(branch_id, "abort")
+
+    def _op_txn_abort_by_id(self, payload: dict[str, Any]) -> bool:
+        return self.repo.tm.abort_by_id(
+            payload["txn"], payload.get("reason", "external abort")
+        )
+
+    # -- two-phase commit branch side -----------------------------------
+
+    def _op_txn_prepare(self, payload: dict[str, Any]) -> None:
+        txn = self.txns.get(payload["txn"])
+        if txn is None:
+            raise TransactionAborted(
+                payload["txn"],
+                "unknown branch (shard restarted; presumed abort)",
+            )
+        self.repo.tm.prepare(txn, payload["gid"])
+
+    def _op_txn_commit_prepared(self, payload: dict[str, Any]) -> None:
+        self._apply_prepared(payload, "commit")
+
+    def _op_txn_abort_prepared(self, payload: dict[str, Any]) -> None:
+        self._apply_prepared(payload, "abort")
+
+    def _apply_prepared(self, payload: dict[str, Any], decision: str) -> None:
+        branch_id = payload["txn"]
+        txn = self.txns.get(branch_id)
+        if txn is not None:
+            if decision == "commit":
+                self.repo.tm.commit_prepared(txn)
+            else:
+                self.repo.tm.abort_prepared(txn)
+            self._finish(branch_id, decision)
+            return
+        if self._outcomes.get(branch_id) == decision:
+            return  # duplicate of an outcome that already applied
+        # Restarted since the prepare: recovery re-materialized the
+        # branch as in doubt; resolve it by global id.  Not finding it
+        # means the outcome applied before the crash (the decision was
+        # durable before this call could be made) — idempotent success.
+        gid = payload.get("gid")
+        if gid is not None:
+            self._resolve_by_gid(gid, decision)
+
+    def _resolve_by_gid(self, gid: str, decision: str) -> bool:
+        for branch in self.repo.last_recovery.in_doubt:
+            if branch.global_id == gid:
+                if branch.resolved is None:
+                    branch.resolve(decision)
+                return True
+        return False
+
+    # -- two-phase commit coordinator side ------------------------------
+
+    def _op_txn_decide(self, payload: dict[str, Any]) -> None:
+        gid, decision = payload["gid"], payload["decision"]
+        if decision not in ("commit", "abort"):
+            raise ReproError(f"bad decision {decision!r}")
+        # Skip the force if this exact decision is already durable (a
+        # retried decide): decision records are write-once per gid.
+        if self.repo.decisions.get(gid) == decision:
+            return
+        self.repo.log.log_auto(
+            _DECISION_RM, {"gid": gid, "decision": decision},
+            on_lsn=lambda _lsn: self.repo.decisions.note(gid, decision),
+        )
+
+    def _op_txn_decision(self, payload: dict[str, Any]) -> str:
+        gid = payload["gid"]
+        found = self.repo.decisions.get(gid)
+        if found is not None:
+            return found
+        for record in self.repo.log.records():
+            if (
+                record.kind == KIND_AUTO
+                and record.rm == _DECISION_RM
+                and record.data.get("gid") == gid
+            ):
+                return record.data["decision"]
+        return "abort"
+
+    # -- restart resolution (driven by the supervisor) ------------------
+
+    def _op_in_doubt(self, payload: dict[str, Any]) -> list[dict[str, Any]]:
+        return [
+            {"gid": branch.global_id, "resolved": branch.resolved}
+            for branch in self.repo.last_recovery.in_doubt
+        ]
+
+    def _op_txn_resolve(self, payload: dict[str, Any]) -> bool:
+        return self._resolve_by_gid(payload["gid"], payload["decision"])

@@ -1,0 +1,246 @@
+"""Spawn, monitor and restart shard processes.
+
+The supervisor turns ``node.kill`` from a simulated fault into a real
+``SIGKILL``: the shard process dies mid-write like a power failure,
+and :meth:`ShardSupervisor.restart` boots ``repro-shardd`` again over
+the same data directory — real restart recovery over a real WAL.
+
+After every restart the supervisor runs the distributed half of
+recovery that a lone shard cannot: prepared two-phase branches come
+back *in doubt*, and their global ids name the coordinator shard whose
+log holds (or, by presumed abort, does not hold) the decision.  The
+supervisor asks that shard and resolves each branch, releasing its
+locks — the process-level analogue of
+``ShardedRepository._resolve_in_doubt``.
+
+Ports are assigned by the OS on first boot (``--port 0``) and pinned
+on restart (``SO_REUSEADDR``), so client transports simply reconnect
+to the same address and their seeded backoff rides out the recovery
+window.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.comm.transport import TcpTransport
+from repro.errors import CommError, ReproError
+from repro.serve.client import ShardClient
+
+#: seconds to wait for a shard's READY handshake line
+READY_TIMEOUT = 30.0
+
+_READY_RE = re.compile(
+    r"^READY name=(?P<name>\S+) port=(?P<port>\d+) "
+    r"epoch=(?P<epoch>\d+) pid=(?P<pid>\d+)$"
+)
+#: coordinator shard index embedded in a global id's prefix
+_GID_SHARD_RE = re.compile(r"\.s(?P<shard>\d+)\.e\d+$")
+
+
+@dataclass
+class ShardProcess:
+    """One supervised shard subprocess."""
+
+    index: int
+    data_dir: str
+    port: int = 0
+    epoch: int = 0
+    pid: int = 0
+    proc: subprocess.Popen | None = field(default=None, repr=False)
+    restarts: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class ShardSupervisor:
+    """Lifecycle manager for the shard processes of one system."""
+
+    def __init__(
+        self,
+        root_dir: str,
+        shards: int,
+        name: str = "reqnode",
+        cc: str = "2pl",
+        host: str = "127.0.0.1",
+        auto_restart: bool = False,
+        on_restart: Callable[[int], None] | None = None,
+        python: str = sys.executable,
+    ):
+        self.root_dir = root_dir
+        self.name = name
+        self.cc = cc
+        self.host = host
+        self.python = python
+        self.auto_restart = auto_restart
+        self.on_restart = on_restart
+        self.shard_count = shards
+        self.shards: list[ShardProcess] = []
+        self._closed = False
+        self._mutex = threading.Lock()
+        self._monitor: threading.Thread | None = None
+        for index in range(shards):
+            data_dir = os.path.join(root_dir, f"s{index}")
+            os.makedirs(data_dir, exist_ok=True)
+            self.shards.append(ShardProcess(index=index, data_dir=data_dir))
+        for shard in self.shards:
+            self._spawn(shard)
+        if auto_restart:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, daemon=True,
+                name="shard-supervisor",
+            )
+            self._monitor.start()
+
+    # -- process control -------------------------------------------------
+
+    def _spawn(self, shard: ShardProcess) -> None:
+        argv = [
+            self.python, "-m", "repro.serve.shardd",
+            "--dir", shard.data_dir,
+            "--port", str(shard.port),  # 0 on first boot, pinned after
+            "--host", self.host,
+            "--name", self.name,
+            "--shard", str(shard.index),
+            "--shards", str(self.shard_count),
+            "--cc", self.cc,
+        ]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        shard.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True,
+        )
+        self._wait_ready(shard)
+
+    def _wait_ready(self, shard: ShardProcess) -> None:
+        assert shard.proc is not None and shard.proc.stdout is not None
+        deadline = time.monotonic() + READY_TIMEOUT
+        while True:
+            if time.monotonic() > deadline:
+                shard.proc.kill()
+                raise ReproError(
+                    f"shard {shard.index} did not report READY in "
+                    f"{READY_TIMEOUT}s"
+                )
+            line = shard.proc.stdout.readline()
+            if not line:
+                raise ReproError(
+                    f"shard {shard.index} exited before READY "
+                    f"(code {shard.proc.poll()})"
+                )
+            match = _READY_RE.match(line.strip())
+            if match:
+                shard.port = int(match.group("port"))
+                shard.epoch = int(match.group("epoch"))
+                shard.pid = int(match.group("pid"))
+                return
+
+    def kill(self, index: int) -> None:
+        """SIGKILL shard ``index`` — a real crash, mid-write and all."""
+        shard = self.shards[index]
+        with self._mutex:
+            if shard.proc is not None and shard.proc.poll() is None:
+                os.kill(shard.proc.pid, signal.SIGKILL)
+                shard.proc.wait()
+
+    def restart(self, index: int) -> None:
+        """Boot shard ``index`` again over its data directory (restart
+        recovery), then resolve any in-doubt two-phase branches against
+        the other shards' decision records."""
+        shard = self.shards[index]
+        with self._mutex:
+            if shard.proc is not None and shard.proc.poll() is None:
+                return  # already running
+            shard.restarts += 1
+            self._spawn(shard)
+        self.resolve_in_doubt(index)
+        if self.on_restart is not None:
+            self.on_restart(index)
+
+    def _monitor_loop(self) -> None:
+        while not self._closed:
+            for shard in self.shards:
+                if self._closed:
+                    return
+                if shard.proc is not None and shard.proc.poll() is not None:
+                    try:
+                        self.restart(shard.index)
+                    except ReproError:
+                        pass  # retried on the next sweep
+            time.sleep(0.2)
+
+    def close(self) -> None:
+        """Terminate every shard process (end of test/benchmark)."""
+        self._closed = True
+        for shard in self.shards:
+            if shard.proc is not None and shard.proc.poll() is None:
+                shard.proc.kill()
+                shard.proc.wait()
+
+    # -- distributed in-doubt resolution --------------------------------
+
+    def _client(self, index: int, max_retries: int = 10) -> ShardClient:
+        shard = self.shards[index]
+        return ShardClient(
+            TcpTransport(self.host, shard.port, max_retries=max_retries)
+        )
+
+    def coordinator_shard(self, gid: str) -> int:
+        """The shard whose log holds (or presumed-abort lacks) the
+        decision for ``gid`` — encoded in the id's coordinator prefix
+        (``<name>.s<k>.e<epoch>:...``)."""
+        prefix = gid.split(":", 1)[0]
+        match = _GID_SHARD_RE.search(prefix)
+        return int(match.group("shard")) if match else 0
+
+    def resolve_in_doubt(self, index: int) -> int:
+        """Settle the in-doubt branches of a freshly restarted shard.
+
+        Presumed abort: the branch commits only if the coordinator
+        shard has a durable commit decision.  Returns the number of
+        branches resolved."""
+        client = self._client(index)
+        resolved = 0
+        try:
+            branches = client.call({"op": "in_doubt"})
+            for branch in branches:
+                if branch["resolved"] is not None:
+                    continue
+                gid = branch["gid"]
+                coordinator = self.coordinator_shard(gid)
+                decision = "abort"
+                try:
+                    if coordinator != index and self.shards[coordinator].alive:
+                        decision = self._client(coordinator).call(
+                            {"op": "txn_decision", "gid": gid}
+                        )
+                    elif coordinator == index:
+                        decision = client.call(
+                            {"op": "txn_decision", "gid": gid}
+                        )
+                except CommError:
+                    # Coordinator unreachable: leave the branch in
+                    # doubt (locks held) rather than guessing — the
+                    # next restart pass retries.
+                    continue
+                client.call(
+                    {"op": "txn_resolve", "gid": gid, "decision": decision}
+                )
+                resolved += 1
+        finally:
+            client.close()
+        return resolved

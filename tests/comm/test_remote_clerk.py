@@ -7,8 +7,8 @@ import threading
 
 
 from repro.comm.network import SimNetwork
-from repro.comm.remote import RemoteQueueManager
-from repro.comm.rpc import RpcChannel, RpcServer
+from repro.comm.remote import QueueManagerService, RemoteQueueManager
+from repro.comm.transport import InProcListener, InProcTransport
 from repro.core.clerk import Clerk
 from repro.core.devices import TicketPrinter
 from repro.core.guarantees import GuaranteeChecker
@@ -20,9 +20,10 @@ from tests.conftest import echo_handler
 def remote_setup(loss_rate=0.0, dup_rate=0.0, seed=0):
     system = TPSystem()
     network = SimNetwork(seed=seed, loss_rate=loss_rate, dup_rate=dup_rate)
-    RpcServer(network, "qm-node")
-    channel = RpcChannel(network, "client-node", "qm-node", max_retries=200)
-    remote_qm = RemoteQueueManager(channel, system.request_qm)
+    service = QueueManagerService(system.request_qm)
+    InProcListener(network, "qm-node", service.handle)
+    channel = InProcTransport(network, "client-node", "qm-node", max_retries=200)
+    remote_qm = RemoteQueueManager(channel)
     return system, network, channel, remote_qm
 
 

@@ -1,0 +1,169 @@
+"""ShardService unit tests: the wire-facing dispatcher over one
+repository shard, exercised in-process (no sockets) so every branch of
+the transaction table, the 2PC ops, and the restart fallbacks is
+reachable deterministically."""
+
+import pytest
+
+from repro.comm.wire import unwrap
+from repro.errors import TransactionAborted
+from repro.queueing.repository import QueueRepository
+from repro.serve.service import ShardService
+from repro.storage.disk import MemDisk
+
+
+def make_service(disk=None, epoch=0):
+    repo = QueueRepository("s0", disk if disk is not None else MemDisk())
+    return ShardService(repo, epoch=epoch)
+
+
+def call(service, **payload):
+    return unwrap(service.handle(payload))
+
+
+def register(service, queue="q", registrant="r1"):
+    result = call(service, op="register", queue=queue, registrant=registrant,
+                  stable=True)
+    return result["handle"]
+
+
+class TestAdmin:
+    def test_hello_reports_identity(self):
+        service = make_service(epoch=3)
+        call(service, op="create_queue", queue="q")
+        hello = call(service, op="hello")
+        assert hello["name"] == "s0"
+        assert hello["epoch"] == 3
+        assert hello["queues"] == ["q"]
+
+    def test_create_queue_absorbs_duplicates(self):
+        """A retried create_queue (lost reply) must not error."""
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        call(service, op="create_queue", queue="q")
+        assert call(service, op="queue_names") == ["q"]
+
+    def test_depths(self):
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        call(service, op="enqueue", handle=handle, body={"n": 1})
+        assert call(service, op="depths") == {"q": 1}
+
+
+class TestBranchTable:
+    def test_transactional_enqueue_commits(self):
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 1}, txn=txn)
+        # Not visible until the branch commits.
+        assert call(service, op="depth", queue="q") == 0
+        call(service, op="txn_commit", txn=txn)
+        assert call(service, op="depth", queue="q") == 1
+
+    def test_abort_rolls_back(self):
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 1}, txn=txn)
+        call(service, op="txn_abort", txn=txn)
+        assert call(service, op="depth", queue="q") == 0
+
+    def test_unknown_branch_is_presumed_abort(self):
+        """An operation naming a branch the shard does not know (it
+        restarted since txn_begin) must fail the caller's transaction,
+        not silently auto-commit."""
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        with pytest.raises(TransactionAborted):
+            call(service, op="enqueue", handle=handle, body={}, txn=999)
+
+    def test_duplicate_commit_is_idempotent(self):
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 1}, txn=txn)
+        call(service, op="txn_commit", txn=txn)
+        call(service, op="txn_commit", txn=txn)  # retried outcome: no-op
+        assert call(service, op="depth", queue="q") == 1
+
+    def test_duplicate_abort_is_idempotent(self):
+        service = make_service()
+        txn = call(service, op="txn_begin")
+        call(service, op="txn_abort", txn=txn)
+        call(service, op="txn_abort", txn=txn)
+
+
+class TestTwoPhase:
+    def test_prepare_then_commit_prepared(self):
+        service = make_service()
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 1}, txn=txn)
+        call(service, op="txn_prepare", txn=txn, gid="g1")
+        assert call(service, op="depth", queue="q") == 0
+        call(service, op="txn_commit_prepared", txn=txn, gid="g1")
+        assert call(service, op="depth", queue="q") == 1
+        # The retried outcome call after the branch finished: idempotent.
+        call(service, op="txn_commit_prepared", txn=txn, gid="g1")
+        assert call(service, op="depth", queue="q") == 1
+
+    def test_decide_is_write_once_idempotent(self):
+        service = make_service()
+        call(service, op="txn_decide", gid="g1", decision="commit")
+        call(service, op="txn_decide", gid="g1", decision="commit")
+        assert call(service, op="txn_decision", gid="g1") == "commit"
+
+    def test_unknown_gid_is_presumed_abort(self):
+        service = make_service()
+        assert call(service, op="txn_decision", gid="never-seen") == "abort"
+
+    def test_decision_survives_restart(self):
+        """The decision is force-logged: a successor service over the
+        same disk must answer the same way (the coordinator's client
+        polls exactly this after a mid-decide crash)."""
+        disk = MemDisk()
+        service = make_service(disk)
+        call(service, op="txn_decide", gid="g9", decision="commit")
+        reborn = make_service(disk, epoch=1)
+        assert call(reborn, op="txn_decision", gid="g9") == "commit"
+
+    def test_in_doubt_branch_resolved_after_restart(self):
+        """Prepare, crash (new service over the same disk), and the
+        supervisor's resolution path: the branch surfaces as in doubt,
+        txn_resolve applies the decision, the data commits."""
+        disk = MemDisk()
+        service = make_service(disk)
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 1}, txn=txn)
+        call(service, op="txn_prepare", txn=txn, gid="g7")
+
+        reborn = make_service(disk, epoch=1)
+        in_doubt = call(reborn, op="in_doubt")
+        assert [b["gid"] for b in in_doubt] == ["g7"]
+        assert call(reborn, op="txn_resolve", gid="g7", decision="commit")
+        assert call(reborn, op="depth", queue="q") == 1
+
+    def test_outcome_for_restarted_branch_falls_back_to_gid(self):
+        """txn_commit_prepared naming a branch id the restarted shard no
+        longer has must resolve by gid instead (the decision was durable
+        before phase 2 began, so this is always safe)."""
+        disk = MemDisk()
+        service = make_service(disk)
+        call(service, op="create_queue", queue="q")
+        handle = register(service)
+        txn = call(service, op="txn_begin")
+        call(service, op="enqueue", handle=handle, body={"n": 2}, txn=txn)
+        call(service, op="txn_prepare", txn=txn, gid="g8")
+
+        reborn = make_service(disk, epoch=1)
+        call(reborn, op="txn_commit_prepared", txn=txn, gid="g8")
+        assert call(reborn, op="depth", queue="q") == 1
